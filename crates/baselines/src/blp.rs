@@ -1,0 +1,243 @@
+//! Balanced Label Propagation (paper §4, "BLP").
+//!
+//! Two stages, combining Ugander–Backstrom with Meyerhenke et al. exactly as
+//! the paper describes:
+//!
+//! 1. **size-constrained clustering**: label propagation into `c·k`
+//!    clusters where no cluster may exceed `|V|/(c·k)` vertices or
+//!    `2|E|/(c·k)` total degree (the paper uses `c = 1024` at billion-edge
+//!    scale; we default to a size-aware value),
+//! 2. **merge**: clusters are shuffled and greedily packed into `k` parts,
+//!    which yields multi-dimensional balance even though individual
+//!    clusters differ in size.
+
+use mdbgp_graph::{
+    partition::validate_inputs, Graph, Partition, PartitionError, Partitioner, VertexId,
+    VertexWeights,
+};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the BLP baseline.
+#[derive(Clone, Debug)]
+pub struct BlpPartitioner {
+    /// Cluster multiplier `c`: stage 1 caps clusters at `|V|/(c·k)`
+    /// vertices. `None` auto-scales to `clamp(n/(16k), 8, 128)` so small
+    /// graphs keep meaningful cluster sizes.
+    pub cluster_factor: Option<usize>,
+    /// Label-propagation sweeps of stage 1.
+    pub iterations: usize,
+}
+
+impl Default for BlpPartitioner {
+    fn default() -> Self {
+        Self { cluster_factor: None, iterations: 25 }
+    }
+}
+
+impl BlpPartitioner {
+    fn effective_c(&self, n: usize, k: usize) -> usize {
+        match self.cluster_factor {
+            Some(c) => c.max(2),
+            // Trade-off knob (paper §4.1): larger c ⇒ smaller clusters ⇒
+            // tighter merge balance (≈ 1/c) but lower locality.
+            None => (n / (64 * k)).clamp(8, 64),
+        }
+    }
+}
+
+impl Partitioner for BlpPartitioner {
+    fn name(&self) -> &str {
+        "BLP"
+    }
+
+    fn partition(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        k: usize,
+        seed: u64,
+    ) -> Result<Partition, PartitionError> {
+        validate_inputs(graph, weights, k)?;
+        let n = graph.num_vertices();
+        let c = self.effective_c(n, k);
+        let num_clusters = (c * k).min(n.max(1));
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // --- Stage 1: size-constrained clustering (Meyerhenke et al.):
+        // start from singletons and let clusters grow by label propagation
+        // up to the |V|/(c·k) vertex and 2|E|/(c·k) degree caps. ---
+        let vertex_cap = (n as f64 / num_clusters as f64).ceil().max(2.0);
+        let degree_cap =
+            ((2 * graph.num_edges()) as f64 / num_clusters as f64).ceil().max(2.0);
+
+        let mut cluster: Vec<u32> = (0..n as u32).collect();
+        let mut cluster_vertices = vec![1.0f64; n];
+        let mut cluster_degree: Vec<f64> =
+            (0..n).map(|v| graph.degree(v as VertexId) as f64).collect();
+
+        let mut counts = vec![0u32; n];
+        let mut touched: Vec<u32> = Vec::new();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        for _ in 0..self.iterations {
+            for i in (1..order.len()).rev() {
+                order.swap(i, rng.gen_range(0..=i));
+            }
+            let mut moved = 0usize;
+            for &v in &order {
+                let deg = graph.degree(v) as f64;
+                if deg == 0.0 {
+                    continue;
+                }
+                touched.clear();
+                for &u in graph.neighbors(v) {
+                    let cl = cluster[u as usize];
+                    if counts[cl as usize] == 0 {
+                        touched.push(cl);
+                    }
+                    counts[cl as usize] += 1;
+                }
+                let current = cluster[v as usize];
+                let mut best = current;
+                let mut best_count = if touched.contains(&current) {
+                    counts[current as usize]
+                } else {
+                    0
+                };
+                for &cl in &touched {
+                    // Caps forbid moves into full clusters (the
+                    // "size-constrained" part).
+                    if cl != current
+                        && counts[cl as usize] > best_count
+                        && cluster_vertices[cl as usize] + 1.0 <= vertex_cap
+                        && cluster_degree[cl as usize] + deg <= degree_cap
+                    {
+                        best = cl;
+                        best_count = counts[cl as usize];
+                    }
+                }
+                for &cl in &touched {
+                    counts[cl as usize] = 0;
+                }
+                if best != current {
+                    cluster[v as usize] = best;
+                    cluster_vertices[current as usize] -= 1.0;
+                    cluster_vertices[best as usize] += 1.0;
+                    cluster_degree[current as usize] -= deg;
+                    cluster_degree[best as usize] += deg;
+                    moved += 1;
+                }
+            }
+            if moved == 0 {
+                break;
+            }
+        }
+
+        // --- Stage 2: random greedy merge into k parts. ---
+        let d = weights.dims();
+        let mut cluster_loads = vec![vec![0.0f64; d]; n];
+        for v in 0..n {
+            let cl = cluster[v] as usize;
+            for j in 0..d {
+                cluster_loads[cl][j] += weights.weight(j, v as VertexId);
+            }
+        }
+        // Singleton init means cluster ids live in 0..n; empty ids carry
+        // zero load and are harmless no-ops in the packing below.
+        let mut cluster_order: Vec<usize> = (0..n).collect();
+        for i in (1..cluster_order.len()).rev() {
+            cluster_order.swap(i, rng.gen_range(0..=i));
+        }
+        // Large clusters first (randomized within the shuffle this keeps
+        // the packing tight), then assign each to the part with the lowest
+        // resulting maximum normalized load.
+        cluster_order.sort_by(|&a, &b| {
+            let la: f64 = cluster_loads[a].iter().sum();
+            let lb: f64 = cluster_loads[b].iter().sum();
+            lb.partial_cmp(&la).unwrap()
+        });
+        let mut part_loads = vec![vec![0.0f64; d]; k];
+        let mut part_of_cluster = vec![0u32; n];
+        let avg: Vec<f64> = (0..d).map(|j| weights.total(j) / k as f64).collect();
+        for &cl in &cluster_order {
+            let mut best_part = 0usize;
+            let mut best_score = f64::INFINITY;
+            for part in 0..k {
+                let mut score = 0.0f64;
+                for j in 0..d {
+                    score = score.max((part_loads[part][j] + cluster_loads[cl][j]) / avg[j]);
+                }
+                if score < best_score {
+                    best_score = score;
+                    best_part = part;
+                }
+            }
+            part_of_cluster[cl] = best_part as u32;
+            for j in 0..d {
+                part_loads[best_part][j] += cluster_loads[cl][j];
+            }
+        }
+
+        let parts = cluster.iter().map(|&cl| part_of_cluster[cl as usize]).collect();
+        Ok(Partition::new(parts, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::gen;
+
+    #[test]
+    fn multi_dim_balance_achieved() {
+        let cg = gen::community_graph(
+            &gen::CommunityGraphConfig::social(3000),
+            &mut StdRng::seed_from_u64(1),
+        );
+        let w = VertexWeights::vertex_edge(&cg.graph);
+        let p = BlpPartitioner::default().partition(&cg.graph, &w, 8, 2).unwrap();
+        let imb = p.max_imbalance(&w);
+        assert!(imb < 0.10, "BLP's merge stage must balance both dims, got {imb}");
+    }
+
+    #[test]
+    fn locality_above_hash() {
+        let cg = gen::community_graph(
+            &gen::CommunityGraphConfig::social(3000),
+            &mut StdRng::seed_from_u64(3),
+        );
+        let w = VertexWeights::vertex_edge(&cg.graph);
+        let p = BlpPartitioner::default().partition(&cg.graph, &w, 2, 4).unwrap();
+        let loc = p.edge_locality(&cg.graph);
+        assert!(loc > 0.55, "clusters should buy locality above 1/k, got {loc}");
+    }
+
+    #[test]
+    fn cluster_factor_override_respected() {
+        let g = gen::erdos_renyi(500, 2000, &mut StdRng::seed_from_u64(4));
+        let w = VertexWeights::unit(500);
+        let blp = BlpPartitioner { cluster_factor: Some(4), iterations: 10 };
+        let p = blp.partition(&g, &w, 2, 1).unwrap();
+        assert_eq!(p.num_parts(), 2);
+        assert!(p.max_imbalance(&w) < 0.15);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::cycle(120);
+        let w = VertexWeights::unit(120);
+        let blp = BlpPartitioner::default();
+        assert_eq!(
+            blp.partition(&g, &w, 4, 6).unwrap(),
+            blp.partition(&g, &w, 4, 6).unwrap()
+        );
+    }
+
+    #[test]
+    fn tiny_graph_does_not_panic() {
+        let g = gen::path(5);
+        let w = VertexWeights::unit(5);
+        let p = BlpPartitioner::default().partition(&g, &w, 2, 0).unwrap();
+        assert_eq!(p.num_vertices(), 5);
+    }
+}

@@ -1,0 +1,84 @@
+//! Hash partitioning — Giraph's default strategy (paper §4).
+//!
+//! Stateless: each vertex goes to `hash(id, seed) mod k`. Expected locality
+//! is exactly `1/k` and balance follows from concentration, which is why
+//! the paper uses it as the baseline of every speedup figure.
+
+use crate::mix64;
+use mdbgp_graph::{
+    partition::validate_inputs, Graph, Partition, PartitionError, Partitioner, VertexWeights,
+};
+
+/// The hash partitioner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct HashPartitioner;
+
+impl Partitioner for HashPartitioner {
+    fn name(&self) -> &str {
+        "Hash"
+    }
+
+    fn partition(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        k: usize,
+        seed: u64,
+    ) -> Result<Partition, PartitionError> {
+        validate_inputs(graph, weights, k)?;
+        let parts = (0..graph.num_vertices() as u64)
+            .map(|v| (mix64(v ^ seed.rotate_left(17)) % k as u64) as u32)
+            .collect();
+        Ok(Partition::new(parts, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn locality_close_to_one_over_k() {
+        let g = gen::erdos_renyi(5000, 40_000, &mut StdRng::seed_from_u64(1));
+        let w = VertexWeights::unit(5000);
+        for k in [2usize, 8] {
+            let p = HashPartitioner.partition(&g, &w, k, 7).unwrap();
+            let loc = p.edge_locality(&g);
+            let expected = 1.0 / k as f64;
+            assert!((loc - expected).abs() < 0.02, "k={k}: {loc} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn near_balanced_on_both_dimensions() {
+        let g = gen::rmat(gen::RmatConfig::graph500(14, 8), &mut StdRng::seed_from_u64(2));
+        let w = VertexWeights::vertex_edge(&g);
+        let p = HashPartitioner.partition(&g, &w, 8, 3).unwrap();
+        // Unit weights concentrate tightly (binomial, ≈2% std at this
+        // size); degree weights fluctuate more on a skewed graph.
+        let imb = p.imbalance(&w);
+        assert!(imb[0] < 0.08, "vertex imbalance {}", imb[0]);
+        assert!(imb[1] < 0.35, "degree imbalance {}", imb[1]);
+    }
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let g = gen::path(100);
+        let w = VertexWeights::unit(100);
+        let a = HashPartitioner.partition(&g, &w, 4, 1).unwrap();
+        let b = HashPartitioner.partition(&g, &w, 4, 1).unwrap();
+        let c = HashPartitioner.partition(&g, &w, 4, 2).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn rejects_bad_k() {
+        let g = gen::path(3);
+        let w = VertexWeights::unit(3);
+        assert!(HashPartitioner.partition(&g, &w, 0, 0).is_err());
+    }
+}

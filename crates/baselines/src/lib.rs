@@ -1,0 +1,62 @@
+// Tight numeric loops in this crate frequently index several parallel
+// arrays at once; rewriting them with zipped iterators obscures the
+// kernels, so this pedantic lint is disabled crate-wide (perf lints stay).
+#![allow(clippy::needless_range_loop)]
+
+//! # mdbgp-baselines — the comparison partitioners of the paper's evaluation
+//!
+//! Every algorithm the paper measures `GD` against, implemented from
+//! scratch on the shared [`mdbgp_graph::Partitioner`] interface:
+//!
+//! * [`HashPartitioner`] — stateless hashing of vertex ids (Giraph's
+//!   default; the baseline of Figures 1, 5–7),
+//! * [`SpinnerPartitioner`] — label propagation with soft imbalance
+//!   penalties (Martella et al.; no hard multi-dimensional balance, as
+//!   Figure 4 shows),
+//! * [`BlpPartitioner`] — balanced label propagation: size-constrained
+//!   clustering into `c·k` clusters followed by a randomized merge into
+//!   `k` multi-dimensionally balanced parts (Ugander–Backstrom +
+//!   Meyerhenke et al.),
+//! * [`ShpPartitioner`] — Social-Hash-style local search with pairwise
+//!   swaps, balancing a single *combined* dimension (Kabiljo et al.),
+//! * [`MetisPartitioner`] — a multilevel multi-constraint partitioner in
+//!   the METIS mould (heavy-edge matching, greedy growing, FM refinement;
+//!   Karypis–Kumar), the comparator of Table 3.
+
+pub mod blp;
+pub mod hash;
+pub mod metis;
+pub mod shp;
+pub mod spinner;
+
+pub use blp::BlpPartitioner;
+pub use hash::HashPartitioner;
+pub use metis::MetisPartitioner;
+pub use shp::ShpPartitioner;
+pub use spinner::SpinnerPartitioner;
+
+// Re-export the shared interface so downstream users need one import.
+pub use mdbgp_graph::{Partition, PartitionError, Partitioner};
+
+/// Mixes a vertex id with a seed into a pseudo-random u64 (splitmix64
+/// finalizer) — shared by the hash partitioner and the randomized inits.
+#[inline]
+pub(crate) fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E3779B97F4A7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mix64_spreads_bits() {
+        let a = mix64(0);
+        let b = mix64(1);
+        assert_ne!(a, b);
+        assert!((a ^ b).count_ones() > 8, "avalanche expected");
+    }
+}

@@ -1,0 +1,226 @@
+//! Coarsening by heavy-edge matching (Karypis–Kumar).
+//!
+//! Each pass visits vertices in random order and matches every unmatched
+//! vertex with its unmatched neighbour of heaviest edge weight; matched
+//! pairs collapse into one coarse vertex whose weight vector is the sum of
+//! its constituents, and parallel coarse edges merge with summed weights.
+
+use super::wgraph::WGraph;
+use mdbgp_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One coarsening level: the coarser graph plus the fine→coarse map.
+#[derive(Clone, Debug)]
+pub struct Level {
+    pub graph: WGraph,
+    /// `map[fine] = coarse`.
+    pub map: Vec<VertexId>,
+}
+
+/// One round of heavy-edge matching. Returns the fine→coarse map and the
+/// number of coarse vertices.
+pub fn heavy_edge_matching(g: &WGraph, rng: &mut StdRng) -> (Vec<VertexId>, usize) {
+    let n = g.n();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let unmatched = u32::MAX;
+    let mut mate = vec![unmatched; n];
+    for &v in &order {
+        if mate[v as usize] != unmatched {
+            continue;
+        }
+        let mut best: Option<(f64, u32)> = None;
+        for (u, w) in g.neighbors(v) {
+            if u != v && mate[u as usize] == unmatched
+                && best.is_none_or(|(bw, _)| w > bw) {
+                    best = Some((w, u));
+                }
+        }
+        match best {
+            Some((_, u)) => {
+                mate[v as usize] = u;
+                mate[u as usize] = v;
+            }
+            None => mate[v as usize] = v, // self-matched singleton
+        }
+    }
+    // Assign coarse ids: each matched pair (v < u) and each singleton gets
+    // one id, in fine-vertex order for determinism.
+    let mut map = vec![unmatched; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != unmatched {
+            continue;
+        }
+        let m = mate[v as usize];
+        map[v as usize] = next;
+        if m != v && m != unmatched {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    (map, next as usize)
+}
+
+/// Contracts `g` along `map` into `n_coarse` vertices.
+pub fn contract(g: &WGraph, map: &[VertexId], n_coarse: usize) -> WGraph {
+    let d = g.d();
+    let mut vweights = vec![vec![0.0f64; n_coarse]; d];
+    for v in 0..g.n() {
+        let c = map[v] as usize;
+        for j in 0..d {
+            vweights[j][c] += g.vweights[j][v];
+        }
+    }
+    // Bucket fine vertices by coarse id so each coarse row is built in one
+    // sweep with a dense scratch accumulator.
+    let mut bucket_offsets = vec![0usize; n_coarse + 1];
+    for v in 0..g.n() {
+        bucket_offsets[map[v] as usize + 1] += 1;
+    }
+    for c in 0..n_coarse {
+        bucket_offsets[c + 1] += bucket_offsets[c];
+    }
+    let mut members = vec![0u32; g.n()];
+    let mut cursor = bucket_offsets.clone();
+    for v in 0..g.n() as u32 {
+        let c = map[v as usize] as usize;
+        members[cursor[c]] = v;
+        cursor[c] += 1;
+    }
+
+    let mut offsets = Vec::with_capacity(n_coarse + 1);
+    offsets.push(0usize);
+    let mut targets: Vec<VertexId> = Vec::new();
+    let mut eweights: Vec<f64> = Vec::new();
+    let mut scratch = vec![0.0f64; n_coarse];
+    let mut touched: Vec<u32> = Vec::new();
+    for c in 0..n_coarse {
+        for &v in &members[bucket_offsets[c]..bucket_offsets[c + 1]] {
+            for (u, w) in g.neighbors(v) {
+                let cu = map[u as usize];
+                if cu as usize == c {
+                    continue; // interior edge disappears
+                }
+                if scratch[cu as usize] == 0.0 {
+                    touched.push(cu);
+                }
+                scratch[cu as usize] += w;
+            }
+        }
+        touched.sort_unstable();
+        for &cu in &touched {
+            targets.push(cu);
+            eweights.push(scratch[cu as usize]);
+            scratch[cu as usize] = 0.0;
+        }
+        touched.clear();
+        offsets.push(targets.len());
+    }
+    WGraph { offsets, targets, eweights, vweights }
+}
+
+/// Coarsens until at most `target_n` vertices remain or matching stalls
+/// (reduction below 10% per round). Returns the levels from finest
+/// (`levels[0]`, which maps the input) to coarsest.
+pub fn coarsen_until(g: &WGraph, target_n: usize, rng: &mut StdRng) -> Vec<Level> {
+    let mut levels: Vec<Level> = Vec::new();
+    loop {
+        let next = {
+            let cur = levels.last().map_or(g, |l| &l.graph);
+            if cur.n() <= target_n {
+                None
+            } else {
+                let (map, n_coarse) = heavy_edge_matching(cur, rng);
+                if n_coarse as f64 > 0.95 * cur.n() as f64 {
+                    None // star-like residue: matching no longer shrinks it
+                } else {
+                    Some(Level { graph: contract(cur, &map, n_coarse), map })
+                }
+            }
+        };
+        match next {
+            Some(level) => levels.push(level),
+            None => break,
+        }
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::{builder::graph_from_edges, gen, VertexWeights};
+    use rand::SeedableRng;
+
+    fn lift(g: &mdbgp_graph::Graph) -> WGraph {
+        let w = VertexWeights::vertex_edge(g);
+        WGraph::from_graph(g, &w)
+    }
+
+    #[test]
+    fn matching_pairs_are_symmetric() {
+        let g = lift(&gen::cycle(20));
+        let (map, n_coarse) = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(1));
+        assert!((10..20).contains(&n_coarse));
+        // Every coarse id has 1 or 2 fine members.
+        let mut counts = vec![0usize; n_coarse];
+        for &c in &map {
+            counts[c as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    #[test]
+    fn contraction_preserves_total_weight() {
+        let g = lift(&gen::grid(8, 8));
+        let before = g.totals();
+        let (map, nc) = heavy_edge_matching(&g, &mut StdRng::seed_from_u64(2));
+        let coarse = contract(&g, &map, nc);
+        let after = coarse.totals();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-9, "weight must be conserved: {b} vs {a}");
+        }
+    }
+
+    #[test]
+    fn contraction_preserves_cut_structure() {
+        // Two triangles joined by one edge: contracting within a side keeps
+        // the cross weight at 1.
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]);
+        let wg = lift(&g);
+        let map = vec![0, 0, 1, 2, 3, 3];
+        let coarse = contract(&wg, &map, 4);
+        assert_eq!(coarse.n(), 4);
+        // Edge 1-2 from pair collapse: (0,1)+(0,2) edges merge into weight 2.
+        let w01: f64 = coarse.neighbors(0).filter(|&(u, _)| u == 1).map(|(_, w)| w).sum();
+        assert_eq!(w01, 2.0);
+        let cross: f64 = coarse.neighbors(1).filter(|&(u, _)| u == 2).map(|(_, w)| w).sum();
+        assert_eq!(cross, 1.0, "the bridge keeps weight 1");
+    }
+
+    #[test]
+    fn coarsen_until_respects_target() {
+        let g = lift(&gen::erdos_renyi(2000, 8000, &mut StdRng::seed_from_u64(3)));
+        let levels = coarsen_until(&g, 100, &mut StdRng::seed_from_u64(4));
+        assert!(!levels.is_empty());
+        let coarsest = &levels.last().unwrap().graph;
+        assert!(coarsest.n() <= 2000 / 2, "must shrink substantially");
+        // Weight conservation through the whole hierarchy.
+        let before = g.totals();
+        let after = coarsest.totals();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_stalls_gracefully() {
+        let g = lift(&mdbgp_graph::Graph::empty(50));
+        let levels = coarsen_until(&g, 10, &mut StdRng::seed_from_u64(5));
+        assert!(levels.is_empty(), "no edges to match: coarsening stalls immediately");
+    }
+}

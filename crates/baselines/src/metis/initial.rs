@@ -1,0 +1,179 @@
+//! Initial bisection of the coarsest graph: greedy graph growing (GGGP).
+//!
+//! Grow side 0 from a random seed vertex, always absorbing the frontier
+//! vertex with the strongest connection to the grown region, until side 0
+//! holds its target share of the vertex weight (averaged over dimensions).
+//! Several trials are run and the smallest cut wins; a random balanced
+//! assignment serves as the fallback trial.
+
+use super::wgraph::WGraph;
+use mdbgp_graph::VertexId;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::collections::BinaryHeap;
+
+/// Grows one GGGP trial from `seed_vertex`; returns the side assignment.
+fn grow_from(g: &WGraph, fraction: f64, seed_vertex: VertexId) -> Vec<u8> {
+    let n = g.n();
+    let d = g.d();
+    let totals = g.totals();
+    let mut side = vec![1u8; n];
+    let mut loads0 = vec![0.0f64; d];
+    // Normalized mean load of side 0; grow until it reaches `fraction`.
+    let mean_load = |loads0: &[f64]| -> f64 {
+        loads0.iter().zip(&totals).map(|(l, t)| l / t).sum::<f64>() / d as f64
+    };
+
+    // Max-heap of (connection weight to side 0, vertex); stale entries are
+    // skipped on pop (lazy deletion).
+    let mut heap: BinaryHeap<(u64, VertexId)> = BinaryHeap::new();
+    let mut conn = vec![0.0f64; n];
+    let key = |w: f64| -> u64 { (w.max(0.0) * 1e6) as u64 };
+
+    let add = |v: VertexId,
+               side: &mut [u8],
+               loads0: &mut [f64],
+               conn: &mut [f64],
+               heap: &mut BinaryHeap<(u64, VertexId)>,
+               g: &WGraph| {
+        side[v as usize] = 0;
+        for j in 0..g.d() {
+            loads0[j] += g.vweights[j][v as usize];
+        }
+        for (u, w) in g.neighbors(v) {
+            if side[u as usize] == 1 {
+                conn[u as usize] += w;
+                heap.push((key(conn[u as usize]), u));
+            }
+        }
+    };
+
+    add(seed_vertex, &mut side, &mut loads0, &mut conn, &mut heap, g);
+    let mut next_fresh = 0u32; // fallback for disconnected graphs
+    while mean_load(&loads0) < fraction {
+        let v = loop {
+            match heap.pop() {
+                Some((k, v)) => {
+                    if side[v as usize] == 1 && key(conn[v as usize]) == k {
+                        break Some(v);
+                    }
+                }
+                None => {
+                    // Frontier exhausted (disconnected component): take any
+                    // remaining side-1 vertex.
+                    while (next_fresh as usize) < n && side[next_fresh as usize] == 0 {
+                        next_fresh += 1;
+                    }
+                    if (next_fresh as usize) < n {
+                        break Some(next_fresh);
+                    }
+                    break None;
+                }
+            }
+        };
+        match v {
+            Some(v) => add(v, &mut side, &mut loads0, &mut conn, &mut heap, g),
+            None => break,
+        }
+    }
+    side
+}
+
+/// Random balanced assignment on the mean normalized weight (fallback
+/// trial and the seed of FM refinement on pathological graphs).
+fn random_balanced(g: &WGraph, fraction: f64, rng: &mut StdRng) -> Vec<u8> {
+    let n = g.n();
+    let d = g.d();
+    let totals = g.totals();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut side = vec![1u8; n];
+    let mut loads0 = vec![0.0f64; d];
+    for &v in &order {
+        let mean: f64 =
+            loads0.iter().zip(&totals).map(|(l, t)| l / t).sum::<f64>() / d as f64;
+        if mean < fraction {
+            side[v as usize] = 0;
+            for j in 0..d {
+                loads0[j] += g.vweights[j][v as usize];
+            }
+        }
+    }
+    side
+}
+
+/// Best-of-`trials` initial bisection (smaller cut wins).
+pub fn initial_bisection(
+    g: &WGraph,
+    fraction: f64,
+    trials: usize,
+    rng: &mut StdRng,
+) -> Vec<u8> {
+    assert!(g.n() > 0);
+    let mut best: Option<(f64, Vec<u8>)> = None;
+    for t in 0..trials.max(1) {
+        let side = if t + 1 == trials.max(1) {
+            random_balanced(g, fraction, rng)
+        } else {
+            grow_from(g, fraction, rng.gen_range(0..g.n() as u32))
+        };
+        let cut = g.cut(&side);
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
+            best = Some((cut, side));
+        }
+    }
+    best.unwrap().1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::{gen, VertexWeights};
+    use rand::SeedableRng;
+
+    fn lift(g: &mdbgp_graph::Graph) -> WGraph {
+        WGraph::from_graph(g, &VertexWeights::vertex_edge(g))
+    }
+
+    #[test]
+    fn finds_the_obvious_cut_in_two_cliques() {
+        let g = lift(&gen::two_cliques(15, 1));
+        let side = initial_bisection(&g, 0.5, 6, &mut StdRng::seed_from_u64(1));
+        assert_eq!(g.cut(&side), 1.0, "only the bridge should be cut");
+    }
+
+    #[test]
+    fn respects_target_fraction() {
+        let g = lift(&gen::grid(10, 10));
+        for &f in &[0.5, 0.25] {
+            let side = initial_bisection(&g, f, 4, &mut StdRng::seed_from_u64(2));
+            let zero = side.iter().filter(|&&s| s == 0).count() as f64 / 100.0;
+            assert!((zero - f).abs() < 0.15, "fraction {f}: got {zero}");
+        }
+    }
+
+    #[test]
+    fn handles_disconnected_graphs() {
+        // Two components: growth must jump between them.
+        let mut b = mdbgp_graph::GraphBuilder::new(20);
+        for u in 0..9u32 {
+            b.add_edge(u, u + 1);
+        }
+        for u in 10..19u32 {
+            b.add_edge(u, u + 1);
+        }
+        let g = lift(&b.build());
+        let side = initial_bisection(&g, 0.5, 3, &mut StdRng::seed_from_u64(3));
+        let zero = side.iter().filter(|&&s| s == 0).count();
+        assert!((8..=12).contains(&zero), "balanced despite components: {zero}");
+    }
+
+    #[test]
+    fn single_vertex_graph() {
+        let g = lift(&mdbgp_graph::Graph::empty(1));
+        let side = initial_bisection(&g, 0.5, 2, &mut StdRng::seed_from_u64(4));
+        assert_eq!(side.len(), 1);
+    }
+}

@@ -1,0 +1,242 @@
+//! Multi-constraint FM-style boundary refinement.
+//!
+//! After projecting a partition to a finer level, greedy passes move
+//! boundary vertices with positive cut gain provided **every** weight
+//! dimension stays within its balance tolerance — the multi-constraint
+//! generalization that makes METIS-style refinement increasingly
+//! constrained (and less effective) as `d` grows, which is exactly the
+//! Table 3 phenomenon. A second move class restores balance: if some
+//! dimension is over tolerance, the best-gain move that reduces the worst
+//! overload is applied even at negative gain.
+
+use super::wgraph::WGraph;
+use mdbgp_graph::VertexId;
+
+/// Balance state of a bisection.
+pub struct BalanceState {
+    /// `loads[side][j]`.
+    pub loads: [Vec<f64>; 2],
+    pub totals: Vec<f64>,
+    /// Target share of side 0 per dimension.
+    pub fraction: f64,
+    /// Allowed relative deviation from the target share.
+    pub eps: f64,
+}
+
+impl BalanceState {
+    pub fn new(g: &WGraph, side: &[u8], fraction: f64, eps: f64) -> Self {
+        let d = g.d();
+        let mut loads = [vec![0.0f64; d], vec![0.0f64; d]];
+        for v in 0..g.n() {
+            for j in 0..d {
+                loads[side[v] as usize][j] += g.vweights[j][v];
+            }
+        }
+        Self { loads, totals: g.totals(), fraction, eps }
+    }
+
+    fn share(&self, s: usize) -> f64 {
+        if s == 0 {
+            self.fraction
+        } else {
+            1.0 - self.fraction
+        }
+    }
+
+    /// Relative overload of `side` in dimension `j` (0 if within target).
+    fn overload(&self, s: usize, j: usize) -> f64 {
+        let cap = (1.0 + self.eps) * self.share(s) * self.totals[j];
+        ((self.loads[s][j] - cap) / self.totals[j]).max(0.0)
+    }
+
+    /// Worst overload over sides and dimensions.
+    pub fn worst_overload(&self) -> f64 {
+        let d = self.totals.len();
+        let mut w = 0.0f64;
+        for s in 0..2 {
+            for j in 0..d {
+                w = w.max(self.overload(s, j));
+            }
+        }
+        w
+    }
+
+    /// Whether moving `v` from its side keeps every dimension within
+    /// tolerance on the receiving side.
+    fn move_keeps_balance(&self, g: &WGraph, v: VertexId, from: usize) -> bool {
+        let to = 1 - from;
+        (0..g.d()).all(|j| {
+            let cap = (1.0 + self.eps) * self.share(to) * self.totals[j];
+            self.loads[to][j] + g.vweights[j][v as usize] <= cap + 1e-12
+        })
+    }
+
+    /// Whether moving `v` strictly reduces the worst overload.
+    fn move_restores_balance(&self, g: &WGraph, v: VertexId, from: usize) -> bool {
+        let before = self.worst_overload();
+        if before == 0.0 {
+            return false;
+        }
+        let mut after = 0.0f64;
+        let to = 1 - from;
+        for j in 0..g.d() {
+            let w = g.vweights[j][v as usize];
+            let lf = self.loads[from][j] - w;
+            let lt = self.loads[to][j] + w;
+            let cap_f = (1.0 + self.eps) * self.share(from) * self.totals[j];
+            let cap_t = (1.0 + self.eps) * self.share(to) * self.totals[j];
+            after = after.max(((lf - cap_f) / self.totals[j]).max(0.0));
+            after = after.max(((lt - cap_t) / self.totals[j]).max(0.0));
+        }
+        after < before - 1e-15
+    }
+
+    fn apply(&mut self, g: &WGraph, v: VertexId, from: usize) {
+        let to = 1 - from;
+        for j in 0..g.d() {
+            let w = g.vweights[j][v as usize];
+            self.loads[from][j] -= w;
+            self.loads[to][j] += w;
+        }
+    }
+}
+
+/// Cut gain of moving `v` to the other side (positive = cut shrinks).
+fn gain(g: &WGraph, side: &[u8], v: VertexId) -> f64 {
+    let mut external = 0.0;
+    let mut internal = 0.0;
+    for (u, w) in g.neighbors(v) {
+        if side[u as usize] == side[v as usize] {
+            internal += w;
+        } else {
+            external += w;
+        }
+    }
+    external - internal
+}
+
+/// Greedy multi-constraint refinement: up to `passes` sweeps, each applying
+/// (a) positive-gain balance-preserving moves and (b) balance-restoring
+/// moves. Returns the number of moves applied.
+pub fn refine(g: &WGraph, side: &mut [u8], fraction: f64, eps: f64, passes: usize) -> usize {
+    let n = g.n();
+    let mut state = BalanceState::new(g, side, fraction, eps);
+    let mut total_moves = 0usize;
+    for _ in 0..passes {
+        // Candidate boundary moves sorted by gain (descending).
+        let mut candidates: Vec<(f64, VertexId)> = (0..n as u32)
+            .filter(|&v| {
+                g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize])
+            })
+            .map(|v| (gain(g, side, v), v))
+            .filter(|&(gn, _)| gn > 0.0)
+            .collect();
+        candidates.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap());
+
+        let mut moves = 0usize;
+        for &(_, v) in &candidates {
+            let from = side[v as usize] as usize;
+            // Re-check gain: earlier moves may have flipped neighbours.
+            if gain(g, side, v) <= 0.0 {
+                continue;
+            }
+            if state.move_keeps_balance(g, v, from) {
+                state.apply(g, v, from);
+                side[v as usize] = 1 - side[v as usize];
+                moves += 1;
+            }
+        }
+
+        // Balance restoration: move the best-gain vertices off overloaded
+        // sides until no single move helps.
+        while state.worst_overload() > 0.0 {
+            let mut best: Option<(f64, VertexId)> = None;
+            for v in 0..n as u32 {
+                let from = side[v as usize] as usize;
+                if state.move_restores_balance(g, v, from) {
+                    let gn = gain(g, side, v);
+                    if best.is_none_or(|(bg, _)| gn > bg) {
+                        best = Some((gn, v));
+                    }
+                }
+            }
+            match best {
+                Some((_, v)) => {
+                    let from = side[v as usize] as usize;
+                    state.apply(g, v, from);
+                    side[v as usize] = 1 - side[v as usize];
+                    moves += 1;
+                }
+                None => break,
+            }
+        }
+
+        total_moves += moves;
+        if moves == 0 {
+            break;
+        }
+    }
+    total_moves
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::{gen, VertexWeights};
+
+    fn lift(g: &mdbgp_graph::Graph) -> WGraph {
+        WGraph::from_graph(g, &VertexWeights::vertex_edge(g))
+    }
+
+    #[test]
+    fn repairs_a_scrambled_two_clique_cut() {
+        let g = lift(&gen::two_cliques(12, 1));
+        // Start from a deliberately bad split: interleaved sides.
+        let mut side: Vec<u8> = (0..24).map(|v| (v % 2) as u8).collect();
+        let before = g.cut(&side);
+        refine(&g, &mut side, 0.5, 0.1, 20);
+        let after = g.cut(&side);
+        assert!(after < before, "cut must improve: {before} -> {after}");
+        assert!(after <= 3.0, "near-optimal cut expected, got {after}");
+    }
+
+    #[test]
+    fn preserves_balance_tolerance() {
+        let g = lift(&gen::grid(10, 10));
+        let mut side: Vec<u8> = (0..100).map(|v| if v < 50 { 0 } else { 1 }).collect();
+        refine(&g, &mut side, 0.5, 0.05, 10);
+        let state = BalanceState::new(&g, &side, 0.5, 0.05);
+        assert_eq!(state.worst_overload(), 0.0, "refinement must not break balance");
+    }
+
+    #[test]
+    fn restores_broken_balance() {
+        let g = lift(&gen::cycle(40));
+        // Everything on side 0: grossly imbalanced.
+        let mut side = vec![0u8; 40];
+        side[0] = 1;
+        refine(&g, &mut side, 0.5, 0.05, 30);
+        let state = BalanceState::new(&g, &side, 0.5, 0.05);
+        assert!(
+            state.worst_overload() < 0.05,
+            "balance should be mostly restored, overload {}",
+            state.worst_overload()
+        );
+    }
+
+    #[test]
+    fn gain_signs() {
+        let g = lift(&gen::two_cliques(4, 1));
+        let side: Vec<u8> = (0..8).map(|v| if v < 4 { 0 } else { 1 }).collect();
+        // Interior vertex: all neighbours internal → negative gain.
+        assert!(gain(&g, &side, 1) < 0.0);
+    }
+
+    #[test]
+    fn noop_on_optimal_partition() {
+        let g = lift(&gen::two_cliques(10, 1));
+        let mut side: Vec<u8> = (0..20).map(|v| if v < 10 { 0 } else { 1 }).collect();
+        let moves = refine(&g, &mut side, 0.5, 0.05, 5);
+        assert_eq!(moves, 0, "optimal bisection has no improving moves");
+    }
+}

@@ -1,0 +1,110 @@
+//! Weighted graphs for the multilevel hierarchy.
+//!
+//! Coarsening collapses matched vertex pairs, so interior levels need edge
+//! weights (collapsed multi-edges) and summed vertex weight vectors —
+//! neither of which the plain CSR [`Graph`] carries.
+
+use mdbgp_graph::{Graph, VertexId, VertexWeights};
+
+/// CSR graph with f64 edge weights and `d`-dimensional vertex weights.
+#[derive(Clone, Debug)]
+pub struct WGraph {
+    pub offsets: Vec<usize>,
+    pub targets: Vec<VertexId>,
+    pub eweights: Vec<f64>,
+    /// `vweights[j][v]` — dimension-major, like [`VertexWeights`].
+    pub vweights: Vec<Vec<f64>>,
+}
+
+impl WGraph {
+    /// Lifts an unweighted graph (all edge weights 1) with its vertex
+    /// weights into the multilevel representation.
+    pub fn from_graph(graph: &Graph, weights: &VertexWeights) -> Self {
+        assert_eq!(graph.num_vertices(), weights.num_vertices());
+        let offsets = graph.raw_offsets().to_vec();
+        let targets = graph.raw_targets().to_vec();
+        let eweights = vec![1.0; targets.len()];
+        let vweights = (0..weights.dims()).map(|j| weights.dim(j).to_vec()).collect();
+        Self { offsets, targets, eweights, vweights }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of balance dimensions.
+    #[inline]
+    pub fn d(&self) -> usize {
+        self.vweights.len()
+    }
+
+    /// Neighbour/edge-weight pairs of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
+        let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
+        self.targets[range.clone()].iter().copied().zip(self.eweights[range].iter().copied())
+    }
+
+    /// Total vertex weight per dimension.
+    pub fn totals(&self) -> Vec<f64> {
+        self.vweights.iter().map(|col| col.iter().sum()).collect()
+    }
+
+    /// Total cut weight of a two-sided assignment.
+    pub fn cut(&self, side: &[u8]) -> f64 {
+        let mut cut = 0.0;
+        for v in 0..self.n() as VertexId {
+            for (u, w) in self.neighbors(v) {
+                if u > v && side[u as usize] != side[v as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Approximate heap footprint (Table 3 reports memory).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+            + self.eweights.len() * std::mem::size_of::<f64>()
+            + self.vweights.iter().map(|c| c.len() * std::mem::size_of::<f64>()).sum::<usize>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::builder::graph_from_edges;
+
+    fn tri() -> WGraph {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let w = VertexWeights::vertex_edge(&g);
+        WGraph::from_graph(&g, &w)
+    }
+
+    #[test]
+    fn lift_preserves_structure() {
+        let wg = tri();
+        assert_eq!(wg.n(), 3);
+        assert_eq!(wg.d(), 2);
+        assert_eq!(wg.neighbors(0).count(), 2);
+        assert!(wg.eweights.iter().all(|&w| w == 1.0));
+        assert_eq!(wg.totals(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn cut_counts_weighted_crossings() {
+        let wg = tri();
+        assert_eq!(wg.cut(&[0, 0, 0]), 0.0);
+        assert_eq!(wg.cut(&[0, 1, 0]), 2.0);
+        assert_eq!(wg.cut(&[0, 1, 1]), 2.0);
+    }
+
+    #[test]
+    fn memory_positive() {
+        assert!(tri().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,36 @@
+//! BSP simulator throughput: PageRank supersteps per second under good and
+//! bad placements (message routing dominates; locality reduces the remote
+//! bookkeeping).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mdbgp_baselines::HashPartitioner;
+use mdbgp_bsp::{apps::PageRank, BspEngine, CostModel};
+use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_graph::gen::{community_graph, CommunityGraphConfig};
+use mdbgp_graph::{Partitioner, VertexWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_bsp(c: &mut Criterion) {
+    let cg =
+        community_graph(&CommunityGraphConfig::social(20_000), &mut StdRng::seed_from_u64(4));
+    let w = VertexWeights::vertex_edge(&cg.graph);
+    let hash = HashPartitioner.partition(&cg.graph, &w, 16, 3).unwrap();
+    let gd = GdPartitioner::new(GdConfig { iterations: 40, ..GdConfig::with_epsilon(0.05) })
+        .partition(&cg.graph, &w, 16, 3)
+        .unwrap();
+
+    let mut group = c.benchmark_group("bsp_pagerank_10iter");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(10 * 2 * cg.graph.num_edges() as u64));
+    let app = PageRank { damping: 0.85, iterations: 10 };
+    for (name, partition) in [("hash_placement", &hash), ("gd_placement", &gd)] {
+        let engine = BspEngine::new(&cg.graph, partition, CostModel::default());
+        group.bench_function(name, |b| b.iter(|| black_box(engine.run(&app))));
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bsp);
+criterion_main!(benches);

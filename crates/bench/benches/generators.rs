@@ -1,0 +1,37 @@
+//! Synthetic graph generator throughput (edges per second).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mdbgp_graph::gen;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.throughput(Throughput::Elements(16 * 65536));
+    group.bench_function("rmat_s16_e16", |b| {
+        b.iter(|| {
+            black_box(gen::rmat(gen::RmatConfig::graph500(16, 16), &mut StdRng::seed_from_u64(1)))
+        })
+    });
+
+    group.throughput(Throughput::Elements(8 * 50_000));
+    group.bench_function("chung_lu_50k", |b| {
+        let mut rng = StdRng::seed_from_u64(2);
+        let w = gen::power_law_sequence(50_000, 2.3, 4.0, 1000.0, &mut rng);
+        b.iter(|| black_box(gen::chung_lu(&w, &mut StdRng::seed_from_u64(3))))
+    });
+
+    group.throughput(Throughput::Elements(8 * 50_000));
+    group.bench_function("community_50k", |b| {
+        let cfg = gen::CommunityGraphConfig::social(50_000);
+        b.iter(|| black_box(gen::community_graph(&cfg, &mut StdRng::seed_from_u64(4))))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

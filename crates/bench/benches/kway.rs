@@ -1,0 +1,32 @@
+//! The `O(k·|E|)` iteration cost of the direct k-way relaxation
+//! (paper §3.3): per-iteration time should grow linearly in k, which is
+//! exactly why the paper prefers recursive bisection at large k.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbgp_core::{GdConfig, KWayGdPartitioner};
+use mdbgp_graph::gen::{community_graph, CommunityGraphConfig};
+use mdbgp_graph::{Partitioner, VertexWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_kway(c: &mut Criterion) {
+    let cg =
+        community_graph(&CommunityGraphConfig::social(5_000), &mut StdRng::seed_from_u64(6));
+    let w = VertexWeights::vertex_edge(&cg.graph);
+    let mut group = c.benchmark_group("kway_direct_10iter");
+    group.sample_size(10);
+    for k in [2usize, 4, 8, 16] {
+        let kway = KWayGdPartitioner::new(GdConfig {
+            iterations: 10,
+            ..GdConfig::with_epsilon(0.1)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(kway.partition(&cg.graph, &w, k, 3).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_kway);
+criterion_main!(benches);

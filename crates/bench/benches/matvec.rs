@@ -1,0 +1,32 @@
+//! Gradient mat-vec throughput — the `O(|E|)` term of Theorem 1.1 and its
+//! `O(|E|/m)` multi-threaded scaling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mdbgp_core::matvec::{matvec, matvec_parallel};
+use mdbgp_graph::gen;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn bench_matvec(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = gen::rmat(gen::RmatConfig::graph500(17, 16), &mut rng);
+    let n = g.num_vertices();
+    let x: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let mut out = vec![0.0; n];
+
+    let mut group = c.benchmark_group("matvec");
+    group.throughput(Throughput::Elements(2 * g.num_edges() as u64));
+    group.bench_function("sequential", |b| {
+        b.iter(|| matvec(black_box(&g), black_box(&x), &mut out))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_with_input(BenchmarkId::new("parallel", threads), &threads, |b, &t| {
+            b.iter(|| matvec_parallel(black_box(&g), black_box(&x), &mut out, t))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_matvec);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! End-to-end partitioner comparison on a fixed proxy graph (the
+//! running-time columns of Table 3 in microbenchmark form).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mdbgp_baselines::{
+    BlpPartitioner, HashPartitioner, MetisPartitioner, ShpPartitioner, SpinnerPartitioner,
+};
+use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_graph::gen::{community_graph, CommunityGraphConfig};
+use mdbgp_graph::{Partitioner, VertexWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_partitioners(c: &mut Criterion) {
+    let cg =
+        community_graph(&CommunityGraphConfig::social(10_000), &mut StdRng::seed_from_u64(2));
+    let w = VertexWeights::vertex_edge(&cg.graph);
+    let gd = GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.05) });
+    let spinner = SpinnerPartitioner::default();
+    let blp = BlpPartitioner::default();
+    let shp = ShpPartitioner::default();
+    let metis = MetisPartitioner::default();
+    let hash = HashPartitioner;
+    let algos: [&dyn Partitioner; 6] = [&hash, &gd, &spinner, &blp, &shp, &metis];
+
+    let mut group = c.benchmark_group("partitioners_k4_n10k");
+    group.sample_size(10);
+    for algo in algos {
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(algo.partition(&cg.graph, &w, 4, 9).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

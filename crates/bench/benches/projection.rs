@@ -1,0 +1,43 @@
+//! Projection-step cost (Theorem 1.1: `O(|E| + |V| log^{d−1} |V|)` per GD
+//! step; the projection part is the `|V| log^{d−1} |V|` term). Benchmarks
+//! every method at d ∈ {1, 2} across sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mdbgp_core::config::ProjectionMethod;
+use mdbgp_core::feasible::FeasibleRegion;
+use mdbgp_core::projection::project;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn instance(n: usize, d: usize, seed: u64) -> (Vec<f64>, FeasibleRegion) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = (0..d).map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect()).collect();
+    let y = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
+    (y, FeasibleRegion::symmetric(weights, 0.01))
+}
+
+fn bench_projection(c: &mut Criterion) {
+    for d in [1usize, 2] {
+        let mut group = c.benchmark_group(format!("projection_d{d}"));
+        for n in [10_000usize, 100_000] {
+            let (y, region) = instance(n, d, 7);
+            for method in [
+                ProjectionMethod::OneShotAlternating,
+                ProjectionMethod::AlternatingConverged,
+                ProjectionMethod::Dykstra,
+                ProjectionMethod::Exact,
+            ] {
+                group.bench_with_input(
+                    BenchmarkId::new(format!("{method:?}"), n),
+                    &n,
+                    |b, _| b.iter(|| black_box(project(method, black_box(&y), &region))),
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_projection);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Ablations of GD's design choices beyond the paper's own Figures 8–10:
+//!
+//! 1. **ε sweep** — the locality/balance trade-off the paper exercises at
+//!    three points in Figure 10, swept densely;
+//! 2. **rounding attempts** — how much the best-of-r randomized rounding
+//!    plus greedy repair buys over a single rounding;
+//! 3. **threads** — Theorem 1.1's `O(|E|/m)` gradient term on a shared-
+//!    memory stand-in for the paper's distributed implementation.
+
+use mdbgp_bench::datasets;
+use mdbgp_bench::policies::timed;
+use mdbgp_bench::table::{pct, Table};
+use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_graph::Partitioner;
+
+fn main() {
+    let data = datasets::lj();
+    let weights = data.vertex_edge_weights();
+    println!(
+        "GD ablations on {} ({} vertices / {} edges, k = 8)\n",
+        data.name,
+        data.graph.num_vertices(),
+        data.graph.num_edges()
+    );
+
+    // --- 1. ε sweep. ---
+    let mut t = Table::new(["epsilon", "locality %", "max imbalance %"]);
+    for eps in [0.001, 0.005, 0.01, 0.03, 0.05, 0.1, 0.2] {
+        let gd = GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(eps) });
+        let p = gd.partition(&data.graph, &weights, 8, 3).expect("gd");
+        t.row([
+            format!("{eps}"),
+            pct(p.edge_locality(&data.graph)),
+            pct(p.max_imbalance(&weights)),
+        ]);
+    }
+    println!("ε sweep (looser balance buys locality, and every run stays within its ε):");
+    println!("{t}");
+
+    // --- 2. Rounding attempts. ---
+    let mut t = Table::new(["attempts", "locality %", "max imbalance %"]);
+    for attempts in [1usize, 2, 8, 32] {
+        let gd = GdPartitioner::new(GdConfig {
+            iterations: 60,
+            rounding_attempts: attempts,
+            ..GdConfig::with_epsilon(0.03)
+        });
+        let p = gd.partition(&data.graph, &weights, 8, 3).expect("gd");
+        t.row([
+            attempts.to_string(),
+            pct(p.edge_locality(&data.graph)),
+            pct(p.max_imbalance(&weights)),
+        ]);
+    }
+    println!("rounding attempts (repair makes even a single attempt safe):");
+    println!("{t}");
+
+    // --- 3. Threads. ---
+    let mut t = Table::new(["threads", "wall time s", "speedup"]);
+    let mut base = None;
+    for threads in [1usize, 2, 4, 8] {
+        let gd = GdPartitioner::new(GdConfig {
+            iterations: 60,
+            threads,
+            ..GdConfig::with_epsilon(0.03)
+        });
+        let (_, d) = timed(|| gd.partition(&data.graph, &weights, 8, 3).expect("gd"));
+        let secs = d.as_secs_f64();
+        let speedup = match base {
+            None => {
+                base = Some(secs);
+                1.0
+            }
+            Some(b) => b / secs,
+        };
+        t.row([threads.to_string(), format!("{secs:.2}"), format!("{speedup:.2}x")]);
+    }
+    println!("gradient threads (the projection and bookkeeping stay sequential,");
+    println!("so Amdahl caps the speedup well below linear at this scale):");
+    println!("{t}");
+}

@@ -1,0 +1,75 @@
+//! Appendix C.2 (Figures 15–17): the convergence experiments of Figures
+//! 8–10 repeated on the Q&A proxy (sx-stackoverflow) next to LiveJournal —
+//! the largest SNAP graph that is *not* a social network.
+//!
+//! Paper result to reproduce: the same qualitative behaviour carries over
+//! (step 2ξ best, adaptive+fixing best and balanced, exact ≥ alternating),
+//! with faster convergence and lower final locality on the Q&A graph.
+
+use mdbgp_bench::curves::{print_imbalance_curves, print_locality_curves, run_curve};
+use mdbgp_bench::datasets;
+use mdbgp_core::{GdConfig, ProjectionMethod, StepSchedule};
+
+fn main() {
+    let qa = datasets::stackoverflow();
+    let lj = datasets::lj();
+
+    // --- Figure 16 analogue: step lengths. ---
+    println!("Figure 16 — fixed step lengths on the Q&A proxy");
+    for data in [&qa, &lj] {
+        let curves: Vec<_> = [10.0, 5.0, 2.0, 1.0]
+            .into_iter()
+            .map(|factor| {
+                let cfg = GdConfig {
+                    iterations: 100,
+                    step: StepSchedule::FixedLength { factor },
+                    fixing_threshold: None,
+                    ..GdConfig::with_epsilon(0.03)
+                };
+                run_curve(data, cfg, 71, &format!("step {factor}ξ"))
+            })
+            .collect();
+        print_locality_curves(data.name, &curves, 10);
+    }
+
+    // --- Figure 15 analogue: adaptivity + fixing. ---
+    println!("\nFigure 15 — adaptive step & vertex fixing on the Q&A proxy");
+    for data in [&qa, &lj] {
+        let base = GdConfig { iterations: 100, ..GdConfig::with_epsilon(0.03) };
+        // Constant γ as in fig9: 1/mean_degree scale, no adaptation.
+        let gamma = 0.05 / data.graph.mean_degree();
+        let curves = vec![
+            run_curve(
+                data,
+                GdConfig {
+                    step: StepSchedule::Constant { gamma },
+                    fixing_threshold: None,
+                    ..base.clone()
+                },
+                73,
+                "nonadaptive",
+            ),
+            run_curve(data, GdConfig { fixing_threshold: None, ..base.clone() }, 73, "adaptive"),
+            run_curve(data, base, 73, "adaptive+fixing"),
+        ];
+        print_locality_curves(data.name, &curves, 10);
+        print_imbalance_curves(data.name, &curves, 10);
+    }
+
+    // --- Figure 17 analogue: projection methods. ---
+    println!("\nFigure 17 — projection methods on the Q&A proxy");
+    for data in [&qa, &lj] {
+        let mut curves = Vec::new();
+        for eps in [0.1, 0.01, 0.001] {
+            let cfg = GdConfig {
+                iterations: 60,
+                projection: ProjectionMethod::Exact,
+                ..GdConfig::with_epsilon(eps)
+            };
+            curves.push(run_curve(data, cfg, 79, &format!("exact eps={eps}")));
+        }
+        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.01) };
+        curves.push(run_curve(data, cfg, 79, "alternating"));
+        print_locality_curves(data.name, &curves, 6);
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 11: scalability of GD — running time versus edge count on the
+//! FB-proxy size sweep (vertex+edge balance, k = 2, paper configuration).
+//!
+//! Paper result to reproduce: near-linear growth of the running time with
+//! the number of edges (the paper reports machine-hours on a 128-worker
+//! cluster; we report single-machine wall seconds on the scaled proxies
+//! and check the time-per-edge ratio stays flat).
+
+use mdbgp_bench::datasets;
+use mdbgp_bench::policies::{gd_paper, timed};
+use mdbgp_bench::table::Table;
+use mdbgp_graph::Partitioner;
+
+fn main() {
+    println!("Figure 11 — GD running time vs graph size (k = 2, 100 iterations)\n");
+    let mut table = Table::new([
+        "graph",
+        "vertices",
+        "edges",
+        "time s",
+        "us per edge",
+        "locality %",
+    ]);
+    let gd = gd_paper(0.03);
+    let mut per_edge: Vec<f64> = Vec::new();
+    for data in datasets::fb_sweep() {
+        let weights = data.vertex_edge_weights();
+        let (partition, t) =
+            timed(|| gd.partition(&data.graph, &weights, 2, 51).expect("partition"));
+        let m = data.graph.num_edges();
+        let us_per_edge = t.as_secs_f64() * 1e6 / m as f64;
+        per_edge.push(us_per_edge);
+        table.row([
+            data.name.to_string(),
+            data.graph.num_vertices().to_string(),
+            m.to_string(),
+            format!("{:.2}", t.as_secs_f64()),
+            format!("{us_per_edge:.2}"),
+            format!("{:.2}", partition.edge_locality(&data.graph) * 100.0),
+        ]);
+    }
+    println!("{table}");
+    let min = per_edge.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = per_edge.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "time-per-edge spread over a 16x size range: {:.2}x (linear scaling ⇒ ≈ 1x)",
+        max / min
+    );
+}

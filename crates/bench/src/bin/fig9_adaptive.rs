@@ -1,0 +1,52 @@
+//! Figure 9: the §3.2 implementation details ablated — (1) nonadaptive
+//! (constant γ), (2) adaptive step size, (3) adaptive + vertex fixing —
+//! on the LiveJournal and Orkut proxies. Both panels: edge locality and
+//! maximum fractional imbalance per iteration.
+//!
+//! Paper result to reproduce: adaptive + fixing reaches the best locality
+//! *and* holds near-perfect balance throughout, while the other variants
+//! accumulate imbalance that must be repaired at the end (the curves'
+//! final-iteration jump).
+
+use mdbgp_bench::curves::{print_imbalance_curves, print_locality_curves, run_curve, Curve};
+use mdbgp_bench::datasets::{self, Dataset};
+use mdbgp_core::{GdConfig, StepSchedule};
+
+fn variants(data: &Dataset) -> Vec<Curve> {
+    let base = GdConfig { iterations: 100, ..GdConfig::with_epsilon(0.03) };
+    // Constant γ chosen like a practitioner would without adaptivity:
+    // scaled by 1/mean_degree (the gradient's natural magnitude), large
+    // enough to escape the origin within the budget. The point of the
+    // figure is that no constant matches the adaptive schedule.
+    let gamma = 0.05 / data.graph.mean_degree();
+    vec![
+        run_curve(
+            data,
+            GdConfig {
+                step: StepSchedule::Constant { gamma },
+                fixing_threshold: None,
+                ..base.clone()
+            },
+            31,
+            "nonadaptive",
+        ),
+        run_curve(
+            data,
+            GdConfig { fixing_threshold: None, ..base.clone() },
+            31,
+            "adaptive",
+        ),
+        run_curve(data, base, 31, "adaptive+fixing"),
+    ]
+}
+
+fn main() {
+    println!("Figure 9 — adaptive step size and vertex fixing ablation");
+    for data in [datasets::lj(), datasets::orkut()] {
+        let curves = variants(&data);
+        print_locality_curves(data.name, &curves, 10);
+        print_imbalance_curves(data.name, &curves, 10);
+    }
+    println!("Paper's shape: adaptive+fixing wins on locality and keeps the");
+    println!("imbalance curve pinned near zero for the whole run.");
+}

@@ -1,0 +1,280 @@
+//! `mdbgp_cli` — command-line front end for the whole workspace.
+//!
+//! ```text
+//! mdbgp_cli generate  --model community --n 50000 --output g.txt
+//! mdbgp_cli partition --input g.txt --algo gd --k 8 --eps 0.03 \
+//!                     --dims unit,degree --output parts.txt
+//! mdbgp_cli evaluate  --input g.txt --partition parts.txt --dims unit,degree
+//! ```
+//!
+//! Graph formats: `text` (SNAP edge list), `metis`, `binary` (selected by
+//! `--format`, default `text`). Partitions are one part id per line.
+
+use mdbgp_baselines::{
+    BlpPartitioner, HashPartitioner, MetisPartitioner, ShpPartitioner, SpinnerPartitioner,
+};
+use mdbgp_core::{GdConfig, GdPartitioner, KWayGdPartitioner};
+use mdbgp_graph::gen;
+use mdbgp_graph::{io as gio, Graph, Partition, Partitioner, VertexWeights, WeightKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::process::ExitCode;
+
+/// Minimal `--key value` argument map.
+struct Args {
+    values: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(argv: &[String]) -> Result<Self, String> {
+        let mut values = HashMap::new();
+        let mut i = 0;
+        while i < argv.len() {
+            let key = argv[i]
+                .strip_prefix("--")
+                .ok_or_else(|| format!("expected --flag, got '{}'", argv[i]))?;
+            let value =
+                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            values.insert(key.to_string(), value);
+            i += 2;
+        }
+        Ok(Self { values })
+    }
+
+    fn req(&self, key: &str) -> Result<&str, String> {
+        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+    }
+
+    fn opt(&self, key: &str, default: &str) -> String {
+        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+    }
+
+    fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
+        match self.values.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+        }
+    }
+}
+
+/// Parses the `--dims` list into weight kinds.
+fn parse_dims(spec: &str) -> Result<Vec<WeightKind>, String> {
+    spec.split(',')
+        .map(|tok| match tok.trim() {
+            "unit" => Ok(WeightKind::Unit),
+            "degree" => Ok(WeightKind::Degree),
+            "ndsum" => Ok(WeightKind::NeighborDegreeSum),
+            "pagerank" => Ok(WeightKind::pagerank_default()),
+            other => Err(format!("unknown dimension '{other}' (unit|degree|ndsum|pagerank)")),
+        })
+        .collect()
+}
+
+fn load_graph(path: &str, format: &str) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+    match format {
+        "text" => gio::read_edge_list(file),
+        "metis" => gio::read_metis(file),
+        "binary" => gio::read_binary(file),
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    .map_err(|e| format!("read {path}: {e}"))
+}
+
+fn save_graph(graph: &Graph, path: &str, format: &str) -> Result<(), String> {
+    let file = std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?;
+    match format {
+        "text" => gio::write_edge_list(graph, file),
+        "metis" => gio::write_metis(graph, file),
+        "binary" => gio::write_binary(graph, file),
+        other => return Err(format!("unknown format '{other}'")),
+    }
+    .map_err(|e| format!("write {path}: {e}"))
+}
+
+fn cmd_generate(args: &Args) -> Result<(), String> {
+    let model = args.opt("model", "community");
+    let n: usize = args.num("n", 10_000)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let graph = match model.as_str() {
+        "community" => {
+            let mut cfg = gen::CommunityGraphConfig::social(n);
+            cfg.mean_degree = args.num("mean-degree", cfg.mean_degree)?;
+            cfg.mixing = args.num("mixing", cfg.mixing)?;
+            cfg.density_spread = args.num("density-spread", cfg.density_spread)?;
+            gen::community_graph(&cfg, &mut rng).graph
+        }
+        "rmat" => {
+            let scale = (n as f64).log2().ceil() as u32;
+            let ef: usize = args.num("edge-factor", 16)?;
+            gen::rmat(gen::RmatConfig::graph500(scale, ef), &mut rng)
+        }
+        "er" => {
+            let m: usize = args.num("edges", n * 8)?;
+            gen::erdos_renyi(n, m, &mut rng)
+        }
+        "ba" => {
+            let m: usize = args.num("attach", 8)?;
+            gen::barabasi_albert(n, m, &mut rng)
+        }
+        other => return Err(format!("unknown model '{other}' (community|rmat|er|ba)")),
+    };
+    let out = args.req("output")?;
+    save_graph(&graph, out, &args.opt("format", "text"))?;
+    println!(
+        "generated {model}: {} vertices, {} edges -> {out}",
+        graph.num_vertices(),
+        graph.num_edges()
+    );
+    Ok(())
+}
+
+fn cmd_partition(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.req("input")?, &args.opt("format", "text"))?;
+    let kinds = parse_dims(&args.opt("dims", "unit,degree"))?;
+    let weights = VertexWeights::build(&graph, &kinds);
+    let k: usize = args.num("k", 2)?;
+    let eps: f64 = args.num("eps", 0.03)?;
+    let seed: u64 = args.num("seed", 42)?;
+
+    let algo = args.opt("algo", "gd");
+    let gd = GdPartitioner::new(GdConfig::with_epsilon(eps));
+    let gd_kway = KWayGdPartitioner::new(GdConfig::with_epsilon(eps));
+    let hash = HashPartitioner;
+    let spinner = SpinnerPartitioner::default();
+    let blp = BlpPartitioner::default();
+    let shp = ShpPartitioner::default();
+    let metis = MetisPartitioner { epsilon: eps, ..MetisPartitioner::default() };
+    let partitioner: &dyn Partitioner = match algo.as_str() {
+        "gd" => &gd,
+        "gd-kway" => &gd_kway,
+        "hash" => &hash,
+        "spinner" => &spinner,
+        "blp" => &blp,
+        "shp" => &shp,
+        "metis" => &metis,
+        other => {
+            return Err(format!(
+                "unknown algorithm '{other}' (gd|gd-kway|hash|spinner|blp|shp|metis)"
+            ))
+        }
+    };
+
+    let start = std::time::Instant::now();
+    let partition =
+        partitioner.partition(&graph, &weights, k, seed).map_err(|e| e.to_string())?;
+    let elapsed = start.elapsed();
+    let q = partition.quality(&graph, &weights);
+    println!("{} in {:.2}s: {q}", partitioner.name(), elapsed.as_secs_f64());
+
+    if let Ok(out) = args.req("output") {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
+        );
+        for v in 0..partition.num_vertices() {
+            writeln!(file, "{}", partition.part_of(v as u32)).map_err(|e| e.to_string())?;
+        }
+        println!("wrote assignment -> {out}");
+    }
+    Ok(())
+}
+
+fn cmd_evaluate(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.req("input")?, &args.opt("format", "text"))?;
+    let kinds = parse_dims(&args.opt("dims", "unit,degree"))?;
+    let weights = VertexWeights::build(&graph, &kinds);
+
+    let ppath = args.req("partition")?;
+    let file = std::fs::File::open(ppath).map_err(|e| format!("open {ppath}: {e}"))?;
+    let mut parts = Vec::new();
+    for line in BufReader::new(file).lines() {
+        let line = line.map_err(|e| e.to_string())?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        parts.push(t.parse::<u32>().map_err(|e| format!("bad part id '{t}': {e}"))?);
+    }
+    if parts.len() != graph.num_vertices() {
+        return Err(format!(
+            "partition covers {} vertices but graph has {}",
+            parts.len(),
+            graph.num_vertices()
+        ));
+    }
+    let k = (*parts.iter().max().unwrap_or(&0) + 1) as usize;
+    let partition = Partition::new(parts, k);
+    let q = partition.quality(&graph, &weights);
+    println!("{q}");
+    println!("modularity: {:.4}", partition.modularity(&graph));
+    for (j, imb) in q.imbalance.iter().enumerate() {
+        println!("dimension {j}: imbalance {:.3}%", imb * 100.0);
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate> [--flag value]...
+  generate  --model community|rmat|er|ba --n N --output FILE
+            [--format text|metis|binary] [--seed S] [--mean-degree D]
+            [--mixing M] [--density-spread S] [--edges M] [--attach M]
+  partition --input FILE --algo gd|gd-kway|hash|spinner|blp|shp|metis
+            --k K [--eps E] [--dims unit,degree,ndsum,pagerank]
+            [--seed S] [--output PARTS] [--format text|metis|binary]
+  evaluate  --input FILE --partition PARTS [--dims ...]";
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::FAILURE;
+    };
+    let result = Args::parse(rest).and_then(|args| match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "partition" => cmd_partition(&args),
+        "evaluate" => cmd_evaluate(&args),
+        other => Err(format!("unknown command '{other}'\n{USAGE}")),
+    });
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Args {
+        Args::parse(&list.iter().map(|s| s.to_string()).collect::<Vec<_>>()).unwrap()
+    }
+
+    #[test]
+    fn arg_parsing_roundtrip() {
+        let a = args(&["--k", "8", "--eps", "0.05"]);
+        assert_eq!(a.req("k").unwrap(), "8");
+        assert_eq!(a.num::<usize>("k", 2).unwrap(), 8);
+        assert_eq!(a.num::<f64>("eps", 0.1).unwrap(), 0.05);
+        assert_eq!(a.num::<u64>("seed", 7).unwrap(), 7, "default applies");
+        assert!(a.req("missing").is_err());
+    }
+
+    #[test]
+    fn arg_parsing_rejects_malformed() {
+        assert!(Args::parse(&["k".to_string()]).is_err());
+        assert!(Args::parse(&["--k".to_string()]).is_err());
+    }
+
+    #[test]
+    fn dims_parser() {
+        let kinds = parse_dims("unit,degree,ndsum,pagerank").unwrap();
+        assert_eq!(kinds.len(), 4);
+        assert_eq!(kinds[0], WeightKind::Unit);
+        assert!(parse_dims("bogus").is_err());
+    }
+}

@@ -1,0 +1,86 @@
+//! Table 1: theoretical properties of the projection methods, verified
+//! empirically — output type (feasible point vs true projection) and
+//! running time.
+//!
+//! | method | paper's claim | empirical check |
+//! |---|---|---|
+//! | alternating | any x ∈ K, until convergence | feasibility only |
+//! | Dykstra | the projection, until convergence | matches exact |
+//! | exact (d ≤ 2) | the projection, O(n log^{d-1} n) | optimal + fastest |
+
+use mdbgp_bench::table::Table;
+use mdbgp_core::config::ProjectionMethod;
+use mdbgp_core::feasible::FeasibleRegion;
+use mdbgp_core::projection::project;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn instance(n: usize, d: usize, eps: f64, seed: u64) -> (Vec<f64>, FeasibleRegion) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights: Vec<Vec<f64>> =
+        (0..d).map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect()).collect();
+    // Biased upward so the balance slabs actually bind (an unbiased random
+    // point is almost surely already feasible and the projection trivial).
+    let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.2..3.8)).collect();
+    (y, FeasibleRegion::symmetric(weights, eps))
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+fn main() {
+    println!("Table 1 — projection method properties (n = 100k, ε = 0.01)\n");
+    const N: usize = 100_000;
+    const REPS: usize = 5;
+
+    for d in [1usize, 2] {
+        let mut table = Table::new([
+            "method",
+            "output",
+            "slab violation (rel)",
+            "excess dist vs exact",
+            "time ms",
+        ]);
+        for method in [
+            ProjectionMethod::OneShotAlternating,
+            ProjectionMethod::AlternatingConverged,
+            ProjectionMethod::Dykstra,
+            ProjectionMethod::Exact,
+        ] {
+            let mut worst_violation = 0.0f64;
+            let mut worst_excess = 0.0f64;
+            let mut total_ms = 0.0f64;
+            for rep in 0..REPS {
+                let (y, region) = instance(N, d, 0.01, 100 + rep as u64);
+                let exact = project(ProjectionMethod::Exact, &y, &region);
+                let start = Instant::now();
+                let x = project(method, &y, &region);
+                total_ms += start.elapsed().as_secs_f64() * 1e3;
+                worst_violation = worst_violation.max(region.max_violation(&x));
+                worst_excess = worst_excess.max(dist(&x, &y) - dist(&exact, &y));
+            }
+            let output = match method {
+                ProjectionMethod::OneShotAlternating => "near-feasible point",
+                ProjectionMethod::AlternatingConverged => "point of K",
+                ProjectionMethod::Dykstra => "the projection",
+                ProjectionMethod::Exact => "the projection",
+            };
+            table.row([
+                format!("{method:?}"),
+                output.to_string(),
+                format!("{worst_violation:.2e}"),
+                format!("{worst_excess:+.2e}"),
+                format!("{:.1}", total_ms / REPS as f64),
+            ]);
+        }
+        println!("d = {d}:\n{table}");
+    }
+    println!(
+        "Reading: Dykstra's excess distance vs the exact KKT solution is ~0\n\
+         (both find the projection); converged alternating lands in K but\n\
+         farther from y; one-shot trades a small residual violation for the\n\
+         lowest cost — the trade the paper makes in its default setting."
+    );
+}

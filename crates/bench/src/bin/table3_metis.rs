@@ -1,0 +1,77 @@
+//! Table 3 (Appendix C): GD versus METIS for multi-dimensional balance,
+//! d ∈ {2, 3, 4}, on the LiveJournal, Orkut and sx-stackoverflow proxies.
+//! Dimensions: vertices, degrees, sum of neighbour degrees, PageRank.
+//!
+//! Paper result to reproduce: METIS holds its 0.5% imbalance budget only
+//! for d = 2; at d = 3 and 4 its imbalance explodes (up to 38% in the
+//! paper) while GD stays within ε on every instance, usually with
+//! comparable or better locality.
+
+use mdbgp_baselines::MetisPartitioner;
+use mdbgp_bench::datasets;
+use mdbgp_bench::policies::{gd_paper, timed};
+use mdbgp_bench::table::{pct, Table};
+use mdbgp_graph::Partitioner;
+
+fn main() {
+    println!("Table 3 — GD vs METIS, multi-dimensional balance (k = 2)\n");
+    let metis = MetisPartitioner::default();
+    let gd = gd_paper(0.005); // match METIS's 0.5% budget
+
+    let mut table = Table::new([
+        "graph",
+        "d",
+        "GD locality %",
+        "METIS locality %",
+        "GD max imb %",
+        "METIS max imb %",
+        "GD mem MB",
+        "METIS mem MB",
+        "GD time s",
+        "METIS time s",
+    ]);
+
+    for data in [datasets::lj(), datasets::orkut(), datasets::stackoverflow()] {
+        for d in [2usize, 3, 4] {
+            let weights = data.weights_d(d);
+            let (gd_part, gd_t) =
+                timed(|| gd.partition(&data.graph, &weights, 2, 61).expect("GD"));
+            let (metis_out, metis_t) =
+                timed(|| metis.partition_with_stats(&data.graph, &weights, 2, 61).expect("METIS"));
+            let (metis_part, metis_stats) = metis_out;
+
+            // Analytic memory estimates: GD holds the graph, the weights,
+            // and ~4 n-sized f64 vectors (x, z, gradient, projection);
+            // METIS holds the multilevel hierarchy (measured).
+            const MB: f64 = 1024.0 * 1024.0;
+            let gd_mem = (data.graph.memory_bytes()
+                + weights.memory_bytes()
+                + 4 * 8 * data.graph.num_vertices()) as f64
+                / MB;
+            let metis_mem = (data.graph.memory_bytes()
+                + weights.memory_bytes()
+                + metis_stats.peak_memory_bytes) as f64
+                / MB;
+
+            table.row([
+                data.name.to_string(),
+                d.to_string(),
+                pct(gd_part.edge_locality(&data.graph)),
+                pct(metis_part.edge_locality(&data.graph)),
+                pct(gd_part.max_imbalance(&weights)),
+                pct(metis_part.max_imbalance(&weights)),
+                format!("{gd_mem:.1}"),
+                format!("{metis_mem:.1}"),
+                format!("{:.2}", gd_t.as_secs_f64()),
+                format!("{:.2}", metis_t.as_secs_f64()),
+            ]);
+            println!("{} d={d}: done", data.name);
+        }
+    }
+    println!("\n{table}");
+    println!(
+        "Paper's shape: at d = 2 METIS is competitive (often better\n\
+         locality); for d >= 3 METIS's max imbalance blows past its 0.5%\n\
+         budget while GD stays within epsilon on every instance."
+    );
+}

@@ -1,0 +1,111 @@
+//! Shared machinery for the per-iteration convergence figures
+//! (paper Figures 8–10 and their Appendix C.2 twins, Figures 15–17).
+
+use crate::datasets::Dataset;
+use crate::table::Table;
+use mdbgp_core::gd::{bipartition, IterationRecord, SplitTarget};
+use mdbgp_core::GdConfig;
+
+/// A labelled convergence trace.
+pub struct Curve {
+    pub label: String,
+    pub history: Vec<IterationRecord>,
+}
+
+/// Runs one GD bipartition with history tracking on the dataset's
+/// vertex+degree weights.
+pub fn run_curve(dataset: &Dataset, mut config: GdConfig, seed: u64, label: &str) -> Curve {
+    config.track_history = true;
+    let weights = dataset.vertex_edge_weights();
+    let res = bipartition(
+        &dataset.graph,
+        &weights,
+        &config,
+        &SplitTarget::half(config.epsilon),
+        seed,
+    )
+    .unwrap_or_else(|e| panic!("GD failed on {}: {e}", dataset.name));
+    Curve { label: label.to_string(), history: res.history }
+}
+
+fn checkpoint_rows(
+    curves: &[Curve],
+    stride: usize,
+    metric: impl Fn(&IterationRecord) -> f64,
+) -> Table {
+    let mut headers = vec!["iteration".to_string()];
+    headers.extend(curves.iter().map(|c| c.label.clone()));
+    let mut table = Table::new(headers);
+    let max_len = curves.iter().map(|c| c.history.len()).max().unwrap_or(0);
+    let mut t = 0;
+    while t < max_len {
+        let mut row = vec![t.to_string()];
+        for c in curves {
+            // Histories can end early when every vertex is fixed; carry the
+            // last value forward so the table reads like the paper's plots.
+            let rec = c.history.get(t).or_else(|| c.history.last());
+            row.push(rec.map_or("-".into(), |r| format!("{:.2}", metric(r))));
+        }
+        table.row(row);
+        t += stride;
+    }
+    // Always include the final iteration.
+    if max_len > 0 && (max_len - 1) % stride != 0 {
+        let mut row = vec![(max_len - 1).to_string()];
+        for c in curves {
+            let rec = c.history.last();
+            row.push(rec.map_or("-".into(), |r| format!("{:.2}", metric(r))));
+        }
+        table.row(row);
+    }
+    table
+}
+
+/// Prints edge-locality-vs-iteration checkpoints (the paper's left panels).
+pub fn print_locality_curves(title: &str, curves: &[Curve], stride: usize) {
+    println!("\n{title} — edge locality, %");
+    println!("{}", checkpoint_rows(curves, stride, |r| r.expected_locality * 100.0));
+}
+
+/// Prints max-imbalance-vs-iteration checkpoints (the right panels of
+/// Figures 9/15).
+pub fn print_imbalance_curves(title: &str, curves: &[Curve], stride: usize) {
+    println!("\n{title} — max fractional imbalance, %");
+    println!("{}", checkpoint_rows(curves, stride, |r| r.fractional_imbalance * 100.0));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets;
+
+    #[test]
+    fn run_curve_records_history() {
+        let mut d = datasets::lj();
+        // Shrink for test speed: take the first 2000 vertices.
+        let sub = mdbgp_graph::InducedSubgraph::extract(&d.graph, &(0..2000).collect::<Vec<_>>());
+        d.graph = sub.graph;
+        d.community.truncate(2000);
+        let cfg = GdConfig { iterations: 10, ..GdConfig::with_epsilon(0.05) };
+        let c = run_curve(&d, cfg, 1, "test");
+        assert_eq!(c.history.len(), 10);
+        assert_eq!(c.label, "test");
+    }
+
+    #[test]
+    fn checkpoint_table_includes_last_iteration() {
+        let rec = |i: usize| IterationRecord {
+            iteration: i,
+            expected_locality: 0.5 + i as f64 / 100.0,
+            fractional_imbalance: 0.0,
+            step_length: 1.0,
+            gamma: 0.1,
+            fixed_vertices: 0,
+        };
+        let c = Curve { label: "x".into(), history: (0..7).map(rec).collect() };
+        let t = checkpoint_rows(&[c], 5, |r| r.expected_locality);
+        let s = t.to_string();
+        assert!(s.contains("| 0 "), "{s}");
+        assert!(s.contains("| 6 "), "{s}");
+    }
+}

@@ -1,0 +1,176 @@
+//! Synthetic proxy datasets.
+//!
+//! The paper evaluates on SNAP graphs (LiveJournal, Orkut, Twitter,
+//! Friendster, sx-stackoverflow) and Facebook friendship subgraphs up to
+//! 800B edges. The proxies below are LFR-lite community graphs
+//! ([`mdbgp_graph::gen::community_graph`]) whose knobs are tuned per graph:
+//!
+//! | proxy | mimics | key property |
+//! |---|---|---|
+//! | `lj`  | LiveJournal (4.8M/43M)   | strong communities, moderate skew |
+//! | `orkut` | Orkut (3.1M/117M)      | dense, strong communities |
+//! | `twitter` | Twitter (41M/1.2B)   | extreme degree skew, weak communities |
+//! | `friendster` | Friendster (65M/1.8B) | large, moderate communities |
+//! | `stackoverflow` | sx-stackoverflow (2.6M/28M) | Q&A graph: skewed, weaker communities |
+//! | `fb(x)` | FB-3B/80B/400B         | sweepable size family |
+//!
+//! Sizes are scaled down ~100× so every experiment runs on a laptop in
+//! seconds-to-minutes; the *relationships* between algorithms (who wins,
+//! where balance breaks) are what the proxies preserve — see DESIGN.md.
+
+use mdbgp_graph::gen::{community_graph, CommunityGraph, CommunityGraphConfig};
+use mdbgp_graph::{Graph, VertexWeights, WeightKind};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A named proxy graph.
+pub struct Dataset {
+    pub name: &'static str,
+    pub graph: Graph,
+    /// Planted community labels (ground truth of the generator).
+    pub community: Vec<u32>,
+}
+
+impl Dataset {
+    fn from_community(name: &'static str, cg: CommunityGraph) -> Self {
+        Self { name, graph: cg.graph, community: cg.community }
+    }
+
+    /// The standard two balance dimensions (vertices + degrees).
+    pub fn vertex_edge_weights(&self) -> VertexWeights {
+        VertexWeights::vertex_edge(&self.graph)
+    }
+
+    /// `d`-dimensional weights used by the Table 3 experiments:
+    /// vertices, degrees, sum of neighbour degrees, PageRank.
+    pub fn weights_d(&self, d: usize) -> VertexWeights {
+        let kinds = [
+            WeightKind::Unit,
+            WeightKind::Degree,
+            WeightKind::NeighborDegreeSum,
+            WeightKind::pagerank_default(),
+        ];
+        assert!((1..=4).contains(&d));
+        VertexWeights::build(&self.graph, &kinds[..d])
+    }
+}
+
+fn make(
+    name: &'static str,
+    n: usize,
+    mean_degree: f64,
+    degree_exponent: f64,
+    mixing: f64,
+    density_spread: f64,
+    seed: u64,
+) -> Dataset {
+    let cfg = CommunityGraphConfig {
+        num_vertices: n,
+        mean_degree,
+        degree_exponent,
+        max_degree: (n / 12).max(32),
+        mixing,
+        community_exponent: 2.0,
+        min_community: (n / 250).max(8),
+        max_community: (n / 8).max(16),
+        density_spread,
+    };
+    Dataset::from_community(name, community_graph(&cfg, &mut StdRng::seed_from_u64(seed)))
+}
+
+/// LiveJournal proxy: strong communities, moderate skew.
+pub fn lj() -> Dataset {
+    make("LiveJournal*", 30_000, 17.0, 2.5, 0.10, 2.5, 0xA001)
+}
+
+/// Orkut proxy: denser, strong communities.
+pub fn orkut() -> Dataset {
+    make("orkut*", 20_000, 38.0, 2.4, 0.13, 2.0, 0xA002)
+}
+
+/// Twitter proxy: hub-dominated, weak community structure — the graph on
+/// which one-dimensional balancing falls apart (Figure 4).
+pub fn twitter() -> Dataset {
+    make("Twitter*", 25_000, 30.0, 1.95, 0.35, 4.0, 0xA003)
+}
+
+/// Friendster proxy.
+pub fn friendster() -> Dataset {
+    make("Friendster*", 40_000, 24.0, 2.4, 0.18, 2.5, 0xA004)
+}
+
+/// sx-stackoverflow proxy (Appendix C.2): not a social network — weaker
+/// communities, strong skew.
+pub fn stackoverflow() -> Dataset {
+    make("sx-stackoverflow*", 26_000, 21.0, 2.1, 0.30, 3.0, 0xA005)
+}
+
+/// Facebook friendship-graph family; `scale` 0/1/2 mimic FB-3B/80B/400B.
+pub fn fb(scale: usize) -> Dataset {
+    match scale {
+        0 => make("FB-3B*", 30_000, 18.0, 2.4, 0.14, 6.0, 0xB000),
+        1 => make("FB-80B*", 60_000, 22.0, 2.4, 0.15, 6.0, 0xB001),
+        2 => make("FB-400B*", 120_000, 26.0, 2.4, 0.16, 6.0, 0xB002),
+        _ => panic!("fb scale must be 0..=2"),
+    }
+}
+
+/// Size sweep for the Figure 11 scalability experiment: roughly doubling
+/// edge counts with fixed structure.
+pub fn fb_sweep() -> Vec<Dataset> {
+    let sizes = [20_000usize, 40_000, 80_000, 160_000, 320_000];
+    sizes
+        .iter()
+        .enumerate()
+        .map(|(i, &n)| {
+            let names = ["FB-sweep-1", "FB-sweep-2", "FB-sweep-3", "FB-sweep-4", "FB-sweep-5"];
+            make(names[i], n, 16.0, 2.4, 0.15, 3.0, 0xC000 + i as u64)
+        })
+        .collect()
+}
+
+/// The three public proxies of Figures 4–5.
+pub fn public_graphs() -> Vec<Dataset> {
+    vec![lj(), twitter(), friendster()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::analytics::degree_stats;
+
+    #[test]
+    fn proxies_have_requested_sizes() {
+        let d = lj();
+        assert_eq!(d.graph.num_vertices(), 30_000);
+        let mean = d.graph.mean_degree();
+        assert!((mean - 17.0).abs() < 5.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn twitter_proxy_is_most_skewed() {
+        let t = degree_stats(&twitter().graph).top1_percent_share;
+        let l = degree_stats(&lj().graph).top1_percent_share;
+        assert!(t > l, "twitter* skew {t} must exceed lj* skew {l}");
+    }
+
+    #[test]
+    fn fb_family_grows() {
+        let a = fb(0).graph.num_edges();
+        let b = fb(1).graph.num_edges();
+        assert!(b > a * 3 / 2);
+    }
+
+    #[test]
+    fn weights_d_dimensions() {
+        let d = lj();
+        for dim in 1..=4 {
+            assert_eq!(d.weights_d(dim).dims(), dim);
+        }
+    }
+
+    #[test]
+    fn datasets_are_deterministic() {
+        assert_eq!(lj().graph, lj().graph);
+    }
+}

@@ -1,0 +1,21 @@
+//! # mdbgp-bench — experiment harness
+//!
+//! One binary per table/figure of the paper (see `src/bin/`), plus the
+//! Criterion micro-benchmarks under `benches/`. The library part hosts the
+//! shared machinery:
+//!
+//! * [`datasets`] — the registry of scaled-down synthetic proxies standing
+//!   in for the paper's SNAP / Facebook graphs (see DESIGN.md for the
+//!   substitution rationale),
+//! * [`policies`] — the partitioning policies compared throughout §4
+//!   (hash / vertex / edge / vertex-edge and the baseline algorithms),
+//! * [`table`] — plain-text tables and bar charts that mimic the paper's
+//!   figures in a terminal.
+
+pub mod curves;
+pub mod datasets;
+pub mod policies;
+pub mod table;
+
+pub use datasets::Dataset;
+pub use policies::Policy;

@@ -1,0 +1,123 @@
+//! Plain-text tables and bar charts for the experiment binaries.
+
+/// A simple aligned text table.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// New table with column headers.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
+        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header count).
+    pub fn row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, cells: I) -> &mut Self {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.headers.len(), "row width mismatch");
+        self.rows.push(row);
+        self
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.headers.iter().map(|h| h.chars().count()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.chars().count());
+            }
+        }
+        w
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let w = self.widths();
+        let line = |f: &mut std::fmt::Formatter<'_>| {
+            write!(f, "+")?;
+            for width in &w {
+                write!(f, "{}+", "-".repeat(width + 2))?;
+            }
+            writeln!(f)
+        };
+        let row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            write!(f, "|")?;
+            for (cell, width) in cells.iter().zip(&w) {
+                write!(f, " {cell:<width$} |", width = width)?;
+            }
+            writeln!(f)
+        };
+        line(f)?;
+        row(f, &self.headers)?;
+        line(f)?;
+        for r in &self.rows {
+            row(f, r)?;
+        }
+        line(f)
+    }
+}
+
+/// Horizontal ASCII bar chart (the terminal analogue of the paper's bar
+/// figures). Values are scaled so the longest bar is `width` characters.
+pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
+    let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
+    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let mut out = String::new();
+    for (label, value) in entries {
+        let bar_len = if max > 0.0 {
+            ((value / max) * width as f64).round() as usize
+        } else {
+            0
+        };
+        out.push_str(&format!(
+            "{label:<label_w$} | {} {value:.2}\n",
+            "#".repeat(bar_len),
+            label_w = label_w
+        ));
+    }
+    out
+}
+
+/// Formats a fraction as the paper's percentage style (e.g. `87.7`).
+pub fn pct(fraction: f64) -> String {
+    format!("{:.2}", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["name", "value"]);
+        t.row(["a", "1"]).row(["long-name", "2.5"]);
+        let s = t.to_string();
+        assert!(s.contains("| name      | value |"), "{s}");
+        assert!(s.contains("| long-name | 2.5   |"), "{s}");
+        assert_eq!(s.lines().count(), 6, "{s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn table_rejects_ragged_rows() {
+        Table::new(["a", "b"]).row(["only-one"]);
+    }
+
+    #[test]
+    fn bars_scale_to_width() {
+        let s = bar_chart(
+            &[("x".to_string(), 1.0), ("y".to_string(), 2.0)],
+            10,
+        );
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].contains("#####"));
+        assert!(lines[1].contains("##########"));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(0.877), "87.70");
+        assert_eq!(pct(0.0), "0.00");
+    }
+}

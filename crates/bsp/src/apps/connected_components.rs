@@ -1,0 +1,123 @@
+//! Connected Components by min-label propagation (paper §4.2: "a simple
+//! label propagation technique in which vertices iteratively update their
+//! labels based on the minimum label of their neighbors"; converges within
+//! at most 50 rounds on their graphs).
+
+use crate::engine::{Context, VertexProgram};
+use mdbgp_graph::{Graph, VertexId};
+
+/// Min-label propagation; vertices go quiet once their label stabilizes,
+/// so the engine halts as soon as no messages are in flight.
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectedComponents {
+    /// Hard round limit (50 in the paper).
+    pub max_rounds: usize,
+}
+
+impl Default for ConnectedComponents {
+    fn default() -> Self {
+        Self { max_rounds: 50 }
+    }
+}
+
+impl VertexProgram for ConnectedComponents {
+    type State = u32;
+    type Message = u32;
+
+    fn init(&self, v: VertexId, _graph: &Graph) -> u32 {
+        v
+    }
+
+    fn compute(
+        &self,
+        ctx: &mut Context<'_, u32>,
+        v: VertexId,
+        state: &mut u32,
+        messages: &[u32],
+        graph: &Graph,
+        superstep: usize,
+    ) {
+        let improved = if superstep == 0 {
+            true // everyone announces its initial label
+        } else {
+            match messages.iter().min() {
+                Some(&m) if m < *state => {
+                    *state = m;
+                    true
+                }
+                _ => false,
+            }
+        };
+        if improved {
+            for &u in graph.neighbors(v) {
+                ctx.send(u, *state);
+            }
+        }
+    }
+
+    fn message_bytes(_m: &u32) -> usize {
+        4
+    }
+
+    fn max_supersteps(&self) -> usize {
+        self.max_rounds
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BspEngine, CostModel};
+    use mdbgp_graph::{analytics, gen, Partition};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matches_union_find_on_multi_component_graph() {
+        // Several ER components + isolated vertices.
+        let mut b = mdbgp_graph::GraphBuilder::new(120);
+        let blocks = [(0u32, 40u32), (40, 80), (80, 110)];
+        let mut rng = StdRng::seed_from_u64(3);
+        use rand::Rng;
+        for &(lo, hi) in &blocks {
+            for _ in 0..120 {
+                let u = rng.gen_range(lo..hi);
+                let v = rng.gen_range(lo..hi);
+                if u != v {
+                    b.add_edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let p = Partition::new((0..120).map(|v| (v % 3) as u32).collect(), 3);
+        let engine = BspEngine::new(&g, &p, CostModel::default());
+        let (_, labels) = engine.run(&ConnectedComponents::default());
+        let (reference, _) = analytics::connected_components(&g);
+        assert_eq!(labels, reference);
+    }
+
+    #[test]
+    fn converges_and_halts_early() {
+        let g = gen::two_cliques(10, 1);
+        let p = Partition::new(vec![0; 20], 1);
+        let engine = BspEngine::new(&g, &p, CostModel::default());
+        let (stats, labels) = engine.run(&ConnectedComponents::default());
+        assert!(labels.iter().all(|&l| l == 0), "single component");
+        assert!(
+            stats.num_supersteps() < 50,
+            "cliques converge fast, took {}",
+            stats.num_supersteps()
+        );
+    }
+
+    #[test]
+    fn round_limit_respected_on_long_paths() {
+        // A path of 100 needs ~100 rounds; a limit of 10 must cut it off.
+        let g = gen::path(100);
+        let p = Partition::new(vec![0; 100], 1);
+        let engine = BspEngine::new(&g, &p, CostModel::default());
+        let (stats, labels) = engine.run(&ConnectedComponents { max_rounds: 10 });
+        assert_eq!(stats.num_supersteps(), 10);
+        assert!(labels[99] > 0, "far end not yet relabeled");
+    }
+}

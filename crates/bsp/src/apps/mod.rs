@@ -1,0 +1,18 @@
+//! The four Giraph workloads of the paper's §4.2 evaluation.
+//!
+//! PageRank and Connected Components are the public benchmarks; Mutual
+//! Friends and Hypergraph Clustering stand in for the two Facebook
+//! production applications, which the paper characterizes only by their
+//! communication behaviour ("extensively exchange messages between
+//! adjacent vertices") — both proxies are neighbourhood-exchange programs
+//! with heavy messages.
+
+pub mod connected_components;
+pub mod hypergraph;
+pub mod mutual_friends;
+pub mod pagerank;
+
+pub use connected_components::ConnectedComponents;
+pub use hypergraph::HypergraphClustering;
+pub use mutual_friends::MutualFriends;
+pub use pagerank::PageRank;

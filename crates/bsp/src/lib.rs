@@ -1,0 +1,40 @@
+// Tight numeric loops in this crate frequently index several parallel
+// arrays at once; rewriting them with zipped iterators obscures the
+// kernels, so this pedantic lint is disabled crate-wide (perf lints stay).
+#![allow(clippy::needless_range_loop)]
+
+//! # mdbgp-bsp — a Giraph-like distributed graph processing simulator
+//!
+//! The paper's evaluation (Figures 1 and 7, Table 2) runs vertex-centric
+//! workloads on a Giraph cluster and measures how the graph partitioning
+//! policy moves per-worker superstep times and network traffic. We cannot
+//! ship a Hadoop cluster, so this crate simulates one at the level that
+//! matters for those experiments:
+//!
+//! * a **BSP engine** ([`BspEngine`]) executes [`VertexProgram`]s superstep
+//!   by superstep, routing messages between vertices, with each vertex
+//!   pinned to the worker its partition assigns;
+//! * a **cost model** ([`CostModel`]) converts each worker's measurable
+//!   work — vertices processed, edges scanned, local and remote message
+//!   bytes — into a modeled busy time. The BSP barrier makes the iteration
+//!   time the *maximum* busy time over workers, which is precisely the
+//!   mechanism behind the paper's observation that a single overloaded
+//!   worker drags the whole job;
+//! * **workloads** ([`apps`]): PageRank and Connected Components (the
+//!   public benchmarks), plus Mutual Friends and a Hypergraph Clustering
+//!   proxy standing in for the two Facebook-internal applications — both
+//!   are neighbourhood-exchange programs with heavy messages, matching the
+//!   communication pattern the paper describes.
+//!
+//! Everything is deterministic: the simulated times depend only on the
+//! graph, the partition and the cost constants (documented in
+//! [`cost`]), never on wall-clock noise.
+
+pub mod apps;
+pub mod cost;
+pub mod engine;
+pub mod stats;
+
+pub use cost::CostModel;
+pub use engine::{BspEngine, Context, VertexProgram};
+pub use stats::{JobStats, SuperstepStats, WorkerStats};

@@ -1,0 +1,201 @@
+//! Per-worker and per-superstep statistics — the raw material of the
+//! paper's Figure 1 (worker time histogram), Figure 7 (job speedups) and
+//! Table 2 (runtime and communication mean/max/stdev).
+
+/// Counters and modeled busy time of one worker in one superstep.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct WorkerStats {
+    pub vertices_processed: usize,
+    pub edges_scanned: usize,
+    pub local_messages: usize,
+    pub remote_messages: usize,
+    pub local_bytes: usize,
+    pub remote_bytes_sent: usize,
+    pub remote_bytes_received: usize,
+    /// Modeled busy time (cost-model units).
+    pub busy_time: f64,
+}
+
+/// One superstep across all workers.
+#[derive(Clone, Debug)]
+pub struct SuperstepStats {
+    pub workers: Vec<WorkerStats>,
+    /// Iteration time: max busy time + barrier (BSP semantics).
+    pub time: f64,
+}
+
+impl SuperstepStats {
+    /// Mean busy time over workers.
+    pub fn mean_busy(&self) -> f64 {
+        if self.workers.is_empty() {
+            return 0.0;
+        }
+        self.workers.iter().map(|w| w.busy_time).sum::<f64>() / self.workers.len() as f64
+    }
+
+    /// Max busy time over workers.
+    pub fn max_busy(&self) -> f64 {
+        self.workers.iter().map(|w| w.busy_time).fold(0.0, f64::max)
+    }
+}
+
+/// A whole job run.
+#[derive(Clone, Debug)]
+pub struct JobStats {
+    pub supersteps: Vec<SuperstepStats>,
+    pub num_workers: usize,
+}
+
+impl JobStats {
+    /// Total modeled runtime: Σ per-superstep iteration times.
+    pub fn total_time(&self) -> f64 {
+        self.supersteps.iter().map(|s| s.time).sum()
+    }
+
+    /// Number of supersteps executed.
+    pub fn num_supersteps(&self) -> usize {
+        self.supersteps.len()
+    }
+
+    /// Per-worker busy time averaged over supersteps (the bars of Fig. 1).
+    pub fn worker_mean_times(&self) -> Vec<f64> {
+        let mut acc = vec![0.0f64; self.num_workers];
+        for s in &self.supersteps {
+            for (a, w) in acc.iter_mut().zip(&s.workers) {
+                *a += w.busy_time;
+            }
+        }
+        let steps = self.supersteps.len().max(1) as f64;
+        acc.iter_mut().for_each(|a| *a /= steps);
+        acc
+    }
+
+    /// (mean, max, stdev) of per-superstep worker busy times, averaged over
+    /// supersteps — the "Runtime" columns of Table 2.
+    pub fn runtime_summary(&self) -> (f64, f64, f64) {
+        if self.supersteps.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mut means = 0.0;
+        let mut maxes = 0.0;
+        let mut stdevs = 0.0;
+        for s in &self.supersteps {
+            let mean = s.mean_busy();
+            means += mean;
+            maxes += s.max_busy();
+            let var = s
+                .workers
+                .iter()
+                .map(|w| (w.busy_time - mean) * (w.busy_time - mean))
+                .sum::<f64>()
+                / s.workers.len().max(1) as f64;
+            stdevs += var.sqrt();
+        }
+        let n = self.supersteps.len() as f64;
+        (means / n, maxes / n, stdevs / n)
+    }
+
+    /// (mean, max, stdev) of per-worker total remote traffic in bytes
+    /// (sent + received) — the "Communication" columns of Table 2.
+    pub fn communication_summary(&self) -> (f64, f64, f64) {
+        let mut per_worker = vec![0.0f64; self.num_workers];
+        for s in &self.supersteps {
+            for (acc, w) in per_worker.iter_mut().zip(&s.workers) {
+                *acc += (w.remote_bytes_sent + w.remote_bytes_received) as f64;
+            }
+        }
+        if per_worker.is_empty() {
+            return (0.0, 0.0, 0.0);
+        }
+        let mean = per_worker.iter().sum::<f64>() / per_worker.len() as f64;
+        let max = per_worker.iter().fold(0.0f64, |a, &b| a.max(b));
+        let var = per_worker.iter().map(|&t| (t - mean) * (t - mean)).sum::<f64>()
+            / per_worker.len() as f64;
+        (mean, max, var.sqrt())
+    }
+
+    /// Fraction of messages delivered locally over the whole job — the
+    /// locality percentage annotated on Figure 1.
+    pub fn local_message_fraction(&self) -> f64 {
+        let (mut local, mut total) = (0usize, 0usize);
+        for s in &self.supersteps {
+            for w in &s.workers {
+                local += w.local_messages;
+                total += w.local_messages + w.remote_messages;
+            }
+        }
+        if total == 0 {
+            1.0
+        } else {
+            local as f64 / total as f64
+        }
+    }
+
+    /// Total remote bytes over the whole job.
+    pub fn total_remote_bytes(&self) -> usize {
+        self.supersteps
+            .iter()
+            .flat_map(|s| s.workers.iter())
+            .map(|w| w.remote_bytes_sent)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> JobStats {
+        let mk = |busy: &[f64]| SuperstepStats {
+            workers: busy
+                .iter()
+                .map(|&b| WorkerStats {
+                    busy_time: b,
+                    local_messages: 3,
+                    remote_messages: 1,
+                    remote_bytes_sent: 8,
+                    remote_bytes_received: 8,
+                    ..WorkerStats::default()
+                })
+                .collect(),
+            time: busy.iter().fold(0.0f64, |a, &b| a.max(b)) + 1.0,
+        };
+        JobStats { supersteps: vec![mk(&[1.0, 3.0]), mk(&[2.0, 2.0])], num_workers: 2 }
+    }
+
+    #[test]
+    fn total_time_sums_barriered_maxima() {
+        assert!((job().total_time() - (4.0 + 3.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worker_means_average_supersteps() {
+        assert_eq!(job().worker_mean_times(), vec![1.5, 2.5]);
+    }
+
+    #[test]
+    fn runtime_summary_matches_hand_computation() {
+        let (mean, max, stdev) = job().runtime_summary();
+        assert!((mean - 2.0).abs() < 1e-12);
+        assert!((max - 2.5).abs() < 1e-12);
+        assert!((stdev - 0.5).abs() < 1e-12, "stdev {stdev}");
+    }
+
+    #[test]
+    fn communication_and_locality() {
+        let j = job();
+        let (mean, max, _) = j.communication_summary();
+        assert_eq!(mean, 32.0);
+        assert_eq!(max, 32.0);
+        assert!((j.local_message_fraction() - 0.75).abs() < 1e-12);
+        assert_eq!(j.total_remote_bytes(), 32);
+    }
+
+    #[test]
+    fn empty_job_is_zeroes() {
+        let j = JobStats { supersteps: Vec::new(), num_workers: 0 };
+        assert_eq!(j.total_time(), 0.0);
+        assert_eq!(j.runtime_summary(), (0.0, 0.0, 0.0));
+        assert_eq!(j.local_message_fraction(), 1.0);
+    }
+}

@@ -1,0 +1,239 @@
+//! The feasible region `K = B∞ ∩ ⋂_j S_j` of the relaxation.
+//!
+//! `B∞ = [-1, 1]^n` and each `S_j = { x : ⟨w^(j), x⟩ ∈ [lo_j, hi_j] }` is a
+//! slab. The paper uses symmetric slabs `|⟨w, x⟩| ≤ ε·w(V)`; we keep general
+//! centres so recursive bisection can target unequal splits
+//! `⌈k/2⌉ : ⌊k/2⌋` (paper §3.3), and so vertex fixing can re-centre the
+//! constraints of the reduced problem on the free variables (§3.2).
+
+/// The balance slabs (the cube is implicit — every projection handles it).
+#[derive(Clone, Debug)]
+pub struct FeasibleRegion {
+    /// `weights[j]` — the weight vector of dimension `j` (strictly
+    /// positive entries), all of equal length `n`.
+    weights: Vec<Vec<f64>>,
+    /// Slab centres `c_j`.
+    centers: Vec<f64>,
+    /// Slab half-widths `b_j ≥ 0`; dimension `j` requires
+    /// `⟨w_j, x⟩ ∈ [c_j − b_j, c_j + b_j]`.
+    halfwidths: Vec<f64>,
+}
+
+impl FeasibleRegion {
+    /// Builds a region from raw parts.
+    ///
+    /// # Panics
+    /// Panics on inconsistent dimensions, non-positive weights, or negative
+    /// half-widths.
+    pub fn new(weights: Vec<Vec<f64>>, centers: Vec<f64>, halfwidths: Vec<f64>) -> Self {
+        assert!(!weights.is_empty(), "at least one dimension");
+        assert_eq!(weights.len(), centers.len());
+        assert_eq!(weights.len(), halfwidths.len());
+        let n = weights[0].len();
+        for (j, w) in weights.iter().enumerate() {
+            assert_eq!(w.len(), n, "dimension {j} length mismatch");
+            assert!(w.iter().all(|&v| v > 0.0 && v.is_finite()), "weights must be positive");
+        }
+        assert!(halfwidths.iter().all(|&b| b >= 0.0 && b.is_finite()));
+        Self { weights, centers, halfwidths }
+    }
+
+    /// The paper's standard symmetric region: `|⟨w_j, x⟩| ≤ ε·Σ_i w_j(i)`.
+    pub fn symmetric(weights: Vec<Vec<f64>>, epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0);
+        let halfwidths = weights.iter().map(|w| epsilon * w.iter().sum::<f64>()).collect();
+        let centers = vec![0.0; weights.len()];
+        Self::new(weights, centers, halfwidths)
+    }
+
+    /// Number of balance dimensions `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Number of variables `n`.
+    #[inline]
+    pub fn num_vars(&self) -> usize {
+        self.weights[0].len()
+    }
+
+    /// Weight vector of dimension `j`.
+    #[inline]
+    pub fn weight(&self, j: usize) -> &[f64] {
+        &self.weights[j]
+    }
+
+    /// Slab centre of dimension `j`.
+    #[inline]
+    pub fn center(&self, j: usize) -> f64 {
+        self.centers[j]
+    }
+
+    /// Slab lower bound `c_j − b_j`.
+    #[inline]
+    pub fn lower(&self, j: usize) -> f64 {
+        self.centers[j] - self.halfwidths[j]
+    }
+
+    /// Slab upper bound `c_j + b_j`.
+    #[inline]
+    pub fn upper(&self, j: usize) -> f64 {
+        self.centers[j] + self.halfwidths[j]
+    }
+
+    /// Total weight `Σ_i w_j(i)` of dimension `j` — also the max of
+    /// `|⟨w_j, x⟩|` over the cube, so feasibility requires
+    /// `lower(j) ≤ total(j)` and `upper(j) ≥ -total(j)`.
+    pub fn total(&self, j: usize) -> f64 {
+        self.weights[j].iter().sum()
+    }
+
+    /// `⟨w_j, x⟩`.
+    pub fn dot(&self, j: usize, x: &[f64]) -> f64 {
+        debug_assert_eq!(x.len(), self.num_vars());
+        self.weights[j].iter().zip(x).map(|(w, v)| w * v).sum()
+    }
+
+    /// Signed distance of `⟨w_j, x⟩` outside the slab (0 inside; positive
+    /// above the upper bound; negative below the lower bound).
+    pub fn slab_excess(&self, j: usize, x: &[f64]) -> f64 {
+        let s = self.dot(j, x);
+        if s > self.upper(j) {
+            s - self.upper(j)
+        } else if s < self.lower(j) {
+            s - self.lower(j)
+        } else {
+            0.0
+        }
+    }
+
+    /// Largest slab violation over all dimensions, normalized by the total
+    /// weight of the dimension (so it is comparable to ε).
+    pub fn max_violation(&self, x: &[f64]) -> f64 {
+        (0..self.dims())
+            .map(|j| self.slab_excess(j, x).abs() / self.total(j).max(f64::MIN_POSITIVE))
+            .fold(0.0, f64::max)
+    }
+
+    /// Whether `x` lies in the cube and every slab, with absolute tolerance
+    /// `tol` on the cube and `tol·total(j)` on slab `j`.
+    pub fn contains(&self, x: &[f64], tol: f64) -> bool {
+        x.iter().all(|&v| v.abs() <= 1.0 + tol)
+            && (0..self.dims())
+                .all(|j| self.slab_excess(j, x).abs() <= tol * self.total(j).max(1.0))
+    }
+
+    /// Whether the region itself is non-empty: each slab must intersect the
+    /// achievable range `[-total(j), total(j)]` of `⟨w_j, x⟩` over the cube.
+    /// (Pairwise slab compatibility is necessary but checked per-dimension
+    /// only — the paper notes mutually contradictory weight functions can
+    /// make instances infeasible; those surface as projection failures.)
+    pub fn per_dim_feasible(&self) -> bool {
+        (0..self.dims()).all(|j| {
+            let t = self.total(j);
+            self.lower(j) <= t + 1e-12 && self.upper(j) >= -t - 1e-12
+        })
+    }
+
+    /// Restricts the region to a subset of variables, shifting each slab by
+    /// the contribution of the removed (fixed) variables. `keep[i]` is the
+    /// index of retained variable `i`; `fixed_dot[j]` is `Σ_{i fixed}
+    /// w_j(i)·x_i`.
+    pub fn restrict(&self, keep: &[u32], fixed_dot: &[f64]) -> Self {
+        assert_eq!(fixed_dot.len(), self.dims());
+        let weights: Vec<Vec<f64>> = self
+            .weights
+            .iter()
+            .map(|w| keep.iter().map(|&i| w[i as usize]).collect())
+            .collect();
+        let centers =
+            self.centers.iter().zip(fixed_dot).map(|(c, f)| c - f).collect();
+        Self::new(weights, centers, self.halfwidths.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region() -> FeasibleRegion {
+        // Two dims over 4 vars: unit weights and "degree-ish" weights.
+        FeasibleRegion::symmetric(
+            vec![vec![1.0; 4], vec![2.0, 1.0, 1.0, 2.0]],
+            0.25,
+        )
+    }
+
+    #[test]
+    fn bounds_from_epsilon() {
+        let r = region();
+        assert_eq!(r.dims(), 2);
+        assert_eq!(r.num_vars(), 4);
+        assert_eq!(r.total(0), 4.0);
+        assert_eq!(r.upper(0), 1.0);
+        assert_eq!(r.lower(0), -1.0);
+        assert_eq!(r.upper(1), 1.5);
+    }
+
+    #[test]
+    fn contains_and_violation() {
+        let r = region();
+        let x = [0.5, -0.5, 0.5, -0.5];
+        assert!(r.contains(&x, 1e-12));
+        assert_eq!(r.max_violation(&x), 0.0);
+
+        let y = [1.0, 1.0, 1.0, 1.0]; // ⟨w0,y⟩ = 4 > 1
+        assert!(!r.contains(&y, 1e-12));
+        assert!((r.slab_excess(0, &y) - 3.0).abs() < 1e-12);
+        assert!(r.max_violation(&y) > 0.7);
+    }
+
+    #[test]
+    fn cube_violation_detected() {
+        let r = region();
+        let x = [1.5, -0.9, 0.0, -0.5];
+        assert!(!r.contains(&x, 1e-9));
+    }
+
+    #[test]
+    fn restrict_shifts_centers() {
+        let r = region();
+        // Fix variables 0 and 3 at +1 and −1.
+        let fixed_dot = vec![1.0 * 1.0 + -1.0, 2.0 * 1.0 + -2.0];
+        let sub = r.restrict(&[1, 2], &fixed_dot);
+        assert_eq!(sub.num_vars(), 2);
+        assert_eq!(sub.center(0), 0.0, "symmetric fixing cancels");
+        assert_eq!(sub.weight(1), &[1.0, 1.0]);
+        // Half-widths are inherited unchanged.
+        assert_eq!(sub.upper(0) - sub.lower(0), r.upper(0) - r.lower(0));
+    }
+
+    #[test]
+    fn restrict_asymmetric_fixing() {
+        let r = region();
+        let fixed_dot = vec![2.0, 4.0]; // both fixed at +1
+        let sub = r.restrict(&[1, 2], &fixed_dot);
+        assert_eq!(sub.center(0), -2.0);
+        assert_eq!(sub.upper(0), -1.0);
+        // Dim 0 alone would be feasible (slab [−3, −1] meets [−2, 2]), but
+        // dim 1's slab [−5.5, −2.5] misses its achievable range [−2, 2]:
+        // fixing the two heavy vertices on the same side is detected as
+        // infeasible, which is exactly what ActiveSet::try_fix prevents.
+        assert!(!sub.per_dim_feasible());
+    }
+
+    #[test]
+    fn per_dim_feasibility() {
+        let r = FeasibleRegion::new(vec![vec![1.0, 1.0]], vec![1.5], vec![0.1]);
+        assert!(r.per_dim_feasible());
+        let bad = FeasibleRegion::new(vec![vec![1.0, 1.0]], vec![3.0], vec![0.5]);
+        assert!(!bad.per_dim_feasible());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_weights() {
+        FeasibleRegion::symmetric(vec![vec![1.0, 0.0]], 0.1);
+    }
+}

@@ -1,0 +1,490 @@
+//! The GD main loop (paper Algorithm 1 + the §3.2 implementation details).
+//!
+//! Per iteration: Gaussian noise (first iteration only by default), a
+//! gradient ascent step `y = z + γ_t A z`, and a projection back onto the
+//! feasible region. On top of the bare algorithm this module implements:
+//!
+//! * **adaptive step size** — γ_t chosen so the *realized* step
+//!   `‖x(t+1) − x(t)‖₂` stays close to a constant target (`2·√n/I` by
+//!   default), with bounded retries when the projection eats the step;
+//! * **vertex fixing** — near-integral coordinates are frozen at ±1,
+//!   removed from the active variable set and folded into the balance
+//!   targets of the reduced region, keeping the gradient from being
+//!   dominated by already-decided vertices;
+//! * a final run of alternating projections to convergence, followed by
+//!   balanced randomized rounding.
+
+use crate::config::{GdConfig, StepSchedule};
+use crate::feasible::FeasibleRegion;
+use crate::matvec::{expected_locality, matvec_parallel};
+use crate::noise::add_gaussian_noise;
+use crate::projection::{alternating, project};
+use crate::rounding::round_balanced;
+use mdbgp_graph::{Graph, PartitionError, VertexWeights};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// The bipartition target: part `V_1` (sign +1) should receive `fraction`
+/// of every weight dimension, within relative tolerance `epsilon`.
+///
+/// In the ±1 formulation `⟨w, x⟩ = w(V_1) − w(V_2)`, so the slab for
+/// dimension `j` has centre `(2·fraction − 1)·w(V)` and half-width
+/// `2·min(fraction, 1 − fraction)·ε·w(V)` (both parts must stay within
+/// `(1 ± ε)` of their share — the tighter of the two constraints wins).
+#[derive(Clone, Copy, Debug)]
+pub struct SplitTarget {
+    pub fraction: f64,
+    pub epsilon: f64,
+}
+
+impl SplitTarget {
+    /// Even split, the paper's standard setting.
+    pub fn half(epsilon: f64) -> Self {
+        Self { fraction: 0.5, epsilon }
+    }
+
+    /// Uneven split for recursive partitioning into non-power-of-two `k`.
+    pub fn new(fraction: f64, epsilon: f64) -> Self {
+        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(epsilon >= 0.0);
+        Self { fraction, epsilon }
+    }
+
+    /// Slab centre for a dimension with total weight `total`.
+    pub fn center(&self, total: f64) -> f64 {
+        (2.0 * self.fraction - 1.0) * total
+    }
+
+    /// Slab half-width for a dimension with total weight `total`.
+    pub fn halfwidth(&self, total: f64) -> f64 {
+        2.0 * self.fraction.min(1.0 - self.fraction) * self.epsilon * total
+    }
+
+    /// Builds the feasible region for `weights` under this target.
+    pub fn region(&self, weights: &VertexWeights) -> FeasibleRegion {
+        let w: Vec<Vec<f64>> = (0..weights.dims()).map(|j| weights.dim(j).to_vec()).collect();
+        let centers = (0..weights.dims()).map(|j| self.center(weights.total(j))).collect();
+        let halfwidths =
+            (0..weights.dims()).map(|j| self.halfwidth(weights.total(j))).collect();
+        FeasibleRegion::new(w, centers, halfwidths)
+    }
+}
+
+/// Per-iteration telemetry (Figures 8–10 plot these curves).
+#[derive(Clone, Debug)]
+pub struct IterationRecord {
+    pub iteration: usize,
+    /// Expected edge locality of the current fractional iterate.
+    pub expected_locality: f64,
+    /// `max_j |⟨w_j, x⟩ − c_j| / w_j(V)` — the fractional analogue of the
+    /// partition imbalance.
+    pub fractional_imbalance: f64,
+    /// Realized step `‖x(t+1) − x(t)‖₂`.
+    pub step_length: f64,
+    /// Gradient multiplier γ_t used this iteration.
+    pub gamma: f64,
+    /// Number of vertices fixed at ±1 so far.
+    pub fixed_vertices: usize,
+}
+
+/// Output of one GD bipartition run.
+#[derive(Clone, Debug)]
+pub struct BipartitionResult {
+    /// ±1 assignment (`+1 → V_1`).
+    pub signs: Vec<i8>,
+    /// Final fractional iterate (before rounding).
+    pub x: Vec<f64>,
+    /// Per-iteration records (empty unless `config.track_history`).
+    pub history: Vec<IterationRecord>,
+    /// Normalized balance violation of `signs` (0.0 = ε-balanced).
+    pub violation: f64,
+}
+
+/// State of the active-variable bookkeeping for vertex fixing.
+struct ActiveSet {
+    /// `free[i]` — original index of reduced variable `i`.
+    free: Vec<u32>,
+    /// Fixed flag per original vertex.
+    fixed: Vec<bool>,
+    /// `Σ_{fixed i} w_j(i)·x_i` per dimension.
+    fixed_dot: Vec<f64>,
+    /// `Σ_{free i} w_j(i)` per dimension.
+    free_total: Vec<f64>,
+}
+
+impl ActiveSet {
+    fn new(n: usize, region: &FeasibleRegion) -> Self {
+        Self {
+            free: (0..n as u32).collect(),
+            fixed: vec![false; n],
+            fixed_dot: vec![0.0; region.dims()],
+            free_total: (0..region.dims()).map(|j| region.total(j)).collect(),
+        }
+    }
+
+    fn num_fixed(&self) -> usize {
+        self.fixed.len() - self.free.len()
+    }
+
+    /// Attempts to fix vertex `v` at `sign`, keeping every reduced slab
+    /// reachable. Returns whether the vertex was fixed.
+    fn try_fix(&mut self, v: u32, sign: f64, region: &FeasibleRegion) -> bool {
+        debug_assert!(!self.fixed[v as usize]);
+        let d = region.dims();
+        for j in 0..d {
+            let w = region.weight(j)[v as usize];
+            let new_dot = self.fixed_dot[j] + w * sign;
+            let new_total = self.free_total[j] - w;
+            let lo = region.lower(j) - new_dot;
+            let hi = region.upper(j) - new_dot;
+            // The free variables can realize any value in [−new_total,
+            // new_total]; the shifted slab must intersect it.
+            if lo > new_total + 1e-12 || hi < -new_total - 1e-12 {
+                return false;
+            }
+        }
+        self.fixed[v as usize] = true;
+        for j in 0..d {
+            let w = region.weight(j)[v as usize];
+            self.fixed_dot[j] += w * sign;
+            self.free_total[j] -= w;
+        }
+        true
+    }
+
+    /// Rebuilds the free-index list after fixing.
+    fn rebuild_free(&mut self) {
+        self.free = (0..self.fixed.len() as u32).filter(|&v| !self.fixed[v as usize]).collect();
+    }
+}
+
+/// Runs GD on `graph` with the given split target, producing a ±1
+/// assignment. This is the inner engine; use
+/// [`crate::recursive::GdPartitioner`] for the full k-way API.
+pub fn bipartition(
+    graph: &Graph,
+    weights: &VertexWeights,
+    config: &GdConfig,
+    target: &SplitTarget,
+    seed: u64,
+) -> Result<BipartitionResult, PartitionError> {
+    config.validate().map_err(PartitionError::Config)?;
+    let n = graph.num_vertices();
+    if weights.num_vertices() != n {
+        return Err(PartitionError::DimensionMismatch {
+            weights_n: weights.num_vertices(),
+            graph_n: n,
+        });
+    }
+    if n == 0 {
+        return Ok(BipartitionResult {
+            signs: Vec::new(),
+            x: Vec::new(),
+            history: Vec::new(),
+            violation: 0.0,
+        });
+    }
+
+    let region = target.region(weights);
+    if !region.per_dim_feasible() {
+        return Err(PartitionError::Infeasible(
+            "balance slab unreachable for some weight dimension".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut x = vec![0.0f64; n];
+    let mut grad = vec![0.0f64; n];
+    let mut active = ActiveSet::new(n, &region);
+    let mut reduced = region.restrict(&active.free, &active.fixed_dot);
+    let mut history = Vec::new();
+
+    let target_len_full = config.step.target_length(n, config.iterations);
+
+    for t in 0..config.iterations {
+        // --- Step 1: noise (escapes the saddle at x = 0). ---
+        let std = config.noise.std_at(t);
+        let mut z = x.clone();
+        if std > 0.0 {
+            // Perturb only free coordinates so fixed vertices stay integral.
+            let mut noise_buf = vec![0.0f64; active.free.len()];
+            add_gaussian_noise(&mut noise_buf, std, &mut rng);
+            for (slot, &v) in noise_buf.iter().zip(&active.free) {
+                z[v as usize] += slot;
+            }
+        }
+
+        // --- Step 2: gradient ∇f(z) = A z. ---
+        matvec_parallel(graph, &z, &mut grad, config.threads);
+
+        let grad_free_norm: f64 = active
+            .free
+            .iter()
+            .map(|&v| grad[v as usize] * grad[v as usize])
+            .sum::<f64>()
+            .sqrt();
+
+        // Free-subspace step-length target: can't move farther than the
+        // diameter of the remaining cube.
+        let cap = 2.0 * (active.free.len() as f64).sqrt();
+        let step_target = target_len_full.map(|l| l.min(cap));
+
+        let mut gamma = match config.step {
+            StepSchedule::Constant { gamma } => gamma,
+            StepSchedule::FixedLength { .. } => {
+                let t_len = step_target.unwrap();
+                if grad_free_norm > 1e-30 {
+                    t_len / grad_free_norm
+                } else {
+                    1.0
+                }
+            }
+        };
+
+        // --- Step 3: projection, with adaptive retries (§3.2): if the
+        // projection swallowed the step, enlarge γ and retry. ---
+        let mut x_new_free: Vec<f64>;
+        let mut step_len: f64;
+        let mut retries = 0;
+        loop {
+            let y_free: Vec<f64> = active
+                .free
+                .iter()
+                .map(|&v| z[v as usize] + gamma * grad[v as usize])
+                .collect();
+            x_new_free = project(config.projection, &y_free, &reduced);
+            step_len = active
+                .free
+                .iter()
+                .zip(&x_new_free)
+                .map(|(&v, &nv)| {
+                    let dv = nv - x[v as usize];
+                    dv * dv
+                })
+                .sum::<f64>()
+                .sqrt();
+            match step_target {
+                Some(t_len)
+                    if step_len < 0.5 * t_len && retries < 3 && grad_free_norm > 1e-30 =>
+                {
+                    gamma *= (t_len / step_len.max(t_len / 16.0)).min(8.0);
+                    retries += 1;
+                }
+                _ => break,
+            }
+        }
+        for (&v, &nv) in active.free.iter().zip(&x_new_free) {
+            x[v as usize] = nv;
+        }
+
+        // --- Vertex fixing (§3.2). ---
+        let mut fixed_any = false;
+        if let Some(threshold) = config.fixing_threshold {
+            // Walk candidates in decreasing |x| so the most decided
+            // vertices are locked first.
+            let mut candidates: Vec<u32> = active
+                .free
+                .iter()
+                .copied()
+                .filter(|&v| x[v as usize].abs() >= threshold)
+                .collect();
+            candidates.sort_by(|&a, &b| {
+                x[b as usize].abs().partial_cmp(&x[a as usize].abs()).unwrap()
+            });
+            for v in candidates {
+                let sign = if x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
+                if active.try_fix(v, sign, &region) {
+                    x[v as usize] = sign;
+                    fixed_any = true;
+                }
+            }
+        }
+        if fixed_any {
+            active.rebuild_free();
+            reduced = region.restrict(&active.free, &active.fixed_dot);
+        }
+
+        if config.track_history {
+            let frac_imb = (0..region.dims())
+                .map(|j| (region.dot(j, &x) - region.center(j)).abs() / region.total(j))
+                .fold(0.0, f64::max);
+            history.push(IterationRecord {
+                iteration: t,
+                expected_locality: expected_locality(graph, &x),
+                fractional_imbalance: frac_imb,
+                step_length: step_len,
+                gamma,
+                fixed_vertices: active.num_fixed(),
+            });
+        }
+
+        if active.free.is_empty() {
+            break; // fully integral
+        }
+    }
+
+    // Final feasibility clean-up on the free variables (paper §3.1: "in the
+    // last iterations we run the alternating projections method until
+    // convergence").
+    if !active.free.is_empty() {
+        let x_free: Vec<f64> = active.free.iter().map(|&v| x[v as usize]).collect();
+        let cleaned = alternating::project_converged(
+            &x_free,
+            &reduced,
+            config.final_projection_passes,
+            crate::projection::FEASIBILITY_TOL,
+        );
+        for (&v, &nv) in active.free.iter().zip(&cleaned) {
+            x[v as usize] = nv;
+        }
+    }
+
+    // Randomized rounding + balance repair.
+    let (signs, violation) = round_balanced(&x, &region, config.rounding_attempts, &mut rng);
+    Ok(BipartitionResult { signs, x, history, violation })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::gen;
+    use mdbgp_graph::Partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quality(graph: &Graph, weights: &VertexWeights, res: &BipartitionResult) -> (f64, f64) {
+        let p = Partition::from_signs(&res.signs);
+        (p.edge_locality(graph), p.max_imbalance(weights))
+    }
+
+    #[test]
+    fn splits_two_cliques_perfectly() {
+        let g = gen::two_cliques(40, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.05) };
+        let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 1).unwrap();
+        let (loc, imb) = quality(&g, &w, &res);
+        let m = g.num_edges() as f64;
+        assert!(loc >= (m - 2.0) / m - 1e-9, "only the bridges may be cut, locality {loc}");
+        assert!(imb <= 0.05 + 1e-9, "imbalance {imb}");
+    }
+
+    #[test]
+    fn respects_two_dimensional_balance_on_skewed_graph() {
+        // A hub-heavy graph: unit balance alone would allow degree skew.
+        let mut rng = StdRng::seed_from_u64(3);
+        let degrees = gen::power_law_sequence(600, 2.2, 2.0, 120.0, &mut rng);
+        let g = gen::chung_lu(&degrees, &mut rng);
+        let w = VertexWeights::vertex_edge(&g);
+        let cfg = GdConfig { iterations: 80, ..GdConfig::with_epsilon(0.05) };
+        let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 9).unwrap();
+        let p = Partition::from_signs(&res.signs);
+        let imb = p.imbalance(&w);
+        assert!(imb[0] <= 0.06, "vertex imbalance {}", imb[0]);
+        assert!(imb[1] <= 0.06, "degree imbalance {}", imb[1]);
+    }
+
+    #[test]
+    fn beats_random_split_on_community_graph() {
+        let cfg_g = gen::CommunityGraphConfig::social(1200);
+        let cg = gen::community_graph(&cfg_g, &mut StdRng::seed_from_u64(4));
+        let w = VertexWeights::vertex_edge(&cg.graph);
+        let cfg = GdConfig { iterations: 80, ..GdConfig::with_epsilon(0.05) };
+        let res = bipartition(&cg.graph, &w, &cfg, &SplitTarget::half(0.05), 11).unwrap();
+        let (loc, imb) = quality(&cg.graph, &w, &res);
+        assert!(loc > 0.62, "expected well above the 50% of a random split, got {loc}");
+        assert!(imb <= 0.06, "imbalance {imb}");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let g = gen::two_cliques(20, 3);
+        let w = VertexWeights::unit(40);
+        let cfg = GdConfig { iterations: 30, ..GdConfig::with_epsilon(0.1) };
+        let a = bipartition(&g, &w, &cfg, &SplitTarget::half(0.1), 5).unwrap();
+        let b = bipartition(&g, &w, &cfg, &SplitTarget::half(0.1), 5).unwrap();
+        assert_eq!(a.signs, b.signs);
+    }
+
+    #[test]
+    fn history_is_recorded_and_improves() {
+        let g = gen::two_cliques(30, 1);
+        let w = VertexWeights::unit(60);
+        let cfg = GdConfig {
+            iterations: 50,
+            track_history: true,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 2).unwrap();
+        assert!(!res.history.is_empty());
+        let first = res.history.first().unwrap().expected_locality;
+        let last = res.history.last().unwrap().expected_locality;
+        assert!(last > first, "locality should improve: {first} -> {last}");
+        assert!(last > 0.9);
+    }
+
+    #[test]
+    fn uneven_split_target_honored() {
+        // 2:1 split of a cycle.
+        let g = gen::cycle(300);
+        let w = VertexWeights::unit(300);
+        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.04) };
+        let t = SplitTarget::new(2.0 / 3.0, 0.04);
+        let res = bipartition(&g, &w, &cfg, &t, 8).unwrap();
+        let plus = res.signs.iter().filter(|&&s| s == 1).count() as f64;
+        assert!((plus / 300.0 - 2.0 / 3.0).abs() < 0.04 + 0.01, "share {}", plus / 300.0);
+    }
+
+    #[test]
+    fn vertex_fixing_freezes_monotonically() {
+        let g = gen::two_cliques(25, 1);
+        let w = VertexWeights::unit(50);
+        let cfg = GdConfig {
+            iterations: 60,
+            track_history: true,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 3).unwrap();
+        let mut prev = 0usize;
+        for rec in &res.history {
+            assert!(rec.fixed_vertices >= prev, "fixing must be monotone");
+            prev = rec.fixed_vertices;
+        }
+        assert!(prev > 0, "some vertices should be fixed on an easy instance");
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::empty(0);
+        let w = VertexWeights::from_vectors(vec![Vec::new()]);
+        // from_vectors rejects empty? unit weights of zero length:
+        let res = bipartition(&g, &w, &GdConfig::default(), &SplitTarget::half(0.1), 0);
+        assert!(res.is_ok());
+        assert!(res.unwrap().signs.is_empty());
+    }
+
+    #[test]
+    fn rejects_mismatched_weights() {
+        let g = gen::path(5);
+        let w = VertexWeights::unit(4);
+        let err = bipartition(&g, &w, &GdConfig::default(), &SplitTarget::half(0.1), 0);
+        assert!(matches!(err, Err(PartitionError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn all_projection_methods_work_end_to_end() {
+        use crate::config::ProjectionMethod::*;
+        let g = gen::two_cliques(20, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        for method in [OneShotAlternating, AlternatingConverged, Dykstra, Exact] {
+            let cfg = GdConfig {
+                iterations: 40,
+                projection: method,
+                ..GdConfig::with_epsilon(0.1)
+            };
+            let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.1), 6).unwrap();
+            let (loc, imb) = quality(&g, &w, &res);
+            assert!(loc > 0.8, "{method:?}: locality {loc}");
+            assert!(imb < 0.12, "{method:?}: imbalance {imb}");
+        }
+    }
+}

@@ -1,0 +1,184 @@
+//! Sparse adjacency mat-vec — the gradient of the relaxation.
+//!
+//! `∇f(x) = Ax` for `f(x) = ½ xᵀAx`, so a GD iteration costs one CSR
+//! mat-vec: `out[v] = Σ_{u ∈ N(v)} x[u]`. Theorem 1.1's `O(|E|/m)`
+//! distributed scaling is realized here with crossbeam scoped threads over
+//! row ranges (each thread owns a disjoint slice of `out`, reads all of
+//! `x` — exactly the communication structure of the paper's Giraph
+//! implementation).
+
+use mdbgp_graph::Graph;
+
+/// Sequential `out = A x`.
+pub fn matvec(graph: &Graph, x: &[f64], out: &mut [f64]) {
+    let n = graph.num_vertices();
+    assert_eq!(x.len(), n);
+    assert_eq!(out.len(), n);
+    let offsets = graph.raw_offsets();
+    let targets = graph.raw_targets();
+    for v in 0..n {
+        let mut acc = 0.0;
+        for &u in &targets[offsets[v]..offsets[v + 1]] {
+            acc += x[u as usize];
+        }
+        out[v] = acc;
+    }
+}
+
+/// Multi-threaded `out = A x` with `threads` workers over contiguous row
+/// blocks. Falls back to the sequential kernel for `threads <= 1` or tiny
+/// graphs where spawn overhead dominates.
+pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize) {
+    let n = graph.num_vertices();
+    assert_eq!(x.len(), n);
+    assert_eq!(out.len(), n);
+    if threads <= 1 || n < 4096 {
+        return matvec(graph, x, out);
+    }
+    let offsets = graph.raw_offsets();
+    let targets = graph.raw_targets();
+    // Split rows into chunks of roughly equal *edge* count so a few hubs
+    // don't serialize the whole mat-vec.
+    let total_half_edges = targets.len();
+    let per_thread = (total_half_edges / threads).max(1);
+    let mut boundaries = Vec::with_capacity(threads + 1);
+    boundaries.push(0usize);
+    let mut next_quota = per_thread;
+    for v in 0..n {
+        if offsets[v + 1] >= next_quota && boundaries.len() < threads {
+            boundaries.push(v + 1);
+            next_quota = offsets[v + 1] + per_thread;
+        }
+    }
+    boundaries.push(n);
+
+    // Hand each thread a disjoint &mut chunk of `out`.
+    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(boundaries.len() - 1);
+    let mut rest = out;
+    for w in boundaries.windows(2) {
+        let (head, tail) = rest.split_at_mut(w[1] - w[0]);
+        chunks.push(head);
+        rest = tail;
+    }
+
+    crossbeam::scope(|scope| {
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let (start, end) = (boundaries[i], boundaries[i + 1]);
+            scope.spawn(move |_| {
+                for v in start..end {
+                    let mut acc = 0.0;
+                    for &u in &targets[offsets[v]..offsets[v + 1]] {
+                        acc += x[u as usize];
+                    }
+                    chunk[v - start] = acc;
+                }
+            });
+        }
+    })
+    .expect("matvec worker panicked");
+}
+
+/// `Σ_{(u,v) ∈ E} x_u · x_v = ½ xᵀAx` — the relaxed objective `f(x)`
+/// (up to the constant `m/2` the paper drops).
+pub fn quadratic_form(graph: &Graph, x: &[f64]) -> f64 {
+    graph.edges().map(|(u, v)| x[u as usize] * x[v as usize]).sum()
+}
+
+/// Expected edge locality of the randomized rounding of a fractional `x`:
+/// `E[locality] = Σ_edges (x_u x_v + 1) / (2m)` (paper §2). Returns 1.0 for
+/// edgeless graphs.
+pub fn expected_locality(graph: &Graph, x: &[f64]) -> f64 {
+    let m = graph.num_edges();
+    if m == 0 {
+        return 1.0;
+    }
+    (quadratic_form(graph, x) + m as f64) / (2.0 * m as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::builder::graph_from_edges;
+    use mdbgp_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    #[test]
+    fn matvec_matches_manual_triangle() {
+        let g = graph_from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        let x = [1.0, 2.0, 3.0];
+        let mut out = [0.0; 3];
+        matvec(&g, &x, &mut out);
+        assert_eq!(out, [5.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn matvec_of_zero_vector_is_zero() {
+        let g = gen::erdos_renyi(100, 300, &mut StdRng::seed_from_u64(1));
+        let x = vec![0.0; 100];
+        let mut out = vec![1.0; 100];
+        matvec(&g, &x, &mut out);
+        assert!(out.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = gen::erdos_renyi(10_000, 60_000, &mut rng);
+        let x: Vec<f64> = (0..10_000).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut seq = vec![0.0; 10_000];
+        let mut par = vec![0.0; 10_000];
+        matvec(&g, &x, &mut seq);
+        for threads in [2, 3, 8] {
+            matvec_parallel(&g, &x, &mut par, threads);
+            for (a, b) in seq.iter().zip(&par) {
+                assert!((a - b).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_small_graph_falls_back() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let mut out = [0.0; 3];
+        matvec_parallel(&g, &[1.0, 2.0, 0.0], &mut out, 4);
+        assert_eq!(out, [2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn quadratic_form_counts_agreement() {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        // Integral x: same-sign edge contributes +1, cut edge −1.
+        let x = [1.0, 1.0, -1.0, -1.0];
+        assert_eq!(quadratic_form(&g, &x), 1.0 + 1.0 - 1.0);
+    }
+
+    #[test]
+    fn expected_locality_bounds() {
+        let g = gen::cycle(10);
+        let all_same = vec![1.0; 10];
+        assert!((expected_locality(&g, &all_same) - 1.0).abs() < 1e-12);
+        let zeros = vec![0.0; 10];
+        assert!((expected_locality(&g, &zeros) - 0.5).abs() < 1e-12, "x=0 → 50% in expectation");
+        assert_eq!(expected_locality(&mdbgp_graph::Graph::empty(3), &[0.0; 3]), 1.0);
+    }
+
+    #[test]
+    fn gradient_of_quadratic_form_is_ax() {
+        // Finite-difference check: d f / d x_v = (Ax)_v for f = ½ xᵀ A x.
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = gen::erdos_renyi(30, 100, &mut rng);
+        let x: Vec<f64> = (0..30).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut grad = vec![0.0; 30];
+        matvec(&g, &x, &mut grad);
+        let h = 1e-6;
+        for v in 0..30 {
+            let mut xp = x.clone();
+            xp[v] += h;
+            let mut xm = x.clone();
+            xm[v] -= h;
+            let fd = (quadratic_form(&g, &xp) - quadratic_form(&g, &xm)) / (2.0 * h);
+            assert!((fd - grad[v]).abs() < 1e-5, "v={v}: fd={fd} grad={}", grad[v]);
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! Gaussian perturbations (paper §2.1, step 1).
+//!
+//! The noise vector is drawn from `N_n(0, η_t)`. We sample standard normals
+//! with the Box–Muller transform on top of the `rand` uniform generator
+//! (avoiding an extra `rand_distr` dependency).
+
+use rand::Rng;
+
+/// Draws one `N(0, 1)` sample via Box–Muller.
+#[inline]
+pub fn standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    // Avoid ln(0) by sampling u1 from (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Fills `out` with i.i.d. `N(0, std²)` samples.
+pub fn gaussian_vector<R: Rng>(out: &mut [f64], std: f64, rng: &mut R) {
+    assert!(std >= 0.0 && std.is_finite());
+    if std == 0.0 {
+        out.iter_mut().for_each(|x| *x = 0.0);
+        return;
+    }
+    for x in out.iter_mut() {
+        *x = std * standard_normal(rng);
+    }
+}
+
+/// Adds `N(0, std²)` noise to `x` in place (the `z = x + noise` step).
+pub fn add_gaussian_noise<R: Rng>(x: &mut [f64], std: f64, rng: &mut R) {
+    if std == 0.0 {
+        return;
+    }
+    for xi in x.iter_mut() {
+        *xi += std * standard_normal(rng);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn moments_are_standard() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut v = vec![0.0; 100_000];
+        gaussian_vector(&mut v, 1.0, &mut rng);
+        let mean = v.iter().sum::<f64>() / v.len() as f64;
+        let var = v.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / v.len() as f64;
+        assert!(mean.abs() < 0.02, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.03, "var = {var}");
+    }
+
+    #[test]
+    fn std_scales_samples() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let mut v = vec![0.0; 50_000];
+        gaussian_vector(&mut v, 3.0, &mut rng);
+        let var = v.iter().map(|x| x * x).sum::<f64>() / v.len() as f64;
+        assert!((var - 9.0).abs() < 0.4, "var = {var}");
+    }
+
+    #[test]
+    fn zero_std_is_noop() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut x = vec![1.0, -2.0, 3.0];
+        add_gaussian_noise(&mut x, 0.0, &mut rng);
+        assert_eq!(x, vec![1.0, -2.0, 3.0]);
+        let mut v = vec![7.0; 4];
+        gaussian_vector(&mut v, 0.0, &mut rng);
+        assert_eq!(v, vec![0.0; 4]);
+    }
+
+    #[test]
+    fn noise_addition_perturbs_every_coordinate() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut x = vec![0.0; 64];
+        add_gaussian_noise(&mut x, 0.5, &mut rng);
+        assert!(x.iter().all(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(99);
+        for _ in 0..10_000 {
+            assert!(standard_normal(&mut rng).is_finite());
+        }
+    }
+}

@@ -1,0 +1,142 @@
+//! Alternating projections (paper §3.1).
+//!
+//! The standard method for projecting onto an intersection of convex sets:
+//! project onto each set in turn. Following the paper we project onto the
+//! balance *hyperplane* `S_j^0 = { ⟨w_j, x⟩ = c_j }` rather than the slab —
+//! "we are able to achieve slightly better balance by ... projecting on
+//! `S_j^0` instead of `S_j^ε`" — and then onto the cube.
+//!
+//! * **one-shot** (`project_one_shot`): a single pass; used inside the hot
+//!   loop because each pass costs only `O(d·n)`.
+//! * **converged** (`project_converged`): passes until the point lies in
+//!   `K`; guaranteed to converge to *a* point of the intersection (not
+//!   necessarily the projection — that is Dykstra's job).
+
+use super::clamp1;
+use crate::feasible::FeasibleRegion;
+
+/// One alternating pass in place: hyperplane projections then cube clamp.
+/// `to_center = true` targets `c_j` (the paper's variant); `false` targets
+/// the nearest slab bound (used to finish off feasibility).
+pub fn alternating_pass(x: &mut [f64], region: &FeasibleRegion, to_center: bool) {
+    for j in 0..region.dims() {
+        let w = region.weight(j);
+        let s = region.dot(j, x);
+        let target = if to_center {
+            region.center(j)
+        } else if s > region.upper(j) {
+            region.upper(j)
+        } else if s < region.lower(j) {
+            region.lower(j)
+        } else {
+            continue;
+        };
+        let w_norm2: f64 = w.iter().map(|v| v * v).sum();
+        if w_norm2 == 0.0 {
+            continue;
+        }
+        let shift = (target - s) / w_norm2;
+        for (xi, &wi) in x.iter_mut().zip(w) {
+            *xi += shift * wi;
+        }
+    }
+    for xi in x.iter_mut() {
+        *xi = clamp1(*xi);
+    }
+}
+
+/// The paper's "one-shot" alternating projection: each hyperplane once,
+/// then the cube once.
+pub fn project_one_shot(y: &[f64], region: &FeasibleRegion) -> Vec<f64> {
+    let mut x = y.to_vec();
+    alternating_pass(&mut x, region, true);
+    x
+}
+
+/// Alternating projections until `x ∈ K` (within `tol`) or `max_passes`.
+///
+/// The first half of the budget uses centre-hyperplane passes (better
+/// balance); if still infeasible, the second half switches to
+/// nearest-bound passes, whose fixed points are exactly the points of `K`.
+pub fn project_converged(
+    y: &[f64],
+    region: &FeasibleRegion,
+    max_passes: usize,
+    tol: f64,
+) -> Vec<f64> {
+    let mut x = y.to_vec();
+    for pass in 0..max_passes {
+        if region.contains(&x, tol) {
+            break;
+        }
+        let to_center = pass < max_passes / 2;
+        alternating_pass(&mut x, region, to_center);
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn one_shot_zeroes_single_balance_sum() {
+        let (y, region) = random_instance(80, 1, 0.05, 2);
+        let x = project_one_shot(&y, &region);
+        // After one hyperplane pass and a clamp, the sum is *near* the
+        // centre unless clamping interfered; it must at least shrink.
+        let before = region.dot(0, &y) - region.center(0);
+        let after = region.dot(0, &x) - region.center(0);
+        assert!(after.abs() <= before.abs() + 1e-9);
+        assert!(x.iter().all(|&v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn converged_lands_in_region() {
+        for d in 1..=4 {
+            let (y, region) = random_instance(150, d, 0.02, 30 + d as u64);
+            let x = project_converged(&y, &region, 2000, 1e-10);
+            assert!(
+                region.contains(&x, 1e-9),
+                "d={d}: violation {}",
+                region.max_violation(&x)
+            );
+        }
+    }
+
+    #[test]
+    fn feasible_input_unchanged_up_to_centering() {
+        // A point already in K stays in K (though centre passes may move it).
+        let (_, region) = random_instance(60, 2, 0.5, 4);
+        let y = vec![0.0; 60];
+        let x = project_converged(&y, &region, 100, 1e-10);
+        assert!(region.contains(&x, 1e-9));
+    }
+
+    #[test]
+    fn nearest_bound_pass_is_noop_inside_slab() {
+        let (_, region) = random_instance(40, 2, 0.5, 5);
+        let mut x = vec![0.0; 40];
+        let before = x.clone();
+        alternating_pass(&mut x, &region, false);
+        assert_eq!(x, before, "inside every slab: nearest-bound pass does nothing");
+    }
+
+    #[test]
+    fn center_pass_hits_hyperplane_exactly_without_clamping() {
+        // With d = 1 and a point far inside the cube, the hyperplane
+        // projection is not disturbed by the clamp, so one pass must land
+        // exactly on the centre hyperplane.
+        let n = 50;
+        let w: Vec<f64> = (0..n).map(|i| 0.5 + 0.01 * i as f64).collect();
+        let region = FeasibleRegion::symmetric(vec![w], 0.01);
+        let mut x = vec![0.1; n];
+        alternating_pass(&mut x, &region, true);
+        assert!(
+            (region.dot(0, &x) - region.center(0)).abs() < 1e-9,
+            "pass should land on the centre hyperplane"
+        );
+        assert!(x.iter().all(|&v| v.abs() < 1.0), "no clamping occurred");
+    }
+}

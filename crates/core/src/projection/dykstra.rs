@@ -1,0 +1,130 @@
+//! Dykstra's projection algorithm (paper §3.1, reference [15]).
+//!
+//! Unlike plain alternating projections, Dykstra's method converges to the
+//! *exact* projection onto the intersection by carrying a correction vector
+//! per constraint set. The sets here are the cube `B∞` and the `d` slabs
+//! `S_j`. Used in the Figure 10 comparison and as the oracle the exact
+//! KKT solver is validated against.
+
+use super::clamp1;
+use crate::feasible::FeasibleRegion;
+
+/// Projects `x` onto slab `j` in place (nearest bounding hyperplane if
+/// outside, identity if inside).
+fn project_slab(x: &mut [f64], region: &FeasibleRegion, j: usize) {
+    let s = region.dot(j, x);
+    let target = if s > region.upper(j) {
+        region.upper(j)
+    } else if s < region.lower(j) {
+        region.lower(j)
+    } else {
+        return;
+    };
+    let w = region.weight(j);
+    let w_norm2: f64 = w.iter().map(|v| v * v).sum();
+    let shift = (target - s) / w_norm2;
+    for (xi, &wi) in x.iter_mut().zip(w) {
+        *xi += shift * wi;
+    }
+}
+
+/// Dykstra's algorithm over `{B∞, S_1, …, S_d}`.
+///
+/// Stops when a full cycle moves the iterate less than `tol·√n` *and* the
+/// point is feasible within `tol`, or after `max_cycles` cycles.
+pub fn project_dykstra(
+    y: &[f64],
+    region: &FeasibleRegion,
+    max_cycles: usize,
+    tol: f64,
+) -> Vec<f64> {
+    let n = y.len();
+    let d = region.dims();
+    let mut x = y.to_vec();
+    // One correction vector per set: index 0 = cube, 1..=d = slabs.
+    let mut corrections = vec![vec![0.0f64; n]; d + 1];
+    let move_tol = tol * (n as f64).sqrt().max(1.0);
+    let mut z = vec![0.0f64; n];
+    for _ in 0..max_cycles {
+        let mut cycle_move = 0.0f64;
+        for (set, correction) in corrections.iter_mut().enumerate() {
+            // z = x + p_set
+            for ((zi, &xi), &pi) in z.iter_mut().zip(&x).zip(correction.iter()) {
+                *zi = xi + pi;
+            }
+            // x' = P_set(z)
+            let mut x_new = z.clone();
+            if set == 0 {
+                x_new.iter_mut().for_each(|v| *v = clamp1(*v));
+            } else {
+                project_slab(&mut x_new, region, set - 1);
+            }
+            // p_set = z − x'
+            for ((pi, &zi), &xn) in correction.iter_mut().zip(&z).zip(&x_new) {
+                *pi = zi - xn;
+            }
+            for (xi, &xn) in x.iter_mut().zip(&x_new) {
+                cycle_move += (*xi - xn) * (*xi - xn);
+                *xi = xn;
+            }
+        }
+        if cycle_move.sqrt() < move_tol && region.contains(&x, tol.max(1e-12)) {
+            break;
+        }
+    }
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn converges_into_region() {
+        for d in 1..=3 {
+            let (y, region) = random_instance(120, d, 0.02, 60 + d as u64);
+            let x = project_dykstra(&y, &region, 3000, 1e-10);
+            assert!(
+                region.max_violation(&x) < 1e-6,
+                "d={d}: violation {}",
+                region.max_violation(&x)
+            );
+            assert!(x.iter().all(|&v| v.abs() <= 1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn matches_exact_1d_projection() {
+        let (y, region) = random_instance(90, 1, 0.03, 8);
+        let xd = project_dykstra(&y, &region, 5000, 1e-12);
+        let (xe, _) = super::super::exact1d::project_slab_1d(
+            &y,
+            region.weight(0),
+            region.lower(0),
+            region.upper(0),
+        )
+        .unwrap();
+        assert!(dist2(&xd, &xe) < 1e-5, "Dykstra must find the true projection");
+    }
+
+    #[test]
+    fn idempotent_on_feasible_points() {
+        let (_, region) = random_instance(50, 2, 0.5, 9);
+        let y = vec![0.0; 50];
+        let x = project_dykstra(&y, &region, 100, 1e-12);
+        assert!(dist2(&x, &y) < 1e-9);
+    }
+
+    #[test]
+    fn tighter_epsilon_moves_point_farther() {
+        let (y, tight) = random_instance(100, 2, 0.001, 10);
+        let (_, loose) = random_instance(100, 2, 0.2, 10);
+        let xt = project_dykstra(&y, &tight, 3000, 1e-10);
+        let xl = project_dykstra(&y, &loose, 3000, 1e-10);
+        assert!(
+            dist2(&xt, &y) >= dist2(&xl, &y) - 1e-9,
+            "smaller ε ⊂ larger ε ⇒ at least as far"
+        );
+    }
+}

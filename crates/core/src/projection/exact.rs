@@ -1,0 +1,332 @@
+//! Exact multi-dimensional projection (paper §2.2 + Appendix A).
+//!
+//! The KKT analysis reduces projecting `y` onto
+//! `B∞ ∩ ⋂_j { lo_j ≤ ⟨w_j, x⟩ ≤ hi_j }` to:
+//!
+//! 1. **guess the sign pattern** `σ ∈ {+, 0, −}^d` of the multipliers
+//!    `λ_j = μ_j^+ − μ_j^-` (3^d cases; Proposition 2.1 lets inactive
+//!    dimensions be dropped entirely);
+//! 2. for the active dimensions solve the **equality-constrained** problem
+//!    `⟨w_j, x⟩ = t_j` with `x_i = [y_i − Σ_j λ_j w_j(i)]` via nested binary
+//!    search on `(λ_1, …, λ_d)` — the outer search over `λ_1` is justified
+//!    by the monotonicity of `Δ_1` (Theorem A.5), and the innermost search
+//!    is the exact 1-d breakpoint method;
+//! 3. accept the first pattern whose solution satisfies all KKT conditions
+//!    (multiplier signs match, inactive slabs hold). Uniqueness
+//!    (Lemma A.1) guarantees this is *the* projection.
+//!
+//! In practice the pattern suggested by the violations of the plain cube
+//! projection is almost always correct, so the enumeration tries it first.
+
+use super::linear1d::project_equality_1d_linear;
+use super::{clamp1, clamp_vec};
+use crate::feasible::FeasibleRegion;
+
+/// Absolute multiplier tolerance when checking sign patterns.
+const LAMBDA_TOL: f64 = 1e-9;
+/// Outer bisection iterations per nesting level.
+const OUTER_ITERS: usize = 90;
+/// Bracket-expansion doublings before declaring a pattern infeasible.
+const MAX_EXPANSIONS: usize = 70;
+
+/// One active equality constraint of the reduced problem.
+struct EqDim<'a> {
+    w: &'a [f64],
+    target: f64,
+}
+
+/// Solves `min ‖x − y‖` s.t. `x ∈ [-1,1]^n`, `⟨w_j, x⟩ = t_j` for all given
+/// dimensions. Returns `(x, λ)` or `None` if no bracketing multipliers are
+/// found (the targets are jointly unreachable).
+fn solve_equality(y: &[f64], dims: &[EqDim<'_>]) -> Option<(Vec<f64>, Vec<f64>)> {
+    match dims.len() {
+        0 => Some((clamp_vec(y), Vec::new())),
+        // Innermost dimension: the expected-O(n) breakpoint-pruning solver
+        // (re-sorting per outer bisection step would cost O(n log n) each).
+        1 => project_equality_1d_linear(y, dims[0].w, dims[0].target).map(|(x, l)| (x, vec![l])),
+        _ => {
+            let (first, rest) = dims.split_first().unwrap();
+            let w1 = first.w;
+            // Evaluate Δ_1(λ_1): fix λ_1, solve the remaining dimensions on
+            // the shifted point, return ⟨w_1, x⟩ (Definition A.1).
+            let mut shifted = vec![0.0; y.len()];
+            let mut eval = |l1: f64| -> Option<(f64, Vec<f64>, Vec<f64>)> {
+                for ((s, &yi), &wi) in shifted.iter_mut().zip(y).zip(w1) {
+                    *s = yi - l1 * wi;
+                }
+                let (x, ls) = solve_equality(&shifted, rest)?;
+                let h1: f64 = w1.iter().zip(&x).map(|(a, b)| a * b).sum();
+                Some((h1, x, ls))
+            };
+
+            // Bracket λ_1: expand symmetric bounds until Δ_1 straddles the
+            // target. Δ_1 is monotone (Theorem A.5) but its direction
+            // depends on the weight correlations, so use the endpoints.
+            let y_max = y.iter().fold(0.0f64, |a, &v| a.max(v.abs()));
+            let w_min = w1.iter().fold(f64::INFINITY, |a, &v| a.min(v));
+            let mut radius = (1.0 + y_max) / w_min.max(f64::MIN_POSITIVE);
+            let (mut h_lo, ..) = eval(-radius)?;
+            let (mut h_hi, ..) = eval(radius)?;
+            let t = first.target;
+            let mut expansions = 0;
+            while !straddles(h_lo, h_hi, t) {
+                expansions += 1;
+                if expansions > MAX_EXPANSIONS {
+                    return None;
+                }
+                radius *= 2.0;
+                h_lo = eval(-radius)?.0;
+                h_hi = eval(radius)?.0;
+            }
+            // Root-find f(λ₁) = Δ₁(λ₁) − t with the Illinois variant of
+            // regula falsi: Δ₁ is monotone piecewise-linear (Theorem A.5),
+            // so safeguarded secant steps converge in a handful of
+            // evaluations where blind bisection would need ~90.
+            let scale = 1e-12 * (t.abs() + h_lo.abs() + h_hi.abs() + 1.0);
+            let (mut lo, mut hi) = (-radius, radius);
+            let (mut f_lo, mut f_hi) = (h_lo - t, h_hi - t);
+            let mut l1 = 0.5 * (lo + hi);
+            for _ in 0..OUTER_ITERS {
+                if f_lo.abs() <= scale {
+                    l1 = lo;
+                    break;
+                }
+                if f_hi.abs() <= scale {
+                    l1 = hi;
+                    break;
+                }
+                // Secant point, safeguarded into the bracket interior.
+                let mut cand = if (f_hi - f_lo).abs() > 0.0 {
+                    hi - f_hi * (hi - lo) / (f_hi - f_lo)
+                } else {
+                    0.5 * (lo + hi)
+                };
+                if !cand.is_finite() || cand <= lo || cand >= hi {
+                    cand = 0.5 * (lo + hi);
+                }
+                let (h, ..) = eval(cand)?;
+                let f = h - t;
+                l1 = cand;
+                if f.abs() <= scale || (hi - lo) <= 1e-14 * radius.max(1.0) {
+                    break;
+                }
+                // Keep the sign change inside the bracket; Illinois halves
+                // the retained endpoint's value to avoid stalling.
+                if (f > 0.0) == (f_lo > 0.0) {
+                    lo = cand;
+                    f_lo = f;
+                    f_hi *= 0.5;
+                } else {
+                    hi = cand;
+                    f_hi = f;
+                    f_lo *= 0.5;
+                }
+            }
+            let (_, x, inner) = eval(l1)?;
+            let mut lambdas = Vec::with_capacity(dims.len());
+            lambdas.push(l1);
+            lambdas.extend(inner);
+            Some((x, lambdas))
+        }
+    }
+}
+
+fn straddles(a: f64, b: f64, t: f64) -> bool {
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    let slack = 1e-9 * (1.0 + t.abs() + hi.abs());
+    lo <= t + slack && t <= hi + slack
+}
+
+/// All sign patterns over `d` dimensions, ordered so that `preferred` comes
+/// first, then patterns by increasing Hamming distance from it (cheap ones
+/// first among ties).
+fn pattern_order(preferred: &[i8]) -> Vec<Vec<i8>> {
+    let d = preferred.len();
+    let mut all: Vec<Vec<i8>> = vec![Vec::new()];
+    for _ in 0..d {
+        let mut next = Vec::with_capacity(all.len() * 3);
+        for p in &all {
+            for s in [0i8, 1, -1] {
+                let mut q = p.clone();
+                q.push(s);
+                next.push(q);
+            }
+        }
+        all = next;
+    }
+    all.sort_by_key(|p| {
+        let dist = p.iter().zip(preferred).filter(|(a, b)| a != b).count();
+        let active = p.iter().filter(|&&s| s != 0).count();
+        (dist, active)
+    });
+    all
+}
+
+/// Exact projection of `y` onto the region (see module docs).
+///
+/// Falls back to the nearest-violation candidate (after verifying cube
+/// membership) if floating-point noise rejects every pattern — in that case
+/// the result is still feasible to ~1e-7 relative slab error.
+pub fn project_exact(y: &[f64], region: &FeasibleRegion) -> Vec<f64> {
+    let d = region.dims();
+    // Fast path: the cube projection satisfies every slab ⇒ it is optimal
+    // (the all-zeros sign pattern).
+    let x0 = clamp_vec(y);
+    let mut preferred = vec![0i8; d];
+    let mut any_violated = false;
+    for j in 0..d {
+        let s = region.dot(j, &x0);
+        if s > region.upper(j) {
+            preferred[j] = 1;
+            any_violated = true;
+        } else if s < region.lower(j) {
+            preferred[j] = -1;
+            any_violated = true;
+        }
+    }
+    if !any_violated {
+        return x0;
+    }
+
+    let mut best: Option<(f64, Vec<f64>)> = None;
+    for pattern in pattern_order(&preferred) {
+        let active: Vec<usize> = (0..d).filter(|&j| pattern[j] != 0).collect();
+        if active.is_empty() {
+            continue; // already ruled out by the fast path
+        }
+        let dims: Vec<EqDim<'_>> = active
+            .iter()
+            .map(|&j| EqDim {
+                w: region.weight(j),
+                target: if pattern[j] > 0 { region.upper(j) } else { region.lower(j) },
+            })
+            .collect();
+        let Some((x, lambdas)) = solve_equality(y, &dims) else {
+            continue;
+        };
+        // KKT check 1: multiplier signs must match the guess (λ_j > 0 for a
+        // tight upper bound, < 0 for a tight lower bound).
+        let signs_ok = active.iter().zip(&lambdas).all(|(&j, &l)| {
+            if pattern[j] > 0 {
+                l > -LAMBDA_TOL
+            } else {
+                l < LAMBDA_TOL
+            }
+        });
+        // KKT check 2: inactive slabs must hold.
+        let mut violation = 0.0f64;
+        for j in 0..d {
+            if pattern[j] == 0 {
+                violation =
+                    violation.max(region.slab_excess(j, &x).abs() / region.total(j).max(1.0));
+            }
+        }
+        if signs_ok && violation <= 1e-9 {
+            return x;
+        }
+        let score = violation + if signs_ok { 0.0 } else { 1.0 };
+        if best.as_ref().is_none_or(|(b, _)| score < *b) {
+            best = Some((score, x));
+        }
+    }
+    // Numerical fallback: the best candidate, clamped for safety.
+    match best {
+        Some((_, x)) => x.iter().map(|&v| clamp1(v)).collect(),
+        None => x0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::dykstra::project_dykstra;
+    use super::super::test_support::*;
+    use super::*;
+
+    #[test]
+    fn feasible_point_projects_to_its_clamp() {
+        let (_, region) = random_instance(50, 2, 0.5, 1);
+        let y = vec![0.0; 50];
+        assert_eq!(project_exact(&y, &region), vec![0.0; 50]);
+    }
+
+    #[test]
+    fn single_dim_matches_slab_solver() {
+        for seed in 0..6 {
+            let (y, region) = random_instance(120, 1, 0.02, seed);
+            let x = project_exact(&y, &region);
+            let (xs, _) = super::super::exact1d::project_slab_1d(
+                &y,
+                region.weight(0),
+                region.lower(0),
+                region.upper(0),
+            )
+            .unwrap();
+            for (a, b) in x.iter().zip(&xs) {
+                assert!((a - b).abs() < 1e-7, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn two_dims_feasible_and_optimal_vs_dykstra() {
+        for seed in 0..8 {
+            let (y, region) = random_instance(100, 2, 0.03, seed + 50);
+            let x = project_exact(&y, &region);
+            assert!(region.max_violation(&x) < 1e-6, "seed {seed}");
+            assert!(x.iter().all(|&v| v.abs() <= 1.0 + 1e-9));
+            // Dykstra converges to the true projection: the exact solver
+            // must be at least as close (within tolerance).
+            let xd = project_dykstra(&y, &region, 5000, 1e-12);
+            let de = dist2(&x, &y);
+            let dd = dist2(&xd, &y);
+            assert!(de <= dd + 1e-5, "seed {seed}: exact {de} vs dykstra {dd}");
+            assert!(dist2(&x, &xd) < 1e-3, "seed {seed}: solutions should coincide");
+        }
+    }
+
+    #[test]
+    fn three_dims_supported() {
+        for seed in 0..3 {
+            let (y, region) = random_instance(60, 3, 0.05, seed + 9);
+            let x = project_exact(&y, &region);
+            assert!(region.max_violation(&x) < 1e-6, "seed {seed}");
+            let xd = project_dykstra(&y, &region, 8000, 1e-12);
+            assert!(dist2(&x, &y) <= dist2(&xd, &y) + 1e-4, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_centers_respected() {
+        // Slab centred away from zero (recursive-split configuration).
+        let weights = vec![vec![1.0; 10]];
+        let region = FeasibleRegion::new(weights, vec![4.0], vec![0.5]);
+        let y = vec![0.0; 10];
+        let x = project_exact(&y, &region);
+        let s: f64 = x.iter().sum();
+        assert!((s - 3.5).abs() < 1e-7, "pulled up to the lower bound 3.5, got {s}");
+    }
+
+    #[test]
+    fn identical_weight_dimensions_degenerate_but_solvable() {
+        // w1 == w2: multipliers are non-unique but x must still be the
+        // projection (Lemma A.2).
+        let w = vec![1.0, 2.0, 0.5, 1.5];
+        let region =
+            FeasibleRegion::new(vec![w.clone(), w.clone()], vec![0.0, 0.0], vec![0.2, 0.2]);
+        let y = vec![1.8, 1.2, -0.3, 0.9];
+        let x = project_exact(&y, &region);
+        assert!(region.max_violation(&x) < 1e-6);
+        let xd = project_dykstra(&y, &region, 5000, 1e-12);
+        assert!(dist2(&x, &xd) < 1e-4);
+    }
+
+    #[test]
+    fn pattern_order_prefers_natural_guess() {
+        let order = pattern_order(&[1, -1]);
+        assert_eq!(order[0], vec![1, -1]);
+        assert_eq!(order.len(), 9);
+        // All patterns distinct.
+        let set: std::collections::HashSet<Vec<i8>> = order.into_iter().collect();
+        assert_eq!(set.len(), 9);
+    }
+}

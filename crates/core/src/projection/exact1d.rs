@@ -1,0 +1,259 @@
+//! Exact one-dimensional projection (paper §2.3, "Projection for d = 1").
+//!
+//! Given `y`, positive weights `w` and a target `c`, find
+//! `x = argmin ‖x − y‖₂` subject to `x ∈ [-1, 1]^n` and `⟨w, x⟩ = c`.
+//! By the KKT analysis of §2.2 the solution has the form
+//! `x_i = [y_i − λ w_i]` for a scalar `λ`, and
+//! `h(λ) = Σ_i w_i [y_i − λ w_i]` is a non-increasing piecewise-linear
+//! function with breakpoints `(y_i ∓ 1)/w_i`, so `λ` is found by binary
+//! search over the sorted breakpoints plus one linear interpolation —
+//! `O(n log n)` total. (A bisection variant is provided for
+//! cross-validation; the paper cites Maculan et al. for an `O(n)` method.)
+
+use super::clamp1;
+
+/// `h(λ) = Σ_i w_i · [y_i − λ w_i]`.
+pub fn eval_h(y: &[f64], w: &[f64], lambda: f64) -> f64 {
+    y.iter().zip(w).map(|(&yi, &wi)| wi * clamp1(yi - lambda * wi)).sum()
+}
+
+/// Materializes `x_i = [y_i − λ w_i]`.
+pub fn apply_lambda(y: &[f64], w: &[f64], lambda: f64) -> Vec<f64> {
+    y.iter().zip(w).map(|(&yi, &wi)| clamp1(yi - lambda * wi)).collect()
+}
+
+/// Exact equality-constrained projection; returns `(x, λ)`, or `None` when
+/// `c` is outside the achievable range `[-Σw, Σw]`.
+pub fn project_equality_1d(y: &[f64], w: &[f64], c: f64) -> Option<(Vec<f64>, f64)> {
+    assert_eq!(y.len(), w.len());
+    debug_assert!(w.iter().all(|&wi| wi > 0.0));
+    let total: f64 = w.iter().sum();
+    let tol = 1e-9 * (total + c.abs() + 1.0);
+    if c > total + tol || c < -total - tol {
+        return None;
+    }
+    if y.is_empty() {
+        return if c.abs() <= tol { Some((Vec::new(), 0.0)) } else { None };
+    }
+
+    // Saturated extremes: x = ±1 everywhere.
+    let mut breakpoints: Vec<f64> = Vec::with_capacity(2 * y.len());
+    for (&yi, &wi) in y.iter().zip(w) {
+        breakpoints.push((yi - 1.0) / wi);
+        breakpoints.push((yi + 1.0) / wi);
+    }
+    breakpoints.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let first = breakpoints[0];
+    let last = *breakpoints.last().unwrap();
+    // h ≡ total for λ ≤ first, h ≡ −total for λ ≥ last.
+    if c >= total - tol {
+        return Some((apply_lambda(y, w, first), first));
+    }
+    if c <= -total + tol {
+        return Some((apply_lambda(y, w, last), last));
+    }
+
+    // Binary search for the last breakpoint with h(bp) >= c (h is
+    // non-increasing). Invariant: h(bp[lo]) >= c > h(bp[hi]).
+    let (mut lo, mut hi) = (0usize, breakpoints.len() - 1);
+    while hi - lo > 1 {
+        let mid = (lo + hi) / 2;
+        if eval_h(y, w, breakpoints[mid]) >= c {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let (la, lb) = (breakpoints[lo], breakpoints[hi]);
+    let (ha, hb) = (eval_h(y, w, la), eval_h(y, w, lb));
+    let lambda = if (ha - hb).abs() <= f64::EPSILON * (1.0 + ha.abs() + hb.abs()) {
+        la // flat segment: any λ on it attains c (≈ ha).
+    } else {
+        // h is linear on [la, lb]: interpolate.
+        la + (ha - c) * (lb - la) / (ha - hb)
+    };
+    Some((apply_lambda(y, w, lambda), lambda))
+}
+
+/// Bisection variant of [`project_equality_1d`] used for cross-validation;
+/// same output up to `tol` on the constraint.
+pub fn project_equality_1d_bisect(
+    y: &[f64],
+    w: &[f64],
+    c: f64,
+    iters: usize,
+) -> Option<(Vec<f64>, f64)> {
+    let total: f64 = w.iter().sum();
+    let tol = 1e-9 * (total + c.abs() + 1.0);
+    if c > total + tol || c < -total - tol || y.is_empty() {
+        return if y.is_empty() && c.abs() <= tol { Some((Vec::new(), 0.0)) } else { None };
+    }
+    // Any λ below every (y_i − 1)/w_i saturates x at +1, and vice versa.
+    let mut lo = f64::INFINITY;
+    let mut hi = f64::NEG_INFINITY;
+    for (&yi, &wi) in y.iter().zip(w) {
+        lo = lo.min((yi - 1.0) / wi);
+        hi = hi.max((yi + 1.0) / wi);
+    }
+    for _ in 0..iters {
+        let mid = 0.5 * (lo + hi);
+        if eval_h(y, w, mid) >= c {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    let lambda = 0.5 * (lo + hi);
+    Some((apply_lambda(y, w, lambda), lambda))
+}
+
+/// Exact projection onto `[-1,1]^n ∩ {lo ≤ ⟨w, x⟩ ≤ hi}` — the full d = 1
+/// projection including the inequality logic (the three sign cases of
+/// §2.2): if the cube projection already satisfies the slab it is optimal;
+/// otherwise the violated bound is tight and the equality solver applies.
+pub fn project_slab_1d(y: &[f64], w: &[f64], lo: f64, hi: f64) -> Option<(Vec<f64>, f64)> {
+    debug_assert!(lo <= hi);
+    let x0 = super::clamp_vec(y);
+    let s: f64 = w.iter().zip(&x0).map(|(wi, xi)| wi * xi).sum();
+    if s >= lo && s <= hi {
+        return Some((x0, 0.0));
+    }
+    let target = if s > hi { hi } else { lo };
+    project_equality_1d(y, w, target)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn rand_case(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = (0..n).map(|_| rng.gen_range(-2.5..2.5)).collect();
+        let w = (0..n).map(|_| rng.gen_range(0.3..4.0)).collect();
+        (y, w)
+    }
+
+    #[test]
+    fn constraint_attained_exactly() {
+        for seed in 0..10 {
+            let (y, w) = rand_case(100, seed);
+            let total: f64 = w.iter().sum();
+            for &c in &[0.0, 0.3 * total, -0.7 * total, total, -total] {
+                let (x, _) = project_equality_1d(&y, &w, c).unwrap();
+                let s: f64 = w.iter().zip(&x).map(|(a, b)| a * b).sum();
+                assert!(
+                    (s - c).abs() < 1e-7 * (1.0 + total),
+                    "seed {seed}: wanted {c}, got {s}"
+                );
+                assert!(x.iter().all(|&v| v.abs() <= 1.0 + 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_targets_rejected() {
+        let (y, w) = rand_case(50, 3);
+        let total: f64 = w.iter().sum();
+        assert!(project_equality_1d(&y, &w, total * 1.01).is_none());
+        assert!(project_equality_1d(&y, &w, -total * 1.01).is_none());
+    }
+
+    #[test]
+    fn h_is_non_increasing() {
+        let (y, w) = rand_case(60, 7);
+        let mut prev = f64::INFINITY;
+        let mut l = -10.0;
+        while l <= 10.0 {
+            let h = eval_h(&y, &w, l);
+            assert!(h <= prev + 1e-12);
+            prev = h;
+            l += 0.05;
+        }
+    }
+
+    #[test]
+    fn matches_bisection_variant() {
+        for seed in 0..8 {
+            let (y, w) = rand_case(80, seed + 100);
+            let total: f64 = w.iter().sum();
+            let c = 0.1 * total;
+            let (xa, _) = project_equality_1d(&y, &w, c).unwrap();
+            let (xb, _) = project_equality_1d_bisect(&y, &w, c, 200).unwrap();
+            for (a, b) in xa.iter().zip(&xb) {
+                assert!((a - b).abs() < 1e-6, "seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn optimality_against_random_feasible_points() {
+        // The solver's output must be closer to y than any random feasible
+        // point with the same constraint value (projection optimality).
+        let (y, w) = rand_case(40, 11);
+        let total: f64 = w.iter().sum();
+        let c = 0.2 * total;
+        let (x, _) = project_equality_1d(&y, &w, c).unwrap();
+        let d_opt: f64 = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+        let mut rng = StdRng::seed_from_u64(12);
+        for _ in 0..200 {
+            // Build a random feasible candidate by perturbing x inside the
+            // cube along a direction orthogonal to w.
+            let mut cand = x.clone();
+            let i = rng.gen_range(0..cand.len());
+            let jj = rng.gen_range(0..cand.len());
+            if i == jj {
+                continue;
+            }
+            // Move i up and jj down, preserving ⟨w, x⟩.
+            let delta: f64 = rng.gen_range(0.0..0.2);
+            let di = delta / w[i];
+            let dj = delta / w[jj];
+            cand[i] += di;
+            cand[jj] -= dj;
+            if cand[i].abs() > 1.0 || cand[jj].abs() > 1.0 {
+                continue;
+            }
+            let d_cand: f64 = cand.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum();
+            assert!(d_cand >= d_opt - 1e-9, "found a closer feasible point");
+        }
+    }
+
+    #[test]
+    fn slab_short_circuits_when_feasible() {
+        let y = vec![0.2, -0.4, 0.1];
+        let w = vec![1.0, 1.0, 1.0];
+        let (x, lambda) = project_slab_1d(&y, &w, -1.0, 1.0).unwrap();
+        assert_eq!(x, y, "already feasible: projection is the clamp");
+        assert_eq!(lambda, 0.0);
+    }
+
+    #[test]
+    fn slab_tightens_correct_side() {
+        let y = vec![2.0, 2.0];
+        let w = vec![1.0, 1.0];
+        let (x, lambda) = project_slab_1d(&y, &w, -0.5, 0.5).unwrap();
+        let s: f64 = x.iter().sum();
+        assert!((s - 0.5).abs() < 1e-9, "upper bound tight, got {s}");
+        assert!(lambda > 0.0);
+        let (x2, lambda2) = project_slab_1d(&[-2.0, -2.0], &w, -0.5, 0.5).unwrap();
+        let s2: f64 = x2.iter().sum();
+        assert!((s2 + 0.5).abs() < 1e-9);
+        assert!(lambda2 < 0.0);
+    }
+
+    #[test]
+    fn empty_input() {
+        let (x, _) = project_equality_1d(&[], &[], 0.0).unwrap();
+        assert!(x.is_empty());
+        assert!(project_equality_1d(&[], &[], 1.0).is_none());
+    }
+
+    #[test]
+    fn single_variable() {
+        let (x, _) = project_equality_1d(&[5.0], &[2.0], 1.0).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,219 @@
+//! Expected-O(n) exact one-dimensional projection.
+//!
+//! The paper notes the d = 1 projection "can be further improved to O(n)
+//! using a more careful approach [Maculan et al.]". This module implements
+//! that improvement with randomized breakpoint pruning: instead of sorting
+//! all `2n` breakpoints (`O(n log n)`), repeatedly evaluate `h` at a random
+//! remaining breakpoint and discard everything the monotonicity of `h`
+//! rules out — quickselect reasoning gives expected linear total work.
+//!
+//! Index bookkeeping: an index contributes to `h(λ)` as `w_i·[y_i − λ w_i]`
+//! until *both* of its breakpoints are resolved against λ*; after that its
+//! contribution is a constant (`±w_i`) or a linear term (`w_i y_i − λ w_i²`)
+//! and moves into running accumulators, so each evaluation touches only the
+//! still-unresolved indices.
+
+use super::clamp1;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which side of λ* a breakpoint landed on (0 = unknown).
+const UNKNOWN: u8 = 0;
+const BELOW: u8 = 1; // breakpoint ≤ λ*
+const ABOVE: u8 = 2; // breakpoint ≥ λ*
+
+/// Exact solution of `min ‖x − y‖` s.t. `x ∈ [-1,1]^n`, `⟨w, x⟩ = c` in
+/// expected O(n) time. Returns `(x, λ)`, or `None` when `c` is outside
+/// `[-Σw, Σw]`. Agrees with [`super::exact1d::project_equality_1d`] up to
+/// floating-point tolerance; the internal pivot randomness only affects
+/// running time, never the output.
+pub fn project_equality_1d_linear(y: &[f64], w: &[f64], c: f64) -> Option<(Vec<f64>, f64)> {
+    assert_eq!(y.len(), w.len());
+    let n = y.len();
+    let total: f64 = w.iter().sum();
+    let tol = 1e-9 * (total + c.abs() + 1.0);
+    if c > total + tol || c < -total - tol {
+        return None;
+    }
+    if n == 0 {
+        return Some((Vec::new(), 0.0));
+    }
+
+    // Breakpoints: (value, index, is_upper); `is_upper` marks `(y_i+1)/w_i`
+    // (the −1 saturation boundary), the larger of the pair.
+    let mut bps: Vec<(f64, u32, bool)> = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        bps.push(((y[i] - 1.0) / w[i], i as u32, false));
+        bps.push(((y[i] + 1.0) / w[i], i as u32, true));
+    }
+
+    let mut lower_side = vec![UNKNOWN; n];
+    let mut upper_side = vec![UNKNOWN; n];
+    let mut resolved = vec![false; n];
+    // Accumulators over fully resolved indices:
+    //   plus  = Σ w_i      (x_i = +1: both bps above λ*)
+    //   minus = Σ w_i      (x_i = −1: both bps below λ*)
+    //   a, b  = Σ w_i y_i, Σ w_i²   (interior: lower below, upper above)
+    let (mut plus, mut minus, mut a, mut b) = (0.0f64, 0.0f64, 0.0f64, 0.0f64);
+    let (mut lo, mut hi) = (f64::NEG_INFINITY, f64::INFINITY);
+
+    // Deterministic pivots: output depends on inputs only.
+    let mut rng = StdRng::seed_from_u64(0x1D_5EED);
+
+    while !bps.is_empty() && lo < hi {
+        let pivot = bps[rng.gen_range(0..bps.len())].0;
+        // h(pivot): accumulators + direct clamp for unresolved indices.
+        let mut h = plus - minus + a - pivot * b;
+        for i in 0..n {
+            if !resolved[i] {
+                h += w[i] * clamp1(y[i] - pivot * w[i]);
+            }
+        }
+        // h is non-increasing in λ and h(λ*) = c.
+        if h >= c {
+            lo = lo.max(pivot);
+        }
+        if h <= c {
+            hi = hi.min(pivot);
+        }
+        // Discard breakpoints at/outside the interval boundaries. (At a
+        // breakpoint the clamped and linear forms coincide, so boundary
+        // equality classifies safely to either side.)
+        bps.retain(|&(v, idx, is_upper)| {
+            let i = idx as usize;
+            let side = if v <= lo {
+                BELOW
+            } else if v >= hi {
+                ABOVE
+            } else {
+                return true;
+            };
+            if is_upper {
+                upper_side[i] = side;
+            } else {
+                lower_side[i] = side;
+            }
+            if lower_side[i] != UNKNOWN && upper_side[i] != UNKNOWN && !resolved[i] {
+                resolved[i] = true;
+                match (lower_side[i], upper_side[i]) {
+                    (BELOW, BELOW) => minus += w[i], // λ* above both ⇒ x = −1
+                    (ABOVE, ABOVE) => plus += w[i],  // λ* below both ⇒ x = +1
+                    (BELOW, ABOVE) => {
+                        a += w[i] * y[i];
+                        b += w[i] * w[i];
+                    }
+                    // lower above λ* but upper below is impossible
+                    // (lower < upper always).
+                    _ => unreachable!("inconsistent breakpoint sides"),
+                }
+            }
+            false
+        });
+    }
+
+    // Indices with a breakpoint still open behave linearly on (lo, hi).
+    for i in 0..n {
+        if !resolved[i] {
+            a += w[i] * y[i];
+            b += w[i] * w[i];
+        }
+    }
+    // Solve the linear tail h(λ) = plus − minus + a − λ b = c on [lo, hi].
+    let lambda = if b > 0.0 {
+        let l = (plus - minus + a - c) / b;
+        match (lo.is_finite(), hi.is_finite()) {
+            (true, true) => l.clamp(lo, hi),
+            (true, false) => l.max(lo),
+            (false, true) => l.min(hi),
+            (false, false) => l,
+        }
+    } else if lo.is_finite() {
+        lo
+    } else if hi.is_finite() {
+        hi
+    } else {
+        0.0
+    };
+    let x: Vec<f64> = y.iter().zip(w).map(|(&yi, &wi)| clamp1(yi - lambda * wi)).collect();
+    Some((x, lambda))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::exact1d::project_equality_1d;
+    use super::*;
+
+    fn rand_case(n: usize, seed: u64) -> (Vec<f64>, Vec<f64>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let y = (0..n).map(|_| rng.gen_range(-2.5..2.5)).collect();
+        let w = (0..n).map(|_| rng.gen_range(0.3..4.0)).collect();
+        (y, w)
+    }
+
+    #[test]
+    fn agrees_with_sort_based_solver() {
+        for seed in 0..20 {
+            let (y, w) = rand_case(200, seed);
+            let total: f64 = w.iter().sum();
+            for &frac in &[0.0, 0.15, -0.5, 0.9] {
+                let c = frac * total;
+                let (xa, _) = project_equality_1d(&y, &w, c).unwrap();
+                let (xb, _) = project_equality_1d_linear(&y, &w, c).unwrap();
+                for (p, q) in xa.iter().zip(&xb) {
+                    assert!((p - q).abs() < 1e-6, "seed {seed} frac {frac}: {p} vs {q}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn constraint_attained() {
+        let (y, w) = rand_case(500, 99);
+        let total: f64 = w.iter().sum();
+        let c = 0.23 * total;
+        let (x, _) = project_equality_1d_linear(&y, &w, c).unwrap();
+        let s: f64 = w.iter().zip(&x).map(|(p, q)| p * q).sum();
+        assert!((s - c).abs() < 1e-6 * total, "s = {s}, c = {c}");
+    }
+
+    #[test]
+    fn extreme_targets() {
+        let (y, w) = rand_case(50, 7);
+        let total: f64 = w.iter().sum();
+        let (x, _) = project_equality_1d_linear(&y, &w, total).unwrap();
+        assert!(x.iter().all(|&v| (v - 1.0).abs() < 1e-9));
+        let (x, _) = project_equality_1d_linear(&y, &w, -total).unwrap();
+        assert!(x.iter().all(|&v| (v + 1.0).abs() < 1e-9));
+        assert!(project_equality_1d_linear(&y, &w, total * 1.01).is_none());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(project_equality_1d_linear(&[], &[], 0.0).unwrap().0.is_empty());
+        let (x, _) = project_equality_1d_linear(&[5.0], &[2.0], 1.0).unwrap();
+        assert!((x[0] - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn equal_weights_degenerate_breakpoints() {
+        // Identical (y, w) pairs create massively duplicated breakpoints;
+        // pruning must still terminate and be exact.
+        let y = vec![1.7; 64];
+        let w = vec![2.0; 64];
+        let total = 128.0;
+        let (x, _) = project_equality_1d_linear(&y, &w, 0.25 * total).unwrap();
+        let s: f64 = x.iter().map(|v| v * 2.0).sum();
+        assert!((s - 32.0).abs() < 1e-7, "s = {s}");
+        assert!(x.windows(2).all(|p| (p[0] - p[1]).abs() < 1e-12), "symmetry preserved");
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let (y, w) = rand_case(300, 3);
+        let total: f64 = w.iter().sum();
+        let (xa, la) = project_equality_1d_linear(&y, &w, 0.1 * total).unwrap();
+        let (xb, lb) = project_equality_1d_linear(&y, &w, 0.1 * total).unwrap();
+        assert_eq!(xa, xb);
+        assert_eq!(la, lb);
+    }
+}

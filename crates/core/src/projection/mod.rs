@@ -1,0 +1,135 @@
+//! Projection onto `K = B∞ ∩ ⋂_j S_j` — step 3 of every GD iteration and
+//! the paper's main technical contribution (§2.2–2.3, §3.1, Appendix A).
+//!
+//! Four interchangeable algorithms (paper Table 1):
+//!
+//! | method | output | guarantee |
+//! |---|---|---|
+//! | [`alternating`] (one-shot) | near-feasible point | cheapest; default |
+//! | [`alternating`] (converged) | a point of `K` | von Neumann convergence |
+//! | [`dykstra`] | the projection | Boyle–Dykstra convergence |
+//! | [`exact`] | the projection | exact KKT, `O(n log^{d-1} n)`-style |
+
+pub mod alternating;
+pub mod dykstra;
+pub mod exact;
+pub mod exact1d;
+pub mod linear1d;
+
+use crate::config::ProjectionMethod;
+use crate::feasible::FeasibleRegion;
+
+/// Relative feasibility tolerance used by the iterative methods (scaled by
+/// each slab's total weight).
+pub const FEASIBILITY_TOL: f64 = 1e-9;
+
+/// Clamp a scalar into `[-1, 1]` — the truncated linear function `[z]` of
+/// paper §2.2.
+#[inline]
+pub fn clamp1(z: f64) -> f64 {
+    z.clamp(-1.0, 1.0)
+}
+
+/// Element-wise clamp into the cube (projection onto `B∞` alone).
+pub fn clamp_vec(y: &[f64]) -> Vec<f64> {
+    y.iter().map(|&v| clamp1(v)).collect()
+}
+
+/// Projects `y` onto the region with the chosen algorithm.
+///
+/// All methods return a finite vector inside the cube; the iterative ones
+/// may leave a slab violation below their tolerance, which the GD loop
+/// absorbs (and the paper's Figure 9 measures).
+pub fn project(method: ProjectionMethod, y: &[f64], region: &FeasibleRegion) -> Vec<f64> {
+    debug_assert_eq!(y.len(), region.num_vars());
+    match method {
+        ProjectionMethod::OneShotAlternating => alternating::project_one_shot(y, region),
+        ProjectionMethod::AlternatingConverged => {
+            alternating::project_converged(y, region, 1000, FEASIBILITY_TOL)
+        }
+        ProjectionMethod::Dykstra => dykstra::project_dykstra(y, region, 2000, FEASIBILITY_TOL),
+        ProjectionMethod::Exact => exact::project_exact(y, region),
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Random region + point instances shared by the projection tests.
+    /// `y` is biased upward so the balance constraints genuinely bind —
+    /// an unbiased point is almost surely feasible after clamping, which
+    /// would make every projection trivially "correct".
+    pub fn random_instance(
+        n: usize,
+        d: usize,
+        eps: f64,
+        seed: u64,
+    ) -> (Vec<f64>, FeasibleRegion) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let weights: Vec<Vec<f64>> = (0..d)
+            .map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect())
+            .collect();
+        let region = FeasibleRegion::symmetric(weights, eps);
+        let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.0..4.0)).collect();
+        (y, region)
+    }
+
+    pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
+        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::test_support::*;
+    use super::*;
+    use crate::config::ProjectionMethod;
+
+    #[test]
+    fn clamp_helpers() {
+        assert_eq!(clamp1(3.0), 1.0);
+        assert_eq!(clamp1(-1.5), -1.0);
+        assert_eq!(clamp1(0.25), 0.25);
+        assert_eq!(clamp_vec(&[2.0, -2.0, 0.5]), vec![1.0, -1.0, 0.5]);
+    }
+
+    #[test]
+    fn all_methods_return_near_feasible_points() {
+        for d in 1..=3 {
+            let (y, region) = random_instance(200, d, 0.05, 42 + d as u64);
+            for method in [
+                ProjectionMethod::OneShotAlternating,
+                ProjectionMethod::AlternatingConverged,
+                ProjectionMethod::Dykstra,
+                ProjectionMethod::Exact,
+            ] {
+                let x = project(method, &y, &region);
+                assert_eq!(x.len(), y.len());
+                assert!(x.iter().all(|&v| v.abs() <= 1.0 + 1e-9), "{method:?} left the cube");
+                if method != ProjectionMethod::OneShotAlternating {
+                    assert!(
+                        region.max_violation(&x) < 1e-6,
+                        "{method:?} violation {} for d={d}",
+                        region.max_violation(&x)
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_is_no_farther_than_iterative_methods() {
+        for seed in 0..5 {
+            let (y, region) = random_instance(150, 2, 0.02, seed);
+            let xe = project(ProjectionMethod::Exact, &y, &region);
+            let xd = project(ProjectionMethod::Dykstra, &y, &region);
+            let xa = project(ProjectionMethod::AlternatingConverged, &y, &region);
+            let de = dist2(&xe, &y);
+            assert!(de <= dist2(&xd, &y) + 1e-6, "exact beats dykstra (seed {seed})");
+            assert!(de <= dist2(&xa, &y) + 1e-6, "exact beats alternating (seed {seed})");
+        }
+    }
+}

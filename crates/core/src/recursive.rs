@@ -1,0 +1,251 @@
+//! Recursive k-way partitioning (paper §3.3).
+//!
+//! The graph is bisected recursively `⌈log₂ k⌉` times. Arbitrary `k` is
+//! handled by splitting into `⌈k/2⌉ : ⌊k/2⌋` weight proportions at each
+//! level (the paper notes the algorithm "can be modified to handle any k by
+//! changing the coefficients in the balance constraints" — [`SplitTarget`]
+//! carries those coefficients). Per-level tolerances are chosen so the
+//! compounded imbalance of the leaves stays within the user's ε:
+//! `(1 + ε_level)^levels ≤ 1 + ε`.
+
+use crate::config::GdConfig;
+use crate::gd::{bipartition, SplitTarget};
+use mdbgp_graph::{
+    partition::validate_inputs, Graph, InducedSubgraph, Partition, PartitionError, Partitioner,
+    VertexId, VertexWeights,
+};
+
+/// The paper's `GD` algorithm as a [`Partitioner`]: recursive bisection
+/// driven by [`bipartition`].
+#[derive(Clone, Debug, Default)]
+pub struct GdPartitioner {
+    config: GdConfig,
+}
+
+impl GdPartitioner {
+    /// Wraps a configuration.
+    pub fn new(config: GdConfig) -> Self {
+        Self { config }
+    }
+
+    /// Access to the configuration.
+    pub fn config(&self) -> &GdConfig {
+        &self.config
+    }
+
+    /// Per-level ε so that imbalances compounded over `levels` bisections
+    /// stay within the requested ε.
+    pub fn epsilon_per_level(epsilon: f64, levels: usize) -> f64 {
+        if levels <= 1 {
+            return epsilon;
+        }
+        (1.0 + epsilon).powf(1.0 / levels as f64) - 1.0
+    }
+
+    #[allow(clippy::too_many_arguments)] // internal recursion carries its full context
+    fn recurse(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        subset: Vec<VertexId>,
+        k: usize,
+        part_offset: u32,
+        eps_level: f64,
+        seed: u64,
+        labels: &mut [u32],
+    ) -> Result<(), PartitionError> {
+        if k == 1 {
+            for v in subset {
+                labels[v as usize] = part_offset;
+            }
+            return Ok(());
+        }
+        if subset.len() < k {
+            return Err(PartitionError::Infeasible(format!(
+                "cannot split {} vertices into {k} parts",
+                subset.len()
+            )));
+        }
+        let k_left = k.div_ceil(2);
+        let k_right = k - k_left;
+        let fraction = k_left as f64 / k as f64;
+        let target = SplitTarget::new(fraction, eps_level);
+        let mut cfg = self.config.clone();
+        cfg.epsilon = eps_level;
+        cfg.track_history = false;
+
+        // Avoid the subgraph copy at the root where subset == all vertices.
+        let whole = subset.len() == graph.num_vertices();
+        let (left, right): (Vec<VertexId>, Vec<VertexId>) = if whole {
+            let res = bipartition(graph, weights, &cfg, &target, seed)?;
+            partition_ids(&subset, &res.signs)
+        } else {
+            let sub = InducedSubgraph::extract(graph, &subset);
+            let w_sub = weights.restrict(&sub.original);
+            let res = bipartition(&sub.graph, &w_sub, &cfg, &target, seed)?;
+            partition_ids(&sub.original, &res.signs)
+        };
+
+        if left.len() < k_left || right.len() < k_right {
+            return Err(PartitionError::Infeasible(format!(
+                "bisection produced sides of {} / {} vertices for k = {k_left} + {k_right}",
+                left.len(),
+                right.len()
+            )));
+        }
+        // Derive child seeds deterministically but distinctly.
+        let seed_l = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2 * part_offset as u64 + 1);
+        let seed_r = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2 * part_offset as u64 + 2);
+        self.recurse(graph, weights, left, k_left, part_offset, eps_level, seed_l, labels)?;
+        self.recurse(
+            graph,
+            weights,
+            right,
+            k_right,
+            part_offset + k_left as u32,
+            eps_level,
+            seed_r,
+            labels,
+        )
+    }
+}
+
+/// Splits `ids` by the ±1 `signs` of the corresponding reduced vertices.
+fn partition_ids(ids: &[VertexId], signs: &[i8]) -> (Vec<VertexId>, Vec<VertexId>) {
+    debug_assert_eq!(ids.len(), signs.len());
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for (&id, &s) in ids.iter().zip(signs) {
+        if s == 1 {
+            left.push(id);
+        } else {
+            right.push(id);
+        }
+    }
+    (left, right)
+}
+
+impl Partitioner for GdPartitioner {
+    fn name(&self) -> &str {
+        "GD"
+    }
+
+    fn partition(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        k: usize,
+        seed: u64,
+    ) -> Result<Partition, PartitionError> {
+        validate_inputs(graph, weights, k)?;
+        let n = graph.num_vertices();
+        if k == 1 || n == 0 {
+            return Ok(Partition::trivial(n, k.max(1)));
+        }
+        let levels = (k as f64).log2().ceil() as usize;
+        let eps_level = Self::epsilon_per_level(self.config.epsilon, levels);
+        let mut labels = vec![0u32; n];
+        let all: Vec<VertexId> = (0..n as VertexId).collect();
+        self.recurse(graph, weights, all, k, 0, eps_level, seed, &mut labels)?;
+        Ok(Partition::new(labels, k))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn fast_config(eps: f64) -> GdConfig {
+        GdConfig { iterations: 50, ..GdConfig::with_epsilon(eps) }
+    }
+
+    #[test]
+    fn epsilon_schedule_compounds_correctly() {
+        let eps = 0.05;
+        for levels in 1..=4 {
+            let e = GdPartitioner::epsilon_per_level(eps, levels);
+            let compounded = (1.0 + e).powi(levels as i32) - 1.0;
+            assert!(compounded <= eps + 1e-12, "levels={levels}: {compounded}");
+        }
+    }
+
+    #[test]
+    fn k1_is_trivial() {
+        let g = gen::path(10);
+        let w = VertexWeights::unit(10);
+        let p = GdPartitioner::new(fast_config(0.1)).partition(&g, &w, 1, 0).unwrap();
+        assert_eq!(p.num_parts(), 1);
+        assert!(p.as_slice().iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn k4_on_four_cliques() {
+        // Four cliques of 20, weakly ringed together; k=4 should recover them.
+        let s = 20;
+        let mut b = mdbgp_graph::GraphBuilder::new(4 * s);
+        for c in 0..4u32 {
+            let base = c * s as u32;
+            for u in 0..s as u32 {
+                for v in (u + 1)..s as u32 {
+                    b.add_edge(base + u, base + v);
+                }
+            }
+        }
+        for c in 0..4u32 {
+            b.add_edge(c * s as u32, ((c + 1) % 4) * s as u32);
+        }
+        let g = b.build();
+        let w = VertexWeights::vertex_edge(&g);
+        let p = GdPartitioner::new(fast_config(0.05)).partition(&g, &w, 4, 3).unwrap();
+        assert_eq!(p.num_parts(), 4);
+        let q = p.quality(&g, &w);
+        assert!(q.edge_locality > 0.95, "cliques intact: locality {}", q.edge_locality);
+        assert!(q.max_imbalance <= 0.06, "imbalance {}", q.max_imbalance);
+    }
+
+    #[test]
+    fn non_power_of_two_k() {
+        let g = gen::cycle(300);
+        let w = VertexWeights::unit(300);
+        let p = GdPartitioner::new(fast_config(0.05)).partition(&g, &w, 3, 7).unwrap();
+        assert_eq!(p.num_parts(), 3);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 300);
+        for &s in &sizes {
+            assert!(
+                (s as f64 - 100.0).abs() <= 100.0 * 0.05 + 1.0,
+                "sizes {sizes:?} not within ε of 100"
+            );
+        }
+    }
+
+    #[test]
+    fn k8_balance_on_community_graph() {
+        let cg = gen::community_graph(
+            &gen::CommunityGraphConfig::social(1600),
+            &mut StdRng::seed_from_u64(5),
+        );
+        let w = VertexWeights::vertex_edge(&cg.graph);
+        let p = GdPartitioner::new(fast_config(0.05)).partition(&cg.graph, &w, 8, 5).unwrap();
+        let q = p.quality(&cg.graph, &w);
+        assert!(q.max_imbalance <= 0.07, "imbalance {}", q.max_imbalance);
+        assert!(q.edge_locality > 1.0 / 8.0, "better than hash: {}", q.edge_locality);
+    }
+
+    #[test]
+    fn rejects_k_zero_and_oversized_k() {
+        let g = gen::path(4);
+        let w = VertexWeights::unit(4);
+        let gd = GdPartitioner::new(fast_config(0.1));
+        assert!(matches!(gd.partition(&g, &w, 0, 0), Err(PartitionError::InvalidK { .. })));
+        assert!(gd.partition(&g, &w, 5, 0).is_err());
+    }
+
+    #[test]
+    fn name_is_gd() {
+        assert_eq!(GdPartitioner::default().name(), "GD");
+    }
+}

@@ -1,0 +1,205 @@
+//! Sequential reference analytics.
+//!
+//! These serve two purposes: they compute the extra weight dimensions of the
+//! Appendix C experiments (PageRank, neighbour degree sums), and they act as
+//! oracles against which the distributed BSP implementations in `mdbgp-bsp`
+//! are tested (PageRank, connected components).
+
+use crate::{Graph, VertexId};
+
+/// Power-iteration PageRank with uniform teleport.
+///
+/// Returns a probability vector (sums to 1 up to floating-point error).
+/// Dangling vertices (degree 0) redistribute their mass uniformly, the
+/// standard correction for undirected graphs with isolated vertices.
+pub fn pagerank(graph: &Graph, damping: f64, iterations: usize) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&damping), "damping must be in [0, 1]");
+    let n = graph.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    let inv_n = 1.0 / n as f64;
+    let mut rank = vec![inv_n; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iterations {
+        let mut dangling = 0.0;
+        for v in 0..n {
+            let d = graph.degree(v as VertexId);
+            if d == 0 {
+                dangling += rank[v];
+            }
+        }
+        let base = (1.0 - damping) * inv_n + damping * dangling * inv_n;
+        next.iter_mut().for_each(|x| *x = base);
+        for v in 0..n {
+            let d = graph.degree(v as VertexId);
+            if d > 0 {
+                let share = damping * rank[v] / d as f64;
+                for &u in graph.neighbors(v as VertexId) {
+                    next[u as usize] += share;
+                }
+            }
+        }
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Connected components via union-find with path halving and union by size.
+///
+/// Returns `(component_of, num_components)` where component labels are the
+/// smallest vertex id in each component.
+pub fn connected_components(graph: &Graph) -> (Vec<VertexId>, usize) {
+    let n = graph.num_vertices();
+    let mut parent: Vec<u32> = (0..n as u32).collect();
+    let mut size = vec![1u32; n];
+
+    fn find(parent: &mut [u32], mut v: u32) -> u32 {
+        while parent[v as usize] != v {
+            parent[v as usize] = parent[parent[v as usize] as usize]; // path halving
+            v = parent[v as usize];
+        }
+        v
+    }
+
+    for (u, v) in graph.edges() {
+        let (ru, rv) = (find(&mut parent, u), find(&mut parent, v));
+        if ru != rv {
+            if size[ru as usize] >= size[rv as usize] {
+                parent[rv as usize] = ru;
+                size[ru as usize] += size[rv as usize];
+            } else {
+                parent[ru as usize] = rv;
+                size[rv as usize] += size[ru as usize];
+            }
+        }
+    }
+    // Normalize labels to the minimum vertex id of each component so the
+    // output is deterministic regardless of union order.
+    let mut min_label: Vec<u32> = (0..n as u32).collect();
+    for v in 0..n as u32 {
+        let r = find(&mut parent, v);
+        if v < min_label[r as usize] {
+            min_label[r as usize] = v;
+        }
+    }
+    let mut count = 0usize;
+    let labels: Vec<u32> = (0..n as u32)
+        .map(|v| {
+            let r = find(&mut parent, v);
+            if r == v {
+                count += 1;
+            }
+            min_label[r as usize]
+        })
+        .collect();
+    (labels, count)
+}
+
+/// Degree distribution summary used when validating the synthetic proxies
+/// against the shape of the paper's graphs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DegreeStats {
+    pub min: usize,
+    pub max: usize,
+    pub mean: f64,
+    /// Fraction of total degree held by the top 1% of vertices — a cheap
+    /// skewness proxy; power-law graphs score far higher than G(n, p).
+    pub top1_percent_share: f64,
+}
+
+/// Computes [`DegreeStats`] for `graph`.
+pub fn degree_stats(graph: &Graph) -> DegreeStats {
+    let n = graph.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, top1_percent_share: 0.0 };
+    }
+    let mut degs: Vec<usize> = (0..n).map(|v| graph.degree(v as VertexId)).collect();
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    let total: usize = degs.iter().sum();
+    let top = (n / 100).max(1);
+    let top_sum: usize = degs[..top].iter().sum();
+    DegreeStats {
+        min: *degs.last().unwrap(),
+        max: degs[0],
+        mean: total as f64 / n as f64,
+        top1_percent_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::Graph;
+
+    #[test]
+    fn pagerank_sums_to_one_and_ranks_hub() {
+        let g = graph_from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let pr = pagerank(&g, 0.85, 50);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "sum = {sum}");
+        assert!(pr[0] > pr[1]);
+        assert!((pr[1] - pr[4]).abs() < 1e-12, "leaves are symmetric");
+    }
+
+    #[test]
+    fn pagerank_uniform_on_cycle() {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let pr = pagerank(&g, 0.85, 30);
+        for &p in &pr {
+            assert!((p - 0.25).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pagerank_handles_isolated_vertices() {
+        let g = graph_from_edges(3, &[(0, 1)]);
+        let pr = pagerank(&g, 0.85, 30);
+        assert!((pr.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(pr[2] > 0.0);
+    }
+
+    #[test]
+    fn pagerank_empty_graph() {
+        assert!(pagerank(&Graph::empty(0), 0.85, 10).is_empty());
+    }
+
+    #[test]
+    fn components_two_triangles() {
+        let g = graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 2);
+        assert_eq!(labels, vec![0, 0, 0, 3, 3, 3]);
+    }
+
+    #[test]
+    fn components_isolated() {
+        let (labels, count) = connected_components(&Graph::empty(4));
+        assert_eq!(count, 4);
+        assert_eq!(labels, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn components_path_is_single() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (labels, count) = connected_components(&g);
+        assert_eq!(count, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn degree_stats_star() {
+        let g = graph_from_edges(101, &(1..=100).map(|v| (0, v)).collect::<Vec<_>>());
+        let s = degree_stats(&g);
+        assert_eq!(s.max, 100);
+        assert_eq!(s.min, 1);
+        assert!(s.top1_percent_share >= 0.5, "hub holds half the degree mass");
+    }
+
+    #[test]
+    fn degree_stats_empty() {
+        let s = degree_stats(&Graph::empty(0));
+        assert_eq!(s.max, 0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Compressed sparse row (CSR) graph representation.
+//!
+//! The graph is undirected and simple: every edge `{u, v}` with `u != v` is
+//! stored twice (once in each endpoint's adjacency list), adjacency lists are
+//! sorted, and there are no parallel edges or self-loops. All partitioning
+//! algorithms in the workspace — the GD core, the baselines and the BSP
+//! simulator — iterate over this structure, so it is deliberately minimal:
+//! two flat arrays and O(1) neighbour slicing.
+
+use crate::VertexId;
+
+/// An immutable undirected simple graph in CSR form.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v + 1]` indexes `targets` for vertex `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted adjacency lists; length `2 * num_edges()`.
+    targets: Vec<VertexId>,
+}
+
+impl Graph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (wrong offset monotonicity,
+    /// out-of-range targets, unsorted adjacency, self-loops or duplicates).
+    /// Use [`crate::GraphBuilder`] to construct graphs from edge lists.
+    pub fn from_csr(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            targets.len(),
+            "last offset must equal targets length"
+        );
+        let n = offsets.len() - 1;
+        for v in 0..n {
+            assert!(offsets[v] <= offsets[v + 1], "offsets must be monotone");
+            let adj = &targets[offsets[v]..offsets[v + 1]];
+            for (i, &t) in adj.iter().enumerate() {
+                assert!((t as usize) < n, "target out of range");
+                assert!(t as usize != v, "self-loop at vertex {v}");
+                if i > 0 {
+                    assert!(adj[i - 1] < t, "adjacency of {v} not strictly sorted");
+                }
+            }
+        }
+        debug_assert!(targets.len().is_multiple_of(2), "undirected edges appear twice");
+        Self { offsets, targets }
+    }
+
+    /// Builds a graph with `n` vertices and no edges.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], targets: Vec::new() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m` (each `{u, v}` counted once).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.targets.len() / 2
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbours of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        &self.targets[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Whether edge `{u, v}` is present (binary search, `O(log deg(u))`).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterator over all vertices `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over undirected edges as `(u, v)` pairs with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Mean degree `2m / n` (0.0 for an empty graph).
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.targets.len() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Raw CSR offsets (for tight loops such as the mat-vec in `mdbgp-core`).
+    #[inline]
+    pub fn raw_offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// Raw CSR targets.
+    #[inline]
+    pub fn raw_targets(&self) -> &[VertexId] {
+        &self.targets
+    }
+
+    /// Approximate heap footprint in bytes (used by the Table 3 experiment,
+    /// which reports memory alongside quality).
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.targets.len() * std::mem::size_of::<VertexId>()
+    }
+}
+
+impl std::fmt::Debug for Graph {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Graph")
+            .field("num_vertices", &self.num_vertices())
+            .field("num_edges", &self.num_edges())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle() -> Graph {
+        GraphBuilder::new(3).edges([(0, 1), (1, 2), (0, 2)]).build()
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::empty(5);
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+        assert!(g.neighbors(0).is_empty());
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = Graph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    fn triangle_basic_accessors() {
+        let g = triangle();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.neighbors(1), &[0, 2]);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.mean_degree() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once_ordered() {
+        let g = triangle();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn from_csr_rejects_self_loop() {
+        Graph::from_csr(vec![0, 1], vec![0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not strictly sorted")]
+    fn from_csr_rejects_duplicates() {
+        Graph::from_csr(vec![0, 2, 3, 4], vec![1, 1, 0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "target out of range")]
+    fn from_csr_rejects_out_of_range() {
+        Graph::from_csr(vec![0, 1, 2], vec![1, 5]);
+    }
+
+    #[test]
+    fn memory_estimate_positive() {
+        assert!(triangle().memory_bytes() > 0);
+    }
+}

@@ -1,0 +1,81 @@
+//! Barabási–Albert preferential attachment graphs.
+
+use crate::builder::GraphBuilder;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Generates a BA graph: starts from a clique on `m + 1` vertices, then each
+/// new vertex attaches to `m` existing vertices chosen proportionally to
+/// degree (implemented with the classic repeated-endpoint list, which makes
+/// preferential attachment an O(1) uniform draw).
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    assert!(m >= 1, "attachment count must be positive");
+    assert!(n > m, "need more vertices than the seed clique");
+    let mut builder = GraphBuilder::with_edge_capacity(n, n * m);
+    // Every edge endpoint is pushed here; sampling an element uniformly is
+    // equivalent to sampling a vertex proportionally to its degree.
+    let mut endpoints: Vec<VertexId> = Vec::with_capacity(2 * n * m);
+    for u in 0..=m {
+        for v in (u + 1)..=m {
+            builder.add_edge(u as VertexId, v as VertexId);
+            endpoints.push(u as VertexId);
+            endpoints.push(v as VertexId);
+        }
+    }
+    let mut chosen = Vec::with_capacity(m);
+    for v in (m + 1)..n {
+        chosen.clear();
+        // Rejection-sample m distinct targets.
+        let mut guard = 0;
+        while chosen.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = endpoints[rng.gen_range(0..endpoints.len())];
+            if !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            builder.add_edge(v as VertexId, t);
+            endpoints.push(v as VertexId);
+            endpoints.push(t);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::{connected_components, degree_stats};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn edge_count_formula() {
+        let g = barabasi_albert(500, 3, &mut StdRng::seed_from_u64(6));
+        // clique(4) = 6 edges + 496 * 3 attachments.
+        assert_eq!(g.num_edges(), 6 + 496 * 3);
+    }
+
+    #[test]
+    fn connected_and_skewed() {
+        let g = barabasi_albert(2000, 2, &mut StdRng::seed_from_u64(8));
+        let (_, comps) = connected_components(&g);
+        assert_eq!(comps, 1, "BA graphs are connected by construction");
+        let s = degree_stats(&g);
+        assert!(s.max > 20, "hubs emerge, max = {}", s.max);
+        assert!(s.min >= 2);
+    }
+
+    #[test]
+    fn minimum_degree_is_m() {
+        let g = barabasi_albert(300, 4, &mut StdRng::seed_from_u64(3));
+        assert!(g.vertices().all(|v| g.degree(v) >= 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn rejects_tiny_n() {
+        barabasi_albert(3, 3, &mut StdRng::seed_from_u64(0));
+    }
+}

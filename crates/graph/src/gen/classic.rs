@@ -1,0 +1,175 @@
+//! Deterministic graph families used primarily by tests, plus the small
+//! planted-partition model (the textbook ancestor of the community proxy).
+
+use crate::builder::GraphBuilder;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Path `0 - 1 - ... - (n-1)`.
+pub fn path(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge((v - 1) as VertexId, v as VertexId);
+    }
+    b.build()
+}
+
+/// Cycle on `n >= 3` vertices.
+pub fn cycle(n: usize) -> Graph {
+    assert!(n >= 3, "cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 0..n {
+        b.add_edge(v as VertexId, ((v + 1) % n) as VertexId);
+    }
+    b.build()
+}
+
+/// `w × h` grid with 4-neighbour connectivity; vertex `(x, y)` has id
+/// `y * w + x`.
+pub fn grid(w: usize, h: usize) -> Graph {
+    let mut b = GraphBuilder::new(w * h);
+    for y in 0..h {
+        for x in 0..w {
+            let v = (y * w + x) as VertexId;
+            if x + 1 < w {
+                b.add_edge(v, v + 1);
+            }
+            if y + 1 < h {
+                b.add_edge(v, v + w as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Complete graph `K_n`.
+pub fn complete(n: usize) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            b.add_edge(u as VertexId, v as VertexId);
+        }
+    }
+    b.build()
+}
+
+/// Star with `leaves` leaves; the hub is vertex 0.
+pub fn star(leaves: usize) -> Graph {
+    let mut b = GraphBuilder::new(leaves + 1);
+    for v in 1..=leaves {
+        b.add_edge(0, v as VertexId);
+    }
+    b.build()
+}
+
+/// Two cliques of size `s` joined by `bridges` edges — the canonical
+/// "obvious bisection" instance: the optimal cut is exactly `bridges`.
+pub fn two_cliques(s: usize, bridges: usize) -> Graph {
+    assert!(s >= 1 && bridges <= s);
+    let mut b = GraphBuilder::new(2 * s);
+    for u in 0..s {
+        for v in (u + 1)..s {
+            b.add_edge(u as VertexId, v as VertexId);
+            b.add_edge((s + u) as VertexId, (s + v) as VertexId);
+        }
+    }
+    for i in 0..bridges {
+        b.add_edge(i as VertexId, (s + i) as VertexId);
+    }
+    b.build()
+}
+
+/// Planted-partition model: `communities` equal groups over `n` vertices;
+/// each intra-group pair is an edge with probability `p_in`, each
+/// inter-group pair with `p_out`. O(n²) — intended for tests and small
+/// demos; use [`super::community_graph`] at scale.
+pub fn planted_partition<R: Rng>(
+    n: usize,
+    communities: usize,
+    p_in: f64,
+    p_out: f64,
+    rng: &mut R,
+) -> Graph {
+    assert!(communities >= 1 && communities <= n.max(1));
+    assert!((0.0..=1.0).contains(&p_in) && (0.0..=1.0).contains(&p_out));
+    let group = |v: usize| v * communities / n.max(1);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let p = if group(u) == group(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                b.add_edge(u as VertexId, v as VertexId);
+            }
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn path_degrees() {
+        let g = path(5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.degree(0), 1);
+        assert_eq!(g.degree(2), 2);
+    }
+
+    #[test]
+    fn cycle_is_2_regular() {
+        let g = cycle(7);
+        assert_eq!(g.num_edges(), 7);
+        assert!(g.vertices().all(|v| g.degree(v) == 2));
+    }
+
+    #[test]
+    fn grid_edge_count() {
+        let g = grid(4, 3);
+        // 3 * 3 horizontal rows of edges? No: h*(w-1) + w*(h-1) = 3*3 + 4*2.
+        assert_eq!(g.num_edges(), 3 * 3 + 4 * 2);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(5), 4); // interior vertex (1,1)
+    }
+
+    #[test]
+    fn complete_edge_count() {
+        assert_eq!(complete(6).num_edges(), 15);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = star(4);
+        assert_eq!(g.degree(0), 4);
+        assert_eq!(g.num_edges(), 4);
+    }
+
+    #[test]
+    fn two_cliques_bridge_count() {
+        let g = two_cliques(5, 2);
+        assert_eq!(g.num_edges(), 2 * 10 + 2);
+        assert!(g.has_edge(0, 5));
+        assert!(g.has_edge(1, 6));
+        assert!(!g.has_edge(2, 7));
+    }
+
+    #[test]
+    fn planted_partition_denser_inside() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = planted_partition(200, 2, 0.2, 0.01, &mut rng);
+        let inside = g.edges().filter(|&(u, v)| (u < 100) == (v < 100)).count();
+        let outside = g.num_edges() - inside;
+        assert!(inside > 5 * outside, "inside={inside} outside={outside}");
+    }
+
+    #[test]
+    fn planted_partition_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(planted_partition(20, 2, 0.0, 0.0, &mut rng).num_edges(), 0);
+        let g = planted_partition(10, 2, 1.0, 1.0, &mut rng);
+        assert_eq!(g.num_edges(), 45);
+    }
+}

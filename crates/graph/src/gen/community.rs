@@ -1,0 +1,316 @@
+//! LFR-lite community graphs — the workhorse proxy for the paper's social
+//! networks.
+//!
+//! The model plants power-law-sized communities, gives every vertex a
+//! power-law degree, and splits each vertex's edge endpoints between its own
+//! community (fraction `1 − mixing`) and the rest of the graph (fraction
+//! `mixing`). Edges are realized with Chung–Lu sampling inside and across
+//! communities. The result has the two properties the paper's experiments
+//! hinge on — degree skew and clusterability — with independent knobs:
+//!
+//! * `mixing ≈ 0.1` mimics LiveJournal/Orkut (high achievable locality),
+//! * `mixing ≈ 0.35` with `degree_exponent < 2.1` mimics Twitter (dense,
+//!   hub-dominated, hard to balance on two dimensions simultaneously).
+
+use super::chung_lu::power_law_sequence;
+use super::sampling::AliasTable;
+use crate::builder::GraphBuilder;
+use crate::{Graph, VertexId};
+use rand::Rng;
+
+/// Parameters of the LFR-lite model.
+#[derive(Clone, Debug)]
+pub struct CommunityGraphConfig {
+    pub num_vertices: usize,
+    /// Target mean degree (edge count ≈ `num_vertices * mean_degree / 2`).
+    pub mean_degree: f64,
+    /// Power-law exponent of the degree distribution (2–3 for social nets).
+    pub degree_exponent: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Fraction of each vertex's edges that leave its community (µ).
+    pub mixing: f64,
+    /// Power-law exponent of the community size distribution.
+    pub community_exponent: f64,
+    pub min_community: usize,
+    pub max_community: usize,
+    /// Community density heterogeneity: each community's member degrees
+    /// are scaled by a log-uniform factor in `[1/spread, spread]` (then
+    /// renormalized to keep the global mean). `1.0` = homogeneous. Real
+    /// social networks have strongly heterogeneous community densities,
+    /// which is what makes one-dimensional (vertex-count) balancing
+    /// overload workers with edges (paper Figure 1).
+    pub density_spread: f64,
+}
+
+impl CommunityGraphConfig {
+    /// A reasonable social-network-like default for `n` vertices.
+    pub fn social(n: usize) -> Self {
+        Self {
+            num_vertices: n,
+            mean_degree: 16.0,
+            degree_exponent: 2.5,
+            max_degree: (n / 20).max(8),
+            mixing: 0.12,
+            community_exponent: 2.0,
+            min_community: (n / 200).max(8),
+            max_community: (n / 8).max(16),
+            density_spread: 1.0,
+        }
+    }
+
+    fn validate(&self) {
+        assert!(self.num_vertices >= 2);
+        assert!(self.mean_degree >= 1.0);
+        assert!(self.degree_exponent > 1.0);
+        assert!((0.0..=1.0).contains(&self.mixing));
+        assert!(self.min_community >= 1 && self.min_community <= self.max_community);
+        assert!(self.max_community <= self.num_vertices);
+        assert!(self.density_spread >= 1.0, "density_spread must be >= 1");
+    }
+}
+
+/// A generated community graph together with its planted ground truth.
+#[derive(Clone, Debug)]
+pub struct CommunityGraph {
+    pub graph: Graph,
+    /// Planted community of each vertex.
+    pub community: Vec<u32>,
+    pub num_communities: usize,
+}
+
+/// Generates an LFR-lite graph (see module docs).
+pub fn community_graph<R: Rng>(config: &CommunityGraphConfig, rng: &mut R) -> CommunityGraph {
+    config.validate();
+    let n = config.num_vertices;
+
+    // 1. Degrees: sample a truncated power law, then rescale to the target
+    //    mean (the truncation shifts the raw mean unpredictably).
+    let mut degrees =
+        power_law_sequence(n, config.degree_exponent, 1.0, config.max_degree as f64, rng);
+    let raw_mean = degrees.iter().sum::<f64>() / n as f64;
+    let scale = config.mean_degree / raw_mean;
+    for d in &mut degrees {
+        *d = (*d * scale).clamp(1.0, config.max_degree as f64);
+    }
+
+    // 2. Community sizes: power law until all vertices are covered.
+    let mut sizes: Vec<usize> = Vec::new();
+    let mut covered = 0usize;
+    while covered < n {
+        let s = power_law_sequence(
+            1,
+            config.community_exponent,
+            config.min_community as f64,
+            config.max_community as f64,
+            rng,
+        )[0]
+        .round() as usize;
+        let s = s.clamp(1, n - covered);
+        sizes.push(s);
+        covered += s;
+    }
+    let num_communities = sizes.len();
+
+    // 3. Contiguous block assignment (vertex order is random anyway since
+    //    degrees are i.i.d.), keeping everything deterministic per seed.
+    let mut community = vec![0u32; n];
+    let mut starts = Vec::with_capacity(num_communities);
+    let mut cursor = 0usize;
+    for (c, &s) in sizes.iter().enumerate() {
+        starts.push(cursor);
+        for v in cursor..cursor + s {
+            community[v] = c as u32;
+        }
+        cursor += s;
+    }
+
+    // 3b. Heterogeneous community densities: scale member degrees by a
+    //     log-uniform per-community factor, then renormalize the global
+    //     mean back to the target.
+    if config.density_spread > 1.0 {
+        let ln_s = config.density_spread.ln();
+        for (c, &s) in sizes.iter().enumerate() {
+            let factor = (rng.gen_range(-ln_s..=ln_s)).exp();
+            for v in starts[c]..starts[c] + s {
+                degrees[v] = (degrees[v] * factor).clamp(1.0, config.max_degree as f64);
+            }
+        }
+        let new_mean = degrees.iter().sum::<f64>() / n as f64;
+        let renorm = config.mean_degree / new_mean;
+        for d in &mut degrees {
+            *d = (*d * renorm).clamp(1.0, config.max_degree as f64);
+        }
+    }
+
+    let mut builder = GraphBuilder::with_edge_capacity(n, (config.mean_degree * n as f64) as usize);
+
+    // 4. Internal edges: Chung–Lu inside each community on (1 − µ)·deg.
+    for (c, &s) in sizes.iter().enumerate() {
+        if s < 2 {
+            continue;
+        }
+        let start = starts[c];
+        let internal: Vec<f64> =
+            (start..start + s).map(|v| (1.0 - config.mixing) * degrees[v]).collect();
+        let total: f64 = internal.iter().sum();
+        if total <= 0.0 {
+            continue;
+        }
+        let table = AliasTable::new(&internal);
+        let target = (total / 2.0).round() as usize;
+        let draws = target + target / 10 + 4;
+        for _ in 0..draws {
+            let u = start as VertexId + table.sample(rng);
+            let v = start as VertexId + table.sample(rng);
+            if u != v {
+                builder.add_edge(u, v);
+            }
+        }
+    }
+
+    // 5. External edges: global Chung–Lu on µ·deg, rejecting intra-community
+    //    pairs so that µ really measures cross-community mixing.
+    if config.mixing > 0.0 {
+        let external: Vec<f64> = degrees.iter().map(|&d| config.mixing * d).collect();
+        let total: f64 = external.iter().sum();
+        if total > 0.0 {
+            let table = AliasTable::new(&external);
+            let target = (total / 2.0).round() as usize;
+            let draws = target + target / 10 + 4;
+            let mut emitted = 0usize;
+            let mut attempts = 0usize;
+            while emitted < draws && attempts < 4 * draws + 64 {
+                attempts += 1;
+                let u = table.sample(rng);
+                let v = table.sample(rng);
+                if u != v && community[u as usize] != community[v as usize] {
+                    builder.add_edge(u, v);
+                    emitted += 1;
+                }
+            }
+        }
+    }
+
+    CommunityGraph { graph: builder.build(), community, num_communities }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::degree_stats;
+    use crate::Partition;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn make(n: usize, mixing: f64, seed: u64) -> CommunityGraph {
+        let mut cfg = CommunityGraphConfig::social(n);
+        cfg.mixing = mixing;
+        community_graph(&cfg, &mut StdRng::seed_from_u64(seed))
+    }
+
+    /// Partition by grouping whole communities greedily into k ≈ equal parts.
+    fn ground_truth_partition(cg: &CommunityGraph, k: usize) -> Partition {
+        let mut comm_sizes = vec![0usize; cg.num_communities];
+        for &c in &cg.community {
+            comm_sizes[c as usize] += 1;
+        }
+        let mut order: Vec<usize> = (0..cg.num_communities).collect();
+        order.sort_by_key(|&c| std::cmp::Reverse(comm_sizes[c]));
+        let mut part_of_comm = vec![0u32; cg.num_communities];
+        let mut loads = vec![0usize; k];
+        for c in order {
+            let target = (0..k).min_by_key(|&i| loads[i]).unwrap();
+            part_of_comm[c] = target as u32;
+            loads[target] += comm_sizes[c];
+        }
+        let parts = cg.community.iter().map(|&c| part_of_comm[c as usize]).collect();
+        Partition::new(parts, k)
+    }
+
+    #[test]
+    fn size_and_mean_degree_close_to_target() {
+        let cg = make(4000, 0.1, 3);
+        assert_eq!(cg.graph.num_vertices(), 4000);
+        let mean = cg.graph.mean_degree();
+        assert!((mean - 16.0).abs() < 4.0, "mean degree {mean}");
+    }
+
+    #[test]
+    fn low_mixing_gives_high_ground_truth_locality() {
+        let cg = make(4000, 0.1, 5);
+        let p = ground_truth_partition(&cg, 2);
+        let loc = p.edge_locality(&cg.graph);
+        assert!(loc > 0.8, "locality of planted partition = {loc}");
+    }
+
+    #[test]
+    fn high_mixing_reduces_locality() {
+        let lo = make(4000, 0.05, 7);
+        let hi = make(4000, 0.5, 7);
+        let loc_lo = ground_truth_partition(&lo, 2).edge_locality(&lo.graph);
+        let loc_hi = ground_truth_partition(&hi, 2).edge_locality(&hi.graph);
+        assert!(
+            loc_lo > loc_hi + 0.2,
+            "mixing must control locality: lo={loc_lo:.3} hi={loc_hi:.3}"
+        );
+    }
+
+    #[test]
+    fn degrees_are_skewed() {
+        let cg = make(8000, 0.15, 9);
+        let s = degree_stats(&cg.graph);
+        assert!(s.max as f64 > 6.0 * s.mean, "max {} vs mean {:.1}", s.max, s.mean);
+    }
+
+    #[test]
+    fn communities_cover_all_vertices() {
+        let cg = make(1000, 0.2, 1);
+        assert_eq!(cg.community.len(), 1000);
+        assert!(cg.num_communities >= 2);
+        assert!(cg.community.iter().all(|&c| (c as usize) < cg.num_communities));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = make(1000, 0.2, 42);
+        let b = make(1000, 0.2, 42);
+        assert_eq!(a.graph, b.graph);
+        assert_eq!(a.community, b.community);
+    }
+
+    #[test]
+    fn density_spread_creates_heterogeneous_communities() {
+        let mut cfg = CommunityGraphConfig::social(6000);
+        cfg.density_spread = 6.0;
+        let cg = community_graph(&cfg, &mut StdRng::seed_from_u64(13));
+        // Mean degree per community must vary widely.
+        let mut deg_sum = vec![0.0f64; cg.num_communities];
+        let mut count = vec![0usize; cg.num_communities];
+        for v in cg.graph.vertices() {
+            let c = cg.community[v as usize] as usize;
+            deg_sum[c] += cg.graph.degree(v) as f64;
+            count[c] += 1;
+        }
+        let means: Vec<f64> = deg_sum
+            .iter()
+            .zip(&count)
+            .filter(|(_, &c)| c >= 20)
+            .map(|(s, &c)| s / c as f64)
+            .collect();
+        let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = means.iter().cloned().fold(0.0f64, f64::max);
+        assert!(hi > 2.5 * lo, "community densities should spread: {lo:.1}..{hi:.1}");
+        // Global mean still near target.
+        let mean = cg.graph.mean_degree();
+        assert!((mean - 16.0).abs() < 5.0, "global mean degree {mean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "density_spread")]
+    fn rejects_sub_one_spread() {
+        let mut cfg = CommunityGraphConfig::social(100);
+        cfg.density_spread = 0.5;
+        community_graph(&cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

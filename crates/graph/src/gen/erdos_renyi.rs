@@ -1,0 +1,75 @@
+//! Erdős–Rényi G(n, m) random graphs.
+
+use crate::builder::GraphBuilder;
+use crate::Graph;
+use rand::Rng;
+
+/// Samples a uniform simple graph with `n` vertices and (up to) `m` edges by
+/// rejection: duplicate / self-loop draws are retried a bounded number of
+/// times, so for dense requests the result may have slightly fewer than `m`
+/// edges. Panics if `m` exceeds the number of possible edges.
+pub fn erdos_renyi<R: Rng>(n: usize, m: usize, rng: &mut R) -> Graph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    assert!(m <= max_edges, "m = {m} exceeds {max_edges} possible edges");
+    if n < 2 || m == 0 {
+        return GraphBuilder::new(n).build();
+    }
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    let mut seen = std::collections::HashSet::with_capacity(m * 2);
+    let mut attempts = 0usize;
+    let attempt_cap = 20 * m + 1000;
+    while seen.len() < m && attempts < attempt_cap {
+        attempts += 1;
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        if u == v {
+            continue;
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        if seen.insert(key) {
+            b.add_edge(key.0, key.1);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn exact_edge_count_sparse() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(1000, 5000, &mut rng);
+        assert_eq!(g.num_vertices(), 1000);
+        assert_eq!(g.num_edges(), 5000);
+    }
+
+    #[test]
+    fn dense_request_close_to_full() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = erdos_renyi(20, 190, &mut rng); // complete graph on 20
+        assert!(g.num_edges() >= 185, "got {}", g.num_edges());
+    }
+
+    #[test]
+    fn zero_edges() {
+        let mut rng = StdRng::seed_from_u64(5);
+        assert_eq!(erdos_renyi(10, 0, &mut rng).num_edges(), 0);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let g1 = erdos_renyi(100, 300, &mut StdRng::seed_from_u64(9));
+        let g2 = erdos_renyi(100, 300, &mut StdRng::seed_from_u64(9));
+        assert_eq!(g1, g2);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn too_many_edges_rejected() {
+        erdos_renyi(3, 4, &mut StdRng::seed_from_u64(0));
+    }
+}

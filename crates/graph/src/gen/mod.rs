@@ -1,0 +1,34 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on SNAP social networks (LiveJournal, Orkut, Twitter,
+//! Friendster, sx-stackoverflow) and proprietary Facebook friendship graphs
+//! with up to 800B edges. Neither is available offline, so the experiment
+//! harness substitutes scaled-down synthetic proxies. Two properties of the
+//! real graphs drive every qualitative result in the paper, and both are
+//! explicit parameters here:
+//!
+//! 1. **skewed (power-law) degree distributions** — these break the
+//!    multi-dimensional balance of Spinner/SHP (Figure 4) and make
+//!    vertex-only balancing overload workers (Figure 1);
+//! 2. **community structure** — this is what lets a good partitioner reach
+//!    edge locality far above the `1/k` of hash partitioning (Figures 5, 6).
+//!
+//! [`community::CommunityGraphConfig`] (an LFR-lite model) controls both and
+//! is the default proxy family; [`rmat`] provides the classic scale-free
+//! benchmark family used for the scalability sweep.
+
+pub mod barabasi_albert;
+pub mod chung_lu;
+pub mod classic;
+pub mod community;
+pub mod erdos_renyi;
+pub mod rmat;
+mod sampling;
+
+pub use barabasi_albert::barabasi_albert;
+pub use chung_lu::{chung_lu, power_law_sequence};
+pub use classic::{complete, cycle, grid, path, planted_partition, star, two_cliques};
+pub use community::{community_graph, CommunityGraph, CommunityGraphConfig};
+pub use erdos_renyi::erdos_renyi;
+pub use rmat::{rmat, RmatConfig};
+pub use sampling::AliasTable;

@@ -1,0 +1,115 @@
+//! R-MAT (recursive matrix) generator — the standard scale-free benchmark
+//! family (Graph500 uses it). Used for the FB-X proxy size sweep in the
+//! scalability experiment (paper Fig. 11) because a single parameter set
+//! yields a self-similar family across sizes.
+
+use crate::builder::GraphBuilder;
+use crate::Graph;
+use rand::Rng;
+
+/// R-MAT parameters. The quadrant probabilities must sum to 1.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatConfig {
+    /// `n = 2^scale` vertices.
+    pub scale: u32,
+    /// Average edges per vertex; `m = edge_factor * n` draws.
+    pub edge_factor: usize,
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+}
+
+impl RmatConfig {
+    /// Graph500 reference parameters (a=0.57, b=c=0.19, d=0.05).
+    pub fn graph500(scale: u32, edge_factor: usize) -> Self {
+        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+    }
+
+    fn d(&self) -> f64 {
+        1.0 - self.a - self.b - self.c
+    }
+
+    fn validate(&self) {
+        assert!(self.a >= 0.0 && self.b >= 0.0 && self.c >= 0.0 && self.d() >= -1e-9);
+        assert!(self.scale >= 1 && self.scale < 31);
+    }
+}
+
+/// Generates an R-MAT graph. Duplicate and self-loop draws are discarded by
+/// the builder, so the final edge count lands a little under
+/// `edge_factor << scale`.
+pub fn rmat<R: Rng>(config: RmatConfig, rng: &mut R) -> Graph {
+    config.validate();
+    let n = 1usize << config.scale;
+    let m = config.edge_factor * n;
+    let (a, b, c) = (config.a, config.b, config.c);
+    let mut builder = GraphBuilder::with_edge_capacity(n, m);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..config.scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left quadrant: no bits set
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            builder.add_edge(u as u32, v as u32);
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analytics::degree_stats;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn size_and_determinism() {
+        let cfg = RmatConfig::graph500(10, 8);
+        let g1 = rmat(cfg, &mut StdRng::seed_from_u64(42));
+        let g2 = rmat(cfg, &mut StdRng::seed_from_u64(42));
+        assert_eq!(g1, g2);
+        assert_eq!(g1.num_vertices(), 1024);
+        let m = g1.num_edges();
+        assert!(m > 4000 && m <= 8192, "m = {m}");
+    }
+
+    #[test]
+    fn skewed_degree_distribution() {
+        let g = rmat(RmatConfig::graph500(12, 16), &mut StdRng::seed_from_u64(1));
+        let s = degree_stats(&g);
+        assert!(
+            s.top1_percent_share > 0.10,
+            "R-MAT should be skewed, top1% share = {}",
+            s.top1_percent_share
+        );
+        assert!(s.max > 8 * s.mean as usize, "max {} vs mean {}", s.max, s.mean);
+    }
+
+    #[test]
+    fn uniform_parameters_lose_skew() {
+        let cfg = RmatConfig { scale: 12, edge_factor: 16, a: 0.25, b: 0.25, c: 0.25 };
+        let g = rmat(cfg, &mut StdRng::seed_from_u64(1));
+        let s = degree_stats(&g);
+        assert!(s.top1_percent_share < 0.05, "uniform R-MAT ≈ ER, got {}", s.top1_percent_share);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probabilities_rejected() {
+        let cfg = RmatConfig { scale: 4, edge_factor: 2, a: 0.9, b: 0.3, c: 0.3 };
+        rmat(cfg, &mut StdRng::seed_from_u64(0));
+    }
+}

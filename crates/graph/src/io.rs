@@ -1,0 +1,246 @@
+//! Graph serialization: text edge lists (SNAP style), the METIS file format,
+//! and a compact little-endian binary format for caching generated proxies
+//! between experiment runs.
+
+use crate::{Graph, GraphBuilder, VertexId};
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Writes `graph` as a SNAP-style text edge list: one `u v` pair per line,
+/// `#`-prefixed header with counts.
+pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# vertices {} edges {}", graph.num_vertices(), graph.num_edges())?;
+    for (u, v) in graph.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()
+}
+
+/// Reads a text edge list. Lines starting with `#` or `%` are comments.
+/// Vertex count is `max id + 1` unless a `# vertices N ...` header raises it.
+pub fn read_edge_list<R: Read>(reader: R) -> io::Result<Graph> {
+    let r = BufReader::new(reader);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let mut declared_n: Option<usize> = None;
+    let mut max_id: u32 = 0;
+    let mut any_vertex = false;
+    for line in r.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() {
+            continue;
+        }
+        if t.starts_with('#') || t.starts_with('%') {
+            // Parse "# vertices N edges M" if present.
+            let tokens: Vec<&str> = t.split_whitespace().collect();
+            if let Some(pos) = tokens.iter().position(|&s| s == "vertices") {
+                if let Some(n) = tokens.get(pos + 1).and_then(|s| s.parse().ok()) {
+                    declared_n = Some(n);
+                }
+            }
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let parse = |s: Option<&str>| -> io::Result<u32> {
+            s.ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "missing endpoint"))?
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id: {e}")))
+        };
+        let u = parse(it.next())?;
+        let v = parse(it.next())?;
+        max_id = max_id.max(u).max(v);
+        any_vertex = true;
+        edges.push((u, v));
+    }
+    let n_from_edges = if any_vertex { max_id as usize + 1 } else { 0 };
+    let n = declared_n.unwrap_or(n_from_edges).max(n_from_edges);
+    Ok(GraphBuilder::new(n).edges(edges).build())
+}
+
+/// Writes the METIS format: header `n m`, then line `i` lists the 1-based
+/// neighbours of vertex `i`.
+pub fn write_metis<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "{} {}", graph.num_vertices(), graph.num_edges())?;
+    for v in graph.vertices() {
+        let line: Vec<String> = graph.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        writeln!(w, "{}", line.join(" "))?;
+    }
+    w.flush()
+}
+
+/// Reads the (unweighted) METIS format produced by [`write_metis`].
+#[allow(clippy::explicit_counter_loop)] // `row` outlives the loop for the n-line cap
+pub fn read_metis<R: Read>(reader: R) -> io::Result<Graph> {
+    let r = BufReader::new(reader);
+    let mut lines = r.lines();
+    let header = lines
+        .next()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "empty METIS file"))??;
+    let mut ht = header.split_whitespace();
+    let n: usize = ht
+        .next()
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "bad METIS header"))?;
+    let mut b = GraphBuilder::new(n);
+    let mut row = 0usize;
+    for line in lines {
+        let line = line?;
+        if row >= n {
+            break;
+        }
+        for tok in line.split_whitespace() {
+            let t: usize = tok
+                .parse()
+                .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id: {e}")))?;
+            if t == 0 || t > n {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "METIS id out of range"));
+            }
+            let u = (t - 1) as VertexId;
+            if (row as u32) < u {
+                b.add_edge(row as VertexId, u);
+            }
+        }
+        row += 1;
+    }
+    Ok(b.build())
+}
+
+const BINARY_MAGIC: &[u8; 8] = b"MDBGPGR1";
+
+/// Writes the compact binary format: magic, `n`, `m` (u64 LE), then `m`
+/// `(u32, u32)` LE edge pairs with `u < v`.
+pub fn write_binary<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(graph.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(graph.num_edges() as u64).to_le_bytes())?;
+    for (u, v) in graph.edges() {
+        w.write_all(&u.to_le_bytes())?;
+        w.write_all(&v.to_le_bytes())?;
+    }
+    w.flush()
+}
+
+/// Reads the binary format written by [`write_binary`].
+pub fn read_binary<R: Read>(reader: R) -> io::Result<Graph> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "bad magic"));
+    }
+    let mut buf8 = [0u8; 8];
+    r.read_exact(&mut buf8)?;
+    let n = u64::from_le_bytes(buf8) as usize;
+    r.read_exact(&mut buf8)?;
+    let m = u64::from_le_bytes(buf8) as usize;
+    let mut b = GraphBuilder::with_edge_capacity(n, m);
+    let mut buf4 = [0u8; 4];
+    for _ in 0..m {
+        r.read_exact(&mut buf4)?;
+        let u = u32::from_le_bytes(buf4);
+        r.read_exact(&mut buf4)?;
+        let v = u32::from_le_bytes(buf4);
+        b.add_edge(u, v);
+    }
+    Ok(b.build())
+}
+
+/// Convenience wrapper: writes `graph` to `path` in binary format.
+pub fn save_binary(graph: &Graph, path: &Path) -> io::Result<()> {
+    write_binary(graph, std::fs::File::create(path)?)
+}
+
+/// Convenience wrapper: loads a binary graph from `path`.
+pub fn load_binary(path: &Path) -> io::Result<Graph> {
+    read_binary(std::fs::File::open(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+    use crate::gen;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Graph {
+        gen::erdos_renyi(64, 200, &mut StdRng::seed_from_u64(10))
+    }
+
+    #[test]
+    fn edge_list_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn edge_list_header_preserves_isolated_tail_vertices() {
+        let g = graph_from_edges(10, &[(0, 1)]); // vertices 2..9 isolated
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g2.num_vertices(), 10);
+    }
+
+    #[test]
+    fn edge_list_reads_comments_and_blank_lines() {
+        let text = "% comment\n\n# another\n0 1\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.num_vertices(), 3);
+    }
+
+    #[test]
+    fn edge_list_rejects_garbage() {
+        assert!(read_edge_list("0 x\n".as_bytes()).is_err());
+        assert!(read_edge_list("7\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn metis_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_metis(&g, &mut buf).unwrap();
+        let g2 = read_metis(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn metis_rejects_out_of_range() {
+        assert!(read_metis("2 1\n2\n3\n".as_bytes()).is_err());
+        assert!(read_metis("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let mut buf = Vec::new();
+        write_binary(&sample(), &mut buf).unwrap();
+        buf[0] = b'X';
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_file_roundtrip() {
+        let g = sample();
+        let path = std::env::temp_dir().join("mdbgp_io_test.bin");
+        save_binary(&g, &path).unwrap();
+        let g2 = load_binary(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,45 @@
+// Tight numeric loops in this crate frequently index several parallel
+// arrays at once; rewriting them with zipped iterators obscures the
+// kernels, so this pedantic lint is disabled crate-wide (perf lints stay).
+#![allow(clippy::needless_range_loop)]
+
+//! Graph substrate for the MDBGP (multi-dimensional balanced graph
+//! partitioning) workspace.
+//!
+//! This crate provides everything the partitioning algorithms operate on:
+//!
+//! * [`Graph`] — a compact CSR (compressed sparse row) representation of an
+//!   undirected simple graph,
+//! * [`GraphBuilder`] — incremental construction with deduplication and
+//!   self-loop removal,
+//! * [`VertexWeights`] — `d` user-specified positive weight functions per
+//!   vertex (the "multi-dimensional" part of MDBGP),
+//! * [`Partition`] — an assignment of vertices to `k` parts together with
+//!   the quality metrics the paper reports (edge locality, per-dimension
+//!   imbalance, cut size),
+//! * [`gen`] — synthetic graph generators used as stand-ins for the SNAP /
+//!   Facebook graphs of the paper's evaluation,
+//! * [`analytics`] — PageRank, connected components, neighbour degree sums
+//!   (used both as extra balance dimensions and as test oracles),
+//! * [`io`] — text / METIS / binary edge-list serialization,
+//! * [`subgraph`] — induced subgraphs for recursive bisection.
+
+pub mod analytics;
+pub mod builder;
+pub mod csr;
+pub mod gen;
+pub mod io;
+pub mod partition;
+pub mod subgraph;
+pub mod weights;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use partition::{Partition, PartitionError, PartitionQuality, Partitioner};
+pub use subgraph::InducedSubgraph;
+pub use weights::{VertexWeights, WeightKind};
+
+/// Vertex identifier. Graphs in this workspace are laptop-scale stand-ins
+/// for the paper's billion-edge graphs, so 32 bits are plenty and halve the
+/// memory traffic of the CSR arrays compared to `usize`.
+pub type VertexId = u32;

@@ -1,0 +1,390 @@
+//! Partitions and the quality metrics the paper reports.
+//!
+//! * **edge locality** — percentage of edges with both endpoints in the same
+//!   part (Figures 5, 6, 8–10, Table 3); the complement of the cut.
+//! * **imbalance** — `max_i w(V_i) / avg_i w(V_i) − 1` per weight dimension
+//!   (Figure 4, Table 3); a partition is ε-balanced iff every part's weight
+//!   is within `(1 ± ε) · w(V)/k`.
+
+use crate::{Graph, VertexId, VertexWeights};
+
+/// Errors shared by every partitioner in the workspace.
+#[derive(Clone, Debug, PartialEq)]
+pub enum PartitionError {
+    /// `k` is zero or exceeds the vertex count.
+    InvalidK { k: usize, n: usize },
+    /// The weight dimensions do not match the graph.
+    DimensionMismatch { weights_n: usize, graph_n: usize },
+    /// No ε-balanced solution could be produced (e.g. contradictory
+    /// multi-dimensional constraints, or rounding failed repeatedly).
+    Infeasible(String),
+    /// Invalid algorithm configuration.
+    Config(String),
+}
+
+impl std::fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PartitionError::InvalidK { k, n } => {
+                write!(f, "invalid part count k = {k} for {n} vertices")
+            }
+            PartitionError::DimensionMismatch { weights_n, graph_n } => {
+                write!(f, "weights cover {weights_n} vertices but graph has {graph_n}")
+            }
+            PartitionError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
+            PartitionError::Config(msg) => write!(f, "bad configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PartitionError {}
+
+/// Common interface of every partitioning algorithm in the workspace:
+/// the paper's `GD` as well as the Hash / Spinner / BLP / SHP / METIS
+/// baselines. `seed` makes every algorithm deterministic and lets the
+/// experiment harness average over repetitions.
+pub trait Partitioner {
+    /// Short display name used in experiment tables (e.g. `"GD"`).
+    fn name(&self) -> &str;
+
+    /// Splits `graph` into `k` parts, balancing every dimension of
+    /// `weights`.
+    fn partition(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        k: usize,
+        seed: u64,
+    ) -> Result<Partition, PartitionError>;
+}
+
+/// Validates the common preconditions shared by all partitioners.
+pub fn validate_inputs(
+    graph: &Graph,
+    weights: &VertexWeights,
+    k: usize,
+) -> Result<(), PartitionError> {
+    let n = graph.num_vertices();
+    if k == 0 || k > n.max(1) {
+        return Err(PartitionError::InvalidK { k, n });
+    }
+    if weights.num_vertices() != n {
+        return Err(PartitionError::DimensionMismatch {
+            weights_n: weights.num_vertices(),
+            graph_n: n,
+        });
+    }
+    Ok(())
+}
+
+/// An assignment of each vertex to one of `k` parts.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    parts: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Wraps a raw assignment vector.
+    ///
+    /// # Panics
+    /// Panics if `k == 0` or any label is `>= k`.
+    pub fn new(parts: Vec<u32>, k: usize) -> Self {
+        assert!(k > 0, "k must be positive");
+        for (v, &p) in parts.iter().enumerate() {
+            assert!((p as usize) < k, "vertex {v} assigned to part {p} >= k = {k}");
+        }
+        Self { parts, k }
+    }
+
+    /// The all-zeros partition (everything in part 0).
+    pub fn trivial(n: usize, k: usize) -> Self {
+        Self::new(vec![0; n], k)
+    }
+
+    /// Builds a 2-partition from ±1 signs (the GD rounding output format).
+    /// `+1 → part 0`, `-1 → part 1`.
+    pub fn from_signs(signs: &[i8]) -> Self {
+        let parts = signs
+            .iter()
+            .map(|&s| {
+                assert!(s == 1 || s == -1, "sign must be ±1");
+                if s == 1 {
+                    0
+                } else {
+                    1
+                }
+            })
+            .collect();
+        Self::new(parts, 2)
+    }
+
+    /// Number of parts `k`.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Part of vertex `v`.
+    #[inline]
+    pub fn part_of(&self, v: VertexId) -> u32 {
+        self.parts[v as usize]
+    }
+
+    /// Raw assignment slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Reassigns vertex `v` (used by the local-search baselines).
+    #[inline]
+    pub fn assign(&mut self, v: VertexId, part: u32) {
+        debug_assert!((part as usize) < self.k);
+        self.parts[v as usize] = part;
+    }
+
+    /// Vertex count per part.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &p in &self.parts {
+            sizes[p as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of each part, in vertex order.
+    pub fn members(&self) -> Vec<Vec<VertexId>> {
+        let mut members = vec![Vec::new(); self.k];
+        for (v, &p) in self.parts.iter().enumerate() {
+            members[p as usize].push(v as VertexId);
+        }
+        members
+    }
+
+    /// `loads[i][j] = w^(j)(V_i)` — the per-part per-dimension weight totals.
+    pub fn loads(&self, weights: &VertexWeights) -> Vec<Vec<f64>> {
+        assert_eq!(weights.num_vertices(), self.parts.len());
+        let mut loads = vec![vec![0.0f64; weights.dims()]; self.k];
+        for j in 0..weights.dims() {
+            let col = weights.dim(j);
+            for (v, &p) in self.parts.iter().enumerate() {
+                loads[p as usize][j] += col[v];
+            }
+        }
+        loads
+    }
+
+    /// Per-dimension imbalance `max_i w(V_i)/avg_i w(V_i) − 1` (paper Fig. 4).
+    pub fn imbalance(&self, weights: &VertexWeights) -> Vec<f64> {
+        let loads = self.loads(weights);
+        (0..weights.dims())
+            .map(|j| {
+                let avg = weights.total(j) / self.k as f64;
+                let max = loads.iter().map(|l| l[j]).fold(f64::MIN, f64::max);
+                if avg > 0.0 {
+                    max / avg - 1.0
+                } else {
+                    0.0
+                }
+            })
+            .collect()
+    }
+
+    /// Maximum imbalance over all dimensions (paper Figs. 9, 15, Table 3).
+    pub fn max_imbalance(&self, weights: &VertexWeights) -> f64 {
+        self.imbalance(weights).into_iter().fold(0.0, f64::max)
+    }
+
+    /// Whether every part's weight is within `(1 ± eps) · w(V)/k` in every
+    /// dimension — the ε-balance requirement of Definition 2.1.
+    pub fn is_balanced(&self, weights: &VertexWeights, eps: f64) -> bool {
+        let loads = self.loads(weights);
+        (0..weights.dims()).all(|j| {
+            let avg = weights.total(j) / self.k as f64;
+            loads.iter().all(|l| (l[j] - avg).abs() <= eps * avg + 1e-9)
+        })
+    }
+
+    /// Newman modularity `Q = Σ_c (e_c/m − (deg_c / 2m)²)`: how much more
+    /// intra-part edge mass the partition captures than a random graph
+    /// with the same degrees would. Complements edge locality — locality
+    /// ignores part degree mass, modularity normalizes for it.
+    pub fn modularity(&self, graph: &Graph) -> f64 {
+        let m = graph.num_edges();
+        if m == 0 {
+            return 0.0;
+        }
+        let mut intra = vec![0usize; self.k];
+        let mut degree_mass = vec![0usize; self.k];
+        for v in 0..self.parts.len() as VertexId {
+            degree_mass[self.parts[v as usize] as usize] += graph.degree(v);
+        }
+        for (u, v) in graph.edges() {
+            if self.parts[u as usize] == self.parts[v as usize] {
+                intra[self.parts[u as usize] as usize] += 1;
+            }
+        }
+        let m = m as f64;
+        (0..self.k)
+            .map(|c| intra[c] as f64 / m - (degree_mass[c] as f64 / (2.0 * m)).powi(2))
+            .sum()
+    }
+
+    /// Number of cut edges (endpoints in different parts).
+    pub fn cut_edges(&self, graph: &Graph) -> usize {
+        assert_eq!(graph.num_vertices(), self.parts.len());
+        graph.edges().filter(|&(u, v)| self.parts[u as usize] != self.parts[v as usize]).count()
+    }
+
+    /// Edge locality: fraction of edges with both endpoints in one part
+    /// (1.0 for an edgeless graph, matching "nothing to cut").
+    pub fn edge_locality(&self, graph: &Graph) -> f64 {
+        let m = graph.num_edges();
+        if m == 0 {
+            return 1.0;
+        }
+        1.0 - self.cut_edges(graph) as f64 / m as f64
+    }
+
+    /// Bundles every metric for reporting.
+    pub fn quality(&self, graph: &Graph, weights: &VertexWeights) -> PartitionQuality {
+        PartitionQuality {
+            k: self.k,
+            edge_locality: self.edge_locality(graph),
+            cut_edges: self.cut_edges(graph),
+            imbalance: self.imbalance(weights),
+            max_imbalance: self.max_imbalance(weights),
+        }
+    }
+}
+
+/// Snapshot of partition quality, the row format of the paper's tables.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PartitionQuality {
+    pub k: usize,
+    /// Fraction in `[0, 1]`; multiply by 100 for the paper's "locality, %".
+    pub edge_locality: f64,
+    pub cut_edges: usize,
+    /// Per-dimension imbalance.
+    pub imbalance: Vec<f64>,
+    pub max_imbalance: f64,
+}
+
+impl std::fmt::Display for PartitionQuality {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "k={} locality={:.2}% cut={} max_imbalance={:.2}%",
+            self.k,
+            self.edge_locality * 100.0,
+            self.cut_edges,
+            self.max_imbalance * 100.0
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn two_triangles() -> Graph {
+        graph_from_edges(6, &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)])
+    }
+
+    #[test]
+    fn perfect_split_metrics() {
+        let g = two_triangles();
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        assert_eq!(p.cut_edges(&g), 1);
+        assert!((p.edge_locality(&g) - 6.0 / 7.0).abs() < 1e-12);
+        let w = VertexWeights::unit(6);
+        assert_eq!(p.imbalance(&w), vec![0.0]);
+        assert!(p.is_balanced(&w, 0.0));
+    }
+
+    #[test]
+    fn imbalance_detects_overload() {
+        let p = Partition::new(vec![0, 0, 0, 0, 1, 1], 2);
+        let w = VertexWeights::unit(6);
+        let imb = p.imbalance(&w);
+        assert!((imb[0] - (4.0 / 3.0 - 1.0)).abs() < 1e-12);
+        assert!(!p.is_balanced(&w, 0.05));
+        assert!(p.is_balanced(&w, 0.34));
+    }
+
+    #[test]
+    fn multi_dim_imbalance_independent() {
+        // Unit-balanced but degree-imbalanced split of a star.
+        let g = graph_from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let w = VertexWeights::vertex_edge(&g);
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let imb = p.imbalance(&w);
+        assert_eq!(imb[0], 0.0, "vertex counts equal");
+        assert!(imb[1] > 0.2, "degrees unequal: hub side has 3+1 of 6");
+    }
+
+    #[test]
+    fn from_signs_roundtrip() {
+        let p = Partition::from_signs(&[1, -1, -1, 1]);
+        assert_eq!(p.as_slice(), &[0, 1, 1, 0]);
+        assert_eq!(p.num_parts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "sign must be ±1")]
+    fn from_signs_rejects_zero() {
+        Partition::from_signs(&[1, 0]);
+    }
+
+    #[test]
+    fn members_and_sizes_agree() {
+        let p = Partition::new(vec![2, 0, 1, 2], 3);
+        assert_eq!(p.sizes(), vec![1, 1, 2]);
+        assert_eq!(p.members()[2], vec![0, 3]);
+    }
+
+    #[test]
+    fn locality_of_edgeless_graph_is_one() {
+        let p = Partition::new(vec![0, 1], 2);
+        assert_eq!(p.edge_locality(&Graph::empty(2)), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= k")]
+    fn new_rejects_bad_labels() {
+        Partition::new(vec![0, 3], 2);
+    }
+
+    #[test]
+    fn modularity_of_perfect_community_split() {
+        let g = two_triangles();
+        let good = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let bad = Partition::new(vec![0, 1, 0, 1, 0, 1], 2);
+        let qg = good.modularity(&g);
+        let qb = bad.modularity(&g);
+        assert!(qg > 0.3, "community-aligned split has high modularity, got {qg}");
+        assert!(qg > qb, "aligned {qg} must beat interleaved {qb}");
+        // Single part: Q = 1 − 1 = 0.
+        let single = Partition::new(vec![0; 6], 1);
+        assert!(single.modularity(&g).abs() < 1e-12);
+        assert_eq!(Partition::new(vec![0, 1], 2).modularity(&Graph::empty(2)), 0.0);
+    }
+
+    #[test]
+    fn quality_display_formats() {
+        let g = two_triangles();
+        let w = VertexWeights::unit(6);
+        let q = Partition::new(vec![0, 0, 0, 1, 1, 1], 2).quality(&g, &w);
+        let s = format!("{q}");
+        assert!(s.contains("k=2"));
+        assert!(s.contains("locality"));
+    }
+}

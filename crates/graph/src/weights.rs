@@ -1,0 +1,248 @@
+//! Multi-dimensional vertex weights.
+//!
+//! MDBGP balances a partition with respect to `d` positive weight functions
+//! `w^(1), ..., w^(d) : V → R+` simultaneously (paper §1). The canonical
+//! two-dimensional instance is `w^(1) = 1` (vertex balance) and
+//! `w^(2) = deg(v)` (edge balance); the Appendix C experiments add PageRank
+//! and the sum of neighbour degrees as third and fourth dimensions.
+
+use crate::{analytics, Graph, VertexId};
+
+/// The weight functions used throughout the paper's evaluation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WeightKind {
+    /// `w(v) = 1` — balances vertex counts ("vertex partitioning").
+    Unit,
+    /// `w(v) = max(deg(v), floor)` — balances edge counts ("edge
+    /// partitioning"); `floor = 1` keeps weights strictly positive on
+    /// isolated vertices as the problem definition requires.
+    Degree,
+    /// `w(v) = 1 + Σ_{u ∈ N(v)} deg(u)` — proxy for the 2-hop neighbourhood
+    /// size (paper App. C.1).
+    NeighborDegreeSum,
+    /// `w(v) = n · PageRank(v)` — models per-vertex access frequency
+    /// (paper App. C.1). Scaled by `n` so the mean weight is 1.
+    PageRank {
+        /// Damping factor, 0.85 in all experiments.
+        damping: f64,
+        /// Power-iteration count.
+        iterations: usize,
+    },
+}
+
+impl WeightKind {
+    /// The paper's default PageRank configuration.
+    pub fn pagerank_default() -> Self {
+        WeightKind::PageRank { damping: 0.85, iterations: 20 }
+    }
+
+    /// Evaluates the weight function on every vertex of `graph`.
+    pub fn evaluate(&self, graph: &Graph) -> Vec<f64> {
+        let n = graph.num_vertices();
+        match self {
+            WeightKind::Unit => vec![1.0; n],
+            WeightKind::Degree => {
+                (0..n).map(|v| (graph.degree(v as VertexId).max(1)) as f64).collect()
+            }
+            WeightKind::NeighborDegreeSum => (0..n)
+                .map(|v| {
+                    1.0 + graph
+                        .neighbors(v as VertexId)
+                        .iter()
+                        .map(|&u| graph.degree(u) as f64)
+                        .sum::<f64>()
+                })
+                .collect(),
+            WeightKind::PageRank { damping, iterations } => {
+                let pr = analytics::pagerank(graph, *damping, *iterations);
+                // Scale to mean 1 so that ε thresholds are comparable across
+                // dimensions; PageRank itself sums to 1.
+                pr.into_iter().map(|p| p * n as f64).collect()
+            }
+        }
+    }
+}
+
+/// A `d`-dimensional positive weighting of the vertices, stored
+/// dimension-major so the projection inner loops stream one contiguous
+/// slice per constraint.
+#[derive(Clone, Debug, PartialEq)]
+pub struct VertexWeights {
+    /// `data[j][v]` is `w^(j)(v)`; every entry is strictly positive.
+    data: Vec<Vec<f64>>,
+    /// `totals[j] = Σ_v w^(j)(v)`.
+    totals: Vec<f64>,
+}
+
+impl VertexWeights {
+    /// Builds weights from raw per-dimension vectors.
+    ///
+    /// # Panics
+    /// Panics if dimensions disagree in length, `dims == 0`, or any weight
+    /// is not strictly positive and finite (MDBGP requires `w : V → R+`).
+    pub fn from_vectors(data: Vec<Vec<f64>>) -> Self {
+        assert!(!data.is_empty(), "at least one weight dimension required");
+        let n = data[0].len();
+        for (j, col) in data.iter().enumerate() {
+            assert_eq!(col.len(), n, "dimension {j} has wrong length");
+            for (v, &w) in col.iter().enumerate() {
+                assert!(w.is_finite() && w > 0.0, "w^({j})({v}) = {w} must be positive finite");
+            }
+        }
+        let totals = data.iter().map(|col| col.iter().sum()).collect();
+        Self { data, totals }
+    }
+
+    /// Evaluates a list of [`WeightKind`]s on `graph`.
+    pub fn build(graph: &Graph, kinds: &[WeightKind]) -> Self {
+        Self::from_vectors(kinds.iter().map(|k| k.evaluate(graph)).collect())
+    }
+
+    /// The paper's default two dimensions: unit + degree.
+    pub fn vertex_edge(graph: &Graph) -> Self {
+        Self::build(graph, &[WeightKind::Unit, WeightKind::Degree])
+    }
+
+    /// Single unit dimension (classic balanced partitioning).
+    pub fn unit(n: usize) -> Self {
+        Self::from_vectors(vec![vec![1.0; n]])
+    }
+
+    /// Number of balance dimensions `d`.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.data[0].len()
+    }
+
+    /// The weight vector of dimension `j` (contiguous, length `n`).
+    #[inline]
+    pub fn dim(&self, j: usize) -> &[f64] {
+        &self.data[j]
+    }
+
+    /// `w^(j)(v)`.
+    #[inline]
+    pub fn weight(&self, j: usize, v: VertexId) -> f64 {
+        self.data[j][v as usize]
+    }
+
+    /// Total weight `w^(j)(V)`.
+    #[inline]
+    pub fn total(&self, j: usize) -> f64 {
+        self.totals[j]
+    }
+
+    /// Sum of `w^(j)` over an arbitrary vertex subset.
+    pub fn subset_total(&self, j: usize, subset: &[VertexId]) -> f64 {
+        subset.iter().map(|&v| self.weight(j, v)).sum()
+    }
+
+    /// Restricts the weights to a vertex subset (used when recursing into an
+    /// induced subgraph). `subset[i]` is the original id of new vertex `i`.
+    pub fn restrict(&self, subset: &[VertexId]) -> Self {
+        let data = self
+            .data
+            .iter()
+            .map(|col| subset.iter().map(|&v| col[v as usize]).collect())
+            .collect();
+        Self::from_vectors(data)
+    }
+
+    /// Approximate heap footprint in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.data.iter().map(|c| c.len() * std::mem::size_of::<f64>()).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::graph_from_edges;
+
+    fn star5() -> Graph {
+        // Vertex 0 is the hub of a 5-leaf star.
+        graph_from_edges(6, &[(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
+    }
+
+    #[test]
+    fn unit_weights() {
+        let g = star5();
+        let w = VertexWeights::build(&g, &[WeightKind::Unit]);
+        assert_eq!(w.dims(), 1);
+        assert_eq!(w.total(0), 6.0);
+        assert_eq!(w.weight(0, 3), 1.0);
+    }
+
+    #[test]
+    fn degree_weights_with_floor() {
+        let g = graph_from_edges(3, &[(0, 1)]); // vertex 2 isolated
+        let w = VertexWeights::build(&g, &[WeightKind::Degree]);
+        assert_eq!(w.weight(0, 0), 1.0);
+        assert_eq!(w.weight(0, 2), 1.0, "isolated vertex gets floor weight");
+        let g2 = star5();
+        let w2 = VertexWeights::build(&g2, &[WeightKind::Degree]);
+        assert_eq!(w2.weight(0, 0), 5.0);
+        assert_eq!(w2.total(0), 10.0);
+    }
+
+    #[test]
+    fn neighbor_degree_sum() {
+        let g = star5();
+        let w = VertexWeights::build(&g, &[WeightKind::NeighborDegreeSum]);
+        // Hub: 1 + 5 leaves of degree 1 = 6. Leaf: 1 + hub degree 5 = 6.
+        assert_eq!(w.weight(0, 0), 6.0);
+        assert_eq!(w.weight(0, 1), 6.0);
+    }
+
+    #[test]
+    fn pagerank_weights_mean_one() {
+        let g = star5();
+        let w = VertexWeights::build(&g, &[WeightKind::pagerank_default()]);
+        let mean = w.total(0) / 6.0;
+        assert!((mean - 1.0).abs() < 1e-9, "scaled PageRank has mean 1, got {mean}");
+        assert!(w.weight(0, 0) > w.weight(0, 1), "hub outranks leaves");
+    }
+
+    #[test]
+    fn vertex_edge_is_two_dimensional() {
+        let w = VertexWeights::vertex_edge(&star5());
+        assert_eq!(w.dims(), 2);
+        assert_eq!(w.total(0), 6.0);
+        assert_eq!(w.total(1), 10.0);
+    }
+
+    #[test]
+    fn restrict_keeps_order() {
+        let g = star5();
+        let w = VertexWeights::build(&g, &[WeightKind::Degree]);
+        let r = w.restrict(&[0, 5]);
+        assert_eq!(r.num_vertices(), 2);
+        assert_eq!(r.weight(0, 0), 5.0);
+        assert_eq!(r.weight(0, 1), 1.0);
+    }
+
+    #[test]
+    fn subset_total_matches_manual_sum() {
+        let g = star5();
+        let w = VertexWeights::vertex_edge(&g);
+        assert_eq!(w.subset_total(1, &[0, 1]), 6.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_nonpositive_weights() {
+        VertexWeights::from_vectors(vec![vec![1.0, 0.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong length")]
+    fn rejects_ragged_dimensions() {
+        VertexWeights::from_vectors(vec![vec![1.0, 1.0], vec![1.0]]);
+    }
+}

@@ -1,0 +1,65 @@
+//! Distributed graph processing end-to-end (the paper's §4.2 workflow):
+//! partition a graph with different policies, run PageRank on a simulated
+//! 16-worker Giraph cluster, and compare iteration times and network
+//! traffic.
+//!
+//! Run with: `cargo run --release --example giraph_simulation`
+
+use mdbgp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(9);
+    let cg = community_graph(&CommunityGraphConfig::social(30_000), &mut rng);
+    let graph = &cg.graph;
+    const WORKERS: usize = 16;
+
+    // Three partitioning policies: hash, vertex-only GD, vertex+edge GD.
+    let unit = VertexWeights::build(graph, &[WeightKind::Unit]);
+    let both = VertexWeights::vertex_edge(graph);
+    let gd = GdPartitioner::new(GdConfig::with_epsilon(0.03));
+
+    let policies = [
+        ("hash", HashPartitioner.partition(graph, &unit, WORKERS, 5).unwrap()),
+        ("vertex GD", gd.partition(graph, &unit, WORKERS, 5).unwrap()),
+        ("vertex-edge GD", gd.partition(graph, &both, WORKERS, 5).unwrap()),
+    ];
+
+    println!("PageRank (30 iterations) on {WORKERS} simulated workers:\n");
+    println!(
+        "{:>16} {:>11} {:>14} {:>14} {:>12}",
+        "policy", "locality %", "iteration time", "straggler", "remote MB"
+    );
+    let mut baseline = None;
+    for (name, partition) in &policies {
+        let engine = BspEngine::new(graph, partition, CostModel::default());
+        let (stats, ranks) = engine.run(&PageRank::default());
+        // Sanity: PageRank mass is conserved by the BSP run.
+        let mass: f64 = ranks.iter().sum();
+        assert!((mass - 1.0).abs() < 0.2, "rank mass {mass}");
+
+        let (mean, max, _) = stats.runtime_summary();
+        let total = stats.total_time();
+        let speedup = match baseline {
+            None => {
+                baseline = Some(total);
+                "1.00x (baseline)".to_string()
+            }
+            Some(b) => format!("{:.2}x", b / total),
+        };
+        println!(
+            "{:>16} {:>11.1} {:>14} {:>14} {:>12.1}   {speedup}",
+            name,
+            partition.edge_locality(graph) * 100.0,
+            format!("{:.0}", total),
+            format!("{:.2}x", max / mean),
+            stats.total_remote_bytes() as f64 / (1024.0 * 1024.0),
+        );
+    }
+    println!(
+        "\nThe BSP barrier makes every superstep as slow as its slowest worker:\n\
+         balancing only vertices leaves an edge-overloaded straggler, while\n\
+         two-dimensional balance keeps workers even AND cuts remote traffic."
+    );
+}

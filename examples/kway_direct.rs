@@ -1,0 +1,58 @@
+//! Recursive bisection vs the direct k-way relaxation (paper §3.3).
+//!
+//! Three equal communities with k = 3 is the canonical instance where
+//! recursion is structurally handicapped: its first cut must split the
+//! graph 2:1, so some community is torn apart no matter how good the
+//! bisections are. The direct relaxation assigns each vertex a probability
+//! row over all three parts simultaneously and can keep every community
+//! intact — at the price of one gradient mat-vec *per part* per iteration
+//! (the `O(k·|E|)` communication the paper cites).
+//!
+//! Run with: `cargo run --release --example kway_direct`
+
+use mdbgp::core::KWayGdPartitioner;
+use mdbgp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Three planted communities of equal size, lightly interconnected.
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut cfg = CommunityGraphConfig::social(6000);
+    cfg.min_community = 2000;
+    cfg.max_community = 2000;
+    cfg.mixing = 0.05;
+    let cg = community_graph(&cfg, &mut rng);
+    let graph = &cg.graph;
+    let weights = VertexWeights::vertex_edge(graph);
+    println!(
+        "{} vertices, {} edges, {} planted communities, k = 3\n",
+        graph.num_vertices(),
+        graph.num_edges(),
+        cg.num_communities
+    );
+
+    let gd_cfg = GdConfig::with_epsilon(0.05);
+    let recursive = GdPartitioner::new(gd_cfg.clone());
+    let direct = KWayGdPartitioner::new(gd_cfg);
+
+    for (name, partitioner) in
+        [("recursive bisection", &recursive as &dyn Partitioner), ("direct k-way", &direct)]
+    {
+        let start = std::time::Instant::now();
+        let p = partitioner.partition(graph, &weights, 3, 11).expect("partition");
+        let elapsed = start.elapsed();
+        let q = p.quality(graph, &weights);
+        println!(
+            "{name:>20}: locality {:.2}%  max imbalance {:.2}%  ({:.2}s)",
+            q.edge_locality * 100.0,
+            q.max_imbalance * 100.0,
+            elapsed.as_secs_f64()
+        );
+    }
+    println!(
+        "\nWith three equal communities the direct relaxation can match the\n\
+         planted structure exactly, while recursion's 2:1 first cut must\n\
+         tear one community apart."
+    );
+}

@@ -1,0 +1,51 @@
+//! Multi-dimensional balance with custom weight functions (paper App. C):
+//! balance simultaneously on vertex count, degree, 2-hop-neighbourhood
+//! proxy and PageRank — four unrelated dimensions — and watch METIS-style
+//! multilevel partitioning lose balance where GD holds it.
+//!
+//! Run with: `cargo run --release --example multidim_weights`
+
+use mdbgp::baselines::MetisPartitioner;
+use mdbgp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(1);
+    let mut config = CommunityGraphConfig::social(10_000);
+    config.degree_exponent = 2.1; // heavier skew = harder balance
+    let cg = community_graph(&config, &mut rng);
+    let graph = &cg.graph;
+
+    // Four weight dimensions. PageRank models per-vertex request load;
+    // the neighbour-degree sum approximates 2-hop neighbourhood size.
+    let weights = VertexWeights::build(
+        graph,
+        &[
+            WeightKind::Unit,
+            WeightKind::Degree,
+            WeightKind::NeighborDegreeSum,
+            WeightKind::pagerank_default(),
+        ],
+    );
+    println!("balancing d = {} dimensions over {} vertices\n", weights.dims(), graph.num_vertices());
+
+    let gd = GdPartitioner::new(GdConfig::with_epsilon(0.03));
+    let metis = MetisPartitioner::default();
+
+    for (name, partition) in [
+        ("GD", gd.partition(graph, &weights, 2, 3).expect("gd")),
+        ("METIS", metis.partition(graph, &weights, 2, 3).expect("metis")),
+    ] {
+        let q = partition.quality(graph, &weights);
+        println!("{name:>6}: locality {:.2}%", q.edge_locality * 100.0);
+        for (j, imb) in q.imbalance.iter().enumerate() {
+            let dim = ["vertices", "degrees", "nbr-degree-sum", "pagerank"][j];
+            println!("        dim {j} ({dim:>14}): imbalance {:.2}%", imb * 100.0);
+        }
+    }
+    println!(
+        "\nThe continuous relaxation handles all four constraints uniformly;\n\
+         discrete multilevel refinement runs out of feasible moves (Table 3)."
+    );
+}

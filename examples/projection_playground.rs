@@ -1,0 +1,54 @@
+//! The projection step in isolation (paper §2.2–2.3): project a point
+//! onto `B∞ ∩ S¹ ∩ S²` with all four algorithms and compare distances,
+//! feasibility and cost — a miniature of the paper's Table 1.
+//!
+//! Run with: `cargo run --release --example projection_playground`
+
+use mdbgp::core::config::ProjectionMethod;
+use mdbgp::core::feasible::FeasibleRegion;
+use mdbgp::core::projection::project;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn main() {
+    const N: usize = 50_000;
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // Two balance dimensions: unit weights and skewed "degree" weights.
+    let w1 = vec![1.0; N];
+    let w2: Vec<f64> = (0..N).map(|_| 1.0 + rng.gen_range(0.0..30.0f64).powf(1.5)).collect();
+    let region = FeasibleRegion::symmetric(vec![w1, w2], 0.01);
+
+    // A far-out point, like a large gradient step.
+    let y: Vec<f64> = (0..N).map(|_| rng.gen_range(-3.0..3.0)).collect();
+
+    println!("projecting a random point onto B-inf ∩ S1 ∩ S2, n = {N}, eps = 1%\n");
+    println!(
+        "{:>22} {:>12} {:>16} {:>10}",
+        "method", "‖x − y‖", "max violation", "time ms"
+    );
+    for method in [
+        ProjectionMethod::OneShotAlternating,
+        ProjectionMethod::AlternatingConverged,
+        ProjectionMethod::Dykstra,
+        ProjectionMethod::Exact,
+    ] {
+        let start = Instant::now();
+        let x = project(method, &y, &region);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        let dist = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        println!(
+            "{:>22} {:>12.4} {:>16.2e} {:>10.2}",
+            format!("{method:?}"),
+            dist,
+            region.max_violation(&x),
+            ms
+        );
+    }
+    println!(
+        "\nDykstra and Exact agree on the true projection (smallest ‖x − y‖\n\
+         with zero violation); one-shot alternating is the cheap approximation\n\
+         GD uses inside its hot loop."
+    );
+}

@@ -1,0 +1,49 @@
+//! Quickstart: partition a social-network-like graph into 8 parts,
+//! balancing vertex and edge counts simultaneously with the paper's GD
+//! algorithm, and compare against hash partitioning.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use mdbgp::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic social network: 20k vertices, power-law degrees,
+    //    planted communities (stand-in for the paper's SNAP graphs).
+    let mut rng = StdRng::seed_from_u64(42);
+    let config = CommunityGraphConfig::social(20_000);
+    let cg = community_graph(&config, &mut rng);
+    let graph = &cg.graph;
+    println!(
+        "graph: {} vertices, {} edges, max degree {}",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.max_degree()
+    );
+
+    // 2. The two balance dimensions of "vertex-edge partitioning":
+    //    w1(v) = 1 (vertex counts) and w2(v) = deg(v) (edge counts).
+    let weights = VertexWeights::vertex_edge(graph);
+
+    // 3. Run GD: projected gradient descent on the continuous relaxation,
+    //    recursive bisection for k = 8, at most 3% imbalance per dimension.
+    let gd = GdPartitioner::new(GdConfig::with_epsilon(0.03));
+    let partition = gd.partition(graph, &weights, 8, 7).expect("GD partition");
+    let q = partition.quality(graph, &weights);
+    println!("GD:   {q}");
+
+    // 4. Baseline: Giraph's default hash partitioning.
+    let hash = HashPartitioner.partition(graph, &weights, 8, 7).expect("hash partition");
+    let hq = hash.quality(graph, &weights);
+    println!("Hash: {hq}");
+
+    assert!(q.edge_locality > hq.edge_locality);
+    println!(
+        "\nGD keeps {:.1}% of edges local vs {:.1}% for hash — fewer cut edges\n\
+         means less cross-worker traffic in a distributed graph system, while\n\
+         every part stays within ±3% on BOTH vertex and edge counts.",
+        q.edge_locality * 100.0,
+        hq.edge_locality * 100.0
+    );
+}

@@ -1,0 +1,157 @@
+//! Property tests over the graph substrate: CSR invariants, builder
+//! idempotence, I/O round-trips, subgraph extraction and the analytics
+//! oracles — the foundations every partitioner builds on.
+
+use mdbgp::graph::builder::graph_from_edges;
+use mdbgp::graph::{analytics, gen, io, InducedSubgraph, VertexWeights, WeightKind};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn edges_strategy(n: u32, max_m: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_m)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn csr_invariants_hold_for_arbitrary_edge_lists(edges in edges_strategy(50, 200)) {
+        let g = graph_from_edges(50, &edges);
+        // Handshake lemma.
+        let degree_sum: usize = g.vertices().map(|v| g.degree(v)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        // Adjacency sorted, no self-loops, symmetric.
+        for v in g.vertices() {
+            let adj = g.neighbors(v);
+            prop_assert!(adj.windows(2).all(|w| w[0] < w[1]));
+            prop_assert!(!adj.contains(&v));
+            for &u in adj {
+                prop_assert!(g.has_edge(u, v), "symmetry broken for ({u}, {v})");
+            }
+        }
+        // edges() yields each edge exactly once with u < v.
+        let listed: Vec<_> = g.edges().collect();
+        prop_assert_eq!(listed.len(), g.num_edges());
+        prop_assert!(listed.iter().all(|&(u, v)| u < v));
+    }
+
+    #[test]
+    fn building_twice_is_idempotent(edges in edges_strategy(30, 120)) {
+        let g1 = graph_from_edges(30, &edges);
+        let rebuilt: Vec<_> = g1.edges().collect();
+        let g2 = graph_from_edges(30, &rebuilt);
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn io_roundtrips_preserve_graphs(edges in edges_strategy(40, 150)) {
+        let g = graph_from_edges(40, &edges);
+        let mut text = Vec::new();
+        io::write_edge_list(&g, &mut text).unwrap();
+        prop_assert_eq!(&io::read_edge_list(&text[..]).unwrap(), &g);
+
+        let mut metis = Vec::new();
+        io::write_metis(&g, &mut metis).unwrap();
+        prop_assert_eq!(&io::read_metis(&metis[..]).unwrap(), &g);
+
+        let mut bin = Vec::new();
+        io::write_binary(&g, &mut bin).unwrap();
+        prop_assert_eq!(&io::read_binary(&bin[..]).unwrap(), &g);
+    }
+
+    #[test]
+    fn induced_subgraph_is_exactly_the_restriction(
+        edges in edges_strategy(40, 150),
+        subset in proptest::collection::vec(0u32..40, 1..40),
+    ) {
+        let g = graph_from_edges(40, &edges);
+        let sub = InducedSubgraph::extract(&g, &subset);
+        // Every subgraph edge maps to a parent edge within the subset.
+        for (a, b) in sub.graph.edges() {
+            prop_assert!(g.has_edge(sub.to_original(a), sub.to_original(b)));
+        }
+        // Every parent edge with both ends in the subset appears.
+        let expected = g
+            .edges()
+            .filter(|&(u, v)| sub.original.binary_search(&u).is_ok()
+                && sub.original.binary_search(&v).is_ok())
+            .count();
+        prop_assert_eq!(sub.graph.num_edges(), expected);
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution_and_cc_partition_edges(edges in edges_strategy(40, 150)) {
+        let g = graph_from_edges(40, &edges);
+        let pr = analytics::pagerank(&g, 0.85, 25);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "PageRank sums to 1, got {sum}");
+        prop_assert!(pr.iter().all(|&p| p > 0.0));
+
+        let (labels, count) = analytics::connected_components(&g);
+        // Labels are component-minimal representatives.
+        for v in 0..40u32 {
+            prop_assert!(labels[v as usize] <= v);
+        }
+        // Edges never cross components.
+        for (u, v) in g.edges() {
+            prop_assert_eq!(labels[u as usize], labels[v as usize]);
+        }
+        let distinct: std::collections::HashSet<u32> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), count);
+    }
+
+    #[test]
+    fn weight_kinds_are_positive_and_consistent(edges in edges_strategy(30, 100)) {
+        let g = graph_from_edges(30, &edges);
+        let w = VertexWeights::build(
+            &g,
+            &[
+                WeightKind::Unit,
+                WeightKind::Degree,
+                WeightKind::NeighborDegreeSum,
+                WeightKind::pagerank_default(),
+            ],
+        );
+        for j in 0..w.dims() {
+            prop_assert!(w.dim(j).iter().all(|&x| x > 0.0));
+            let total: f64 = w.dim(j).iter().sum();
+            prop_assert!((w.total(j) - total).abs() < 1e-9);
+        }
+        // Degree weights match degrees (with the isolated-vertex floor).
+        for v in g.vertices() {
+            prop_assert_eq!(w.weight(1, v), g.degree(v).max(1) as f64);
+        }
+    }
+
+    #[test]
+    fn generators_produce_simple_graphs(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let graphs = vec![
+            gen::erdos_renyi(100, 300, &mut rng),
+            gen::barabasi_albert(100, 3, &mut rng),
+            gen::rmat(gen::RmatConfig::graph500(7, 8), &mut rng),
+        ];
+        for g in graphs {
+            for v in g.vertices() {
+                let adj = g.neighbors(v);
+                prop_assert!(!adj.contains(&v), "self-loop at {v}");
+                prop_assert!(adj.windows(2).all(|w| w[0] < w[1]), "parallel edges at {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn alias_table_never_emits_zero_weight_outcomes(
+        weights in proptest::collection::vec(0.0..5.0f64, 2..20),
+        seed in 0u64..100,
+    ) {
+        prop_assume!(weights.iter().sum::<f64>() > 0.0);
+        let table = gen::AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let i = table.sample(&mut rng) as usize;
+            prop_assert!(weights[i] > 0.0, "sampled zero-weight outcome {i}");
+        }
+    }
+}
