@@ -31,7 +31,10 @@ pub struct BlpPartitioner {
 
 impl Default for BlpPartitioner {
     fn default() -> Self {
-        Self { cluster_factor: None, iterations: 25 }
+        Self {
+            cluster_factor: None,
+            iterations: 25,
+        }
     }
 }
 
@@ -68,8 +71,9 @@ impl Partitioner for BlpPartitioner {
         // start from singletons and let clusters grow by label propagation
         // up to the |V|/(c·k) vertex and 2|E|/(c·k) degree caps. ---
         let vertex_cap = (n as f64 / num_clusters as f64).ceil().max(2.0);
-        let degree_cap =
-            ((2 * graph.num_edges()) as f64 / num_clusters as f64).ceil().max(2.0);
+        let degree_cap = ((2 * graph.num_edges()) as f64 / num_clusters as f64)
+            .ceil()
+            .max(2.0);
 
         let mut cluster: Vec<u32> = (0..n as u32).collect();
         let mut cluster_vertices = vec![1.0f64; n];
@@ -178,7 +182,10 @@ impl Partitioner for BlpPartitioner {
             }
         }
 
-        let parts = cluster.iter().map(|&cl| part_of_cluster[cl as usize]).collect();
+        let parts = cluster
+            .iter()
+            .map(|&cl| part_of_cluster[cl as usize])
+            .collect();
         Ok(Partition::new(parts, k))
     }
 }
@@ -195,9 +202,14 @@ mod tests {
             &mut StdRng::seed_from_u64(1),
         );
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let p = BlpPartitioner::default().partition(&cg.graph, &w, 8, 2).unwrap();
+        let p = BlpPartitioner::default()
+            .partition(&cg.graph, &w, 8, 2)
+            .unwrap();
         let imb = p.max_imbalance(&w);
-        assert!(imb < 0.10, "BLP's merge stage must balance both dims, got {imb}");
+        assert!(
+            imb < 0.10,
+            "BLP's merge stage must balance both dims, got {imb}"
+        );
     }
 
     #[test]
@@ -207,16 +219,24 @@ mod tests {
             &mut StdRng::seed_from_u64(3),
         );
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let p = BlpPartitioner::default().partition(&cg.graph, &w, 2, 4).unwrap();
+        let p = BlpPartitioner::default()
+            .partition(&cg.graph, &w, 2, 4)
+            .unwrap();
         let loc = p.edge_locality(&cg.graph);
-        assert!(loc > 0.55, "clusters should buy locality above 1/k, got {loc}");
+        assert!(
+            loc > 0.55,
+            "clusters should buy locality above 1/k, got {loc}"
+        );
     }
 
     #[test]
     fn cluster_factor_override_respected() {
         let g = gen::erdos_renyi(500, 2000, &mut StdRng::seed_from_u64(4));
         let w = VertexWeights::unit(500);
-        let blp = BlpPartitioner { cluster_factor: Some(4), iterations: 10 };
+        let blp = BlpPartitioner {
+            cluster_factor: Some(4),
+            iterations: 10,
+        };
         let p = blp.partition(&g, &w, 2, 1).unwrap();
         assert_eq!(p.num_parts(), 2);
         assert!(p.max_imbalance(&w) < 0.15);

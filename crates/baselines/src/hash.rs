@@ -54,7 +54,10 @@ mod tests {
 
     #[test]
     fn near_balanced_on_both_dimensions() {
-        let g = gen::rmat(gen::RmatConfig::graph500(14, 8), &mut StdRng::seed_from_u64(2));
+        let g = gen::rmat(
+            gen::RmatConfig::graph500(14, 8),
+            &mut StdRng::seed_from_u64(2),
+        );
         let w = VertexWeights::vertex_edge(&g);
         let p = HashPartitioner.partition(&g, &w, 8, 3).unwrap();
         // Unit weights concentrate tightly (binomial, ≈2% std at this

@@ -34,10 +34,9 @@ pub fn heavy_edge_matching(g: &WGraph, rng: &mut StdRng) -> (Vec<VertexId>, usiz
         }
         let mut best: Option<(f64, u32)> = None;
         for (u, w) in g.neighbors(v) {
-            if u != v && mate[u as usize] == unmatched
-                && best.is_none_or(|(bw, _)| w > bw) {
-                    best = Some((w, u));
-                }
+            if u != v && mate[u as usize] == unmatched && best.is_none_or(|(bw, _)| w > bw) {
+                best = Some((w, u));
+            }
         }
         match best {
             Some((_, u)) => {
@@ -120,7 +119,12 @@ pub fn contract(g: &WGraph, map: &[VertexId], n_coarse: usize) -> WGraph {
         touched.clear();
         offsets.push(targets.len());
     }
-    WGraph { offsets, targets, eweights, vweights }
+    WGraph {
+        offsets,
+        targets,
+        eweights,
+        vweights,
+    }
 }
 
 /// Coarsens until at most `target_n` vertices remain or matching stalls
@@ -138,7 +142,10 @@ pub fn coarsen_until(g: &WGraph, target_n: usize, rng: &mut StdRng) -> Vec<Level
                 if n_coarse as f64 > 0.95 * cur.n() as f64 {
                     None // star-like residue: matching no longer shrinks it
                 } else {
-                    Some(Level { graph: contract(cur, &map, n_coarse), map })
+                    Some(Level {
+                        graph: contract(cur, &map, n_coarse),
+                        map,
+                    })
                 }
             }
         };
@@ -196,9 +203,17 @@ mod tests {
         let coarse = contract(&wg, &map, 4);
         assert_eq!(coarse.n(), 4);
         // Edge 1-2 from pair collapse: (0,1)+(0,2) edges merge into weight 2.
-        let w01: f64 = coarse.neighbors(0).filter(|&(u, _)| u == 1).map(|(_, w)| w).sum();
+        let w01: f64 = coarse
+            .neighbors(0)
+            .filter(|&(u, _)| u == 1)
+            .map(|(_, w)| w)
+            .sum();
         assert_eq!(w01, 2.0);
-        let cross: f64 = coarse.neighbors(1).filter(|&(u, _)| u == 2).map(|(_, w)| w).sum();
+        let cross: f64 = coarse
+            .neighbors(1)
+            .filter(|&(u, _)| u == 2)
+            .map(|(_, w)| w)
+            .sum();
         assert_eq!(cross, 1.0, "the bridge keeps weight 1");
     }
 
@@ -221,6 +236,9 @@ mod tests {
     fn edgeless_graph_stalls_gracefully() {
         let g = lift(&mdbgp_graph::Graph::empty(50));
         let levels = coarsen_until(&g, 10, &mut StdRng::seed_from_u64(5));
-        assert!(levels.is_empty(), "no edges to match: coarsening stalls immediately");
+        assert!(
+            levels.is_empty(),
+            "no edges to match: coarsening stalls immediately"
+        );
     }
 }

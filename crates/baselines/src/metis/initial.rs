@@ -92,8 +92,7 @@ fn random_balanced(g: &WGraph, fraction: f64, rng: &mut StdRng) -> Vec<u8> {
     let mut side = vec![1u8; n];
     let mut loads0 = vec![0.0f64; d];
     for &v in &order {
-        let mean: f64 =
-            loads0.iter().zip(&totals).map(|(l, t)| l / t).sum::<f64>() / d as f64;
+        let mean: f64 = loads0.iter().zip(&totals).map(|(l, t)| l / t).sum::<f64>() / d as f64;
         if mean < fraction {
             side[v as usize] = 0;
             for j in 0..d {
@@ -105,12 +104,7 @@ fn random_balanced(g: &WGraph, fraction: f64, rng: &mut StdRng) -> Vec<u8> {
 }
 
 /// Best-of-`trials` initial bisection (smaller cut wins).
-pub fn initial_bisection(
-    g: &WGraph,
-    fraction: f64,
-    trials: usize,
-    rng: &mut StdRng,
-) -> Vec<u8> {
+pub fn initial_bisection(g: &WGraph, fraction: f64, trials: usize, rng: &mut StdRng) -> Vec<u8> {
     assert!(g.n() > 0);
     let mut best: Option<(f64, Vec<u8>)> = None;
     for t in 0..trials.max(1) {
@@ -167,7 +161,10 @@ mod tests {
         let g = lift(&b.build());
         let side = initial_bisection(&g, 0.5, 3, &mut StdRng::seed_from_u64(3));
         let zero = side.iter().filter(|&&s| s == 0).count();
-        assert!((8..=12).contains(&zero), "balanced despite components: {zero}");
+        assert!(
+            (8..=12).contains(&zero),
+            "balanced despite components: {zero}"
+        );
     }
 
     #[test]

@@ -45,7 +45,12 @@ pub struct MetisPartitioner {
 
 impl Default for MetisPartitioner {
     fn default() -> Self {
-        Self { epsilon: 0.005, coarsest_size: 120, initial_trials: 6, refine_passes: 8 }
+        Self {
+            epsilon: 0.005,
+            coarsest_size: 120,
+            initial_trials: 6,
+            refine_passes: 8,
+        }
     }
 }
 
@@ -76,7 +81,13 @@ impl MetisPartitioner {
 
         let coarsest = levels.last().map_or(g, |l| &l.graph);
         let mut side = initial_bisection(coarsest, fraction, self.initial_trials, rng);
-        refine(coarsest, &mut side, fraction, self.epsilon, self.refine_passes);
+        refine(
+            coarsest,
+            &mut side,
+            fraction,
+            self.epsilon,
+            self.refine_passes,
+        );
 
         // Uncoarsen: project through each map, refining at every level.
         for i in (0..levels.len()).rev() {
@@ -86,7 +97,13 @@ impl MetisPartitioner {
             for v in 0..fine_graph.n() {
                 fine_side[v] = side[map[v] as usize];
             }
-            refine(fine_graph, &mut fine_side, fraction, self.epsilon, self.refine_passes);
+            refine(
+                fine_graph,
+                &mut fine_side,
+                fraction,
+                self.epsilon,
+                self.refine_passes,
+            );
             side = fine_side;
         }
         side
@@ -133,10 +150,30 @@ impl MetisPartitioner {
             }
         }
         if left.len() < k_left || right.len() < k_right {
-            return Err(PartitionError::Infeasible("degenerate multilevel bisection".into()));
+            return Err(PartitionError::Infeasible(
+                "degenerate multilevel bisection".into(),
+            ));
         }
-        self.recurse(graph, weights, left, k_left, part_offset, rng, labels, stats)?;
-        self.recurse(graph, weights, right, k_right, part_offset + k_left as u32, rng, labels, stats)
+        self.recurse(
+            graph,
+            weights,
+            left,
+            k_left,
+            part_offset,
+            rng,
+            labels,
+            stats,
+        )?;
+        self.recurse(
+            graph,
+            weights,
+            right,
+            k_right,
+            part_offset + k_left as u32,
+            rng,
+            labels,
+            stats,
+        )
     }
 
     /// Like [`Partitioner::partition`] but also returns memory/level stats.
@@ -173,7 +210,8 @@ impl Partitioner for MetisPartitioner {
         k: usize,
         seed: u64,
     ) -> Result<Partition, PartitionError> {
-        self.partition_with_stats(graph, weights, k, seed).map(|(p, _)| p)
+        self.partition_with_stats(graph, weights, k, seed)
+            .map(|(p, _)| p)
     }
 }
 
@@ -212,7 +250,9 @@ mod tests {
             &mut StdRng::seed_from_u64(4),
         );
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let p = MetisPartitioner::default().partition(&cg.graph, &w, 4, 5).unwrap();
+        let p = MetisPartitioner::default()
+            .partition(&cg.graph, &w, 4, 5)
+            .unwrap();
         let loc = p.edge_locality(&cg.graph);
         assert!(loc > 0.45, "multilevel should find communities, got {loc}");
     }
@@ -242,8 +282,9 @@ mod tests {
     fn stats_track_memory_and_levels() {
         let g = gen::grid(40, 40);
         let w = VertexWeights::unit(1600);
-        let (p, stats) =
-            MetisPartitioner::default().partition_with_stats(&g, &w, 4, 8).unwrap();
+        let (p, stats) = MetisPartitioner::default()
+            .partition_with_stats(&g, &w, 4, 8)
+            .unwrap();
         assert_eq!(p.num_parts(), 4);
         assert!(stats.peak_memory_bytes > 0);
         assert!(stats.total_levels > 0);

@@ -32,7 +32,12 @@ impl BalanceState {
                 loads[side[v] as usize][j] += g.vweights[j][v];
             }
         }
-        Self { loads, totals: g.totals(), fraction, eps }
+        Self {
+            loads,
+            totals: g.totals(),
+            fraction,
+            eps,
+        }
     }
 
     fn share(&self, s: usize) -> f64 {
@@ -126,7 +131,8 @@ pub fn refine(g: &WGraph, side: &mut [u8], fraction: f64, eps: f64, passes: usiz
         // Candidate boundary moves sorted by gain (descending).
         let mut candidates: Vec<(f64, VertexId)> = (0..n as u32)
             .filter(|&v| {
-                g.neighbors(v).any(|(u, _)| side[u as usize] != side[v as usize])
+                g.neighbors(v)
+                    .any(|(u, _)| side[u as usize] != side[v as usize])
             })
             .map(|v| (gain(g, side, v), v))
             .filter(|&(gn, _)| gn > 0.0)
@@ -206,7 +212,11 @@ mod tests {
         let mut side: Vec<u8> = (0..100).map(|v| if v < 50 { 0 } else { 1 }).collect();
         refine(&g, &mut side, 0.5, 0.05, 10);
         let state = BalanceState::new(&g, &side, 0.5, 0.05);
-        assert_eq!(state.worst_overload(), 0.0, "refinement must not break balance");
+        assert_eq!(
+            state.worst_overload(),
+            0.0,
+            "refinement must not break balance"
+        );
     }
 
     #[test]

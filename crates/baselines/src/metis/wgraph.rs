@@ -24,8 +24,15 @@ impl WGraph {
         let offsets = graph.raw_offsets().to_vec();
         let targets = graph.raw_targets().to_vec();
         let eweights = vec![1.0; targets.len()];
-        let vweights = (0..weights.dims()).map(|j| weights.dim(j).to_vec()).collect();
-        Self { offsets, targets, eweights, vweights }
+        let vweights = (0..weights.dims())
+            .map(|j| weights.dim(j).to_vec())
+            .collect();
+        Self {
+            offsets,
+            targets,
+            eweights,
+            vweights,
+        }
     }
 
     /// Number of vertices.
@@ -44,7 +51,10 @@ impl WGraph {
     #[inline]
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, f64)> + '_ {
         let range = self.offsets[v as usize]..self.offsets[v as usize + 1];
-        self.targets[range.clone()].iter().copied().zip(self.eweights[range].iter().copied())
+        self.targets[range.clone()]
+            .iter()
+            .copied()
+            .zip(self.eweights[range].iter().copied())
     }
 
     /// Total vertex weight per dimension.
@@ -70,7 +80,11 @@ impl WGraph {
         self.offsets.len() * std::mem::size_of::<usize>()
             + self.targets.len() * std::mem::size_of::<VertexId>()
             + self.eweights.len() * std::mem::size_of::<f64>()
-            + self.vweights.iter().map(|c| c.len() * std::mem::size_of::<f64>()).sum::<usize>()
+            + self
+                .vweights
+                .iter()
+                .map(|c| c.len() * std::mem::size_of::<f64>())
+                .sum::<usize>()
     }
 }
 

@@ -29,7 +29,11 @@ pub struct ShpPartitioner {
 
 impl Default for ShpPartitioner {
     fn default() -> Self {
-        Self { rounds: 20, edge_coefficient: 1.0, vertex_coefficient: 0.1 }
+        Self {
+            rounds: 20,
+            edge_coefficient: 1.0,
+            vertex_coefficient: 0.1,
+        }
     }
 }
 
@@ -41,8 +45,7 @@ impl ShpPartitioner {
         // Combined weight per vertex.
         let combined: Vec<f64> = (0..n)
             .map(|v| {
-                self.edge_coefficient * graph.degree(v as VertexId) as f64
-                    + self.vertex_coefficient
+                self.edge_coefficient * graph.degree(v as VertexId) as f64 + self.vertex_coefficient
             })
             .collect();
 
@@ -98,8 +101,7 @@ impl ShpPartitioner {
                 let (g0, v0) = movers0[i];
                 let (g1, v1) = movers1[i];
                 // Swapping adjacent movers double-counts their shared edge.
-                let adjacency_penalty =
-                    if graph.has_edge(v0, v1) { 4 } else { 0 };
+                let adjacency_penalty = if graph.has_edge(v0, v1) { 4 } else { 0 };
                 if g0 + g1 - adjacency_penalty > 0 {
                     side[v0 as usize] = 1;
                     side[v1 as usize] = 0;
@@ -150,10 +152,19 @@ impl ShpPartitioner {
         let k_left = k.div_ceil(2);
         let k_right = k - k_left;
         if left.len() < k_left || right.len() < k_right {
-            return Err(PartitionError::Infeasible("degenerate SHP bisection".into()));
+            return Err(PartitionError::Infeasible(
+                "degenerate SHP bisection".into(),
+            ));
         }
         self.recurse(graph, left, k_left, part_offset, rng, labels)?;
-        self.recurse(graph, right, k_right, part_offset + k_left as u32, rng, labels)
+        self.recurse(
+            graph,
+            right,
+            k_right,
+            part_offset + k_left as u32,
+            rng,
+            labels,
+        )
     }
 }
 
@@ -194,7 +205,9 @@ mod tests {
             &mut StdRng::seed_from_u64(2),
         );
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let p = ShpPartitioner::default().partition(&cg.graph, &w, 2, 3).unwrap();
+        let p = ShpPartitioner::default()
+            .partition(&cg.graph, &w, 2, 3)
+            .unwrap();
         let loc = p.edge_locality(&cg.graph);
         assert!(loc > 0.55, "swaps should uncover structure, got {loc}");
     }
@@ -237,6 +250,9 @@ mod tests {
         let g = gen::cycle(80);
         let w = VertexWeights::unit(80);
         let shp = ShpPartitioner::default();
-        assert_eq!(shp.partition(&g, &w, 2, 9).unwrap(), shp.partition(&g, &w, 2, 9).unwrap());
+        assert_eq!(
+            shp.partition(&g, &w, 2, 9).unwrap(),
+            shp.partition(&g, &w, 2, 9).unwrap()
+        );
     }
 }

@@ -13,18 +13,26 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_bsp(c: &mut Criterion) {
-    let cg =
-        community_graph(&CommunityGraphConfig::social(20_000), &mut StdRng::seed_from_u64(4));
+    let cg = community_graph(
+        &CommunityGraphConfig::social(20_000),
+        &mut StdRng::seed_from_u64(4),
+    );
     let w = VertexWeights::vertex_edge(&cg.graph);
     let hash = HashPartitioner.partition(&cg.graph, &w, 16, 3).unwrap();
-    let gd = GdPartitioner::new(GdConfig { iterations: 40, ..GdConfig::with_epsilon(0.05) })
-        .partition(&cg.graph, &w, 16, 3)
-        .unwrap();
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 40,
+        ..GdConfig::with_epsilon(0.05)
+    })
+    .partition(&cg.graph, &w, 16, 3)
+    .unwrap();
 
     let mut group = c.benchmark_group("bsp_pagerank_10iter");
     group.sample_size(10);
     group.throughput(Throughput::Elements(10 * 2 * cg.graph.num_edges() as u64));
-    let app = PageRank { damping: 0.85, iterations: 10 };
+    let app = PageRank {
+        damping: 0.85,
+        iterations: 10,
+    };
     for (name, partition) in [("hash_placement", &hash), ("gd_placement", &gd)] {
         let engine = BspEngine::new(&cg.graph, partition, CostModel::default());
         group.bench_function(name, |b| b.iter(|| black_box(engine.run(&app))));

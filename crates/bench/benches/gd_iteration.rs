@@ -14,15 +14,19 @@ fn bench_gd(c: &mut Criterion) {
     let mut group = c.benchmark_group("gd_bipartition");
     group.sample_size(10);
     for n in [5_000usize, 20_000] {
-        let cg = community_graph(&CommunityGraphConfig::social(n), &mut StdRng::seed_from_u64(1));
+        let cg = community_graph(
+            &CommunityGraphConfig::social(n),
+            &mut StdRng::seed_from_u64(1),
+        );
         let w = VertexWeights::vertex_edge(&cg.graph);
         group.throughput(Throughput::Elements(cg.graph.num_edges() as u64));
         group.bench_with_input(BenchmarkId::new("20_iterations", n), &n, |b, _| {
-            let cfg = GdConfig { iterations: 20, ..GdConfig::with_epsilon(0.03) };
+            let cfg = GdConfig {
+                iterations: 20,
+                ..GdConfig::with_epsilon(0.03)
+            };
             b.iter(|| {
-                black_box(
-                    bipartition(&cg.graph, &w, &cfg, &SplitTarget::half(0.03), 5).unwrap(),
-                )
+                black_box(bipartition(&cg.graph, &w, &cfg, &SplitTarget::half(0.03), 5).unwrap())
             })
         });
     }

@@ -13,7 +13,10 @@ fn bench_generators(c: &mut Criterion) {
     group.throughput(Throughput::Elements(16 * 65536));
     group.bench_function("rmat_s16_e16", |b| {
         b.iter(|| {
-            black_box(gen::rmat(gen::RmatConfig::graph500(16, 16), &mut StdRng::seed_from_u64(1)))
+            black_box(gen::rmat(
+                gen::RmatConfig::graph500(16, 16),
+                &mut StdRng::seed_from_u64(1),
+            ))
         })
     });
 

@@ -11,8 +11,10 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_kway(c: &mut Criterion) {
-    let cg =
-        community_graph(&CommunityGraphConfig::social(5_000), &mut StdRng::seed_from_u64(6));
+    let cg = community_graph(
+        &CommunityGraphConfig::social(5_000),
+        &mut StdRng::seed_from_u64(6),
+    );
     let w = VertexWeights::vertex_edge(&cg.graph);
     let mut group = c.benchmark_group("kway_direct_10iter");
     group.sample_size(10);

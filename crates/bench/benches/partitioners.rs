@@ -13,10 +13,15 @@ use rand::SeedableRng;
 use std::hint::black_box;
 
 fn bench_partitioners(c: &mut Criterion) {
-    let cg =
-        community_graph(&CommunityGraphConfig::social(10_000), &mut StdRng::seed_from_u64(2));
+    let cg = community_graph(
+        &CommunityGraphConfig::social(10_000),
+        &mut StdRng::seed_from_u64(2),
+    );
     let w = VertexWeights::vertex_edge(&cg.graph);
-    let gd = GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.05) });
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 60,
+        ..GdConfig::with_epsilon(0.05)
+    });
     let spinner = SpinnerPartitioner::default();
     let blp = BlpPartitioner::default();
     let shp = ShpPartitioner::default();

@@ -12,7 +12,9 @@ use std::hint::black_box;
 
 fn instance(n: usize, d: usize, seed: u64) -> (Vec<f64>, FeasibleRegion) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let weights = (0..d).map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect()).collect();
+    let weights = (0..d)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect())
+        .collect();
     let y = (0..n).map(|_| rng.gen_range(-2.0..2.0)).collect();
     (y, FeasibleRegion::symmetric(weights, 0.01))
 }
@@ -28,11 +30,9 @@ fn bench_projection(c: &mut Criterion) {
                 ProjectionMethod::Dykstra,
                 ProjectionMethod::Exact,
             ] {
-                group.bench_with_input(
-                    BenchmarkId::new(format!("{method:?}"), n),
-                    &n,
-                    |b, _| b.iter(|| black_box(project(method, black_box(&y), &region))),
-                );
+                group.bench_with_input(BenchmarkId::new(format!("{method:?}"), n), &n, |b, _| {
+                    b.iter(|| black_box(project(method, black_box(&y), &region)))
+                });
             }
         }
         group.finish();

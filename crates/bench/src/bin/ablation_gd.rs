@@ -26,7 +26,10 @@ fn main() {
     // --- 1. ε sweep. ---
     let mut t = Table::new(["epsilon", "locality %", "max imbalance %"]);
     for eps in [0.001, 0.005, 0.01, 0.03, 0.05, 0.1, 0.2] {
-        let gd = GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(eps) });
+        let gd = GdPartitioner::new(GdConfig {
+            iterations: 60,
+            ..GdConfig::with_epsilon(eps)
+        });
         let p = gd.partition(&data.graph, &weights, 8, 3).expect("gd");
         t.row([
             format!("{eps}"),
@@ -73,7 +76,11 @@ fn main() {
             }
             Some(b) => b / secs,
         };
-        t.row([threads.to_string(), format!("{secs:.2}"), format!("{speedup:.2}x")]);
+        t.row([
+            threads.to_string(),
+            format!("{secs:.2}"),
+            format!("{speedup:.2}x"),
+        ]);
     }
     println!("gradient threads (the projection and bookkeeping stay sequential,");
     println!("so Amdahl caps the speedup well below linear at this scale):");

@@ -35,7 +35,10 @@ fn main() {
     // --- Figure 15 analogue: adaptivity + fixing. ---
     println!("\nFigure 15 — adaptive step & vertex fixing on the Q&A proxy");
     for data in [&qa, &lj] {
-        let base = GdConfig { iterations: 100, ..GdConfig::with_epsilon(0.03) };
+        let base = GdConfig {
+            iterations: 100,
+            ..GdConfig::with_epsilon(0.03)
+        };
         // Constant γ as in fig9: 1/mean_degree scale, no adaptation.
         let gamma = 0.05 / data.graph.mean_degree();
         let curves = vec![
@@ -49,7 +52,15 @@ fn main() {
                 73,
                 "nonadaptive",
             ),
-            run_curve(data, GdConfig { fixing_threshold: None, ..base.clone() }, 73, "adaptive"),
+            run_curve(
+                data,
+                GdConfig {
+                    fixing_threshold: None,
+                    ..base.clone()
+                },
+                73,
+                "adaptive",
+            ),
             run_curve(data, base, 73, "adaptive+fixing"),
         ];
         print_locality_curves(data.name, &curves, 10);
@@ -68,7 +79,10 @@ fn main() {
             };
             curves.push(run_curve(data, cfg, 79, &format!("exact eps={eps}")));
         }
-        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.01) };
+        let cfg = GdConfig {
+            iterations: 60,
+            ..GdConfig::with_epsilon(0.01)
+        };
         curves.push(run_curve(data, cfg, 79, "alternating"));
         print_locality_curves(data.name, &curves, 6);
     }

@@ -25,8 +25,10 @@ fn main() {
     let mut per_edge: Vec<f64> = Vec::new();
     for data in datasets::fb_sweep() {
         let weights = data.vertex_edge_weights();
-        let (partition, t) =
-            timed(|| gd.partition(&data.graph, &weights, 2, 51).expect("partition"));
+        let (partition, t) = timed(|| {
+            gd.partition(&data.graph, &weights, 2, 51)
+                .expect("partition")
+        });
         let m = data.graph.num_edges();
         let us_per_edge = t.as_secs_f64() * 1e6 / m as f64;
         per_edge.push(us_per_edge);

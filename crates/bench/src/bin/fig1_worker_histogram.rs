@@ -7,9 +7,9 @@
 //! a vertex-count imbalance, and vertex-edge partitioning trades a little
 //! locality for the flattest histogram and the fastest iteration.
 
+use mdbgp_bench::datasets;
 use mdbgp_bench::policies::{timed, Policy};
 use mdbgp_bench::table::{bar_chart, pct, Table};
-use mdbgp_bench::datasets;
 use mdbgp_bsp::{apps::PageRank, BspEngine, CostModel};
 
 fn main() {
@@ -34,8 +34,11 @@ fn main() {
     ]);
 
     for policy in Policy::all() {
-        let (partition, ptime) =
-            timed(|| policy.partition(&data.graph, WORKERS, EPS, 42).expect("partition"));
+        let (partition, ptime) = timed(|| {
+            policy
+                .partition(&data.graph, WORKERS, EPS, 42)
+                .expect("partition")
+        });
         let engine = BspEngine::new(&data.graph, &partition, CostModel::default());
         let (stats, _) = engine.run(&PageRank::default());
 

@@ -18,8 +18,7 @@ fn main() {
     let gd = gd_fast(EPS);
     let algos: [&dyn Partitioner; 3] = [&hash, &blp, &gd];
 
-    let mut table =
-        Table::new(["graph", "k", "Hash", "BLP", "GD", "GD max imbalance %"]);
+    let mut table = Table::new(["graph", "k", "Hash", "BLP", "GD", "GD max imbalance %"]);
     for data in datasets::public_graphs() {
         let weights = data.vertex_edge_weights();
         for k in [2usize, 8] {

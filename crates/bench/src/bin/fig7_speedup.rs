@@ -31,15 +31,26 @@ fn main() {
     let large = datasets::fb(2);
     let configs: [(&Dataset, usize, &str); 2] = [(&small, 16, "small"), (&large, 128, "large")];
 
-    let mut table =
-        Table::new(["job", "config", "vertex %", "edge %", "vertex+edge %"]);
+    let mut table = Table::new(["job", "config", "vertex %", "edge %", "vertex+edge %"]);
 
     for (data, workers, cfg_name) in configs {
         let apps: Vec<(&str, JobRunner<'_>)> = vec![
-            ("PR", Box::new(|p| job_time(data, p, workers, &PageRank::default()))),
-            ("CC", Box::new(|p| job_time(data, p, workers, &ConnectedComponents::default()))),
-            ("HC", Box::new(|p| job_time(data, p, workers, &HypergraphClustering::default()))),
-            ("MF", Box::new(|p| job_time(data, p, workers, &MutualFriends))),
+            (
+                "PR",
+                Box::new(|p| job_time(data, p, workers, &PageRank::default())),
+            ),
+            (
+                "CC",
+                Box::new(|p| job_time(data, p, workers, &ConnectedComponents::default())),
+            ),
+            (
+                "HC",
+                Box::new(|p| job_time(data, p, workers, &HypergraphClustering::default())),
+            ),
+            (
+                "MF",
+                Box::new(|p| job_time(data, p, workers, &MutualFriends)),
+            ),
         ];
         for (job, run) in apps {
             let base = run(Policy::Hash);

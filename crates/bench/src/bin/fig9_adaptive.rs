@@ -13,7 +13,10 @@ use mdbgp_bench::datasets::{self, Dataset};
 use mdbgp_core::{GdConfig, StepSchedule};
 
 fn variants(data: &Dataset) -> Vec<Curve> {
-    let base = GdConfig { iterations: 100, ..GdConfig::with_epsilon(0.03) };
+    let base = GdConfig {
+        iterations: 100,
+        ..GdConfig::with_epsilon(0.03)
+    };
     // Constant γ chosen like a practitioner would without adaptivity:
     // scaled by 1/mean_degree (the gradient's natural magnitude), large
     // enough to escape the origin within the budget. The point of the
@@ -32,7 +35,10 @@ fn variants(data: &Dataset) -> Vec<Curve> {
         ),
         run_curve(
             data,
-            GdConfig { fixing_threshold: None, ..base.clone() },
+            GdConfig {
+                fixing_threshold: None,
+                ..base.clone()
+            },
             31,
             "adaptive",
         ),

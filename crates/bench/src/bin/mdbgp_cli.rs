@@ -15,7 +15,10 @@ use mdbgp_baselines::{
 };
 use mdbgp_core::{GdConfig, GdPartitioner, KWayGdPartitioner};
 use mdbgp_graph::gen;
-use mdbgp_graph::{io as gio, Graph, Partition, Partitioner, VertexWeights, WeightKind};
+use mdbgp_graph::{
+    io as gio, Graph, InducedSubgraph, Partition, Partitioner, VertexWeights, WeightKind,
+};
+use mdbgp_stream::{StreamConfig, StreamingPartitioner, UpdateBatch};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
@@ -35,8 +38,10 @@ impl Args {
             let key = argv[i]
                 .strip_prefix("--")
                 .ok_or_else(|| format!("expected --flag, got '{}'", argv[i]))?;
-            let value =
-                argv.get(i + 1).ok_or_else(|| format!("--{key} needs a value"))?.clone();
+            let value = argv
+                .get(i + 1)
+                .ok_or_else(|| format!("--{key} needs a value"))?
+                .clone();
             values.insert(key.to_string(), value);
             i += 2;
         }
@@ -44,17 +49,25 @@ impl Args {
     }
 
     fn req(&self, key: &str) -> Result<&str, String> {
-        self.values.get(key).map(String::as_str).ok_or_else(|| format!("missing --{key}"))
+        self.values
+            .get(key)
+            .map(String::as_str)
+            .ok_or_else(|| format!("missing --{key}"))
     }
 
     fn opt(&self, key: &str, default: &str) -> String {
-        self.values.get(key).cloned().unwrap_or_else(|| default.to_string())
+        self.values
+            .get(key)
+            .cloned()
+            .unwrap_or_else(|| default.to_string())
     }
 
     fn num<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, String> {
         match self.values.get(key) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| format!("--{key}: cannot parse '{v}'")),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'")),
         }
     }
 }
@@ -67,7 +80,9 @@ fn parse_dims(spec: &str) -> Result<Vec<WeightKind>, String> {
             "degree" => Ok(WeightKind::Degree),
             "ndsum" => Ok(WeightKind::NeighborDegreeSum),
             "pagerank" => Ok(WeightKind::pagerank_default()),
-            other => Err(format!("unknown dimension '{other}' (unit|degree|ndsum|pagerank)")),
+            other => Err(format!(
+                "unknown dimension '{other}' (unit|degree|ndsum|pagerank)"
+            )),
         })
         .collect()
 }
@@ -147,7 +162,10 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     let spinner = SpinnerPartitioner::default();
     let blp = BlpPartitioner::default();
     let shp = ShpPartitioner::default();
-    let metis = MetisPartitioner { epsilon: eps, ..MetisPartitioner::default() };
+    let metis = MetisPartitioner {
+        epsilon: eps,
+        ..MetisPartitioner::default()
+    };
     let partitioner: &dyn Partitioner = match algo.as_str() {
         "gd" => &gd,
         "gd-kway" => &gd_kway,
@@ -164,11 +182,16 @@ fn cmd_partition(args: &Args) -> Result<(), String> {
     };
 
     let start = std::time::Instant::now();
-    let partition =
-        partitioner.partition(&graph, &weights, k, seed).map_err(|e| e.to_string())?;
+    let partition = partitioner
+        .partition(&graph, &weights, k, seed)
+        .map_err(|e| e.to_string())?;
     let elapsed = start.elapsed();
     let q = partition.quality(&graph, &weights);
-    println!("{} in {:.2}s: {q}", partitioner.name(), elapsed.as_secs_f64());
+    println!(
+        "{} in {:.2}s: {q}",
+        partitioner.name(),
+        elapsed.as_secs_f64()
+    );
 
     if let Ok(out) = args.req("output") {
         let mut file = std::io::BufWriter::new(
@@ -196,7 +219,10 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
         if t.is_empty() {
             continue;
         }
-        parts.push(t.parse::<u32>().map_err(|e| format!("bad part id '{t}': {e}"))?);
+        parts.push(
+            t.parse::<u32>()
+                .map_err(|e| format!("bad part id '{t}': {e}"))?,
+        );
     }
     if parts.len() != graph.num_vertices() {
         return Err(format!(
@@ -216,14 +242,121 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate> [--flag value]...
+/// Replays a stored edge list as an online stream: bootstrap GD on a
+/// vertex-id prefix, then ingest the remaining vertices (with their
+/// backward edges) in batches through `mdbgp-stream`, printing per-batch
+/// drift/quality telemetry.
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    let graph = load_graph(args.req("input")?, &args.opt("format", "text"))?;
+    let n = graph.num_vertices();
+    let k: usize = args.num("k", 8)?;
+    let eps: f64 = args.num("eps", 0.05)?;
+    let seed: u64 = args.num("seed", 42)?;
+    let batches: usize = args.num("batches", 10)?;
+    let bootstrap_fraction: f64 = args.num("bootstrap-fraction", 0.8)?;
+    if !(0.0 < bootstrap_fraction && bootstrap_fraction < 1.0) {
+        return Err(format!(
+            "--bootstrap-fraction must be in (0, 1), got {bootstrap_fraction}"
+        ));
+    }
+    let n0 = ((n as f64 * bootstrap_fraction) as usize)
+        .max(k)
+        .min(n.saturating_sub(1));
+
+    let prefix: Vec<u32> = (0..n0 as u32).collect();
+    let boot = InducedSubgraph::extract(&graph, &prefix);
+    let weights = VertexWeights::vertex_edge(&boot.graph);
+    let mut cfg = StreamConfig::new(k, eps);
+    cfg.gd = GdConfig {
+        iterations: 60,
+        ..GdConfig::with_epsilon(eps)
+    };
+    cfg.seed = seed;
+
+    let start = std::time::Instant::now();
+    let mut sp = StreamingPartitioner::bootstrap(boot.graph.clone(), weights, cfg)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "bootstrap on {n0}/{n} vertices in {:.2}s: locality {:.1}%, imbalance {:.2}%",
+        start.elapsed().as_secs_f64(),
+        sp.store().edge_locality() * 100.0,
+        sp.max_imbalance() * 100.0
+    );
+
+    let per_batch = (n - n0).div_ceil(batches.max(1));
+    let mut arrived = n0 as u32;
+    let mut batch_no = 0usize;
+    while (arrived as usize) < n {
+        batch_no += 1;
+        let end = ((arrived as usize + per_batch).min(n)) as u32;
+        let mut batch = UpdateBatch::new();
+        for v in arrived..end {
+            let backward: Vec<u32> = graph
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| u < v)
+                .collect();
+            let w = backward.len().max(1) as f64;
+            batch.add_vertex(vec![1.0, w], backward);
+        }
+        arrived = end;
+        let start = std::time::Instant::now();
+        let report = sp.ingest(&batch).map_err(|e| e.to_string())?;
+        println!(
+            "batch {batch_no}: +{} vertices, +{} edges in {:.1}ms — imbalance {:.2}%, \
+             locality {:.1}%{}",
+            report.vertices_added,
+            report.edges_added,
+            start.elapsed().as_secs_f64() * 1e3,
+            report.max_imbalance * 100.0,
+            report.edge_locality * 100.0,
+            if report.refined {
+                format!(
+                    " (refined: {} rebalance + {} gd moves)",
+                    report.rebalance_moves, report.refine_moves
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let t = sp.telemetry();
+    println!(
+        "done: {} placed, {} edges, {} compactions, {} refinements; final imbalance {:.2}%, \
+         locality {:.1}%",
+        t.vertices_placed,
+        t.edges_added,
+        t.compactions,
+        t.refinements,
+        sp.max_imbalance() * 100.0,
+        sp.store().edge_locality() * 100.0
+    );
+    if let Ok(out) = args.req("output") {
+        let partition = sp.partition();
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
+        );
+        for v in 0..partition.num_vertices() {
+            writeln!(file, "{}", partition.part_of(v as u32)).map_err(|e| e.to_string())?;
+        }
+        println!("wrote assignment -> {out}");
+    }
+    Ok(())
+}
+
+const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--flag value]...
   generate  --model community|rmat|er|ba --n N --output FILE
             [--format text|metis|binary] [--seed S] [--mean-degree D]
             [--mixing M] [--density-spread S] [--edges M] [--attach M]
   partition --input FILE --algo gd|gd-kway|hash|spinner|blp|shp|metis
             --k K [--eps E] [--dims unit,degree,ndsum,pagerank]
             [--seed S] [--output PARTS] [--format text|metis|binary]
-  evaluate  --input FILE --partition PARTS [--dims ...]";
+  evaluate  --input FILE --partition PARTS [--dims ...]
+  stream    --input FILE --k K [--eps E] [--batches B]
+            [--bootstrap-fraction F] [--seed S] [--output PARTS]
+            [--format text|metis|binary]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -235,6 +368,7 @@ fn main() -> ExitCode {
         "generate" => cmd_generate(&args),
         "partition" => cmd_partition(&args),
         "evaluate" => cmd_evaluate(&args),
+        "stream" => cmd_stream(&args),
         other => Err(format!("unknown command '{other}'\n{USAGE}")),
     });
     match result {

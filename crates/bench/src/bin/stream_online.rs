@@ -1,0 +1,222 @@
+//! `stream_online` — wall-clock comparison of incremental maintenance
+//! (`mdbgp-stream`) against re-running the offline GD partitioner from
+//! scratch after every update batch.
+//!
+//! Scenario: a community graph bootstrapped at `--n` vertices receives
+//! `--batches` update batches, each bringing `--arrivals` new vertices
+//! (with their backward edges), `--extra-edges` fresh edges between
+//! existing vertices, and activity drift on `--drift` vertices. After each
+//! batch both maintenance strategies must produce an ε-balanced partition:
+//!
+//! * **incremental** — `StreamingPartitioner::ingest` (greedy placement +
+//!   drift-triggered warm-started refinement),
+//! * **scratch** — `GdPartitioner::partition` on the full current graph.
+//!
+//! The run fails (non-zero exit) if the incremental path ever violates ε.
+//! The headline number is the cumulative speedup; the acceptance bar for
+//! this subsystem is ≥ 5×.
+
+use mdbgp_bench::policies::timed;
+use mdbgp_bench::table::Table;
+use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_graph::{gen, InducedSubgraph, Partitioner, VertexWeights};
+use mdbgp_stream::{StreamConfig, StreamingPartitioner, UpdateBatch};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    n: usize,
+    batches: usize,
+    arrivals: usize,
+    extra_edges: usize,
+    drift: usize,
+    k: usize,
+    eps: f64,
+    seed: u64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut map = HashMap::new();
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let key = argv[i]
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got '{}'", argv[i]))?;
+        let value = argv
+            .get(i + 1)
+            .ok_or_else(|| format!("--{key} needs a value"))?;
+        map.insert(key.to_string(), value.clone());
+        i += 2;
+    }
+    let num = |key: &str, default: usize| -> Result<usize, String> {
+        map.get(key).map_or(Ok(default), |v| {
+            v.parse()
+                .map_err(|_| format!("--{key}: cannot parse '{v}'"))
+        })
+    };
+    Ok(Args {
+        n: num("n", 50_000)?,
+        batches: num("batches", 10)?,
+        arrivals: num("arrivals", 500)?,
+        extra_edges: num("extra-edges", 500)?,
+        drift: num("drift", 300)?,
+        k: num("k", 8)?,
+        eps: map.get("eps").map_or(Ok(0.05), |v| {
+            v.parse().map_err(|_| format!("--eps: cannot parse '{v}'"))
+        })?,
+        seed: num("seed", 42)? as u64,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!(
+                "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
+                 [--extra-edges E] [--drift D] [--k K] [--eps EPS] [--seed S]"
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let total_n = args.n + args.batches * args.arrivals;
+    println!(
+        "stream_online: n={} (+{} arrivals/batch x {} batches), k={}, eps={}",
+        args.n, args.arrivals, args.batches, args.k, args.eps
+    );
+
+    // Full history graph; the prefix is the bootstrap snapshot.
+    let mut rng = StdRng::seed_from_u64(args.seed);
+    let cg = gen::community_graph(&gen::CommunityGraphConfig::social(total_n), &mut rng);
+    let full = cg.graph;
+    let prefix: Vec<u32> = (0..args.n as u32).collect();
+    let boot = InducedSubgraph::extract(&full, &prefix);
+    let boot_weights = VertexWeights::vertex_edge(&boot.graph);
+
+    let mut cfg = StreamConfig::new(args.k, args.eps);
+    cfg.gd = GdConfig {
+        iterations: 60,
+        ..GdConfig::with_epsilon(args.eps)
+    };
+    cfg.seed = args.seed;
+    let gd_cfg = cfg.gd.clone();
+
+    let (sp, boot_time) = timed(|| {
+        StreamingPartitioner::bootstrap(boot.graph.clone(), boot_weights, cfg)
+            .expect("bootstrap partition failed")
+    });
+    let mut sp = sp;
+    println!(
+        "bootstrap: {:.2}s, locality {:.1}%, imbalance {:.2}%\n",
+        boot_time.as_secs_f64(),
+        sp.store().edge_locality() * 100.0,
+        sp.max_imbalance() * 100.0
+    );
+
+    let mut table = Table::new([
+        "batch",
+        "inc ms",
+        "scratch ms",
+        "speedup",
+        "inc imb %",
+        "inc loc %",
+        "scratch loc %",
+    ]);
+    let mut inc_total = Duration::ZERO;
+    let mut scratch_total = Duration::ZERO;
+    let mut eps_ok = true;
+    let mut arrived = args.n as u32;
+
+    for batch_no in 1..=args.batches {
+        // Assemble the batch: arrivals with backward edges, extra edges,
+        // activity drift.
+        let mut batch = UpdateBatch::new();
+        let end = arrived + args.arrivals as u32;
+        for v in arrived..end {
+            let backward: Vec<u32> = full
+                .neighbors(v)
+                .iter()
+                .copied()
+                .filter(|&u| u < v)
+                .collect();
+            let degree_weight = backward.len().max(1) as f64;
+            batch.add_vertex(vec![1.0, degree_weight], backward);
+        }
+        for _ in 0..args.extra_edges {
+            let u = rng.gen_range(0..arrived);
+            let v = rng.gen_range(0..arrived);
+            batch.add_edge(u, v);
+        }
+        for _ in 0..args.drift {
+            let v = rng.gen_range(0..arrived);
+            batch.set_weight(v, 0, rng.gen_range(1.0..3.0));
+        }
+        arrived = end;
+
+        // Incremental path.
+        let (report, inc_time) = timed(|| sp.ingest(&batch).expect("ingest failed"));
+        inc_total += inc_time;
+        if report.max_imbalance > args.eps + 1e-9 {
+            eps_ok = false;
+        }
+
+        // Scratch path: full GD on the same post-batch graph/weights
+        // (snapshot construction is not charged to the solver).
+        let snapshot = sp.graph().snapshot();
+        let weights = sp.graph().weights().clone();
+        let (scratch, scratch_time) = timed(|| {
+            GdPartitioner::new(gd_cfg.clone())
+                .partition(&snapshot, &weights, args.k, args.seed + batch_no as u64)
+                .expect("scratch partition failed")
+        });
+        scratch_total += scratch_time;
+
+        table.row([
+            format!("{batch_no}"),
+            format!("{:.1}", inc_time.as_secs_f64() * 1e3),
+            format!("{:.1}", scratch_time.as_secs_f64() * 1e3),
+            format!(
+                "{:.1}x",
+                scratch_time.as_secs_f64() / inc_time.as_secs_f64().max(1e-9)
+            ),
+            format!("{:.2}", report.max_imbalance * 100.0),
+            format!("{:.1}", report.edge_locality * 100.0),
+            format!("{:.1}", scratch.edge_locality(&snapshot) * 100.0),
+        ]);
+    }
+    println!("{table}");
+
+    let speedup = scratch_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9);
+    let t = sp.telemetry();
+    println!(
+        "totals: incremental {:.2}s vs scratch {:.2}s -> {speedup:.1}x speedup",
+        inc_total.as_secs_f64(),
+        scratch_total.as_secs_f64()
+    );
+    println!(
+        "telemetry: {} placed, {} edges, {} weight updates, {} compactions, \
+         {} refinements ({} rebalance + {} gd moves)",
+        t.vertices_placed,
+        t.edges_added,
+        t.weight_updates,
+        t.compactions,
+        t.refinements,
+        t.rebalance_moves,
+        t.refine_moves
+    );
+
+    if !eps_ok {
+        eprintln!("FAIL: incremental path violated ε");
+        return ExitCode::FAILURE;
+    }
+    if speedup < 5.0 {
+        eprintln!("FAIL: speedup {speedup:.1}x below the 5x acceptance bar");
+        return ExitCode::FAILURE;
+    }
+    println!("PASS: ε held after every batch, speedup {speedup:.1}x >= 5x");
+    ExitCode::SUCCESS
+}

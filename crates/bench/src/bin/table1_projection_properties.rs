@@ -18,8 +18,9 @@ use std::time::Instant;
 
 fn instance(n: usize, d: usize, eps: f64, seed: u64) -> (Vec<f64>, FeasibleRegion) {
     let mut rng = StdRng::seed_from_u64(seed);
-    let weights: Vec<Vec<f64>> =
-        (0..d).map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect()).collect();
+    let weights: Vec<Vec<f64>> = (0..d)
+        .map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect())
+        .collect();
     // Biased upward so the balance slabs actually bind (an unbiased random
     // point is almost surely already feasible and the projection trivial).
     let y: Vec<f64> = (0..n).map(|_| rng.gen_range(-2.2..3.8)).collect();
@@ -27,7 +28,11 @@ fn instance(n: usize, d: usize, eps: f64, seed: u64) -> (Vec<f64>, FeasibleRegio
 }
 
 fn dist(a: &[f64], b: &[f64]) -> f64 {
-    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
 }
 
 fn main() {

@@ -34,10 +34,12 @@ fn main() {
     for data in [datasets::lj(), datasets::orkut(), datasets::stackoverflow()] {
         for d in [2usize, 3, 4] {
             let weights = data.weights_d(d);
-            let (gd_part, gd_t) =
-                timed(|| gd.partition(&data.graph, &weights, 2, 61).expect("GD"));
-            let (metis_out, metis_t) =
-                timed(|| metis.partition_with_stats(&data.graph, &weights, 2, 61).expect("METIS"));
+            let (gd_part, gd_t) = timed(|| gd.partition(&data.graph, &weights, 2, 61).expect("GD"));
+            let (metis_out, metis_t) = timed(|| {
+                metis
+                    .partition_with_stats(&data.graph, &weights, 2, 61)
+                    .expect("METIS")
+            });
             let (metis_part, metis_stats) = metis_out;
 
             // Analytic memory estimates: GD holds the graph, the weights,

@@ -25,7 +25,10 @@ pub fn run_curve(dataset: &Dataset, mut config: GdConfig, seed: u64, label: &str
         seed,
     )
     .unwrap_or_else(|e| panic!("GD failed on {}: {e}", dataset.name));
-    Curve { label: label.to_string(), history: res.history }
+    Curve {
+        label: label.to_string(),
+        history: res.history,
+    }
 }
 
 fn checkpoint_rows(
@@ -64,14 +67,20 @@ fn checkpoint_rows(
 /// Prints edge-locality-vs-iteration checkpoints (the paper's left panels).
 pub fn print_locality_curves(title: &str, curves: &[Curve], stride: usize) {
     println!("\n{title} — edge locality, %");
-    println!("{}", checkpoint_rows(curves, stride, |r| r.expected_locality * 100.0));
+    println!(
+        "{}",
+        checkpoint_rows(curves, stride, |r| r.expected_locality * 100.0)
+    );
 }
 
 /// Prints max-imbalance-vs-iteration checkpoints (the right panels of
 /// Figures 9/15).
 pub fn print_imbalance_curves(title: &str, curves: &[Curve], stride: usize) {
     println!("\n{title} — max fractional imbalance, %");
-    println!("{}", checkpoint_rows(curves, stride, |r| r.fractional_imbalance * 100.0));
+    println!(
+        "{}",
+        checkpoint_rows(curves, stride, |r| r.fractional_imbalance * 100.0)
+    );
 }
 
 #[cfg(test)]
@@ -86,7 +95,10 @@ mod tests {
         let sub = mdbgp_graph::InducedSubgraph::extract(&d.graph, &(0..2000).collect::<Vec<_>>());
         d.graph = sub.graph;
         d.community.truncate(2000);
-        let cfg = GdConfig { iterations: 10, ..GdConfig::with_epsilon(0.05) };
+        let cfg = GdConfig {
+            iterations: 10,
+            ..GdConfig::with_epsilon(0.05)
+        };
         let c = run_curve(&d, cfg, 1, "test");
         assert_eq!(c.history.len(), 10);
         assert_eq!(c.label, "test");
@@ -102,7 +114,10 @@ mod tests {
             gamma: 0.1,
             fixed_vertices: 0,
         };
-        let c = Curve { label: "x".into(), history: (0..7).map(rec).collect() };
+        let c = Curve {
+            label: "x".into(),
+            history: (0..7).map(rec).collect(),
+        };
         let t = checkpoint_rows(&[c], 5, |r| r.expected_locality);
         let s = t.to_string();
         assert!(s.contains("| 0 "), "{s}");

@@ -33,7 +33,11 @@ pub struct Dataset {
 
 impl Dataset {
     fn from_community(name: &'static str, cg: CommunityGraph) -> Self {
-        Self { name, graph: cg.graph, community: cg.community }
+        Self {
+            name,
+            graph: cg.graph,
+            community: cg.community,
+        }
     }
 
     /// The standard two balance dimensions (vertices + degrees).
@@ -75,7 +79,10 @@ fn make(
         max_community: (n / 8).max(16),
         density_spread,
     };
-    Dataset::from_community(name, community_graph(&cfg, &mut StdRng::seed_from_u64(seed)))
+    Dataset::from_community(
+        name,
+        community_graph(&cfg, &mut StdRng::seed_from_u64(seed)),
+    )
 }
 
 /// LiveJournal proxy: strong communities, moderate skew.
@@ -123,7 +130,13 @@ pub fn fb_sweep() -> Vec<Dataset> {
         .iter()
         .enumerate()
         .map(|(i, &n)| {
-            let names = ["FB-sweep-1", "FB-sweep-2", "FB-sweep-3", "FB-sweep-4", "FB-sweep-5"];
+            let names = [
+                "FB-sweep-1",
+                "FB-sweep-2",
+                "FB-sweep-3",
+                "FB-sweep-4",
+                "FB-sweep-5",
+            ];
             make(names[i], n, 16.0, 2.4, 0.15, 3.0, 0xC000 + i as u64)
         })
         .collect()

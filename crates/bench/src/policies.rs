@@ -22,7 +22,12 @@ pub enum Policy {
 impl Policy {
     /// All four policies in the paper's presentation order.
     pub fn all() -> [Policy; 4] {
-        [Policy::Hash, Policy::Vertex, Policy::Edge, Policy::VertexEdge]
+        [
+            Policy::Hash,
+            Policy::Vertex,
+            Policy::Edge,
+            Policy::VertexEdge,
+        ]
     }
 
     /// Display name.
@@ -65,7 +70,10 @@ impl Policy {
 /// slightly reduced iteration budget (quality plateaus well before 100
 /// iterations on the scaled-down proxies — see Figure 8's curves).
 pub fn gd_fast(epsilon: f64) -> GdPartitioner {
-    GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(epsilon) })
+    GdPartitioner::new(GdConfig {
+        iterations: 60,
+        ..GdConfig::with_epsilon(epsilon)
+    })
 }
 
 /// GD with the paper's full configuration (100 iterations).

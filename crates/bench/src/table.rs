@@ -9,7 +9,10 @@ pub struct Table {
 impl Table {
     /// New table with column headers.
     pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(headers: I) -> Self {
-        Self { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header count).
@@ -62,7 +65,11 @@ impl std::fmt::Display for Table {
 /// figures). Values are scaled so the longest bar is `width` characters.
 pub fn bar_chart(entries: &[(String, f64)], width: usize) -> String {
     let max = entries.iter().map(|(_, v)| *v).fold(0.0f64, f64::max);
-    let label_w = entries.iter().map(|(l, _)| l.chars().count()).max().unwrap_or(0);
+    let label_w = entries
+        .iter()
+        .map(|(l, _)| l.chars().count())
+        .max()
+        .unwrap_or(0);
     let mut out = String::new();
     for (label, value) in entries {
         let bar_len = if max > 0.0 {
@@ -106,10 +113,7 @@ mod tests {
 
     #[test]
     fn bars_scale_to_width() {
-        let s = bar_chart(
-            &[("x".to_string(), 1.0), ("y".to_string(), 2.0)],
-            10,
-        );
+        let s = bar_chart(&[("x".to_string(), 1.0), ("y".to_string(), 2.0)], 10);
         let lines: Vec<&str> = s.lines().collect();
         assert!(lines[0].contains("#####"));
         assert!(lines[1].contains("##########"));

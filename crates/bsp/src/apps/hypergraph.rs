@@ -111,8 +111,14 @@ mod tests {
         let (_, labels) = engine.run(&HypergraphClustering { rounds: 8 });
         let first: Vec<u32> = labels[..8].to_vec();
         let second: Vec<u32> = labels[8..].to_vec();
-        assert!(first.iter().all(|&l| l == first[0]), "clique 1 uniform: {first:?}");
-        assert!(second.iter().all(|&l| l == second[0]), "clique 2 uniform: {second:?}");
+        assert!(
+            first.iter().all(|&l| l == first[0]),
+            "clique 1 uniform: {first:?}"
+        );
+        assert!(
+            second.iter().all(|&l| l == second[0]),
+            "clique 2 uniform: {second:?}"
+        );
     }
 
     #[test]
@@ -121,7 +127,11 @@ mod tests {
         let p = Partition::new(vec![0; 10], 1);
         let engine = BspEngine::new(&g, &p, CostModel::default());
         let (stats, _) = engine.run(&HypergraphClustering { rounds: 2 });
-        let bytes: usize = stats.supersteps[0].workers.iter().map(|w| w.local_bytes).sum();
+        let bytes: usize = stats.supersteps[0]
+            .workers
+            .iter()
+            .map(|w| w.local_bytes)
+            .sum();
         assert_eq!(bytes, 20 * 24, "one 24-byte ad per directed edge");
     }
 

@@ -46,7 +46,10 @@ impl VertexProgram for MutualFriends {
     ) {
         match superstep {
             0 => {
-                let ad = ListAd { sender: v, list_len: graph.degree(v) as u32 };
+                let ad = ListAd {
+                    sender: v,
+                    list_len: graph.degree(v) as u32,
+                };
                 for &u in graph.neighbors(v) {
                     ctx.send(u, ad);
                 }

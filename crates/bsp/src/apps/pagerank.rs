@@ -20,7 +20,10 @@ pub struct PageRank {
 impl Default for PageRank {
     fn default() -> Self {
         // The paper's configuration: 30 iterations.
-        Self { damping: 0.85, iterations: 30 }
+        Self {
+            damping: 0.85,
+            iterations: 30,
+        }
     }
 }
 
@@ -43,8 +46,7 @@ impl VertexProgram for PageRank {
     ) {
         if superstep > 0 {
             let incoming: f64 = messages.iter().sum();
-            *state = (1.0 - self.damping) / graph.num_vertices() as f64
-                + self.damping * incoming;
+            *state = (1.0 - self.damping) / graph.num_vertices() as f64 + self.damping * incoming;
         }
         if superstep < self.iterations {
             let deg = graph.degree(v);
@@ -83,10 +85,16 @@ mod tests {
         let g = gen::barabasi_albert(300, 3, &mut StdRng::seed_from_u64(1));
         let p = Partition::new((0..300).map(|v| (v % 4) as u32).collect(), 4);
         let engine = BspEngine::new(&g, &p, CostModel::default());
-        let (_, ranks) = engine.run(&PageRank { damping: 0.85, iterations: 25 });
+        let (_, ranks) = engine.run(&PageRank {
+            damping: 0.85,
+            iterations: 25,
+        });
         let reference = analytics::pagerank(&g, 0.85, 25);
         for (a, b) in ranks.iter().zip(&reference) {
-            assert!((a - b).abs() < 1e-12, "BSP and sequential PageRank diverge: {a} vs {b}");
+            assert!(
+                (a - b).abs() < 1e-12,
+                "BSP and sequential PageRank diverge: {a} vs {b}"
+            );
         }
     }
 
@@ -95,7 +103,10 @@ mod tests {
         let g = gen::cycle(50);
         let p = Partition::new(vec![0; 50], 1);
         let engine = BspEngine::new(&g, &p, CostModel::default());
-        let (stats, _) = engine.run(&PageRank { damping: 0.85, iterations: 10 });
+        let (stats, _) = engine.run(&PageRank {
+            damping: 0.85,
+            iterations: 10,
+        });
         assert_eq!(stats.num_supersteps(), 11);
     }
 
@@ -104,10 +115,16 @@ mod tests {
         let g = gen::cycle(40);
         let p = Partition::new((0..40).map(|v| (v / 20) as u32).collect(), 2);
         let engine = BspEngine::new(&g, &p, CostModel::default());
-        let (stats, _) = engine.run(&PageRank { damping: 0.85, iterations: 2 });
+        let (stats, _) = engine.run(&PageRank {
+            damping: 0.85,
+            iterations: 2,
+        });
         let s = &stats.supersteps[0];
-        let msgs: usize =
-            s.workers.iter().map(|w| w.local_messages + w.remote_messages).sum();
+        let msgs: usize = s
+            .workers
+            .iter()
+            .map(|w| w.local_messages + w.remote_messages)
+            .sum();
         assert_eq!(msgs, 80, "every directed edge carries one message");
         // 4 cut edges (two boundaries × two directions).
         let remote: usize = s.workers.iter().map(|w| w.remote_messages).sum();

@@ -79,7 +79,11 @@ impl<'a> BspEngine<'a> {
             assignment.num_vertices(),
             "partition must cover the graph"
         );
-        Self { graph, assignment, cost }
+        Self {
+            graph,
+            assignment,
+            cost,
+        }
     }
 
     /// Number of simulated workers.
@@ -92,8 +96,9 @@ impl<'a> BspEngine<'a> {
     pub fn run<P: VertexProgram>(&self, program: &P) -> (JobStats, Vec<P::State>) {
         let n = self.graph.num_vertices();
         let w = self.num_workers();
-        let mut states: Vec<P::State> =
-            (0..n).map(|v| program.init(v as VertexId, self.graph)).collect();
+        let mut states: Vec<P::State> = (0..n)
+            .map(|v| program.init(v as VertexId, self.graph))
+            .collect();
 
         // Double-buffered inboxes.
         let mut inbox: Vec<Vec<P::Message>> = vec![Vec::new(); n];
@@ -106,7 +111,8 @@ impl<'a> BspEngine<'a> {
             let mut any_message = false;
 
             for v in 0..n as VertexId {
-                let active = step == 0 || program.run_all_supersteps() || !inbox[v as usize].is_empty();
+                let active =
+                    step == 0 || program.run_all_supersteps() || !inbox[v as usize].is_empty();
                 if !active {
                     continue;
                 }
@@ -116,10 +122,20 @@ impl<'a> BspEngine<'a> {
 
                 outbox.clear();
                 {
-                    let mut ctx = Context { outbox: &mut outbox };
+                    let mut ctx = Context {
+                        outbox: &mut outbox,
+                    };
                     // Temporarily move the state out to satisfy borrowck.
                     let mut state = states[v as usize].clone();
-                    ctx_compute(program, &mut ctx, v, &mut state, &inbox[v as usize], self.graph, step);
+                    ctx_compute(
+                        program,
+                        &mut ctx,
+                        v,
+                        &mut state,
+                        &inbox[v as usize],
+                        self.graph,
+                        step,
+                    );
                     states[v as usize] = state;
                 }
                 stats.edges_scanned += outbox.len();
@@ -149,8 +165,7 @@ impl<'a> BspEngine<'a> {
                     stats.remote_bytes_received,
                 );
             }
-            let time =
-                workers.iter().map(|s| s.busy_time).fold(0.0, f64::max) + self.cost.barrier;
+            let time = workers.iter().map(|s| s.busy_time).fold(0.0, f64::max) + self.cost.barrier;
             supersteps.push(SuperstepStats { workers, time });
 
             // Swap buffers; clear the consumed inbox.
@@ -165,7 +180,13 @@ impl<'a> BspEngine<'a> {
                 break;
             }
         }
-        (JobStats { supersteps, num_workers: w }, states)
+        (
+            JobStats {
+                supersteps,
+                num_workers: w,
+            },
+            states,
+        )
     }
 }
 
@@ -282,7 +303,10 @@ mod tests {
         // Worker 0 processes 1 vertex but sends 4 remote messages; worker 1
         // processes 4 vertices sending 4 remote messages.
         assert!(s.workers[1].busy_time > s.workers[0].busy_time);
-        assert!(s.time >= s.max_busy(), "iteration time includes the barrier");
+        assert!(
+            s.time >= s.max_busy(),
+            "iteration time includes the barrier"
+        );
     }
 
     #[test]

@@ -109,7 +109,10 @@ impl JobStats {
         }
         let mean = per_worker.iter().sum::<f64>() / per_worker.len() as f64;
         let max = per_worker.iter().fold(0.0f64, |a, &b| a.max(b));
-        let var = per_worker.iter().map(|&t| (t - mean) * (t - mean)).sum::<f64>()
+        let var = per_worker
+            .iter()
+            .map(|&t| (t - mean) * (t - mean))
+            .sum::<f64>()
             / per_worker.len() as f64;
         (mean, max, var.sqrt())
     }
@@ -160,7 +163,10 @@ mod tests {
                 .collect(),
             time: busy.iter().fold(0.0f64, |a, &b| a.max(b)) + 1.0,
         };
-        JobStats { supersteps: vec![mk(&[1.0, 3.0]), mk(&[2.0, 2.0])], num_workers: 2 }
+        JobStats {
+            supersteps: vec![mk(&[1.0, 3.0]), mk(&[2.0, 2.0])],
+            num_workers: 2,
+        }
     }
 
     #[test]
@@ -193,7 +199,10 @@ mod tests {
 
     #[test]
     fn empty_job_is_zeroes() {
-        let j = JobStats { supersteps: Vec::new(), num_workers: 0 };
+        let j = JobStats {
+            supersteps: Vec::new(),
+            num_workers: 0,
+        };
         assert_eq!(j.total_time(), 0.0);
         assert_eq!(j.runtime_summary(), (0.0, 0.0, 0.0));
         assert_eq!(j.local_message_fraction(), 1.0);

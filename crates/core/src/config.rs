@@ -78,7 +78,10 @@ impl Default for NoiseSchedule {
         // Small symmetric kick; anything non-zero escapes x = 0. Scaled
         // per-coordinate so the noise vector has length ≈ 0.01·√n, well
         // below one adaptive step.
-        Self { initial_std: 0.01, later_std: 0.0 }
+        Self {
+            initial_std: 0.01,
+            later_std: 0.0,
+        }
     }
 }
 
@@ -112,7 +115,10 @@ impl GdConfig {
     /// Paper defaults: 100 iterations, step `2·√n/100`, one-shot alternating
     /// projection, noise only at `t = 0`, vertex fixing on.
     pub fn with_epsilon(epsilon: f64) -> Self {
-        Self { epsilon, ..Self::default() }
+        Self {
+            epsilon,
+            ..Self::default()
+        }
     }
 
     /// Validates parameter ranges.
@@ -174,7 +180,10 @@ mod tests {
         let s = StepSchedule::FixedLength { factor: 2.0 };
         let len = s.target_length(10_000, 100).unwrap();
         assert!((len - 2.0).abs() < 1e-12, "2·√10000/100 = 2, got {len}");
-        assert_eq!(StepSchedule::Constant { gamma: 0.1 }.target_length(100, 10), None);
+        assert_eq!(
+            StepSchedule::Constant { gamma: 0.1 }.target_length(100, 10),
+            None
+        );
     }
 
     #[test]

@@ -32,16 +32,26 @@ impl FeasibleRegion {
         let n = weights[0].len();
         for (j, w) in weights.iter().enumerate() {
             assert_eq!(w.len(), n, "dimension {j} length mismatch");
-            assert!(w.iter().all(|&v| v > 0.0 && v.is_finite()), "weights must be positive");
+            assert!(
+                w.iter().all(|&v| v > 0.0 && v.is_finite()),
+                "weights must be positive"
+            );
         }
         assert!(halfwidths.iter().all(|&b| b >= 0.0 && b.is_finite()));
-        Self { weights, centers, halfwidths }
+        Self {
+            weights,
+            centers,
+            halfwidths,
+        }
     }
 
     /// The paper's standard symmetric region: `|⟨w_j, x⟩| ≤ ε·Σ_i w_j(i)`.
     pub fn symmetric(weights: Vec<Vec<f64>>, epsilon: f64) -> Self {
         assert!(epsilon >= 0.0);
-        let halfwidths = weights.iter().map(|w| epsilon * w.iter().sum::<f64>()).collect();
+        let halfwidths = weights
+            .iter()
+            .map(|w| epsilon * w.iter().sum::<f64>())
+            .collect();
         let centers = vec![0.0; weights.len()];
         Self::new(weights, centers, halfwidths)
     }
@@ -147,8 +157,12 @@ impl FeasibleRegion {
             .iter()
             .map(|w| keep.iter().map(|&i| w[i as usize]).collect())
             .collect();
-        let centers =
-            self.centers.iter().zip(fixed_dot).map(|(c, f)| c - f).collect();
+        let centers = self
+            .centers
+            .iter()
+            .zip(fixed_dot)
+            .map(|(c, f)| c - f)
+            .collect();
         Self::new(weights, centers, self.halfwidths.clone())
     }
 }
@@ -159,10 +173,7 @@ mod tests {
 
     fn region() -> FeasibleRegion {
         // Two dims over 4 vars: unit weights and "degree-ish" weights.
-        FeasibleRegion::symmetric(
-            vec![vec![1.0; 4], vec![2.0, 1.0, 1.0, 2.0]],
-            0.25,
-        )
+        FeasibleRegion::symmetric(vec![vec![1.0; 4], vec![2.0, 1.0, 1.0, 2.0]], 0.25)
     }
 
     #[test]

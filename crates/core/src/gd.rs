@@ -40,12 +40,18 @@ pub struct SplitTarget {
 impl SplitTarget {
     /// Even split, the paper's standard setting.
     pub fn half(epsilon: f64) -> Self {
-        Self { fraction: 0.5, epsilon }
+        Self {
+            fraction: 0.5,
+            epsilon,
+        }
     }
 
     /// Uneven split for recursive partitioning into non-power-of-two `k`.
     pub fn new(fraction: f64, epsilon: f64) -> Self {
-        assert!(fraction > 0.0 && fraction < 1.0, "fraction must be in (0, 1)");
+        assert!(
+            fraction > 0.0 && fraction < 1.0,
+            "fraction must be in (0, 1)"
+        );
         assert!(epsilon >= 0.0);
         Self { fraction, epsilon }
     }
@@ -62,10 +68,15 @@ impl SplitTarget {
 
     /// Builds the feasible region for `weights` under this target.
     pub fn region(&self, weights: &VertexWeights) -> FeasibleRegion {
-        let w: Vec<Vec<f64>> = (0..weights.dims()).map(|j| weights.dim(j).to_vec()).collect();
-        let centers = (0..weights.dims()).map(|j| self.center(weights.total(j))).collect();
-        let halfwidths =
-            (0..weights.dims()).map(|j| self.halfwidth(weights.total(j))).collect();
+        let w: Vec<Vec<f64>> = (0..weights.dims())
+            .map(|j| weights.dim(j).to_vec())
+            .collect();
+        let centers = (0..weights.dims())
+            .map(|j| self.center(weights.total(j)))
+            .collect();
+        let halfwidths = (0..weights.dims())
+            .map(|j| self.halfwidth(weights.total(j)))
+            .collect();
         FeasibleRegion::new(w, centers, halfwidths)
     }
 }
@@ -154,7 +165,36 @@ impl ActiveSet {
 
     /// Rebuilds the free-index list after fixing.
     fn rebuild_free(&mut self) {
-        self.free = (0..self.fixed.len() as u32).filter(|&v| !self.fixed[v as usize]).collect();
+        self.free = (0..self.fixed.len() as u32)
+            .filter(|&v| !self.fixed[v as usize])
+            .collect();
+    }
+}
+
+/// Warm-start specification for incremental refinement (see
+/// [`bipartition_warm`] and `mdbgp-stream`).
+#[derive(Clone, Debug, Default)]
+pub struct WarmStart {
+    /// Initial fractional iterate, length `n`, entries clamped to `[-1, 1]`.
+    /// For refinement of an existing bipartition, pass the ±1 encoding of
+    /// the current assignment.
+    pub x0: Vec<f64>,
+    /// Vertices frozen at `sign(x0[v])`: they are fixed before the first
+    /// iteration and leave the active variable set, so gradient work scales
+    /// with the *free* vertices only. A frozen vertex whose fixation would
+    /// make the balance slabs unreachable is silently left free (same rule
+    /// as in-loop vertex fixing).
+    pub frozen: Vec<bool>,
+}
+
+impl WarmStart {
+    /// Warm start from a ±1 assignment with an explicit frozen mask.
+    pub fn from_signs(signs: &[i8], frozen: Vec<bool>) -> Self {
+        assert_eq!(signs.len(), frozen.len());
+        Self {
+            x0: signs.iter().map(|&s| s as f64).collect(),
+            frozen,
+        }
     }
 }
 
@@ -167,6 +207,35 @@ pub fn bipartition(
     config: &GdConfig,
     target: &SplitTarget,
     seed: u64,
+) -> Result<BipartitionResult, PartitionError> {
+    bipartition_impl(graph, weights, config, target, seed, None)
+}
+
+/// [`bipartition`] warm-started from an existing (partial) solution: the
+/// iterate starts at `warm.x0` instead of the origin and `warm.frozen`
+/// vertices are fixed up front. This is the core primitive behind
+/// incremental repartitioning — a small batch of graph updates is absorbed
+/// by a few cheap iterations over the unfrozen vertices instead of a full
+/// solve (no iteration-0 noise is added: a non-zero warm start is already
+/// away from the saddle at the origin).
+pub fn bipartition_warm(
+    graph: &Graph,
+    weights: &VertexWeights,
+    config: &GdConfig,
+    target: &SplitTarget,
+    warm: &WarmStart,
+    seed: u64,
+) -> Result<BipartitionResult, PartitionError> {
+    bipartition_impl(graph, weights, config, target, seed, Some(warm))
+}
+
+fn bipartition_impl(
+    graph: &Graph,
+    weights: &VertexWeights,
+    config: &GdConfig,
+    target: &SplitTarget,
+    seed: u64,
+    warm: Option<&WarmStart>,
 ) -> Result<BipartitionResult, PartitionError> {
     config.validate().map_err(PartitionError::Config)?;
     let n = graph.num_vertices();
@@ -195,14 +264,51 @@ pub fn bipartition(
     let mut x = vec![0.0f64; n];
     let mut grad = vec![0.0f64; n];
     let mut active = ActiveSet::new(n, &region);
+    let mut warm_started = false;
+    if let Some(w) = warm {
+        if w.x0.len() != n || w.frozen.len() != n {
+            return Err(PartitionError::DimensionMismatch {
+                weights_n: w.x0.len(),
+                graph_n: n,
+            });
+        }
+        for (xi, &x0i) in x.iter_mut().zip(&w.x0) {
+            *xi = x0i.clamp(-1.0, 1.0);
+        }
+        warm_started = x.iter().any(|&v| v != 0.0);
+        // Freeze the most decided vertices first so marginal ones are the
+        // ones left free when fixing everything would be infeasible.
+        let mut to_freeze: Vec<u32> = (0..n as u32).filter(|&v| w.frozen[v as usize]).collect();
+        to_freeze.sort_by(|&a, &b| {
+            x[b as usize]
+                .abs()
+                .partial_cmp(&x[a as usize].abs())
+                .unwrap()
+        });
+        for v in to_freeze {
+            let sign = if x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
+            if active.try_fix(v, sign, &region) {
+                x[v as usize] = sign;
+            }
+        }
+        active.rebuild_free();
+    }
     let mut reduced = region.restrict(&active.free, &active.fixed_dot);
     let mut history = Vec::new();
 
     let target_len_full = config.step.target_length(n, config.iterations);
 
     for t in 0..config.iterations {
-        // --- Step 1: noise (escapes the saddle at x = 0). ---
-        let std = config.noise.std_at(t);
+        if active.free.is_empty() {
+            break; // fully frozen warm start
+        }
+        // --- Step 1: noise (escapes the saddle at x = 0; a warm start is
+        // already away from the origin, so it gets none). ---
+        let std = if t == 0 && warm_started {
+            0.0
+        } else {
+            config.noise.std_at(t)
+        };
         let mut z = x.clone();
         if std > 0.0 {
             // Perturb only free coordinates so fixed vertices stay integral.
@@ -263,9 +369,7 @@ pub fn bipartition(
                 .sum::<f64>()
                 .sqrt();
             match step_target {
-                Some(t_len)
-                    if step_len < 0.5 * t_len && retries < 3 && grad_free_norm > 1e-30 =>
-                {
+                Some(t_len) if step_len < 0.5 * t_len && retries < 3 && grad_free_norm > 1e-30 => {
                     gamma *= (t_len / step_len.max(t_len / 16.0)).min(8.0);
                     retries += 1;
                 }
@@ -288,7 +392,10 @@ pub fn bipartition(
                 .filter(|&v| x[v as usize].abs() >= threshold)
                 .collect();
             candidates.sort_by(|&a, &b| {
-                x[b as usize].abs().partial_cmp(&x[a as usize].abs()).unwrap()
+                x[b as usize]
+                    .abs()
+                    .partial_cmp(&x[a as usize].abs())
+                    .unwrap()
             });
             for v in candidates {
                 let sign = if x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
@@ -340,7 +447,12 @@ pub fn bipartition(
 
     // Randomized rounding + balance repair.
     let (signs, violation) = round_balanced(&x, &region, config.rounding_attempts, &mut rng);
-    Ok(BipartitionResult { signs, x, history, violation })
+    Ok(BipartitionResult {
+        signs,
+        x,
+        history,
+        violation,
+    })
 }
 
 #[cfg(test)]
@@ -360,11 +472,17 @@ mod tests {
     fn splits_two_cliques_perfectly() {
         let g = gen::two_cliques(40, 2);
         let w = VertexWeights::vertex_edge(&g);
-        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.05) };
+        let cfg = GdConfig {
+            iterations: 60,
+            ..GdConfig::with_epsilon(0.05)
+        };
         let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 1).unwrap();
         let (loc, imb) = quality(&g, &w, &res);
         let m = g.num_edges() as f64;
-        assert!(loc >= (m - 2.0) / m - 1e-9, "only the bridges may be cut, locality {loc}");
+        assert!(
+            loc >= (m - 2.0) / m - 1e-9,
+            "only the bridges may be cut, locality {loc}"
+        );
         assert!(imb <= 0.05 + 1e-9, "imbalance {imb}");
     }
 
@@ -375,7 +493,10 @@ mod tests {
         let degrees = gen::power_law_sequence(600, 2.2, 2.0, 120.0, &mut rng);
         let g = gen::chung_lu(&degrees, &mut rng);
         let w = VertexWeights::vertex_edge(&g);
-        let cfg = GdConfig { iterations: 80, ..GdConfig::with_epsilon(0.05) };
+        let cfg = GdConfig {
+            iterations: 80,
+            ..GdConfig::with_epsilon(0.05)
+        };
         let res = bipartition(&g, &w, &cfg, &SplitTarget::half(0.05), 9).unwrap();
         let p = Partition::from_signs(&res.signs);
         let imb = p.imbalance(&w);
@@ -388,10 +509,16 @@ mod tests {
         let cfg_g = gen::CommunityGraphConfig::social(1200);
         let cg = gen::community_graph(&cfg_g, &mut StdRng::seed_from_u64(4));
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let cfg = GdConfig { iterations: 80, ..GdConfig::with_epsilon(0.05) };
+        let cfg = GdConfig {
+            iterations: 80,
+            ..GdConfig::with_epsilon(0.05)
+        };
         let res = bipartition(&cg.graph, &w, &cfg, &SplitTarget::half(0.05), 11).unwrap();
         let (loc, imb) = quality(&cg.graph, &w, &res);
-        assert!(loc > 0.62, "expected well above the 50% of a random split, got {loc}");
+        assert!(
+            loc > 0.62,
+            "expected well above the 50% of a random split, got {loc}"
+        );
         assert!(imb <= 0.06, "imbalance {imb}");
     }
 
@@ -399,7 +526,10 @@ mod tests {
     fn deterministic_per_seed() {
         let g = gen::two_cliques(20, 3);
         let w = VertexWeights::unit(40);
-        let cfg = GdConfig { iterations: 30, ..GdConfig::with_epsilon(0.1) };
+        let cfg = GdConfig {
+            iterations: 30,
+            ..GdConfig::with_epsilon(0.1)
+        };
         let a = bipartition(&g, &w, &cfg, &SplitTarget::half(0.1), 5).unwrap();
         let b = bipartition(&g, &w, &cfg, &SplitTarget::half(0.1), 5).unwrap();
         assert_eq!(a.signs, b.signs);
@@ -427,11 +557,18 @@ mod tests {
         // 2:1 split of a cycle.
         let g = gen::cycle(300);
         let w = VertexWeights::unit(300);
-        let cfg = GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.04) };
+        let cfg = GdConfig {
+            iterations: 60,
+            ..GdConfig::with_epsilon(0.04)
+        };
         let t = SplitTarget::new(2.0 / 3.0, 0.04);
         let res = bipartition(&g, &w, &cfg, &t, 8).unwrap();
         let plus = res.signs.iter().filter(|&&s| s == 1).count() as f64;
-        assert!((plus / 300.0 - 2.0 / 3.0).abs() < 0.04 + 0.01, "share {}", plus / 300.0);
+        assert!(
+            (plus / 300.0 - 2.0 / 3.0).abs() < 0.04 + 0.01,
+            "share {}",
+            plus / 300.0
+        );
     }
 
     #[test]
@@ -449,7 +586,10 @@ mod tests {
             assert!(rec.fixed_vertices >= prev, "fixing must be monotone");
             prev = rec.fixed_vertices;
         }
-        assert!(prev > 0, "some vertices should be fixed on an easy instance");
+        assert!(
+            prev > 0,
+            "some vertices should be fixed on an easy instance"
+        );
     }
 
     #[test]
@@ -460,6 +600,112 @@ mod tests {
         let res = bipartition(&g, &w, &GdConfig::default(), &SplitTarget::half(0.1), 0);
         assert!(res.is_ok());
         assert!(res.unwrap().signs.is_empty());
+    }
+
+    #[test]
+    fn warm_start_preserves_frozen_vertices() {
+        let g = gen::two_cliques(30, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let cfg = GdConfig {
+            iterations: 15,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        // Start from the planted split and freeze the first clique entirely.
+        let signs: Vec<i8> = (0..60).map(|v| if v < 30 { 1 } else { -1 }).collect();
+        let frozen: Vec<bool> = (0..60).map(|v| v < 30).collect();
+        let warm = WarmStart::from_signs(&signs, frozen);
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, 1).unwrap();
+        for v in 0..30 {
+            assert_eq!(res.signs[v], 1, "frozen vertex {v} moved");
+        }
+        let (loc, imb) = quality(&g, &w, &res);
+        assert!(
+            loc > 0.9,
+            "warm start should keep the planted split, locality {loc}"
+        );
+        assert!(imb <= 0.05 + 1e-9, "imbalance {imb}");
+    }
+
+    #[test]
+    fn warm_start_fixes_a_perturbed_solution_in_few_iterations() {
+        // Plant the optimum, flip a handful of vertices, and check that a
+        // handful of warm iterations recovers it — the incremental-
+        // refinement workload of mdbgp-stream.
+        let g = gen::two_cliques(40, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let mut signs: Vec<i8> = (0..80).map(|v| if v < 40 { 1 } else { -1 }).collect();
+        for v in [3usize, 17, 44, 61] {
+            signs[v] = -signs[v];
+        }
+        let frozen = vec![false; 80];
+        let warm = WarmStart::from_signs(&signs, frozen);
+        let cfg = GdConfig {
+            iterations: 10,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, 2).unwrap();
+        let (loc, imb) = quality(&g, &w, &res);
+        let m = g.num_edges() as f64;
+        assert!(
+            loc >= (m - 2.0) / m - 1e-9,
+            "warm GD should heal the flips, locality {loc}"
+        );
+        assert!(imb <= 0.05 + 1e-9);
+    }
+
+    #[test]
+    fn fully_frozen_warm_start_is_identity() {
+        let g = gen::two_cliques(10, 1);
+        let w = VertexWeights::unit(20);
+        let signs: Vec<i8> = (0..20).map(|v| if v < 10 { 1 } else { -1 }).collect();
+        let warm = WarmStart::from_signs(&signs, vec![true; 20]);
+        let cfg = GdConfig {
+            iterations: 5,
+            ..GdConfig::with_epsilon(0.1)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.1), &warm, 3).unwrap();
+        assert_eq!(res.signs, signs);
+    }
+
+    #[test]
+    fn warm_start_rejects_wrong_length() {
+        let g = gen::path(5);
+        let w = VertexWeights::unit(5);
+        let warm = WarmStart {
+            x0: vec![0.0; 4],
+            frozen: vec![false; 4],
+        };
+        let err = bipartition_warm(
+            &g,
+            &w,
+            &GdConfig::default(),
+            &SplitTarget::half(0.1),
+            &warm,
+            0,
+        );
+        assert!(matches!(err, Err(PartitionError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn infeasible_freeze_is_released_not_fatal() {
+        // Freezing everything on one side would make the balance slab
+        // unreachable; those freezes must be dropped, not crash.
+        let g = gen::path(10);
+        let w = VertexWeights::unit(10);
+        let warm = WarmStart {
+            x0: vec![1.0; 10],
+            frozen: vec![true; 10],
+        };
+        let cfg = GdConfig {
+            iterations: 20,
+            ..GdConfig::with_epsilon(0.1)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.1), &warm, 4).unwrap();
+        let plus = res.signs.iter().filter(|&&s| s == 1).count();
+        assert!(
+            (4..=6).contains(&plus),
+            "balance restored, got {plus} on +1 side"
+        );
     }
 
     #[test]

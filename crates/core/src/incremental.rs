@@ -1,0 +1,362 @@
+//! Incremental (pairwise, warm-started) refinement of an existing k-way
+//! partition.
+//!
+//! The paper's GD is an offline algorithm; `mdbgp-stream` keeps a partition
+//! alive under a stream of updates by re-running GD *warm-started* on small
+//! slices of the problem. The unit of work is a **part pair** `(p, q)`: the
+//! induced subgraph of `V_p ∪ V_q` is re-bisected by [`bipartition_warm`]
+//! starting from the current assignment, with unaffected vertices frozen, so
+//! only the vertices near the update churn actually move. The balance target
+//! of the pair is derived from the *global* ε so that any accepted
+//! refinement keeps every part within `(1 + ε) · w(V)/k` in every dimension
+//! (a [`FeasibleRegion`](crate::FeasibleRegion)-style slab recentred on the
+//! pair).
+//!
+//! A refinement is accepted only if it does not increase the pair cut and
+//! does not worsen the pair's balance headroom — callers can therefore apply
+//! [`PairRefinement::moves`] unconditionally.
+
+use crate::gd::{bipartition_warm, SplitTarget, WarmStart};
+use crate::recursive::GdPartitioner;
+use mdbgp_graph::{Graph, InducedSubgraph, Partition, PartitionError, VertexId, VertexWeights};
+
+/// Outcome of one pairwise warm-started refinement pass.
+#[derive(Clone, Debug, Default)]
+pub struct PairRefinement {
+    /// Vertices whose part changed, with their new part. Empty when the
+    /// refinement was rejected (no improvement) or there was nothing to do.
+    pub moves: Vec<(VertexId, u32)>,
+    /// Cut edges between the two parts before refinement.
+    pub cut_before: usize,
+    /// Cut edges between the two parts after refinement (equals
+    /// `cut_before` when the pass was rejected).
+    pub cut_after: usize,
+}
+
+impl PairRefinement {
+    fn unchanged(cut: usize) -> Self {
+        Self {
+            moves: Vec::new(),
+            cut_before: cut,
+            cut_after: cut,
+        }
+    }
+}
+
+impl GdPartitioner {
+    /// Re-bisects parts `p` and `q` of `partition` with GD warm-started
+    /// from the current assignment, holding `frozen` vertices fixed.
+    ///
+    /// `weights` and `partition` cover the whole graph; the pair's balance
+    /// slab is derived from the configured ε and the **global** per-part
+    /// target `w^{(j)}(V)/k`, so accepted moves never push either part past
+    /// `(1 + ε)` of its share. Returns the (possibly empty) list of vertex
+    /// moves; the partition itself is not mutated.
+    pub fn refine_pair(
+        &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        partition: &Partition,
+        (p, q): (u32, u32),
+        frozen: &[bool],
+        seed: u64,
+    ) -> Result<PairRefinement, PartitionError> {
+        let k = partition.num_parts();
+        if p == q || (p as usize) >= k || (q as usize) >= k {
+            return Err(PartitionError::Config(format!(
+                "refine_pair: invalid pair ({p}, {q}) for k = {k}"
+            )));
+        }
+        let n = graph.num_vertices();
+        if partition.num_vertices() != n || weights.num_vertices() != n || frozen.len() != n {
+            return Err(PartitionError::DimensionMismatch {
+                weights_n: weights.num_vertices(),
+                graph_n: n,
+            });
+        }
+
+        let subset: Vec<VertexId> = (0..n as VertexId)
+            .filter(|&v| {
+                let part = partition.part_of(v);
+                part == p || part == q
+            })
+            .collect();
+        if subset.len() < 2 {
+            return Ok(PairRefinement::default());
+        }
+
+        let sub = InducedSubgraph::extract(graph, &subset);
+        let w_sub = weights.restrict(&sub.original);
+        let d = weights.dims();
+
+        // Per-dimension headroom of the pair: part loads must stay below
+        // hi_j = (1 + ε)·total_j/k, i.e. ⟨w_j, x⟩ ∈ ±(2·hi_j − W_j) where
+        // W_j is the pair's combined weight. SplitTarget carries a single
+        // relative width, so take the tightest dimension (conservative:
+        // accepted moves can only under-use slack, never violate it).
+        let eps = self.config().epsilon;
+        let mut eps_pair = f64::INFINITY;
+        let mut headroom = vec![0.0f64; d];
+        for j in 0..d {
+            let pair_total = w_sub.total(j);
+            let hi = (1.0 + eps) * weights.total(j) / k as f64;
+            let b = 2.0 * hi - pair_total;
+            headroom[j] = b;
+            eps_pair = eps_pair.min(b / pair_total);
+        }
+        // An overweight pair (negative headroom) cannot be made globally
+        // feasible by an internal swap; still run with a tiny slab so the
+        // pair at least splits evenly.
+        let eps_pair = eps_pair.clamp(1e-3, 0.999);
+
+        let signs0: Vec<i8> = sub
+            .original
+            .iter()
+            .map(|&v| if partition.part_of(v) == p { 1 } else { -1 })
+            .collect();
+        let frozen_sub: Vec<bool> = sub.original.iter().map(|&v| frozen[v as usize]).collect();
+        let cut_before = pair_cut(&sub.graph, &signs0);
+
+        let mut cfg = self.config().clone();
+        cfg.epsilon = eps_pair;
+        cfg.track_history = false;
+        let warm = WarmStart::from_signs(&signs0, frozen_sub.clone());
+        let res = bipartition_warm(
+            &sub.graph,
+            &w_sub,
+            &cfg,
+            &SplitTarget::half(eps_pair),
+            &warm,
+            seed,
+        )?;
+
+        // Frozen vertices keep their side no matter what the rounding
+        // repair did — that is the contract callers rely on.
+        let signs1: Vec<i8> = res
+            .signs
+            .iter()
+            .zip(&frozen_sub)
+            .zip(&signs0)
+            .map(|((&s, &fz), &s0)| if fz { s0 } else { s })
+            .collect();
+        let cut_after = pair_cut(&sub.graph, &signs1);
+
+        // Accept only strict non-regressions in cut and, per dimension, in
+        // balance headroom (the pair may already be over budget after
+        // weight drift; "no worse in any dimension" keeps the pass safe to
+        // apply blindly — a max-over-dims guard would let one dimension
+        // degrade while another improves).
+        let excess = |signs: &[i8], j: usize| -> f64 {
+            let dot: f64 = w_sub
+                .dim(j)
+                .iter()
+                .zip(signs)
+                .map(|(w, &s)| w * s as f64)
+                .sum();
+            (dot.abs() - headroom[j]) / w_sub.total(j)
+        };
+        let balance_regressed =
+            (0..d).any(|j| excess(&signs1, j) > excess(&signs0, j).max(0.0) + 1e-12);
+        if cut_after > cut_before || balance_regressed {
+            return Ok(PairRefinement::unchanged(cut_before));
+        }
+
+        let moves: Vec<(VertexId, u32)> = sub
+            .original
+            .iter()
+            .zip(&signs1)
+            .filter_map(|(&v, &s)| {
+                let new_part = if s == 1 { p } else { q };
+                (new_part != partition.part_of(v)).then_some((v, new_part))
+            })
+            .collect();
+        Ok(PairRefinement {
+            moves,
+            cut_before,
+            cut_after,
+        })
+    }
+
+    /// Ranks part pairs by cut edges incident to `active` vertices —
+    /// the refinement schedule of `mdbgp-stream`. Returns at most
+    /// `max_pairs` pairs, most-cut first.
+    pub fn rank_pairs_by_active_cut(
+        graph: &Graph,
+        partition: &Partition,
+        active: &[bool],
+        max_pairs: usize,
+    ) -> Vec<(u32, u32)> {
+        let k = partition.num_parts();
+        let mut cut_count = vec![0usize; k * k];
+        for (u, v) in graph.edges() {
+            let (pu, pv) = (partition.part_of(u), partition.part_of(v));
+            if pu != pv && (active[u as usize] || active[v as usize]) {
+                let (a, b) = if pu < pv { (pu, pv) } else { (pv, pu) };
+                cut_count[a as usize * k + b as usize] += 1;
+            }
+        }
+        let mut pairs: Vec<((u32, u32), usize)> = cut_count
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(idx, &c)| (((idx / k) as u32, (idx % k) as u32), c))
+            .collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        pairs.truncate(max_pairs);
+        pairs.into_iter().map(|(pq, _)| pq).collect()
+    }
+}
+
+/// Cut edges of a ±1 assignment (both endpoints inside the pair subgraph).
+fn pair_cut(graph: &Graph, signs: &[i8]) -> usize {
+    graph
+        .edges()
+        .filter(|&(u, v)| signs[u as usize] != signs[v as usize])
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GdConfig;
+    use mdbgp_graph::{gen, GraphBuilder};
+
+    /// Two cliques of `s` joined by `bridges` edges, plus the partition
+    /// that mixes `swap` vertices across the planted split.
+    fn perturbed_cliques(s: usize, swap: usize) -> (Graph, VertexWeights, Partition) {
+        let g = gen::two_cliques(s, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let mut labels: Vec<u32> = (0..2 * s).map(|v| if v < s { 0 } else { 1 }).collect();
+        for i in 0..swap {
+            labels.swap(i, s + i);
+        }
+        (g, w, Partition::new(labels, 2))
+    }
+
+    fn refiner(iterations: usize) -> GdPartitioner {
+        GdPartitioner::new(GdConfig {
+            iterations,
+            ..GdConfig::with_epsilon(0.05)
+        })
+    }
+
+    #[test]
+    fn heals_a_perturbed_bisection() {
+        let (g, w, part) = perturbed_cliques(30, 3);
+        let frozen = vec![false; 60];
+        let r = refiner(15)
+            .refine_pair(&g, &w, &part, (0, 1), &frozen, 7)
+            .unwrap();
+        assert!(
+            r.cut_after < r.cut_before,
+            "cut {} -> {}",
+            r.cut_before,
+            r.cut_after
+        );
+        assert!(!r.moves.is_empty());
+        let mut healed = part.clone();
+        for &(v, p) in &r.moves {
+            healed.assign(v, p);
+        }
+        assert!(healed.max_imbalance(&w) <= 0.05 + 1e-9);
+        assert_eq!(healed.cut_edges(&g), 2, "only the bridges remain cut");
+    }
+
+    #[test]
+    fn frozen_vertices_never_move() {
+        let (g, w, part) = perturbed_cliques(25, 2);
+        // Freeze everything except the swapped vertices.
+        let mut frozen = vec![true; 50];
+        for i in 0..2 {
+            frozen[i] = false;
+            frozen[25 + i] = false;
+        }
+        let r = refiner(15)
+            .refine_pair(&g, &w, &part, (0, 1), &frozen, 3)
+            .unwrap();
+        for &(v, _) in &r.moves {
+            assert!(!frozen[v as usize], "frozen vertex {v} moved");
+        }
+        assert!(r.cut_after <= r.cut_before);
+    }
+
+    #[test]
+    fn never_worsens_the_cut() {
+        // Already-optimal partition: refinement must be a no-op or neutral.
+        let (g, w, part) = perturbed_cliques(20, 0);
+        let frozen = vec![false; 40];
+        let r = refiner(10)
+            .refine_pair(&g, &w, &part, (0, 1), &frozen, 11)
+            .unwrap();
+        assert!(r.cut_after <= r.cut_before);
+        let mut refined = part.clone();
+        for &(v, p) in &r.moves {
+            refined.assign(v, p);
+        }
+        assert_eq!(refined.cut_edges(&g), 2);
+    }
+
+    #[test]
+    fn respects_global_balance_for_k_greater_than_two() {
+        // Four equal parts; refining pair (0, 1) must keep parts 0 and 1
+        // within the global (1+ε)/k budget even though the pair alone
+        // could tolerate a 2:0 split of its own weight.
+        let s = 20;
+        let mut b = GraphBuilder::new(4 * s);
+        for c in 0..4u32 {
+            let base = c * s as u32;
+            for u in 0..s as u32 {
+                for v in (u + 1)..s as u32 {
+                    b.add_edge(base + u, base + v);
+                }
+            }
+        }
+        for c in 0..4u32 {
+            b.add_edge(c * s as u32, ((c + 1) % 4) * s as u32);
+        }
+        let g = b.build();
+        let w = VertexWeights::vertex_edge(&g);
+        let labels: Vec<u32> = (0..4 * s).map(|v| (v / s) as u32).collect();
+        let part = Partition::new(labels, 4);
+        let frozen = vec![false; 4 * s];
+        let r = refiner(15)
+            .refine_pair(&g, &w, &part, (0, 1), &frozen, 5)
+            .unwrap();
+        let mut refined = part.clone();
+        for &(v, p) in &r.moves {
+            refined.assign(v, p);
+        }
+        assert!(
+            refined.max_imbalance(&w) <= 0.05 + 1e-9,
+            "{}",
+            refined.max_imbalance(&w)
+        );
+    }
+
+    #[test]
+    fn rejects_invalid_pairs() {
+        let (g, w, part) = perturbed_cliques(10, 0);
+        let frozen = vec![false; 20];
+        let gd = refiner(5);
+        assert!(gd.refine_pair(&g, &w, &part, (0, 0), &frozen, 0).is_err());
+        assert!(gd.refine_pair(&g, &w, &part, (0, 7), &frozen, 0).is_err());
+        assert!(gd
+            .refine_pair(&g, &w, &part, (0, 1), &[false; 19], 0)
+            .is_err());
+    }
+
+    #[test]
+    fn pair_ranking_prefers_active_cut_edges() {
+        // Path across three parts: edges (9,10) cuts parts 0-1, (19,20)
+        // cuts parts 1-2. Only the first is incident to an active vertex.
+        let g = gen::path(30);
+        let labels: Vec<u32> = (0..30).map(|v| (v / 10) as u32).collect();
+        let part = Partition::new(labels, 3);
+        let mut active = vec![false; 30];
+        active[9] = true;
+        let pairs = GdPartitioner::rank_pairs_by_active_cut(&g, &part, &active, 4);
+        assert_eq!(pairs, vec![(0, 1)]);
+        let all = GdPartitioner::rank_pairs_by_active_cut(&g, &part, &[true; 30], 4);
+        assert_eq!(all.len(), 2);
+    }
+}

@@ -30,6 +30,7 @@
 pub mod config;
 pub mod feasible;
 pub mod gd;
+pub mod incremental;
 pub mod kway;
 pub mod matvec;
 pub mod noise;
@@ -39,6 +40,9 @@ pub mod rounding;
 
 pub use config::{GdConfig, NoiseSchedule, ProjectionMethod, StepSchedule};
 pub use feasible::FeasibleRegion;
-pub use gd::{bipartition, BipartitionResult, IterationRecord, SplitTarget};
+pub use gd::{
+    bipartition, bipartition_warm, BipartitionResult, IterationRecord, SplitTarget, WarmStart,
+};
+pub use incremental::PairRefinement;
 pub use kway::KWayGdPartitioner;
 pub use recursive::GdPartitioner;

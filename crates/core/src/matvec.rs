@@ -2,9 +2,9 @@
 //!
 //! `∇f(x) = Ax` for `f(x) = ½ xᵀAx`, so a GD iteration costs one CSR
 //! mat-vec: `out[v] = Σ_{u ∈ N(v)} x[u]`. Theorem 1.1's `O(|E|/m)`
-//! distributed scaling is realized here with crossbeam scoped threads over
-//! row ranges (each thread owns a disjoint slice of `out`, reads all of
-//! `x` — exactly the communication structure of the paper's Giraph
+//! distributed scaling is realized here with `std::thread::scope` workers
+//! over row ranges (each thread owns a disjoint slice of `out`, reads all
+//! of `x` — exactly the communication structure of the paper's Giraph
 //! implementation).
 
 use mdbgp_graph::Graph;
@@ -61,10 +61,10 @@ pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize
         rest = tail;
     }
 
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for (i, chunk) in chunks.into_iter().enumerate() {
             let (start, end) = (boundaries[i], boundaries[i + 1]);
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 for v in start..end {
                     let mut acc = 0.0;
                     for &u in &targets[offsets[v]..offsets[v + 1]] {
@@ -74,14 +74,16 @@ pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize
                 }
             });
         }
-    })
-    .expect("matvec worker panicked");
+    });
 }
 
 /// `Σ_{(u,v) ∈ E} x_u · x_v = ½ xᵀAx` — the relaxed objective `f(x)`
 /// (up to the constant `m/2` the paper drops).
 pub fn quadratic_form(graph: &Graph, x: &[f64]) -> f64 {
-    graph.edges().map(|(u, v)| x[u as usize] * x[v as usize]).sum()
+    graph
+        .edges()
+        .map(|(u, v)| x[u as usize] * x[v as usize])
+        .sum()
 }
 
 /// Expected edge locality of the randomized rounding of a fractional `x`:
@@ -159,8 +161,14 @@ mod tests {
         let all_same = vec![1.0; 10];
         assert!((expected_locality(&g, &all_same) - 1.0).abs() < 1e-12);
         let zeros = vec![0.0; 10];
-        assert!((expected_locality(&g, &zeros) - 0.5).abs() < 1e-12, "x=0 → 50% in expectation");
-        assert_eq!(expected_locality(&mdbgp_graph::Graph::empty(3), &[0.0; 3]), 1.0);
+        assert!(
+            (expected_locality(&g, &zeros) - 0.5).abs() < 1e-12,
+            "x=0 → 50% in expectation"
+        );
+        assert_eq!(
+            expected_locality(&mdbgp_graph::Graph::empty(3), &[0.0; 3]),
+            1.0
+        );
     }
 
     #[test]
@@ -178,7 +186,11 @@ mod tests {
             let mut xm = x.clone();
             xm[v] -= h;
             let fd = (quadratic_form(&g, &xp) - quadratic_form(&g, &xm)) / (2.0 * h);
-            assert!((fd - grad[v]).abs() < 1e-5, "v={v}: fd={fd} grad={}", grad[v]);
+            assert!(
+                (fd - grad[v]).abs() < 1e-5,
+                "v={v}: fd={fd} grad={}",
+                grad[v]
+            );
         }
     }
 }

@@ -120,7 +120,10 @@ mod tests {
         let mut x = vec![0.0; 40];
         let before = x.clone();
         alternating_pass(&mut x, &region, false);
-        assert_eq!(x, before, "inside every slab: nearest-bound pass does nothing");
+        assert_eq!(
+            x, before,
+            "inside every slab: nearest-bound pass does nothing"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ mod tests {
             region.upper(0),
         )
         .unwrap();
-        assert!(dist2(&xd, &xe) < 1e-5, "Dykstra must find the true projection");
+        assert!(
+            dist2(&xd, &xe) < 1e-5,
+            "Dykstra must find the true projection"
+        );
     }
 
     #[test]

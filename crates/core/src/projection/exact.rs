@@ -198,7 +198,11 @@ pub fn project_exact(y: &[f64], region: &FeasibleRegion) -> Vec<f64> {
             .iter()
             .map(|&j| EqDim {
                 w: region.weight(j),
-                target: if pattern[j] > 0 { region.upper(j) } else { region.lower(j) },
+                target: if pattern[j] > 0 {
+                    region.upper(j)
+                } else {
+                    region.lower(j)
+                },
             })
             .collect();
         let Some((x, lambdas)) = solve_equality(y, &dims) else {
@@ -280,7 +284,10 @@ mod tests {
             let de = dist2(&x, &y);
             let dd = dist2(&xd, &y);
             assert!(de <= dd + 1e-5, "seed {seed}: exact {de} vs dykstra {dd}");
-            assert!(dist2(&x, &xd) < 1e-3, "seed {seed}: solutions should coincide");
+            assert!(
+                dist2(&x, &xd) < 1e-3,
+                "seed {seed}: solutions should coincide"
+            );
         }
     }
 
@@ -303,7 +310,10 @@ mod tests {
         let y = vec![0.0; 10];
         let x = project_exact(&y, &region);
         let s: f64 = x.iter().sum();
-        assert!((s - 3.5).abs() < 1e-7, "pulled up to the lower bound 3.5, got {s}");
+        assert!(
+            (s - 3.5).abs() < 1e-7,
+            "pulled up to the lower bound 3.5, got {s}"
+        );
     }
 
     #[test]

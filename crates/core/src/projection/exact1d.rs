@@ -14,12 +14,18 @@ use super::clamp1;
 
 /// `h(λ) = Σ_i w_i · [y_i − λ w_i]`.
 pub fn eval_h(y: &[f64], w: &[f64], lambda: f64) -> f64 {
-    y.iter().zip(w).map(|(&yi, &wi)| wi * clamp1(yi - lambda * wi)).sum()
+    y.iter()
+        .zip(w)
+        .map(|(&yi, &wi)| wi * clamp1(yi - lambda * wi))
+        .sum()
 }
 
 /// Materializes `x_i = [y_i − λ w_i]`.
 pub fn apply_lambda(y: &[f64], w: &[f64], lambda: f64) -> Vec<f64> {
-    y.iter().zip(w).map(|(&yi, &wi)| clamp1(yi - lambda * wi)).collect()
+    y.iter()
+        .zip(w)
+        .map(|(&yi, &wi)| clamp1(yi - lambda * wi))
+        .collect()
 }
 
 /// Exact equality-constrained projection; returns `(x, λ)`, or `None` when
@@ -33,7 +39,11 @@ pub fn project_equality_1d(y: &[f64], w: &[f64], c: f64) -> Option<(Vec<f64>, f6
         return None;
     }
     if y.is_empty() {
-        return if c.abs() <= tol { Some((Vec::new(), 0.0)) } else { None };
+        return if c.abs() <= tol {
+            Some((Vec::new(), 0.0))
+        } else {
+            None
+        };
     }
 
     // Saturated extremes: x = ±1 everywhere.
@@ -87,7 +97,11 @@ pub fn project_equality_1d_bisect(
     let total: f64 = w.iter().sum();
     let tol = 1e-9 * (total + c.abs() + 1.0);
     if c > total + tol || c < -total - tol || y.is_empty() {
-        return if y.is_empty() && c.abs() <= tol { Some((Vec::new(), 0.0)) } else { None };
+        return if y.is_empty() && c.abs() <= tol {
+            Some((Vec::new(), 0.0))
+        } else {
+            None
+        };
     }
     // Any λ below every (y_i − 1)/w_i saturates x at +1, and vice versa.
     let mut lo = f64::INFINITY;

@@ -134,7 +134,11 @@ pub fn project_equality_1d_linear(y: &[f64], w: &[f64], c: f64) -> Option<(Vec<f
     } else {
         0.0
     };
-    let x: Vec<f64> = y.iter().zip(w).map(|(&yi, &wi)| clamp1(yi - lambda * wi)).collect();
+    let x: Vec<f64> = y
+        .iter()
+        .zip(w)
+        .map(|(&yi, &wi)| clamp1(yi - lambda * wi))
+        .collect();
     Some((x, lambda))
 }
 
@@ -189,7 +193,10 @@ mod tests {
 
     #[test]
     fn empty_and_singleton() {
-        assert!(project_equality_1d_linear(&[], &[], 0.0).unwrap().0.is_empty());
+        assert!(project_equality_1d_linear(&[], &[], 0.0)
+            .unwrap()
+            .0
+            .is_empty());
         let (x, _) = project_equality_1d_linear(&[5.0], &[2.0], 1.0).unwrap();
         assert!((x[0] - 0.5).abs() < 1e-9);
     }
@@ -204,7 +211,10 @@ mod tests {
         let (x, _) = project_equality_1d_linear(&y, &w, 0.25 * total).unwrap();
         let s: f64 = x.iter().map(|v| v * 2.0).sum();
         assert!((s - 32.0).abs() < 1e-7, "s = {s}");
-        assert!(x.windows(2).all(|p| (p[0] - p[1]).abs() < 1e-12), "symmetry preserved");
+        assert!(
+            x.windows(2).all(|p| (p[0] - p[1]).abs() < 1e-12),
+            "symmetry preserved"
+        );
     }
 
     #[test]

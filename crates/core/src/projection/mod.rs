@@ -62,12 +62,7 @@ pub(crate) mod test_support {
     /// `y` is biased upward so the balance constraints genuinely bind —
     /// an unbiased point is almost surely feasible after clamping, which
     /// would make every projection trivially "correct".
-    pub fn random_instance(
-        n: usize,
-        d: usize,
-        eps: f64,
-        seed: u64,
-    ) -> (Vec<f64>, FeasibleRegion) {
+    pub fn random_instance(n: usize, d: usize, eps: f64, seed: u64) -> (Vec<f64>, FeasibleRegion) {
         let mut rng = StdRng::seed_from_u64(seed);
         let weights: Vec<Vec<f64>> = (0..d)
             .map(|_| (0..n).map(|_| rng.gen_range(0.5..5.0)).collect())
@@ -78,7 +73,11 @@ pub(crate) mod test_support {
     }
 
     pub fn dist2(a: &[f64], b: &[f64]) -> f64 {
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 }
 
@@ -108,7 +107,10 @@ mod tests {
             ] {
                 let x = project(method, &y, &region);
                 assert_eq!(x.len(), y.len());
-                assert!(x.iter().all(|&v| v.abs() <= 1.0 + 1e-9), "{method:?} left the cube");
+                assert!(
+                    x.iter().all(|&v| v.abs() <= 1.0 + 1e-9),
+                    "{method:?} left the cube"
+                );
                 if method != ProjectionMethod::OneShotAlternating {
                     assert!(
                         region.max_violation(&x) < 1e-6,
@@ -128,8 +130,14 @@ mod tests {
             let xd = project(ProjectionMethod::Dykstra, &y, &region);
             let xa = project(ProjectionMethod::AlternatingConverged, &y, &region);
             let de = dist2(&xe, &y);
-            assert!(de <= dist2(&xd, &y) + 1e-6, "exact beats dykstra (seed {seed})");
-            assert!(de <= dist2(&xa, &y) + 1e-6, "exact beats alternating (seed {seed})");
+            assert!(
+                de <= dist2(&xd, &y) + 1e-6,
+                "exact beats dykstra (seed {seed})"
+            );
+            assert!(
+                de <= dist2(&xa, &y) + 1e-6,
+                "exact beats alternating (seed {seed})"
+            );
         }
     }
 }

@@ -94,9 +94,22 @@ impl GdPartitioner {
             )));
         }
         // Derive child seeds deterministically but distinctly.
-        let seed_l = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2 * part_offset as u64 + 1);
-        let seed_r = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(2 * part_offset as u64 + 2);
-        self.recurse(graph, weights, left, k_left, part_offset, eps_level, seed_l, labels)?;
+        let seed_l = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(2 * part_offset as u64 + 1);
+        let seed_r = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(2 * part_offset as u64 + 2);
+        self.recurse(
+            graph,
+            weights,
+            left,
+            k_left,
+            part_offset,
+            eps_level,
+            seed_l,
+            labels,
+        )?;
         self.recurse(
             graph,
             weights,
@@ -159,7 +172,10 @@ mod tests {
     use rand::SeedableRng;
 
     fn fast_config(eps: f64) -> GdConfig {
-        GdConfig { iterations: 50, ..GdConfig::with_epsilon(eps) }
+        GdConfig {
+            iterations: 50,
+            ..GdConfig::with_epsilon(eps)
+        }
     }
 
     #[test]
@@ -176,7 +192,9 @@ mod tests {
     fn k1_is_trivial() {
         let g = gen::path(10);
         let w = VertexWeights::unit(10);
-        let p = GdPartitioner::new(fast_config(0.1)).partition(&g, &w, 1, 0).unwrap();
+        let p = GdPartitioner::new(fast_config(0.1))
+            .partition(&g, &w, 1, 0)
+            .unwrap();
         assert_eq!(p.num_parts(), 1);
         assert!(p.as_slice().iter().all(|&l| l == 0));
     }
@@ -199,10 +217,16 @@ mod tests {
         }
         let g = b.build();
         let w = VertexWeights::vertex_edge(&g);
-        let p = GdPartitioner::new(fast_config(0.05)).partition(&g, &w, 4, 3).unwrap();
+        let p = GdPartitioner::new(fast_config(0.05))
+            .partition(&g, &w, 4, 3)
+            .unwrap();
         assert_eq!(p.num_parts(), 4);
         let q = p.quality(&g, &w);
-        assert!(q.edge_locality > 0.95, "cliques intact: locality {}", q.edge_locality);
+        assert!(
+            q.edge_locality > 0.95,
+            "cliques intact: locality {}",
+            q.edge_locality
+        );
         assert!(q.max_imbalance <= 0.06, "imbalance {}", q.max_imbalance);
     }
 
@@ -210,7 +234,9 @@ mod tests {
     fn non_power_of_two_k() {
         let g = gen::cycle(300);
         let w = VertexWeights::unit(300);
-        let p = GdPartitioner::new(fast_config(0.05)).partition(&g, &w, 3, 7).unwrap();
+        let p = GdPartitioner::new(fast_config(0.05))
+            .partition(&g, &w, 3, 7)
+            .unwrap();
         assert_eq!(p.num_parts(), 3);
         let sizes = p.sizes();
         assert_eq!(sizes.iter().sum::<usize>(), 300);
@@ -229,10 +255,16 @@ mod tests {
             &mut StdRng::seed_from_u64(5),
         );
         let w = VertexWeights::vertex_edge(&cg.graph);
-        let p = GdPartitioner::new(fast_config(0.05)).partition(&cg.graph, &w, 8, 5).unwrap();
+        let p = GdPartitioner::new(fast_config(0.05))
+            .partition(&cg.graph, &w, 8, 5)
+            .unwrap();
         let q = p.quality(&cg.graph, &w);
         assert!(q.max_imbalance <= 0.07, "imbalance {}", q.max_imbalance);
-        assert!(q.edge_locality > 1.0 / 8.0, "better than hash: {}", q.edge_locality);
+        assert!(
+            q.edge_locality > 1.0 / 8.0,
+            "better than hash: {}",
+            q.edge_locality
+        );
     }
 
     #[test]
@@ -240,7 +272,10 @@ mod tests {
         let g = gen::path(4);
         let w = VertexWeights::unit(4);
         let gd = GdPartitioner::new(fast_config(0.1));
-        assert!(matches!(gd.partition(&g, &w, 0, 0), Err(PartitionError::InvalidK { .. })));
+        assert!(matches!(
+            gd.partition(&g, &w, 0, 0),
+            Err(PartitionError::InvalidK { .. })
+        ));
         assert!(gd.partition(&g, &w, 5, 0).is_err());
     }
 

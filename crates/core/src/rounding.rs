@@ -72,11 +72,23 @@ pub fn repair(signs: &mut [i8], x: &[f64], region: &FeasibleRegion) -> f64 {
     let d = region.dims();
     // Current slab sums.
     let mut dots: Vec<f64> = (0..d)
-        .map(|j| region.weight(j).iter().zip(signs.iter()).map(|(w, &s)| w * s as f64).sum())
+        .map(|j| {
+            region
+                .weight(j)
+                .iter()
+                .zip(signs.iter())
+                .map(|(w, &s)| w * s as f64)
+                .sum()
+        })
         .collect();
     // Vertices ordered by fractionality (most fractional first).
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.sort_by(|&a, &b| x[a as usize].abs().partial_cmp(&x[b as usize].abs()).unwrap());
+    order.sort_by(|&a, &b| {
+        x[a as usize]
+            .abs()
+            .partial_cmp(&x[b as usize].abs())
+            .unwrap()
+    });
 
     let worst = |dots: &[f64]| -> (f64, usize) {
         let mut w = (0.0f64, 0usize);
@@ -159,7 +171,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let signs = round_once(&x, &mut rng);
         let plus = signs.iter().filter(|&&s| s == 1).count() as f64 / 40_000.0;
-        assert!((plus - 0.75).abs() < 0.01, "P[+1] = (0.5+1)/2 = 0.75, got {plus}");
+        assert!(
+            (plus - 0.75).abs() < 0.01,
+            "P[+1] = (0.5+1)/2 = 0.75, got {plus}"
+        );
     }
 
     #[test]
@@ -198,7 +213,10 @@ mod tests {
         let mut signs = vec![1i8, 1, 1, 1, -1, 1, 1, 1, 1, 1]; // sum 8
         repair(&mut signs, &x, &region);
         for i in 5..10 {
-            assert_eq!(signs[i], 1, "integral vertex {i} must not flip before fractional ones");
+            assert_eq!(
+                signs[i], 1,
+                "integral vertex {i} must not flip before fractional ones"
+            );
         }
     }
 

@@ -112,7 +112,12 @@ pub struct DegreeStats {
 pub fn degree_stats(graph: &Graph) -> DegreeStats {
     let n = graph.num_vertices();
     if n == 0 {
-        return DegreeStats { min: 0, max: 0, mean: 0.0, top1_percent_share: 0.0 };
+        return DegreeStats {
+            min: 0,
+            max: 0,
+            mean: 0.0,
+            top1_percent_share: 0.0,
+        };
     }
     let mut degs: Vec<usize> = (0..n).map(|v| graph.degree(v as VertexId)).collect();
     degs.sort_unstable_by(|a, b| b.cmp(a));
@@ -123,7 +128,11 @@ pub fn degree_stats(graph: &Graph) -> DegreeStats {
         min: *degs.last().unwrap(),
         max: degs[0],
         mean: total as f64 / n as f64,
-        top1_percent_share: if total == 0 { 0.0 } else { top_sum as f64 / total as f64 },
+        top1_percent_share: if total == 0 {
+            0.0
+        } else {
+            top_sum as f64 / total as f64
+        },
     }
 }
 
@@ -194,7 +203,10 @@ mod tests {
         let s = degree_stats(&g);
         assert_eq!(s.max, 100);
         assert_eq!(s.min, 1);
-        assert!(s.top1_percent_share >= 0.5, "hub holds half the degree mass");
+        assert!(
+            s.top1_percent_share >= 0.5,
+            "hub holds half the degree mass"
+        );
     }
 
     #[test]

@@ -18,7 +18,10 @@ impl GraphBuilder {
     /// New builder for a graph with `n` vertices (ids `0..n`).
     pub fn new(n: usize) -> Self {
         assert!(n <= u32::MAX as usize, "vertex ids are u32");
-        Self { num_vertices: n, edges: Vec::new() }
+        Self {
+            num_vertices: n,
+            edges: Vec::new(),
+        }
     }
 
     /// Pre-allocates room for `m` edges.
@@ -26,6 +29,31 @@ impl GraphBuilder {
         let mut b = Self::new(n);
         b.edges.reserve(m);
         b
+    }
+
+    /// Seeds a builder with every edge of an existing graph — the
+    /// compaction hook of `mdbgp-stream`: delta edges are added on top and
+    /// `build()` merges both into a fresh CSR.
+    pub fn from_graph(graph: &Graph) -> Self {
+        let mut b = Self::with_edge_capacity(graph.num_vertices(), graph.num_edges());
+        b.edges.extend(graph.edges());
+        b
+    }
+
+    /// Grows the vertex-id space to `n` (ids `0..n`). Existing edges are
+    /// unaffected; shrinking is not allowed.
+    ///
+    /// # Panics
+    /// Panics if `n` is smaller than the current vertex count.
+    pub fn grow_to(&mut self, n: usize) -> &mut Self {
+        assert!(
+            n >= self.num_vertices,
+            "grow_to({n}) would shrink a {}-vertex builder",
+            self.num_vertices
+        );
+        assert!(n <= u32::MAX as usize, "vertex ids are u32");
+        self.num_vertices = n;
+        self
     }
 
     /// Number of vertices the built graph will have.
@@ -144,5 +172,30 @@ mod tests {
     fn build_empty() {
         let g = GraphBuilder::new(0).build();
         assert_eq!(g.num_vertices(), 0);
+    }
+
+    #[test]
+    fn from_graph_round_trips() {
+        let g = graph_from_edges(5, &[(0, 1), (1, 2), (3, 4)]);
+        let rebuilt = GraphBuilder::from_graph(&g).build();
+        assert_eq!(rebuilt, g);
+    }
+
+    #[test]
+    fn from_graph_plus_delta_edges() {
+        let g = graph_from_edges(4, &[(0, 1)]);
+        let mut b = GraphBuilder::from_graph(&g);
+        b.grow_to(6);
+        b.add_edge(4, 5).add_edge(1, 4).add_edge(0, 1); // duplicate dropped
+        let g2 = b.build();
+        assert_eq!(g2.num_vertices(), 6);
+        assert_eq!(g2.num_edges(), 3);
+        assert!(g2.has_edge(0, 1) && g2.has_edge(1, 4) && g2.has_edge(4, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "shrink")]
+    fn grow_to_rejects_shrinking() {
+        GraphBuilder::new(5).grow_to(3);
     }
 }

@@ -45,13 +45,19 @@ impl Graph {
                 }
             }
         }
-        debug_assert!(targets.len().is_multiple_of(2), "undirected edges appear twice");
+        debug_assert!(
+            targets.len().is_multiple_of(2),
+            "undirected edges appear twice"
+        );
         Self { offsets, targets }
     }
 
     /// Builds a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
-        Self { offsets: vec![0; n + 1], targets: Vec::new() }
+        Self {
+            offsets: vec![0; n + 1],
+            targets: Vec::new(),
+        }
     }
 
     /// Number of vertices.
@@ -92,13 +98,20 @@ impl Graph {
     /// Iterator over undirected edges as `(u, v)` pairs with `u < v`.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
         self.vertices().flat_map(move |u| {
-            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
     /// Maximum degree, or 0 for an empty graph.
     pub fn max_degree(&self) -> usize {
-        (0..self.num_vertices()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+        (0..self.num_vertices())
+            .map(|v| self.degree(v as VertexId))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Mean degree `2m / n` (0.0 for an empty graph).

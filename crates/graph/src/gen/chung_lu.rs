@@ -85,7 +85,10 @@ mod tests {
         let top_share: f64 = seq[..100].iter().sum::<f64>() / total;
         assert!(top_share > 0.08, "top 1% should dominate, got {top_share}");
         let median = seq[5000];
-        assert!(median < 2.0 * 2.0 + 4.0, "median stays near min_deg, got {median}");
+        assert!(
+            median < 2.0 * 2.0 + 4.0,
+            "median stays near min_deg, got {median}"
+        );
     }
 
     #[test]
@@ -95,7 +98,10 @@ mod tests {
         let expected = w.iter().sum::<f64>() / 2.0;
         let g = chung_lu(&w, &mut rng);
         let m = g.num_edges() as f64;
-        assert!((m - expected).abs() / expected < 0.15, "m = {m}, expected ≈ {expected}");
+        assert!(
+            (m - expected).abs() / expected < 0.15,
+            "m = {m}, expected ≈ {expected}"
+        );
     }
 
     #[test]

@@ -86,8 +86,13 @@ pub fn community_graph<R: Rng>(config: &CommunityGraphConfig, rng: &mut R) -> Co
 
     // 1. Degrees: sample a truncated power law, then rescale to the target
     //    mean (the truncation shifts the raw mean unpredictably).
-    let mut degrees =
-        power_law_sequence(n, config.degree_exponent, 1.0, config.max_degree as f64, rng);
+    let mut degrees = power_law_sequence(
+        n,
+        config.degree_exponent,
+        1.0,
+        config.max_degree as f64,
+        rng,
+    );
     let raw_mean = degrees.iter().sum::<f64>() / n as f64;
     let scale = config.mean_degree / raw_mean;
     for d in &mut degrees {
@@ -151,8 +156,9 @@ pub fn community_graph<R: Rng>(config: &CommunityGraphConfig, rng: &mut R) -> Co
             continue;
         }
         let start = starts[c];
-        let internal: Vec<f64> =
-            (start..start + s).map(|v| (1.0 - config.mixing) * degrees[v]).collect();
+        let internal: Vec<f64> = (start..start + s)
+            .map(|v| (1.0 - config.mixing) * degrees[v])
+            .collect();
         let total: f64 = internal.iter().sum();
         if total <= 0.0 {
             continue;
@@ -192,7 +198,11 @@ pub fn community_graph<R: Rng>(config: &CommunityGraphConfig, rng: &mut R) -> Co
         }
     }
 
-    CommunityGraph { graph: builder.build(), community, num_communities }
+    CommunityGraph {
+        graph: builder.build(),
+        community,
+        num_communities,
+    }
 }
 
 #[cfg(test)]
@@ -224,7 +234,11 @@ mod tests {
             part_of_comm[c] = target as u32;
             loads[target] += comm_sizes[c];
         }
-        let parts = cg.community.iter().map(|&c| part_of_comm[c as usize]).collect();
+        let parts = cg
+            .community
+            .iter()
+            .map(|&c| part_of_comm[c as usize])
+            .collect();
         Partition::new(parts, k)
     }
 
@@ -260,7 +274,12 @@ mod tests {
     fn degrees_are_skewed() {
         let cg = make(8000, 0.15, 9);
         let s = degree_stats(&cg.graph);
-        assert!(s.max as f64 > 6.0 * s.mean, "max {} vs mean {:.1}", s.max, s.mean);
+        assert!(
+            s.max as f64 > 6.0 * s.mean,
+            "max {} vs mean {:.1}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
@@ -268,7 +287,10 @@ mod tests {
         let cg = make(1000, 0.2, 1);
         assert_eq!(cg.community.len(), 1000);
         assert!(cg.num_communities >= 2);
-        assert!(cg.community.iter().all(|&c| (c as usize) < cg.num_communities));
+        assert!(cg
+            .community
+            .iter()
+            .all(|&c| (c as usize) < cg.num_communities));
     }
 
     #[test]
@@ -300,7 +322,10 @@ mod tests {
             .collect();
         let lo = means.iter().cloned().fold(f64::INFINITY, f64::min);
         let hi = means.iter().cloned().fold(0.0f64, f64::max);
-        assert!(hi > 2.5 * lo, "community densities should spread: {lo:.1}..{hi:.1}");
+        assert!(
+            hi > 2.5 * lo,
+            "community densities should spread: {lo:.1}..{hi:.1}"
+        );
         // Global mean still near target.
         let mean = cg.graph.mean_degree();
         assert!((mean - 16.0).abs() < 5.0, "global mean degree {mean}");

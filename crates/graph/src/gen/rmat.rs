@@ -22,7 +22,13 @@ pub struct RmatConfig {
 impl RmatConfig {
     /// Graph500 reference parameters (a=0.57, b=c=0.19, d=0.05).
     pub fn graph500(scale: u32, edge_factor: usize) -> Self {
-        Self { scale, edge_factor, a: 0.57, b: 0.19, c: 0.19 }
+        Self {
+            scale,
+            edge_factor,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+        }
     }
 
     fn d(&self) -> f64 {
@@ -95,21 +101,42 @@ mod tests {
             "R-MAT should be skewed, top1% share = {}",
             s.top1_percent_share
         );
-        assert!(s.max > 8 * s.mean as usize, "max {} vs mean {}", s.max, s.mean);
+        assert!(
+            s.max > 8 * s.mean as usize,
+            "max {} vs mean {}",
+            s.max,
+            s.mean
+        );
     }
 
     #[test]
     fn uniform_parameters_lose_skew() {
-        let cfg = RmatConfig { scale: 12, edge_factor: 16, a: 0.25, b: 0.25, c: 0.25 };
+        let cfg = RmatConfig {
+            scale: 12,
+            edge_factor: 16,
+            a: 0.25,
+            b: 0.25,
+            c: 0.25,
+        };
         let g = rmat(cfg, &mut StdRng::seed_from_u64(1));
         let s = degree_stats(&g);
-        assert!(s.top1_percent_share < 0.05, "uniform R-MAT ≈ ER, got {}", s.top1_percent_share);
+        assert!(
+            s.top1_percent_share < 0.05,
+            "uniform R-MAT ≈ ER, got {}",
+            s.top1_percent_share
+        );
     }
 
     #[test]
     #[should_panic]
     fn invalid_probabilities_rejected() {
-        let cfg = RmatConfig { scale: 4, edge_factor: 2, a: 0.9, b: 0.3, c: 0.3 };
+        let cfg = RmatConfig {
+            scale: 4,
+            edge_factor: 2,
+            a: 0.9,
+            b: 0.3,
+            c: 0.3,
+        };
         rmat(cfg, &mut StdRng::seed_from_u64(0));
     }
 }

@@ -20,7 +20,10 @@ impl AliasTable {
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "empty distribution");
         let total: f64 = weights.iter().sum();
-        assert!(total.is_finite() && total > 0.0, "weights must sum to a positive finite value");
+        assert!(
+            total.is_finite() && total > 0.0,
+            "weights must sum to a positive finite value"
+        );
         let n = weights.len();
         let scale = n as f64 / total;
         let mut prob: Vec<f64> = weights

@@ -10,7 +10,12 @@ use std::path::Path;
 /// `#`-prefixed header with counts.
 pub fn write_edge_list<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# vertices {} edges {}", graph.num_vertices(), graph.num_edges())?;
+    writeln!(
+        w,
+        "# vertices {} edges {}",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
     for (u, v) in graph.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -64,7 +69,11 @@ pub fn write_metis<W: Write>(graph: &Graph, writer: W) -> io::Result<()> {
     let mut w = BufWriter::new(writer);
     writeln!(w, "{} {}", graph.num_vertices(), graph.num_edges())?;
     for v in graph.vertices() {
-        let line: Vec<String> = graph.neighbors(v).iter().map(|&u| (u + 1).to_string()).collect();
+        let line: Vec<String> = graph
+            .neighbors(v)
+            .iter()
+            .map(|&u| (u + 1).to_string())
+            .collect();
         writeln!(w, "{}", line.join(" "))?;
     }
     w.flush()
@@ -95,7 +104,10 @@ pub fn read_metis<R: Read>(reader: R) -> io::Result<Graph> {
                 .parse()
                 .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("bad id: {e}")))?;
             if t == 0 || t > n {
-                return Err(io::Error::new(io::ErrorKind::InvalidData, "METIS id out of range"));
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "METIS id out of range",
+                ));
             }
             let u = (t - 1) as VertexId;
             if (row as u32) < u {

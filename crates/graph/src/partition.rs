@@ -29,7 +29,10 @@ impl std::fmt::Display for PartitionError {
                 write!(f, "invalid part count k = {k} for {n} vertices")
             }
             PartitionError::DimensionMismatch { weights_n, graph_n } => {
-                write!(f, "weights cover {weights_n} vertices but graph has {graph_n}")
+                write!(
+                    f,
+                    "weights cover {weights_n} vertices but graph has {graph_n}"
+                )
             }
             PartitionError::Infeasible(msg) => write!(f, "infeasible: {msg}"),
             PartitionError::Config(msg) => write!(f, "bad configuration: {msg}"),
@@ -92,7 +95,10 @@ impl Partition {
     pub fn new(parts: Vec<u32>, k: usize) -> Self {
         assert!(k > 0, "k must be positive");
         for (v, &p) in parts.iter().enumerate() {
-            assert!((p as usize) < k, "vertex {v} assigned to part {p} >= k = {k}");
+            assert!(
+                (p as usize) < k,
+                "vertex {v} assigned to part {p} >= k = {k}"
+            );
         }
         Self { parts, k }
     }
@@ -240,7 +246,10 @@ impl Partition {
     /// Number of cut edges (endpoints in different parts).
     pub fn cut_edges(&self, graph: &Graph) -> usize {
         assert_eq!(graph.num_vertices(), self.parts.len());
-        graph.edges().filter(|&(u, v)| self.parts[u as usize] != self.parts[v as usize]).count()
+        graph
+            .edges()
+            .filter(|&(u, v)| self.parts[u as usize] != self.parts[v as usize])
+            .count()
     }
 
     /// Edge locality: fraction of edges with both endpoints in one part
@@ -370,12 +379,18 @@ mod tests {
         let bad = Partition::new(vec![0, 1, 0, 1, 0, 1], 2);
         let qg = good.modularity(&g);
         let qb = bad.modularity(&g);
-        assert!(qg > 0.3, "community-aligned split has high modularity, got {qg}");
+        assert!(
+            qg > 0.3,
+            "community-aligned split has high modularity, got {qg}"
+        );
         assert!(qg > qb, "aligned {qg} must beat interleaved {qb}");
         // Single part: Q = 1 − 1 = 0.
         let single = Partition::new(vec![0; 6], 1);
         assert!(single.modularity(&g).abs() < 1e-12);
-        assert_eq!(Partition::new(vec![0, 1], 2).modularity(&Graph::empty(2)), 0.0);
+        assert_eq!(
+            Partition::new(vec![0, 1], 2).modularity(&Graph::empty(2)),
+            0.0
+        );
     }
 
     #[test]

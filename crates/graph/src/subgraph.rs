@@ -44,7 +44,10 @@ impl InducedSubgraph {
                 }
             }
         }
-        Self { graph: builder.build(), original }
+        Self {
+            graph: builder.build(),
+            original,
+        }
     }
 
     /// Number of vertices in the subgraph.

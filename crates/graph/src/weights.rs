@@ -33,7 +33,10 @@ pub enum WeightKind {
 impl WeightKind {
     /// The paper's default PageRank configuration.
     pub fn pagerank_default() -> Self {
-        WeightKind::PageRank { damping: 0.85, iterations: 20 }
+        WeightKind::PageRank {
+            damping: 0.85,
+            iterations: 20,
+        }
     }
 
     /// Evaluates the weight function on every vertex of `graph`.
@@ -41,9 +44,9 @@ impl WeightKind {
         let n = graph.num_vertices();
         match self {
             WeightKind::Unit => vec![1.0; n],
-            WeightKind::Degree => {
-                (0..n).map(|v| (graph.degree(v as VertexId).max(1)) as f64).collect()
-            }
+            WeightKind::Degree => (0..n)
+                .map(|v| (graph.degree(v as VertexId).max(1)) as f64)
+                .collect(),
             WeightKind::NeighborDegreeSum => (0..n)
                 .map(|v| {
                     1.0 + graph
@@ -53,7 +56,10 @@ impl WeightKind {
                         .sum::<f64>()
                 })
                 .collect(),
-            WeightKind::PageRank { damping, iterations } => {
+            WeightKind::PageRank {
+                damping,
+                iterations,
+            } => {
                 let pr = analytics::pagerank(graph, *damping, *iterations);
                 // Scale to mean 1 so that ε thresholds are comparable across
                 // dimensions; PageRank itself sums to 1.
@@ -86,7 +92,10 @@ impl VertexWeights {
         for (j, col) in data.iter().enumerate() {
             assert_eq!(col.len(), n, "dimension {j} has wrong length");
             for (v, &w) in col.iter().enumerate() {
-                assert!(w.is_finite() && w > 0.0, "w^({j})({v}) = {w} must be positive finite");
+                assert!(
+                    w.is_finite() && w > 0.0,
+                    "w^({j})({v}) = {w} must be positive finite"
+                );
             }
         }
         let totals = data.iter().map(|col| col.iter().sum()).collect();
@@ -154,9 +163,50 @@ impl VertexWeights {
         Self::from_vectors(data)
     }
 
+    /// Appends one vertex with the given per-dimension weights (the
+    /// streaming-ingestion hook of `mdbgp-stream`).
+    ///
+    /// # Panics
+    /// Panics if `row` does not have one strictly-positive finite entry per
+    /// dimension.
+    pub fn push_vertex(&mut self, row: &[f64]) {
+        assert_eq!(row.len(), self.dims(), "one weight per dimension required");
+        for (j, &w) in row.iter().enumerate() {
+            assert!(
+                w.is_finite() && w > 0.0,
+                "w^({j})(new) = {w} must be positive finite"
+            );
+        }
+        for (col, (&w, total)) in self
+            .data
+            .iter_mut()
+            .zip(row.iter().zip(self.totals.iter_mut()))
+        {
+            col.push(w);
+            *total += w;
+        }
+    }
+
+    /// Overwrites `w^(j)(v)` (weight drift in a stream), keeping totals
+    /// consistent.
+    ///
+    /// # Panics
+    /// Panics if the new weight is not strictly positive finite.
+    pub fn set_weight(&mut self, j: usize, v: VertexId, w: f64) {
+        assert!(
+            w.is_finite() && w > 0.0,
+            "w^({j})({v}) = {w} must be positive finite"
+        );
+        let old = std::mem::replace(&mut self.data[j][v as usize], w);
+        self.totals[j] += w - old;
+    }
+
     /// Approximate heap footprint in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.data.iter().map(|c| c.len() * std::mem::size_of::<f64>()).sum()
+        self.data
+            .iter()
+            .map(|c| c.len() * std::mem::size_of::<f64>())
+            .sum()
     }
 }
 
@@ -205,7 +255,10 @@ mod tests {
         let g = star5();
         let w = VertexWeights::build(&g, &[WeightKind::pagerank_default()]);
         let mean = w.total(0) / 6.0;
-        assert!((mean - 1.0).abs() < 1e-9, "scaled PageRank has mean 1, got {mean}");
+        assert!(
+            (mean - 1.0).abs() < 1e-9,
+            "scaled PageRank has mean 1, got {mean}"
+        );
         assert!(w.weight(0, 0) > w.weight(0, 1), "hub outranks leaves");
     }
 
@@ -232,6 +285,36 @@ mod tests {
         let g = star5();
         let w = VertexWeights::vertex_edge(&g);
         assert_eq!(w.subset_total(1, &[0, 1]), 6.0);
+    }
+
+    #[test]
+    fn push_vertex_extends_all_dimensions() {
+        let mut w = VertexWeights::vertex_edge(&star5());
+        w.push_vertex(&[1.0, 3.0]);
+        assert_eq!(w.num_vertices(), 7);
+        assert_eq!(w.weight(1, 6), 3.0);
+        assert_eq!(w.total(0), 7.0);
+        assert_eq!(w.total(1), 13.0);
+    }
+
+    #[test]
+    fn set_weight_adjusts_total() {
+        let mut w = VertexWeights::unit(4);
+        w.set_weight(0, 2, 5.0);
+        assert_eq!(w.weight(0, 2), 5.0);
+        assert!((w.total(0) - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn push_vertex_rejects_nonpositive() {
+        VertexWeights::unit(2).push_vertex(&[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "one weight per dimension")]
+    fn push_vertex_rejects_wrong_arity() {
+        VertexWeights::unit(2).push_vertex(&[1.0, 2.0]);
     }
 
     #[test]

@@ -1,0 +1,69 @@
+//! The update language of the stream: batched vertex arrivals, edge
+//! insertions and weight drift.
+//!
+//! Updates are applied in order within a batch. A vertex arrives *with* its
+//! adjacency to already-present vertices (the standard streaming-partitioning
+//! model: the placement decision is made once, online, with exactly that
+//! information). Edges between already-present vertices and weight updates
+//! model the graph evolving underneath the partition.
+
+use mdbgp_graph::VertexId;
+
+/// One stream event.
+#[derive(Clone, Debug, PartialEq)]
+pub enum StreamUpdate {
+    /// A new vertex arrives. It receives the next free id (`n` at
+    /// application time), carries one weight per balance dimension, and
+    /// lists its edges to already-present vertices (out-of-range or
+    /// duplicate endpoints are ignored).
+    AddVertex {
+        weights: Vec<f64>,
+        neighbors: Vec<VertexId>,
+    },
+    /// An edge appears between two already-present vertices. Self-loops and
+    /// duplicates are ignored.
+    AddEdge { u: VertexId, v: VertexId },
+    /// Weight dimension `dim` of vertex `v` drifts to `value` (e.g. an
+    /// activity counter used as a balance dimension).
+    SetWeight { v: VertexId, dim: usize, value: f64 },
+}
+
+/// An ordered batch of stream events, the unit of ingestion (and of
+/// refinement triggering) in [`crate::StreamingPartitioner`].
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct UpdateBatch {
+    pub updates: Vec<StreamUpdate>,
+}
+
+impl UpdateBatch {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a vertex arrival; returns `self` for chaining.
+    pub fn add_vertex(&mut self, weights: Vec<f64>, neighbors: Vec<VertexId>) -> &mut Self {
+        self.updates
+            .push(StreamUpdate::AddVertex { weights, neighbors });
+        self
+    }
+
+    /// Queues an edge insertion.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.updates.push(StreamUpdate::AddEdge { u, v });
+        self
+    }
+
+    /// Queues a weight update.
+    pub fn set_weight(&mut self, v: VertexId, dim: usize, value: f64) -> &mut Self {
+        self.updates.push(StreamUpdate::SetWeight { v, dim, value });
+        self
+    }
+
+    pub fn len(&self) -> usize {
+        self.updates.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.updates.is_empty()
+    }
+}

@@ -1,0 +1,295 @@
+//! [`DynamicGraph`]: a CSR graph plus an in-memory delta, with periodic
+//! compaction.
+//!
+//! `mdbgp-graph`'s [`Graph`] is immutable CSR — ideal for the GD mat-vec,
+//! hostile to insertions. The streaming layer therefore keeps a **base** CSR
+//! plus per-vertex sorted **delta** adjacency lists. Reads see the union;
+//! writes go to the delta; [`DynamicGraph::compact`] merges the delta into a
+//! fresh CSR (via [`GraphBuilder::from_graph`]) once it exceeds a
+//! configurable fraction of the base. Refinement always runs on the
+//! compacted CSR, so the GD kernels never pay for the indirection.
+
+use mdbgp_graph::{Graph, GraphBuilder, VertexId, VertexWeights};
+
+/// A growing graph: base CSR + delta adjacency + multi-dimensional weights.
+#[derive(Clone, Debug)]
+pub struct DynamicGraph {
+    base: Graph,
+    /// Per-vertex delta adjacency, sorted ascending; indexes `0..n` where
+    /// `n >= base.num_vertices()` (vertices past the base have all their
+    /// adjacency here).
+    delta: Vec<Vec<VertexId>>,
+    /// Undirected delta edge count.
+    delta_edges: usize,
+    weights: VertexWeights,
+}
+
+impl DynamicGraph {
+    /// Wraps an existing graph and its weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` does not cover the graph.
+    pub fn new(base: Graph, weights: VertexWeights) -> Self {
+        assert_eq!(
+            weights.num_vertices(),
+            base.num_vertices(),
+            "weights must cover the base graph"
+        );
+        let n = base.num_vertices();
+        Self {
+            base,
+            delta: vec![Vec::new(); n],
+            delta_edges: 0,
+            weights,
+        }
+    }
+
+    /// An empty dynamic graph with `dims` weight dimensions (pure streaming
+    /// from nothing).
+    pub fn empty(dims: usize) -> Self {
+        assert!(dims > 0);
+        Self {
+            base: Graph::empty(0),
+            delta: Vec::new(),
+            delta_edges: 0,
+            weights: VertexWeights::from_vectors(vec![Vec::new(); dims]),
+        }
+    }
+
+    /// Number of vertices (base + streamed).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Number of undirected edges (base + delta).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.base.num_edges() + self.delta_edges
+    }
+
+    /// Edges still sitting in the delta.
+    #[inline]
+    pub fn delta_edge_count(&self) -> usize {
+        self.delta_edges
+    }
+
+    /// Degree of `v` across base and delta.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let base_deg = if (v as usize) < self.base.num_vertices() {
+            self.base.degree(v)
+        } else {
+            0
+        };
+        base_deg + self.delta[v as usize].len()
+    }
+
+    /// Neighbours of `v`: base slice chained with delta (each sorted; the
+    /// union is *not* globally sorted, but is duplicate-free).
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
+        let base: &[VertexId] = if (v as usize) < self.base.num_vertices() {
+            self.base.neighbors(v)
+        } else {
+            &[]
+        };
+        base.iter()
+            .copied()
+            .chain(self.delta[v as usize].iter().copied())
+    }
+
+    /// Whether edge `{u, v}` exists in base or delta.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        if (u as usize) < self.base.num_vertices()
+            && (v as usize) < self.base.num_vertices()
+            && self.base.has_edge(u, v)
+        {
+            return true;
+        }
+        self.delta[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// The multi-dimensional vertex weights.
+    #[inline]
+    pub fn weights(&self) -> &VertexWeights {
+        &self.weights
+    }
+
+    /// Appends a vertex with the given per-dimension weights; returns its id.
+    pub fn add_vertex(&mut self, weight_row: &[f64]) -> VertexId {
+        self.weights.push_vertex(weight_row);
+        self.delta.push(Vec::new());
+        (self.delta.len() - 1) as VertexId
+    }
+
+    /// Adds undirected edge `{u, v}` to the delta. Returns `false` (and
+    /// does nothing) for self-loops and duplicates.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.num_vertices();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        if u == v || self.has_edge(u, v) {
+            return false;
+        }
+        let du = &mut self.delta[u as usize];
+        let pos = du.binary_search(&v).unwrap_err();
+        du.insert(pos, v);
+        let dv = &mut self.delta[v as usize];
+        let pos = dv.binary_search(&u).unwrap_err();
+        dv.insert(pos, u);
+        self.delta_edges += 1;
+        true
+    }
+
+    /// Overwrites weight dimension `dim` of `v`.
+    pub fn set_weight(&mut self, v: VertexId, dim: usize, value: f64) {
+        self.weights.set_weight(dim, v, value);
+    }
+
+    /// Whether the delta has outgrown `slack` as a fraction of base edges
+    /// (always true once streamed vertices exist but base lags behind).
+    pub fn needs_compaction(&self, slack: f64) -> bool {
+        self.delta_edges as f64 > slack * self.base.num_edges().max(1) as f64
+    }
+
+    /// Merges the delta into a fresh base CSR. O(n + m) when the delta is
+    /// non-empty; a no-op otherwise.
+    pub fn compact(&mut self) {
+        if self.delta_edges == 0 && self.base.num_vertices() == self.num_vertices() {
+            return;
+        }
+        self.base = self.merged_builder().build();
+        for adj in &mut self.delta {
+            adj.clear();
+        }
+        self.delta_edges = 0;
+    }
+
+    /// Compacts if needed and returns the full CSR view — the entry point
+    /// for refinement, which runs the GD kernels on plain CSR.
+    pub fn compacted_csr(&mut self) -> &Graph {
+        self.compact();
+        &self.base
+    }
+
+    /// The base CSR *without* compacting: misses delta edges unless
+    /// [`Self::compact`] ran since the last mutation. Use
+    /// [`Self::compacted_csr`] unless a prior compaction is guaranteed.
+    #[inline]
+    pub fn csr(&self) -> &Graph {
+        &self.base
+    }
+
+    /// Builds the full CSR without mutating (test oracle; prefer
+    /// [`Self::compacted_csr`] in production paths).
+    pub fn snapshot(&self) -> Graph {
+        self.merged_builder().build()
+    }
+
+    /// Base edges + delta edges in one builder, sized for the full graph.
+    fn merged_builder(&self) -> GraphBuilder {
+        let mut builder = GraphBuilder::from_graph(&self.base);
+        builder.grow_to(self.num_vertices());
+        for (u, adj) in self.delta.iter().enumerate() {
+            for &v in adj {
+                if (u as VertexId) < v {
+                    builder.add_edge(u as VertexId, v);
+                }
+            }
+        }
+        builder
+    }
+
+    /// Approximate heap footprint of the adjacency structures in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.base.memory_bytes()
+            + self
+                .delta
+                .iter()
+                .map(|a| a.capacity() * std::mem::size_of::<VertexId>())
+                .sum::<usize>()
+            + self.weights.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::builder::graph_from_edges;
+
+    fn seeded() -> DynamicGraph {
+        let g = graph_from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let w = VertexWeights::vertex_edge(&g);
+        DynamicGraph::new(g, w)
+    }
+
+    #[test]
+    fn reads_union_of_base_and_delta() {
+        let mut dg = seeded();
+        assert!(dg.add_edge(0, 3));
+        assert_eq!(dg.num_edges(), 4);
+        assert!(dg.has_edge(0, 3));
+        assert!(dg.has_edge(3, 0));
+        assert_eq!(dg.degree(0), 2);
+        let mut n0: Vec<_> = dg.neighbors(0).collect();
+        n0.sort_unstable();
+        assert_eq!(n0, vec![1, 3]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_self_loops() {
+        let mut dg = seeded();
+        assert!(!dg.add_edge(0, 1), "base duplicate");
+        assert!(dg.add_edge(0, 2));
+        assert!(!dg.add_edge(2, 0), "delta duplicate");
+        assert!(!dg.add_edge(1, 1), "self-loop");
+        assert_eq!(dg.num_edges(), 4);
+    }
+
+    #[test]
+    fn streamed_vertices_get_fresh_ids_and_weights() {
+        let mut dg = seeded();
+        let v = dg.add_vertex(&[1.0, 2.0]);
+        assert_eq!(v, 4);
+        assert_eq!(dg.num_vertices(), 5);
+        assert_eq!(dg.degree(v), 0);
+        assert!(dg.add_edge(v, 0));
+        assert_eq!(dg.degree(v), 1);
+        assert_eq!(dg.weights().weight(1, v), 2.0);
+    }
+
+    #[test]
+    fn compaction_preserves_the_graph() {
+        let mut dg = seeded();
+        let v = dg.add_vertex(&[1.0, 1.0]);
+        dg.add_edge(v, 1);
+        dg.add_edge(0, 2);
+        let before = dg.snapshot();
+        dg.compact();
+        assert_eq!(dg.delta_edge_count(), 0);
+        assert_eq!(dg.compacted_csr(), &before);
+        assert_eq!(dg.num_edges(), 5);
+    }
+
+    #[test]
+    fn compaction_trigger_tracks_delta_fraction() {
+        let mut dg = seeded();
+        assert!(!dg.needs_compaction(0.3));
+        dg.add_edge(0, 2);
+        assert!(dg.needs_compaction(0.3), "1 delta edge / 3 base > 0.3");
+        dg.compact();
+        assert!(!dg.needs_compaction(0.3));
+    }
+
+    #[test]
+    fn weight_drift_updates_totals() {
+        let mut dg = seeded();
+        let before = dg.weights().total(0);
+        dg.set_weight(2, 0, 3.0);
+        assert!((dg.weights().total(0) - (before + 2.0)).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,841 @@
+//! [`StreamingPartitioner`]: ingest → place → watch drift → refine.
+//!
+//! The engine owns the [`DynamicGraph`], the serving-side
+//! [`PartitionStore`], and the refinement machinery. Per batch it
+//!
+//! 1. applies the updates, placing arriving vertices with the
+//!    multi-dimensional LDG placer ([`crate::placement::LdgPlacer`]),
+//! 2. compacts the delta once it outgrows the base CSR,
+//! 3. checks the drift telemetry, and — when ε is threatened or a
+//!    scheduled interval elapses — runs **incremental refinement**: a
+//!    greedy multi-constraint rebalance (restores ε-feasibility, in the
+//!    spirit of Maas-style greedy repartitioning) followed by warm-started
+//!    pairwise GD ([`GdPartitioner::refine_pair`]) that re-optimizes
+//!    locality around the churn with all untouched vertices frozen.
+//!
+//! The result is that a batch of updates costs a placement sweep plus a few
+//! cheap GD iterations over the affected pairs, instead of a full
+//! from-scratch solve.
+
+use crate::delta::{StreamUpdate, UpdateBatch};
+use crate::dynamic::DynamicGraph;
+use crate::placement::LdgPlacer;
+use crate::store::PartitionStore;
+use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_graph::{Graph, Partition, PartitionError, Partitioner, VertexId, VertexWeights};
+use std::time::Instant;
+
+/// Configuration of the streaming subsystem.
+#[derive(Clone, Debug)]
+pub struct StreamConfig {
+    /// Number of shards `k`.
+    pub k: usize,
+    /// Balance tolerance ε maintained across every weight dimension.
+    pub epsilon: f64,
+    /// GD configuration template (bootstrap and refinement inherit
+    /// everything except `epsilon` and, for refinement, `iterations`).
+    pub gd: GdConfig,
+    /// GD iterations per warm-started pair refinement — the paper uses 100
+    /// for a cold solve; a warm start needs far fewer.
+    pub refine_iterations: usize,
+    /// Maximum part pairs re-bisected per refinement pass.
+    pub max_refine_pairs: usize,
+    /// Compact the delta once it exceeds this fraction of base edges.
+    pub compact_slack: f64,
+    /// Refine every this many batches even without drift (0 = drift-only).
+    pub refine_every: usize,
+    /// Drift trigger: refine when `max_imbalance > drift_headroom · ε`.
+    pub drift_headroom: f64,
+    /// Upper bound on greedy rebalance moves per refinement pass.
+    pub max_rebalance_moves: usize,
+    /// Seed for bootstrap and refinement (incremented per refinement).
+    pub seed: u64,
+}
+
+impl StreamConfig {
+    /// Defaults tuned for social-graph streams: drift-triggered refinement
+    /// with 15 warm GD iterations over at most 4 pairs.
+    pub fn new(k: usize, epsilon: f64) -> Self {
+        Self {
+            k,
+            epsilon,
+            gd: GdConfig::with_epsilon(epsilon),
+            refine_iterations: 15,
+            max_refine_pairs: 4,
+            compact_slack: 0.15,
+            refine_every: 0,
+            drift_headroom: 0.9,
+            max_rebalance_moves: 256,
+            seed: 42,
+        }
+    }
+
+    fn validate(&self) -> Result<(), PartitionError> {
+        if self.k == 0 {
+            return Err(PartitionError::Config("k must be positive".into()));
+        }
+        if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
+            return Err(PartitionError::Config(format!(
+                "epsilon must be in (0, 1), got {}",
+                self.epsilon
+            )));
+        }
+        if self.refine_iterations == 0 {
+            return Err(PartitionError::Config(
+                "refine_iterations must be positive".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Lifetime counters exposed for dashboards and tests.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StreamTelemetry {
+    pub batches: usize,
+    pub vertices_placed: usize,
+    pub edges_added: usize,
+    pub weight_updates: usize,
+    pub compactions: usize,
+    pub refinements: usize,
+    pub rebalance_moves: usize,
+    pub refine_moves: usize,
+    /// Wall-clock seconds of the most recent refinement pass.
+    pub last_refine_secs: f64,
+}
+
+/// Per-batch outcome returned by [`StreamingPartitioner::ingest`].
+#[derive(Clone, Debug)]
+pub struct BatchReport {
+    pub vertices_added: usize,
+    pub edges_added: usize,
+    pub weight_updates: usize,
+    /// Whether a refinement pass ran after this batch.
+    pub refined: bool,
+    pub rebalance_moves: usize,
+    pub refine_moves: usize,
+    /// Post-batch (post-refinement) imbalance.
+    pub max_imbalance: f64,
+    /// Post-batch (post-refinement) edge locality.
+    pub edge_locality: f64,
+}
+
+/// The online partitioning engine.
+pub struct StreamingPartitioner {
+    cfg: StreamConfig,
+    graph: DynamicGraph,
+    store: PartitionStore,
+    /// Vertices touched since the last refinement (new, re-weighted, or
+    /// endpoint of a new edge) — the refinement active set grows a 1-hop
+    /// halo around these.
+    dirty: Vec<bool>,
+    telemetry: StreamTelemetry,
+    batches_since_refine: usize,
+    refine_seed: u64,
+}
+
+impl StreamingPartitioner {
+    /// Partitions `graph` from scratch with the paper's GD and starts
+    /// streaming on top of the result.
+    pub fn bootstrap(
+        graph: Graph,
+        weights: VertexWeights,
+        cfg: StreamConfig,
+    ) -> Result<Self, PartitionError> {
+        cfg.validate()?;
+        let mut gd_cfg = cfg.gd.clone();
+        gd_cfg.epsilon = cfg.epsilon;
+        let partition = GdPartitioner::new(gd_cfg).partition(&graph, &weights, cfg.k, cfg.seed)?;
+        Self::from_partition(graph, weights, &partition, cfg)
+    }
+
+    /// Starts streaming on top of an existing partition (e.g. one loaded
+    /// from a snapshot).
+    pub fn from_partition(
+        graph: Graph,
+        weights: VertexWeights,
+        partition: &Partition,
+        cfg: StreamConfig,
+    ) -> Result<Self, PartitionError> {
+        cfg.validate()?;
+        let n = graph.num_vertices();
+        if partition.num_vertices() != n || weights.num_vertices() != n {
+            return Err(PartitionError::DimensionMismatch {
+                weights_n: weights.num_vertices(),
+                graph_n: n,
+            });
+        }
+        if partition.num_parts() != cfg.k {
+            return Err(PartitionError::Config(format!(
+                "partition has {} parts but config wants k = {}",
+                partition.num_parts(),
+                cfg.k
+            )));
+        }
+        let mut store = PartitionStore::new(partition, &weights);
+        store.rebuild_edge_stats(graph.edges());
+        let refine_seed = cfg.seed;
+        Ok(Self {
+            cfg,
+            graph: DynamicGraph::new(graph, weights),
+            store,
+            dirty: vec![false; n],
+            telemetry: StreamTelemetry::default(),
+            batches_since_refine: 0,
+            refine_seed,
+        })
+    }
+
+    /// Cold start: no vertices yet, everything arrives on the stream.
+    pub fn empty(dims: usize, cfg: StreamConfig) -> Result<Self, PartitionError> {
+        cfg.validate()?;
+        let refine_seed = cfg.seed;
+        let k = cfg.k;
+        Ok(Self {
+            cfg,
+            graph: DynamicGraph::empty(dims),
+            store: PartitionStore::new(
+                &Partition::new(Vec::new(), k),
+                &VertexWeights::from_vectors(vec![Vec::new(); dims]),
+            ),
+            dirty: Vec::new(),
+            telemetry: StreamTelemetry::default(),
+            batches_since_refine: 0,
+            refine_seed,
+        })
+    }
+
+    /// The serving-side store (O(1) `shard_of`, loads, locality).
+    pub fn store(&self) -> &PartitionStore {
+        &self.store
+    }
+
+    /// The evolving graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.graph
+    }
+
+    /// Lifetime telemetry.
+    pub fn telemetry(&self) -> &StreamTelemetry {
+        &self.telemetry
+    }
+
+    /// O(1) shard lookup.
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        self.store.shard_of(v)
+    }
+
+    /// Current partition snapshot (O(n)).
+    pub fn partition(&self) -> Partition {
+        self.store.to_partition()
+    }
+
+    /// Current maximum imbalance across dimensions.
+    pub fn max_imbalance(&self) -> f64 {
+        self.store.max_imbalance(self.graph.weights())
+    }
+
+    /// Validates a whole batch against the current state without applying
+    /// anything, so `ingest` is all-or-nothing: an `Err` means no update
+    /// was applied. Tracks the running vertex count so updates may
+    /// reference vertices added earlier in the same batch.
+    fn validate_batch(&self, batch: &UpdateBatch) -> Result<(), PartitionError> {
+        let dims = self.graph.weights().dims();
+        let positive = |w: f64| w.is_finite() && w > 0.0;
+        let mut n = self.graph.num_vertices() as u64;
+        for (i, update) in batch.updates.iter().enumerate() {
+            match update {
+                StreamUpdate::AddVertex { weights, .. } => {
+                    if weights.len() != dims {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: arriving vertex has {} weights, stream has {dims} \
+                             dimensions",
+                            weights.len()
+                        )));
+                    }
+                    if let Some(&w) = weights.iter().find(|&&w| !positive(w)) {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: vertex weight {w} must be positive finite"
+                        )));
+                    }
+                    n += 1;
+                }
+                StreamUpdate::AddEdge { u, v } => {
+                    if *u as u64 >= n || *v as u64 >= n {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: edge ({u}, {v}) references unknown vertices (n = {n})"
+                        )));
+                    }
+                }
+                StreamUpdate::SetWeight { v, dim, value } => {
+                    if *v as u64 >= n || *dim >= dims {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: weight update ({v}, dim {dim}) out of range"
+                        )));
+                    }
+                    if !positive(*value) {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: weight {value} must be positive finite"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Applies one batch: placement, compaction, drift check, refinement.
+    /// All-or-nothing: the batch is validated up front, and an `Err`
+    /// leaves the engine untouched.
+    pub fn ingest(&mut self, batch: &UpdateBatch) -> Result<BatchReport, PartitionError> {
+        self.validate_batch(batch)?;
+        let mut vertices_added = 0usize;
+        let mut edges_added = 0usize;
+        let mut weight_updates = 0usize;
+        let placer = LdgPlacer::new(self.cfg.epsilon);
+        let mut neighbor_counts = vec![0usize; self.cfg.k];
+
+        for update in &batch.updates {
+            match update {
+                StreamUpdate::AddVertex { weights, neighbors } => {
+                    let v = self.graph.add_vertex(weights);
+                    self.dirty.push(true);
+                    vertices_added += 1;
+                    // Materialize the adjacency, then place with it.
+                    neighbor_counts.iter_mut().for_each(|c| *c = 0);
+                    let mut new_edges: Vec<VertexId> = Vec::with_capacity(neighbors.len());
+                    for &u in neighbors {
+                        if u < v && self.graph.add_edge(v, u) {
+                            neighbor_counts[self.store.shard_of(u) as usize] += 1;
+                            new_edges.push(u);
+                        }
+                    }
+                    let part =
+                        placer.place(&self.store, self.graph.weights(), &neighbor_counts, weights);
+                    self.store.push_assignment(part, weights);
+                    for &u in &new_edges {
+                        self.store.on_edge_added(v, u);
+                        self.dirty[u as usize] = true;
+                        edges_added += 1;
+                    }
+                    self.telemetry.vertices_placed += 1;
+                }
+                StreamUpdate::AddEdge { u, v } => {
+                    if self.graph.add_edge(*u, *v) {
+                        self.store.on_edge_added(*u, *v);
+                        self.dirty[*u as usize] = true;
+                        self.dirty[*v as usize] = true;
+                        edges_added += 1;
+                    }
+                }
+                StreamUpdate::SetWeight { v, dim, value } => {
+                    let old = self.graph.weights().weight(*dim, *v);
+                    self.graph.set_weight(*v, *dim, *value);
+                    self.store.apply_weight_change(*v, *dim, old, *value);
+                    self.dirty[*v as usize] = true;
+                    weight_updates += 1;
+                }
+            }
+        }
+
+        self.telemetry.batches += 1;
+        self.telemetry.edges_added += edges_added;
+        self.telemetry.weight_updates += weight_updates;
+        self.batches_since_refine += 1;
+
+        if self.graph.needs_compaction(self.cfg.compact_slack) {
+            self.graph.compact();
+            self.telemetry.compactions += 1;
+        }
+
+        // Drift telemetry: refine when ε is threatened, or on schedule.
+        let imbalance = self.max_imbalance();
+        let drift_trigger = imbalance > self.cfg.drift_headroom * self.cfg.epsilon;
+        let schedule_trigger =
+            self.cfg.refine_every > 0 && self.batches_since_refine >= self.cfg.refine_every;
+        let (rebalance_moves, refine_moves) = if drift_trigger || schedule_trigger {
+            self.refine_now()?
+        } else {
+            (0, 0)
+        };
+
+        Ok(BatchReport {
+            vertices_added,
+            edges_added,
+            weight_updates,
+            refined: drift_trigger || schedule_trigger,
+            rebalance_moves,
+            refine_moves,
+            max_imbalance: self.max_imbalance(),
+            edge_locality: self.store.edge_locality(),
+        })
+    }
+
+    /// Runs a refinement pass unconditionally. Returns
+    /// `(rebalance_moves, refine_moves)`.
+    pub fn refine_now(&mut self) -> Result<(usize, usize), PartitionError> {
+        let started = Instant::now();
+        self.graph.compact();
+
+        let rebalance_moves = self.greedy_rebalance();
+
+        // Active set: dirty vertices (including any the rebalance just
+        // moved) plus their 1-hop halo — the GD pass may move exactly
+        // these; everything else is frozen.
+        let n = self.graph.num_vertices();
+        let mut active = self.dirty.clone();
+        for v in 0..n as VertexId {
+            if self.dirty[v as usize] {
+                for u in self.graph.neighbors(v) {
+                    active[u as usize] = true;
+                }
+            }
+        }
+
+        // Warm-started pairwise GD around the churn. The graph was just
+        // compacted, so the immutable `csr()` view is the full graph.
+        let mut refine_moves = 0usize;
+        if n > 0 {
+            let mut partition = self.partition();
+            let frozen: Vec<bool> = active.iter().map(|&a| !a).collect();
+            let mut gd_cfg = self.cfg.gd.clone();
+            gd_cfg.epsilon = self.cfg.epsilon;
+            gd_cfg.iterations = self.cfg.refine_iterations;
+            gd_cfg.track_history = false;
+            let gd = GdPartitioner::new(gd_cfg);
+
+            let pairs = GdPartitioner::rank_pairs_by_active_cut(
+                self.graph.csr(),
+                &partition,
+                &active,
+                self.cfg.max_refine_pairs,
+            );
+            for pair in pairs {
+                self.refine_seed = self
+                    .refine_seed
+                    .wrapping_mul(0x9E3779B97F4A7C15)
+                    .wrapping_add(1);
+                let outcome = gd.refine_pair(
+                    self.graph.csr(),
+                    self.graph.weights(),
+                    &partition,
+                    pair,
+                    &frozen,
+                    self.refine_seed,
+                )?;
+                for &(v, part) in &outcome.moves {
+                    let row: Vec<f64> = (0..self.graph.weights().dims())
+                        .map(|j| self.graph.weights().weight(j, v))
+                        .collect();
+                    self.store.move_vertex(v, part, &row);
+                    partition.assign(v, part);
+                    refine_moves += 1;
+                }
+            }
+        }
+
+        // Locality counters are cheapest to rebuild wholesale after moves.
+        self.store.rebuild_edge_stats(self.graph.csr().edges());
+
+        self.dirty.iter_mut().for_each(|d| *d = false);
+        self.batches_since_refine = 0;
+        self.telemetry.refinements += 1;
+        self.telemetry.rebalance_moves += rebalance_moves;
+        self.telemetry.refine_moves += refine_moves;
+        self.telemetry.last_refine_secs = started.elapsed().as_secs_f64();
+        Ok((rebalance_moves, refine_moves))
+    }
+
+    /// Greedy multi-constraint rebalance toward the drift-trigger
+    /// threshold.
+    ///
+    /// Minimizes the potential `Φ = Σ_{p,j} max(0, load_ratio(p,j) − t)²`
+    /// with `t = drift_headroom · ε` (sum of squared per-part
+    /// per-dimension violations of the *trigger* threshold, not ε itself —
+    /// repairing only to ε would leave the imbalance inside the trigger
+    /// band and re-run refinement on every subsequent batch): each step
+    /// applies the single vertex move — or, when every single move is
+    /// blocked by a cross-dimension deadlock, the best sampled vertex
+    /// *swap* — that decreases Φ the most. Squared violations make the
+    /// pass handle ties at the maximum (where a strict max-decrease rule
+    /// stalls) and guarantee monotone progress; Φ = 0 restores slack below
+    /// the trigger. Locality is repaired afterwards by the pairwise GD
+    /// pass. One pass over the vertices per move (plus O(deg) locality
+    /// scoring for improving candidates). Returns the number of moved
+    /// vertices.
+    fn greedy_rebalance(&mut self) -> usize {
+        let target = self.cfg.epsilon * self.cfg.drift_headroom.min(1.0);
+        let k = self.cfg.k;
+        let dims = self.graph.weights().dims();
+        let mut moves = 0usize;
+        while moves < self.cfg.max_rebalance_moves {
+            let weights = self.graph.weights();
+            let avgs: Vec<f64> = (0..dims).map(|j| weights.total(j) / k as f64).collect();
+            // Per-part potential contribution.
+            let part_phi = |store: &PartitionStore, p: u32| -> f64 {
+                (0..dims)
+                    .map(|j| {
+                        let viol = (store.load(p, j) / avgs[j] - 1.0 - target).max(0.0);
+                        viol * viol
+                    })
+                    .sum()
+            };
+            let phis: Vec<f64> = (0..k as u32).map(|p| part_phi(&self.store, p)).collect();
+            let phi_total: f64 = phis.iter().sum();
+            if phi_total <= 0.0 {
+                break; // below the trigger threshold in every dimension
+            }
+            // Work on the worst offender; its most violated dimension
+            // steers the swap sampling below.
+            let src = (0..k as u32)
+                .max_by(|&a, &b| phis[a as usize].partial_cmp(&phis[b as usize]).unwrap())
+                .unwrap();
+            let dim = (0..dims)
+                .max_by(|&a, &b| {
+                    let ra = self.store.load(src, a) / avgs[a];
+                    let rb = self.store.load(src, b) / avgs[b];
+                    ra.partial_cmp(&rb).unwrap()
+                })
+                .unwrap();
+
+            // Post-move Φ of the two affected parts, given the signed
+            // weight delta `dv[j]` leaving src for dst.
+            let pair_phi_after = |store: &PartitionStore, dst: u32, dv: &[f64]| -> f64 {
+                let mut phi = 0.0;
+                for j in 0..dims {
+                    let s = ((store.load(src, j) - dv[j]) / avgs[j] - 1.0 - target).max(0.0);
+                    let d = ((store.load(dst, j) + dv[j]) / avgs[j] - 1.0 - target).max(0.0);
+                    phi += s * s + d * d;
+                }
+                phi
+            };
+
+            // Best single move: minimize Φ, tie-break on locality gain.
+            // One pass over the vertices; inner loop over the k−1
+            // destinations reuses the weight row.
+            let mut dv = vec![0.0f64; dims];
+            let mut best_move: Option<(VertexId, u32, f64, i64)> = None;
+            for v in 0..self.store.num_vertices() as VertexId {
+                if self.store.shard_of(v) != src {
+                    continue;
+                }
+                for (j, slot) in dv.iter_mut().enumerate() {
+                    *slot = weights.weight(j, v);
+                }
+                for dst in (0..k as u32).filter(|&q| q != src) {
+                    let pair_before = phis[src as usize] + phis[dst as usize];
+                    let delta = pair_phi_after(&self.store, dst, &dv) - pair_before;
+                    if delta >= -1e-18 {
+                        continue;
+                    }
+                    let new_phi = phi_total + delta;
+                    let gain = self.locality_gain(v, src, dst);
+                    let better = match best_move {
+                        None => true,
+                        Some((_, _, bp, bg)) => {
+                            new_phi < bp - 1e-15 || (new_phi < bp + 1e-15 && gain > bg)
+                        }
+                    };
+                    if better {
+                        best_move = Some((v, dst, new_phi, gain));
+                    }
+                }
+            }
+            if let Some((v, dst, _, _)) = best_move {
+                let row: Vec<f64> = (0..dims).map(|j| weights.weight(j, v)).collect();
+                self.store.move_vertex(v, dst, &row);
+                self.dirty[v as usize] = true;
+                moves += 1;
+                continue;
+            }
+
+            // Cross-dimension deadlock (e.g. the only part with headroom in
+            // `dim` is itself pinned in another dimension): sample swaps
+            // that shed `dim` outbound and relieve the partner's own
+            // binding dimension inbound. Membership lists are collected
+            // once per move and the top candidates selected in O(p).
+            let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+            for v in 0..self.store.num_vertices() as VertexId {
+                members[self.store.shard_of(v) as usize].push(v);
+            }
+            let mut best_swap: Option<(VertexId, VertexId, u32, f64)> = None;
+            for dst in (0..k as u32).filter(|&q| q != src) {
+                let pair_before = phis[src as usize] + phis[dst as usize];
+                let binding = (0..dims)
+                    .max_by(|&a, &b| {
+                        let ra = self.store.load(dst, a) / avgs[a];
+                        let rb = self.store.load(dst, b) / avgs[b];
+                        ra.partial_cmp(&rb).unwrap()
+                    })
+                    .unwrap();
+                let out_score = |v: VertexId| {
+                    weights.weight(dim, v) / avgs[dim] - weights.weight(binding, v) / avgs[binding]
+                };
+                let in_score = |u: VertexId| {
+                    weights.weight(binding, u) / avgs[binding] - weights.weight(dim, u) / avgs[dim]
+                };
+                let src_out = top_by(&members[src as usize], 16, out_score);
+                let dst_in = top_by(&members[dst as usize], 16, in_score);
+                for &v in &src_out {
+                    for &u in &dst_in {
+                        for (j, slot) in dv.iter_mut().enumerate() {
+                            *slot = weights.weight(j, v) - weights.weight(j, u);
+                        }
+                        let delta = pair_phi_after(&self.store, dst, &dv) - pair_before;
+                        if delta >= -1e-18 {
+                            continue;
+                        }
+                        let new_phi = phi_total + delta;
+                        if best_swap.as_ref().is_none_or(|&(_, _, _, bp)| new_phi < bp) {
+                            best_swap = Some((v, u, dst, new_phi));
+                        }
+                    }
+                }
+            }
+            let Some((v, u, dst, _)) = best_swap else {
+                break; // genuinely stuck — the pass is best-effort
+            };
+            let row_v: Vec<f64> = (0..dims).map(|j| weights.weight(j, v)).collect();
+            let row_u: Vec<f64> = (0..dims).map(|j| weights.weight(j, u)).collect();
+            self.store.move_vertex(v, dst, &row_v);
+            self.store.move_vertex(u, src, &row_u);
+            self.dirty[v as usize] = true;
+            self.dirty[u as usize] = true;
+            moves += 2;
+        }
+        moves
+    }
+
+    /// Net intra-edge change if `v` moved from `src` to `dst`.
+    fn locality_gain(&self, v: VertexId, src: u32, dst: u32) -> i64 {
+        let mut gain = 0i64;
+        for u in self.graph.neighbors(v) {
+            let pu = self.store.shard_of(u);
+            if pu == dst {
+                gain += 1;
+            } else if pu == src {
+                gain -= 1;
+            }
+        }
+        gain
+    }
+}
+
+/// The `limit` highest-scoring vertices of `list` (O(p) selection, order
+/// within the result unspecified).
+fn top_by(list: &[VertexId], limit: usize, score: impl Fn(VertexId) -> f64) -> Vec<VertexId> {
+    let mut v = list.to_vec();
+    if v.len() > limit {
+        v.select_nth_unstable_by(limit - 1, |&a, &b| score(b).partial_cmp(&score(a)).unwrap());
+        v.truncate(limit);
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::gen;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    fn community(n: usize, seed: u64) -> (Graph, VertexWeights) {
+        let cg = gen::community_graph(
+            &gen::CommunityGraphConfig::social(n),
+            &mut StdRng::seed_from_u64(seed),
+        );
+        let w = VertexWeights::vertex_edge(&cg.graph);
+        (cg.graph, w)
+    }
+
+    fn fast_cfg(k: usize, eps: f64) -> StreamConfig {
+        let mut cfg = StreamConfig::new(k, eps);
+        cfg.gd = GdConfig {
+            iterations: 40,
+            ..GdConfig::with_epsilon(eps)
+        };
+        cfg
+    }
+
+    #[test]
+    fn bootstrap_and_serve() {
+        let (g, w) = community(800, 1);
+        let sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(4, 0.05)).unwrap();
+        assert!(sp.max_imbalance() <= 0.05 + 1e-9);
+        assert!(sp.store().edge_locality() > 0.25);
+        assert!(sp.shard_of(0) < 4);
+    }
+
+    #[test]
+    fn ingest_places_arrivals_within_epsilon() {
+        let (g, w) = community(600, 2);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(4, 0.05)).unwrap();
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5 {
+            let mut batch = UpdateBatch::new();
+            for _ in 0..30 {
+                let n = 600; // conservative: attach to bootstrap vertices
+                let nbrs: Vec<u32> = (0..4).map(|_| rng.gen_range(0..n as u32)).collect();
+                batch.add_vertex(vec![1.0, nbrs.len() as f64], nbrs);
+            }
+            let report = sp.ingest(&batch).unwrap();
+            assert!(
+                report.max_imbalance <= 0.05 + 1e-9,
+                "imbalance {} after batch",
+                report.max_imbalance
+            );
+        }
+        assert_eq!(sp.graph().num_vertices(), 750);
+        assert_eq!(sp.telemetry().vertices_placed, 150);
+    }
+
+    #[test]
+    fn weight_drift_triggers_refinement_and_recovers_epsilon() {
+        let (g, w) = community(600, 3);
+        let mut cfg = fast_cfg(4, 0.05);
+        cfg.max_rebalance_moves = 1024;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+        // Drift: inflate the unit weight of one shard's vertices 3x.
+        let victims: Vec<u32> = (0..600u32).filter(|&v| sp.shard_of(v) == 0).collect();
+        let mut batch = UpdateBatch::new();
+        for &v in &victims {
+            batch.set_weight(v, 0, 3.0);
+        }
+        let report = sp.ingest(&batch).unwrap();
+        assert!(report.refined, "drift must trigger refinement");
+        assert!(
+            report.max_imbalance <= 0.05 + 1e-9,
+            "refinement must restore ε, got {}",
+            report.max_imbalance
+        );
+        assert!(sp.telemetry().refinements >= 1);
+    }
+
+    #[test]
+    fn edge_stream_between_existing_vertices() {
+        let (g, w) = community(400, 4);
+        let m0 = g.num_edges();
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.05)).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(0, 200).add_edge(1, 300).add_edge(0, 200); // dup ignored
+        let report = sp.ingest(&batch).unwrap();
+        assert!(report.edges_added <= 2);
+        assert!(sp.graph().num_edges() <= m0 + 2);
+    }
+
+    #[test]
+    fn cold_start_streams_from_nothing() {
+        let mut cfg = fast_cfg(2, 0.3);
+        cfg.refine_every = 0;
+        let mut sp = StreamingPartitioner::empty(1, cfg).unwrap();
+        let mut batch = UpdateBatch::new();
+        for i in 0..40u32 {
+            let nbrs = if i == 0 { vec![] } else { vec![i - 1] };
+            batch.add_vertex(vec![1.0], nbrs);
+        }
+        sp.ingest(&batch).unwrap();
+        assert_eq!(sp.graph().num_vertices(), 40);
+        assert_eq!(sp.graph().num_edges(), 39);
+        assert!(sp.max_imbalance() <= 0.3 + 1e-9, "{}", sp.max_imbalance());
+    }
+
+    #[test]
+    fn rejects_malformed_updates() {
+        let (g, w) = community(100, 5);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.1)).unwrap();
+        let mut bad_arity = UpdateBatch::new();
+        bad_arity.add_vertex(vec![1.0], vec![]);
+        assert!(sp.ingest(&bad_arity).is_err(), "dims mismatch");
+        let mut bad_edge = UpdateBatch::new();
+        bad_edge.add_edge(0, 10_000);
+        assert!(sp.ingest(&bad_edge).is_err());
+        let mut bad_weight = UpdateBatch::new();
+        bad_weight.set_weight(0, 7, 1.0);
+        assert!(sp.ingest(&bad_weight).is_err());
+        // Non-positive / non-finite weight values are Err, not panics.
+        let mut zero_weight = UpdateBatch::new();
+        zero_weight.set_weight(0, 0, 0.0);
+        assert!(sp.ingest(&zero_weight).is_err());
+        let mut nan_vertex = UpdateBatch::new();
+        nan_vertex.add_vertex(vec![1.0, f64::NAN], vec![]);
+        assert!(sp.ingest(&nan_vertex).is_err());
+    }
+
+    #[test]
+    fn ingest_is_all_or_nothing() {
+        // A bad update anywhere in the batch must leave the engine
+        // untouched — callers may retry a corrected batch safely.
+        let (g, w) = community(100, 7);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.1)).unwrap();
+        let before_n = sp.graph().num_vertices();
+        let before_m = sp.graph().num_edges();
+        let before_t = sp.telemetry().clone();
+        let mut batch = UpdateBatch::new();
+        batch.add_vertex(vec![1.0, 2.0], vec![0, 1]);
+        batch.add_edge(0, 50_000); // invalid mid-batch
+        assert!(sp.ingest(&batch).is_err());
+        assert_eq!(
+            sp.graph().num_vertices(),
+            before_n,
+            "vertex leaked from failed batch"
+        );
+        assert_eq!(sp.graph().num_edges(), before_m);
+        assert_eq!(
+            sp.telemetry(),
+            &before_t,
+            "telemetry advanced on failed batch"
+        );
+        // An edge referencing a vertex added earlier in the same batch is
+        // valid.
+        let mut ok = UpdateBatch::new();
+        ok.add_vertex(vec![1.0, 1.0], vec![0]);
+        ok.add_edge(100, 5);
+        let report = sp.ingest(&ok).unwrap();
+        assert_eq!(report.vertices_added, 1);
+        assert_eq!(report.edges_added, 2);
+    }
+
+    #[test]
+    fn drift_trigger_clears_after_refinement() {
+        // Rebalance must repair below the trigger threshold
+        // (drift_headroom·ε), not merely to ε, or every subsequent batch
+        // re-runs a full refinement pass.
+        let (g, w) = community(600, 9);
+        let mut cfg = fast_cfg(4, 0.05);
+        cfg.max_rebalance_moves = 2048;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg.clone()).unwrap();
+        let victims: Vec<u32> = (0..600u32).filter(|&v| sp.shard_of(v) == 0).collect();
+        let mut batch = UpdateBatch::new();
+        for &v in &victims {
+            batch.set_weight(v, 0, 3.0);
+        }
+        let report = sp.ingest(&batch).unwrap();
+        assert!(report.refined);
+        assert!(
+            sp.max_imbalance() <= cfg.drift_headroom * cfg.epsilon + 1e-9,
+            "rebalance must clear the trigger band, got {}",
+            sp.max_imbalance()
+        );
+        // A benign follow-up batch must not re-trigger refinement.
+        let refinements_before = sp.telemetry().refinements;
+        let mut benign = UpdateBatch::new();
+        benign.add_edge(0, 1);
+        let report = sp.ingest(&benign).unwrap();
+        assert!(
+            !report.refined,
+            "steady state must not re-trigger refinement"
+        );
+        assert_eq!(sp.telemetry().refinements, refinements_before);
+    }
+
+    #[test]
+    fn from_partition_validates_shapes() {
+        let (g, w) = community(100, 6);
+        let p = Partition::new(vec![0; 100], 2);
+        let cfg = fast_cfg(4, 0.1);
+        assert!(
+            StreamingPartitioner::from_partition(g, w, &p, cfg).is_err(),
+            "k mismatch must be rejected"
+        );
+    }
+}

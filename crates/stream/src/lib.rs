@@ -1,0 +1,68 @@
+//! # mdbgp-stream — online streaming ingestion + incremental partition
+//! maintenance
+//!
+//! The paper's GD partitioner is offline: it assumes the whole graph up
+//! front. The production setting it targets — social-network sharding —
+//! sees a continuous stream of new vertices, edges and weight drift. This
+//! crate keeps a partition valid and high-quality as the graph evolves,
+//! without rerunning GD from scratch:
+//!
+//! * [`DynamicGraph`] — a base CSR plus delta adjacency with periodic
+//!   compaction, so reads stay cheap and refinement always runs on plain
+//!   CSR ([`dynamic`]);
+//! * [`UpdateBatch`] / [`StreamUpdate`] — the stream language: vertex
+//!   arrivals (with adjacency), edge insertions, weight drift ([`delta`]);
+//! * [`LdgPlacer`] — multi-dimensional linear-deterministic-greedy
+//!   placement of arriving vertices under per-dimension `(1+ε)` capacity
+//!   slabs ([`placement`]);
+//! * [`StreamingPartitioner`] — the engine: ingest, drift telemetry, and
+//!   **incremental refinement** — greedy multi-constraint rebalancing plus
+//!   warm-started pairwise GD (`mdbgp_core::bipartition_warm` /
+//!   `GdPartitioner::refine_pair`) with unchanged vertices frozen, so a
+//!   batch of updates is absorbed by a few cheap iterations ([`engine`]);
+//! * [`PartitionStore`] — the serving layer: O(1) vertex→shard lookups,
+//!   per-part multi-dimensional loads, live imbalance / locality telemetry
+//!   ([`store`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use mdbgp_stream::{StreamConfig, StreamingPartitioner, UpdateBatch};
+//! use mdbgp_graph::gen::{community_graph, CommunityGraphConfig};
+//! use mdbgp_graph::VertexWeights;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Bootstrap on the current graph...
+//! let cg = community_graph(
+//!     &CommunityGraphConfig::social(1000),
+//!     &mut StdRng::seed_from_u64(1),
+//! );
+//! let weights = VertexWeights::vertex_edge(&cg.graph);
+//! let mut sp = StreamingPartitioner::bootstrap(
+//!     cg.graph,
+//!     weights,
+//!     StreamConfig::new(4, 0.05),
+//! )
+//! .unwrap();
+//!
+//! // ...then absorb updates online.
+//! let mut batch = UpdateBatch::new();
+//! batch.add_vertex(vec![1.0, 2.0], vec![3, 17]); // arrives with 2 edges
+//! batch.add_edge(5, 900);
+//! let report = sp.ingest(&batch).unwrap();
+//! assert!(report.max_imbalance <= 0.05 + 1e-9);
+//! assert!(sp.shard_of(1000) < 4); // O(1) lookup for the new vertex
+//! ```
+
+pub mod delta;
+pub mod dynamic;
+pub mod engine;
+pub mod placement;
+pub mod store;
+
+pub use delta::{StreamUpdate, UpdateBatch};
+pub use dynamic::DynamicGraph;
+pub use engine::{BatchReport, StreamConfig, StreamTelemetry, StreamingPartitioner};
+pub use placement::LdgPlacer;
+pub use store::PartitionStore;

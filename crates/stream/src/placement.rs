@@ -1,0 +1,164 @@
+//! Online vertex placement: linear deterministic greedy (LDG) generalized
+//! to multi-dimensional balance.
+//!
+//! When a vertex arrives it is assigned once, using only its adjacency to
+//! already-placed vertices and the current shard loads (Stanton & Kliot's
+//! streaming model). Classic LDG scores a part by
+//! `|N(v) ∩ P| · (1 − |P|/C)`; here the single capacity fraction becomes
+//! the **worst** fraction across the `d` weight dimensions — the same
+//! "every slab simultaneously" semantics as `mdbgp-core`'s
+//! `FeasibleRegion`, with each slab's upper bound `(1 + ε) · w^{(j)}(V)/k`.
+//! A part with no room in *any* dimension is infeasible; if every part is
+//! infeasible (possible under adversarial drift) the least-overloaded part
+//! takes the vertex and the refinement pass repairs balance afterwards.
+
+use crate::store::PartitionStore;
+use mdbgp_graph::VertexWeights;
+
+/// Multi-dimensional LDG configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct LdgPlacer {
+    /// Balance tolerance ε: per-dimension capacity is `(1+ε)·w^{(j)}(V)/k`.
+    pub epsilon: f64,
+}
+
+impl LdgPlacer {
+    pub fn new(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0);
+        Self { epsilon }
+    }
+
+    /// Chooses a part for a vertex with weight row `weight_row` whose
+    /// placed neighbours are distributed as `neighbor_counts` (length `k`).
+    /// `weights` supplies the current per-dimension totals (including the
+    /// arriving vertex).
+    pub fn place(
+        &self,
+        store: &PartitionStore,
+        weights: &VertexWeights,
+        neighbor_counts: &[usize],
+        weight_row: &[f64],
+    ) -> u32 {
+        let k = store.num_parts();
+        debug_assert_eq!(neighbor_counts.len(), k);
+        let d = weight_row.len();
+        // Per-dimension capacity, from totals that already include the
+        // arriving vertex (totals only grow, so past placements stay valid).
+        let caps: Vec<f64> = (0..d)
+            .map(|j| (1.0 + self.epsilon) * weights.total(j) / k as f64)
+            .collect();
+
+        let mut best: Option<(u32, f64)> = None; // feasible: argmax score
+        let mut fallback: (u32, f64) = (0, f64::INFINITY); // argmin fullness
+        for p in 0..k as u32 {
+            // Worst capacity fraction across dimensions if v lands on p.
+            let mut fullness: f64 = 0.0;
+            for (j, &w) in weight_row.iter().enumerate() {
+                fullness = fullness.max((store.load(p, j) + w) / caps[j]);
+            }
+            if fullness < fallback.1 {
+                fallback = (p, fullness);
+            }
+            if fullness > 1.0 {
+                continue; // would break a slab
+            }
+            let score = neighbor_counts[p as usize] as f64 * (1.0 - fullness);
+            let better = match best {
+                None => true,
+                // Strictly better score, or equal score with more headroom.
+                Some((bp, bs)) => {
+                    score > bs + 1e-12
+                        || (score >= bs - 1e-12 && {
+                            let mut bf: f64 = 0.0;
+                            for (j, &w) in weight_row.iter().enumerate() {
+                                bf = bf.max((store.load(bp, j) + w) / caps[j]);
+                            }
+                            fullness < bf
+                        })
+                }
+            };
+            if better {
+                best = Some((p, score));
+            }
+        }
+        best.map(|(p, _)| p).unwrap_or(fallback.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::Partition;
+
+    /// Store with k=2 over 4 unit-weight vertices split 2/2.
+    fn unit_store() -> (PartitionStore, VertexWeights) {
+        let w = VertexWeights::unit(4);
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        (PartitionStore::new(&p, &w), w)
+    }
+
+    #[test]
+    fn prefers_the_part_with_more_neighbors() {
+        let (store, mut w) = unit_store();
+        w.push_vertex(&[1.0]);
+        let placer = LdgPlacer::new(0.5);
+        let p = placer.place(&store, &w, &[3, 1], &[1.0]);
+        assert_eq!(p, 0);
+        let p = placer.place(&store, &w, &[0, 2], &[1.0]);
+        assert_eq!(p, 1);
+    }
+
+    #[test]
+    fn respects_capacity_over_affinity() {
+        // Part 0 has all the neighbours but no room: cap = 1.05 * 5/2 =
+        // 2.625 and part 0 already holds 3.
+        let w = VertexWeights::unit(4);
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        let store = PartitionStore::new(&p, &w);
+        let mut w = w;
+        w.push_vertex(&[1.0]);
+        let placer = LdgPlacer::new(0.05);
+        let chosen = placer.place(&store, &w, &[4, 0], &[1.0]);
+        assert_eq!(chosen, 1, "full part must be skipped despite affinity");
+    }
+
+    #[test]
+    fn no_neighbors_balances_load() {
+        let w = VertexWeights::unit(3);
+        let p = Partition::new(vec![0, 0, 1], 2);
+        let store = PartitionStore::new(&p, &w);
+        let mut w = w;
+        w.push_vertex(&[1.0]);
+        let placer = LdgPlacer::new(0.5);
+        assert_eq!(placer.place(&store, &w, &[0, 0], &[1.0]), 1);
+    }
+
+    #[test]
+    fn overflow_picks_least_loaded() {
+        // Every part over cap (ε = 0): fall back to least-full.
+        let w = VertexWeights::unit(4);
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        let store = PartitionStore::new(&p, &w);
+        let mut w = w;
+        w.push_vertex(&[1.0]);
+        let placer = LdgPlacer::new(0.0);
+        assert_eq!(placer.place(&store, &w, &[2, 2], &[1.0]), 1);
+    }
+
+    #[test]
+    fn multi_dim_capacity_is_the_worst_dimension() {
+        // Two dims; part 0 has room in dim 0 but not dim 1.
+        let w =
+            VertexWeights::from_vectors(vec![vec![1.0, 1.0, 1.0, 1.0], vec![5.0, 5.0, 1.0, 1.0]]);
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let store = PartitionStore::new(&p, &w);
+        let mut w = w;
+        w.push_vertex(&[1.0, 1.0]);
+        let placer = LdgPlacer::new(0.25);
+        // dim-0 cap = 1.25·5/2 = 3.125: part 0 fits (2+1). dim-1 cap =
+        // 1.25·13/2 = 8.125: part 0 at 10+1 overflows -> infeasible even
+        // though dim 0 has room.
+        let chosen = placer.place(&store, &w, &[5, 0], &[1.0, 1.0]);
+        assert_eq!(chosen, 1);
+    }
+}

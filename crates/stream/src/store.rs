@@ -1,0 +1,267 @@
+//! [`PartitionStore`]: the serving-side view of the evolving partition.
+//!
+//! A router in front of a sharded graph store needs exactly three things
+//! from the partitioner: O(1) `vertex → shard` lookups, cheap imbalance /
+//! locality telemetry to alarm on, and a stable snapshot to hand to the
+//! refinement pass. The store keeps per-part per-dimension loads and
+//! incremental intra/cut edge counters so every query is O(1) or O(d·k) —
+//! nothing on the serving path ever touches the graph itself.
+
+use mdbgp_graph::{Partition, VertexId, VertexWeights};
+
+/// Vertex→shard map plus live load / locality accounting.
+#[derive(Clone, Debug)]
+pub struct PartitionStore {
+    parts: Vec<u32>,
+    k: usize,
+    dims: usize,
+    /// `loads[p * dims + j] = w^{(j)}(V_p)`.
+    loads: Vec<f64>,
+    intra_edges: usize,
+    cut_edges: usize,
+}
+
+impl PartitionStore {
+    /// Builds the store from a partition and weights; edge counters start
+    /// at zero — call [`Self::rebuild_edge_stats`] with the graph's edges.
+    pub fn new(partition: &Partition, weights: &VertexWeights) -> Self {
+        assert_eq!(partition.num_vertices(), weights.num_vertices());
+        let k = partition.num_parts();
+        let dims = weights.dims();
+        let mut loads = vec![0.0f64; k * dims];
+        for v in 0..partition.num_vertices() {
+            let p = partition.part_of(v as VertexId) as usize;
+            for j in 0..dims {
+                loads[p * dims + j] += weights.weight(j, v as VertexId);
+            }
+        }
+        Self {
+            parts: partition.as_slice().to_vec(),
+            k,
+            dims,
+            loads,
+            intra_edges: 0,
+            cut_edges: 0,
+        }
+    }
+
+    /// Number of parts `k`.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of vertices currently assigned.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// O(1) shard lookup — the serving hot path.
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        self.parts[v as usize]
+    }
+
+    /// Raw assignment slice.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// Load of part `p` in dimension `j`.
+    #[inline]
+    pub fn load(&self, p: u32, j: usize) -> f64 {
+        self.loads[p as usize * self.dims + j]
+    }
+
+    /// Appends a newly placed vertex.
+    pub fn push_assignment(&mut self, part: u32, weight_row: &[f64]) {
+        debug_assert!((part as usize) < self.k);
+        debug_assert_eq!(weight_row.len(), self.dims);
+        self.parts.push(part);
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[part as usize * self.dims + j] += w;
+        }
+    }
+
+    /// Moves `v` to `part`, shifting its weight row between loads.
+    pub fn move_vertex(&mut self, v: VertexId, part: u32, weight_row: &[f64]) {
+        debug_assert!((part as usize) < self.k);
+        let old = self.parts[v as usize] as usize;
+        if old == part as usize {
+            return;
+        }
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[old * self.dims + j] -= w;
+            self.loads[part as usize * self.dims + j] += w;
+        }
+        self.parts[v as usize] = part;
+    }
+
+    /// Accounts a weight drift of `v` in dimension `j`.
+    pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new: f64) {
+        let p = self.parts[v as usize] as usize;
+        self.loads[p * self.dims + j] += new - old;
+    }
+
+    /// Accounts a new edge for the locality counters.
+    pub fn on_edge_added(&mut self, u: VertexId, v: VertexId) {
+        if self.parts[u as usize] == self.parts[v as usize] {
+            self.intra_edges += 1;
+        } else {
+            self.cut_edges += 1;
+        }
+    }
+
+    /// Recomputes the locality counters from an edge iterator (used after
+    /// a refinement pass moved vertices).
+    pub fn rebuild_edge_stats(&mut self, edges: impl Iterator<Item = (VertexId, VertexId)>) {
+        self.intra_edges = 0;
+        self.cut_edges = 0;
+        for (u, v) in edges {
+            self.on_edge_added(u, v);
+        }
+    }
+
+    /// Fraction of edges with both endpoints in one shard (1.0 when there
+    /// are no edges, matching [`Partition::edge_locality`]).
+    pub fn edge_locality(&self) -> f64 {
+        let m = self.intra_edges + self.cut_edges;
+        if m == 0 {
+            1.0
+        } else {
+            self.intra_edges as f64 / m as f64
+        }
+    }
+
+    /// Cut edges seen by the incremental counters.
+    #[inline]
+    pub fn cut_edges(&self) -> usize {
+        self.cut_edges
+    }
+
+    /// `max_j max_p w^{(j)}(V_p) / (w^{(j)}(V)/k) − 1`, the metric the
+    /// ε-guarantee is stated in. O(k·d).
+    pub fn max_imbalance(&self, weights: &VertexWeights) -> f64 {
+        let mut worst: f64 = 0.0;
+        for j in 0..self.dims {
+            let avg = weights.total(j) / self.k as f64;
+            if avg <= 0.0 {
+                continue;
+            }
+            for p in 0..self.k {
+                worst = worst.max(self.loads[p * self.dims + j] / avg - 1.0);
+            }
+        }
+        worst
+    }
+
+    /// Per-dimension normalized headroom `(cap_j − load_pj) / cap_j` of the
+    /// least-loaded part — how close the stream is to violating ε
+    /// (drift telemetry; negative means some part is over budget).
+    pub fn min_headroom(&self, weights: &VertexWeights, epsilon: f64) -> f64 {
+        let mut min_head = f64::INFINITY;
+        for j in 0..self.dims {
+            let cap = (1.0 + epsilon) * weights.total(j) / self.k as f64;
+            if cap <= 0.0 {
+                continue;
+            }
+            for p in 0..self.k {
+                min_head = min_head.min((cap - self.loads[p * self.dims + j]) / cap);
+            }
+        }
+        min_head
+    }
+
+    /// Snapshot as a [`Partition`] (O(n); used at refinement boundaries).
+    pub fn to_partition(&self) -> Partition {
+        Partition::new(self.parts.clone(), self.k)
+    }
+
+    /// Recomputes loads from scratch (float-drift hygiene after long runs).
+    pub fn rebuild_loads(&mut self, weights: &VertexWeights) {
+        assert_eq!(weights.num_vertices(), self.parts.len());
+        self.loads.iter_mut().for_each(|l| *l = 0.0);
+        for (v, &p) in self.parts.iter().enumerate() {
+            for j in 0..self.dims {
+                self.loads[p as usize * self.dims + j] += weights.weight(j, v as VertexId);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mdbgp_graph::builder::graph_from_edges;
+
+    fn store() -> (PartitionStore, VertexWeights) {
+        let g = graph_from_edges(4, &[(0, 1), (2, 3), (1, 2)]);
+        let w = VertexWeights::vertex_edge(&g);
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let mut s = PartitionStore::new(&p, &w);
+        s.rebuild_edge_stats(g.edges());
+        (s, w)
+    }
+
+    #[test]
+    fn lookups_and_loads() {
+        let (s, _) = store();
+        assert_eq!(s.shard_of(0), 0);
+        assert_eq!(s.shard_of(3), 1);
+        assert_eq!(s.load(0, 0), 2.0);
+        assert_eq!(s.load(1, 0), 2.0);
+        assert_eq!(s.edge_locality(), 2.0 / 3.0);
+        assert_eq!(s.cut_edges(), 1);
+    }
+
+    #[test]
+    fn push_and_move_update_loads() {
+        let (mut s, mut w) = store();
+        w.push_vertex(&[1.0, 1.0]);
+        s.push_assignment(1, &[1.0, 1.0]);
+        assert_eq!(s.shard_of(4), 1);
+        assert_eq!(s.load(1, 0), 3.0);
+        s.move_vertex(4, 0, &[1.0, 1.0]);
+        assert_eq!(s.load(0, 0), 3.0);
+        assert_eq!(s.load(1, 0), 2.0);
+        s.move_vertex(4, 0, &[1.0, 1.0]); // no-op
+        assert_eq!(s.load(0, 0), 3.0);
+    }
+
+    #[test]
+    fn imbalance_and_headroom() {
+        let (mut s, w) = store();
+        assert_eq!(s.max_imbalance(&w), 0.0);
+        // Overload part 0: unit dimension hits 3/2 (imbalance 0.5), degree
+        // dimension hits 5/3 (imbalance 2/3, the max).
+        s.move_vertex(2, 0, &[1.0, 2.0]);
+        assert!(
+            (s.max_imbalance(&w) - 2.0 / 3.0).abs() < 1e-12,
+            "{}",
+            s.max_imbalance(&w)
+        );
+        assert!(
+            s.min_headroom(&w, 0.05) < 0.0,
+            "part over cap must go negative"
+        );
+    }
+
+    #[test]
+    fn weight_drift_accounted() {
+        let (mut s, mut w) = store();
+        let old = w.weight(1, 0);
+        w.set_weight(1, 0, old + 4.0);
+        s.apply_weight_change(0, 1, old, old + 4.0);
+        assert_eq!(s.load(0, 1), 3.0 + 4.0);
+    }
+
+    #[test]
+    fn partition_snapshot_round_trips() {
+        let (s, _) = store();
+        let p = s.to_partition();
+        assert_eq!(p.as_slice(), s.as_slice());
+        assert_eq!(p.num_parts(), 2);
+    }
+}

@@ -33,7 +33,9 @@ fn main() {
     // d = 3: vertices, edges, and the custom load column.
     let weights = VertexWeights::from_vectors(vec![
         vec![1.0; n],
-        (0..n).map(|v| graph.degree(v as u32).max(1) as f64).collect(),
+        (0..n)
+            .map(|v| graph.degree(v as u32).max(1) as f64)
+            .collect(),
         load,
     ]);
 
@@ -47,7 +49,10 @@ fn main() {
         let name = ["vertices", "edges", "request load"][j];
         println!("  {name:>12}: imbalance {:.2}%  (ε = 5%)", imb * 100.0);
     }
-    assert!(q.max_imbalance <= 0.05 + 1e-6, "all three dimensions within ε");
+    assert!(
+        q.max_imbalance <= 0.05 + 1e-6,
+        "all three dimensions within ε"
+    );
 
     // Show per-part loads to make the balance tangible.
     let loads = partition.loads(&weights);

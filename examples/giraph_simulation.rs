@@ -21,9 +21,15 @@ fn main() {
     let gd = GdPartitioner::new(GdConfig::with_epsilon(0.03));
 
     let policies = [
-        ("hash", HashPartitioner.partition(graph, &unit, WORKERS, 5).unwrap()),
+        (
+            "hash",
+            HashPartitioner.partition(graph, &unit, WORKERS, 5).unwrap(),
+        ),
         ("vertex GD", gd.partition(graph, &unit, WORKERS, 5).unwrap()),
-        ("vertex-edge GD", gd.partition(graph, &both, WORKERS, 5).unwrap()),
+        (
+            "vertex-edge GD",
+            gd.partition(graph, &both, WORKERS, 5).unwrap(),
+        ),
     ];
 
     println!("PageRank (30 iterations) on {WORKERS} simulated workers:\n");

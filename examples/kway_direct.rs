@@ -36,11 +36,14 @@ fn main() {
     let recursive = GdPartitioner::new(gd_cfg.clone());
     let direct = KWayGdPartitioner::new(gd_cfg);
 
-    for (name, partitioner) in
-        [("recursive bisection", &recursive as &dyn Partitioner), ("direct k-way", &direct)]
-    {
+    for (name, partitioner) in [
+        ("recursive bisection", &recursive as &dyn Partitioner),
+        ("direct k-way", &direct),
+    ] {
         let start = std::time::Instant::now();
-        let p = partitioner.partition(graph, &weights, 3, 11).expect("partition");
+        let p = partitioner
+            .partition(graph, &weights, 3, 11)
+            .expect("partition");
         let elapsed = start.elapsed();
         let q = p.quality(graph, &weights);
         println!(

@@ -28,14 +28,21 @@ fn main() {
             WeightKind::pagerank_default(),
         ],
     );
-    println!("balancing d = {} dimensions over {} vertices\n", weights.dims(), graph.num_vertices());
+    println!(
+        "balancing d = {} dimensions over {} vertices\n",
+        weights.dims(),
+        graph.num_vertices()
+    );
 
     let gd = GdPartitioner::new(GdConfig::with_epsilon(0.03));
     let metis = MetisPartitioner::default();
 
     for (name, partition) in [
         ("GD", gd.partition(graph, &weights, 2, 3).expect("gd")),
-        ("METIS", metis.partition(graph, &weights, 2, 3).expect("metis")),
+        (
+            "METIS",
+            metis.partition(graph, &weights, 2, 3).expect("metis"),
+        ),
     ] {
         let q = partition.quality(graph, &weights);
         println!("{name:>6}: locality {:.2}%", q.edge_locality * 100.0);

@@ -17,7 +17,9 @@ fn main() {
 
     // Two balance dimensions: unit weights and skewed "degree" weights.
     let w1 = vec![1.0; N];
-    let w2: Vec<f64> = (0..N).map(|_| 1.0 + rng.gen_range(0.0..30.0f64).powf(1.5)).collect();
+    let w2: Vec<f64> = (0..N)
+        .map(|_| 1.0 + rng.gen_range(0.0..30.0f64).powf(1.5))
+        .collect();
     let region = FeasibleRegion::symmetric(vec![w1, w2], 0.01);
 
     // A far-out point, like a large gradient step.
@@ -37,7 +39,12 @@ fn main() {
         let start = Instant::now();
         let x = project(method, &y, &region);
         let ms = start.elapsed().as_secs_f64() * 1e3;
-        let dist = x.iter().zip(&y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>().sqrt();
+        let dist = x
+            .iter()
+            .zip(&y)
+            .map(|(a, b)| (a - b) * (a - b))
+            .sum::<f64>()
+            .sqrt();
         println!(
             "{:>22} {:>12.4} {:>16.2e} {:>10.2}",
             format!("{method:?}"),

@@ -34,7 +34,9 @@ fn main() {
     println!("GD:   {q}");
 
     // 4. Baseline: Giraph's default hash partitioning.
-    let hash = HashPartitioner.partition(graph, &weights, 8, 7).expect("hash partition");
+    let hash = HashPartitioner
+        .partition(graph, &weights, 8, 7)
+        .expect("hash partition");
     let hq = hash.quality(graph, &weights);
     println!("Hash: {hq}");
 

@@ -16,7 +16,12 @@
 //!   multi-constraint partitioner ([`mdbgp_baselines`]),
 //! * [`bsp`] — a Giraph-like vertex-centric BSP simulator with a worker
 //!   cost model, used to evaluate the impact of partitioning on distributed
-//!   graph processing ([`mdbgp_bsp`]).
+//!   graph processing ([`mdbgp_bsp`]),
+//! * [`stream`] — online streaming ingestion and incremental partition
+//!   maintenance: a delta-buffered [`mdbgp_stream::DynamicGraph`],
+//!   multi-dimensional greedy placement of arriving vertices, drift
+//!   telemetry, and warm-started GD refinement that absorbs update batches
+//!   without a from-scratch solve ([`mdbgp_stream`]).
 //!
 //! ## Quickstart
 //!
@@ -44,6 +49,7 @@ pub use mdbgp_baselines as baselines;
 pub use mdbgp_bsp as bsp;
 pub use mdbgp_core as core;
 pub use mdbgp_graph as graph;
+pub use mdbgp_stream as stream;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -55,9 +61,12 @@ pub mod prelude {
         apps::{ConnectedComponents, HypergraphClustering, MutualFriends, PageRank},
         BspEngine, CostModel, JobStats,
     };
-    pub use mdbgp_core::{GdConfig, GdPartitioner, KWayGdPartitioner, ProjectionMethod, StepSchedule};
+    pub use mdbgp_core::{
+        GdConfig, GdPartitioner, KWayGdPartitioner, ProjectionMethod, StepSchedule,
+    };
     pub use mdbgp_graph::gen::{community_graph, CommunityGraph, CommunityGraphConfig};
     pub use mdbgp_graph::{
         Graph, GraphBuilder, Partition, PartitionQuality, VertexWeights, WeightKind,
     };
+    pub use mdbgp_stream::{StreamConfig, StreamingPartitioner, UpdateBatch};
 }

@@ -6,7 +6,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn proxy(n: usize, seed: u64) -> CommunityGraph {
-    community_graph(&CommunityGraphConfig::social(n), &mut StdRng::seed_from_u64(seed))
+    community_graph(
+        &CommunityGraphConfig::social(n),
+        &mut StdRng::seed_from_u64(seed),
+    )
 }
 
 #[test]
@@ -17,7 +20,9 @@ fn gd_beats_hash_and_respects_balance_end_to_end() {
 
     for k in [2usize, 4, 8] {
         let p = gd.partition(&cg.graph, &weights, k, 11).expect("gd");
-        let h = HashPartitioner.partition(&cg.graph, &weights, k, 11).expect("hash");
+        let h = HashPartitioner
+            .partition(&cg.graph, &weights, k, 11)
+            .expect("hash");
         let pq = p.quality(&cg.graph, &weights);
         let hq = h.quality(&cg.graph, &weights);
         assert!(
@@ -26,7 +31,11 @@ fn gd_beats_hash_and_respects_balance_end_to_end() {
             pq.edge_locality,
             hq.edge_locality
         );
-        assert!(pq.max_imbalance <= 0.04, "k={k}: imbalance {}", pq.max_imbalance);
+        assert!(
+            pq.max_imbalance <= 0.04,
+            "k={k}: imbalance {}",
+            pq.max_imbalance
+        );
     }
 }
 
@@ -34,7 +43,10 @@ fn gd_beats_hash_and_respects_balance_end_to_end() {
 fn every_partitioner_produces_a_valid_partition() {
     let cg = proxy(1500, 2);
     let weights = VertexWeights::vertex_edge(&cg.graph);
-    let gd = GdPartitioner::new(GdConfig { iterations: 40, ..GdConfig::with_epsilon(0.05) });
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 40,
+        ..GdConfig::with_epsilon(0.05)
+    });
     let spinner = SpinnerPartitioner::default();
     let blp = BlpPartitioner::default();
     let shp = ShpPartitioner::default();
@@ -51,7 +63,11 @@ fn every_partitioner_produces_a_valid_partition() {
             assert_eq!(p.num_parts(), k, "{}", algo.name());
             assert_eq!(p.sizes().iter().sum::<usize>(), 1500, "{}", algo.name());
             let loc = p.edge_locality(&cg.graph);
-            assert!((0.0..=1.0).contains(&loc), "{}: locality {loc}", algo.name());
+            assert!(
+                (0.0..=1.0).contains(&loc),
+                "{}: locality {loc}",
+                algo.name()
+            );
         }
     }
 }
@@ -60,9 +76,14 @@ fn every_partitioner_produces_a_valid_partition() {
 fn partition_feeds_bsp_simulator() {
     let cg = proxy(2000, 3);
     let weights = VertexWeights::vertex_edge(&cg.graph);
-    let gd = GdPartitioner::new(GdConfig { iterations: 40, ..GdConfig::with_epsilon(0.05) });
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 40,
+        ..GdConfig::with_epsilon(0.05)
+    });
     let p = gd.partition(&cg.graph, &weights, 4, 7).expect("gd");
-    let h = HashPartitioner.partition(&cg.graph, &weights, 4, 7).expect("hash");
+    let h = HashPartitioner
+        .partition(&cg.graph, &weights, 4, 7)
+        .expect("hash");
 
     let pr = PageRank::default();
     let engine_gd = BspEngine::new(&cg.graph, &p, CostModel::default());
@@ -72,7 +93,10 @@ fn partition_feeds_bsp_simulator() {
 
     // The computation result must be partition-independent.
     for (a, b) in gd_ranks.iter().zip(&h_ranks) {
-        assert!((a - b).abs() < 1e-12, "PageRank must not depend on placement");
+        assert!(
+            (a - b).abs() < 1e-12,
+            "PageRank must not depend on placement"
+        );
     }
     // ... but the communication must reflect the locality difference.
     assert!(
@@ -87,11 +111,17 @@ fn partition_feeds_bsp_simulator() {
 fn all_four_apps_run_on_a_gd_partition() {
     let cg = proxy(1200, 4);
     let weights = VertexWeights::vertex_edge(&cg.graph);
-    let gd = GdPartitioner::new(GdConfig { iterations: 30, ..GdConfig::with_epsilon(0.05) });
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 30,
+        ..GdConfig::with_epsilon(0.05)
+    });
     let p = gd.partition(&cg.graph, &weights, 4, 9).expect("gd");
     let engine = BspEngine::new(&cg.graph, &p, CostModel::default());
 
-    let (pr_stats, _) = engine.run(&PageRank { damping: 0.85, iterations: 10 });
+    let (pr_stats, _) = engine.run(&PageRank {
+        damping: 0.85,
+        iterations: 10,
+    });
     assert_eq!(pr_stats.num_supersteps(), 11);
 
     let (cc_stats, labels) = engine.run(&ConnectedComponents::default());
@@ -101,7 +131,10 @@ fn all_four_apps_run_on_a_gd_partition() {
 
     let (mf_stats, counts) = engine.run(&MutualFriends);
     assert_eq!(mf_stats.num_supersteps(), 2);
-    assert!(counts.iter().any(|&c| c > 0), "community graphs have triangles");
+    assert!(
+        counts.iter().any(|&c| c > 0),
+        "community graphs have triangles"
+    );
 
     let (hc_stats, hc_labels) = engine.run(&HypergraphClustering::default());
     assert!(hc_stats.num_supersteps() >= 2);
@@ -121,7 +154,10 @@ fn weight_kinds_compose_for_high_dimensional_balance() {
             WeightKind::pagerank_default(),
         ],
     );
-    let gd = GdPartitioner::new(GdConfig { iterations: 60, ..GdConfig::with_epsilon(0.08) });
+    let gd = GdPartitioner::new(GdConfig {
+        iterations: 60,
+        ..GdConfig::with_epsilon(0.08)
+    });
     let p = gd.partition(&cg.graph, &weights, 2, 13).expect("gd d=4");
     assert!(
         p.max_imbalance(&weights) <= 0.09,

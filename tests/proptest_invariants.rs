@@ -13,10 +13,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-fn region_strategy(
-    n: usize,
-    d: usize,
-) -> impl Strategy<Value = (Vec<f64>, FeasibleRegion)> {
+fn region_strategy(n: usize, d: usize) -> impl Strategy<Value = (Vec<f64>, FeasibleRegion)> {
     (
         proptest::collection::vec(-3.0..3.0f64, n),
         proptest::collection::vec(proptest::collection::vec(0.3..4.0f64, n), d),

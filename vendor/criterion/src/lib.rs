@@ -1,0 +1,386 @@
+//! Minimal, dependency-free stand-in for the `criterion` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the subset of the criterion 0.5 API its benches use: benchmark
+//! groups, `bench_function` / `bench_with_input`, [`BenchmarkId`],
+//! [`Throughput`], `sample_size`, and the `criterion_group!` /
+//! `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples whose per-sample iteration count is
+//! auto-calibrated to a target sample duration. Median / min / max of the
+//! per-iteration time are reported, plus throughput when configured. There
+//! is no statistics engine, no HTML report and no baseline comparison —
+//! numbers print to stdout.
+
+pub use std::hint::black_box;
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Throughput annotation for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// Identifier `function_name/parameter` used by parameterized benchmarks.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Hint for how expensive `iter_batched` setup inputs are (accepted for
+/// API parity; the measurement strategy does not change).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    /// Iterations the measured closure must run this sample.
+    iters: u64,
+    /// Total elapsed time of the sample, filled by `iter`.
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `self.iters` times.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Settings {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Settings {
+    fn default() -> Self {
+        Self {
+            sample_size: 10,
+            measurement_time: Duration::from_millis(1500),
+            warm_up_time: Duration::from_millis(300),
+            filter: None,
+        }
+    }
+}
+
+/// Top-level benchmark driver (a far smaller cousin of upstream's).
+#[derive(Default)]
+pub struct Criterion {
+    settings: Settings,
+}
+
+impl Criterion {
+    /// Applies harness command-line arguments (`--bench` is ignored; any
+    /// free argument becomes a substring filter, as with upstream).
+    pub fn configure_from_args(mut self) -> Self {
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--bench" | "--test" => {}
+                "--sample-size" => {
+                    if let Some(v) = args.next() {
+                        if let Ok(n) = v.parse() {
+                            self.settings.sample_size = n;
+                        }
+                    }
+                }
+                s if s.starts_with("--") => {
+                    // Unknown harness flags (e.g. --verbose) are ignored;
+                    // skip a value if one follows.
+                    if args.peek().is_some_and(|v| !v.starts_with("--")) {
+                        args.next();
+                    }
+                }
+                other => self.settings.filter = Some(other.to_string()),
+            }
+        }
+        self
+    }
+
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            settings: self.settings.clone(),
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, f: F) {
+        let id = id.into();
+        let settings = self.settings.clone();
+        run_benchmark(&id.id, &settings, None, f);
+    }
+}
+
+/// Group of benchmarks sharing throughput/sample settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    settings: Settings,
+    throughput: Option<Throughput>,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.settings.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.measurement_time = d;
+        self
+    }
+
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.settings.warm_up_time = d;
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id.id);
+        run_benchmark(&full, &self.settings, self.throughput, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    full_id: &str,
+    settings: &Settings,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    if let Some(filter) = &settings.filter {
+        if !full_id.contains(filter.as_str()) {
+            return;
+        }
+    }
+
+    // Warm-up + calibration: run single iterations until the warm-up budget
+    // is spent, tracking the mean to size the measured samples.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 0;
+    let mut bencher = Bencher {
+        iters: 1,
+        elapsed: Duration::ZERO,
+    };
+    while warm_start.elapsed() < settings.warm_up_time || warm_iters == 0 {
+        f(&mut bencher);
+        warm_iters += 1;
+        // Don't spin for minutes on very slow benchmarks.
+        if warm_iters >= 3 && warm_start.elapsed() > settings.warm_up_time * 4 {
+            break;
+        }
+    }
+    let mean_estimate = warm_start.elapsed() / warm_iters.max(1) as u32;
+
+    let samples = settings.sample_size.max(2);
+    let per_sample_budget = settings.measurement_time / samples as u32;
+    let iters_per_sample = if mean_estimate.is_zero() {
+        1000
+    } else {
+        (per_sample_budget.as_nanos() / mean_estimate.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+    };
+
+    let mut per_iter: Vec<f64> = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher {
+            iters: iters_per_sample,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        per_iter.push(b.elapsed.as_secs_f64() / iters_per_sample as f64);
+    }
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = per_iter[per_iter.len() / 2];
+    let lo = per_iter[0];
+    let hi = per_iter[per_iter.len() - 1];
+
+    let mut line = format!(
+        "{full_id:<50} time: [{} {} {}]",
+        format_time(lo),
+        format_time(median),
+        format_time(hi)
+    );
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            line.push_str(&format!("  thrpt: {:.3} Melem/s", n as f64 / median / 1e6));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            line.push_str(&format!(
+                "  thrpt: {:.3} MiB/s",
+                n as f64 / median / (1 << 20) as f64
+            ));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn format_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.4} ns", secs * 1e9)
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Entry point running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_elapsed() {
+        let mut b = Bencher {
+            iters: 100,
+            elapsed: Duration::ZERO,
+        };
+        let mut acc = 0u64;
+        b.iter(|| acc = acc.wrapping_add(black_box(1)));
+        assert!(b.elapsed > Duration::ZERO || acc == 100);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("matvec", 8).id, "matvec/8");
+        assert_eq!(BenchmarkId::from_parameter("k2").id, "k2");
+    }
+
+    #[test]
+    fn format_time_scales() {
+        assert!(format_time(2.0).ends_with(" s"));
+        assert!(format_time(2e-3).ends_with(" ms"));
+        assert!(format_time(2e-6).ends_with(" µs"));
+        assert!(format_time(2e-9).ends_with(" ns"));
+    }
+}

@@ -1,0 +1,124 @@
+//! Minimal, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates-registry access, so the workspace
+//! vendors the subset of proptest it uses: the [`proptest!`] macro, range /
+//! tuple / [`Just`] / [`collection::vec`] / [`prop_oneof!`] strategies,
+//! `prop_map`, and the `prop_assert*` family.
+//!
+//! Semantics differ from upstream in one deliberate way: **there is no
+//! shrinking**. A failing case panics immediately and prints the generated
+//! inputs; reproduce it by re-running the test (case seeds are derived
+//! deterministically from the test name, so failures are stable across
+//! runs).
+
+pub mod collection;
+pub mod runner;
+pub mod strategy;
+
+/// Boolean strategies (upstream `proptest::bool`).
+pub mod bool {
+    use crate::runner::TestRunner;
+    use crate::strategy::Strategy;
+    use rand::Rng;
+
+    /// Uniform `true` / `false`.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Any;
+
+    /// Upstream-compatible name: `proptest::bool::ANY`.
+    pub const ANY: Any = Any;
+
+    impl Strategy for Any {
+        type Value = bool;
+        fn generate(&self, runner: &mut TestRunner) -> bool {
+            runner.rng().gen()
+        }
+    }
+}
+
+pub use runner::{ProptestConfig, TestRunner};
+pub use strategy::{Just, Strategy};
+
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::runner::{ProptestConfig, TestRunner};
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+}
+
+/// Defines property tests. Supports the upstream surface used in this
+/// workspace: an optional `#![proptest_config(..)]` header and test
+/// functions whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    (@with_config ($cfg:expr)) => {};
+    (@with_config ($cfg:expr)
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            $crate::runner::run_cases(&config, stringify!($name), |__rt| {
+                $(
+                    let __generated =
+                        $crate::strategy::Strategy::generate(&($strat), __rt);
+                    __rt.record(stringify!($arg), &__generated);
+                    let $arg = __generated;
+                )+
+                $body
+                true
+            });
+        }
+        $crate::proptest!(@with_config ($cfg) $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` that reports the generated inputs on failure (via the runner).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// `assert_eq!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($l:expr, $r:expr $(,)?) => { assert_eq!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_eq!($l, $r, $($fmt)+) };
+}
+
+/// `assert_ne!` variant of [`prop_assert!`].
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($l:expr, $r:expr $(,)?) => { assert_ne!($l, $r) };
+    ($l:expr, $r:expr, $($fmt:tt)+) => { assert_ne!($l, $r, $($fmt)+) };
+}
+
+/// Rejects the current case (it is regenerated and not counted).
+/// Only valid inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return false;
+        }
+    };
+}
+
+/// Uniform choice between strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![$($crate::strategy::boxed($strat)),+])
+    };
+}

@@ -1,0 +1,159 @@
+//! Case loop: deterministic seeds, rejection accounting, failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Subset of upstream `ProptestConfig` honoured by this stand-in.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of accepted cases each test runs.
+    pub cases: u32,
+    /// Upper bound on `prop_assume!` rejections across the whole test.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Per-case context handed to strategies: the RNG plus a transcript of the
+/// generated inputs, printed if the case fails.
+pub struct TestRunner {
+    rng: StdRng,
+    transcript: String,
+}
+
+impl TestRunner {
+    fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+            transcript: String::new(),
+        }
+    }
+
+    /// The RNG strategies draw from.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.rng
+    }
+
+    /// Records a generated input for failure reporting.
+    pub fn record<T: std::fmt::Debug>(&mut self, name: &str, value: &T) {
+        self.transcript.push_str(&format!("  {name} = {value:?}\n"));
+    }
+}
+
+/// Stable per-test seed base so failures reproduce across runs.
+fn seed_base(test_name: &str) -> u64 {
+    // FNV-1a over the test name.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Runs `case` until `config.cases` cases are accepted. A `false` return
+/// marks the case rejected (`prop_assume!`); a panic fails the test after
+/// printing the generated inputs.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRunner) -> bool,
+) {
+    let base = seed_base(test_name);
+    let mut accepted: u32 = 0;
+    let mut rejected: u32 = 0;
+    let mut attempt: u64 = 0;
+    while accepted < config.cases {
+        let seed = base.wrapping_add(attempt.wrapping_mul(0x9E3779B97F4A7C15));
+        attempt += 1;
+        let mut runner = TestRunner::new(seed);
+        match catch_unwind(AssertUnwindSafe(|| case(&mut runner))) {
+            Ok(true) => accepted += 1,
+            Ok(false) => {
+                rejected += 1;
+                if rejected > config.max_global_rejects {
+                    panic!(
+                        "{test_name}: too many prop_assume! rejections \
+                         ({rejected} > {})",
+                        config.max_global_rejects
+                    );
+                }
+            }
+            Err(payload) => {
+                eprintln!(
+                    "proptest: `{test_name}` failed at case {accepted} \
+                     (seed {seed:#x}) with inputs:\n{}",
+                    runner.transcript
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn runs_requested_number_of_cases() {
+        let mut count = 0;
+        run_cases(&ProptestConfig::with_cases(10), "counter", |_rt| {
+            count += 1;
+            true
+        });
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn rejections_do_not_count_as_cases() {
+        let mut accepted = 0;
+        let mut calls = 0;
+        run_cases(&ProptestConfig::with_cases(5), "rejector", |rt| {
+            calls += 1;
+            if rt.rng().next_parity() {
+                return false;
+            }
+            accepted += 1;
+            true
+        });
+        assert_eq!(accepted, 5);
+        assert!(calls >= 5);
+    }
+
+    trait Parity {
+        fn next_parity(&mut self) -> bool;
+    }
+    impl Parity for rand::rngs::StdRng {
+        fn next_parity(&mut self) -> bool {
+            use rand::RngCore;
+            self.next_u64() & 1 == 0
+        }
+    }
+
+    #[test]
+    fn strategies_are_deterministic_per_seed() {
+        let strat = (0u32..100, 0.0..1.0f64);
+        let mut a = TestRunner::new(7);
+        let mut b = TestRunner::new(7);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}
