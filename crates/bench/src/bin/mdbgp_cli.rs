@@ -253,6 +253,10 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let eps: f64 = args.num("eps", 0.05)?;
     let seed: u64 = args.num("seed", 42)?;
     let batches: usize = args.num("batches", 10)?;
+    let threads: usize = args.num("threads", 1)?;
+    if threads == 0 {
+        return Err("--threads must be positive".into());
+    }
     let bootstrap_fraction: f64 = args.num("bootstrap-fraction", 0.8)?;
     if !(0.0 < bootstrap_fraction && bootstrap_fraction < 1.0) {
         return Err(format!(
@@ -266,7 +270,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let prefix: Vec<u32> = (0..n0 as u32).collect();
     let boot = InducedSubgraph::extract(&graph, &prefix);
     let weights = VertexWeights::vertex_edge(&boot.graph);
-    let mut cfg = StreamConfig::new(k, eps);
+    let mut cfg = StreamConfig::new(k, eps).with_threads(threads);
     cfg.gd = GdConfig {
         iterations: 60,
         ..GdConfig::with_epsilon(eps)
@@ -354,7 +358,7 @@ const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--fl
             --k K [--eps E] [--dims unit,degree,ndsum,pagerank]
             [--seed S] [--output PARTS] [--format text|metis|binary]
   evaluate  --input FILE --partition PARTS [--dims ...]
-  stream    --input FILE --k K [--eps E] [--batches B]
+  stream    --input FILE --k K [--eps E] [--batches B] [--threads T]
             [--bootstrap-fraction F] [--seed S] [--output PARTS]
             [--format text|metis|binary]";
 

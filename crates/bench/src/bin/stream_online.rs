@@ -5,8 +5,10 @@
 //! Scenario: a community graph bootstrapped at `--n` vertices receives
 //! `--batches` update batches, each bringing `--arrivals` new vertices
 //! (with their backward edges), `--extra-edges` fresh edges between
-//! existing vertices, and activity drift on `--drift` vertices. After each
-//! batch both maintenance strategies must produce an ε-balanced partition:
+//! existing vertices, and correlated activity drift on `--drift` vertices
+//! of one shard (a hot-shard spike, so the refinement machinery actually
+//! runs). After each batch both maintenance strategies must produce an
+//! ε-balanced partition:
 //!
 //! * **incremental** — `StreamingPartitioner::ingest` (greedy placement +
 //!   drift-triggered warm-started refinement),
@@ -15,7 +17,15 @@
 //! The run fails (non-zero exit) if the incremental path ever violates ε.
 //! The headline number is the cumulative speedup; the acceptance bar for
 //! this subsystem is ≥ 5×.
+//!
+//! CI hooks: `--threads T` sizes the worker pool of the incremental path,
+//! `--json-out FILE` dumps the per-batch wall-clock / cut / imbalance
+//! record, and `--check-against BASELINE` gates the run against a
+//! committed record (`BENCH_stream.json`), failing on ε violations or on a
+//! machine-normalized wall-clock regression beyond `--max-regress`
+//! (default 0.30) — see [`mdbgp_bench::perfgate`].
 
+use mdbgp_bench::perfgate::{check_parallel_speedup, check_regression, BatchPerf, PerfRecord};
 use mdbgp_bench::policies::timed;
 use mdbgp_bench::table::Table;
 use mdbgp_core::{GdConfig, GdPartitioner};
@@ -36,6 +46,12 @@ struct Args {
     k: usize,
     eps: f64,
     seed: u64,
+    threads: usize,
+    json_out: Option<String>,
+    check_against: Option<String>,
+    max_regress: f64,
+    expect_speedup_over: Option<String>,
+    min_par_speedup: f64,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -63,12 +79,35 @@ fn parse_args() -> Result<Args, String> {
         batches: num("batches", 10)?,
         arrivals: num("arrivals", 500)?,
         extra_edges: num("extra-edges", 500)?,
-        drift: num("drift", 300)?,
+        // Drift is concentrated on one shard (see the batch assembly), so
+        // 150 updates/batch already trigger refinement on roughly half the
+        // batches — enough to exercise the path without drowning the
+        // placement numbers.
+        drift: num("drift", 150)?,
         k: num("k", 8)?,
         eps: map.get("eps").map_or(Ok(0.05), |v| {
             v.parse().map_err(|_| format!("--eps: cannot parse '{v}'"))
         })?,
         seed: num("seed", 42)? as u64,
+        threads: match num("threads", 1)? {
+            0 => return Err("--threads must be positive".into()),
+            t => t,
+        },
+        json_out: map.get("json-out").cloned(),
+        check_against: map.get("check-against").cloned(),
+        max_regress: map.get("max-regress").map_or(Ok(0.30), |v| {
+            v.parse()
+                .map_err(|_| format!("--max-regress: cannot parse '{v}'"))
+        })?,
+        expect_speedup_over: map.get("expect-speedup-over").cloned(),
+        // Conservative default: the CI runners have few cores and the
+        // refinement rounds bound the useful parallelism, so the bar
+        // catches a serialized parallel path without flaking on a busy
+        // runner. Reproduce the full speedup locally on a many-core box.
+        min_par_speedup: map.get("min-par-speedup").map_or(Ok(1.2), |v| {
+            v.parse()
+                .map_err(|_| format!("--min-par-speedup: cannot parse '{v}'"))
+        })?,
     })
 }
 
@@ -78,15 +117,18 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
-                 [--extra-edges E] [--drift D] [--k K] [--eps EPS] [--seed S]"
+                 [--extra-edges E] [--drift D] [--k K] [--eps EPS] [--seed S] \
+                 [--threads T] [--json-out FILE] [--check-against BASELINE] \
+                 [--max-regress FRAC] [--expect-speedup-over FILE] \
+                 [--min-par-speedup X]"
             );
             return ExitCode::FAILURE;
         }
     };
     let total_n = args.n + args.batches * args.arrivals;
     println!(
-        "stream_online: n={} (+{} arrivals/batch x {} batches), k={}, eps={}",
-        args.n, args.arrivals, args.batches, args.k, args.eps
+        "stream_online: n={} (+{} arrivals/batch x {} batches), k={}, eps={}, threads={}",
+        args.n, args.arrivals, args.batches, args.k, args.eps, args.threads
     );
 
     // Full history graph; the prefix is the bootstrap snapshot.
@@ -97,9 +139,14 @@ fn main() -> ExitCode {
     let boot = InducedSubgraph::extract(&full, &prefix);
     let boot_weights = VertexWeights::vertex_edge(&boot.graph);
 
-    let mut cfg = StreamConfig::new(args.k, args.eps);
+    let mut cfg = StreamConfig::new(args.k, args.eps).with_threads(args.threads);
     cfg.gd = GdConfig {
         iterations: 60,
+        // The scratch reference must use the same thread count as the
+        // incremental path, or the normalized wall-clock gate compares a
+        // parallel numerator against a serial denominator and goes soft
+        // exactly on the multi-threaded CI leg.
+        threads: args.threads,
         ..GdConfig::with_epsilon(args.eps)
     };
     cfg.seed = args.seed;
@@ -130,6 +177,7 @@ fn main() -> ExitCode {
     let mut scratch_total = Duration::ZERO;
     let mut eps_ok = true;
     let mut arrived = args.n as u32;
+    let mut batch_perf: Vec<BatchPerf> = Vec::with_capacity(args.batches);
 
     for batch_no in 1..=args.batches {
         // Assemble the batch: arrivals with backward edges, extra edges,
@@ -151,9 +199,22 @@ fn main() -> ExitCode {
             let v = rng.gen_range(0..arrived);
             batch.add_edge(u, v);
         }
-        for _ in 0..args.drift {
-            let v = rng.gen_range(0..arrived);
-            batch.set_weight(v, 0, rng.gen_range(1.0..3.0));
+        // Correlated activity spike: drift concentrates on shard 0 so
+        // balance actually erodes and the refinement path (heap rebalance
+        // + parallel pairwise GD) is exercised — uniform drift cancels out
+        // in expectation and never crosses the trigger band, gating
+        // nothing. Members are collected up front: rejection sampling
+        // would hang, not fail, should the shard ever end up empty.
+        if args.drift > 0 {
+            let shard0: Vec<u32> = (0..arrived).filter(|&v| sp.shard_of(v) == 0).collect();
+            if shard0.is_empty() {
+                eprintln!("FAIL: shard 0 is empty; cannot apply the drift spike");
+                return ExitCode::FAILURE;
+            }
+            for _ in 0..args.drift {
+                let v = shard0[rng.gen_range(0..shard0.len())];
+                batch.set_weight(v, 0, rng.gen_range(1.5..3.0));
+            }
         }
         arrived = end;
 
@@ -174,6 +235,15 @@ fn main() -> ExitCode {
                 .expect("scratch partition failed")
         });
         scratch_total += scratch_time;
+
+        batch_perf.push(BatchPerf {
+            batch: batch_no,
+            inc_ms: inc_time.as_secs_f64() * 1e3,
+            scratch_ms: scratch_time.as_secs_f64() * 1e3,
+            cut_edges: sp.store().cut_edges(),
+            imbalance: report.max_imbalance,
+            locality: report.edge_locality,
+        });
 
         table.row([
             format!("{batch_no}"),
@@ -209,6 +279,24 @@ fn main() -> ExitCode {
         t.refine_moves
     );
 
+    let record = PerfRecord {
+        threads: args.threads,
+        inc_total_ms: inc_total.as_secs_f64() * 1e3,
+        scratch_total_ms: scratch_total.as_secs_f64() * 1e3,
+        speedup,
+        eps_ok,
+        final_locality: sp.store().edge_locality(),
+        final_imbalance: sp.max_imbalance(),
+        batches: batch_perf,
+    };
+    if let Some(path) = &args.json_out {
+        if let Err(e) = std::fs::write(path, record.to_json()) {
+            eprintln!("FAIL: cannot write --json-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote perf record -> {path}");
+    }
+
     if !eps_ok {
         eprintln!("FAIL: incremental path violated ε");
         return ExitCode::FAILURE;
@@ -217,6 +305,60 @@ fn main() -> ExitCode {
         eprintln!("FAIL: speedup {speedup:.1}x below the 5x acceptance bar");
         return ExitCode::FAILURE;
     }
+
+    // Perf gate: compare against the committed baseline record.
+    if let Some(path) = &args.check_against {
+        let baseline = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| PerfRecord::from_json(&text))
+        {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("FAIL: cannot load baseline {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_regression(&record, &baseline, args.max_regress) {
+            Ok(()) => println!(
+                "perf gate: normalized wall-clock {:.4} vs baseline {:.4} — within {:.0}%",
+                record.normalized_wallclock(),
+                baseline.normalized_wallclock(),
+                args.max_regress * 100.0
+            ),
+            Err(reasons) => {
+                eprintln!("FAIL: perf gate: {reasons}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    // Parallel-scaling check: same-machine comparison against a serial
+    // run's record from the same CI job.
+    if let Some(path) = &args.expect_speedup_over {
+        let serial = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| PerfRecord::from_json(&text))
+        {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("FAIL: cannot load serial record {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match check_parallel_speedup(&record, &serial, args.min_par_speedup) {
+            Ok(()) => println!(
+                "parallel scaling: {:.2}x over the threads={} run (bar {:.2}x)",
+                serial.inc_total_ms / record.inc_total_ms.max(1e-9),
+                serial.threads,
+                args.min_par_speedup
+            ),
+            Err(reason) => {
+                eprintln!("FAIL: parallel scaling: {reason}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
     println!("PASS: ε held after every batch, speedup {speedup:.1}x >= 5x");
     ExitCode::SUCCESS
 }

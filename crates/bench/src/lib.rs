@@ -10,10 +10,14 @@
 //! * [`policies`] — the partitioning policies compared throughout §4
 //!   (hash / vertex / edge / vertex-edge and the baseline algorithms),
 //! * [`table`] — plain-text tables and bar charts that mimic the paper's
-//!   figures in a terminal.
+//!   figures in a terminal,
+//! * [`perfgate`] — the CI perf-regression gate: flat-JSON perf records
+//!   emitted by `stream_online --json-out` and the machine-independent
+//!   comparison against the committed `BENCH_stream.json` baseline.
 
 pub mod curves;
 pub mod datasets;
+pub mod perfgate;
 pub mod policies;
 pub mod table;
 

@@ -1,0 +1,389 @@
+//! Perf-regression gate for the `stream_online` acceptance bench.
+//!
+//! CI compares every run against a committed baseline
+//! (`BENCH_stream.json` at the workspace root). Raw wall-clock is useless
+//! across heterogeneous runners, so the gated metric is the run's
+//! **normalized wall-clock**: incremental maintenance time divided by the
+//! from-scratch GD time *measured in the same process on the same
+//! machine* (the reciprocal of the bench's headline speedup). A >30%
+//! regression of that ratio — the incremental path getting slower relative
+//! to the hardware's own scratch solve — fails the gate, as does any ε
+//! violation or a collapse in edge locality (quality regressions are not
+//! an acceptable way to buy speed).
+//!
+//! The JSON schema is deliberately flat (string/number/bool scalars plus
+//! one per-batch array of number-maps) so this crate can read it back with
+//! the tiny parser below instead of a vendored serde.
+
+use std::fmt::Write as _;
+
+/// Per-batch measurements emitted by `stream_online --json-out`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BatchPerf {
+    pub batch: usize,
+    /// Incremental ingest wall-clock for this batch, milliseconds.
+    pub inc_ms: f64,
+    /// From-scratch GD wall-clock for the same post-batch graph, ms.
+    pub scratch_ms: f64,
+    /// Cut edges of the incremental partition after the batch.
+    pub cut_edges: usize,
+    /// Post-batch max imbalance of the incremental partition.
+    pub imbalance: f64,
+    /// Post-batch edge locality of the incremental partition.
+    pub locality: f64,
+}
+
+/// One `stream_online` run: the summary the gate compares plus the
+/// per-batch breakdown for forensics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PerfRecord {
+    /// Worker threads the run used.
+    pub threads: usize,
+    /// Total incremental wall-clock across batches, ms.
+    pub inc_total_ms: f64,
+    /// Total from-scratch wall-clock across batches, ms.
+    pub scratch_total_ms: f64,
+    /// Headline speedup `scratch_total_ms / inc_total_ms`.
+    pub speedup: f64,
+    /// Whether every batch ended within ε.
+    pub eps_ok: bool,
+    /// Edge locality after the final batch.
+    pub final_locality: f64,
+    /// Max imbalance after the final batch.
+    pub final_imbalance: f64,
+    pub batches: Vec<BatchPerf>,
+}
+
+impl PerfRecord {
+    /// Normalized wall-clock: incremental time per unit of scratch time on
+    /// the same machine (lower is better; `1 / speedup`).
+    pub fn normalized_wallclock(&self) -> f64 {
+        self.inc_total_ms / self.scratch_total_ms.max(1e-9)
+    }
+
+    /// Serializes to the flat JSON schema (stable key order, 2-space
+    /// indent) so baselines diff cleanly in review.
+    pub fn to_json(&self) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"inc_total_ms\": {:.3},", self.inc_total_ms);
+        let _ = writeln!(s, "  \"scratch_total_ms\": {:.3},", self.scratch_total_ms);
+        let _ = writeln!(s, "  \"speedup\": {:.3},", self.speedup);
+        let _ = writeln!(s, "  \"eps_ok\": {},", self.eps_ok);
+        let _ = writeln!(s, "  \"final_locality\": {:.4},", self.final_locality);
+        let _ = writeln!(s, "  \"final_imbalance\": {:.6},", self.final_imbalance);
+        s.push_str("  \"batches\": [\n");
+        for (i, b) in self.batches.iter().enumerate() {
+            let _ = write!(
+                s,
+                "    {{\"batch\": {}, \"inc_ms\": {:.3}, \"scratch_ms\": {:.3}, \
+                 \"cut_edges\": {}, \"imbalance\": {:.6}, \"locality\": {:.4}}}",
+                b.batch, b.inc_ms, b.scratch_ms, b.cut_edges, b.imbalance, b.locality
+            );
+            s.push_str(if i + 1 < self.batches.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Parses the schema written by [`Self::to_json`]. Tolerates
+    /// whitespace/key-order changes but not nested objects beyond the
+    /// `batches` array.
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let scalars = |src: &str| -> Vec<(String, String)> {
+            // Split `"key": value` pairs at the top nesting level of `src`.
+            let mut out = Vec::new();
+            let mut depth = 0i32;
+            let mut token = String::new();
+            for c in src.chars() {
+                match c {
+                    '{' | '[' => {
+                        depth += 1;
+                        if depth > 1 {
+                            token.push(c);
+                        }
+                    }
+                    '}' | ']' => {
+                        depth -= 1;
+                        if depth >= 1 {
+                            token.push(c);
+                        }
+                    }
+                    ',' if depth == 1 => {
+                        out.push(std::mem::take(&mut token));
+                        token.clear();
+                    }
+                    _ if depth >= 1 => token.push(c),
+                    _ => {}
+                }
+            }
+            if !token.trim().is_empty() {
+                out.push(token);
+            }
+            out.into_iter()
+                .filter_map(|pair| {
+                    let (k, v) = pair.split_once(':')?;
+                    Some((k.trim().trim_matches('"').to_string(), v.trim().to_string()))
+                })
+                .collect()
+        };
+
+        let fields = scalars(text);
+        let get = |key: &str| -> Result<&str, String> {
+            fields
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v.as_str())
+                .ok_or_else(|| format!("baseline is missing \"{key}\""))
+        };
+        let num = |key: &str| -> Result<f64, String> {
+            get(key)?
+                .parse()
+                .map_err(|_| format!("\"{key}\" is not a number: {}", get(key).unwrap()))
+        };
+
+        let batches_src = get("batches")?;
+        let mut batches = Vec::new();
+        // Each batch object is flat: re-use the scalar splitter per object.
+        for obj in batches_src.split('{').skip(1) {
+            let obj = obj.split('}').next().unwrap_or("");
+            let entries: Vec<(String, String)> = obj
+                .split(',')
+                .filter_map(|pair| {
+                    let (k, v) = pair.split_once(':')?;
+                    Some((k.trim().trim_matches('"').to_string(), v.trim().to_string()))
+                })
+                .collect();
+            let bnum = |key: &str| -> Result<f64, String> {
+                entries
+                    .iter()
+                    .find(|(k, _)| k == key)
+                    .ok_or_else(|| format!("batch entry missing \"{key}\""))?
+                    .1
+                    .parse()
+                    .map_err(|_| format!("batch \"{key}\" is not a number"))
+            };
+            batches.push(BatchPerf {
+                batch: bnum("batch")? as usize,
+                inc_ms: bnum("inc_ms")?,
+                scratch_ms: bnum("scratch_ms")?,
+                cut_edges: bnum("cut_edges")? as usize,
+                imbalance: bnum("imbalance")?,
+                locality: bnum("locality")?,
+            });
+        }
+
+        Ok(Self {
+            threads: num("threads")? as usize,
+            inc_total_ms: num("inc_total_ms")?,
+            scratch_total_ms: num("scratch_total_ms")?,
+            speedup: num("speedup")?,
+            eps_ok: get("eps_ok")? == "true",
+            final_locality: num("final_locality")?,
+            final_imbalance: num("final_imbalance")?,
+            batches,
+        })
+    }
+}
+
+/// Gate verdict: `Err` carries the human-readable failure reasons.
+///
+/// * ε violated in the current run → fail (regardless of the baseline);
+/// * normalized wall-clock (`1/speedup`) regressed more than
+///   `max_regression` (e.g. `0.30`) relative to the baseline → fail;
+/// * final edge locality dropped more than 10 points below baseline →
+///   fail (don't let the gate reward trading quality for speed).
+pub fn check_regression(
+    current: &PerfRecord,
+    baseline: &PerfRecord,
+    max_regression: f64,
+) -> Result<(), String> {
+    let mut reasons = Vec::new();
+    if current.threads != baseline.threads {
+        // Scratch GD and the incremental path scale differently, so a
+        // cross-thread-count comparison is apples-to-oranges: it silently
+        // loosens the gate on one leg and can spuriously fail the other.
+        reasons.push(format!(
+            "thread-count mismatch: run used {} threads, baseline {} — gate each thread \
+             count against a baseline recorded at that thread count",
+            current.threads, baseline.threads
+        ));
+    }
+    if !current.eps_ok {
+        reasons.push("current run violated the ε guarantee".to_string());
+    }
+    let (cur, base) = (
+        current.normalized_wallclock(),
+        baseline.normalized_wallclock(),
+    );
+    if cur > base * (1.0 + max_regression) {
+        reasons.push(format!(
+            "normalized wall-clock regressed {:.0}% (limit {:.0}%): \
+             {:.4} vs baseline {:.4} (speedup {:.1}x vs {:.1}x)",
+            (cur / base - 1.0) * 100.0,
+            max_regression * 100.0,
+            cur,
+            base,
+            current.speedup,
+            baseline.speedup,
+        ));
+    }
+    if current.final_locality < baseline.final_locality - 0.10 {
+        reasons.push(format!(
+            "final locality collapsed: {:.1}% vs baseline {:.1}%",
+            current.final_locality * 100.0,
+            baseline.final_locality * 100.0
+        ));
+    }
+    if reasons.is_empty() {
+        Ok(())
+    } else {
+        Err(reasons.join("; "))
+    }
+}
+
+/// Same-machine parallel-scaling check: the multi-threaded run's
+/// incremental wall-clock must beat the serial run's by at least
+/// `min_speedup` (e.g. `1.2`). Both records come from the same CI job, so
+/// raw wall-clock *is* comparable here. This is what catches a silently
+/// serialized `par_map` / round scheduler — the baseline gate alone
+/// cannot, because it never compares thread counts.
+pub fn check_parallel_speedup(
+    parallel: &PerfRecord,
+    serial: &PerfRecord,
+    min_speedup: f64,
+) -> Result<(), String> {
+    if parallel.threads <= serial.threads {
+        return Err(format!(
+            "parallel record uses {} threads, serial record {} — nothing to compare",
+            parallel.threads, serial.threads
+        ));
+    }
+    let achieved = serial.inc_total_ms / parallel.inc_total_ms.max(1e-9);
+    if achieved < min_speedup {
+        return Err(format!(
+            "threads={} incremental path is only {achieved:.2}x the threads={} run \
+             (need >= {min_speedup:.2}x): {:.1}ms vs {:.1}ms",
+            parallel.threads, serial.threads, parallel.inc_total_ms, serial.inc_total_ms
+        ));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(inc: f64, scratch: f64, eps_ok: bool, locality: f64) -> PerfRecord {
+        PerfRecord {
+            threads: 1,
+            inc_total_ms: inc,
+            scratch_total_ms: scratch,
+            speedup: scratch / inc,
+            eps_ok,
+            final_locality: locality,
+            final_imbalance: 0.048,
+            batches: vec![BatchPerf {
+                batch: 1,
+                inc_ms: inc,
+                scratch_ms: scratch,
+                cut_edges: 1234,
+                imbalance: 0.048,
+                locality,
+            }],
+        }
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.threads, 1);
+        assert!((parsed.speedup - 60.0).abs() < 1e-3);
+        assert!(parsed.eps_ok);
+        assert_eq!(parsed.batches.len(), 1);
+        assert_eq!(parsed.batches[0].cut_edges, 1234);
+        assert!((parsed.batches[0].inc_ms - 12.5).abs() < 1e-9);
+        assert!((parsed.final_locality - 0.61).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parser_rejects_missing_and_malformed_fields() {
+        assert!(PerfRecord::from_json("{}").is_err());
+        assert!(PerfRecord::from_json("{\"threads\": 1}").is_err());
+        let corrupted = record(10.0, 600.0, true, 0.6)
+            .to_json()
+            .replace("\"threads\": 1", "\"threads\": \"x\"");
+        let err = PerfRecord::from_json(&corrupted).unwrap_err();
+        assert!(err.contains("threads"), "{err}");
+    }
+
+    #[test]
+    fn gate_passes_equal_and_better_runs() {
+        let base = record(10.0, 600.0, true, 0.60);
+        assert!(check_regression(&base, &base, 0.30).is_ok());
+        // 2x faster incremental path: obviously fine.
+        let faster = record(5.0, 600.0, true, 0.60);
+        assert!(check_regression(&faster, &base, 0.30).is_ok());
+        // 25% slower: inside the 30% budget.
+        let slower = record(12.5, 600.0, true, 0.60);
+        assert!(check_regression(&slower, &base, 0.30).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_regressions() {
+        let base = record(10.0, 600.0, true, 0.60);
+        // 50% slower normalized wall-clock.
+        let slow = record(15.0, 600.0, true, 0.60);
+        let err = check_regression(&slow, &base, 0.30).unwrap_err();
+        assert!(err.contains("normalized wall-clock"), "{err}");
+        // ε violation fails even when fast.
+        let broken = record(1.0, 600.0, false, 0.60);
+        assert!(check_regression(&broken, &base, 0.30)
+            .unwrap_err()
+            .contains("ε"));
+        // Quality collapse fails even when fast.
+        let hollow = record(1.0, 600.0, true, 0.40);
+        assert!(check_regression(&hollow, &base, 0.30)
+            .unwrap_err()
+            .contains("locality"));
+    }
+
+    #[test]
+    fn gate_rejects_thread_count_mismatch() {
+        let base = record(10.0, 600.0, true, 0.60);
+        let mut four = record(5.0, 600.0, true, 0.60);
+        four.threads = 4;
+        let err = check_regression(&four, &base, 0.30).unwrap_err();
+        assert!(err.contains("thread-count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn parallel_speedup_check() {
+        let serial = record(100.0, 600.0, true, 0.60);
+        let mut par = record(60.0, 600.0, true, 0.60);
+        par.threads = 4;
+        assert!(check_parallel_speedup(&par, &serial, 1.2).is_ok());
+        // 1.05x is below the 1.2x bar.
+        par.inc_total_ms = 95.0;
+        let err = check_parallel_speedup(&par, &serial, 1.2).unwrap_err();
+        assert!(err.contains("only 1.05x"), "{err}");
+        // Equal thread counts are a misuse, not a pass.
+        let same = record(1.0, 600.0, true, 0.60);
+        assert!(check_parallel_speedup(&same, &serial, 1.2).is_err());
+    }
+
+    #[test]
+    fn machine_speed_cancels_out() {
+        // A 3x slower machine scales both inc and scratch: the gate must
+        // not fire.
+        let base = record(10.0, 600.0, true, 0.60);
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+    }
+}

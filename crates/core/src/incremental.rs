@@ -205,6 +205,34 @@ impl GdPartitioner {
         pairs.truncate(max_pairs);
         pairs.into_iter().map(|(pq, _)| pq).collect()
     }
+
+    /// Greedily schedules `pairs` into rounds of **part-disjoint** pairs —
+    /// a maximal matching per round, preserving the input priority order.
+    /// Pairs inside one round touch disjoint part sets, so their
+    /// [`Self::refine_pair`] calls read disjoint vertex sets and can run
+    /// concurrently against one partition snapshot; rounds are barriers at
+    /// which the accepted moves are applied. Every input pair appears in
+    /// exactly one round.
+    pub fn plan_disjoint_rounds(pairs: &[(u32, u32)]) -> Vec<Vec<(u32, u32)>> {
+        type Round = (Vec<(u32, u32)>, std::collections::HashSet<u32>);
+        let mut rounds: Vec<Round> = Vec::new();
+        for &(p, q) in pairs {
+            let slot = rounds
+                .iter_mut()
+                .find(|(_, used)| !used.contains(&p) && !used.contains(&q));
+            match slot {
+                Some((round, used)) => {
+                    round.push((p, q));
+                    used.insert(p);
+                    used.insert(q);
+                }
+                None => {
+                    rounds.push((vec![(p, q)], [p, q].into_iter().collect()));
+                }
+            }
+        }
+        rounds.into_iter().map(|(round, _)| round).collect()
+    }
 }
 
 /// Cut edges of a ±1 assignment (both endpoints inside the pair subgraph).
@@ -343,6 +371,25 @@ mod tests {
         assert!(gd
             .refine_pair(&g, &w, &part, (0, 1), &[false; 19], 0)
             .is_err());
+    }
+
+    #[test]
+    fn disjoint_rounds_form_a_maximal_matching_in_order() {
+        // (0,1) and (2,3) are disjoint -> round 0; (1,2) conflicts with
+        // both -> round 1; (4,5) still fits round 0.
+        let pairs = [(0, 1), (2, 3), (1, 2), (4, 5)];
+        let rounds = GdPartitioner::plan_disjoint_rounds(&pairs);
+        assert_eq!(rounds, vec![vec![(0, 1), (2, 3), (4, 5)], vec![(1, 2)]]);
+        // Every round is internally part-disjoint and all pairs survive.
+        let total: usize = rounds.iter().map(Vec::len).sum();
+        assert_eq!(total, pairs.len());
+        for round in &rounds {
+            let mut seen = std::collections::HashSet::new();
+            for &(p, q) in round {
+                assert!(seen.insert(p) && seen.insert(q), "part reused in round");
+            }
+        }
+        assert!(GdPartitioner::plan_disjoint_rounds(&[]).is_empty());
     }
 
     #[test]

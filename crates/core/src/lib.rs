@@ -34,6 +34,7 @@ pub mod incremental;
 pub mod kway;
 pub mod matvec;
 pub mod noise;
+pub mod parallel;
 pub mod projection;
 pub mod recursive;
 pub mod rounding;

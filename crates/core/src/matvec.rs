@@ -26,8 +26,10 @@ pub fn matvec(graph: &Graph, x: &[f64], out: &mut [f64]) {
 }
 
 /// Multi-threaded `out = A x` with `threads` workers over contiguous row
-/// blocks. Falls back to the sequential kernel for `threads <= 1` or tiny
-/// graphs where spawn overhead dominates.
+/// blocks of roughly equal *edge* count (so a few hubs don't serialize the
+/// pass — see [`crate::parallel::prefix_boundaries`]). Falls back to the
+/// sequential kernel for `threads <= 1` or tiny graphs where spawn
+/// overhead dominates.
 pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize) {
     let n = graph.num_vertices();
     assert_eq!(x.len(), n);
@@ -37,42 +39,14 @@ pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize
     }
     let offsets = graph.raw_offsets();
     let targets = graph.raw_targets();
-    // Split rows into chunks of roughly equal *edge* count so a few hubs
-    // don't serialize the whole mat-vec.
-    let total_half_edges = targets.len();
-    let per_thread = (total_half_edges / threads).max(1);
-    let mut boundaries = Vec::with_capacity(threads + 1);
-    boundaries.push(0usize);
-    let mut next_quota = per_thread;
-    for v in 0..n {
-        if offsets[v + 1] >= next_quota && boundaries.len() < threads {
-            boundaries.push(v + 1);
-            next_quota = offsets[v + 1] + per_thread;
-        }
-    }
-    boundaries.push(n);
-
-    // Hand each thread a disjoint &mut chunk of `out`.
-    let mut chunks: Vec<&mut [f64]> = Vec::with_capacity(boundaries.len() - 1);
-    let mut rest = out;
-    for w in boundaries.windows(2) {
-        let (head, tail) = rest.split_at_mut(w[1] - w[0]);
-        chunks.push(head);
-        rest = tail;
-    }
-
-    std::thread::scope(|scope| {
-        for (i, chunk) in chunks.into_iter().enumerate() {
-            let (start, end) = (boundaries[i], boundaries[i + 1]);
-            scope.spawn(move || {
-                for v in start..end {
-                    let mut acc = 0.0;
-                    for &u in &targets[offsets[v]..offsets[v + 1]] {
-                        acc += x[u as usize];
-                    }
-                    chunk[v - start] = acc;
-                }
-            });
+    let boundaries = crate::parallel::prefix_boundaries(offsets, threads);
+    crate::parallel::for_each_chunk_mut(out, &boundaries, |range, chunk| {
+        for (v, slot) in range.zip(chunk.iter_mut()) {
+            let mut acc = 0.0;
+            for &u in &targets[offsets[v]..offsets[v + 1]] {
+                acc += x[u as usize];
+            }
+            *slot = acc;
         }
     });
 }

@@ -21,7 +21,7 @@ use crate::delta::{StreamUpdate, UpdateBatch};
 use crate::dynamic::DynamicGraph;
 use crate::placement::LdgPlacer;
 use crate::store::PartitionStore;
-use mdbgp_core::{GdConfig, GdPartitioner};
+use mdbgp_core::{parallel, GdConfig, GdPartitioner};
 use mdbgp_graph::{Graph, Partition, PartitionError, Partitioner, VertexId, VertexWeights};
 use std::time::Instant;
 
@@ -50,6 +50,12 @@ pub struct StreamConfig {
     pub max_rebalance_moves: usize,
     /// Seed for bootstrap and refinement (incremented per refinement).
     pub seed: u64,
+    /// Worker threads for the parallel paths (1 = fully serial): the
+    /// bootstrap/refinement GD mat-vec, the pairwise refinement rounds
+    /// (part-disjoint pairs run concurrently), and the LDG placement
+    /// scoring sweep for large `k`. Overrides [`GdConfig::threads`] on the
+    /// embedded GD configuration.
+    pub threads: usize,
 }
 
 impl StreamConfig {
@@ -67,12 +73,22 @@ impl StreamConfig {
             drift_headroom: 0.9,
             max_rebalance_moves: 256,
             seed: 42,
+            threads: 1,
         }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     fn validate(&self) -> Result<(), PartitionError> {
         if self.k == 0 {
             return Err(PartitionError::Config("k must be positive".into()));
+        }
+        if self.threads == 0 {
+            return Err(PartitionError::Config("threads must be positive".into()));
         }
         if !(self.epsilon > 0.0 && self.epsilon < 1.0) {
             return Err(PartitionError::Config(format!(
@@ -99,6 +115,10 @@ pub struct StreamTelemetry {
     pub compactions: usize,
     pub refinements: usize,
     pub rebalance_moves: usize,
+    /// Rebalance moves whose candidate came from a full membership rescan
+    /// because every heap candidate overshot (rare; the common path pops
+    /// O(log n) candidates off the per-part heaps).
+    pub rebalance_full_scans: usize,
     pub refine_moves: usize,
     /// Wall-clock seconds of the most recent refinement pass.
     pub last_refine_secs: f64,
@@ -145,6 +165,7 @@ impl StreamingPartitioner {
         cfg.validate()?;
         let mut gd_cfg = cfg.gd.clone();
         gd_cfg.epsilon = cfg.epsilon;
+        gd_cfg.threads = cfg.threads;
         let partition = GdPartitioner::new(gd_cfg).partition(&graph, &weights, cfg.k, cfg.seed)?;
         Self::from_partition(graph, weights, &partition, cfg)
     }
@@ -261,16 +282,29 @@ impl StreamingPartitioner {
                     n += 1;
                 }
                 StreamUpdate::AddEdge { u, v } => {
-                    if *u as u64 >= n || *v as u64 >= n {
-                        return Err(PartitionError::Config(format!(
-                            "update {i}: edge ({u}, {v}) references unknown vertices (n = {n})"
-                        )));
+                    // Name the offending endpoint, not just the pair — in a
+                    // 10k-update batch that's the difference between a
+                    // one-line fix upstream and a bisection session.
+                    for endpoint in [u, v] {
+                        if *endpoint as u64 >= n {
+                            return Err(PartitionError::Config(format!(
+                                "update {i}: edge ({u}, {v}): endpoint {endpoint} is not a \
+                                 known vertex (stream has {n} so far)"
+                            )));
+                        }
                     }
                 }
                 StreamUpdate::SetWeight { v, dim, value } => {
-                    if *v as u64 >= n || *dim >= dims {
+                    if *v as u64 >= n {
                         return Err(PartitionError::Config(format!(
-                            "update {i}: weight update ({v}, dim {dim}) out of range"
+                            "update {i}: weight update targets unknown vertex {v} (stream has \
+                             {n} so far)"
+                        )));
+                    }
+                    if *dim >= dims {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: weight update on vertex {v} names dimension {dim}, \
+                             stream has {dims} dimensions"
                         )));
                     }
                     if !positive(*value) {
@@ -292,7 +326,7 @@ impl StreamingPartitioner {
         let mut vertices_added = 0usize;
         let mut edges_added = 0usize;
         let mut weight_updates = 0usize;
-        let placer = LdgPlacer::new(self.cfg.epsilon);
+        let placer = LdgPlacer::new(self.cfg.epsilon).with_threads(self.cfg.threads);
         let mut neighbor_counts = vec![0usize; self.cfg.k];
 
         for update in &batch.updates {
@@ -377,7 +411,7 @@ impl StreamingPartitioner {
         let started = Instant::now();
         self.graph.compact();
 
-        let rebalance_moves = self.greedy_rebalance();
+        let mut rebalance_moves = self.greedy_rebalance(self.cfg.max_rebalance_moves);
 
         // Active set: dirty vertices (including any the rebalance just
         // moved) plus their 1-hop halo — the GD pass may move exactly
@@ -394,6 +428,13 @@ impl StreamingPartitioner {
 
         // Warm-started pairwise GD around the churn. The graph was just
         // compacted, so the immutable `csr()` view is the full graph.
+        //
+        // Pairs are scheduled into rounds of part-disjoint pairs
+        // ([`GdPartitioner::plan_disjoint_rounds`]): within a round no part
+        // is touched twice, so each `refine_pair` reads a disjoint vertex
+        // set of the shared partition snapshot and the round runs
+        // concurrently on the configured worker threads; the accepted
+        // moves are applied at the round barrier.
         let mut refine_moves = 0usize;
         if n > 0 {
             let mut partition = self.partition();
@@ -402,7 +443,6 @@ impl StreamingPartitioner {
             gd_cfg.epsilon = self.cfg.epsilon;
             gd_cfg.iterations = self.cfg.refine_iterations;
             gd_cfg.track_history = false;
-            let gd = GdPartitioner::new(gd_cfg);
 
             let pairs = GdPartitioner::rank_pairs_by_active_cut(
                 self.graph.csr(),
@@ -410,34 +450,87 @@ impl StreamingPartitioner {
                 &active,
                 self.cfg.max_refine_pairs,
             );
-            for pair in pairs {
-                self.refine_seed = self
-                    .refine_seed
-                    .wrapping_mul(0x9E3779B97F4A7C15)
-                    .wrapping_add(1);
-                let outcome = gd.refine_pair(
-                    self.graph.csr(),
-                    self.graph.weights(),
-                    &partition,
-                    pair,
-                    &frozen,
-                    self.refine_seed,
-                )?;
-                for &(v, part) in &outcome.moves {
-                    let row: Vec<f64> = (0..self.graph.weights().dims())
-                        .map(|j| self.graph.weights().weight(j, v))
-                        .collect();
-                    self.store.move_vertex(v, part, &row);
-                    partition.assign(v, part);
-                    refine_moves += 1;
+            for round in GdPartitioner::plan_disjoint_rounds(&pairs) {
+                // Threads left idle by a small round (common when one hot
+                // part appears in every ranked pair, making every round a
+                // singleton) drop down into the pair's own GD mat-vec —
+                // the mat-vec splits rows deterministically, so the result
+                // is still thread-count independent.
+                gd_cfg.threads = (self.cfg.threads / round.len()).max(1);
+                let gd = GdPartitioner::new(gd_cfg.clone());
+                let seeds: Vec<u64> = round
+                    .iter()
+                    .map(|_| {
+                        self.refine_seed = self
+                            .refine_seed
+                            .wrapping_mul(0x9E3779B97F4A7C15)
+                            .wrapping_add(1);
+                        self.refine_seed
+                    })
+                    .collect();
+                let graph = self.graph.csr();
+                let weights = self.graph.weights();
+                let outcomes = parallel::par_map(&round, self.cfg.threads, |i, &pair| {
+                    gd.refine_pair(graph, weights, &partition, pair, &frozen, seeds[i])
+                });
+                for outcome in outcomes {
+                    let outcome = outcome?;
+                    for &(v, part) in &outcome.moves {
+                        let row: Vec<f64> = (0..self.graph.weights().dims())
+                            .map(|j| self.graph.weights().weight(j, v))
+                            .collect();
+                        self.store.move_vertex(v, part, &row);
+                        partition.assign(v, part);
+                        refine_moves += 1;
+                    }
                 }
             }
         }
 
-        // Locality counters are cheapest to rebuild wholesale after moves.
-        self.store.rebuild_edge_stats(self.graph.csr().edges());
-
+        // This pass has consumed the churn; reset the dirty set *before*
+        // the touch-up below so vertices the touch-up moves stay marked
+        // and the next refinement's GD pass repairs their locality.
         self.dirty.iter_mut().for_each(|d| *d = false);
+
+        // The GD acceptance rule enforces only the global ε, so a pair
+        // refinement may legally land back inside the trigger band; touch
+        // up so steady state always ends below it (a no-op Φ check when
+        // the GD pass behaved — the heaps make the occasional extra move
+        // O(log n)). The touch-up spends whatever is left of the pass's
+        // move budget, keeping `max_rebalance_moves` a true per-pass cap.
+        rebalance_moves +=
+            self.greedy_rebalance(self.cfg.max_rebalance_moves.saturating_sub(rebalance_moves));
+
+        // Locality counters are cheapest to rebuild wholesale after moves;
+        // the recount folds over CSR row ranges of equal *edge* count
+        // (each undirected edge counted at its lower endpoint) so the
+        // O(m) sweep scales with the worker pool too and a hub row cannot
+        // serialize it.
+        let (intra, cut) = {
+            let csr = self.graph.csr();
+            let offsets = csr.raw_offsets();
+            let targets = csr.raw_targets();
+            let store = &self.store;
+            parallel::fold_prefix_ranges(offsets, self.cfg.threads, 16384, |range| {
+                let (mut intra, mut cut) = (0usize, 0usize);
+                for v in range {
+                    let pv = store.shard_of(v as VertexId);
+                    for &u in &targets[offsets[v]..offsets[v + 1]] {
+                        if (u as usize) > v {
+                            if store.shard_of(u) == pv {
+                                intra += 1;
+                            } else {
+                                cut += 1;
+                            }
+                        }
+                    }
+                }
+                (intra, cut)
+            })
+            .into_iter()
+            .fold((0, 0), |(a, b), (i, c)| (a + i, b + c))
+        };
+        self.store.set_edge_stats(intra, cut);
         self.batches_since_refine = 0;
         self.telemetry.refinements += 1;
         self.telemetry.rebalance_moves += rebalance_moves;
@@ -455,22 +548,34 @@ impl StreamingPartitioner {
     /// repairing only to ε would leave the imbalance inside the trigger
     /// band and re-run refinement on every subsequent batch): each step
     /// applies the single vertex move — or, when every single move is
-    /// blocked by a cross-dimension deadlock, the best sampled vertex
-    /// *swap* — that decreases Φ the most. Squared violations make the
-    /// pass handle ties at the maximum (where a strict max-decrease rule
-    /// stalls) and guarantee monotone progress; Φ = 0 restores slack below
-    /// the trigger. Locality is repaired afterwards by the pairwise GD
-    /// pass. One pass over the vertices per move (plus O(deg) locality
-    /// scoring for improving candidates). Returns the number of moved
-    /// vertices.
-    fn greedy_rebalance(&mut self) -> usize {
+    /// blocked by a cross-dimension deadlock, the best vertex *swap* —
+    /// that decreases Φ the most. Squared violations make the pass handle
+    /// ties at the maximum (where a strict max-decrease rule stalls) and
+    /// guarantee monotone progress; Φ = 0 restores slack below the
+    /// trigger. Locality is repaired afterwards by the pairwise GD pass.
+    ///
+    /// Candidates come off the [`PartitionStore`] rebalance heaps (the
+    /// Maas-style prioritized per-block move queues): the overloaded
+    /// part's binding dimension names a heap whose top entries are the
+    /// moves with the largest relief, so a move costs
+    /// O(C·k·d + d·log n) with C = [`Self::REBALANCE_CANDIDATES`] instead
+    /// of a full O(n·k·d) rescan. A full rescan survives only as a
+    /// fallback for the rare step where every heavy candidate overshoots
+    /// (counted in [`StreamTelemetry::rebalance_full_scans`]). Moves at
+    /// most `max_moves` vertices (the caller splits
+    /// [`StreamConfig::max_rebalance_moves`] across the pre-GD pass and
+    /// the post-GD touch-up so the config stays a true per-pass cap);
+    /// returns the number moved.
+    fn greedy_rebalance(&mut self, max_moves: usize) -> usize {
         let target = self.cfg.epsilon * self.cfg.drift_headroom.min(1.0);
         let k = self.cfg.k;
         let dims = self.graph.weights().dims();
         let mut moves = 0usize;
-        while moves < self.cfg.max_rebalance_moves {
-            let weights = self.graph.weights();
-            let avgs: Vec<f64> = (0..dims).map(|j| weights.total(j) / k as f64).collect();
+        while moves < max_moves {
+            let avgs: Vec<f64> = {
+                let weights = self.graph.weights();
+                (0..dims).map(|j| weights.total(j) / k as f64).collect()
+            };
             // Per-part potential contribution.
             let part_phi = |store: &PartitionStore, p: u32| -> f64 {
                 (0..dims)
@@ -486,62 +591,32 @@ impl StreamingPartitioner {
                 break; // below the trigger threshold in every dimension
             }
             // Work on the worst offender; its most violated dimension
-            // steers the swap sampling below.
+            // names the candidate heap (and steers swap pooling below).
             let src = (0..k as u32)
                 .max_by(|&a, &b| phis[a as usize].partial_cmp(&phis[b as usize]).unwrap())
                 .unwrap();
-            let dim = (0..dims)
-                .max_by(|&a, &b| {
-                    let ra = self.store.load(src, a) / avgs[a];
-                    let rb = self.store.load(src, b) / avgs[b];
-                    ra.partial_cmp(&rb).unwrap()
-                })
-                .unwrap();
+            let dim = self.binding_dimension(src, &avgs);
 
-            // Post-move Φ of the two affected parts, given the signed
-            // weight delta `dv[j]` leaving src for dst.
-            let pair_phi_after = |store: &PartitionStore, dst: u32, dv: &[f64]| -> f64 {
-                let mut phi = 0.0;
-                for j in 0..dims {
-                    let s = ((store.load(src, j) - dv[j]) / avgs[j] - 1.0 - target).max(0.0);
-                    let d = ((store.load(dst, j) + dv[j]) / avgs[j] - 1.0 - target).max(0.0);
-                    phi += s * s + d * d;
-                }
-                phi
-            };
-
-            // Best single move: minimize Φ, tie-break on locality gain.
-            // One pass over the vertices; inner loop over the k−1
-            // destinations reuses the weight row.
-            let mut dv = vec![0.0f64; dims];
-            let mut best_move: Option<(VertexId, u32, f64, i64)> = None;
-            for v in 0..self.store.num_vertices() as VertexId {
-                if self.store.shard_of(v) != src {
-                    continue;
-                }
-                for (j, slot) in dv.iter_mut().enumerate() {
-                    *slot = weights.weight(j, v);
-                }
-                for dst in (0..k as u32).filter(|&q| q != src) {
-                    let pair_before = phis[src as usize] + phis[dst as usize];
-                    let delta = pair_phi_after(&self.store, dst, &dv) - pair_before;
-                    if delta >= -1e-18 {
-                        continue;
-                    }
-                    let new_phi = phi_total + delta;
-                    let gain = self.locality_gain(v, src, dst);
-                    let better = match best_move {
-                        None => true,
-                        Some((_, _, bp, bg)) => {
-                            new_phi < bp - 1e-15 || (new_phi < bp + 1e-15 && gain > bg)
-                        }
-                    };
-                    if better {
-                        best_move = Some((v, dst, new_phi, gain));
-                    }
-                }
+            // Prioritized move queue: heaviest-in-`dim` members of `src`.
+            let candidates = self.store.top_movable(src, dim, Self::REBALANCE_CANDIDATES);
+            // Exact membership check — `len == limit` would misread a part
+            // of exactly `limit` members as truncated and rescan the same
+            // candidate set.
+            let truncated = candidates.len() < self.store.part_size(src);
+            let mut best_move =
+                self.best_single_move(&candidates, src, target, &avgs, &phis, phi_total);
+            if best_move.is_none() && truncated {
+                // Every heavy candidate overshoots; the improving move (if
+                // any) is a light vertex the heap order deprioritizes.
+                // Rescan the full membership once — rare, and counted.
+                self.telemetry.rebalance_full_scans += 1;
+                let members: Vec<VertexId> = (0..self.store.num_vertices() as VertexId)
+                    .filter(|&v| self.store.shard_of(v) == src)
+                    .collect();
+                best_move = self.best_single_move(&members, src, target, &avgs, &phis, phi_total);
             }
             if let Some((v, dst, _, _)) = best_move {
+                let weights = self.graph.weights();
                 let row: Vec<f64> = (0..dims).map(|j| weights.weight(j, v)).collect();
                 self.store.move_vertex(v, dst, &row);
                 self.dirty[v as usize] = true;
@@ -550,51 +625,24 @@ impl StreamingPartitioner {
             }
 
             // Cross-dimension deadlock (e.g. the only part with headroom in
-            // `dim` is itself pinned in another dimension): sample swaps
+            // `dim` is itself pinned in another dimension): look for swaps
             // that shed `dim` outbound and relieve the partner's own
-            // binding dimension inbound. Membership lists are collected
-            // once per move and the top candidates selected in O(p).
-            let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
-            for v in 0..self.store.num_vertices() as VertexId {
-                members[self.store.shard_of(v) as usize].push(v);
-            }
-            let mut best_swap: Option<(VertexId, VertexId, u32, f64)> = None;
-            for dst in (0..k as u32).filter(|&q| q != src) {
-                let pair_before = phis[src as usize] + phis[dst as usize];
-                let binding = (0..dims)
-                    .max_by(|&a, &b| {
-                        let ra = self.store.load(dst, a) / avgs[a];
-                        let rb = self.store.load(dst, b) / avgs[b];
-                        ra.partial_cmp(&rb).unwrap()
-                    })
-                    .unwrap();
-                let out_score = |v: VertexId| {
-                    weights.weight(dim, v) / avgs[dim] - weights.weight(binding, v) / avgs[binding]
-                };
-                let in_score = |u: VertexId| {
-                    weights.weight(binding, u) / avgs[binding] - weights.weight(dim, u) / avgs[dim]
-                };
-                let src_out = top_by(&members[src as usize], 16, out_score);
-                let dst_in = top_by(&members[dst as usize], 16, in_score);
-                for &v in &src_out {
-                    for &u in &dst_in {
-                        for (j, slot) in dv.iter_mut().enumerate() {
-                            *slot = weights.weight(j, v) - weights.weight(j, u);
-                        }
-                        let delta = pair_phi_after(&self.store, dst, &dv) - pair_before;
-                        if delta >= -1e-18 {
-                            continue;
-                        }
-                        let new_phi = phi_total + delta;
-                        if best_swap.as_ref().is_none_or(|&(_, _, _, bp)| new_phi < bp) {
-                            best_swap = Some((v, u, dst, new_phi));
-                        }
-                    }
-                }
+            // binding dimension inbound. Pools come off the heaps: the
+            // src pool is heavy in `dim`, each dst pool heavy in that
+            // part's binding dimension.
+            let (mut best_swap, pools_truncated) =
+                self.best_swap_from_pools(&candidates, src, dim, target, &avgs, &phis);
+            if best_swap.is_none() && pools_truncated {
+                // Heap pools missed members that exist; full membership
+                // fallback (rare). When the pools already covered every
+                // member, a rescan provably finds nothing new.
+                self.telemetry.rebalance_full_scans += 1;
+                best_swap = self.best_swap_full_scan(src, dim, target, &avgs, &phis);
             }
             let Some((v, u, dst, _)) = best_swap else {
                 break; // genuinely stuck — the pass is best-effort
             };
+            let weights = self.graph.weights();
             let row_v: Vec<f64> = (0..dims).map(|j| weights.weight(j, v)).collect();
             let row_u: Vec<f64> = (0..dims).map(|j| weights.weight(j, u)).collect();
             self.store.move_vertex(v, dst, &row_v);
@@ -604,6 +652,188 @@ impl StreamingPartitioner {
             moves += 2;
         }
         moves
+    }
+
+    /// Heap candidates evaluated per rebalance step before falling back to
+    /// a full rescan. Large enough that the fallback fires only on
+    /// pathological weight distributions (every heavy vertex overshoots).
+    const REBALANCE_CANDIDATES: usize = 32;
+
+    /// The dimension in which part `p` is most loaded relative to average.
+    fn binding_dimension(&self, p: u32, avgs: &[f64]) -> usize {
+        (0..avgs.len())
+            .max_by(|&a, &b| {
+                let ra = self.store.load(p, a) / avgs[a];
+                let rb = self.store.load(p, b) / avgs[b];
+                ra.partial_cmp(&rb).unwrap()
+            })
+            .unwrap()
+    }
+
+    /// Post-move Φ of the `(src, dst)` pair, given the signed weight delta
+    /// `dv[j]` leaving `src` for `dst`.
+    fn pair_phi_after(&self, src: u32, dst: u32, dv: &[f64], target: f64, avgs: &[f64]) -> f64 {
+        let mut phi = 0.0;
+        for (j, &d) in dv.iter().enumerate() {
+            let s = ((self.store.load(src, j) - d) / avgs[j] - 1.0 - target).max(0.0);
+            let t = ((self.store.load(dst, j) + d) / avgs[j] - 1.0 - target).max(0.0);
+            phi += s * s + t * t;
+        }
+        phi
+    }
+
+    /// Best Φ-decreasing single move among `candidates` (all in `src`),
+    /// ties broken on locality gain.
+    fn best_single_move(
+        &self,
+        candidates: &[VertexId],
+        src: u32,
+        target: f64,
+        avgs: &[f64],
+        phis: &[f64],
+        phi_total: f64,
+    ) -> Option<(VertexId, u32, f64, i64)> {
+        let weights = self.graph.weights();
+        let dims = avgs.len();
+        let k = self.cfg.k;
+        let mut dv = vec![0.0f64; dims];
+        let mut best: Option<(VertexId, u32, f64, i64)> = None;
+        for &v in candidates {
+            for (j, slot) in dv.iter_mut().enumerate() {
+                *slot = weights.weight(j, v);
+            }
+            for dst in (0..k as u32).filter(|&q| q != src) {
+                let pair_before = phis[src as usize] + phis[dst as usize];
+                let delta = self.pair_phi_after(src, dst, &dv, target, avgs) - pair_before;
+                if delta >= -1e-18 {
+                    continue;
+                }
+                let new_phi = phi_total + delta;
+                let gain = self.locality_gain(v, src, dst);
+                let better = match best {
+                    None => true,
+                    Some((_, _, bp, bg)) => {
+                        new_phi < bp - 1e-15 || (new_phi < bp + 1e-15 && gain > bg)
+                    }
+                };
+                if better {
+                    best = Some((v, dst, new_phi, gain));
+                }
+            }
+        }
+        best
+    }
+
+    /// Best Φ-decreasing swap with candidate pools popped off the
+    /// rebalance heaps (`src_pool` is the step's already-fetched
+    /// heavy-in-`dim` queue of `src`; each dst pool is heavy in that
+    /// part's binding dimension), re-ranked by the cross-dimension relief
+    /// scores. The second return is whether any pool left members unseen —
+    /// only then can the full-membership fallback find anything the pools
+    /// could not.
+    fn best_swap_from_pools(
+        &mut self,
+        src_pool: &[VertexId],
+        src: u32,
+        dim: usize,
+        target: f64,
+        avgs: &[f64],
+        phis: &[f64],
+    ) -> (Option<(VertexId, VertexId, u32, f64)>, bool) {
+        let k = self.cfg.k;
+        let mut truncated = src_pool.len() < self.store.part_size(src);
+        let mut best: Option<(VertexId, VertexId, u32, f64)> = None;
+        for dst in (0..k as u32).filter(|&q| q != src) {
+            let binding = self.binding_dimension(dst, avgs);
+            let dst_pool = self
+                .store
+                .top_movable(dst, binding, Self::REBALANCE_CANDIDATES);
+            truncated |= dst_pool.len() < self.store.part_size(dst);
+            self.scan_swap_pairs(
+                src, dst, dim, binding, src_pool, &dst_pool, target, avgs, phis, &mut best,
+            );
+        }
+        (best, truncated)
+    }
+
+    /// Swap fallback over the full membership lists (the pre-heap O(n)
+    /// path, kept for the rare step the pools miss).
+    fn best_swap_full_scan(
+        &self,
+        src: u32,
+        dim: usize,
+        target: f64,
+        avgs: &[f64],
+        phis: &[f64],
+    ) -> Option<(VertexId, VertexId, u32, f64)> {
+        let k = self.cfg.k;
+        let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
+        for v in 0..self.store.num_vertices() as VertexId {
+            members[self.store.shard_of(v) as usize].push(v);
+        }
+        let mut best: Option<(VertexId, VertexId, u32, f64)> = None;
+        for dst in (0..k as u32).filter(|&q| q != src) {
+            let binding = self.binding_dimension(dst, avgs);
+            self.scan_swap_pairs(
+                src,
+                dst,
+                dim,
+                binding,
+                &members[src as usize],
+                &members[dst as usize],
+                target,
+                avgs,
+                phis,
+                &mut best,
+            );
+        }
+        best
+    }
+
+    /// Evaluates the top 16×16 swap pairs of the given pools (ranked by
+    /// the cross-dimension relief scores) against Φ, updating `best`.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_swap_pairs(
+        &self,
+        src: u32,
+        dst: u32,
+        dim: usize,
+        binding: usize,
+        src_pool: &[VertexId],
+        dst_pool: &[VertexId],
+        target: f64,
+        avgs: &[f64],
+        phis: &[f64],
+        best: &mut Option<(VertexId, VertexId, u32, f64)>,
+    ) {
+        let weights = self.graph.weights();
+        let dims = avgs.len();
+        let pair_before = phis[src as usize] + phis[dst as usize];
+        let phi_rest: f64 = phis.iter().sum::<f64>() - pair_before;
+        let out_score = |v: VertexId| {
+            weights.weight(dim, v) / avgs[dim] - weights.weight(binding, v) / avgs[binding]
+        };
+        let in_score = |u: VertexId| {
+            weights.weight(binding, u) / avgs[binding] - weights.weight(dim, u) / avgs[dim]
+        };
+        let src_out = top_by(src_pool, 16, out_score);
+        let dst_in = top_by(dst_pool, 16, in_score);
+        let mut dv = vec![0.0f64; dims];
+        for &v in &src_out {
+            for &u in &dst_in {
+                for (j, slot) in dv.iter_mut().enumerate() {
+                    *slot = weights.weight(j, v) - weights.weight(j, u);
+                }
+                let delta = self.pair_phi_after(src, dst, &dv, target, avgs) - pair_before;
+                if delta >= -1e-18 {
+                    continue;
+                }
+                let new_phi = phi_rest + pair_before + delta;
+                if best.as_ref().is_none_or(|&(_, _, _, bp)| new_phi < bp) {
+                    *best = Some((v, u, dst, new_phi));
+                }
+            }
+        }
     }
 
     /// Net intra-edge change if `v` moved from `src` to `dst`.
@@ -759,6 +989,33 @@ mod tests {
         let mut nan_vertex = UpdateBatch::new();
         nan_vertex.add_vertex(vec![1.0, f64::NAN], vec![]);
         assert!(sp.ingest(&nan_vertex).is_err());
+    }
+
+    #[test]
+    fn rejection_names_the_offending_update() {
+        // All-or-nothing rejection is only operable if the error says
+        // *which* update sank the batch (and, for edges, which endpoint).
+        let (g, w) = community(100, 8);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.1)).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(0, 1); // fine
+        batch.add_edge(2, 3); // fine
+        batch.add_edge(4, 50_000); // index 2, endpoint 50000
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 2"), "missing update index: {msg}");
+        assert!(msg.contains("50000"), "missing offending endpoint: {msg}");
+
+        let mut batch = UpdateBatch::new();
+        batch.set_weight(5, 9, 1.0);
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 0"), "{msg}");
+        assert!(msg.contains("dimension 9"), "{msg}");
+
+        let mut batch = UpdateBatch::new();
+        batch.add_vertex(vec![1.0, 1.0], vec![]);
+        batch.add_vertex(vec![1.0], vec![]); // index 1, wrong arity
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 1"), "{msg}");
     }
 
     #[test]

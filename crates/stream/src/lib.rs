@@ -22,7 +22,34 @@
 //!   batch of updates is absorbed by a few cheap iterations ([`engine`]);
 //! * [`PartitionStore`] — the serving layer: O(1) vertex→shard lookups,
 //!   per-part multi-dimensional loads, live imbalance / locality telemetry
-//!   ([`store`]).
+//!   — plus the per-`(part, dimension)` **rebalance heaps** that give the
+//!   greedy rebalance its O(log n)-per-move candidate queue ([`store`]).
+//!
+//! ## Threading model
+//!
+//! [`StreamConfig::threads`] sizes one logical worker pool; `threads = 1`
+//! (the default) is fully serial. Parallelism is **scoped and
+//! deterministic** — every parallel section spawns `std::thread::scope`
+//! workers over disjoint data (no shared mutable state, no locks on the
+//! serving path) via [`mdbgp_core::parallel`], and every reduction is
+//! order-preserving, so the partition produced is bitwise identical for
+//! any thread count (property-tested in `proptest_refine_parallel`).
+//! Three sections engage the pool:
+//!
+//! 1. **GD mat-vec** — bootstrap gradient iterations split CSR rows into
+//!    equal-edge-count chunks ([`mdbgp_core::matvec::matvec_parallel`]);
+//! 2. **pairwise refinement rounds** — the ranked part pairs are scheduled
+//!    into rounds of part-disjoint pairs
+//!    (`GdPartitioner::plan_disjoint_rounds`, a maximal matching per
+//!    round), each round's `refine_pair` calls run concurrently against
+//!    one immutable partition snapshot, and the accepted moves are applied
+//!    at the round barrier;
+//! 3. **LDG placement sweep** — the per-part scoring loop folds over
+//!    disjoint part ranges (only engaged for large `k`, where it
+//!    amortizes the spawn).
+//!
+//! The serving path ([`PartitionStore::shard_of`] etc.) is untouched by
+//! all of this: reads stay plain O(1) loads with no synchronization.
 //!
 //! ## Quickstart
 //!

@@ -11,21 +11,51 @@
 //! A part with no room in *any* dimension is infeasible; if every part is
 //! infeasible (possible under adversarial drift) the least-overloaded part
 //! takes the vertex and the refinement pass repairs balance afterwards.
+//!
+//! The scoring sweep over the `k` parts is embarrassingly parallel: with
+//! [`LdgPlacer::threads`] > 1 and a part count large enough to amortize a
+//! spawn, disjoint part ranges are scored concurrently
+//! ([`mdbgp_core::parallel::fold_ranges`]) and the per-range winners
+//! reduced — bitwise identical to the serial sweep, because the reduction
+//! applies the same (score, fullness, lowest part id) ordering.
 
 use crate::store::PartitionStore;
+use mdbgp_core::parallel;
 use mdbgp_graph::VertexWeights;
+
+/// Part count below which the scoring sweep stays serial — a scoped spawn
+/// costs more than scoring a few hundred parts.
+const MIN_PARALLEL_PARTS: usize = 256;
+
+/// Per-range sweep result: the best feasible candidate
+/// `(part, score, fullness)` if any, and the least-full part
+/// `(part, fullness)` as the overflow fallback.
+type RangeScan = (Option<(u32, f64, f64)>, (u32, f64));
 
 /// Multi-dimensional LDG configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct LdgPlacer {
     /// Balance tolerance ε: per-dimension capacity is `(1+ε)·w^{(j)}(V)/k`.
     pub epsilon: f64,
+    /// Worker threads for the scoring sweep (1 = serial; only engaged for
+    /// part counts where the spawn amortizes).
+    pub threads: usize,
 }
 
 impl LdgPlacer {
     pub fn new(epsilon: f64) -> Self {
         assert!(epsilon >= 0.0);
-        Self { epsilon }
+        Self {
+            epsilon,
+            threads: 1,
+        }
+    }
+
+    /// Sets the worker-thread count (builder style).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        assert!(threads > 0);
+        self.threads = threads;
+        self
     }
 
     /// Chooses a part for a vertex with weight row `weight_row` whose
@@ -48,41 +78,68 @@ impl LdgPlacer {
             .map(|j| (1.0 + self.epsilon) * weights.total(j) / k as f64)
             .collect();
 
-        let mut best: Option<(u32, f64)> = None; // feasible: argmax score
-        let mut fallback: (u32, f64) = (0, f64::INFINITY); // argmin fullness
-        for p in 0..k as u32 {
-            // Worst capacity fraction across dimensions if v lands on p.
-            let mut fullness: f64 = 0.0;
-            for (j, &w) in weight_row.iter().enumerate() {
-                fullness = fullness.max((store.load(p, j) + w) / caps[j]);
-            }
-            if fullness < fallback.1 {
-                fallback = (p, fullness);
-            }
-            if fullness > 1.0 {
-                continue; // would break a slab
-            }
-            let score = neighbor_counts[p as usize] as f64 * (1.0 - fullness);
-            let better = match best {
-                None => true,
-                // Strictly better score, or equal score with more headroom.
-                Some((bp, bs)) => {
-                    score > bs + 1e-12
-                        || (score >= bs - 1e-12 && {
-                            let mut bf: f64 = 0.0;
-                            for (j, &w) in weight_row.iter().enumerate() {
-                                bf = bf.max((store.load(bp, j) + w) / caps[j]);
-                            }
-                            fullness < bf
-                        })
+        // fold_ranges itself stays sequential below MIN_PARALLEL_PARTS.
+        let partials = parallel::fold_ranges(k, self.threads, MIN_PARALLEL_PARTS, |range| {
+            scan_parts(range, store, &caps, neighbor_counts, weight_row)
+        });
+        // Reduce per-range winners left to right: ranges are in ascending
+        // part order, and the comparators prefer the incumbent on exact
+        // ties, so the result matches the serial sweep exactly.
+        let mut best: Option<(u32, f64, f64)> = None;
+        let mut fallback: (u32, f64) = (0, f64::INFINITY);
+        for (range_best, range_fallback) in partials {
+            if let Some((p, score, fullness)) = range_best {
+                if best.is_none_or(|(_, bs, bf)| better_candidate(score, fullness, bs, bf)) {
+                    best = Some((p, score, fullness));
                 }
-            };
-            if better {
-                best = Some((p, score));
+            }
+            if range_fallback.1 < fallback.1 {
+                fallback = range_fallback;
             }
         }
-        best.map(|(p, _)| p).unwrap_or(fallback.0)
+        best.map(|(p, _, _)| p).unwrap_or(fallback.0)
     }
+}
+
+/// Scores the parts in `range`, returning the range's best feasible
+/// candidate and its overflow fallback.
+fn scan_parts(
+    range: std::ops::Range<usize>,
+    store: &PartitionStore,
+    caps: &[f64],
+    neighbor_counts: &[usize],
+    weight_row: &[f64],
+) -> RangeScan {
+    let mut best: Option<(u32, f64, f64)> = None; // feasible: argmax score
+    let mut fallback: (u32, f64) = (range.start as u32, f64::INFINITY); // argmin fullness
+    for p in range {
+        let p = p as u32;
+        // Worst capacity fraction across dimensions if v lands on p.
+        let mut fullness: f64 = 0.0;
+        for (j, &w) in weight_row.iter().enumerate() {
+            fullness = fullness.max((store.load(p, j) + w) / caps[j]);
+        }
+        if fullness < fallback.1 {
+            fallback = (p, fullness);
+        }
+        if fullness > 1.0 {
+            continue; // would break a slab
+        }
+        let score = neighbor_counts[p as usize] as f64 * (1.0 - fullness);
+        if best.is_none_or(|(_, bs, bf)| better_candidate(score, fullness, bs, bf)) {
+            best = Some((p, score, fullness));
+        }
+    }
+    (best, fallback)
+}
+
+/// Strict total order on candidates: higher score, then more headroom,
+/// then the incumbent (= lowest part id, since parts are scanned in
+/// ascending order). Exact comparisons only — a tolerance band here is
+/// not transitive, so chunked reduction could disagree with the serial
+/// scan and the partition would depend on the thread count.
+fn better_candidate(score: f64, fullness: f64, best_score: f64, best_fullness: f64) -> bool {
+    score > best_score || (score == best_score && fullness < best_fullness)
 }
 
 #[cfg(test)]
@@ -160,5 +217,28 @@ mod tests {
         // though dim 0 has room.
         let chosen = placer.place(&store, &w, &[5, 0], &[1.0, 1.0]);
         assert_eq!(chosen, 1);
+    }
+
+    #[test]
+    fn parallel_sweep_matches_serial_at_large_k() {
+        // 512 parts with deterministic pseudo-random loads and neighbour
+        // counts: the threaded sweep must pick exactly the serial winner.
+        let k = 512;
+        let n = 4 * k;
+        let labels: Vec<u32> = (0..n).map(|v| (v % k) as u32).collect();
+        let w = VertexWeights::from_vectors(vec![(0..n)
+            .map(|v| 1.0 + (v * 2654435761 % 97) as f64 / 10.0)
+            .collect()]);
+        let store = PartitionStore::new(&Partition::new(labels, k), &w);
+        let mut w = w;
+        w.push_vertex(&[1.0]);
+        let counts: Vec<usize> = (0..k).map(|p| p * 48271 % 7).collect();
+        let serial = LdgPlacer::new(0.2).place(&store, &w, &counts, &[1.0]);
+        for threads in [2, 3, 8] {
+            let par = LdgPlacer::new(0.2)
+                .with_threads(threads)
+                .place(&store, &w, &counts, &[1.0]);
+            assert_eq!(par, serial, "threads = {threads}");
+        }
     }
 }

@@ -6,8 +6,55 @@
 //! refinement pass. The store keeps per-part per-dimension loads and
 //! incremental intra/cut edge counters so every query is O(1) or O(d·k) —
 //! nothing on the serving path ever touches the graph itself.
+//!
+//! ## Rebalance heaps
+//!
+//! The store additionally maintains one lazy max-heap per `(part,
+//! dimension)` pair, keyed by the vertex weight in that dimension — the
+//! *relief* a move out of the part offers its binding dimension. The
+//! greedy rebalance pass ([`crate::StreamingPartitioner`]) pops the top
+//! few candidates of the overloaded part's binding dimension instead of
+//! rescanning every member, making candidate generation O(log n) per move
+//! at serving scale. Entries are invalidated by a per-`(vertex, dimension)`
+//! stamp — every move or weight drift bumps the stamp and pushes a fresh
+//! entry, and stale entries are discarded when popped (with an occasional
+//! compaction when a heap outgrows its live membership 4×), so maintenance
+//! stays amortized O(d·log n) per mutation.
 
 use mdbgp_graph::{Partition, VertexId, VertexWeights};
+use std::collections::BinaryHeap;
+
+/// One candidate in a per-`(part, dimension)` rebalance heap: vertex `v`
+/// had weight `key` in that dimension at stamp `stamp`. Stale entries
+/// (stamp mismatch, or `v` no longer in the part) are skipped on pop.
+#[derive(Clone, Copy, Debug)]
+struct HeapEntry {
+    key: f64,
+    stamp: u64,
+    v: VertexId,
+}
+
+impl PartialEq for HeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+impl Eq for HeapEntry {}
+impl PartialOrd for HeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for HeapEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Weights are validated positive finite upstream; total_cmp keeps
+        // the order total regardless. Ties break on vertex id for
+        // determinism.
+        self.key
+            .total_cmp(&other.key)
+            .then_with(|| self.v.cmp(&other.v))
+    }
+}
 
 /// Vertex→shard map plus live load / locality accounting.
 #[derive(Clone, Debug)]
@@ -17,6 +64,13 @@ pub struct PartitionStore {
     dims: usize,
     /// `loads[p * dims + j] = w^{(j)}(V_p)`.
     loads: Vec<f64>,
+    /// Vertices currently assigned to each part (drives heap compaction).
+    part_sizes: Vec<usize>,
+    /// `stamps[v * dims + j]`: version of the live heap entry of `(v, j)`.
+    stamps: Vec<u64>,
+    /// `heaps[p * dims + j]`: max-heap of part `p`'s members keyed by
+    /// weight in dimension `j` (plus stale entries awaiting lazy removal).
+    heaps: Vec<BinaryHeap<HeapEntry>>,
     intra_edges: usize,
     cut_edges: usize,
 }
@@ -28,11 +82,21 @@ impl PartitionStore {
         assert_eq!(partition.num_vertices(), weights.num_vertices());
         let k = partition.num_parts();
         let dims = weights.dims();
+        let n = partition.num_vertices();
         let mut loads = vec![0.0f64; k * dims];
-        for v in 0..partition.num_vertices() {
+        let mut part_sizes = vec![0usize; k];
+        let mut heaps = vec![BinaryHeap::new(); k * dims];
+        for v in 0..n {
             let p = partition.part_of(v as VertexId) as usize;
+            part_sizes[p] += 1;
             for j in 0..dims {
-                loads[p * dims + j] += weights.weight(j, v as VertexId);
+                let w = weights.weight(j, v as VertexId);
+                loads[p * dims + j] += w;
+                heaps[p * dims + j].push(HeapEntry {
+                    key: w,
+                    stamp: 0,
+                    v: v as VertexId,
+                });
             }
         }
         Self {
@@ -40,6 +104,9 @@ impl PartitionStore {
             k,
             dims,
             loads,
+            part_sizes,
+            stamps: vec![0; n * dims],
+            heaps,
             intra_edges: 0,
             cut_edges: 0,
         }
@@ -75,13 +142,27 @@ impl PartitionStore {
         self.loads[p as usize * self.dims + j]
     }
 
+    /// Number of vertices currently assigned to part `p`.
+    #[inline]
+    pub fn part_size(&self, p: u32) -> usize {
+        self.part_sizes[p as usize]
+    }
+
     /// Appends a newly placed vertex.
     pub fn push_assignment(&mut self, part: u32, weight_row: &[f64]) {
         debug_assert!((part as usize) < self.k);
         debug_assert_eq!(weight_row.len(), self.dims);
+        let v = self.parts.len() as VertexId;
         self.parts.push(part);
+        self.part_sizes[part as usize] += 1;
         for (j, &w) in weight_row.iter().enumerate() {
             self.loads[part as usize * self.dims + j] += w;
+            self.stamps.push(0);
+            self.heaps[part as usize * self.dims + j].push(HeapEntry {
+                key: w,
+                stamp: 0,
+                v,
+            });
         }
     }
 
@@ -92,17 +173,96 @@ impl PartitionStore {
         if old == part as usize {
             return;
         }
+        self.part_sizes[old] -= 1;
+        self.part_sizes[part as usize] += 1;
         for (j, &w) in weight_row.iter().enumerate() {
             self.loads[old * self.dims + j] -= w;
             self.loads[part as usize * self.dims + j] += w;
+            let stamp = self.bump_stamp(v, j);
+            self.push_entry(part, j, HeapEntry { key: w, stamp, v });
         }
         self.parts[v as usize] = part;
     }
 
     /// Accounts a weight drift of `v` in dimension `j`.
     pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new: f64) {
-        let p = self.parts[v as usize] as usize;
-        self.loads[p * self.dims + j] += new - old;
+        let p = self.parts[v as usize];
+        self.loads[p as usize * self.dims + j] += new - old;
+        let stamp = self.bump_stamp(v, j);
+        self.push_entry(p, j, HeapEntry { key: new, stamp, v });
+    }
+
+    /// Invalidates the live heap entry of `(v, j)` and returns the new
+    /// stamp for its replacement.
+    fn bump_stamp(&mut self, v: VertexId, j: usize) -> u64 {
+        let slot = &mut self.stamps[v as usize * self.dims + j];
+        *slot += 1;
+        *slot
+    }
+
+    /// Pushes a fresh entry, compacting the heap first when its stale
+    /// backlog has outgrown the live membership 4×. The check must live on
+    /// the *push* side: queries only ever touch the currently-binding
+    /// `(part, dim)` slots, so a long stream whose drift never crosses the
+    /// trigger would otherwise leak stale entries in every other heap
+    /// linearly with the update count. Compaction removes ≥ 3/4 of the
+    /// entries it scans, each of which paid O(1) at its own push —
+    /// amortized constant.
+    fn push_entry(&mut self, p: u32, j: usize, entry: HeapEntry) {
+        let slot = p as usize * self.dims + j;
+        if self.heaps[slot].len() >= 4 * self.part_sizes[p as usize] + 64 {
+            self.compact_heap(p, j);
+        }
+        self.heaps[slot].push(entry);
+    }
+
+    /// The up-to-`limit` heaviest vertices of part `p` in dimension `j` —
+    /// the rebalance candidate queue, heaviest first. Pops lazily: stale
+    /// entries are discarded, live ones are pushed back, so the amortized
+    /// cost is O(limit · log n) plus the stale backlog (bounded by the 4×
+    /// compaction rule). Returns fewer than `limit` when the part is small.
+    pub fn top_movable(&mut self, p: u32, j: usize, limit: usize) -> Vec<VertexId> {
+        let slot = p as usize * self.dims + j;
+        if self.heaps[slot].len() > 4 * self.part_sizes[p as usize] + 64 {
+            self.compact_heap(p, j);
+        }
+        let mut live = Vec::with_capacity(limit.min(self.part_sizes[p as usize]));
+        let mut out = Vec::with_capacity(limit);
+        while out.len() < limit {
+            let Some(entry) = self.heaps[slot].pop() else {
+                break;
+            };
+            if self.parts[entry.v as usize] == p
+                && self.stamps[entry.v as usize * self.dims + j] == entry.stamp
+            {
+                out.push(entry.v);
+                live.push(entry);
+            }
+        }
+        for entry in live {
+            self.heaps[slot].push(entry);
+        }
+        out
+    }
+
+    /// Raw entry count of heap `(p, j)`, stale entries included (tests the
+    /// push-side compaction bound).
+    #[cfg(test)]
+    fn heap_len(&self, p: u32, j: usize) -> usize {
+        self.heaps[p as usize * self.dims + j].len()
+    }
+
+    /// Drops every stale entry of heap `(p, j)` in one O(len) pass.
+    fn compact_heap(&mut self, p: u32, j: usize) {
+        let slot = p as usize * self.dims + j;
+        let heap = std::mem::take(&mut self.heaps[slot]);
+        self.heaps[slot] = heap
+            .into_iter()
+            .filter(|e| {
+                self.parts[e.v as usize] == p
+                    && self.stamps[e.v as usize * self.dims + j] == e.stamp
+            })
+            .collect();
     }
 
     /// Accounts a new edge for the locality counters.
@@ -122,6 +282,15 @@ impl PartitionStore {
         for (u, v) in edges {
             self.on_edge_added(u, v);
         }
+    }
+
+    /// Overwrites the locality counters with externally computed totals —
+    /// the engine recounts them in parallel over CSR row ranges after a
+    /// refinement pass, where the serial O(m) sweep was the last
+    /// single-threaded stretch of the refinement path.
+    pub fn set_edge_stats(&mut self, intra_edges: usize, cut_edges: usize) {
+        self.intra_edges = intra_edges;
+        self.cut_edges = cut_edges;
     }
 
     /// Fraction of edges with both endpoints in one shard (1.0 when there
@@ -179,13 +348,24 @@ impl PartitionStore {
         Partition::new(self.parts.clone(), self.k)
     }
 
-    /// Recomputes loads from scratch (float-drift hygiene after long runs).
+    /// Recomputes loads — and the rebalance heaps — from scratch
+    /// (float-drift hygiene after long runs).
     pub fn rebuild_loads(&mut self, weights: &VertexWeights) {
         assert_eq!(weights.num_vertices(), self.parts.len());
         self.loads.iter_mut().for_each(|l| *l = 0.0);
+        self.part_sizes.iter_mut().for_each(|s| *s = 0);
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.heaps.iter_mut().for_each(BinaryHeap::clear);
         for (v, &p) in self.parts.iter().enumerate() {
+            self.part_sizes[p as usize] += 1;
             for j in 0..self.dims {
-                self.loads[p as usize * self.dims + j] += weights.weight(j, v as VertexId);
+                let w = weights.weight(j, v as VertexId);
+                self.loads[p as usize * self.dims + j] += w;
+                self.heaps[p as usize * self.dims + j].push(HeapEntry {
+                    key: w,
+                    stamp: 0,
+                    v: v as VertexId,
+                });
             }
         }
     }
@@ -263,5 +443,137 @@ mod tests {
         let p = s.to_partition();
         assert_eq!(p.as_slice(), s.as_slice());
         assert_eq!(p.num_parts(), 2);
+    }
+
+    #[test]
+    fn heaps_stay_bounded_without_queries() {
+        // A serving-scale stream may drift for hours without the rebalance
+        // ever querying most (part, dim) slots; the push-side compaction
+        // must keep every heap O(part size) regardless.
+        let w = VertexWeights::unit(16);
+        let p = Partition::new((0..16).map(|v| (v % 2) as u32).collect(), 2);
+        let mut s = PartitionStore::new(&p, &w);
+        let mut w = w;
+        for round in 0..5_000 {
+            let v = (round % 16) as u32;
+            let old = w.weight(0, v);
+            let new = 1.0 + (round % 9) as f64;
+            w.set_weight(0, v, new);
+            s.apply_weight_change(v, 0, old, new);
+        }
+        for part in 0..2u32 {
+            assert!(
+                s.heap_len(part, 0) < 4 * s.part_size(part) + 64 + 1,
+                "heap leaked: {} entries for {} members",
+                s.heap_len(part, 0),
+                s.part_size(part)
+            );
+        }
+        // And the live view is still correct.
+        let top = s.top_movable(0, 0, 1);
+        let brute = brute_force_top(&s, &w, 0, 0);
+        assert_eq!(w.weight(0, top[0]), w.weight(0, brute[0]));
+    }
+
+    #[test]
+    fn top_movable_returns_heaviest_first() {
+        let w = VertexWeights::from_vectors(vec![vec![1.0, 4.0, 2.0, 3.0], vec![9.0; 4]]);
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        let mut s = PartitionStore::new(&p, &w);
+        assert_eq!(s.top_movable(0, 0, 2), vec![1, 2]);
+        assert_eq!(
+            s.top_movable(0, 0, 10),
+            vec![1, 2, 0],
+            "limit caps at membership"
+        );
+        assert_eq!(s.top_movable(1, 0, 10), vec![3]);
+        // Repeat pops see the same live entries (pushed back).
+        assert_eq!(s.top_movable(0, 0, 1), vec![1]);
+    }
+
+    /// Oracle: heaviest-first members of `p` in dimension `j` by rescoring
+    /// every vertex.
+    fn brute_force_top(s: &PartitionStore, w: &VertexWeights, p: u32, j: usize) -> Vec<u32> {
+        let mut members: Vec<u32> = (0..s.num_vertices() as u32)
+            .filter(|&v| s.shard_of(v) == p)
+            .collect();
+        members.sort_by(|&a, &b| {
+            w.weight(j, b)
+                .total_cmp(&w.weight(j, a))
+                .then_with(|| b.cmp(&a))
+        });
+        members
+    }
+
+    #[test]
+    fn rebalance_heap_matches_brute_force_after_random_drift() {
+        // Stamp-invalidated heaps must agree with a full rescore no matter
+        // how moves / drifts / arrivals interleave.
+        let mut rng_state = 0x9E37u64;
+        let mut rng = move || {
+            rng_state = rng_state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (rng_state >> 33) as usize
+        };
+        let n0 = 40;
+        let dims = 2;
+        let k = 3;
+        let mut w = VertexWeights::from_vectors(vec![
+            (0..n0).map(|v| 1.0 + (v % 7) as f64).collect(),
+            (0..n0).map(|v| 1.0 + (v % 5) as f64).collect(),
+        ]);
+        let labels: Vec<u32> = (0..n0).map(|v| (v % k) as u32).collect();
+        let mut s = PartitionStore::new(&Partition::new(labels, k), &w);
+        for step in 0..300 {
+            match rng() % 3 {
+                0 => {
+                    // Weight drift.
+                    let v = (rng() % s.num_vertices()) as u32;
+                    let j = rng() % dims;
+                    let old = w.weight(j, v);
+                    let new = 0.5 + (rng() % 100) as f64 / 10.0;
+                    w.set_weight(j, v, new);
+                    s.apply_weight_change(v, j, old, new);
+                }
+                1 => {
+                    // Move between parts.
+                    let v = (rng() % s.num_vertices()) as u32;
+                    let dst = (rng() % k) as u32;
+                    let row: Vec<f64> = (0..dims).map(|j| w.weight(j, v)).collect();
+                    s.move_vertex(v, dst, &row);
+                }
+                _ => {
+                    // Arrival.
+                    let row = vec![1.0 + (rng() % 40) as f64 / 7.0, 1.0 + (rng() % 9) as f64];
+                    w.push_vertex(&row);
+                    s.push_assignment((rng() % k) as u32, &row);
+                }
+            }
+            if step % 10 == 0 {
+                for p in 0..k as u32 {
+                    for j in 0..dims {
+                        let expect = brute_force_top(&s, &w, p, j);
+                        let got = s.top_movable(p, j, expect.len() + 3);
+                        // Keys must match position-wise (ids may differ only
+                        // on exactly-equal keys; the tie-break makes even
+                        // that deterministic, so compare keys).
+                        assert_eq!(got.len(), expect.len(), "step {step} part {p} dim {j}");
+                        for (a, b) in got.iter().zip(&expect) {
+                            assert_eq!(
+                                w.weight(j, *a),
+                                w.weight(j, *b),
+                                "step {step} part {p} dim {j}: heap {got:?} vs brute {expect:?}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // After heavy churn a full rebuild must be a behavioural no-op.
+        let before: Vec<Vec<u32>> = (0..k as u32).map(|p| s.top_movable(p, 0, 5)).collect();
+        s.rebuild_loads(&w);
+        let after: Vec<Vec<u32>> = (0..k as u32).map(|p| s.top_movable(p, 0, 5)).collect();
+        assert_eq!(before, after);
     }
 }

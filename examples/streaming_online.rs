@@ -3,7 +3,13 @@
 //! placed greedily in O(deg), and warm-started GD refinement absorbs churn
 //! for a small fraction of a from-scratch solve.
 //!
-//! Run with: `cargo run --release --example streaming_online`
+//! Run with: `cargo run --release --example streaming_online [THREADS]`
+//!
+//! The optional `THREADS` argument (default 1) sizes the worker pool of
+//! the incremental path — bootstrap GD mat-vec, parallel pairwise
+//! refinement rounds, and the placement sweep — so the speedup is easy to
+//! reproduce locally: compare `… streaming_online 1` against
+//! `… streaming_online 4` on a multi-core box.
 
 use mdbgp::graph::InducedSubgraph;
 use mdbgp::prelude::*;
@@ -15,6 +21,13 @@ const K: usize = 8;
 const EPS: f64 = 0.05;
 
 fn main() {
+    let threads: usize = std::env::args()
+        .nth(1)
+        .map(|a| a.parse().expect("THREADS must be a positive integer"))
+        .unwrap_or(1)
+        .max(1);
+    println!("worker threads: {threads}\n");
+
     // 1. The "full history" graph: the first 16k vertices are today's
     //    snapshot, the remaining 4k arrive over the next hours.
     let mut rng = StdRng::seed_from_u64(7);
@@ -28,7 +41,7 @@ fn main() {
     let weights = VertexWeights::vertex_edge(&boot.graph);
 
     // 2. Bootstrap: one offline GD solve on the snapshot.
-    let mut cfg = StreamConfig::new(K, EPS);
+    let mut cfg = StreamConfig::new(K, EPS).with_threads(threads);
     cfg.gd = GdConfig {
         iterations: 60,
         ..GdConfig::with_epsilon(EPS)
