@@ -245,7 +245,10 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
 /// Replays a stored edge list as an online stream: bootstrap GD on a
 /// vertex-id prefix, then ingest the remaining vertices (with their
 /// backward edges) in batches through `mdbgp-stream`, printing per-batch
-/// drift/quality telemetry.
+/// drift/quality telemetry. With `--churn F`, each batch also removes
+/// `F` of its arrival count in random live vertices (and as many random
+/// live edges), exercising the tombstone/purge path; the replay tracks
+/// the id remaps purging compactions report.
 fn cmd_stream(args: &Args) -> Result<(), String> {
     let graph = load_graph(args.req("input")?, &args.opt("format", "text"))?;
     let n = graph.num_vertices();
@@ -256,6 +259,10 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let threads: usize = args.num("threads", 1)?;
     if threads == 0 {
         return Err("--threads must be positive".into());
+    }
+    let churn: f64 = args.num("churn", 0.0)?;
+    if !(0.0..1.0).contains(&churn) {
+        return Err(format!("--churn must be in [0, 1), got {churn}"));
     }
     let bootstrap_fraction: f64 = args.num("bootstrap-fraction", 0.8)?;
     if !(0.0 < bootstrap_fraction && bootstrap_fraction < 1.0) {
@@ -290,28 +297,51 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let per_batch = (n - n0).div_ceil(batches.max(1));
     let mut arrived = n0 as u32;
     let mut batch_no = 0usize;
+    let mut tracker = mdbgp_bench::churn::IdTracker::identity(n0);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     while (arrived as usize) < n {
         batch_no += 1;
         let end = ((arrived as usize + per_batch).min(n)) as u32;
         let mut batch = UpdateBatch::new();
+        let engine_base = sp.graph().num_vertices() as u32;
         for v in arrived..end {
             let backward: Vec<u32> = graph
                 .neighbors(v)
                 .iter()
                 .copied()
                 .filter(|&u| u < v)
+                .filter_map(|u| tracker.current(u))
                 .collect();
             let w = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, w], backward);
+            // The engine assigns arrival ids sequentially from the current
+            // id-space size.
+            tracker.push(engine_base + (v - arrived));
+        }
+        if churn > 0.0 {
+            let removals = ((end - arrived) as f64 * churn) as usize;
+            mdbgp_bench::churn::queue_removals(
+                &mut batch,
+                sp.graph(),
+                &mut tracker,
+                &mut rng,
+                removals,
+                removals,
+            );
         }
         arrived = end;
         let start = std::time::Instant::now();
         let report = sp.ingest(&batch).map_err(|e| e.to_string())?;
+        if let Some(remap) = &report.remap {
+            tracker.apply_remap(remap);
+        }
         println!(
-            "batch {batch_no}: +{} vertices, +{} edges in {:.1}ms — imbalance {:.2}%, \
-             locality {:.1}%{}",
+            "batch {batch_no}: +{} -{} vertices, +{} -{} edges in {:.1}ms — imbalance \
+             {:.2}%, locality {:.1}%{}",
             report.vertices_added,
+            report.vertices_removed,
             report.edges_added,
+            report.edges_removed,
             start.elapsed().as_secs_f64() * 1e3,
             report.max_imbalance * 100.0,
             report.edge_locality * 100.0,
@@ -326,13 +356,21 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         );
     }
 
+    // Under churn the final snapshot may still hold tombstoned ids; purge
+    // so the partition written below covers exactly the live vertices.
+    if let Some(remap) = sp.purge() {
+        tracker.apply_remap(&remap);
+    }
     let t = sp.telemetry();
     println!(
-        "done: {} placed, {} edges, {} compactions, {} refinements; final imbalance {:.2}%, \
-         locality {:.1}%",
+        "done: {} placed, {} removed, +{} -{} edges, {} compactions ({} remaps), \
+         {} refinements; final imbalance {:.2}%, locality {:.1}%",
         t.vertices_placed,
+        t.vertices_removed,
         t.edges_added,
+        t.edges_removed,
         t.compactions,
+        t.remaps,
         t.refinements,
         sp.max_imbalance() * 100.0,
         sp.store().edge_locality() * 100.0
@@ -342,10 +380,27 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         let mut file = std::io::BufWriter::new(
             std::fs::File::create(out).map_err(|e| format!("create {out}: {e}"))?,
         );
-        for v in 0..partition.num_vertices() {
-            writeln!(file, "{}", partition.part_of(v as u32)).map_err(|e| e.to_string())?;
+        if churn > 0.0 {
+            // Purges renumbered the engine ids, so one-part-per-line would
+            // silently key on post-purge ids; write explicit
+            // `original-id part` pairs instead (removed vertices have no
+            // part and are omitted). Not `evaluate` input — the streamed
+            // graph no longer matches the input file anyway.
+            for orig in 0..tracker.len() as u32 {
+                if let Some(cur) = tracker.current(orig) {
+                    writeln!(file, "{orig} {}", partition.part_of(cur))
+                        .map_err(|e| e.to_string())?;
+                }
+            }
+            println!(
+                "wrote assignment (original-id part pairs; removed vertices omitted) -> {out}"
+            );
+        } else {
+            for v in 0..partition.num_vertices() {
+                writeln!(file, "{}", partition.part_of(v as u32)).map_err(|e| e.to_string())?;
+            }
+            println!("wrote assignment -> {out}");
         }
-        println!("wrote assignment -> {out}");
     }
     Ok(())
 }
@@ -359,8 +414,8 @@ const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--fl
             [--seed S] [--output PARTS] [--format text|metis|binary]
   evaluate  --input FILE --partition PARTS [--dims ...]
   stream    --input FILE --k K [--eps E] [--batches B] [--threads T]
-            [--bootstrap-fraction F] [--seed S] [--output PARTS]
-            [--format text|metis|binary]";
+            [--churn F] [--bootstrap-fraction F] [--seed S]
+            [--output PARTS] [--format text|metis|binary]";
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();

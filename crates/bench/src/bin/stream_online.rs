@@ -5,10 +5,13 @@
 //! Scenario: a community graph bootstrapped at `--n` vertices receives
 //! `--batches` update batches, each bringing `--arrivals` new vertices
 //! (with their backward edges), `--extra-edges` fresh edges between
-//! existing vertices, and correlated activity drift on `--drift` vertices
+//! existing vertices, correlated activity drift on `--drift` vertices
 //! of one shard (a hot-shard spike, so the refinement machinery actually
-//! runs). After each batch both maintenance strategies must produce an
-//! ε-balanced partition:
+//! runs), and — with `--churn F` — mixed deletions: `F · extra-edges`
+//! random live edges and `F · arrivals` random live vertices leave per
+//! batch, exercising the tombstone/purge path (the harness tracks the
+//! id remaps purging compactions report). After each batch both
+//! maintenance strategies must produce an ε-balanced partition:
 //!
 //! * **incremental** — `StreamingPartitioner::ingest` (greedy placement +
 //!   drift-triggered warm-started refinement),
@@ -16,7 +19,8 @@
 //!
 //! The run fails (non-zero exit) if the incremental path ever violates ε.
 //! The headline number is the cumulative speedup; the acceptance bar for
-//! this subsystem is ≥ 5×.
+//! this subsystem is ≥ 5× add-only and ≥ 2× under churn (deletions refine
+//! and purge far more often).
 //!
 //! CI hooks: `--threads T` sizes the worker pool of the incremental path,
 //! `--json-out FILE` dumps the per-batch wall-clock / cut / imbalance
@@ -25,6 +29,7 @@
 //! machine-normalized wall-clock regression beyond `--max-regress`
 //! (default 0.30) — see [`mdbgp_bench::perfgate`].
 
+use mdbgp_bench::churn::{queue_removals, IdTracker};
 use mdbgp_bench::perfgate::{check_parallel_speedup, check_regression, BatchPerf, PerfRecord};
 use mdbgp_bench::policies::timed;
 use mdbgp_bench::table::Table;
@@ -43,6 +48,7 @@ struct Args {
     arrivals: usize,
     extra_edges: usize,
     drift: usize,
+    churn: f64,
     k: usize,
     eps: f64,
     seed: u64,
@@ -84,6 +90,13 @@ fn parse_args() -> Result<Args, String> {
         // batches — enough to exercise the path without drowning the
         // placement numbers.
         drift: num("drift", 150)?,
+        churn: match map.get("churn").map_or(Ok(0.0), |v| {
+            v.parse()
+                .map_err(|_| format!("--churn: cannot parse '{v}'"))
+        })? {
+            c if (0.0..1.0).contains(&c) => c,
+            c => return Err(format!("--churn must be in [0, 1), got {c}")),
+        },
         k: num("k", 8)?,
         eps: map.get("eps").map_or(Ok(0.05), |v| {
             v.parse().map_err(|_| format!("--eps: cannot parse '{v}'"))
@@ -117,7 +130,7 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
-                 [--extra-edges E] [--drift D] [--k K] [--eps EPS] [--seed S] \
+                 [--extra-edges E] [--drift D] [--churn F] [--k K] [--eps EPS] [--seed S] \
                  [--threads T] [--json-out FILE] [--check-against BASELINE] \
                  [--max-regress FRAC] [--expect-speedup-over FILE] \
                  [--min-par-speedup X]"
@@ -127,8 +140,9 @@ fn main() -> ExitCode {
     };
     let total_n = args.n + args.batches * args.arrivals;
     println!(
-        "stream_online: n={} (+{} arrivals/batch x {} batches), k={}, eps={}, threads={}",
-        args.n, args.arrivals, args.batches, args.k, args.eps, args.threads
+        "stream_online: n={} (+{} arrivals/batch x {} batches), k={}, eps={}, threads={}, \
+         churn={}",
+        args.n, args.arrivals, args.batches, args.k, args.eps, args.threads, args.churn
     );
 
     // Full history graph; the prefix is the bootstrap snapshot.
@@ -177,27 +191,37 @@ fn main() -> ExitCode {
     let mut scratch_total = Duration::ZERO;
     let mut eps_ok = true;
     let mut arrived = args.n as u32;
+    // Original-id bookkeeping: churn remaps engine ids at every purge, so
+    // the replay addresses the engine through this translation.
+    let mut tracker = IdTracker::identity(args.n);
     let mut batch_perf: Vec<BatchPerf> = Vec::with_capacity(args.batches);
 
     for batch_no in 1..=args.batches {
         // Assemble the batch: arrivals with backward edges, extra edges,
-        // activity drift.
+        // activity drift, then (under --churn) removals.
         let mut batch = UpdateBatch::new();
         let end = arrived + args.arrivals as u32;
+        let engine_base = sp.graph().num_vertices() as u32;
         for v in arrived..end {
             let backward: Vec<u32> = full
                 .neighbors(v)
                 .iter()
                 .copied()
                 .filter(|&u| u < v)
+                .filter_map(|u| tracker.current(u))
                 .collect();
             let degree_weight = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, degree_weight], backward);
+            // The engine assigns arrival ids sequentially from the current
+            // id-space size.
+            tracker.push(engine_base + (v - arrived));
         }
         for _ in 0..args.extra_edges {
-            let u = rng.gen_range(0..arrived);
-            let v = rng.gen_range(0..arrived);
-            batch.add_edge(u, v);
+            let u = tracker.current(rng.gen_range(0..arrived));
+            let v = tracker.current(rng.gen_range(0..arrived));
+            if let (Some(u), Some(v)) = (u, v) {
+                batch.add_edge(u, v);
+            }
         }
         // Correlated activity spike: drift concentrates on shard 0 so
         // balance actually erodes and the refinement path (heap rebalance
@@ -206,7 +230,10 @@ fn main() -> ExitCode {
         // nothing. Members are collected up front: rejection sampling
         // would hang, not fail, should the shard ever end up empty.
         if args.drift > 0 {
-            let shard0: Vec<u32> = (0..arrived).filter(|&v| sp.shard_of(v) == 0).collect();
+            let shard0: Vec<u32> = (0..arrived)
+                .filter_map(|o| tracker.current(o))
+                .filter(|&c| sp.shard_of(c) == 0)
+                .collect();
             if shard0.is_empty() {
                 eprintln!("FAIL: shard 0 is empty; cannot apply the drift spike");
                 return ExitCode::FAILURE;
@@ -216,6 +243,16 @@ fn main() -> ExitCode {
                 batch.set_weight(v, 0, rng.gen_range(1.5..3.0));
             }
         }
+        if args.churn > 0.0 {
+            queue_removals(
+                &mut batch,
+                sp.graph(),
+                &mut tracker,
+                &mut rng,
+                (args.extra_edges as f64 * args.churn) as usize,
+                (args.arrivals as f64 * args.churn) as usize,
+            );
+        }
         arrived = end;
 
         // Incremental path.
@@ -224,11 +261,13 @@ fn main() -> ExitCode {
         if report.max_imbalance > args.eps + 1e-9 {
             eps_ok = false;
         }
+        if let Some(remap) = &report.remap {
+            tracker.apply_remap(remap);
+        }
 
-        // Scratch path: full GD on the same post-batch graph/weights
+        // Scratch path: full GD on the same post-batch live graph/weights
         // (snapshot construction is not charged to the solver).
-        let snapshot = sp.graph().snapshot();
-        let weights = sp.graph().weights().clone();
+        let (snapshot, weights, _) = sp.graph().live_snapshot();
         let (scratch, scratch_time) = timed(|| {
             GdPartitioner::new(gd_cfg.clone())
                 .partition(&snapshot, &weights, args.k, args.seed + batch_no as u64)
@@ -268,12 +307,15 @@ fn main() -> ExitCode {
         scratch_total.as_secs_f64()
     );
     println!(
-        "telemetry: {} placed, {} edges, {} weight updates, {} compactions, \
-         {} refinements ({} rebalance + {} gd moves)",
+        "telemetry: {} placed, {} removed, +{} -{} edges, {} weight updates, \
+         {} compactions ({} remaps), {} refinements ({} rebalance + {} gd moves)",
         t.vertices_placed,
+        t.vertices_removed,
         t.edges_added,
+        t.edges_removed,
         t.weight_updates,
         t.compactions,
+        t.remaps,
         t.refinements,
         t.rebalance_moves,
         t.refine_moves
@@ -281,6 +323,7 @@ fn main() -> ExitCode {
 
     let record = PerfRecord {
         threads: args.threads,
+        churn: args.churn,
         inc_total_ms: inc_total.as_secs_f64() * 1e3,
         scratch_total_ms: scratch_total.as_secs_f64() * 1e3,
         speedup,
@@ -301,8 +344,13 @@ fn main() -> ExitCode {
         eprintln!("FAIL: incremental path violated ε");
         return ExitCode::FAILURE;
     }
-    if speedup < 5.0 {
-        eprintln!("FAIL: speedup {speedup:.1}x below the 5x acceptance bar");
+    // Deletion batches trigger refinement (and its purging compactions)
+    // far more often than add-only ones, so the churn acceptance bar is
+    // "still clearly beating scratch"; the add-only bar stays at 5x. The
+    // baseline gate below guards against gradual regression either way.
+    let speedup_bar = if args.churn > 0.0 { 2.0 } else { 5.0 };
+    if speedup < speedup_bar {
+        eprintln!("FAIL: speedup {speedup:.1}x below the {speedup_bar}x acceptance bar");
         return ExitCode::FAILURE;
     }
 
@@ -359,6 +407,6 @@ fn main() -> ExitCode {
         }
     }
 
-    println!("PASS: ε held after every batch, speedup {speedup:.1}x >= 5x");
+    println!("PASS: ε held after every batch, speedup {speedup:.1}x >= {speedup_bar}x");
     ExitCode::SUCCESS
 }

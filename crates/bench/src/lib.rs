@@ -13,8 +13,12 @@
 //!   figures in a terminal,
 //! * [`perfgate`] — the CI perf-regression gate: flat-JSON perf records
 //!   emitted by `stream_online --json-out` and the machine-independent
-//!   comparison against the committed `BENCH_stream.json` baseline.
+//!   comparison against the committed `BENCH_stream.json` /
+//!   `BENCH_stream_churn.json` baselines,
+//! * [`churn`] — id tracking and removal-batch generation for driving
+//!   deletion workloads through the streaming harnesses.
 
+pub mod churn;
 pub mod curves;
 pub mod datasets;
 pub mod perfgate;

@@ -33,12 +33,25 @@ pub struct BatchPerf {
     pub locality: f64,
 }
 
+/// Floor (milliseconds) below which a scratch leg cannot anchor the
+/// normalized wall-clock: the record serializes at millisecond precision,
+/// so a sub-floor denominator is mostly rounding noise — and a runner fast
+/// enough to get there turns the ratio into `inf`/NaN garbage that poisons
+/// every later `--check-against`. [`check_regression`] rejects such
+/// records with a named error instead of gating on the poisoned ratio.
+pub const MIN_SCRATCH_MS: f64 = 0.5;
+
 /// One `stream_online` run: the summary the gate compares plus the
 /// per-batch breakdown for forensics.
 #[derive(Clone, Debug, PartialEq)]
 pub struct PerfRecord {
     /// Worker threads the run used.
     pub threads: usize,
+    /// Churn fraction of the run (0.0 = add-only; removals per batch are
+    /// generated as this fraction of arrivals/extra edges). Gated like the
+    /// thread count: a baseline recorded at a different churn measures a
+    /// different workload.
+    pub churn: f64,
     /// Total incremental wall-clock across batches, ms.
     pub inc_total_ms: f64,
     /// Total from-scratch wall-clock across batches, ms.
@@ -56,9 +69,12 @@ pub struct PerfRecord {
 
 impl PerfRecord {
     /// Normalized wall-clock: incremental time per unit of scratch time on
-    /// the same machine (lower is better; `1 / speedup`).
+    /// the same machine (lower is better; `1 / speedup`). The denominator
+    /// is clamped to [`MIN_SCRATCH_MS`] so a degenerate record can never
+    /// produce `inf`/NaN — but [`check_regression`] refuses to gate on a
+    /// clamped record at all (see [`MIN_SCRATCH_MS`]).
     pub fn normalized_wallclock(&self) -> f64 {
-        self.inc_total_ms / self.scratch_total_ms.max(1e-9)
+        self.inc_total_ms / self.scratch_total_ms.max(MIN_SCRATCH_MS)
     }
 
     /// Serializes to the flat JSON schema (stable key order, 2-space
@@ -67,6 +83,7 @@ impl PerfRecord {
         let mut s = String::new();
         s.push_str("{\n");
         let _ = writeln!(s, "  \"threads\": {},", self.threads);
+        let _ = writeln!(s, "  \"churn\": {:.3},", self.churn);
         let _ = writeln!(s, "  \"inc_total_ms\": {:.3},", self.inc_total_ms);
         let _ = writeln!(s, "  \"scratch_total_ms\": {:.3},", self.scratch_total_ms);
         let _ = writeln!(s, "  \"speedup\": {:.3},", self.speedup);
@@ -180,6 +197,14 @@ impl PerfRecord {
 
         Ok(Self {
             threads: num("threads")? as usize,
+            // Absent from pre-churn baselines (add-only runs) — but a
+            // present-and-malformed value is an error like any other field,
+            // not a silent 0.0.
+            churn: if get("churn").is_ok() {
+                num("churn")?
+            } else {
+                0.0
+            },
             inc_total_ms: num("inc_total_ms")?,
             scratch_total_ms: num("scratch_total_ms")?,
             speedup: num("speedup")?,
@@ -194,6 +219,10 @@ impl PerfRecord {
 /// Gate verdict: `Err` carries the human-readable failure reasons.
 ///
 /// * ε violated in the current run → fail (regardless of the baseline);
+/// * thread-count or churn-fraction mismatch with the baseline → fail
+///   (different workload, not a comparison);
+/// * a scratch leg under [`MIN_SCRATCH_MS`] on either side → fail with a
+///   named error (the normalized ratio would be rounding noise);
 /// * normalized wall-clock (`1/speedup`) regressed more than
 ///   `max_regression` (e.g. `0.30`) relative to the baseline → fail;
 /// * final edge locality dropped more than 10 points below baseline →
@@ -213,6 +242,26 @@ pub fn check_regression(
              count against a baseline recorded at that thread count",
             current.threads, baseline.threads
         ));
+    }
+    if (current.churn - baseline.churn).abs() > 1e-9 {
+        // Deletion batches do different work (tombstoning, purges, both-way
+        // drift) than add-only ones; comparing across churn fractions gates
+        // nothing meaningful.
+        reasons.push(format!(
+            "churn mismatch: run used churn {:.3}, baseline {:.3} — gate each churn \
+             fraction against a baseline recorded at that fraction",
+            current.churn, baseline.churn
+        ));
+    }
+    for (who, rec) in [("current run", current), ("baseline", baseline)] {
+        if rec.scratch_total_ms < MIN_SCRATCH_MS {
+            reasons.push(format!(
+                "unusable scratch reference: {who}'s scratch leg took {:.4} ms, below the \
+                 {MIN_SCRATCH_MS} ms floor — the normalized wall-clock denominator is \
+                 rounding noise on this runner; rerun with a larger --n/--batches",
+                rec.scratch_total_ms
+            ));
+        }
     }
     if !current.eps_ok {
         reasons.push("current run violated the ε guarantee".to_string());
@@ -282,6 +331,7 @@ mod tests {
     fn record(inc: f64, scratch: f64, eps_ok: bool, locality: f64) -> PerfRecord {
         PerfRecord {
             threads: 1,
+            churn: 0.0,
             inc_total_ms: inc,
             scratch_total_ms: scratch,
             speedup: scratch / inc,
@@ -361,6 +411,61 @@ mod tests {
         four.threads = 4;
         let err = check_regression(&four, &base, 0.30).unwrap_err();
         assert!(err.contains("thread-count mismatch"), "{err}");
+    }
+
+    #[test]
+    fn gate_rejects_churn_mismatch() {
+        let base = record(10.0, 600.0, true, 0.60);
+        let mut churned = record(10.0, 600.0, true, 0.60);
+        churned.churn = 0.2;
+        let err = check_regression(&churned, &base, 0.30).unwrap_err();
+        assert!(err.contains("churn mismatch"), "{err}");
+        // Matching churn fractions gate normally.
+        let mut churn_base = base.clone();
+        churn_base.churn = 0.2;
+        assert!(check_regression(&churned, &churn_base, 0.30).is_ok());
+    }
+
+    #[test]
+    fn churn_field_round_trips_and_defaults() {
+        let mut r = record(12.5, 750.0, true, 0.61);
+        r.churn = 0.2;
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert!((parsed.churn - 0.2).abs() < 1e-9);
+        // Pre-churn baselines (no "churn" key) parse as add-only runs.
+        let legacy = record(12.5, 750.0, true, 0.61)
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("\"churn\""))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.churn, 0.0);
+        // A present-but-malformed churn value is a parse error, not 0.0.
+        let corrupted = record(12.5, 750.0, true, 0.61)
+            .to_json()
+            .replace("\"churn\": 0.000", "\"churn\": \"x\"");
+        let err = PerfRecord::from_json(&corrupted).unwrap_err();
+        assert!(err.contains("churn"), "{err}");
+    }
+
+    #[test]
+    fn gate_names_a_sub_floor_scratch_leg() {
+        // A sub-millisecond scratch leg serializes as ~0.000 ms; the gate
+        // must refuse with a named error instead of comparing inf/NaN.
+        let base = record(10.0, 600.0, true, 0.60);
+        let degenerate = record(0.01, 0.0, true, 0.60);
+        assert!(degenerate.normalized_wallclock().is_finite());
+        let err = check_regression(&degenerate, &base, 0.30).unwrap_err();
+        assert!(err.contains("unusable scratch reference"), "{err}");
+        assert!(err.contains("current run"), "{err}");
+        // Same for a poisoned committed baseline.
+        let err = check_regression(&base, &degenerate, 0.30).unwrap_err();
+        assert!(err.contains("baseline"), "{err}");
+        // And round-tripping the degenerate record through JSON keeps the
+        // verdict (0.0 stays 0.0, not NaN).
+        let reparsed = PerfRecord::from_json(&degenerate.to_json()).unwrap();
+        assert!(check_regression(&reparsed, &base, 0.30).is_err());
     }
 
     #[test]

@@ -47,11 +47,18 @@ impl GdPartitioner {
     /// Re-bisects parts `p` and `q` of `partition` with GD warm-started
     /// from the current assignment, holding `frozen` vertices fixed.
     ///
-    /// `weights` and `partition` cover the whole graph; the pair's balance
-    /// slab is derived from the configured ε and the **global** per-part
-    /// target `w^{(j)}(V)/k`, so accepted moves never push either part past
-    /// `(1 + ε)` of its share. Returns the (possibly empty) list of vertex
-    /// moves; the partition itself is not mutated.
+    /// `weights`, `partition` and `frozen` cover the whole graph **as it
+    /// currently stands** — under a churning stream the vertex set
+    /// shrinks, so callers must rebuild all three after every purging
+    /// compaction; a stale (longer or shorter) `frozen` mask is rejected
+    /// with [`PartitionError::DimensionMismatch`] rather than silently
+    /// freezing the wrong vertices. A pair drained to fewer than two
+    /// members (removals can empty a part outright) is a clean no-op, not
+    /// an error. The pair's balance slab is derived from the configured ε
+    /// and the **global** per-part target `w^{(j)}(V)/k`, so accepted
+    /// moves never push either part past `(1 + ε)` of its share. Returns
+    /// the (possibly empty) list of vertex moves; the partition itself is
+    /// not mutated.
     pub fn refine_pair(
         &self,
         graph: &Graph,
@@ -179,13 +186,24 @@ impl GdPartitioner {
 
     /// Ranks part pairs by cut edges incident to `active` vertices —
     /// the refinement schedule of `mdbgp-stream`. Returns at most
-    /// `max_pairs` pairs, most-cut first.
+    /// `max_pairs` pairs, most-cut first. A part with no cut edges (e.g.
+    /// one drained empty by removals) never appears in a pair.
+    ///
+    /// # Panics
+    /// Panics if `active` does not cover the graph — after a purging
+    /// compaction shrinks the vertex set, the mask must be rebuilt at the
+    /// new size.
     pub fn rank_pairs_by_active_cut(
         graph: &Graph,
         partition: &Partition,
         active: &[bool],
         max_pairs: usize,
     ) -> Vec<(u32, u32)> {
+        assert_eq!(
+            active.len(),
+            graph.num_vertices(),
+            "active mask must cover the current graph (rebuild it after a purge)"
+        );
         let k = partition.num_parts();
         let mut cut_count = vec![0usize; k * k];
         for (u, v) in graph.edges() {
@@ -359,6 +377,53 @@ mod tests {
             "{}",
             refined.max_imbalance(&w)
         );
+    }
+
+    #[test]
+    fn tolerates_a_pair_drained_by_removals() {
+        // Churn can empty a part between refinements; refining such a pair
+        // must be a clean no-op (or a pure balance improvement), never an
+        // error — and a singleton pair subgraph must not panic either.
+        let g = gen::two_cliques(10, 1);
+        let w = VertexWeights::vertex_edge(&g);
+        // Part 1 drained to a single member, part 2 empty.
+        let mut labels = vec![0u32; 20];
+        labels[19] = 1;
+        let part = Partition::new(labels, 3);
+        let frozen = vec![false; 20];
+        let gd = refiner(5);
+        let r = gd.refine_pair(&g, &w, &part, (1, 2), &frozen, 1).unwrap();
+        assert!(r.moves.is_empty(), "sub-2-member pair is a no-op");
+        assert_eq!(r.cut_before, 0);
+        // A drained-but-nonempty pair still runs and never worsens ε.
+        let r = gd.refine_pair(&g, &w, &part, (0, 1), &frozen, 2).unwrap();
+        let mut refined = part.clone();
+        for &(v, p) in &r.moves {
+            refined.assign(v, p);
+        }
+        assert!(refined.max_imbalance(&w) <= part.max_imbalance(&w) + 1e-9);
+    }
+
+    #[test]
+    fn stale_masks_after_a_shrink_are_rejected() {
+        // The streaming layer purges removed vertices, shrinking the
+        // graph; a frozen/active mask built before the purge must be
+        // rejected loudly, not applied to the wrong vertices.
+        let (g, w, part) = perturbed_cliques(10, 0);
+        let gd = refiner(5);
+        let stale = vec![false; 23]; // pre-purge size
+        assert!(matches!(
+            gd.refine_pair(&g, &w, &part, (0, 1), &stale, 0),
+            Err(PartitionError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "rebuild it after a purge")]
+    fn pair_ranking_rejects_stale_active_mask() {
+        let g = gen::path(10);
+        let part = Partition::new(vec![0; 10], 1);
+        GdPartitioner::rank_pairs_by_active_cut(&g, &part, &[true; 12], 4);
     }
 
     #[test]

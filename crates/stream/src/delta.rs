@@ -1,21 +1,23 @@
-//! The update language of the stream: batched vertex arrivals, edge
-//! insertions and weight drift.
+//! The update language of the stream: batched vertex arrivals and
+//! departures, edge insertions and deletions, and weight drift.
 //!
 //! Updates are applied in order within a batch. A vertex arrives *with* its
 //! adjacency to already-present vertices (the standard streaming-partitioning
 //! model: the placement decision is made once, online, with exactly that
-//! information). Edges between already-present vertices and weight updates
-//! model the graph evolving underneath the partition.
+//! information). Edges between already-present vertices, removals and weight
+//! updates model the graph evolving — and churning — underneath the
+//! partition.
 
 use mdbgp_graph::VertexId;
 
 /// One stream event.
 #[derive(Clone, Debug, PartialEq)]
 pub enum StreamUpdate {
-    /// A new vertex arrives. It receives the next free id (`n` at
-    /// application time), carries one weight per balance dimension, and
-    /// lists its edges to already-present vertices (out-of-range or
-    /// duplicate endpoints are ignored).
+    /// A new vertex arrives. It receives the next free id (the id-space
+    /// size at application time — removed ids are not recycled until a
+    /// purge), carries one weight per balance dimension, and lists its
+    /// edges to already-present vertices (out-of-range, duplicate or
+    /// removed endpoints are ignored).
     AddVertex {
         weights: Vec<f64>,
         neighbors: Vec<VertexId>,
@@ -23,6 +25,15 @@ pub enum StreamUpdate {
     /// An edge appears between two already-present vertices. Self-loops and
     /// duplicates are ignored.
     AddEdge { u: VertexId, v: VertexId },
+    /// The edge `{u, v}` disappears. Removing a non-existent edge (or a
+    /// self-loop) is ignored, mirroring the duplicate policy of
+    /// [`Self::AddEdge`]; a *removed endpoint* is an error, like on adds.
+    RemoveEdge { u: VertexId, v: VertexId },
+    /// Vertex `v` leaves, taking its incident edges with it. Its id stays
+    /// addressable (but unassigned) until the next compaction purges it —
+    /// see [`crate::engine::BatchReport::remap`]. Removing an unknown or
+    /// already-removed vertex is an error.
+    RemoveVertex { v: VertexId },
     /// Weight dimension `dim` of vertex `v` drifts to `value` (e.g. an
     /// activity counter used as a balance dimension).
     SetWeight { v: VertexId, dim: usize, value: f64 },
@@ -50,6 +61,18 @@ impl UpdateBatch {
     /// Queues an edge insertion.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
         self.updates.push(StreamUpdate::AddEdge { u, v });
+        self
+    }
+
+    /// Queues an edge removal.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> &mut Self {
+        self.updates.push(StreamUpdate::RemoveEdge { u, v });
+        self
+    }
+
+    /// Queues a vertex removal.
+    pub fn remove_vertex(&mut self, v: VertexId) -> &mut Self {
+        self.updates.push(StreamUpdate::RemoveVertex { v });
         self
     }
 

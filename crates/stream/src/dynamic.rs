@@ -1,17 +1,51 @@
-//! [`DynamicGraph`]: a CSR graph plus an in-memory delta, with periodic
-//! compaction.
+//! [`DynamicGraph`]: a CSR graph plus an in-memory delta, with tombstoned
+//! removal and periodic compaction.
 //!
 //! `mdbgp-graph`'s [`Graph`] is immutable CSR — ideal for the GD mat-vec,
-//! hostile to insertions. The streaming layer therefore keeps a **base** CSR
-//! plus per-vertex sorted **delta** adjacency lists. Reads see the union;
-//! writes go to the delta; [`DynamicGraph::compact`] merges the delta into a
-//! fresh CSR (via [`GraphBuilder::from_graph`]) once it exceeds a
-//! configurable fraction of the base. Refinement always runs on the
-//! compacted CSR, so the GD kernels never pay for the indirection.
+//! hostile to mutation. The streaming layer therefore keeps a **base** CSR
+//! plus per-vertex sorted **delta** adjacency lists, and a **tombstone
+//! set** over both for removals. Reads see `(base ∖ tombstones) ∪ delta`;
+//! writes go to the delta (or clear a tombstone); [`DynamicGraph::compact`]
+//! merges everything into a fresh CSR once the churn exceeds a configurable
+//! fraction of the base. Refinement always runs on the compacted CSR, so
+//! the GD kernels never pay for the indirection.
+//!
+//! ## Tombstone lifecycle and the id-remap contract
+//!
+//! Removal is two-phase, so the serving path never sees an id shift
+//! mid-stream:
+//!
+//! 1. **Tombstoning** ([`DynamicGraph::remove_edge`] /
+//!    [`DynamicGraph::remove_vertex`]) is O(deg): a removed *delta* edge is
+//!    dropped in place, a removed *base* edge is recorded in a per-vertex
+//!    tombstone list (the base CSR is immutable), and a removed vertex —
+//!    after shedding its incident edges the same way — is marked dead.
+//!    Vertex ids are **stable** through this phase: every accessor
+//!    ([`Self::degree`], [`Self::neighbors`], [`Self::has_edge`],
+//!    [`Self::snapshot`]) filters through the tombstones, a dead vertex
+//!    reads as isolated, and [`Self::add_edge`] of a tombstoned base edge
+//!    clears the tombstone instead of duplicating the edge in the delta.
+//! 2. **Purging** ([`Self::compact`]): the merge drops tombstoned edges
+//!    and dead vertices and renumbers the survivors `0..live` in ascending
+//!    old-id order. When any vertex was dropped, `compact` returns the
+//!    **old→new map** (`map[old] = new`, [`crate::TOMBSTONE`] for dropped
+//!    ids); callers own every structure indexed by vertex id and must
+//!    remap it before touching the graph again —
+//!    [`crate::StreamingPartitioner`] does this for its store/dirty state
+//!    and surfaces the map in [`crate::engine::BatchReport::remap`] so
+//!    routers can rewrite their own references. Edge-only compactions
+//!    return `None` and ids stay put.
+//!
+//! The weights follow the same contract: a dead vertex keeps its (positive)
+//! weight rows until the purge drops them — live-load accounting between
+//! the two phases lives in [`crate::PartitionStore`], which releases the
+//! vertex's weight at tombstoning time.
 
+use crate::TOMBSTONE;
 use mdbgp_graph::{Graph, GraphBuilder, VertexId, VertexWeights};
 
-/// A growing graph: base CSR + delta adjacency + multi-dimensional weights.
+/// A growing-and-shrinking graph: base CSR + delta adjacency + tombstones
+/// + multi-dimensional weights.
 #[derive(Clone, Debug)]
 pub struct DynamicGraph {
     base: Graph,
@@ -21,6 +55,15 @@ pub struct DynamicGraph {
     delta: Vec<Vec<VertexId>>,
     /// Undirected delta edge count.
     delta_edges: usize,
+    /// Per-vertex sorted tombstone lists over the *base* adjacency
+    /// (symmetric, like the delta). Delta removals mutate the delta
+    /// directly and never land here.
+    removed: Vec<Vec<VertexId>>,
+    /// Undirected tombstoned base edge count.
+    removed_base_edges: usize,
+    /// Vertex tombstones; a dead vertex has no live incident edges.
+    dead: Vec<bool>,
+    dead_count: usize,
     weights: VertexWeights,
 }
 
@@ -40,6 +83,10 @@ impl DynamicGraph {
             base,
             delta: vec![Vec::new(); n],
             delta_edges: 0,
+            removed: vec![Vec::new(); n],
+            removed_base_edges: 0,
+            dead: vec![false; n],
+            dead_count: 0,
             weights,
         }
     }
@@ -52,20 +99,44 @@ impl DynamicGraph {
             base: Graph::empty(0),
             delta: Vec::new(),
             delta_edges: 0,
+            removed: Vec::new(),
+            removed_base_edges: 0,
+            dead: Vec::new(),
+            dead_count: 0,
             weights: VertexWeights::from_vectors(vec![Vec::new(); dims]),
         }
     }
 
-    /// Number of vertices (base + streamed).
+    /// Size of the vertex-id space (live + tombstoned). Ids `0..n` are
+    /// addressable; use [`Self::is_live`] to tell the two apart and
+    /// [`Self::num_live_vertices`] for the live count.
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.delta.len()
     }
 
-    /// Number of undirected edges (base + delta).
+    /// Number of live (non-tombstoned) vertices.
+    #[inline]
+    pub fn num_live_vertices(&self) -> usize {
+        self.delta.len() - self.dead_count
+    }
+
+    /// Number of vertices tombstoned since the last purge.
+    #[inline]
+    pub fn num_tombstoned(&self) -> usize {
+        self.dead_count
+    }
+
+    /// Whether `v` is an existing, non-tombstoned vertex.
+    #[inline]
+    pub fn is_live(&self, v: VertexId) -> bool {
+        (v as usize) < self.dead.len() && !self.dead[v as usize]
+    }
+
+    /// Number of live undirected edges (base − tombstoned + delta).
     #[inline]
     pub fn num_edges(&self) -> usize {
-        self.base.num_edges() + self.delta_edges
+        self.base.num_edges() - self.removed_base_edges + self.delta_edges
     }
 
     /// Edges still sitting in the delta.
@@ -74,66 +145,97 @@ impl DynamicGraph {
         self.delta_edges
     }
 
-    /// Degree of `v` across base and delta.
+    /// Base edges tombstoned since the last compaction.
+    #[inline]
+    pub fn tombstoned_edge_count(&self) -> usize {
+        self.removed_base_edges
+    }
+
+    /// Live degree of `v` (0 for a tombstoned vertex).
     pub fn degree(&self, v: VertexId) -> usize {
         let base_deg = if (v as usize) < self.base.num_vertices() {
-            self.base.degree(v)
+            self.base.degree(v) - self.removed[v as usize].len()
         } else {
             0
         };
         base_deg + self.delta[v as usize].len()
     }
 
-    /// Neighbours of `v`: base slice chained with delta (each sorted; the
-    /// union is *not* globally sorted, but is duplicate-free).
+    /// Live neighbours of `v`: base slice filtered through the edge
+    /// tombstones, chained with the delta (each sorted; the union is *not*
+    /// globally sorted, but is duplicate-free). Empty for a tombstoned
+    /// vertex — removal sheds its incident edges.
     pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = VertexId> + '_ {
         let base: &[VertexId] = if (v as usize) < self.base.num_vertices() {
             self.base.neighbors(v)
         } else {
             &[]
         };
+        let gone: &[VertexId] = &self.removed[v as usize];
         base.iter()
             .copied()
+            .filter(move |u| gone.binary_search(u).is_err())
             .chain(self.delta[v as usize].iter().copied())
     }
 
-    /// Whether edge `{u, v}` exists in base or delta.
+    /// Whether edge `{u, v}` is live (present and not tombstoned).
     pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
         if (u as usize) < self.base.num_vertices()
             && (v as usize) < self.base.num_vertices()
             && self.base.has_edge(u, v)
         {
-            return true;
+            return self.removed[u as usize].binary_search(&v).is_err();
         }
         self.delta[u as usize].binary_search(&v).is_ok()
     }
 
-    /// The multi-dimensional vertex weights.
+    /// The multi-dimensional vertex weights. Rows of tombstoned vertices
+    /// stay in place (and positive) until the next purging compaction.
     #[inline]
     pub fn weights(&self) -> &VertexWeights {
         &self.weights
     }
 
-    /// Appends a vertex with the given per-dimension weights; returns its id.
+    /// Appends a vertex with the given per-dimension weights; returns its
+    /// id — the current id-space size, tombstoned slots included.
     pub fn add_vertex(&mut self, weight_row: &[f64]) -> VertexId {
         self.weights.push_vertex(weight_row);
         self.delta.push(Vec::new());
+        self.removed.push(Vec::new());
+        self.dead.push(false);
         (self.delta.len() - 1) as VertexId
     }
 
-    /// Adds undirected edge `{u, v}` to the delta. Returns `false` (and
-    /// does nothing) for self-loops and duplicates.
+    /// Adds undirected edge `{u, v}`. Re-adding a tombstoned base edge
+    /// clears the tombstone instead of duplicating the edge in the delta.
+    /// Returns `false` (and does nothing) for self-loops and duplicates.
     ///
     /// # Panics
-    /// Panics if an endpoint is out of range.
+    /// Panics if an endpoint is out of range or tombstoned.
     pub fn add_edge(&mut self, u: VertexId, v: VertexId) -> bool {
         let n = self.num_vertices();
         assert!(
             (u as usize) < n && (v as usize) < n,
             "edge ({u}, {v}) out of range for {n} vertices"
         );
+        assert!(
+            self.is_live(u) && self.is_live(v),
+            "edge ({u}, {v}) touches a tombstoned vertex"
+        );
         if u == v || self.has_edge(u, v) {
             return false;
+        }
+        // A tombstoned base edge is resurrected in place; inserting it into
+        // the delta instead would double-count the edge in every read until
+        // the next compaction deduplicated it.
+        if let Ok(pos) = self.removed[u as usize].binary_search(&v) {
+            self.removed[u as usize].remove(pos);
+            let pos = self.removed[v as usize]
+                .binary_search(&u)
+                .expect("edge tombstones must be symmetric");
+            self.removed[v as usize].remove(pos);
+            self.removed_base_edges -= 1;
+            return true;
         }
         let du = &mut self.delta[u as usize];
         let pos = du.binary_search(&v).unwrap_err();
@@ -145,55 +247,226 @@ impl DynamicGraph {
         true
     }
 
+    /// Removes undirected edge `{u, v}`: a delta edge is dropped in place,
+    /// a base edge is tombstoned. Returns `false` (and does nothing) when
+    /// the edge does not exist (or `u == v`).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of range or tombstoned.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        let n = self.num_vertices();
+        assert!(
+            (u as usize) < n && (v as usize) < n,
+            "edge ({u}, {v}) out of range for {n} vertices"
+        );
+        assert!(
+            self.is_live(u) && self.is_live(v),
+            "edge ({u}, {v}) touches a tombstoned vertex"
+        );
+        if u == v {
+            return false;
+        }
+        if let Ok(pos) = self.delta[u as usize].binary_search(&v) {
+            self.delta[u as usize].remove(pos);
+            let pos = self.delta[v as usize]
+                .binary_search(&u)
+                .expect("delta adjacency must be symmetric");
+            self.delta[v as usize].remove(pos);
+            self.delta_edges -= 1;
+            return true;
+        }
+        let in_base = (u as usize) < self.base.num_vertices()
+            && (v as usize) < self.base.num_vertices()
+            && self.base.has_edge(u, v);
+        if in_base {
+            match self.removed[u as usize].binary_search(&v) {
+                Ok(_) => false, // already tombstoned
+                Err(pos) => {
+                    self.removed[u as usize].insert(pos, v);
+                    let pos = self.removed[v as usize].binary_search(&u).unwrap_err();
+                    self.removed[v as usize].insert(pos, u);
+                    self.removed_base_edges += 1;
+                    true
+                }
+            }
+        } else {
+            false
+        }
+    }
+
+    /// Tombstones vertex `v`: removes every live incident edge, then marks
+    /// the vertex dead. Its id stays addressable (reading as an isolated
+    /// vertex) until the next purging [`Self::compact`] drops it. Returns
+    /// the neighbours it was disconnected from, so callers can settle
+    /// per-edge accounting.
+    ///
+    /// # Panics
+    /// Panics if `v` is out of range or already tombstoned.
+    pub fn remove_vertex(&mut self, v: VertexId) -> Vec<VertexId> {
+        assert!(
+            (v as usize) < self.num_vertices(),
+            "vertex {v} out of range"
+        );
+        assert!(self.is_live(v), "vertex {v} is already tombstoned");
+        let nbrs: Vec<VertexId> = self.neighbors(v).collect();
+        for &u in &nbrs {
+            let removed = self.remove_edge(v, u);
+            debug_assert!(removed, "neighbour list out of sync with edges");
+        }
+        self.dead[v as usize] = true;
+        self.dead_count += 1;
+        nbrs
+    }
+
     /// Overwrites weight dimension `dim` of `v`.
+    ///
+    /// # Panics
+    /// Panics if `v` is tombstoned.
     pub fn set_weight(&mut self, v: VertexId, dim: usize, value: f64) {
+        assert!(self.is_live(v), "vertex {v} is tombstoned");
         self.weights.set_weight(dim, v, value);
     }
 
-    /// Whether the delta has outgrown `slack` as a fraction of base edges
-    /// (always true once streamed vertices exist but base lags behind).
+    /// Whether the churn (delta + tombstoned edges as a fraction of base
+    /// edges, or tombstoned vertices as a fraction of the id space) has
+    /// outgrown `slack`.
     pub fn needs_compaction(&self, slack: f64) -> bool {
-        self.delta_edges as f64 > slack * self.base.num_edges().max(1) as f64
+        let edge_churn = self.delta_edges + self.removed_base_edges;
+        edge_churn as f64 > slack * self.base.num_edges().max(1) as f64
+            || self.dead_count as f64 > slack * self.num_vertices().max(1) as f64
     }
 
-    /// Merges the delta into a fresh base CSR. O(n + m) when the delta is
-    /// non-empty; a no-op otherwise.
-    pub fn compact(&mut self) {
-        if self.delta_edges == 0 && self.base.num_vertices() == self.num_vertices() {
-            return;
+    /// Merges the delta into a fresh base CSR, dropping tombstoned edges —
+    /// and tombstoned vertices, when any exist. O(n + m) when there is
+    /// churn; a no-op otherwise.
+    ///
+    /// Returns `Some(map)` iff vertices were dropped: `map[old]` is the
+    /// new id of old vertex `old`, or [`crate::TOMBSTONE`] if it was
+    /// removed (live vertices keep their relative order). The caller must
+    /// remap every id-indexed structure it owns before using the graph
+    /// again. Edge-only compactions return `None`; ids are unchanged.
+    #[must_use = "a returned remap means vertex ids changed; apply it to every id-indexed structure"]
+    pub fn compact(&mut self) -> Option<Vec<VertexId>> {
+        if self.dead_count == 0 {
+            if self.delta_edges == 0
+                && self.removed_base_edges == 0
+                && self.base.num_vertices() == self.num_vertices()
+            {
+                return None;
+            }
+            self.base = self.merged_builder().build();
+            for adj in &mut self.delta {
+                adj.clear();
+            }
+            for gone in &mut self.removed {
+                gone.clear();
+            }
+            self.delta_edges = 0;
+            self.removed_base_edges = 0;
+            return None;
         }
-        self.base = self.merged_builder().build();
-        for adj in &mut self.delta {
-            adj.clear();
-        }
+
+        // Purge: renumber live vertices 0..live in ascending old-id order.
+        let (map, live_ids) = self.purge_map();
+        self.base = self.live_builder(&map, &live_ids).build();
+        self.weights = self.weights.restrict(&live_ids);
+        let live = live_ids.len();
+        self.delta = vec![Vec::new(); live];
+        self.removed = vec![Vec::new(); live];
+        self.dead = vec![false; live];
         self.delta_edges = 0;
+        self.removed_base_edges = 0;
+        self.dead_count = 0;
+        Some(map)
     }
 
     /// Compacts if needed and returns the full CSR view — the entry point
     /// for refinement, which runs the GD kernels on plain CSR.
+    ///
+    /// # Panics
+    /// Panics if tombstoned vertices are pending: the compaction would
+    /// remap ids and this accessor has no way to hand the map back. Call
+    /// [`Self::compact`] and apply the remap instead.
     pub fn compacted_csr(&mut self) -> &Graph {
-        self.compact();
+        assert!(
+            self.dead_count == 0,
+            "tombstoned vertices pending: call compact() and apply the returned id remap"
+        );
+        let remap = self.compact();
+        debug_assert!(remap.is_none());
         &self.base
     }
 
-    /// The base CSR *without* compacting: misses delta edges unless
-    /// [`Self::compact`] ran since the last mutation. Use
-    /// [`Self::compacted_csr`] unless a prior compaction is guaranteed.
+    /// The base CSR *without* compacting: misses delta edges (and still
+    /// carries tombstoned ones) unless [`Self::compact`] ran since the
+    /// last mutation. Use [`Self::compact`] + this unless a prior
+    /// compaction is guaranteed.
     #[inline]
     pub fn csr(&self) -> &Graph {
         &self.base
     }
 
-    /// Builds the full CSR without mutating (test oracle; prefer
-    /// [`Self::compacted_csr`] in production paths).
+    /// Builds the full live-edge CSR without mutating, preserving the id
+    /// space — tombstoned vertices appear isolated (test oracle; prefer
+    /// [`Self::compact`] + [`Self::csr`] in production paths, and
+    /// [`Self::live_snapshot`] when dead ids must not appear at all).
     pub fn snapshot(&self) -> Graph {
         self.merged_builder().build()
     }
 
-    /// Base edges + delta edges in one builder, sized for the full graph.
+    /// Builds a CSR + weights over the **live** vertices only, renumbered
+    /// exactly as a purging [`Self::compact`] would, without mutating.
+    /// Returns `(graph, weights, live_ids)` where `live_ids[new] = old`.
+    /// This is the reference input for an offline solve of the current
+    /// graph (e.g. the scratch GD leg of `stream_online`).
+    pub fn live_snapshot(&self) -> (Graph, VertexWeights, Vec<VertexId>) {
+        let (map, live_ids) = self.purge_map();
+        let graph = self.live_builder(&map, &live_ids).build();
+        (graph, self.weights.restrict(&live_ids), live_ids)
+    }
+
+    /// The purge renumbering: `(old→new map, live old ids in new order)` —
+    /// live vertices keep their relative order.
+    fn purge_map(&self) -> (Vec<VertexId>, Vec<VertexId>) {
+        let mut map = vec![TOMBSTONE; self.num_vertices()];
+        let mut live_ids = Vec::with_capacity(self.num_live_vertices());
+        for (old, slot) in map.iter_mut().enumerate() {
+            if !self.dead[old] {
+                *slot = live_ids.len() as VertexId;
+                live_ids.push(old as VertexId);
+            }
+        }
+        (map, live_ids)
+    }
+
+    /// Every live edge, renumbered through a [`Self::purge_map`] — the one
+    /// build loop behind both the purging [`Self::compact`] and the
+    /// non-mutating [`Self::live_snapshot`], so the two can never diverge.
+    fn live_builder(&self, map: &[VertexId], live_ids: &[VertexId]) -> GraphBuilder {
+        let mut builder = GraphBuilder::with_edge_capacity(live_ids.len(), self.num_edges());
+        for &old_u in live_ids {
+            for old_v in self.neighbors(old_u) {
+                if old_u < old_v {
+                    debug_assert!(!self.dead[old_v as usize], "live edge to a dead vertex");
+                    builder.add_edge(map[old_u as usize], map[old_v as usize]);
+                }
+            }
+        }
+        builder
+    }
+
+    /// Base edges (minus tombstones) + delta edges in one builder, sized
+    /// for the full id space — dead vertices come out isolated.
     fn merged_builder(&self) -> GraphBuilder {
-        let mut builder = GraphBuilder::from_graph(&self.base);
-        builder.grow_to(self.num_vertices());
+        let mut builder = GraphBuilder::with_edge_capacity(self.num_vertices(), self.num_edges());
+        for u in 0..self.base.num_vertices() {
+            let gone = &self.removed[u];
+            for &v in self.base.neighbors(u as VertexId) {
+                if (u as VertexId) < v && gone.binary_search(&v).is_err() {
+                    builder.add_edge(u as VertexId, v);
+                }
+            }
+        }
         for (u, adj) in self.delta.iter().enumerate() {
             for &v in adj {
                 if (u as VertexId) < v {
@@ -210,8 +483,10 @@ impl DynamicGraph {
             + self
                 .delta
                 .iter()
+                .chain(self.removed.iter())
                 .map(|a| a.capacity() * std::mem::size_of::<VertexId>())
                 .sum::<usize>()
+            + self.dead.len()
             + self.weights.memory_bytes()
     }
 }
@@ -269,7 +544,7 @@ mod tests {
         dg.add_edge(v, 1);
         dg.add_edge(0, 2);
         let before = dg.snapshot();
-        dg.compact();
+        assert!(dg.compact().is_none(), "no dead vertices, no remap");
         assert_eq!(dg.delta_edge_count(), 0);
         assert_eq!(dg.compacted_csr(), &before);
         assert_eq!(dg.num_edges(), 5);
@@ -281,7 +556,7 @@ mod tests {
         assert!(!dg.needs_compaction(0.3));
         dg.add_edge(0, 2);
         assert!(dg.needs_compaction(0.3), "1 delta edge / 3 base > 0.3");
-        dg.compact();
+        assert!(dg.compact().is_none());
         assert!(!dg.needs_compaction(0.3));
     }
 
@@ -291,5 +566,127 @@ mod tests {
         let before = dg.weights().total(0);
         dg.set_weight(2, 0, 3.0);
         assert!((dg.weights().total(0) - (before + 2.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn remove_edge_from_base_and_delta() {
+        let mut dg = seeded();
+        // Delta edge: removed in place, not tombstoned.
+        assert!(dg.add_edge(0, 3));
+        assert!(dg.remove_edge(0, 3));
+        assert_eq!(dg.delta_edge_count(), 0);
+        assert_eq!(dg.tombstoned_edge_count(), 0);
+        assert!(!dg.has_edge(0, 3));
+        // Base edge: tombstoned.
+        assert!(dg.remove_edge(1, 2));
+        assert_eq!(dg.tombstoned_edge_count(), 1);
+        assert!(!dg.has_edge(1, 2));
+        assert!(!dg.has_edge(2, 1));
+        assert_eq!(dg.num_edges(), 2);
+        assert_eq!(dg.degree(1), 1);
+        let n1: Vec<_> = dg.neighbors(1).collect();
+        assert_eq!(n1, vec![0]);
+        // Removing a missing / already-removed edge is a no-op.
+        assert!(!dg.remove_edge(1, 2), "already tombstoned");
+        assert!(!dg.remove_edge(0, 2), "never existed");
+        assert!(!dg.remove_edge(1, 1), "self-loop");
+        assert_eq!(dg.num_edges(), 2);
+    }
+
+    #[test]
+    fn re_adding_a_tombstoned_base_edge_resurrects_it() {
+        let mut dg = seeded();
+        assert!(dg.remove_edge(1, 2));
+        assert!(dg.add_edge(2, 1), "re-add clears the tombstone");
+        assert_eq!(dg.tombstoned_edge_count(), 0);
+        assert_eq!(dg.delta_edge_count(), 0, "must not duplicate into delta");
+        assert!(dg.has_edge(1, 2));
+        assert_eq!(dg.num_edges(), 3);
+        assert!(!dg.add_edge(1, 2), "now a plain duplicate");
+    }
+
+    #[test]
+    fn remove_vertex_sheds_edges_and_reads_isolated() {
+        let mut dg = seeded();
+        dg.add_edge(1, 3);
+        let mut nbrs = dg.remove_vertex(1);
+        nbrs.sort_unstable();
+        assert_eq!(nbrs, vec![0, 2, 3]);
+        assert!(!dg.is_live(1));
+        assert_eq!(dg.num_live_vertices(), 3);
+        assert_eq!(dg.num_vertices(), 4, "id space is stable until purge");
+        assert_eq!(dg.degree(1), 0);
+        assert_eq!(dg.neighbors(1).count(), 0);
+        assert_eq!(dg.degree(0), 0);
+        assert!(!dg.has_edge(0, 1));
+        assert_eq!(dg.num_edges(), 1, "only (2, 3) survives");
+        // The snapshot keeps the id space and isolates the dead vertex.
+        let snap = dg.snapshot();
+        assert_eq!(snap.num_vertices(), 4);
+        assert_eq!(snap.num_edges(), 1);
+        assert_eq!(snap.degree(1), 0);
+    }
+
+    #[test]
+    fn purging_compaction_returns_the_remap() {
+        let mut dg = seeded();
+        let v = dg.add_vertex(&[1.0, 7.0]); // id 4
+        dg.add_edge(v, 0);
+        dg.remove_vertex(1);
+        let w2 = dg.weights().weight(1, 2);
+        let map = dg.compact().expect("dead vertex must force a remap");
+        assert_eq!(map, vec![0, TOMBSTONE, 1, 2, 3]);
+        assert_eq!(dg.num_vertices(), 4);
+        assert_eq!(dg.num_live_vertices(), 4);
+        assert_eq!(dg.num_edges(), 2, "(2,3) and (4,0) survive, remapped");
+        assert!(dg.has_edge(1, 2), "old (2,3) -> new (1,2)");
+        assert!(dg.has_edge(0, 3), "old (0,4) -> new (0,3)");
+        assert_eq!(dg.weights().num_vertices(), 4);
+        assert_eq!(dg.weights().weight(1, 1), w2, "weights follow the remap");
+        assert_eq!(dg.weights().weight(1, 3), 7.0);
+        // Once purged, ids are stable again and compact is a no-op.
+        assert!(dg.compact().is_none());
+    }
+
+    #[test]
+    fn live_snapshot_matches_purging_compaction() {
+        let mut dg = seeded();
+        dg.add_edge(0, 2);
+        dg.remove_vertex(3);
+        let (live, live_w, live_ids) = dg.live_snapshot();
+        assert_eq!(live_ids, vec![0, 1, 2]);
+        assert_eq!(dg.num_vertices(), 4, "live_snapshot must not mutate");
+        dg.compact().expect("remap");
+        assert_eq!(&live, dg.csr());
+        assert_eq!(live_w.total(0), dg.weights().total(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "tombstoned")]
+    fn compacted_csr_rejects_pending_dead_vertices() {
+        let mut dg = seeded();
+        dg.remove_vertex(0);
+        dg.compacted_csr();
+    }
+
+    #[test]
+    fn dead_vertices_trigger_compaction() {
+        let mut dg = seeded();
+        assert!(!dg.needs_compaction(0.2));
+        dg.remove_vertex(0);
+        assert!(dg.needs_compaction(0.2), "1 dead / 4 vertices > 0.2");
+        let _ = dg.compact().expect("remap");
+        assert!(!dg.needs_compaction(0.2));
+    }
+
+    #[test]
+    fn removed_edges_count_toward_the_compaction_trigger() {
+        let mut dg = seeded();
+        assert!(!dg.needs_compaction(0.3));
+        dg.remove_edge(0, 1);
+        assert!(dg.needs_compaction(0.3), "1 tombstone / 3 base > 0.3");
+        assert!(dg.compact().is_none(), "edge-only churn keeps ids");
+        assert_eq!(dg.num_edges(), 2);
+        assert_eq!(dg.tombstoned_edge_count(), 0);
     }
 }

@@ -1,17 +1,26 @@
-//! [`StreamingPartitioner`]: ingest → place → watch drift → refine.
+//! [`StreamingPartitioner`]: ingest → place/release → watch drift → refine.
 //!
 //! The engine owns the [`DynamicGraph`], the serving-side
 //! [`PartitionStore`], and the refinement machinery. Per batch it
 //!
-//! 1. applies the updates, placing arriving vertices with the
+//! 1. applies the updates — placing arriving vertices with the
 //!    multi-dimensional LDG placer ([`crate::placement::LdgPlacer`]),
-//! 2. compacts the delta once it outgrows the base CSR,
+//!    tombstoning removed edges/vertices and releasing their capacity,
+//! 2. compacts the delta once the churn outgrows the base CSR (a
+//!    compaction that purges tombstoned vertices remaps ids; the map is
+//!    surfaced in [`BatchReport::remap`]),
 //! 3. checks the drift telemetry, and — when ε is threatened or a
 //!    scheduled interval elapses — runs **incremental refinement**: a
 //!    greedy multi-constraint rebalance (restores ε-feasibility, in the
 //!    spirit of Maas-style greedy repartitioning) followed by warm-started
 //!    pairwise GD ([`GdPartitioner::refine_pair`]) that re-optimizes
 //!    locality around the churn with all untouched vertices frozen.
+//!
+//! The drift trigger reads the **live** totals of the store, so removals
+//! register in both directions: weight leaving an overloaded part relaxes
+//! the pressure (no spurious refinement), while draining one part shrinks
+//! the per-part average and surfaces every other part's relative overload
+//! (refinement fires even though no load was added anywhere).
 //!
 //! The result is that a batch of updates costs a placement sweep plus a few
 //! cheap GD iterations over the affected pairs, instead of a full
@@ -21,6 +30,7 @@ use crate::delta::{StreamUpdate, UpdateBatch};
 use crate::dynamic::DynamicGraph;
 use crate::placement::LdgPlacer;
 use crate::store::PartitionStore;
+use crate::TOMBSTONE;
 use mdbgp_core::{parallel, GdConfig, GdPartitioner};
 use mdbgp_graph::{Graph, Partition, PartitionError, Partitioner, VertexId, VertexWeights};
 use std::time::Instant;
@@ -110,9 +120,16 @@ impl StreamConfig {
 pub struct StreamTelemetry {
     pub batches: usize,
     pub vertices_placed: usize,
+    pub vertices_removed: usize,
     pub edges_added: usize,
+    pub edges_removed: usize,
     pub weight_updates: usize,
+    /// Compactions that actually merged churn into the base CSR — both
+    /// slack-triggered ones and the unconditional pre-refinement ones.
     pub compactions: usize,
+    /// The subset of `compactions` that purged tombstoned vertices and
+    /// remapped ids.
+    pub remaps: usize,
     pub refinements: usize,
     pub rebalance_moves: usize,
     /// Rebalance moves whose candidate came from a full membership rescan
@@ -128,7 +145,9 @@ pub struct StreamTelemetry {
 #[derive(Clone, Debug)]
 pub struct BatchReport {
     pub vertices_added: usize,
+    pub vertices_removed: usize,
     pub edges_added: usize,
+    pub edges_removed: usize,
     pub weight_updates: usize,
     /// Whether a refinement pass ran after this batch.
     pub refined: bool,
@@ -138,6 +157,12 @@ pub struct BatchReport {
     pub max_imbalance: f64,
     /// Post-batch (post-refinement) edge locality.
     pub edge_locality: f64,
+    /// Old→new vertex-id map if a compaction purged tombstoned vertices
+    /// during this batch (`remap[old]` is the new id, [`crate::TOMBSTONE`]
+    /// for dropped ids). Callers holding vertex ids **must** rewrite them;
+    /// ids are stable whenever this is `None`. Two purges in one batch
+    /// arrive pre-composed into a single map.
+    pub remap: Option<Vec<VertexId>>,
 }
 
 /// The online partitioning engine.
@@ -146,9 +171,13 @@ pub struct StreamingPartitioner {
     graph: DynamicGraph,
     store: PartitionStore,
     /// Vertices touched since the last refinement (new, re-weighted, or
-    /// endpoint of a new edge) — the refinement active set grows a 1-hop
-    /// halo around these.
+    /// endpoint of an added/removed edge) — the refinement active set
+    /// grows a 1-hop halo around these.
     dirty: Vec<bool>,
+    /// Composed old→new id map of every purging compaction since the last
+    /// [`Self::take_remap`] (drained into [`BatchReport::remap`] by
+    /// `ingest`).
+    pending_remap: Option<Vec<VertexId>>,
     telemetry: StreamTelemetry,
     batches_since_refine: usize,
     refine_seed: u64,
@@ -201,6 +230,7 @@ impl StreamingPartitioner {
             graph: DynamicGraph::new(graph, weights),
             store,
             dirty: vec![false; n],
+            pending_remap: None,
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
@@ -220,6 +250,7 @@ impl StreamingPartitioner {
                 &VertexWeights::from_vectors(vec![Vec::new(); dims]),
             ),
             dirty: Vec::new(),
+            pending_remap: None,
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
@@ -241,29 +272,107 @@ impl StreamingPartitioner {
         &self.telemetry
     }
 
-    /// O(1) shard lookup.
+    /// O(1) shard lookup ([`crate::TOMBSTONE`] for a removed vertex).
     pub fn shard_of(&self, v: VertexId) -> u32 {
         self.store.shard_of(v)
     }
 
-    /// Current partition snapshot (O(n)).
+    /// Current partition snapshot (O(n)). Panics while removed-but-unpurged
+    /// vertices exist; call [`Self::purge`] first under churn.
     pub fn partition(&self) -> Partition {
         self.store.to_partition()
     }
 
-    /// Current maximum imbalance across dimensions.
+    /// Current maximum imbalance across dimensions (live totals).
     pub fn max_imbalance(&self) -> f64 {
-        self.store.max_imbalance(self.graph.weights())
+        self.store.max_imbalance()
+    }
+
+    /// Drains the composed old→new id map of any purging compaction since
+    /// the last drain (`ingest` does this automatically into
+    /// [`BatchReport::remap`]; call this after a direct
+    /// [`Self::refine_now`] under churn).
+    pub fn take_remap(&mut self) -> Option<Vec<VertexId>> {
+        self.pending_remap.take()
+    }
+
+    /// Forces a compaction that purges tombstoned vertices, returning the
+    /// old→new id map if ids changed. After this, [`Self::partition`] is
+    /// safe to call again.
+    pub fn purge(&mut self) -> Option<Vec<VertexId>> {
+        self.compact_graph();
+        self.take_remap()
+    }
+
+    /// Compacts the dynamic graph and, when the compaction purged
+    /// tombstoned vertices, applies the id remap to every structure the
+    /// engine owns (store, dirty set) and composes it into
+    /// [`Self::pending_remap`] for the caller.
+    fn compact_graph(&mut self) {
+        // Count every compaction that actually merges (the trigger path
+        // and the unconditional one at the top of refine_now both land
+        // here), so `remaps` stays a subset of `compactions`.
+        let will_merge = self.graph.delta_edge_count() > 0
+            || self.graph.tombstoned_edge_count() > 0
+            || self.graph.num_tombstoned() > 0
+            || self.graph.csr().num_vertices() != self.graph.num_vertices();
+        if will_merge {
+            self.telemetry.compactions += 1;
+        }
+        let Some(map) = self.graph.compact() else {
+            return;
+        };
+        let n_new = self.graph.num_vertices();
+        let mut dirty = vec![false; n_new];
+        for (old, &new) in map.iter().enumerate() {
+            if new != TOMBSTONE {
+                dirty[new as usize] = self.dirty[old];
+            }
+        }
+        self.dirty = dirty;
+        self.store.apply_remap(&map, self.graph.weights());
+        self.telemetry.remaps += 1;
+        self.pending_remap = Some(match self.pending_remap.take() {
+            None => map,
+            // Two purges since the last drain: compose old→mid→new.
+            Some(prev) => prev
+                .iter()
+                .map(|&mid| {
+                    if mid == TOMBSTONE {
+                        TOMBSTONE
+                    } else {
+                        map[mid as usize]
+                    }
+                })
+                .collect(),
+        });
     }
 
     /// Validates a whole batch against the current state without applying
     /// anything, so `ingest` is all-or-nothing: an `Err` means no update
-    /// was applied. Tracks the running vertex count so updates may
-    /// reference vertices added earlier in the same batch.
+    /// was applied. Tracks the running vertex count and the removals made
+    /// earlier in the same batch, so updates may reference vertices added
+    /// earlier in the batch but not ones already removed by it.
     fn validate_batch(&self, batch: &UpdateBatch) -> Result<(), PartitionError> {
         let dims = self.graph.weights().dims();
         let positive = |w: f64| w.is_finite() && w > 0.0;
         let mut n = self.graph.num_vertices() as u64;
+        let mut removed_in_batch: std::collections::HashSet<VertexId> =
+            std::collections::HashSet::new();
+        // Why vertex `v` cannot be referenced at this point of the batch,
+        // if it cannot: distinguishes "never existed" from "removed" so
+        // the error names the actual upstream mistake.
+        let rejection = |v: VertexId, n: u64, removed: &std::collections::HashSet<VertexId>| {
+            if v as u64 >= n {
+                Some(format!("is not a known vertex (stream has {n} so far)"))
+            } else if removed.contains(&v) {
+                Some("was removed earlier in this batch".to_string())
+            } else if (v as u64) < self.graph.num_vertices() as u64 && !self.graph.is_live(v) {
+                Some("was removed by an earlier batch".to_string())
+            } else {
+                None
+            }
+        };
         for (i, update) in batch.updates.iter().enumerate() {
             match update {
                 StreamUpdate::AddVertex { weights, .. } => {
@@ -281,24 +390,35 @@ impl StreamingPartitioner {
                     }
                     n += 1;
                 }
-                StreamUpdate::AddEdge { u, v } => {
+                StreamUpdate::AddEdge { u, v } | StreamUpdate::RemoveEdge { u, v } => {
                     // Name the offending endpoint, not just the pair — in a
                     // 10k-update batch that's the difference between a
                     // one-line fix upstream and a bisection session.
+                    let verb = if matches!(update, StreamUpdate::AddEdge { .. }) {
+                        "edge"
+                    } else {
+                        "edge removal"
+                    };
                     for endpoint in [u, v] {
-                        if *endpoint as u64 >= n {
+                        if let Some(why) = rejection(*endpoint, n, &removed_in_batch) {
                             return Err(PartitionError::Config(format!(
-                                "update {i}: edge ({u}, {v}): endpoint {endpoint} is not a \
-                                 known vertex (stream has {n} so far)"
+                                "update {i}: {verb} ({u}, {v}): endpoint {endpoint} {why}"
                             )));
                         }
                     }
                 }
-                StreamUpdate::SetWeight { v, dim, value } => {
-                    if *v as u64 >= n {
+                StreamUpdate::RemoveVertex { v } => {
+                    if let Some(why) = rejection(*v, n, &removed_in_batch) {
                         return Err(PartitionError::Config(format!(
-                            "update {i}: weight update targets unknown vertex {v} (stream has \
-                             {n} so far)"
+                            "update {i}: vertex removal targets {v}, which {why}"
+                        )));
+                    }
+                    removed_in_batch.insert(*v);
+                }
+                StreamUpdate::SetWeight { v, dim, value } => {
+                    if let Some(why) = rejection(*v, n, &removed_in_batch) {
+                        return Err(PartitionError::Config(format!(
+                            "update {i}: weight update targets vertex {v}, which {why}"
                         )));
                     }
                     if *dim >= dims {
@@ -324,7 +444,9 @@ impl StreamingPartitioner {
     pub fn ingest(&mut self, batch: &UpdateBatch) -> Result<BatchReport, PartitionError> {
         self.validate_batch(batch)?;
         let mut vertices_added = 0usize;
+        let mut vertices_removed = 0usize;
         let mut edges_added = 0usize;
+        let mut edges_removed = 0usize;
         let mut weight_updates = 0usize;
         let placer = LdgPlacer::new(self.cfg.epsilon).with_threads(self.cfg.threads);
         let mut neighbor_counts = vec![0usize; self.cfg.k];
@@ -336,16 +458,16 @@ impl StreamingPartitioner {
                     self.dirty.push(true);
                     vertices_added += 1;
                     // Materialize the adjacency, then place with it.
+                    // Removed endpoints are skipped like out-of-range ones.
                     neighbor_counts.iter_mut().for_each(|c| *c = 0);
                     let mut new_edges: Vec<VertexId> = Vec::with_capacity(neighbors.len());
                     for &u in neighbors {
-                        if u < v && self.graph.add_edge(v, u) {
+                        if u < v && self.graph.is_live(u) && self.graph.add_edge(v, u) {
                             neighbor_counts[self.store.shard_of(u) as usize] += 1;
                             new_edges.push(u);
                         }
                     }
-                    let part =
-                        placer.place(&self.store, self.graph.weights(), &neighbor_counts, weights);
+                    let part = placer.place(&self.store, &neighbor_counts, weights);
                     self.store.push_assignment(part, weights);
                     for &u in &new_edges {
                         self.store.on_edge_added(v, u);
@@ -362,6 +484,32 @@ impl StreamingPartitioner {
                         edges_added += 1;
                     }
                 }
+                StreamUpdate::RemoveEdge { u, v } => {
+                    if self.graph.remove_edge(*u, *v) {
+                        self.store.on_edge_removed(*u, *v);
+                        self.dirty[*u as usize] = true;
+                        self.dirty[*v as usize] = true;
+                        edges_removed += 1;
+                    }
+                }
+                StreamUpdate::RemoveVertex { v } => {
+                    let dims = self.graph.weights().dims();
+                    let row: Vec<f64> = (0..dims)
+                        .map(|j| self.graph.weights().weight(j, *v))
+                        .collect();
+                    // Settle per-edge stats while both endpoints still
+                    // resolve, then release the capacity.
+                    for u in self.graph.remove_vertex(*v) {
+                        self.store.on_edge_removed(*v, u);
+                        self.dirty[u as usize] = true;
+                        edges_removed += 1;
+                    }
+                    self.store.release_vertex(*v, &row);
+                    // The tombstoned id must never seed the refinement
+                    // active set — its (former) neighbours carry the churn.
+                    self.dirty[*v as usize] = false;
+                    vertices_removed += 1;
+                }
                 StreamUpdate::SetWeight { v, dim, value } => {
                     let old = self.graph.weights().weight(*dim, *v);
                     self.graph.set_weight(*v, *dim, *value);
@@ -374,15 +522,18 @@ impl StreamingPartitioner {
 
         self.telemetry.batches += 1;
         self.telemetry.edges_added += edges_added;
+        self.telemetry.edges_removed += edges_removed;
+        self.telemetry.vertices_removed += vertices_removed;
         self.telemetry.weight_updates += weight_updates;
         self.batches_since_refine += 1;
 
         if self.graph.needs_compaction(self.cfg.compact_slack) {
-            self.graph.compact();
-            self.telemetry.compactions += 1;
+            self.compact_graph(); // counts itself in telemetry.compactions
         }
 
         // Drift telemetry: refine when ε is threatened, or on schedule.
+        // The live totals make this sensitive to removals in both
+        // directions (see the module docs).
         let imbalance = self.max_imbalance();
         let drift_trigger = imbalance > self.cfg.drift_headroom * self.cfg.epsilon;
         let schedule_trigger =
@@ -395,21 +546,31 @@ impl StreamingPartitioner {
 
         Ok(BatchReport {
             vertices_added,
+            vertices_removed,
             edges_added,
+            edges_removed,
             weight_updates,
             refined: drift_trigger || schedule_trigger,
             rebalance_moves,
             refine_moves,
             max_imbalance: self.max_imbalance(),
             edge_locality: self.store.edge_locality(),
+            remap: self.pending_remap.take(),
         })
     }
 
     /// Runs a refinement pass unconditionally. Returns
     /// `(rebalance_moves, refine_moves)`.
+    ///
+    /// The pass compacts first; under churn that purge can remap vertex
+    /// ids — drain [`Self::take_remap`] afterwards when calling this
+    /// directly (`ingest` surfaces the map in [`BatchReport::remap`]).
     pub fn refine_now(&mut self) -> Result<(usize, usize), PartitionError> {
         let started = Instant::now();
-        self.graph.compact();
+        // Purge tombstones before anything downstream sees the graph: the
+        // rebalance, the pair ranking and the GD all assume every id is a
+        // live vertex with a live weight row.
+        self.compact_graph();
 
         let mut rebalance_moves = self.greedy_rebalance(self.cfg.max_rebalance_moves);
 
@@ -572,10 +733,19 @@ impl StreamingPartitioner {
         let dims = self.graph.weights().dims();
         let mut moves = 0usize;
         while moves < max_moves {
-            let avgs: Vec<f64> = {
-                let weights = self.graph.weights();
-                (0..dims).map(|j| weights.total(j) / k as f64).collect()
-            };
+            // Live totals: released weight is already gone. A drained
+            // dimension (no live weight at all) can never violate the
+            // trigger; an infinite average zeroes all its ratios.
+            let avgs: Vec<f64> = (0..dims)
+                .map(|j| {
+                    let total = self.store.total(j);
+                    if total > 0.0 {
+                        total / k as f64
+                    } else {
+                        f64::INFINITY
+                    }
+                })
+                .collect();
             // Per-part potential contribution.
             let part_phi = |store: &PartitionStore, p: u32| -> f64 {
                 (0..dims)
@@ -750,14 +920,22 @@ impl StreamingPartitioner {
                 .top_movable(dst, binding, Self::REBALANCE_CANDIDATES);
             truncated |= dst_pool.len() < self.store.part_size(dst);
             self.scan_swap_pairs(
-                src, dst, dim, binding, src_pool, &dst_pool, target, avgs, phis, &mut best,
+                src, dst, dim, binding, src_pool, &dst_pool, 16, target, avgs, phis, &mut best,
             );
         }
         (best, truncated)
     }
 
-    /// Swap fallback over the full membership lists (the pre-heap O(n)
-    /// path, kept for the rare step the pools miss).
+    /// Swap fallback over the full membership lists — exhaustive, no
+    /// relief-score pruning. The pruned pools rank candidates by how much
+    /// they relieve the two binding dimensions, which misses the swaps
+    /// churn makes load-bearing: when every part near its cap differs in
+    /// *which* dimension binds (e.g. removals drained one part's degree
+    /// load while drift filled its unit load), the improving exchange
+    /// pairs a heavy src vertex with a *light* dst vertex that scores at
+    /// the bottom of every relief ranking. Rare (counted in
+    /// `rebalance_full_scans`), so the O(|src|·|dst|·d) sweep is
+    /// acceptable where leaving ε violated is not.
     fn best_swap_full_scan(
         &self,
         src: u32,
@@ -769,7 +947,10 @@ impl StreamingPartitioner {
         let k = self.cfg.k;
         let mut members: Vec<Vec<VertexId>> = vec![Vec::new(); k];
         for v in 0..self.store.num_vertices() as VertexId {
-            members[self.store.shard_of(v) as usize].push(v);
+            let p = self.store.shard_of(v);
+            if p != TOMBSTONE {
+                members[p as usize].push(v);
+            }
         }
         let mut best: Option<(VertexId, VertexId, u32, f64)> = None;
         for dst in (0..k as u32).filter(|&q| q != src) {
@@ -781,6 +962,7 @@ impl StreamingPartitioner {
                 binding,
                 &members[src as usize],
                 &members[dst as usize],
+                usize::MAX,
                 target,
                 avgs,
                 phis,
@@ -790,8 +972,9 @@ impl StreamingPartitioner {
         best
     }
 
-    /// Evaluates the top 16×16 swap pairs of the given pools (ranked by
-    /// the cross-dimension relief scores) against Φ, updating `best`.
+    /// Evaluates the top `pool_cap`×`pool_cap` swap pairs of the given
+    /// pools (ranked by the cross-dimension relief scores; `usize::MAX`
+    /// disables the pruning) against Φ, updating `best`.
     #[allow(clippy::too_many_arguments)]
     fn scan_swap_pairs(
         &self,
@@ -801,6 +984,7 @@ impl StreamingPartitioner {
         binding: usize,
         src_pool: &[VertexId],
         dst_pool: &[VertexId],
+        pool_cap: usize,
         target: f64,
         avgs: &[f64],
         phis: &[f64],
@@ -816,8 +1000,8 @@ impl StreamingPartitioner {
         let in_score = |u: VertexId| {
             weights.weight(binding, u) / avgs[binding] - weights.weight(dim, u) / avgs[dim]
         };
-        let src_out = top_by(src_pool, 16, out_score);
-        let dst_in = top_by(dst_pool, 16, in_score);
+        let src_out = top_by(src_pool, pool_cap, out_score);
+        let dst_in = top_by(dst_pool, pool_cap, in_score);
         let mut dv = vec![0.0f64; dims];
         for &v in &src_out {
             for &u in &dst_in {
@@ -1083,6 +1267,209 @@ mod tests {
             "steady state must not re-trigger refinement"
         );
         assert_eq!(sp.telemetry().refinements, refinements_before);
+    }
+
+    #[test]
+    fn removals_release_capacity_and_hold_epsilon() {
+        let (g, w) = community(600, 12);
+        let mut cfg = fast_cfg(4, 0.05);
+        cfg.max_rebalance_moves = 2048;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+        let before_n = sp.graph().num_live_vertices();
+        let before_m = sp.graph().num_edges();
+        // Concentrate removals on one shard so the *relative* overload of
+        // the others crosses the trigger — no weight is added anywhere.
+        let victims: Vec<u32> = (0..600u32)
+            .filter(|&v| sp.shard_of(v) == 0)
+            .take(80)
+            .collect();
+        let mut batch = UpdateBatch::new();
+        for &v in &victims {
+            batch.remove_vertex(v);
+        }
+        let report = sp.ingest(&batch).unwrap();
+        assert_eq!(report.vertices_removed, 80);
+        assert!(report.edges_removed > 0, "victims had edges");
+        assert!(
+            report.refined,
+            "draining a shard must register as drift (imbalance {})",
+            report.max_imbalance
+        );
+        assert!(
+            report.max_imbalance <= 0.05 + 1e-9,
+            "refinement must restore ε after removals, got {}",
+            report.max_imbalance
+        );
+        assert_eq!(sp.graph().num_live_vertices(), before_n - 80);
+        assert!(sp.graph().num_edges() < before_m);
+        // Refinement compacts, so the purge already happened: ids remapped.
+        let map = report.remap.expect("refinement purges tombstones");
+        for &v in &victims {
+            assert_eq!(map[v as usize], crate::TOMBSTONE);
+        }
+        assert_eq!(sp.store().num_vertices(), before_n - 80);
+        assert_eq!(sp.store().num_assigned(), before_n - 80);
+    }
+
+    #[test]
+    fn drift_trigger_sees_removals_in_both_directions() {
+        // Deterministic loads: path of 6 unit vertices split 4/2.
+        // Initial imbalance 4/3 − 1 = 1/3, below the 0.45 trigger.
+        let g = gen::path(6);
+        let w = VertexWeights::unit(6);
+        let part = Partition::new(vec![0, 0, 0, 0, 1, 1], 2);
+        let mut cfg = fast_cfg(2, 0.5);
+        cfg.compact_slack = 0.45; // keep the mid-test purge out of the way
+        let mut sp = StreamingPartitioner::from_partition(g, w, &part, cfg).unwrap();
+        assert!((sp.max_imbalance() - 1.0 / 3.0).abs() < 1e-12);
+
+        // Relax direction: removing from the heavier part lowers the
+        // imbalance (3 / 2.5 − 1 = 0.2) — no refinement.
+        let mut batch = UpdateBatch::new();
+        batch.remove_vertex(0);
+        let report = sp.ingest(&batch).unwrap();
+        assert!(!report.refined, "relief must not trigger refinement");
+        assert!((report.max_imbalance - 0.2).abs() < 1e-12);
+        assert_eq!(sp.shard_of(0), crate::TOMBSTONE);
+
+        // Tighten direction: removing from the *lighter* part shrinks the
+        // average, so the heavy part's relative overload crosses the
+        // trigger (3 / 2 − 1 = 0.5 > 0.45) with no weight added anywhere.
+        let mut batch = UpdateBatch::new();
+        batch.remove_vertex(5);
+        let report = sp.ingest(&batch).unwrap();
+        assert!(report.refined, "relative overload must trigger refinement");
+        assert!(
+            report.max_imbalance <= 0.5 + 1e-9,
+            "got {}",
+            report.max_imbalance
+        );
+    }
+
+    #[test]
+    fn purge_remap_preserves_assignments() {
+        let (g, w) = community(400, 11);
+        // Unreachable drift trigger so nothing refines (and no moves
+        // muddy the check); low slack so the dead fraction forces a purge
+        // at batch end.
+        let mut cfg = fast_cfg(4, 0.05);
+        cfg.drift_headroom = 50.0;
+        cfg.compact_slack = 0.05;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+        let shards_before: Vec<u32> = (0..400u32).map(|v| sp.shard_of(v)).collect();
+        let mut batch = UpdateBatch::new();
+        for v in 0..30u32 {
+            batch.remove_vertex(v * 13);
+        }
+        let report = sp.ingest(&batch).unwrap();
+        assert!(!report.refined, "loose ε keeps refinement off");
+        let map = report.remap.expect("dead fraction must force a purge");
+        assert_eq!(map.len(), 400);
+        let mut live = 0usize;
+        for v in 0..400u32 {
+            if v % 13 == 0 && v / 13 < 30 {
+                assert_eq!(map[v as usize], crate::TOMBSTONE);
+            } else {
+                let new = map[v as usize];
+                assert_ne!(new, crate::TOMBSTONE);
+                assert_eq!(
+                    sp.shard_of(new),
+                    shards_before[v as usize],
+                    "remap moved vertex {v} between shards"
+                );
+                live += 1;
+            }
+        }
+        assert_eq!(sp.graph().num_vertices(), live);
+        assert_eq!(sp.graph().num_tombstoned(), 0);
+        // The counters must agree exactly with a rebuild from the
+        // post-purge edge set.
+        let mut oracle = sp.store().clone();
+        oracle.rebuild_edge_stats(sp.graph().csr().edges());
+        assert_eq!(sp.store().cut_edges(), oracle.cut_edges());
+        assert!((sp.store().edge_locality() - oracle.edge_locality()).abs() < 1e-12);
+        // Ids are stable again: a follow-up batch reports no remap.
+        let mut benign = UpdateBatch::new();
+        benign.add_edge(0, 1);
+        assert!(sp.ingest(&benign).unwrap().remap.is_none());
+    }
+
+    #[test]
+    fn duplicate_heavy_batch_keeps_edge_stats_exact() {
+        // Regression: re-reported edges (base duplicates, in-batch
+        // duplicates, remove + re-add cycles) must not drift the
+        // incremental intra/cut counters away from the graph. The oracle
+        // is a wholesale rebuild from the live edge set.
+        let (g, w) = community(300, 14);
+        let (u0, v0) = g.edges().next().unwrap();
+        // A pair guaranteed absent from the base graph.
+        let far = (8..300u32).find(|&x| !g.has_edge(7, x)).unwrap();
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.1)).unwrap();
+        let mut batch = UpdateBatch::new();
+        batch.add_edge(u0, v0); // duplicates a base edge
+        batch.add_edge(u0, v0); // twice
+        batch.add_edge(7, far).add_edge(7, far); // in-batch duplicate
+        batch.remove_edge(u0, v0); // tombstone a base edge...
+        batch.add_edge(v0, u0); // ...and resurrect it
+        batch.remove_edge(7, far); // drop the fresh delta edge
+        batch.remove_edge(7, far); // removing it twice is a no-op
+        batch.add_vertex(vec![1.0, 3.0], vec![3, 3, 9]); // duplicate nbr
+        let report = sp.ingest(&batch).unwrap();
+        assert_eq!(report.edges_added, 4, "dup adds must not count");
+        assert_eq!(report.edges_removed, 2);
+        let live_edges: Vec<(u32, u32)> = sp.graph().snapshot().edges().collect();
+        let mut oracle = sp.store().clone();
+        oracle.rebuild_edge_stats(live_edges.into_iter());
+        assert_eq!(sp.store().cut_edges(), oracle.cut_edges());
+        assert!(
+            (sp.store().edge_locality() - oracle.edge_locality()).abs() < 1e-12,
+            "incremental locality {} drifted from rebuilt {}",
+            sp.store().edge_locality(),
+            oracle.edge_locality()
+        );
+    }
+
+    #[test]
+    fn removal_validation_names_the_offending_update() {
+        let (g, w) = community(100, 15);
+        // Unreachable trigger: no refinement, hence no purge, hence the
+        // cross-batch "was removed" case below keeps its id.
+        let mut cfg = fast_cfg(2, 0.1);
+        cfg.drift_headroom = 50.0;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+
+        let mut batch = UpdateBatch::new();
+        batch.remove_vertex(5);
+        batch.remove_vertex(5); // index 1: removed earlier in this batch
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 1"), "{msg}");
+        assert!(msg.contains("removed earlier in this batch"), "{msg}");
+
+        let mut batch = UpdateBatch::new();
+        batch.remove_vertex(50_000);
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 0") && msg.contains("50000"), "{msg}");
+
+        let mut batch = UpdateBatch::new();
+        batch.remove_vertex(7);
+        batch.remove_edge(7, 8); // index 1, endpoint 7 just removed
+        let msg = sp.ingest(&batch).unwrap_err().to_string();
+        assert!(msg.contains("update 1"), "{msg}");
+        assert!(msg.contains("endpoint 7"), "{msg}");
+
+        // Failed batches are all-or-nothing: vertex 5 and 7 still live.
+        assert!(sp.graph().is_live(5) && sp.graph().is_live(7));
+        assert_eq!(sp.telemetry().vertices_removed, 0);
+
+        // Cross-batch: a vertex removed by an earlier batch is named as
+        // such, not as unknown.
+        let mut ok = UpdateBatch::new();
+        ok.remove_vertex(9);
+        sp.ingest(&ok).unwrap();
+        let mut bad = UpdateBatch::new();
+        bad.set_weight(9, 0, 2.0);
+        let msg = sp.ingest(&bad).unwrap_err().to_string();
+        assert!(msg.contains("removed by an earlier batch"), "{msg}");
     }
 
     #[test]

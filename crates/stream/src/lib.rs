@@ -7,11 +7,12 @@
 //! crate keeps a partition valid and high-quality as the graph evolves,
 //! without rerunning GD from scratch:
 //!
-//! * [`DynamicGraph`] — a base CSR plus delta adjacency with periodic
-//!   compaction, so reads stay cheap and refinement always runs on plain
-//!   CSR ([`dynamic`]);
+//! * [`DynamicGraph`] — a base CSR plus delta adjacency and a tombstone
+//!   set for removals, with periodic compaction, so reads stay cheap and
+//!   refinement always runs on plain CSR ([`dynamic`]);
 //! * [`UpdateBatch`] / [`StreamUpdate`] — the stream language: vertex
-//!   arrivals (with adjacency), edge insertions, weight drift ([`delta`]);
+//!   arrivals (with adjacency) and removals, edge insertions and
+//!   deletions, weight drift ([`delta`]);
 //! * [`LdgPlacer`] — multi-dimensional linear-deterministic-greedy
 //!   placement of arriving vertices under per-dimension `(1+ε)` capacity
 //!   slabs ([`placement`]);
@@ -24,6 +25,37 @@
 //!   per-part multi-dimensional loads, live imbalance / locality telemetry
 //!   — plus the per-`(part, dimension)` **rebalance heaps** that give the
 //!   greedy rebalance its O(log n)-per-move candidate queue ([`store`]).
+//!
+//! ## Deletions
+//!
+//! Real churn workloads shrink as well as grow (the dynamic setting
+//! surveyed in Buluç et al., *Recent Advances in Graph Partitioning*),
+//! and the subsystem serves them first-class:
+//!
+//! * **Tombstoning, not rewriting.** [`StreamUpdate::RemoveEdge`] /
+//!   [`StreamUpdate::RemoveVertex`] tombstone in O(deg): delta edges are
+//!   dropped in place, base-CSR edges land in a per-vertex tombstone list,
+//!   and a removed vertex — after shedding its edges — reads as isolated
+//!   while keeping its id. See the [`dynamic`] module docs for the full
+//!   lifecycle.
+//! * **Capacity releases immediately.** [`PartitionStore::release_vertex`]
+//!   subtracts the vertex from its part's loads *and* from the store's
+//!   live per-dimension totals, so imbalance/headroom telemetry, the
+//!   LDG placement slabs and the refinement trigger all see the departure
+//!   at once — `shard_of` answers [`TOMBSTONE`] for the released id. The
+//!   drift trigger therefore works in **both directions**: load leaving an
+//!   overloaded part relaxes the pressure, while draining one part shrinks
+//!   the average and surfaces every other part's relative overload.
+//! * **Purges remap ids.** When churn outgrows
+//!   [`StreamConfig::compact_slack`] (or a refinement pass starts), the
+//!   compaction drops tombstoned edges and vertices and renumbers the
+//!   survivors; the old→new map is surfaced in [`BatchReport::remap`]
+//!   ([`TOMBSTONE`] marks dropped ids) and anything holding vertex ids
+//!   must rewrite them. Between purges ids are stable.
+//!
+//! Duplicate-proof edge accounting rides along: stats only move when the
+//! graph reports an actual insertion/removal, so re-reported edges and
+//! remove/re-add cycles cannot drift the locality counters.
 //!
 //! ## Threading model
 //!
@@ -73,13 +105,22 @@
 //! )
 //! .unwrap();
 //!
-//! // ...then absorb updates online.
+//! // ...then absorb updates online — including churn.
 //! let mut batch = UpdateBatch::new();
 //! batch.add_vertex(vec![1.0, 2.0], vec![3, 17]); // arrives with 2 edges
 //! batch.add_edge(5, 900);
+//! batch.remove_edge(3, 17); // unfriended (no-op if never friends)
+//! batch.remove_vertex(42); // account deleted
 //! let report = sp.ingest(&batch).unwrap();
 //! assert!(report.max_imbalance <= 0.05 + 1e-9);
-//! assert!(sp.shard_of(1000) < 4); // O(1) lookup for the new vertex
+//! // Anything holding vertex ids rewrites them through the remap a
+//! // purging compaction reports (ids are stable when `remap` is None).
+//! let arrival = report.remap.as_ref().map_or(1000, |m| m[1000]);
+//! assert!(sp.shard_of(arrival) < 4); // O(1) lookup for the new vertex
+//! match &report.remap {
+//!     None => assert_eq!(sp.shard_of(42), mdbgp_stream::TOMBSTONE),
+//!     Some(m) => assert_eq!(m[42], mdbgp_stream::TOMBSTONE), // purged
+//! }
 //! ```
 
 pub mod delta;
@@ -87,6 +128,12 @@ pub mod dynamic;
 pub mod engine;
 pub mod placement;
 pub mod store;
+
+/// Sentinel id for a vertex that no longer exists: the shard reported by
+/// [`PartitionStore::shard_of`] for a released vertex, and the slot value
+/// in the old→new id map returned by [`DynamicGraph::compact`] for a
+/// vertex that was dropped. Never a valid part or vertex id.
+pub const TOMBSTONE: u32 = u32::MAX;
 
 pub use delta::{StreamUpdate, UpdateBatch};
 pub use dynamic::DynamicGraph;

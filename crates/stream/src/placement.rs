@@ -21,7 +21,6 @@
 
 use crate::store::PartitionStore;
 use mdbgp_core::parallel;
-use mdbgp_graph::VertexWeights;
 
 /// Part count below which the scoring sweep stays serial — a scoped spawn
 /// costs more than scoring a few hundred parts.
@@ -60,22 +59,22 @@ impl LdgPlacer {
 
     /// Chooses a part for a vertex with weight row `weight_row` whose
     /// placed neighbours are distributed as `neighbor_counts` (length `k`).
-    /// `weights` supplies the current per-dimension totals (including the
-    /// arriving vertex).
+    /// Capacities come from the store's **live** per-dimension totals plus
+    /// the arriving row — so removed weight stops propping up the slabs
+    /// the moment it is released, not at the next purge.
     pub fn place(
         &self,
         store: &PartitionStore,
-        weights: &VertexWeights,
         neighbor_counts: &[usize],
         weight_row: &[f64],
     ) -> u32 {
         let k = store.num_parts();
         debug_assert_eq!(neighbor_counts.len(), k);
         let d = weight_row.len();
-        // Per-dimension capacity, from totals that already include the
-        // arriving vertex (totals only grow, so past placements stay valid).
+        // Per-dimension capacity, from live totals that include the
+        // arriving vertex (it is not pushed into the store yet).
         let caps: Vec<f64> = (0..d)
-            .map(|j| (1.0 + self.epsilon) * weights.total(j) / k as f64)
+            .map(|j| (1.0 + self.epsilon) * (store.total(j) + weight_row[j]) / k as f64)
             .collect();
 
         // fold_ranges itself stays sequential below MIN_PARALLEL_PARTS.
@@ -145,23 +144,22 @@ fn better_candidate(score: f64, fullness: f64, best_score: f64, best_fullness: f
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mdbgp_graph::Partition;
+    use mdbgp_graph::{Partition, VertexWeights};
 
     /// Store with k=2 over 4 unit-weight vertices split 2/2.
-    fn unit_store() -> (PartitionStore, VertexWeights) {
+    fn unit_store() -> PartitionStore {
         let w = VertexWeights::unit(4);
         let p = Partition::new(vec![0, 0, 1, 1], 2);
-        (PartitionStore::new(&p, &w), w)
+        PartitionStore::new(&p, &w)
     }
 
     #[test]
     fn prefers_the_part_with_more_neighbors() {
-        let (store, mut w) = unit_store();
-        w.push_vertex(&[1.0]);
+        let store = unit_store();
         let placer = LdgPlacer::new(0.5);
-        let p = placer.place(&store, &w, &[3, 1], &[1.0]);
+        let p = placer.place(&store, &[3, 1], &[1.0]);
         assert_eq!(p, 0);
-        let p = placer.place(&store, &w, &[0, 2], &[1.0]);
+        let p = placer.place(&store, &[0, 2], &[1.0]);
         assert_eq!(p, 1);
     }
 
@@ -172,10 +170,8 @@ mod tests {
         let w = VertexWeights::unit(4);
         let p = Partition::new(vec![0, 0, 0, 1], 2);
         let store = PartitionStore::new(&p, &w);
-        let mut w = w;
-        w.push_vertex(&[1.0]);
         let placer = LdgPlacer::new(0.05);
-        let chosen = placer.place(&store, &w, &[4, 0], &[1.0]);
+        let chosen = placer.place(&store, &[4, 0], &[1.0]);
         assert_eq!(chosen, 1, "full part must be skipped despite affinity");
     }
 
@@ -184,10 +180,8 @@ mod tests {
         let w = VertexWeights::unit(3);
         let p = Partition::new(vec![0, 0, 1], 2);
         let store = PartitionStore::new(&p, &w);
-        let mut w = w;
-        w.push_vertex(&[1.0]);
         let placer = LdgPlacer::new(0.5);
-        assert_eq!(placer.place(&store, &w, &[0, 0], &[1.0]), 1);
+        assert_eq!(placer.place(&store, &[0, 0], &[1.0]), 1);
     }
 
     #[test]
@@ -196,10 +190,27 @@ mod tests {
         let w = VertexWeights::unit(4);
         let p = Partition::new(vec![0, 0, 0, 1], 2);
         let store = PartitionStore::new(&p, &w);
-        let mut w = w;
-        w.push_vertex(&[1.0]);
         let placer = LdgPlacer::new(0.0);
-        assert_eq!(placer.place(&store, &w, &[2, 2], &[1.0]), 1);
+        assert_eq!(placer.place(&store, &[2, 2], &[1.0]), 1);
+    }
+
+    #[test]
+    fn released_capacity_counts_immediately() {
+        // As `respects_capacity_over_affinity`, but part 0 sheds a vertex
+        // first. The live totals shrink with it (cap = 1.6·(3+1)/2 = 3.2
+        // after one release, at ε = 0.6), so part 0 — at live load 2 —
+        // admits the arrival on affinity without waiting for a purge.
+        let w = VertexWeights::unit(4);
+        let p = Partition::new(vec![0, 0, 0, 1], 2);
+        let mut store = PartitionStore::new(&p, &w);
+        store.release_vertex(0, &[1.0]);
+        assert_eq!(store.total(0), 3.0);
+        let placer = LdgPlacer::new(0.6);
+        assert_eq!(placer.place(&store, &[4, 0], &[1.0]), 0);
+        // At a tight ε the same part is still infeasible (cap = 2.1 < 3):
+        // releases free capacity, they do not suspend the slabs.
+        let placer = LdgPlacer::new(0.05);
+        assert_eq!(placer.place(&store, &[4, 0], &[1.0]), 1);
     }
 
     #[test]
@@ -209,13 +220,11 @@ mod tests {
             VertexWeights::from_vectors(vec![vec![1.0, 1.0, 1.0, 1.0], vec![5.0, 5.0, 1.0, 1.0]]);
         let p = Partition::new(vec![0, 0, 1, 1], 2);
         let store = PartitionStore::new(&p, &w);
-        let mut w = w;
-        w.push_vertex(&[1.0, 1.0]);
         let placer = LdgPlacer::new(0.25);
         // dim-0 cap = 1.25·5/2 = 3.125: part 0 fits (2+1). dim-1 cap =
         // 1.25·13/2 = 8.125: part 0 at 10+1 overflows -> infeasible even
         // though dim 0 has room.
-        let chosen = placer.place(&store, &w, &[5, 0], &[1.0, 1.0]);
+        let chosen = placer.place(&store, &[5, 0], &[1.0, 1.0]);
         assert_eq!(chosen, 1);
     }
 
@@ -230,14 +239,12 @@ mod tests {
             .map(|v| 1.0 + (v * 2654435761 % 97) as f64 / 10.0)
             .collect()]);
         let store = PartitionStore::new(&Partition::new(labels, k), &w);
-        let mut w = w;
-        w.push_vertex(&[1.0]);
         let counts: Vec<usize> = (0..k).map(|p| p * 48271 % 7).collect();
-        let serial = LdgPlacer::new(0.2).place(&store, &w, &counts, &[1.0]);
+        let serial = LdgPlacer::new(0.2).place(&store, &counts, &[1.0]);
         for threads in [2, 3, 8] {
             let par = LdgPlacer::new(0.2)
                 .with_threads(threads)
-                .place(&store, &w, &counts, &[1.0]);
+                .place(&store, &counts, &[1.0]);
             assert_eq!(par, serial, "threads = {threads}");
         }
     }

@@ -3,9 +3,17 @@
 //! A router in front of a sharded graph store needs exactly three things
 //! from the partitioner: O(1) `vertex → shard` lookups, cheap imbalance /
 //! locality telemetry to alarm on, and a stable snapshot to hand to the
-//! refinement pass. The store keeps per-part per-dimension loads and
-//! incremental intra/cut edge counters so every query is O(1) or O(d·k) —
-//! nothing on the serving path ever touches the graph itself.
+//! refinement pass. The store keeps per-part per-dimension loads, live
+//! per-dimension weight totals, and incremental intra/cut edge counters so
+//! every query is O(1) or O(d·k) — nothing on the serving path ever
+//! touches the graph itself.
+//!
+//! Under churn the store is the authority on *live* weight: a released
+//! vertex ([`PartitionStore::release_vertex`]) leaves the loads **and**
+//! the totals immediately, even though its weight row lingers in the
+//! graph's [`mdbgp_graph::VertexWeights`] until the next purge — so the
+//! imbalance/headroom telemetry and the placement capacities never count
+//! weight that already left the system.
 //!
 //! ## Rebalance heaps
 //!
@@ -18,9 +26,13 @@
 //! at serving scale. Entries are invalidated by a per-`(vertex, dimension)`
 //! stamp — every move or weight drift bumps the stamp and pushes a fresh
 //! entry, and stale entries are discarded when popped (with an occasional
-//! compaction when a heap outgrows its live membership 4×), so maintenance
-//! stays amortized O(d·log n) per mutation.
+//! compaction when a heap outgrows its live membership 4×, and an
+//! immediate one when releases drain a part to zero live members — a
+//! drained part sees no further pushes, so the ratio trigger alone would
+//! leak its stale entries until process end), so maintenance stays
+//! amortized O(d·log n) per mutation.
 
+use crate::TOMBSTONE;
 use mdbgp_graph::{Partition, VertexId, VertexWeights};
 use std::collections::BinaryHeap;
 
@@ -59,11 +71,15 @@ impl Ord for HeapEntry {
 /// Vertex→shard map plus live load / locality accounting.
 #[derive(Clone, Debug)]
 pub struct PartitionStore {
+    /// Part of each vertex; [`TOMBSTONE`] marks a released vertex.
     parts: Vec<u32>,
     k: usize,
     dims: usize,
-    /// `loads[p * dims + j] = w^{(j)}(V_p)`.
+    /// `loads[p * dims + j] = w^{(j)}(V_p)` over currently assigned vertices.
     loads: Vec<f64>,
+    /// `totals[j]` = live total weight in dimension `j` (assigned vertices
+    /// only — released weight leaves immediately).
+    totals: Vec<f64>,
     /// Vertices currently assigned to each part (drives heap compaction).
     part_sizes: Vec<usize>,
     /// `stamps[v * dims + j]`: version of the live heap entry of `(v, j)`.
@@ -99,11 +115,13 @@ impl PartitionStore {
                 });
             }
         }
+        let totals = (0..dims).map(|j| weights.total(j)).collect();
         Self {
             parts: partition.as_slice().to_vec(),
             k,
             dims,
             loads,
+            totals,
             part_sizes,
             stamps: vec![0; n * dims],
             heaps,
@@ -118,19 +136,27 @@ impl PartitionStore {
         self.k
     }
 
-    /// Number of vertices currently assigned.
+    /// Size of the vertex-id space (released vertices included — they keep
+    /// their slot, mapped to [`TOMBSTONE`], until a remap drops them).
     #[inline]
     pub fn num_vertices(&self) -> usize {
         self.parts.len()
     }
 
-    /// O(1) shard lookup — the serving hot path.
+    /// Number of vertices currently assigned to a part.
+    #[inline]
+    pub fn num_assigned(&self) -> usize {
+        self.part_sizes.iter().sum()
+    }
+
+    /// O(1) shard lookup — the serving hot path. Returns [`TOMBSTONE`] for
+    /// a vertex released by [`Self::release_vertex`].
     #[inline]
     pub fn shard_of(&self, v: VertexId) -> u32 {
         self.parts[v as usize]
     }
 
-    /// Raw assignment slice.
+    /// Raw assignment slice ([`TOMBSTONE`] entries are released vertices).
     #[inline]
     pub fn as_slice(&self) -> &[u32] {
         &self.parts
@@ -140,6 +166,15 @@ impl PartitionStore {
     #[inline]
     pub fn load(&self, p: u32, j: usize) -> f64 {
         self.loads[p as usize * self.dims + j]
+    }
+
+    /// Live total weight of dimension `j` across all parts — the
+    /// denominator of every capacity/imbalance ratio. Tracks releases
+    /// immediately, unlike the graph-side weight totals which only shrink
+    /// at the next purge.
+    #[inline]
+    pub fn total(&self, j: usize) -> f64 {
+        self.totals[j]
     }
 
     /// Number of vertices currently assigned to part `p`.
@@ -157,6 +192,7 @@ impl PartitionStore {
         self.part_sizes[part as usize] += 1;
         for (j, &w) in weight_row.iter().enumerate() {
             self.loads[part as usize * self.dims + j] += w;
+            self.totals[j] += w;
             self.stamps.push(0);
             self.heaps[part as usize * self.dims + j].push(HeapEntry {
                 key: w,
@@ -166,10 +202,31 @@ impl PartitionStore {
         }
     }
 
+    /// Releases a removed vertex: its weight leaves the part loads and the
+    /// live totals, its heap entries are invalidated, and its slot maps to
+    /// [`TOMBSTONE`] until a purge-time [`Self::apply_remap`] drops it.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if `v` was already released.
+    pub fn release_vertex(&mut self, v: VertexId, weight_row: &[f64]) {
+        debug_assert_eq!(weight_row.len(), self.dims);
+        let p = self.parts[v as usize] as usize;
+        debug_assert!(p != TOMBSTONE as usize, "vertex {v} already released");
+        self.part_sizes[p] -= 1;
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[p * self.dims + j] -= w;
+            self.totals[j] -= w;
+            self.bump_stamp(v, j);
+        }
+        self.parts[v as usize] = TOMBSTONE;
+        self.compact_if_drained(p as u32);
+    }
+
     /// Moves `v` to `part`, shifting its weight row between loads.
     pub fn move_vertex(&mut self, v: VertexId, part: u32, weight_row: &[f64]) {
         debug_assert!((part as usize) < self.k);
         let old = self.parts[v as usize] as usize;
+        debug_assert!(old != TOMBSTONE as usize, "cannot move released vertex {v}");
         if old == part as usize {
             return;
         }
@@ -182,12 +239,14 @@ impl PartitionStore {
             self.push_entry(part, j, HeapEntry { key: w, stamp, v });
         }
         self.parts[v as usize] = part;
+        self.compact_if_drained(old as u32);
     }
 
     /// Accounts a weight drift of `v` in dimension `j`.
     pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new: f64) {
         let p = self.parts[v as usize];
         self.loads[p as usize * self.dims + j] += new - old;
+        self.totals[j] += new - old;
         let stamp = self.bump_stamp(v, j);
         self.push_entry(p, j, HeapEntry { key: new, stamp, v });
     }
@@ -216,6 +275,20 @@ impl PartitionStore {
         self.heaps[slot].push(entry);
     }
 
+    /// Drops every heap of a part that just lost its last live member. A
+    /// drained part receives neither pushes nor queries, so the ratio
+    /// triggers in [`Self::push_entry`] / [`Self::top_movable`] never run
+    /// for it and its stale backlog would leak until process end.
+    fn compact_if_drained(&mut self, p: u32) {
+        if self.part_sizes[p as usize] == 0 {
+            for j in 0..self.dims {
+                if !self.heaps[p as usize * self.dims + j].is_empty() {
+                    self.compact_heap(p, j);
+                }
+            }
+        }
+    }
+
     /// The up-to-`limit` heaviest vertices of part `p` in dimension `j` —
     /// the rebalance candidate queue, heaviest first. Pops lazily: stale
     /// entries are discarded, live ones are pushed back, so the amortized
@@ -223,7 +296,10 @@ impl PartitionStore {
     /// compaction rule). Returns fewer than `limit` when the part is small.
     pub fn top_movable(&mut self, p: u32, j: usize, limit: usize) -> Vec<VertexId> {
         let slot = p as usize * self.dims + j;
-        if self.heaps[slot].len() > 4 * self.part_sizes[p as usize] + 64 {
+        let live_members = self.part_sizes[p as usize];
+        if self.heaps[slot].len() > 4 * live_members + 64
+            || (live_members == 0 && !self.heaps[slot].is_empty())
+        {
             self.compact_heap(p, j);
         }
         let mut live = Vec::with_capacity(limit.min(self.part_sizes[p as usize]));
@@ -265,12 +341,30 @@ impl PartitionStore {
             .collect();
     }
 
-    /// Accounts a new edge for the locality counters.
+    /// Accounts a new edge for the locality counters. Callers must report
+    /// each live edge exactly once: gate on the graph's own dedup (e.g.
+    /// [`crate::DynamicGraph::add_edge`] returning `true`), or the
+    /// counters drift from the graph until the next
+    /// [`Self::rebuild_edge_stats`].
     pub fn on_edge_added(&mut self, u: VertexId, v: VertexId) {
         if self.parts[u as usize] == self.parts[v as usize] {
             self.intra_edges += 1;
         } else {
             self.cut_edges += 1;
+        }
+    }
+
+    /// Reverses [`Self::on_edge_added`] for a removed edge, classified by
+    /// the endpoints' *current* parts — correct because moves only happen
+    /// inside refinement passes, which end with a wholesale recount. Call
+    /// before releasing either endpoint.
+    pub fn on_edge_removed(&mut self, u: VertexId, v: VertexId) {
+        if self.parts[u as usize] == self.parts[v as usize] {
+            debug_assert!(self.intra_edges > 0, "intra counter underflow");
+            self.intra_edges = self.intra_edges.saturating_sub(1);
+        } else {
+            debug_assert!(self.cut_edges > 0, "cut counter underflow");
+            self.cut_edges = self.cut_edges.saturating_sub(1);
         }
     }
 
@@ -311,11 +405,14 @@ impl PartitionStore {
     }
 
     /// `max_j max_p w^{(j)}(V_p) / (w^{(j)}(V)/k) − 1`, the metric the
-    /// ε-guarantee is stated in. O(k·d).
-    pub fn max_imbalance(&self, weights: &VertexWeights) -> f64 {
+    /// ε-guarantee is stated in, over the **live** totals — so removals
+    /// register in both directions: weight leaving an overloaded part
+    /// relaxes its ratio, while draining one part shrinks the average and
+    /// surfaces the *relative* overload of every other part. O(k·d).
+    pub fn max_imbalance(&self) -> f64 {
         let mut worst: f64 = 0.0;
         for j in 0..self.dims {
-            let avg = weights.total(j) / self.k as f64;
+            let avg = self.totals[j] / self.k as f64;
             if avg <= 0.0 {
                 continue;
             }
@@ -328,11 +425,12 @@ impl PartitionStore {
 
     /// Per-dimension normalized headroom `(cap_j − load_pj) / cap_j` of the
     /// least-loaded part — how close the stream is to violating ε
-    /// (drift telemetry; negative means some part is over budget).
-    pub fn min_headroom(&self, weights: &VertexWeights, epsilon: f64) -> f64 {
+    /// (drift telemetry; negative means some part is over budget). Uses
+    /// the live totals, like [`Self::max_imbalance`].
+    pub fn min_headroom(&self, epsilon: f64) -> f64 {
         let mut min_head = f64::INFINITY;
         for j in 0..self.dims {
-            let cap = (1.0 + epsilon) * weights.total(j) / self.k as f64;
+            let cap = (1.0 + epsilon) * self.totals[j] / self.k as f64;
             if cap <= 0.0 {
                 continue;
             }
@@ -344,23 +442,71 @@ impl PartitionStore {
     }
 
     /// Snapshot as a [`Partition`] (O(n); used at refinement boundaries).
+    ///
+    /// # Panics
+    /// Panics if any vertex is released but not yet purged — a
+    /// [`TOMBSTONE`] is not a valid part label. Compact the graph and
+    /// [`Self::apply_remap`] first (the engine does this at the top of
+    /// every refinement pass).
     pub fn to_partition(&self) -> Partition {
+        assert!(
+            self.parts.iter().all(|&p| p != TOMBSTONE),
+            "released vertices pending: apply the compaction remap before snapshotting"
+        );
         Partition::new(self.parts.clone(), self.k)
     }
 
-    /// Recomputes loads — and the rebalance heaps — from scratch
-    /// (float-drift hygiene after long runs).
+    /// Applies a purge-time id remap (`old_to_new[old]` = new id, or
+    /// [`TOMBSTONE`] for a dropped vertex — the map returned by
+    /// [`crate::DynamicGraph::compact`]): compresses the assignment vector
+    /// and rebuilds loads, totals and heaps from the post-purge `weights`.
+    /// Every released slot must be dropped by the map and vice versa; the
+    /// edge counters are unaffected (they count edges, not ids).
+    pub fn apply_remap(&mut self, old_to_new: &[u32], weights: &VertexWeights) {
+        assert_eq!(old_to_new.len(), self.parts.len(), "remap length mismatch");
+        let live = self.num_assigned();
+        assert_eq!(
+            weights.num_vertices(),
+            live,
+            "post-purge weights must cover exactly the live vertices"
+        );
+        let mut parts = vec![TOMBSTONE; live];
+        for (old, &new) in old_to_new.iter().enumerate() {
+            let assigned = self.parts[old] != TOMBSTONE;
+            assert_eq!(
+                new != TOMBSTONE,
+                assigned,
+                "remap disagrees with release state at old id {old}"
+            );
+            if new != TOMBSTONE {
+                parts[new as usize] = self.parts[old];
+            }
+        }
+        self.parts = parts;
+        self.rebuild_loads(weights);
+    }
+
+    /// Recomputes loads, totals — and the rebalance heaps — from scratch
+    /// (float-drift hygiene after long runs; also the second phase of
+    /// [`Self::apply_remap`]). Released-but-unpurged slots contribute
+    /// nothing.
     pub fn rebuild_loads(&mut self, weights: &VertexWeights) {
         assert_eq!(weights.num_vertices(), self.parts.len());
         self.loads.iter_mut().for_each(|l| *l = 0.0);
+        self.totals.iter_mut().for_each(|t| *t = 0.0);
         self.part_sizes.iter_mut().for_each(|s| *s = 0);
         self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.stamps.resize(self.parts.len() * self.dims, 0);
         self.heaps.iter_mut().for_each(BinaryHeap::clear);
         for (v, &p) in self.parts.iter().enumerate() {
+            if p == TOMBSTONE {
+                continue;
+            }
             self.part_sizes[p as usize] += 1;
             for j in 0..self.dims {
                 let w = weights.weight(j, v as VertexId);
                 self.loads[p as usize * self.dims + j] += w;
+                self.totals[j] += w;
                 self.heaps[p as usize * self.dims + j].push(HeapEntry {
                     key: w,
                     stamp: 0,
@@ -392,6 +538,7 @@ mod tests {
         assert_eq!(s.shard_of(3), 1);
         assert_eq!(s.load(0, 0), 2.0);
         assert_eq!(s.load(1, 0), 2.0);
+        assert_eq!(s.total(0), 4.0);
         assert_eq!(s.edge_locality(), 2.0 / 3.0);
         assert_eq!(s.cut_edges(), 1);
     }
@@ -403,29 +550,76 @@ mod tests {
         s.push_assignment(1, &[1.0, 1.0]);
         assert_eq!(s.shard_of(4), 1);
         assert_eq!(s.load(1, 0), 3.0);
+        assert_eq!(s.total(0), 5.0);
         s.move_vertex(4, 0, &[1.0, 1.0]);
         assert_eq!(s.load(0, 0), 3.0);
         assert_eq!(s.load(1, 0), 2.0);
+        assert_eq!(s.total(0), 5.0, "moves do not change the totals");
         s.move_vertex(4, 0, &[1.0, 1.0]); // no-op
         assert_eq!(s.load(0, 0), 3.0);
     }
 
     #[test]
-    fn imbalance_and_headroom() {
+    fn release_frees_capacity_and_tombstones_the_slot() {
         let (mut s, w) = store();
-        assert_eq!(s.max_imbalance(&w), 0.0);
+        let row: Vec<f64> = (0..w.dims()).map(|j| w.weight(j, 1)).collect();
+        s.release_vertex(1, &row);
+        assert_eq!(s.shard_of(1), TOMBSTONE);
+        assert_eq!(s.part_size(0), 1);
+        assert_eq!(s.num_assigned(), 3);
+        assert_eq!(s.load(0, 0), 1.0);
+        assert_eq!(s.total(0), 3.0, "released weight leaves the live total");
+        assert_eq!(s.total(1), 6.0 - row[1]);
+        // The released vertex never surfaces as a rebalance candidate.
+        assert!(!s.top_movable(0, 0, 10).contains(&1));
+    }
+
+    #[test]
+    fn edge_removal_reverses_the_counters() {
+        let (mut s, _) = store();
+        s.on_edge_removed(1, 2); // cut edge
+        assert_eq!(s.cut_edges(), 0);
+        assert_eq!(s.edge_locality(), 1.0);
+        s.on_edge_removed(0, 1); // intra edge
+        assert_eq!(s.edge_locality(), 1.0);
+        s.on_edge_added(0, 1);
+        assert_eq!(s.edge_locality(), 1.0, "1 intra of 1 edge");
+    }
+
+    #[test]
+    fn imbalance_and_headroom() {
+        let (mut s, _) = store();
+        assert_eq!(s.max_imbalance(), 0.0);
         // Overload part 0: unit dimension hits 3/2 (imbalance 0.5), degree
         // dimension hits 5/3 (imbalance 2/3, the max).
         s.move_vertex(2, 0, &[1.0, 2.0]);
         assert!(
-            (s.max_imbalance(&w) - 2.0 / 3.0).abs() < 1e-12,
+            (s.max_imbalance() - 2.0 / 3.0).abs() < 1e-12,
             "{}",
-            s.max_imbalance(&w)
+            s.max_imbalance()
         );
+        assert!(s.min_headroom(0.05) < 0.0, "part over cap must go negative");
+    }
+
+    #[test]
+    fn releases_register_in_the_imbalance_both_ways() {
+        // k=2, unit weights, 3/3 split.
+        let w = VertexWeights::unit(6);
+        let p = Partition::new(vec![0, 0, 0, 1, 1, 1], 2);
+        let mut s = PartitionStore::new(&p, &w);
+        assert_eq!(s.max_imbalance(), 0.0);
+        // Draining part 1 shrinks the average, so part 0 shows up as
+        // relatively overloaded: 3 / (4/2) − 1 = 0.5.
+        s.release_vertex(3, &[1.0]);
+        s.release_vertex(4, &[1.0]);
         assert!(
-            s.min_headroom(&w, 0.05) < 0.0,
-            "part over cap must go negative"
+            (s.max_imbalance() - 0.5).abs() < 1e-12,
+            "{}",
+            s.max_imbalance()
         );
+        // Releasing from the (now relatively overloaded) part relaxes it.
+        s.release_vertex(0, &[1.0]);
+        assert!((s.max_imbalance() - 1.0 / 3.0).abs() < 1e-12);
     }
 
     #[test]
@@ -435,6 +629,7 @@ mod tests {
         w.set_weight(1, 0, old + 4.0);
         s.apply_weight_change(0, 1, old, old + 4.0);
         assert_eq!(s.load(0, 1), 3.0 + 4.0);
+        assert_eq!(s.total(1), 6.0 + 4.0);
     }
 
     #[test]
@@ -443,6 +638,34 @@ mod tests {
         let p = s.to_partition();
         assert_eq!(p.as_slice(), s.as_slice());
         assert_eq!(p.num_parts(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "released vertices pending")]
+    fn partition_snapshot_rejects_unpurged_tombstones() {
+        let (mut s, _) = store();
+        s.release_vertex(0, &[1.0, 1.0]);
+        let _ = s.to_partition();
+    }
+
+    #[test]
+    fn apply_remap_compresses_and_rebuilds() {
+        let (mut s, w) = store();
+        let row: Vec<f64> = (0..w.dims()).map(|j| w.weight(j, 1)).collect();
+        s.release_vertex(1, &row);
+        // Purge: old ids [0, 2, 3] survive as [0, 1, 2].
+        let live_w = w.restrict(&[0, 2, 3]);
+        s.apply_remap(&[0, TOMBSTONE, 1, 2], &live_w);
+        assert_eq!(s.num_vertices(), 3);
+        assert_eq!(s.as_slice(), &[0, 1, 1]);
+        assert_eq!(s.load(0, 0), 1.0);
+        assert_eq!(s.load(1, 0), 2.0);
+        assert_eq!(s.total(0), 3.0);
+        let p = s.to_partition();
+        assert_eq!(p.num_vertices(), 3);
+        // Heaps follow: part 1's heaviest in the degree dimension is old
+        // vertex 2 (degree 2) at its new id 1.
+        assert_eq!(s.top_movable(1, 1, 1), vec![1]);
     }
 
     #[test]
@@ -473,6 +696,33 @@ mod tests {
         let top = s.top_movable(0, 0, 1);
         let brute = brute_force_top(&s, &w, 0, 0);
         assert_eq!(w.weight(0, top[0]), w.weight(0, brute[0]));
+
+        // Draining a part to zero live members must compact its heaps
+        // immediately: a drained part sees no pushes and no queries, so
+        // the ratio trigger alone would leak its stale entries forever.
+        for v in (0..16u32).filter(|v| v % 2 == 1) {
+            let row = [w.weight(0, v)];
+            s.release_vertex(v, &row);
+        }
+        assert_eq!(s.part_size(1), 0);
+        assert_eq!(
+            s.heap_len(1, 0),
+            0,
+            "drained part kept {} stale heap entries",
+            s.heap_len(1, 0)
+        );
+        assert!(s.top_movable(1, 0, 5).is_empty());
+    }
+
+    #[test]
+    fn draining_via_moves_also_compacts() {
+        let w = VertexWeights::unit(4);
+        let p = Partition::new(vec![0, 0, 1, 1], 2);
+        let mut s = PartitionStore::new(&p, &w);
+        s.move_vertex(2, 0, &[1.0]);
+        s.move_vertex(3, 0, &[1.0]);
+        assert_eq!(s.part_size(1), 0);
+        assert_eq!(s.heap_len(1, 0), 0, "move-drained part must compact");
     }
 
     #[test]
@@ -508,7 +758,7 @@ mod tests {
     #[test]
     fn rebalance_heap_matches_brute_force_after_random_drift() {
         // Stamp-invalidated heaps must agree with a full rescore no matter
-        // how moves / drifts / arrivals interleave.
+        // how moves / drifts / arrivals / releases interleave.
         let mut rng_state = 0x9E37u64;
         let mut rng = move || {
             rng_state = rng_state
@@ -525,11 +775,15 @@ mod tests {
         ]);
         let labels: Vec<u32> = (0..n0).map(|v| (v % k) as u32).collect();
         let mut s = PartitionStore::new(&Partition::new(labels, k), &w);
-        for step in 0..300 {
-            match rng() % 3 {
+        let mut released = vec![false; n0];
+        for step in 0..400 {
+            match rng() % 4 {
                 0 => {
                     // Weight drift.
                     let v = (rng() % s.num_vertices()) as u32;
+                    if released[v as usize] {
+                        continue;
+                    }
                     let j = rng() % dims;
                     let old = w.weight(j, v);
                     let new = 0.5 + (rng() % 100) as f64 / 10.0;
@@ -539,15 +793,29 @@ mod tests {
                 1 => {
                     // Move between parts.
                     let v = (rng() % s.num_vertices()) as u32;
+                    if released[v as usize] {
+                        continue;
+                    }
                     let dst = (rng() % k) as u32;
                     let row: Vec<f64> = (0..dims).map(|j| w.weight(j, v)).collect();
                     s.move_vertex(v, dst, &row);
                 }
-                _ => {
+                2 => {
                     // Arrival.
                     let row = vec![1.0 + (rng() % 40) as f64 / 7.0, 1.0 + (rng() % 9) as f64];
                     w.push_vertex(&row);
+                    released.push(false);
                     s.push_assignment((rng() % k) as u32, &row);
+                }
+                _ => {
+                    // Release (keep a healthy majority assigned).
+                    let v = (rng() % s.num_vertices()) as u32;
+                    if released[v as usize] || s.num_assigned() < 20 {
+                        continue;
+                    }
+                    let row: Vec<f64> = (0..dims).map(|j| w.weight(j, v)).collect();
+                    s.release_vertex(v, &row);
+                    released[v as usize] = true;
                 }
             }
             if step % 10 == 0 {

@@ -42,7 +42,7 @@ proptest! {
         let mut all_edges = base_edges.clone();
         for &(u, v, compact_first) in &ops {
             if compact_first {
-                dg.compact();
+                prop_assert!(dg.compact().is_none(), "no removals, no remap");
             }
             let inserted = dg.add_edge(u, v);
             // add_edge reports true exactly for novel non-loop edges.
@@ -56,7 +56,7 @@ proptest! {
         // one-shot build.
         prop_assert_eq!(&dg.snapshot(), &direct);
         prop_assert_eq!(dg.num_edges(), direct.num_edges());
-        dg.compact();
+        prop_assert!(dg.compact().is_none());
         prop_assert_eq!(dg.compacted_csr(), &direct);
         prop_assert_eq!(dg.delta_edge_count(), 0);
     }

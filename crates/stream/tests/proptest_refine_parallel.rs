@@ -29,14 +29,14 @@ fn engine(threads: usize, seed: u64, eps: f64) -> StreamingPartitioner {
 }
 
 /// Per-dimension imbalance of the live store (the ε guarantee is stated
-/// per dimension; `max_imbalance` folds them, so recompute dimension-wise).
+/// per dimension; `max_imbalance` folds them, so recompute dimension-wise
+/// from the store's live totals).
 fn per_dim_imbalance(sp: &StreamingPartitioner) -> Vec<f64> {
-    let w = sp.graph().weights();
     let store = sp.store();
     let k = store.num_parts();
-    (0..w.dims())
+    (0..sp.graph().weights().dims())
         .map(|j| {
-            let avg = w.total(j) / k as f64;
+            let avg = store.total(j) / k as f64;
             (0..k as u32)
                 .map(|p| store.load(p, j) / avg - 1.0)
                 .fold(f64::MIN, f64::max)

@@ -1,7 +1,8 @@
 //! Online streaming: bootstrap a partition with GD, then keep it valid and
-//! local while the graph grows and drifts underneath it — new vertices are
-//! placed greedily in O(deg), and warm-started GD refinement absorbs churn
-//! for a small fraction of a from-scratch solve.
+//! local while the graph grows, churns and drifts underneath it — new
+//! vertices are placed greedily in O(deg), removals tombstone in O(deg)
+//! and release their capacity immediately, and warm-started GD refinement
+//! absorbs the churn for a small fraction of a from-scratch solve.
 //!
 //! Run with: `cargo run --release --example streaming_online [THREADS]`
 //!
@@ -10,9 +11,15 @@
 //! refinement rounds, and the placement sweep — so the speedup is easy to
 //! reproduce locally: compare `… streaming_online 1` against
 //! `… streaming_online 4` on a multi-core box.
+//!
+//! Removal demo: each batch also retires a few users and friendships. A
+//! purging compaction renumbers vertex ids and reports the old→new map in
+//! `BatchReport::remap`; the example keeps an original→current table up to
+//! date the same way a real router would.
 
 use mdbgp::graph::InducedSubgraph;
 use mdbgp::prelude::*;
+use mdbgp::stream::TOMBSTONE;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::time::Instant;
@@ -56,50 +63,116 @@ fn main() {
         sp.max_imbalance() * 100.0
     );
 
+    // Original-id → current-engine-id table; purges remap engine ids, so
+    // anything holding vertex ids (here: the replay itself) rewrites its
+    // references from `BatchReport::remap`.
+    let mut cur_id: Vec<u32> = (0..bootstrap_n as u32).collect();
+
     // 3. Stream the rest: each batch brings arrivals (with their edges to
-    //    already-present vertices), fresh friendships, and activity drift.
+    //    already-present vertices), fresh friendships, activity drift —
+    //    and churn: some users and friendships leave.
     let mut arrived = bootstrap_n as u32;
     let mut batch_no = 0;
     while (arrived as usize) < total {
         batch_no += 1;
         let end = (arrived + 500).min(total as u32);
         let mut batch = UpdateBatch::new();
+        let engine_base = sp.graph().num_vertices() as u32;
         for v in arrived..end {
             let backward: Vec<u32> = full
                 .neighbors(v)
                 .iter()
                 .copied()
                 .filter(|&u| u < v)
+                .map(|u| cur_id[u as usize])
+                .filter(|&u| u != TOMBSTONE)
                 .collect();
             let degree_weight = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, degree_weight], backward);
+            // The engine assigns arrival ids sequentially from the current
+            // id-space size.
+            cur_id.push(engine_base + (v - arrived));
         }
+        let live = |cur_id: &[u32], orig: u32| cur_id[orig as usize] != TOMBSTONE;
         for _ in 0..200 {
-            batch.add_edge(rng.gen_range(0..arrived), rng.gen_range(0..arrived));
+            let (u, v) = (rng.gen_range(0..arrived), rng.gen_range(0..arrived));
+            if live(&cur_id, u) && live(&cur_id, v) {
+                batch.add_edge(cur_id[u as usize], cur_id[v as usize]);
+            }
         }
         for _ in 0..100 {
-            batch.set_weight(rng.gen_range(0..arrived), 0, rng.gen_range(1.0..2.5));
+            let v = rng.gen_range(0..arrived);
+            if live(&cur_id, v) {
+                batch.set_weight(cur_id[v as usize], 0, rng.gen_range(1.0..2.5));
+            }
+        }
+        // Churn: ~60 departures and ~60 unfriendings per batch. Vertex
+        // removals go last so earlier updates still resolve.
+        let mut leavers: Vec<u32> = Vec::new();
+        for _ in 0..60 {
+            let u = rng.gen_range(0..arrived);
+            if !live(&cur_id, u) {
+                continue;
+            }
+            let cu = cur_id[u as usize];
+            let deg = sp.graph().degree(cu);
+            if deg == 0 {
+                continue;
+            }
+            let cv = sp.graph().neighbors(cu).nth(rng.gen_range(0..deg)).unwrap();
+            batch.remove_edge(cu, cv);
+        }
+        for _ in 0..60 {
+            let v = rng.gen_range(0..arrived);
+            if live(&cur_id, v) && !leavers.contains(&v) {
+                leavers.push(v);
+            }
+        }
+        for &v in &leavers {
+            batch.remove_vertex(cur_id[v as usize]);
+            cur_id[v as usize] = TOMBSTONE;
         }
         arrived = end;
 
         let start = Instant::now();
         let report = sp.ingest(&batch).expect("ingest");
+        if let Some(remap) = &report.remap {
+            for slot in cur_id.iter_mut().filter(|s| **s != TOMBSTONE) {
+                *slot = remap[*slot as usize];
+            }
+        }
         println!(
-            "batch {batch_no}: {:5.1}ms  imbalance {:.2}%  locality {:.1}%{}",
+            "batch {batch_no}: {:5.1}ms  +{} -{} vertices  imbalance {:.2}%  locality {:.1}%{}{}",
             start.elapsed().as_secs_f64() * 1e3,
+            report.vertices_added,
+            report.vertices_removed,
             report.max_imbalance * 100.0,
             report.edge_locality * 100.0,
-            if report.refined { "  <- refined" } else { "" }
+            if report.refined { "  <- refined" } else { "" },
+            if report.remap.is_some() {
+                "  <- ids remapped"
+            } else {
+                ""
+            }
         );
         assert!(report.max_imbalance <= EPS + 1e-9, "ε-guarantee violated");
     }
 
-    // 4. The serving path stays O(1) throughout.
+    // 4. The serving path stays O(1) throughout; look a surviving original
+    //    id up through the table.
     let t = sp.telemetry();
+    let survivor = (0..total as u32)
+        .rev()
+        .find(|&v| cur_id[v as usize] != TOMBSTONE)
+        .expect("someone survived");
     println!(
-        "\n{} vertices placed, {} refinements; vertex 19999 lives on shard {}",
+        "\n{} placed, {} removed, {} refinements ({} id remaps); original vertex {} now lives \
+         on shard {}",
         t.vertices_placed,
+        t.vertices_removed,
         t.refinements,
-        sp.shard_of(19_999)
+        t.remaps,
+        survivor,
+        sp.shard_of(cur_id[survivor as usize])
     );
 }
