@@ -303,7 +303,11 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         batch_no += 1;
         let end = ((arrived as usize + per_batch).min(n)) as u32;
         let mut batch = UpdateBatch::new();
-        let engine_base = sp.graph().num_vertices() as u32;
+        // Arrival ids recycle tombstoned slots under churn; mirror the
+        // engine's free list so same-batch co-arrival edges resolve, and
+        // verify against the authoritative report below.
+        let predicted =
+            mdbgp_bench::churn::predict_arrival_ids(sp.graph(), (end - arrived) as usize);
         for v in arrived..end {
             let backward: Vec<u32> = graph
                 .neighbors(v)
@@ -314,9 +318,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
                 .collect();
             let w = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, w], backward);
-            // The engine assigns arrival ids sequentially from the current
-            // id-space size.
-            tracker.push(engine_base + (v - arrived));
+            tracker.push(predicted[(v - arrived) as usize]);
         }
         if churn > 0.0 {
             let removals = ((end - arrived) as f64 * churn) as usize;
@@ -335,9 +337,10 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         if let Some(remap) = &report.remap {
             tracker.apply_remap(remap);
         }
+        mdbgp_bench::churn::verify_arrival_ids(&tracker, end, &report.arrival_ids)?;
         println!(
             "batch {batch_no}: +{} -{} vertices, +{} -{} edges in {:.1}ms — imbalance \
-             {:.2}%, locality {:.1}%{}",
+             {:.2}%, locality {:.1}%{}{}",
             report.vertices_added,
             report.vertices_removed,
             report.edges_added,
@@ -349,6 +352,14 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
                 format!(
                     " (refined: {} rebalance + {} gd moves)",
                     report.rebalance_moves, report.refine_moves
+                )
+            } else {
+                String::new()
+            },
+            if report.placement_conflicts > 0 {
+                format!(
+                    " (repaired {} placement conflicts in {} passes)",
+                    report.placement_conflicts, report.repair_passes
                 )
             } else {
                 String::new()

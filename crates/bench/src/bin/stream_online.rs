@@ -24,12 +24,20 @@
 //!
 //! CI hooks: `--threads T` sizes the worker pool of the incremental path,
 //! `--json-out FILE` dumps the per-batch wall-clock / cut / imbalance
-//! record, and `--check-against BASELINE` gates the run against a
-//! committed record (`BENCH_stream.json`), failing on ε violations or on a
-//! machine-normalized wall-clock regression beyond `--max-regress`
-//! (default 0.30) — see [`mdbgp_bench::perfgate`].
+//! record — including per-pipeline-stage totals
+//! (validate/split/place/repair/commit/refine) and the placement-conflict
+//! / repair-pass / rebalance-full-scan counters — and
+//! `--check-against BASELINE` gates the run against a committed record
+//! (`BENCH_stream.json`), failing on ε violations, on a machine-normalized
+//! wall-clock regression beyond `--max-regress` (default 0.30), or on a
+//! `rebalance_full_scans` increase over the baseline — see
+//! [`mdbgp_bench::perfgate`]. `--arrivals-heavy true` flips the defaults
+//! to a placement-bound preset (3000 arrivals, 100 extra edges, drift 30)
+//! whose ingest wall-clock is carried by the speculative placement +
+//! conflict repair stages — the leg the parallel-placement scaling check
+//! runs on (`BENCH_stream_place.json`).
 
-use mdbgp_bench::churn::{queue_removals, IdTracker};
+use mdbgp_bench::churn::{predict_arrival_ids, queue_removals, verify_arrival_ids, IdTracker};
 use mdbgp_bench::perfgate::{check_parallel_speedup, check_regression, BatchPerf, PerfRecord};
 use mdbgp_bench::policies::timed;
 use mdbgp_bench::table::Table;
@@ -74,6 +82,21 @@ fn parse_args() -> Result<Args, String> {
         map.insert(key.to_string(), value.clone());
         i += 2;
     }
+    // `--arrivals-heavy true`: a placement-bound preset — large arrival
+    // batches, few extra edges, low drift — so the speculative placement
+    // stage dominates the ingest wall-clock and the CI scaling check
+    // measures *it*, not refinement. Individual flags still override.
+    let arrivals_heavy = match map.get("arrivals-heavy").map(String::as_str) {
+        None => false,
+        Some("true") | Some("1") => true,
+        Some("false") | Some("0") => false,
+        Some(v) => return Err(format!("--arrivals-heavy: expected true/false, got '{v}'")),
+    };
+    let (d_arrivals, d_extra, d_drift) = if arrivals_heavy {
+        (3000, 100, 30)
+    } else {
+        (500, 500, 150)
+    };
     let num = |key: &str, default: usize| -> Result<usize, String> {
         map.get(key).map_or(Ok(default), |v| {
             v.parse()
@@ -83,13 +106,13 @@ fn parse_args() -> Result<Args, String> {
     Ok(Args {
         n: num("n", 50_000)?,
         batches: num("batches", 10)?,
-        arrivals: num("arrivals", 500)?,
-        extra_edges: num("extra-edges", 500)?,
+        arrivals: num("arrivals", d_arrivals)?,
+        extra_edges: num("extra-edges", d_extra)?,
         // Drift is concentrated on one shard (see the batch assembly), so
-        // 150 updates/batch already trigger refinement on roughly half the
-        // batches — enough to exercise the path without drowning the
-        // placement numbers.
-        drift: num("drift", 150)?,
+        // the default 150 updates/batch already trigger refinement on
+        // roughly half the batches — enough to exercise the path without
+        // drowning the placement numbers.
+        drift: num("drift", d_drift)?,
         churn: match map.get("churn").map_or(Ok(0.0), |v| {
             v.parse()
                 .map_err(|_| format!("--churn: cannot parse '{v}'"))
@@ -130,9 +153,9 @@ fn main() -> ExitCode {
         Err(e) => {
             eprintln!(
                 "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
-                 [--extra-edges E] [--drift D] [--churn F] [--k K] [--eps EPS] [--seed S] \
-                 [--threads T] [--json-out FILE] [--check-against BASELINE] \
-                 [--max-regress FRAC] [--expect-speedup-over FILE] \
+                 [--extra-edges E] [--drift D] [--churn F] [--arrivals-heavy true] [--k K] \
+                 [--eps EPS] [--seed S] [--threads T] [--json-out FILE] \
+                 [--check-against BASELINE] [--max-regress FRAC] [--expect-speedup-over FILE] \
                  [--min-par-speedup X]"
             );
             return ExitCode::FAILURE;
@@ -189,6 +212,8 @@ fn main() -> ExitCode {
     ]);
     let mut inc_total = Duration::ZERO;
     let mut scratch_total = Duration::ZERO;
+    // validate / split / place / repair / commit / refine, summed (ms).
+    let mut stage_totals = [0.0f64; 6];
     let mut eps_ok = true;
     let mut arrived = args.n as u32;
     // Original-id bookkeeping: churn remaps engine ids at every purge, so
@@ -201,7 +226,10 @@ fn main() -> ExitCode {
         // activity drift, then (under --churn) removals.
         let mut batch = UpdateBatch::new();
         let end = arrived + args.arrivals as u32;
-        let engine_base = sp.graph().num_vertices() as u32;
+        // Under churn the engine recycles tombstoned ids, so arrival ids
+        // are predicted by mirroring its free list (needed for same-batch
+        // co-arrival edges) and verified against the report afterwards.
+        let predicted = predict_arrival_ids(sp.graph(), args.arrivals);
         for v in arrived..end {
             let backward: Vec<u32> = full
                 .neighbors(v)
@@ -212,9 +240,7 @@ fn main() -> ExitCode {
                 .collect();
             let degree_weight = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, degree_weight], backward);
-            // The engine assigns arrival ids sequentially from the current
-            // id-space size.
-            tracker.push(engine_base + (v - arrived));
+            tracker.push(predicted[(v - arrived) as usize]);
         }
         for _ in 0..args.extra_edges {
             let u = tracker.current(rng.gen_range(0..arrived));
@@ -258,11 +284,25 @@ fn main() -> ExitCode {
         // Incremental path.
         let (report, inc_time) = timed(|| sp.ingest(&batch).expect("ingest failed"));
         inc_total += inc_time;
+        stage_totals = [
+            stage_totals[0] + report.timings.validate_ms,
+            stage_totals[1] + report.timings.split_ms,
+            stage_totals[2] + report.timings.place_ms,
+            stage_totals[3] + report.timings.repair_ms,
+            stage_totals[4] + report.timings.commit_ms,
+            stage_totals[5] + report.timings.refine_ms,
+        ];
         if report.max_imbalance > args.eps + 1e-9 {
             eps_ok = false;
         }
         if let Some(remap) = &report.remap {
             tracker.apply_remap(remap);
+        }
+        // The predictions fed the tracker before ingest; the report's
+        // arrival_ids are the authority (already post-remap).
+        if let Err(e) = verify_arrival_ids(&tracker, end, &report.arrival_ids) {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
         }
 
         // Scratch path: full GD on the same post-batch live graph/weights
@@ -308,7 +348,8 @@ fn main() -> ExitCode {
     );
     println!(
         "telemetry: {} placed, {} removed, +{} -{} edges, {} weight updates, \
-         {} compactions ({} remaps), {} refinements ({} rebalance + {} gd moves)",
+         {} compactions ({} remaps), {} refinements ({} rebalance + {} gd moves), \
+         {} placement conflicts ({} repair passes), {} rebalance full scans",
         t.vertices_placed,
         t.vertices_removed,
         t.edges_added,
@@ -318,7 +359,20 @@ fn main() -> ExitCode {
         t.remaps,
         t.refinements,
         t.rebalance_moves,
-        t.refine_moves
+        t.refine_moves,
+        t.placement_conflicts,
+        t.repair_passes,
+        t.rebalance_full_scans
+    );
+    println!(
+        "stages (ms): validate {:.1}, split {:.1}, place {:.1}, repair {:.1}, commit {:.1}, \
+         refine {:.1}",
+        stage_totals[0],
+        stage_totals[1],
+        stage_totals[2],
+        stage_totals[3],
+        stage_totals[4],
+        stage_totals[5]
     );
 
     let record = PerfRecord {
@@ -330,6 +384,15 @@ fn main() -> ExitCode {
         eps_ok,
         final_locality: sp.store().edge_locality(),
         final_imbalance: sp.max_imbalance(),
+        validate_total_ms: stage_totals[0],
+        split_total_ms: stage_totals[1],
+        place_total_ms: stage_totals[2],
+        repair_total_ms: stage_totals[3],
+        commit_total_ms: stage_totals[4],
+        refine_total_ms: stage_totals[5],
+        placement_conflicts: Some(t.placement_conflicts),
+        repair_passes: Some(t.repair_passes),
+        rebalance_full_scans: Some(t.rebalance_full_scans),
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

@@ -69,6 +69,64 @@ impl IdTracker {
     }
 }
 
+/// Predicts the engine ids the next `count` arrivals of one batch will be
+/// assigned, mirroring [`DynamicGraph::add_vertex`]'s free-list recycling:
+/// tombstoned ids come back most-recently-freed first, then fresh ids
+/// extend the id space. Valid for a batch whose removals are queued
+/// *after* its arrivals (the [`queue_removals`] convention) — earlier
+/// same-batch removals would grow the free list mid-batch. Harnesses push
+/// these predictions into their [`IdTracker`] so same-batch backward edges
+/// between co-arrivals resolve, then verify them against the report's
+/// authoritative `arrival_ids`.
+pub fn predict_arrival_ids(graph: &DynamicGraph, count: usize) -> Vec<VertexId> {
+    let mut free = graph.free_ids().to_vec();
+    let mut next = graph.num_vertices() as VertexId;
+    (0..count)
+        .map(|_| {
+            free.pop().unwrap_or_else(|| {
+                let id = next;
+                next += 1;
+                id
+            })
+        })
+        .collect()
+}
+
+/// Checks a batch's predicted arrival ids (pushed into `tracker` at
+/// assembly time) against the authoritative post-remap
+/// `BatchReport::arrival_ids`. `end` is the exclusive original-id bound of
+/// the batch's arrivals, which occupy `end - arrival_ids.len()..end` in
+/// the tracker. A tracker entry removed by the batch's own churn must be
+/// reported as `TOMBSTONE`; anything else is a prediction divergence —
+/// same-batch co-arrival edges attached to the wrong vertices.
+pub fn verify_arrival_ids(
+    tracker: &IdTracker,
+    end: VertexId,
+    arrival_ids: &[VertexId],
+) -> Result<(), String> {
+    for (i, v) in (end - arrival_ids.len() as VertexId..end).enumerate() {
+        match tracker.current(v) {
+            Some(cur) if cur == arrival_ids[i] => {}
+            Some(cur) => {
+                return Err(format!(
+                    "arrival id prediction diverged for original {v}: predicted {cur}, engine \
+                     assigned {}",
+                    arrival_ids[i]
+                ))
+            }
+            None if arrival_ids[i] == TOMBSTONE => {}
+            None => {
+                return Err(format!(
+                    "original {v} was removed in its own batch but the engine reports arrival \
+                     id {}",
+                    arrival_ids[i]
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
 /// Appends `edge_removals` random live-edge removals and `vertex_removals`
 /// random live-vertex removals to `batch`, addressing the engine in
 /// current ids via `tracker`. Vertex victims are drawn first and marked

@@ -64,6 +64,26 @@ pub struct PerfRecord {
     pub final_locality: f64,
     /// Max imbalance after the final batch.
     pub final_imbalance: f64,
+    /// Ingest wall-clock per pipeline stage, summed across batches
+    /// (milliseconds; 0 on records predating the staged pipeline). The
+    /// split lets a regression localize — "placement got slower" reads
+    /// directly off the record instead of hiding inside `inc_total_ms`.
+    pub validate_total_ms: f64,
+    pub split_total_ms: f64,
+    pub place_total_ms: f64,
+    pub repair_total_ms: f64,
+    pub commit_total_ms: f64,
+    pub refine_total_ms: f64,
+    /// Speculative placements evicted by conflict repair across the run
+    /// (`None` on records predating the staged pipeline).
+    pub placement_conflicts: Option<usize>,
+    /// Conflict-repair passes across the run (`None` on legacy records).
+    pub repair_passes: Option<usize>,
+    /// Rebalance full-membership rescans across the run (`None` on legacy
+    /// records). Deterministic for a fixed workload, so the gate fails a
+    /// run whose count *increased* over the baseline — the committed
+    /// number pins the composite-relief-key heap's candidate quality.
+    pub rebalance_full_scans: Option<usize>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -90,6 +110,21 @@ impl PerfRecord {
         let _ = writeln!(s, "  \"eps_ok\": {},", self.eps_ok);
         let _ = writeln!(s, "  \"final_locality\": {:.4},", self.final_locality);
         let _ = writeln!(s, "  \"final_imbalance\": {:.6},", self.final_imbalance);
+        let _ = writeln!(s, "  \"validate_total_ms\": {:.3},", self.validate_total_ms);
+        let _ = writeln!(s, "  \"split_total_ms\": {:.3},", self.split_total_ms);
+        let _ = writeln!(s, "  \"place_total_ms\": {:.3},", self.place_total_ms);
+        let _ = writeln!(s, "  \"repair_total_ms\": {:.3},", self.repair_total_ms);
+        let _ = writeln!(s, "  \"commit_total_ms\": {:.3},", self.commit_total_ms);
+        let _ = writeln!(s, "  \"refine_total_ms\": {:.3},", self.refine_total_ms);
+        if let Some(c) = self.placement_conflicts {
+            let _ = writeln!(s, "  \"placement_conflicts\": {c},");
+        }
+        if let Some(p) = self.repair_passes {
+            let _ = writeln!(s, "  \"repair_passes\": {p},");
+        }
+        if let Some(f) = self.rebalance_full_scans {
+            let _ = writeln!(s, "  \"rebalance_full_scans\": {f},");
+        }
         s.push_str("  \"batches\": [\n");
         for (i, b) in self.batches.iter().enumerate() {
             let _ = write!(
@@ -195,26 +230,57 @@ impl PerfRecord {
             });
         }
 
+        // Fields younger than the record format: absent keys take the
+        // documented default (legacy baselines must keep parsing), but a
+        // present-and-malformed value is an error like any other field.
+        let num_or_zero = |key: &str| -> Result<f64, String> {
+            if get(key).is_ok() {
+                num(key)
+            } else {
+                Ok(0.0)
+            }
+        };
+        let opt_count = |key: &str| -> Result<Option<usize>, String> {
+            if get(key).is_ok() {
+                num(key).map(|v| Some(v as usize))
+            } else {
+                Ok(None)
+            }
+        };
         Ok(Self {
             threads: num("threads")? as usize,
-            // Absent from pre-churn baselines (add-only runs) — but a
-            // present-and-malformed value is an error like any other field,
-            // not a silent 0.0.
-            churn: if get("churn").is_ok() {
-                num("churn")?
-            } else {
-                0.0
-            },
+            churn: num_or_zero("churn")?,
             inc_total_ms: num("inc_total_ms")?,
             scratch_total_ms: num("scratch_total_ms")?,
             speedup: num("speedup")?,
             eps_ok: get("eps_ok")? == "true",
             final_locality: num("final_locality")?,
             final_imbalance: num("final_imbalance")?,
+            validate_total_ms: num_or_zero("validate_total_ms")?,
+            split_total_ms: num_or_zero("split_total_ms")?,
+            place_total_ms: num_or_zero("place_total_ms")?,
+            repair_total_ms: num_or_zero("repair_total_ms")?,
+            commit_total_ms: num_or_zero("commit_total_ms")?,
+            refine_total_ms: num_or_zero("refine_total_ms")?,
+            placement_conflicts: opt_count("placement_conflicts")?,
+            repair_passes: opt_count("repair_passes")?,
+            rebalance_full_scans: opt_count("rebalance_full_scans")?,
             batches,
         })
     }
 }
+
+/// Allowed regression of the placement-stage normalized wall-clock.
+/// Wider than the total-wall-clock band: the stage totals are a few
+/// milliseconds, so scheduler jitter moves them proportionally more —
+/// while the regressions this gate exists for (a serialized chunk fan-out,
+/// an accidentally quadratic scoring sweep) cost well over 2×.
+pub const PLACE_STAGE_REGRESSION: f64 = 0.75;
+
+/// Baseline placement-stage wall-clock (ms) below which the stage gate
+/// stays silent — a sub-millisecond stage is rounding noise, and legacy
+/// baselines record 0.
+pub const MIN_STAGE_MS: f64 = 1.0;
 
 /// Gate verdict: `Err` carries the human-readable failure reasons.
 ///
@@ -226,7 +292,18 @@ impl PerfRecord {
 /// * normalized wall-clock (`1/speedup`) regressed more than
 ///   `max_regression` (e.g. `0.30`) relative to the baseline → fail;
 /// * final edge locality dropped more than 10 points below baseline →
-///   fail (don't let the gate reward trading quality for speed).
+///   fail (don't let the gate reward trading quality for speed);
+/// * `rebalance_full_scans` exceeded the baseline's count (both present;
+///   the count is deterministic for a fixed workload) → fail — the
+///   composite relief-key heaps must not regress toward full rescans;
+/// * the **placement-stage** normalized wall-clock
+///   (`(place + repair) / scratch`, machine-normalized like the total)
+///   regressed more than [`PLACE_STAGE_REGRESSION`] → fail. The total
+///   gate alone cannot catch this: on a refinement-heavy leg a 4×
+///   placement slowdown hides inside the 30% total budget, which is
+///   exactly how a serialized speculative stage would ship. Only engaged
+///   when the baseline's placement stage is large enough to measure
+///   (≥ [`MIN_STAGE_MS`]; legacy baselines record 0 and skip).
 pub fn check_regression(
     current: &PerfRecord,
     baseline: &PerfRecord,
@@ -289,6 +366,37 @@ pub fn check_regression(
             baseline.final_locality * 100.0
         ));
     }
+    let base_place = baseline.place_total_ms + baseline.repair_total_ms;
+    let cur_place = current.place_total_ms + current.repair_total_ms;
+    if base_place >= MIN_STAGE_MS && cur_place > 0.0 {
+        let cur_ratio = cur_place / current.scratch_total_ms.max(MIN_SCRATCH_MS);
+        let base_ratio = base_place / baseline.scratch_total_ms.max(MIN_SCRATCH_MS);
+        if cur_ratio > base_ratio * (1.0 + PLACE_STAGE_REGRESSION) {
+            reasons.push(format!(
+                "placement stage regressed {:.0}% (limit {:.0}%): place+repair {:.1} ms \
+                 ({:.4} normalized) vs baseline {:.1} ms ({:.4}) — the speculative \
+                 placement/conflict-repair path got slower relative to the same-machine \
+                 scratch solve",
+                (cur_ratio / base_ratio - 1.0) * 100.0,
+                PLACE_STAGE_REGRESSION * 100.0,
+                cur_place,
+                cur_ratio,
+                base_place,
+                base_ratio,
+            ));
+        }
+    }
+    if let (Some(cur), Some(base)) = (current.rebalance_full_scans, baseline.rebalance_full_scans) {
+        // Deterministic for a fixed workload (seeded, thread-invariant),
+        // so any increase is a real candidate-quality regression of the
+        // rebalance heaps, not noise.
+        if cur > base {
+            reasons.push(format!(
+                "rebalance full scans increased: {cur} vs baseline {base} — the composite \
+                 relief-key heaps are letting more steps fall back to full membership rescans"
+            ));
+        }
+    }
     if reasons.is_empty() {
         Ok(())
     } else {
@@ -338,6 +446,15 @@ mod tests {
             eps_ok,
             final_locality: locality,
             final_imbalance: 0.048,
+            validate_total_ms: inc * 0.05,
+            split_total_ms: inc * 0.2,
+            place_total_ms: inc * 0.4,
+            repair_total_ms: inc * 0.05,
+            commit_total_ms: inc * 0.1,
+            refine_total_ms: inc * 0.2,
+            placement_conflicts: Some(17),
+            repair_passes: Some(3),
+            rebalance_full_scans: Some(2),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -402,6 +519,87 @@ mod tests {
         assert!(check_regression(&hollow, &base, 0.30)
             .unwrap_err()
             .contains("locality"));
+    }
+
+    #[test]
+    fn pipeline_fields_round_trip_and_default_on_legacy_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert!((parsed.place_total_ms - 5.0).abs() < 1e-9);
+        assert!((parsed.repair_total_ms - 0.625).abs() < 1e-9);
+        assert_eq!(parsed.placement_conflicts, Some(17));
+        assert_eq!(parsed.repair_passes, Some(3));
+        assert_eq!(parsed.rebalance_full_scans, Some(2));
+        // A legacy baseline (no pipeline fields at all) still parses:
+        // stage totals default to 0, counters to None.
+        let new_keys = [
+            "validate_total_ms",
+            "split_total_ms",
+            "place_total_ms",
+            "repair_total_ms",
+            "commit_total_ms",
+            "refine_total_ms",
+            "placement_conflicts",
+            "repair_passes",
+            "rebalance_full_scans",
+        ];
+        let legacy = r
+            .to_json()
+            .lines()
+            .filter(|l| new_keys.iter().all(|k| !l.contains(k)))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed.place_total_ms, 0.0);
+        assert_eq!(parsed.placement_conflicts, None);
+        assert_eq!(parsed.rebalance_full_scans, None);
+        // Present-but-malformed stage totals are an error, not a default.
+        let corrupted = r
+            .to_json()
+            .replace("\"place_total_ms\": 5.000", "\"place_total_ms\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("place_total_ms"));
+    }
+
+    #[test]
+    fn gate_catches_placement_stage_regression() {
+        let base = record(10.0, 600.0, true, 0.60); // place+repair = 4.5 ms
+                                                    // Total wall-clock within the 30% budget, but the placement stage
+                                                    // alone blew up ~3.7x — exactly the shape of a serialized
+                                                    // speculative fan-out on a refinement-heavy leg.
+        let mut slow_place = record(12.0, 600.0, true, 0.60);
+        slow_place.place_total_ms = 16.0;
+        assert!(check_regression(&slow_place, &base, 0.30)
+            .unwrap_err()
+            .contains("placement stage regressed"));
+        // Machine speed cancels: a 3x slower machine scales the stage
+        // totals and the scratch denominator together (the record()
+        // fixture derives stage totals from `inc`).
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+        // Legacy baselines (stage totals 0) skip the stage gate.
+        let mut legacy = record(10.0, 600.0, true, 0.60);
+        legacy.place_total_ms = 0.0;
+        legacy.repair_total_ms = 0.0;
+        assert!(check_regression(&slow_place, &legacy, 0.30).is_ok());
+    }
+
+    #[test]
+    fn gate_fails_when_full_scans_increase() {
+        let base = record(10.0, 600.0, true, 0.60);
+        let mut worse = record(10.0, 600.0, true, 0.60);
+        worse.rebalance_full_scans = Some(5);
+        let err = check_regression(&worse, &base, 0.30).unwrap_err();
+        assert!(err.contains("full scans increased"), "{err}");
+        // Equal or fewer scans pass; a legacy side skips the check.
+        let mut better = record(10.0, 600.0, true, 0.60);
+        better.rebalance_full_scans = Some(0);
+        assert!(check_regression(&better, &base, 0.30).is_ok());
+        let mut legacy = record(10.0, 600.0, true, 0.60);
+        legacy.rebalance_full_scans = None;
+        assert!(check_regression(&worse, &legacy, 0.30).is_ok());
+        assert!(check_regression(&legacy, &base, 0.30).is_ok());
     }
 
     #[test]

@@ -45,6 +45,20 @@ pub fn even_boundaries(n: usize, threads: usize) -> Vec<usize> {
     b
 }
 
+/// Splits `0..n` into fixed-size chunks of `chunk` items (the last chunk
+/// may be short). Unlike [`even_boundaries`], the split depends only on
+/// `n` and `chunk` — never on the thread count — so a speculative stage
+/// that assigns work chunk-locally (e.g. the streaming layer's parallel
+/// placement, where each chunk holds its own capacity reservations) makes
+/// bitwise-identical decisions whether one worker processes every chunk or
+/// sixteen workers steal them. `n = 0` yields `[0]` — no chunks.
+pub fn fixed_boundaries(n: usize, chunk: usize) -> Vec<usize> {
+    let chunk = chunk.max(1);
+    let mut b: Vec<usize> = (0..n).step_by(chunk).collect();
+    b.push(n);
+    b
+}
+
 /// Splits `0..prefix.len()-1` rows into at most `threads` chunks of
 /// near-equal *work*, where the work of rows `a..b` is
 /// `prefix[b] - prefix[a]` for a monotone `prefix` array (e.g. CSR row
@@ -227,6 +241,19 @@ mod tests {
         // More threads than items: one item per chunk, no empty chunks.
         let b = even_boundaries(3, 8);
         assert_eq!(b, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn fixed_boundaries_depend_only_on_chunk_size() {
+        assert_eq!(fixed_boundaries(10, 4), vec![0, 4, 8, 10]);
+        assert_eq!(fixed_boundaries(8, 4), vec![0, 4, 8]);
+        assert_eq!(fixed_boundaries(3, 4), vec![0, 3]);
+        assert_eq!(fixed_boundaries(0, 4), vec![0]);
+        assert_eq!(
+            fixed_boundaries(5, 0),
+            vec![0, 1, 2, 3, 4, 5],
+            "chunk clamps to 1"
+        );
     }
 
     #[test]

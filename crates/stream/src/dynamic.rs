@@ -25,6 +25,11 @@
 //!    [`Self::snapshot`]) filters through the tombstones, a dead vertex
 //!    reads as isolated, and [`Self::add_edge`] of a tombstoned base edge
 //!    clears the tombstone instead of duplicating the edge in the delta.
+//!    Between the two phases, [`Self::add_vertex`] **recycles** tombstoned
+//!    ids (most recently freed first) before growing the id space, so a
+//!    high-churn stream does not inflate the arrival-id space unboundedly
+//!    between purges. A recycled id names the *new* vertex from that point
+//!    on — callers must drop references to an id once they removed it.
 //! 2. **Purging** ([`Self::compact`]): the merge drops tombstoned edges
 //!    and dead vertices and renumbers the survivors `0..live` in ascending
 //!    old-id order. When any vertex was dropped, `compact` returns the
@@ -64,6 +69,11 @@ pub struct DynamicGraph {
     /// Vertex tombstones; a dead vertex has no live incident edges.
     dead: Vec<bool>,
     dead_count: usize,
+    /// Ids of currently dead vertices, most recently tombstoned last —
+    /// [`Self::add_vertex`] recycles them LIFO so a high-churn stream does
+    /// not grow the id space unboundedly between purges. Invariant:
+    /// `free` contains exactly the ids with `dead[v] == true`.
+    free: Vec<VertexId>,
     weights: VertexWeights,
 }
 
@@ -87,6 +97,7 @@ impl DynamicGraph {
             removed_base_edges: 0,
             dead: vec![false; n],
             dead_count: 0,
+            free: Vec::new(),
             weights,
         }
     }
@@ -103,6 +114,7 @@ impl DynamicGraph {
             removed_base_edges: 0,
             dead: Vec::new(),
             dead_count: 0,
+            free: Vec::new(),
             weights: VertexWeights::from_vectors(vec![Vec::new(); dims]),
         }
     }
@@ -196,14 +208,42 @@ impl DynamicGraph {
         &self.weights
     }
 
-    /// Appends a vertex with the given per-dimension weights; returns its
-    /// id — the current id-space size, tombstoned slots included.
+    /// Adds a vertex with the given per-dimension weights; returns its id.
+    /// When tombstoned slots exist their ids are **recycled** (most
+    /// recently tombstoned first) instead of growing the id space, so a
+    /// high-churn stream's arrival-id space stays bounded between purges;
+    /// otherwise the id is the current id-space size. A recycled slot is
+    /// indistinguishable from a fresh one: its delta adjacency is empty
+    /// (removal shed every live edge), its base row stays fully tombstoned,
+    /// and its weight row is overwritten. Callers that released the old
+    /// occupant's id must have dropped their references when they removed
+    /// it — the id now names the new vertex.
     pub fn add_vertex(&mut self, weight_row: &[f64]) -> VertexId {
+        debug_assert_eq!(weight_row.len(), self.weights.dims());
+        if let Some(v) = self.free.pop() {
+            debug_assert!(self.dead[v as usize], "free list out of sync");
+            debug_assert!(self.delta[v as usize].is_empty());
+            self.dead[v as usize] = false;
+            self.dead_count -= 1;
+            for (j, &w) in weight_row.iter().enumerate() {
+                self.weights.set_weight(j, v, w);
+            }
+            return v;
+        }
         self.weights.push_vertex(weight_row);
         self.delta.push(Vec::new());
         self.removed.push(Vec::new());
         self.dead.push(false);
         (self.delta.len() - 1) as VertexId
+    }
+
+    /// Ids currently awaiting recycling (dead, not yet purged), in the
+    /// order [`Self::add_vertex`] will consume them **from the back**.
+    /// Exposed so batch validation can simulate the id assignment of a
+    /// batch without applying it.
+    #[inline]
+    pub fn free_ids(&self) -> &[VertexId] {
+        &self.free
     }
 
     /// Adds undirected edge `{u, v}`. Re-adding a tombstoned base edge
@@ -315,6 +355,7 @@ impl DynamicGraph {
         }
         self.dead[v as usize] = true;
         self.dead_count += 1;
+        self.free.push(v);
         nbrs
     }
 
@@ -377,6 +418,7 @@ impl DynamicGraph {
         self.delta_edges = 0;
         self.removed_base_edges = 0;
         self.dead_count = 0;
+        self.free.clear();
         Some(map)
     }
 
@@ -625,6 +667,46 @@ mod tests {
         assert_eq!(snap.num_vertices(), 4);
         assert_eq!(snap.num_edges(), 1);
         assert_eq!(snap.degree(1), 0);
+    }
+
+    #[test]
+    fn add_vertex_recycles_tombstoned_ids() {
+        let mut dg = seeded();
+        dg.remove_vertex(1);
+        dg.remove_vertex(3);
+        assert_eq!(dg.free_ids(), &[1, 3]);
+        // LIFO: the most recently tombstoned id comes back first.
+        let a = dg.add_vertex(&[9.0, 8.0]);
+        assert_eq!(a, 3);
+        assert!(dg.is_live(3));
+        assert_eq!(dg.num_tombstoned(), 1);
+        assert_eq!(dg.weights().weight(0, 3), 9.0);
+        assert_eq!(dg.weights().weight(1, 3), 8.0);
+        // The recycled slot reads fresh: no resurrected adjacency.
+        assert_eq!(dg.degree(3), 0);
+        assert_eq!(dg.neighbors(3).count(), 0);
+        assert!(dg.add_edge(3, 0));
+        assert_eq!(dg.degree(3), 1);
+        // Second arrival takes the next free id; third extends the space.
+        assert_eq!(dg.add_vertex(&[1.0, 1.0]), 1);
+        assert_eq!(dg.add_vertex(&[1.0, 1.0]), 4);
+        assert_eq!(dg.num_vertices(), 5);
+        assert_eq!(dg.num_tombstoned(), 0);
+        assert!(dg.free_ids().is_empty());
+        // With every slot live again, compaction has nothing to purge.
+        assert!(dg.compact().is_none(), "no dead vertices, no remap");
+    }
+
+    #[test]
+    fn purge_clears_the_free_list() {
+        let mut dg = seeded();
+        dg.remove_vertex(0);
+        assert_eq!(dg.free_ids(), &[0]);
+        let map = dg.compact().expect("purge remaps");
+        assert_eq!(map[0], TOMBSTONE);
+        assert!(dg.free_ids().is_empty(), "purged ids are gone, not free");
+        // The next arrival extends the (renumbered) id space.
+        assert_eq!(dg.add_vertex(&[1.0, 1.0]), 3);
     }
 
     #[test]

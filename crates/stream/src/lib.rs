@@ -16,11 +16,13 @@
 //! * [`LdgPlacer`] — multi-dimensional linear-deterministic-greedy
 //!   placement of arriving vertices under per-dimension `(1+ε)` capacity
 //!   slabs ([`placement`]);
-//! * [`StreamingPartitioner`] — the engine: ingest, drift telemetry, and
-//!   **incremental refinement** — greedy multi-constraint rebalancing plus
-//!   warm-started pairwise GD (`mdbgp_core::bipartition_warm` /
+//! * [`StreamingPartitioner`] — the engine: the staged ingest pipeline
+//!   (see *Batch lifecycle* below), drift telemetry, and **incremental
+//!   refinement** — greedy multi-constraint rebalancing plus warm-started
+//!   pairwise GD (`mdbgp_core::bipartition_warm` /
 //!   `GdPartitioner::refine_pair`) with unchanged vertices frozen, so a
-//!   batch of updates is absorbed by a few cheap iterations ([`engine`]);
+//!   batch of updates is absorbed by a few cheap iterations ([`engine`],
+//!   [`pipeline`]);
 //! * [`PartitionStore`] — the serving layer: O(1) vertex→shard lookups,
 //!   per-part multi-dimensional loads, live imbalance / locality telemetry
 //!   — plus the per-`(part, dimension)` **rebalance heaps** that give the
@@ -57,6 +59,47 @@
 //! graph reports an actual insertion/removal, so re-reported edges and
 //! remove/re-add cycles cannot drift the locality counters.
 //!
+//! ## Batch lifecycle
+//!
+//! [`StreamingPartitioner::ingest`] runs every batch through six named
+//! stages (per-stage wall-clocks in [`BatchReport::timings`]):
+//!
+//! 1. **validate** — the whole batch is checked up front, including a
+//!    simulation of the vertex ids the batch itself will create or recycle,
+//!    so ingestion is all-or-nothing: an `Err` leaves the engine untouched.
+//! 2. **split** — updates apply to the [`DynamicGraph`] in order (edges,
+//!    removals, weight drift; arrivals get their ids and adjacency), but
+//!    arrivals are *not* placed yet. Arrival ids come off the free list of
+//!    tombstoned slots first (LIFO) — under churn the id space stays
+//!    bounded between purges, and callers read the assigned ids from
+//!    [`BatchReport::arrival_ids`] instead of predicting them.
+//! 3. **speculative placement** — arrivals are placed in fixed-size chunks,
+//!    concurrently on [`StreamConfig::threads`] workers, against a *frozen*
+//!    snapshot of the per-(part, dimension) loads; each chunk reserves
+//!    capacity locally and sees the affinity of its own earlier arrivals.
+//!    Chunk boundaries never depend on the thread count, so the decisions
+//!    don't either.
+//! 4. **conflict repair** — chunk reservations merge; any (part, dimension)
+//!    slot the chunks oversubscribed is repaired by evicting the losers in
+//!    **stable arrival order** (earliest arrivals keep their slots) and
+//!    re-placing them sequentially with full knowledge. `threads = 1` and
+//!    `threads = N` therefore produce byte-identical partitions *by
+//!    construction*. Evictions and passes are surfaced as
+//!    [`BatchReport::placement_conflicts`] / [`BatchReport::repair_passes`]
+//!    and in [`StreamTelemetry`].
+//! 5. **commit** — assignments land in the [`PartitionStore`] and the edge
+//!    accounting deferred by the split stage settles against the final
+//!    parts.
+//! 6. **refine** — compaction when churn outgrew the slack, the drift
+//!    check, and (when triggered) rebalance + warm-started pairwise GD.
+//!
+//! The speculative stage trades a little placement information for
+//! parallelism — an arrival cannot see the in-flight decisions of *other*
+//! chunks — which is the standard speculate-and-repair design for
+//! streaming greedy placement; the ε-guarantee is unaffected (capacity is
+//! enforced by repair, and overflow falls back exactly like serial LDG,
+//! where the refinement stage restores feasibility).
+//!
 //! ## Threading model
 //!
 //! [`StreamConfig::threads`] sizes one logical worker pool; `threads = 1`
@@ -76,9 +119,12 @@
 //!    round), each round's `refine_pair` calls run concurrently against
 //!    one immutable partition snapshot, and the accepted moves are applied
 //!    at the round barrier;
-//! 3. **LDG placement sweep** — the per-part scoring loop folds over
-//!    disjoint part ranges (only engaged for large `k`, where it
-//!    amortizes the spawn).
+//! 3. **speculative placement** — fixed-size chunks of a batch's arrivals
+//!    are placed concurrently against a frozen load snapshot with
+//!    chunk-local capacity reservations (see *Batch lifecycle*); within a
+//!    single-chunk batch the per-part scoring sweep folds over disjoint
+//!    part ranges instead (only engaged for large `k`, where it amortizes
+//!    the spawn).
 //!
 //! The serving path ([`PartitionStore::shard_of`] etc.) is untouched by
 //! all of this: reads stay plain O(1) loads with no synchronization.
@@ -113,10 +159,13 @@
 //! batch.remove_vertex(42); // account deleted
 //! let report = sp.ingest(&batch).unwrap();
 //! assert!(report.max_imbalance <= 0.05 + 1e-9);
-//! // Anything holding vertex ids rewrites them through the remap a
-//! // purging compaction reports (ids are stable when `remap` is None).
-//! let arrival = report.remap.as_ref().map_or(1000, |m| m[1000]);
+//! // Arrival ids are reported, not predicted: under churn the engine
+//! // recycles purged slots, and a purge may renumber ids mid-ingest —
+//! // `arrival_ids` is already expressed in the final id space.
+//! let arrival = report.arrival_ids[0];
 //! assert!(sp.shard_of(arrival) < 4); // O(1) lookup for the new vertex
+//! // Anything holding older vertex ids rewrites them through the remap a
+//! // purging compaction reports (ids are stable when `remap` is None).
 //! match &report.remap {
 //!     None => assert_eq!(sp.shard_of(42), mdbgp_stream::TOMBSTONE),
 //!     Some(m) => assert_eq!(m[42], mdbgp_stream::TOMBSTONE), // purged
@@ -126,6 +175,7 @@
 pub mod delta;
 pub mod dynamic;
 pub mod engine;
+pub mod pipeline;
 pub mod placement;
 pub mod store;
 
@@ -138,5 +188,6 @@ pub const TOMBSTONE: u32 = u32::MAX;
 pub use delta::{StreamUpdate, UpdateBatch};
 pub use dynamic::DynamicGraph;
 pub use engine::{BatchReport, StreamConfig, StreamTelemetry, StreamingPartitioner};
-pub use placement::LdgPlacer;
-pub use store::PartitionStore;
+pub use pipeline::{StageTimings, SPECULATIVE_CHUNK};
+pub use placement::{LdgPlacer, LoadView, ReservationLedger, ReservedView};
+pub use store::{LoadSnapshot, PartitionStore};

@@ -18,8 +18,19 @@
 //! ([`mdbgp_core::parallel::fold_ranges`]) and the per-range winners
 //! reduced — bitwise identical to the serial sweep, because the reduction
 //! applies the same (score, fullness, lowest part id) ordering.
+//!
+//! ## Speculative placement
+//!
+//! The staged ingest pipeline places a whole batch of arrivals at once:
+//! fixed-size chunks of arrivals are scored concurrently against a frozen
+//! [`LoadSnapshot`] plus a chunk-local [`ReservationLedger`]
+//! ([`LdgPlacer::place_with`] over a [`LoadView`]), so no worker ever
+//! observes another worker's in-flight decisions — placements are a pure
+//! function of the snapshot and the (thread-count-independent) chunk
+//! boundaries. Cross-chunk capacity conflicts are detected and repaired
+//! afterwards by the engine's deterministic repair stage.
 
-use crate::store::PartitionStore;
+use crate::store::{LoadSnapshot, PartitionStore};
 use mdbgp_core::parallel;
 
 /// Part count below which the scoring sweep stays serial — a scoped spawn
@@ -30,6 +41,87 @@ const MIN_PARALLEL_PARTS: usize = 256;
 /// `(part, score, fullness)` if any, and the least-full part
 /// `(part, fullness)` as the overflow fallback.
 type RangeScan = (Option<(u32, f64, f64)>, (u32, f64));
+
+/// Read-only per-`(part, dimension)` loads a placement decision scores
+/// against. The serving path scores the live [`PartitionStore`]; the
+/// speculative pipeline scores a frozen [`LoadSnapshot`] plus pending
+/// [`ReservationLedger`] reservations.
+pub trait LoadView {
+    /// Load of part `p` in dimension `j` as this view sees it.
+    fn load(&self, p: u32, j: usize) -> f64;
+}
+
+impl LoadView for PartitionStore {
+    #[inline]
+    fn load(&self, p: u32, j: usize) -> f64 {
+        PartitionStore::load(self, p, j)
+    }
+}
+
+/// Weight a placement stage has promised to parts but not yet committed:
+/// a dense per-`(part, dimension)` accumulator layered over a frozen
+/// [`LoadSnapshot`]. Chunk workers keep one each (disjoint, no
+/// synchronization); the repair stage keeps a global one.
+#[derive(Clone, Debug)]
+pub struct ReservationLedger {
+    dims: usize,
+    reserved: Vec<f64>,
+}
+
+impl ReservationLedger {
+    /// An empty ledger for `k` parts × `dims` dimensions.
+    pub fn new(k: usize, dims: usize) -> Self {
+        Self {
+            dims,
+            reserved: vec![0.0; k * dims],
+        }
+    }
+
+    /// Reserves `row` on part `p`.
+    pub fn reserve(&mut self, p: u32, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.dims);
+        for (j, &w) in row.iter().enumerate() {
+            self.reserved[p as usize * self.dims + j] += w;
+        }
+    }
+
+    /// Returns a reservation (an evicted speculative placement).
+    pub fn release(&mut self, p: u32, row: &[f64]) {
+        debug_assert_eq!(row.len(), self.dims);
+        for (j, &w) in row.iter().enumerate() {
+            self.reserved[p as usize * self.dims + j] -= w;
+        }
+    }
+
+    /// Weight currently reserved on `(p, j)`.
+    #[inline]
+    pub fn reserved(&self, p: u32, j: usize) -> f64 {
+        self.reserved[p as usize * self.dims + j]
+    }
+
+    /// Folds another ledger into this one (merging per-chunk reservations
+    /// into the repair stage's global view).
+    pub fn merge(&mut self, other: &ReservationLedger) {
+        debug_assert_eq!(self.reserved.len(), other.reserved.len());
+        for (slot, &r) in self.reserved.iter_mut().zip(&other.reserved) {
+            *slot += r;
+        }
+    }
+}
+
+/// [`LoadSnapshot`] + [`ReservationLedger`]: what a speculative placement
+/// decision actually scores against.
+pub struct ReservedView<'a> {
+    pub snapshot: &'a LoadSnapshot,
+    pub ledger: &'a ReservationLedger,
+}
+
+impl LoadView for ReservedView<'_> {
+    #[inline]
+    fn load(&self, p: u32, j: usize) -> f64 {
+        self.snapshot.load(p, j) + self.ledger.reserved(p, j)
+    }
+}
 
 /// Multi-dimensional LDG configuration.
 #[derive(Clone, Copy, Debug)]
@@ -69,17 +161,33 @@ impl LdgPlacer {
         weight_row: &[f64],
     ) -> u32 {
         let k = store.num_parts();
-        debug_assert_eq!(neighbor_counts.len(), k);
-        let d = weight_row.len();
         // Per-dimension capacity, from live totals that include the
         // arriving vertex (it is not pushed into the store yet).
-        let caps: Vec<f64> = (0..d)
+        let caps: Vec<f64> = (0..weight_row.len())
             .map(|j| (1.0 + self.epsilon) * (store.total(j) + weight_row[j]) / k as f64)
             .collect();
+        self.place_with(k, store, &caps, neighbor_counts, weight_row)
+    }
 
+    /// The chunked scoring core: chooses a part against an arbitrary
+    /// [`LoadView`] and precomputed per-dimension capacities. The serving
+    /// path calls it through [`Self::place`]; the speculative placement
+    /// and conflict-repair stages call it directly with a frozen snapshot
+    /// plus reservations and batch-wide capacities, so every stage ranks
+    /// candidates with the identical (score, fullness, lowest part id)
+    /// order.
+    pub fn place_with(
+        &self,
+        k: usize,
+        loads: &(impl LoadView + Sync),
+        caps: &[f64],
+        neighbor_counts: &[usize],
+        weight_row: &[f64],
+    ) -> u32 {
+        debug_assert_eq!(neighbor_counts.len(), k);
         // fold_ranges itself stays sequential below MIN_PARALLEL_PARTS.
         let partials = parallel::fold_ranges(k, self.threads, MIN_PARALLEL_PARTS, |range| {
-            scan_parts(range, store, &caps, neighbor_counts, weight_row)
+            scan_parts(range, loads, caps, neighbor_counts, weight_row)
         });
         // Reduce per-range winners left to right: ranges are in ascending
         // part order, and the comparators prefer the incumbent on exact
@@ -104,7 +212,7 @@ impl LdgPlacer {
 /// candidate and its overflow fallback.
 fn scan_parts(
     range: std::ops::Range<usize>,
-    store: &PartitionStore,
+    loads: &impl LoadView,
     caps: &[f64],
     neighbor_counts: &[usize],
     weight_row: &[f64],
@@ -116,7 +224,7 @@ fn scan_parts(
         // Worst capacity fraction across dimensions if v lands on p.
         let mut fullness: f64 = 0.0;
         for (j, &w) in weight_row.iter().enumerate() {
-            fullness = fullness.max((store.load(p, j) + w) / caps[j]);
+            fullness = fullness.max((loads.load(p, j) + w) / caps[j]);
         }
         if fullness < fallback.1 {
             fallback = (p, fullness);
@@ -226,6 +334,49 @@ mod tests {
         // though dim 0 has room.
         let chosen = placer.place(&store, &[5, 0], &[1.0, 1.0]);
         assert_eq!(chosen, 1);
+    }
+
+    #[test]
+    fn reservations_count_against_capacity() {
+        // Speculative scoring: a chunk's own reservations must eat into
+        // the frozen snapshot's headroom exactly like committed load.
+        let store = unit_store();
+        let snapshot = store.load_snapshot();
+        let mut ledger = ReservationLedger::new(2, 1);
+        let placer = LdgPlacer::new(0.05);
+        // Batch of two unit arrivals: caps = 1.05 · (4 + 2) / 2 = 3.15.
+        let caps = [1.05 * 6.0 / 2.0];
+        let view = ReservedView {
+            snapshot: &snapshot,
+            ledger: &ledger,
+        };
+        assert_eq!(
+            placer.place_with(2, &view, &caps, &[5, 0], &[1.0]),
+            0,
+            "affinity wins while part 0 has room"
+        );
+        ledger.reserve(0, &[1.0]);
+        let view = ReservedView {
+            snapshot: &snapshot,
+            ledger: &ledger,
+        };
+        assert_eq!(
+            placer.place_with(2, &view, &caps, &[5, 0], &[1.0]),
+            1,
+            "a reservation fills part 0 past the slab"
+        );
+        // Releasing the reservation restores the headroom; merge folds a
+        // second chunk's ledger in.
+        ledger.release(0, &[1.0]);
+        let mut other = ReservationLedger::new(2, 1);
+        other.reserve(0, &[1.0]);
+        ledger.merge(&other);
+        assert_eq!(ledger.reserved(0, 0), 1.0);
+        let view = ReservedView {
+            snapshot: &snapshot,
+            ledger: &ledger,
+        };
+        assert_eq!(placer.place_with(2, &view, &caps, &[5, 0], &[1.0]), 1);
     }
 
     #[test]

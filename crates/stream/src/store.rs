@@ -15,13 +15,36 @@
 //! imbalance/headroom telemetry and the placement capacities never count
 //! weight that already left the system.
 //!
+//! ## Batch ingestion: snapshot → reserve → commit
+//!
+//! The staged ingest pipeline ([`crate::StreamingPartitioner`]) never
+//! places arrivals against live, mutating loads. It takes a frozen
+//! [`LoadSnapshot`] ([`PartitionStore::load_snapshot`]), scores
+//! speculative placements against `snapshot + reservations` on worker
+//! threads, repairs capacity conflicts, and only then commits the final
+//! assignments — [`PartitionStore::push_assignment`] for a fresh id,
+//! [`PartitionStore::assign_slot`] for a recycled one, and
+//! [`PartitionStore::push_tombstone`] for an arrival that was removed
+//! again inside its own batch (the slot must still exist so store ids stay
+//! aligned with graph ids). The snapshot is plain owned data, which also
+//! makes it the natural serialization unit for a future snapshot/restore.
+//!
 //! ## Rebalance heaps
 //!
 //! The store additionally maintains one lazy max-heap per `(part,
-//! dimension)` pair, keyed by the vertex weight in that dimension — the
-//! *relief* a move out of the part offers its binding dimension. The
-//! greedy rebalance pass ([`crate::StreamingPartitioner`]) pops the top
-//! few candidates of the overloaded part's binding dimension instead of
+//! dimension)` pair, keyed by the **composite relief score** of the vertex
+//! ([`PartitionStore::relief_key`]): its normalized weight in that
+//! dimension minus the mean normalized weight across the other dimensions.
+//! A move out of the part relieves the binding dimension most — and
+//! disturbs the others least — when that score is large, so the top of
+//! heap `(p, j)` is the best candidate queue for a rebalance step whose
+//! binding dimension is `j` (a plain per-dimension weight key ranks heavy
+//! all-around vertices first, which overshoot in the off-dimensions and
+//! force full-membership rescans). Normalization uses the live totals at
+//! push time; totals drift slowly between pushes, and candidate order is a
+//! heuristic — the rebalance evaluates every candidate against the exact
+//! potential before moving. The greedy rebalance pass pops the top few
+//! candidates of the overloaded part's binding dimension instead of
 //! rescanning every member, making candidate generation O(log n) per move
 //! at serving scale. Entries are invalidated by a per-`(vertex, dimension)`
 //! stamp — every move or weight drift bumps the stamp and pushes a fresh
@@ -68,6 +91,44 @@ impl Ord for HeapEntry {
     }
 }
 
+/// A frozen copy of the per-`(part, dimension)` loads and the live
+/// per-dimension totals — what the speculative placement stage scores
+/// against while the real store stays untouched until commit. Plain owned
+/// data: cloning the store's accounting without its heaps/stamps.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LoadSnapshot {
+    k: usize,
+    dims: usize,
+    loads: Vec<f64>,
+    totals: Vec<f64>,
+}
+
+impl LoadSnapshot {
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of weight dimensions.
+    #[inline]
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Frozen load of part `p` in dimension `j`.
+    #[inline]
+    pub fn load(&self, p: u32, j: usize) -> f64 {
+        self.loads[p as usize * self.dims + j]
+    }
+
+    /// Frozen live total of dimension `j`.
+    #[inline]
+    pub fn total(&self, j: usize) -> f64 {
+        self.totals[j]
+    }
+}
+
 /// Vertex→shard map plus live load / locality accounting.
 #[derive(Clone, Debug)]
 pub struct PartitionStore {
@@ -99,35 +160,62 @@ impl PartitionStore {
         let k = partition.num_parts();
         let dims = weights.dims();
         let n = partition.num_vertices();
-        let mut loads = vec![0.0f64; k * dims];
-        let mut part_sizes = vec![0usize; k];
-        let mut heaps = vec![BinaryHeap::new(); k * dims];
+        let mut store = Self {
+            parts: partition.as_slice().to_vec(),
+            k,
+            dims,
+            loads: vec![0.0f64; k * dims],
+            // Totals first: the composite heap keys normalize by them.
+            totals: (0..dims).map(|j| weights.total(j)).collect(),
+            part_sizes: vec![0usize; k],
+            stamps: vec![0; n * dims],
+            heaps: vec![BinaryHeap::new(); k * dims],
+            intra_edges: 0,
+            cut_edges: 0,
+        };
+        let mut row = vec![0.0f64; dims];
         for v in 0..n {
             let p = partition.part_of(v as VertexId) as usize;
-            part_sizes[p] += 1;
+            store.part_sizes[p] += 1;
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = weights.weight(j, v as VertexId);
+                store.loads[p * dims + j] += *slot;
+            }
             for j in 0..dims {
-                let w = weights.weight(j, v as VertexId);
-                loads[p * dims + j] += w;
-                heaps[p * dims + j].push(HeapEntry {
-                    key: w,
+                let key = store.relief_key(j, &row);
+                store.heaps[p * dims + j].push(HeapEntry {
+                    key,
                     stamp: 0,
                     v: v as VertexId,
                 });
             }
         }
-        let totals = (0..dims).map(|j| weights.total(j)).collect();
-        Self {
-            parts: partition.as_slice().to_vec(),
-            k,
-            dims,
-            loads,
-            totals,
-            part_sizes,
-            stamps: vec![0; n * dims],
-            heaps,
-            intra_edges: 0,
-            cut_edges: 0,
+        store
+    }
+
+    /// The composite relief score the rebalance heaps are keyed by: the
+    /// vertex's weight in dimension `j` normalized by the live total of
+    /// `j`, minus the mean normalized weight across the other dimensions.
+    /// Moving a high-key vertex out of a part sheds a lot of the binding
+    /// dimension `j` while disturbing the off-dimensions little — exactly
+    /// the candidates a multi-constraint rebalance step wants first. With
+    /// one dimension there is nothing to trade off and the key is the
+    /// plain weight. Uses the *current* totals (push-time totals for heap
+    /// entries); a drained dimension contributes 0.
+    pub fn relief_key(&self, j: usize, row: &[f64]) -> f64 {
+        if self.dims == 1 {
+            return row[0];
         }
+        let norm = |i: usize| {
+            let t = self.totals[i];
+            if t > 0.0 {
+                row[i] / t
+            } else {
+                0.0
+            }
+        };
+        let off: f64 = (0..self.dims).filter(|&i| i != j).map(norm).sum();
+        norm(j) - off / (self.dims - 1) as f64
     }
 
     /// Number of parts `k`.
@@ -183,6 +271,19 @@ impl PartitionStore {
         self.part_sizes[p as usize]
     }
 
+    /// A frozen copy of the loads and live totals for the speculative
+    /// placement stage (and, eventually, for serialization): decisions are
+    /// scored against `snapshot + reservations` while the store itself
+    /// stays unmutated until the commit stage.
+    pub fn load_snapshot(&self) -> LoadSnapshot {
+        LoadSnapshot {
+            k: self.k,
+            dims: self.dims,
+            loads: self.loads.clone(),
+            totals: self.totals.clone(),
+        }
+    }
+
     /// Appends a newly placed vertex.
     pub fn push_assignment(&mut self, part: u32, weight_row: &[f64]) {
         debug_assert!((part as usize) < self.k);
@@ -194,11 +295,54 @@ impl PartitionStore {
             self.loads[part as usize * self.dims + j] += w;
             self.totals[j] += w;
             self.stamps.push(0);
-            self.heaps[part as usize * self.dims + j].push(HeapEntry {
-                key: w,
-                stamp: 0,
+        }
+        for j in 0..self.dims {
+            let key = self.relief_key(j, weight_row);
+            self.heaps[part as usize * self.dims + j].push(HeapEntry { key, stamp: 0, v });
+        }
+    }
+
+    /// Appends a slot that is already dead: an arrival that was removed
+    /// again inside its own batch never gets an assignment, but its vertex
+    /// id exists in the graph's id space until the next purge, so the
+    /// store must keep the id→slot alignment. The slot reads
+    /// [`TOMBSTONE`] and is dropped by the purge remap like any released
+    /// vertex.
+    pub fn push_tombstone(&mut self) {
+        self.parts.push(TOMBSTONE);
+        for _ in 0..self.dims {
+            self.stamps.push(0);
+        }
+    }
+
+    /// Re-activates the slot of a recycled vertex id: the commit stage's
+    /// counterpart of [`Self::push_assignment`] for an arrival whose id
+    /// came off the [`crate::DynamicGraph`] free list instead of extending
+    /// the id space.
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the slot is not currently released.
+    pub fn assign_slot(&mut self, v: VertexId, part: u32, weight_row: &[f64]) {
+        debug_assert!((part as usize) < self.k);
+        debug_assert_eq!(weight_row.len(), self.dims);
+        debug_assert_eq!(
+            self.parts[v as usize], TOMBSTONE,
+            "assign_slot target {v} is still assigned"
+        );
+        self.parts[v as usize] = part;
+        self.part_sizes[part as usize] += 1;
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[part as usize * self.dims + j] += w;
+            self.totals[j] += w;
+        }
+        for j in 0..self.dims {
+            let stamp = self.bump_stamp(v, j);
+            let entry = HeapEntry {
+                key: self.relief_key(j, weight_row),
+                stamp,
                 v,
-            });
+            };
+            self.push_entry(part, j, entry);
         }
     }
 
@@ -235,20 +379,39 @@ impl PartitionStore {
         for (j, &w) in weight_row.iter().enumerate() {
             self.loads[old * self.dims + j] -= w;
             self.loads[part as usize * self.dims + j] += w;
+        }
+        for j in 0..self.dims {
             let stamp = self.bump_stamp(v, j);
-            self.push_entry(part, j, HeapEntry { key: w, stamp, v });
+            let entry = HeapEntry {
+                key: self.relief_key(j, weight_row),
+                stamp,
+                v,
+            };
+            self.push_entry(part, j, entry);
         }
         self.parts[v as usize] = part;
         self.compact_if_drained(old as u32);
     }
 
-    /// Accounts a weight drift of `v` in dimension `j`.
-    pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new: f64) {
+    /// Accounts a weight drift of `v` in dimension `j`: `new_row` is the
+    /// full weight row *after* the change, `old` the previous value of
+    /// dimension `j`. The whole row is needed because the composite heap
+    /// keys ([`Self::relief_key`]) mix every dimension — a drift in one
+    /// dimension re-ranks the vertex in all of them.
+    pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new_row: &[f64]) {
+        debug_assert_eq!(new_row.len(), self.dims);
         let p = self.parts[v as usize];
-        self.loads[p as usize * self.dims + j] += new - old;
-        self.totals[j] += new - old;
-        let stamp = self.bump_stamp(v, j);
-        self.push_entry(p, j, HeapEntry { key: new, stamp, v });
+        self.loads[p as usize * self.dims + j] += new_row[j] - old;
+        self.totals[j] += new_row[j] - old;
+        for i in 0..self.dims {
+            let stamp = self.bump_stamp(v, i);
+            let entry = HeapEntry {
+                key: self.relief_key(i, new_row),
+                stamp,
+                v,
+            };
+            self.push_entry(p, i, entry);
+        }
     }
 
     /// Invalidates the live heap entry of `(v, j)` and returns the new
@@ -498,6 +661,9 @@ impl PartitionStore {
         self.stamps.iter_mut().for_each(|s| *s = 0);
         self.stamps.resize(self.parts.len() * self.dims, 0);
         self.heaps.iter_mut().for_each(BinaryHeap::clear);
+        // Two passes: the composite heap keys normalize by the live
+        // totals, so every total must be final before the first entry is
+        // pushed.
         for (v, &p) in self.parts.iter().enumerate() {
             if p == TOMBSTONE {
                 continue;
@@ -507,8 +673,20 @@ impl PartitionStore {
                 let w = weights.weight(j, v as VertexId);
                 self.loads[p as usize * self.dims + j] += w;
                 self.totals[j] += w;
+            }
+        }
+        let mut row = vec![0.0f64; self.dims];
+        for (v, &p) in self.parts.iter().enumerate() {
+            if p == TOMBSTONE {
+                continue;
+            }
+            for (j, slot) in row.iter_mut().enumerate() {
+                *slot = weights.weight(j, v as VertexId);
+            }
+            for j in 0..self.dims {
+                let key = self.relief_key(j, &row);
                 self.heaps[p as usize * self.dims + j].push(HeapEntry {
-                    key: w,
+                    key,
                     stamp: 0,
                     v: v as VertexId,
                 });
@@ -627,9 +805,50 @@ mod tests {
         let (mut s, mut w) = store();
         let old = w.weight(1, 0);
         w.set_weight(1, 0, old + 4.0);
-        s.apply_weight_change(0, 1, old, old + 4.0);
+        let row: Vec<f64> = (0..w.dims()).map(|j| w.weight(j, 0)).collect();
+        s.apply_weight_change(0, 1, old, &row);
         assert_eq!(s.load(0, 1), 3.0 + 4.0);
         assert_eq!(s.total(1), 6.0 + 4.0);
+    }
+
+    #[test]
+    fn load_snapshot_freezes_the_accounting() {
+        let (mut s, _) = store();
+        let snap = s.load_snapshot();
+        assert_eq!(snap.num_parts(), 2);
+        assert_eq!(snap.dims(), 2);
+        assert_eq!(snap.load(0, 0), s.load(0, 0));
+        assert_eq!(snap.total(1), s.total(1));
+        // Mutating the store afterwards leaves the snapshot untouched.
+        s.push_assignment(0, &[1.0, 1.0]);
+        assert_eq!(snap.load(0, 0), 2.0);
+        assert_eq!(snap.total(0), 4.0);
+        assert_eq!(s.total(0), 5.0);
+    }
+
+    #[test]
+    fn tombstone_and_slot_reassignment_keep_alignment() {
+        let (mut s, w) = store();
+        // An arrival removed inside its own batch: the slot exists, reads
+        // TOMBSTONE, and counts nowhere.
+        s.push_tombstone();
+        assert_eq!(s.num_vertices(), 5);
+        assert_eq!(s.num_assigned(), 4);
+        assert_eq!(s.shard_of(4), TOMBSTONE);
+        assert_eq!(s.total(0), 4.0);
+        // Releasing a vertex frees its id; assign_slot re-activates it for
+        // a recycled arrival.
+        let row: Vec<f64> = (0..w.dims()).map(|j| w.weight(j, 1)).collect();
+        s.release_vertex(1, &row);
+        assert_eq!(s.shard_of(1), TOMBSTONE);
+        s.assign_slot(1, 1, &[1.0, 5.0]);
+        assert_eq!(s.shard_of(1), 1);
+        assert_eq!(s.part_size(1), 3);
+        assert_eq!(s.load(1, 1), 3.0 + 5.0);
+        assert_eq!(s.total(0), 4.0);
+        // The recycled vertex surfaces as a rebalance candidate again (its
+        // degree-dimension weight 5 tops part 1).
+        assert_eq!(s.top_movable(1, 1, 1), vec![1]);
     }
 
     #[test]
@@ -682,7 +901,7 @@ mod tests {
             let old = w.weight(0, v);
             let new = 1.0 + (round % 9) as f64;
             w.set_weight(0, v, new);
-            s.apply_weight_change(v, 0, old, new);
+            s.apply_weight_change(v, 0, old, &[new]);
         }
         for part in 0..2u32 {
             assert!(
@@ -756,9 +975,13 @@ mod tests {
     }
 
     #[test]
-    fn rebalance_heap_matches_brute_force_after_random_drift() {
-        // Stamp-invalidated heaps must agree with a full rescore no matter
-        // how moves / drifts / arrivals / releases interleave.
+    fn rebalance_heap_matches_shadow_keys_after_random_drift() {
+        // Stamp-invalidated heaps must agree with a shadow rescore no
+        // matter how moves / drifts / arrivals / releases interleave. The
+        // composite keys normalize by the live totals *at push time*, so
+        // the oracle records the key alongside every operation (calling
+        // the same `relief_key` right after the store op) instead of
+        // recomputing from current weights.
         let mut rng_state = 0x9E37u64;
         let mut rng = move || {
             rng_state = rng_state
@@ -776,6 +999,27 @@ mod tests {
         let labels: Vec<u32> = (0..n0).map(|v| (v % k) as u32).collect();
         let mut s = PartitionStore::new(&Partition::new(labels, k), &w);
         let mut released = vec![false; n0];
+        // Shadow of the live heap entry keys: `keys[v][j]` is the key the
+        // store pushed last for `(v, j)` — recorded via the same
+        // `relief_key` immediately after each operation.
+        let rescore = |s: &PartitionStore, w: &VertexWeights, v: u32| -> Vec<f64> {
+            let row: Vec<f64> = (0..dims).map(|j| w.weight(j, v)).collect();
+            (0..dims).map(|j| s.relief_key(j, &row)).collect()
+        };
+        let mut keys: Vec<Vec<f64>> = (0..n0 as u32).map(|v| rescore(&s, &w, v)).collect();
+        // Expected `top_movable(p, j, ..)`: live members of `p` by shadow
+        // key descending, ties to the larger id (the heap tie-break).
+        let expected_top = |s: &PartitionStore, keys: &[Vec<f64>], p: u32, j: usize| -> Vec<u32> {
+            let mut members: Vec<u32> = (0..s.num_vertices() as u32)
+                .filter(|&v| s.shard_of(v) == p)
+                .collect();
+            members.sort_by(|&a, &b| {
+                keys[b as usize][j]
+                    .total_cmp(&keys[a as usize][j])
+                    .then_with(|| b.cmp(&a))
+            });
+            members
+        };
         for step in 0..400 {
             match rng() % 4 {
                 0 => {
@@ -788,7 +1032,9 @@ mod tests {
                     let old = w.weight(j, v);
                     let new = 0.5 + (rng() % 100) as f64 / 10.0;
                     w.set_weight(j, v, new);
-                    s.apply_weight_change(v, j, old, new);
+                    let row: Vec<f64> = (0..dims).map(|i| w.weight(i, v)).collect();
+                    s.apply_weight_change(v, j, old, &row);
+                    keys[v as usize] = rescore(&s, &w, v);
                 }
                 1 => {
                     // Move between parts.
@@ -797,8 +1043,14 @@ mod tests {
                         continue;
                     }
                     let dst = (rng() % k) as u32;
+                    let moved = s.shard_of(v) != dst;
                     let row: Vec<f64> = (0..dims).map(|j| w.weight(j, v)).collect();
                     s.move_vertex(v, dst, &row);
+                    if moved {
+                        // A same-part move is a no-op: no re-push, so the
+                        // live entry keeps its older push-time key.
+                        keys[v as usize] = rescore(&s, &w, v);
+                    }
                 }
                 2 => {
                     // Arrival.
@@ -806,6 +1058,7 @@ mod tests {
                     w.push_vertex(&row);
                     released.push(false);
                     s.push_assignment((rng() % k) as u32, &row);
+                    keys.push(rescore(&s, &w, (s.num_vertices() - 1) as u32));
                 }
                 _ => {
                     // Release (keep a healthy majority assigned).
@@ -821,27 +1074,33 @@ mod tests {
             if step % 10 == 0 {
                 for p in 0..k as u32 {
                     for j in 0..dims {
-                        let expect = brute_force_top(&s, &w, p, j);
+                        let expect = expected_top(&s, &keys, p, j);
                         let got = s.top_movable(p, j, expect.len() + 3);
-                        // Keys must match position-wise (ids may differ only
-                        // on exactly-equal keys; the tie-break makes even
-                        // that deterministic, so compare keys).
+                        // Keys must match position-wise (ids may differ
+                        // only on exactly-equal keys; the tie-break makes
+                        // even that deterministic, so compare keys).
                         assert_eq!(got.len(), expect.len(), "step {step} part {p} dim {j}");
                         for (a, b) in got.iter().zip(&expect) {
                             assert_eq!(
-                                w.weight(j, *a),
-                                w.weight(j, *b),
-                                "step {step} part {p} dim {j}: heap {got:?} vs brute {expect:?}"
+                                keys[*a as usize][j], keys[*b as usize][j],
+                                "step {step} part {p} dim {j}: heap {got:?} vs shadow {expect:?}"
                             );
                         }
                     }
                 }
             }
         }
-        // After heavy churn a full rebuild must be a behavioural no-op.
-        let before: Vec<Vec<u32>> = (0..k as u32).map(|p| s.top_movable(p, 0, 5)).collect();
+        // A full rebuild re-keys every entry at the *current* totals; the
+        // shadow oracle does the same and must still agree exactly.
         s.rebuild_loads(&w);
-        let after: Vec<Vec<u32>> = (0..k as u32).map(|p| s.top_movable(p, 0, 5)).collect();
-        assert_eq!(before, after);
+        for v in 0..s.num_vertices() as u32 {
+            if s.shard_of(v) != TOMBSTONE {
+                keys[v as usize] = rescore(&s, &w, v);
+            }
+        }
+        for p in 0..k as u32 {
+            let expect: Vec<u32> = expected_top(&s, &keys, p, 0).into_iter().take(5).collect();
+            assert_eq!(s.top_movable(p, 0, 5), expect, "post-rebuild part {p}");
+        }
     }
 }

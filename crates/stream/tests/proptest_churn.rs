@@ -65,8 +65,15 @@ proptest! {
             let n = dg.num_vertices() as u32;
             match *op {
                 Op::AddVertex => {
-                    dg.add_vertex(&[1.0, 1.0]);
-                    live.push(true);
+                    // Arrivals recycle tombstoned ids (LIFO) before
+                    // extending the id space.
+                    let v = dg.add_vertex(&[1.0, 1.0]) as usize;
+                    if v == live.len() {
+                        live.push(true);
+                    } else {
+                        prop_assert!(!live[v], "recycled id {} was live", v);
+                        live[v] = true;
+                    }
                 }
                 Op::AddEdge(u, v) => {
                     let (u, v) = (u % n, v % n);
@@ -193,7 +200,10 @@ proptest! {
     #[test]
     fn mixed_churn_batches_hold_epsilon_at_any_thread_count(
         seed in 0u64..1000,
-        arrivals in 8usize..30,
+        // Crosses SPECULATIVE_CHUNK (128): large draws exercise the
+        // multi-chunk speculative placement + conflict repair, small ones
+        // the single-chunk path.
+        arrivals in 16usize..260,
         removals in 5usize..25,
         drifts in 10usize..60,
         drift_scale in 1.5f64..3.0,
@@ -267,12 +277,11 @@ proptest! {
                 }
             }
 
-            // (b) Thread count is semantically invisible, remaps included.
-            prop_assert_eq!(rs.refined, rt.refined);
-            prop_assert_eq!(rs.refine_moves, rt.refine_moves);
-            prop_assert_eq!(rs.vertices_removed, rt.vertices_removed);
-            prop_assert_eq!(rs.edges_removed, rt.edges_removed);
-            prop_assert_eq!(&rs.remap, &rt.remap);
+            // (b) Thread count is semantically invisible: the entire
+            // report must match — counts, refinement outcome, placement
+            // conflicts/repair passes, remaps and assigned arrival ids
+            // (BatchReport equality ignores only the wall-clock timings).
+            prop_assert_eq!(&rs, &rt, "threads 1 vs 4 diverged");
             prop_assert_eq!(
                 serial.store().as_slice(),
                 threaded.store().as_slice(),

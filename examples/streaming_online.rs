@@ -77,7 +77,12 @@ fn main() {
         batch_no += 1;
         let end = (arrived + 500).min(total as u32);
         let mut batch = UpdateBatch::new();
-        let engine_base = sp.graph().num_vertices() as u32;
+        // Under churn the engine recycles tombstoned ids (most recently
+        // freed first) before growing the id space. Mirror its free list
+        // so edges between same-batch arrivals resolve; the ingest report
+        // confirms the actual ids below.
+        let mut sim_free: Vec<u32> = sp.graph().free_ids().to_vec();
+        let mut next_fresh = sp.graph().num_vertices() as u32;
         for v in arrived..end {
             let backward: Vec<u32> = full
                 .neighbors(v)
@@ -89,9 +94,11 @@ fn main() {
                 .collect();
             let degree_weight = backward.len().max(1) as f64;
             batch.add_vertex(vec![1.0, degree_weight], backward);
-            // The engine assigns arrival ids sequentially from the current
-            // id-space size.
-            cur_id.push(engine_base + (v - arrived));
+            cur_id.push(sim_free.pop().unwrap_or_else(|| {
+                let id = next_fresh;
+                next_fresh += 1;
+                id
+            }));
         }
         let live = |cur_id: &[u32], orig: u32| cur_id[orig as usize] != TOMBSTONE;
         for _ in 0..200 {
@@ -140,6 +147,14 @@ fn main() {
             for slot in cur_id.iter_mut().filter(|s| **s != TOMBSTONE) {
                 *slot = remap[*slot as usize];
             }
+        }
+        // The report's arrival_ids (already post-remap) are authoritative;
+        // they must agree with the free-list prediction above.
+        for (i, v) in (end - report.arrival_ids.len() as u32..end).enumerate() {
+            assert_eq!(
+                cur_id[v as usize], report.arrival_ids[i],
+                "arrival id prediction diverged for original {v}"
+            );
         }
         println!(
             "batch {batch_no}: {:5.1}ms  +{} -{} vertices  imbalance {:.2}%  locality {:.1}%{}{}",
