@@ -249,6 +249,18 @@ fn cmd_evaluate(args: &Args) -> Result<(), String> {
 /// `F` of its arrival count in random live vertices (and as many random
 /// live edges), exercising the tombstone/purge path; the replay tracks
 /// the id remaps purging compactions report.
+///
+/// Warm restart: `--save-snapshot FILE` persists the engine after the
+/// last ingested batch (combine with `--stop-after B` to simulate a
+/// crash mid-stream), and `--load-snapshot FILE` resumes a later
+/// invocation from that state instead of bootstrapping — streaming
+/// continues from wherever the saved run stopped. The replay addresses
+/// vertices by their original input ids, so resume requires a snapshot
+/// whose engine ids still *are* the input ids: id epoch 0 (no purging
+/// compactions — rejected with the named stale-epoch error) and no
+/// removals so far (recycled ids re-number arrivals even before any
+/// purge, and the snapshot does not carry the replay's original→current
+/// map). Churn *after* the resume point is fine.
 fn cmd_stream(args: &Args) -> Result<(), String> {
     let graph = load_graph(args.req("input")?, &args.opt("format", "text"))?;
     let n = graph.num_vertices();
@@ -256,6 +268,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let eps: f64 = args.num("eps", 0.05)?;
     let seed: u64 = args.num("seed", 42)?;
     let batches: usize = args.num("batches", 10)?;
+    let stop_after: usize = args.num("stop-after", 0)?;
     let threads: usize = args.num("threads", 1)?;
     if threads == 0 {
         return Err("--threads must be positive".into());
@@ -270,36 +283,96 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             "--bootstrap-fraction must be in (0, 1), got {bootstrap_fraction}"
         ));
     }
-    let n0 = ((n as f64 * bootstrap_fraction) as usize)
-        .max(k)
-        .min(n.saturating_sub(1));
 
-    let prefix: Vec<u32> = (0..n0 as u32).collect();
-    let boot = InducedSubgraph::extract(&graph, &prefix);
-    let weights = VertexWeights::vertex_edge(&boot.graph);
-    let mut cfg = StreamConfig::new(k, eps).with_threads(threads);
-    cfg.gd = GdConfig {
-        iterations: 60,
-        ..GdConfig::with_epsilon(eps)
+    let (mut sp, n0) = if let Ok(path) = args.req("load-snapshot") {
+        let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
+        // The replay scripts in original input ids, so the snapshot's id
+        // space must still *be* the original one: epoch 0, matching k and
+        // the replay's two weight dimensions (unit + degree).
+        let expect = mdbgp_stream::SnapshotExpectation::default()
+            .with_k(k)
+            .with_dims(2)
+            .with_id_epoch(0);
+        let start = std::time::Instant::now();
+        let mut sp =
+            StreamingPartitioner::restore_expecting(std::io::BufReader::new(file), &expect)
+                .map_err(|e| format!("load snapshot {path}: {e}"))?;
+        sp.set_threads(threads);
+        // Epoch 0 alone is not enough: a churned-but-never-purged run
+        // recycles tombstoned ids, so engine ids diverge from input ids
+        // (and `num_vertices()` under-counts the ingested prefix) with
+        // the epoch still 0. The replay's original→current map died with
+        // the saving process; without it, resuming would re-stream
+        // already-ingested vertices and attach edges to recycled slots'
+        // new occupants.
+        if sp.telemetry().vertices_removed > 0 {
+            return Err(format!(
+                "cannot resume the replay from {path}: the saved run removed {} vertices, so \
+                 engine ids no longer match the input file's original ids (the snapshot does \
+                 not carry the replay's id map) — resume supports churn-free runs only; churn \
+                 after the resume point is fine",
+                sp.telemetry().vertices_removed
+            ));
+        }
+        let n0 = sp.graph().num_vertices();
+        if n0 > n {
+            return Err(format!(
+                "snapshot covers {n0} vertices but the input graph has only {n} — wrong input \
+                 file for this snapshot?"
+            ));
+        }
+        println!(
+            "resumed from {path} in {:.2}s: {n0}/{n} vertices already ingested \
+             ({} batches so far), locality {:.1}%, imbalance {:.2}%",
+            start.elapsed().as_secs_f64(),
+            sp.telemetry().batches,
+            sp.store().edge_locality() * 100.0,
+            sp.max_imbalance() * 100.0
+        );
+        (sp, n0)
+    } else {
+        let n0 = ((n as f64 * bootstrap_fraction) as usize)
+            .max(k)
+            .min(n.saturating_sub(1));
+        let prefix: Vec<u32> = (0..n0 as u32).collect();
+        let boot = InducedSubgraph::extract(&graph, &prefix);
+        let weights = VertexWeights::vertex_edge(&boot.graph);
+        let mut cfg = StreamConfig::new(k, eps).with_threads(threads);
+        cfg.gd = GdConfig {
+            iterations: 60,
+            ..GdConfig::with_epsilon(eps)
+        };
+        cfg.seed = seed;
+
+        let start = std::time::Instant::now();
+        let sp = StreamingPartitioner::bootstrap(boot.graph.clone(), weights, cfg)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "bootstrap on {n0}/{n} vertices in {:.2}s: locality {:.1}%, imbalance {:.2}%",
+            start.elapsed().as_secs_f64(),
+            sp.store().edge_locality() * 100.0,
+            sp.max_imbalance() * 100.0
+        );
+        (sp, n0)
     };
-    cfg.seed = seed;
-
-    let start = std::time::Instant::now();
-    let mut sp = StreamingPartitioner::bootstrap(boot.graph.clone(), weights, cfg)
-        .map_err(|e| e.to_string())?;
-    println!(
-        "bootstrap on {n0}/{n} vertices in {:.2}s: locality {:.1}%, imbalance {:.2}%",
-        start.elapsed().as_secs_f64(),
-        sp.store().edge_locality() * 100.0,
-        sp.max_imbalance() * 100.0
-    );
 
     let per_batch = (n - n0).div_ceil(batches.max(1));
     let mut arrived = n0 as u32;
     let mut batch_no = 0usize;
+    // The identity tracker is valid for both paths: a fresh bootstrap
+    // trivially, and a resume because `--load-snapshot` rejects any
+    // snapshot whose run removed vertices — so engine ids are still the
+    // original input ids.
     let mut tracker = mdbgp_bench::churn::IdTracker::identity(n0);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     while (arrived as usize) < n {
+        if stop_after > 0 && batch_no >= stop_after {
+            println!(
+                "stopping after batch {batch_no} as requested ({} vertices left unstreamed)",
+                n - arrived as usize
+            );
+            break;
+        }
         batch_no += 1;
         let end = ((arrived as usize + per_batch).min(n)) as u32;
         let mut batch = UpdateBatch::new();
@@ -367,6 +440,23 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         );
     }
 
+    // Persist the engine *before* the output purge below: a purge bumps
+    // the id epoch, and a snapshot saved at epoch 0 is what a later
+    // `--load-snapshot` invocation (which scripts in original ids) can
+    // resume from.
+    if let Ok(path) = args.req("save-snapshot") {
+        let mut file = std::io::BufWriter::new(
+            std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?,
+        );
+        let info = sp
+            .save_snapshot(&mut file)
+            .map_err(|e| format!("save snapshot {path}: {e}"))?;
+        println!(
+            "wrote snapshot -> {path} ({} payload bytes, id epoch {}, k {}, {} dims)",
+            info.payload_bytes, info.id_epoch, info.k, info.dims
+        );
+    }
+
     // Under churn the final snapshot may still hold tombstoned ids; purge
     // so the partition written below covers exactly the live vertices.
     if let Some(remap) = sp.purge() {
@@ -426,6 +516,7 @@ const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--fl
   evaluate  --input FILE --partition PARTS [--dims ...]
   stream    --input FILE --k K [--eps E] [--batches B] [--threads T]
             [--churn F] [--bootstrap-fraction F] [--seed S]
+            [--stop-after B] [--save-snapshot FILE] [--load-snapshot FILE]
             [--output PARTS] [--format text|metis|binary]";
 
 fn main() -> ExitCode {

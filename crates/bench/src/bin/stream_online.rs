@@ -31,7 +31,12 @@
 //! (`BENCH_stream.json`), failing on ε violations, on a machine-normalized
 //! wall-clock regression beyond `--max-regress` (default 0.30), or on a
 //! `rebalance_full_scans` increase over the baseline — see
-//! [`mdbgp_bench::perfgate`]. `--arrivals-heavy true` flips the defaults
+//! [`mdbgp_bench::perfgate`]. `--snapshot-every N` adds kill-and-resume
+//! cycles: every N batches the engine is serialized, discarded and
+//! restored from the bytes, the stream continuing on the restored
+//! instance; save/restore wall-clock lands in the perf record (v3 fields)
+//! so `--check-against BENCH_stream_snapshot.json` bounds warm-restart
+//! overhead alongside the usual gates. `--arrivals-heavy true` flips the defaults
 //! to a placement-bound preset (3000 arrivals, 100 extra edges, drift 30)
 //! whose ingest wall-clock is carried by the speculative placement +
 //! conflict repair stages — the leg the parallel-placement scaling check
@@ -61,6 +66,7 @@ struct Args {
     eps: f64,
     seed: u64,
     threads: usize,
+    snapshot_every: usize,
     json_out: Option<String>,
     check_against: Option<String>,
     max_regress: f64,
@@ -129,6 +135,10 @@ fn parse_args() -> Result<Args, String> {
             0 => return Err("--threads must be positive".into()),
             t => t,
         },
+        // Every N batches: save a snapshot, kill the engine, restore from
+        // the bytes and continue — measuring save/restore wall-clock into
+        // the perf record so the gate can bound warm-restart overhead.
+        snapshot_every: num("snapshot-every", 0)?,
         json_out: map.get("json-out").cloned(),
         check_against: map.get("check-against").cloned(),
         max_regress: map.get("max-regress").map_or(Ok(0.30), |v| {
@@ -154,7 +164,7 @@ fn main() -> ExitCode {
             eprintln!(
                 "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
                  [--extra-edges E] [--drift D] [--churn F] [--arrivals-heavy true] [--k K] \
-                 [--eps EPS] [--seed S] [--threads T] [--json-out FILE] \
+                 [--eps EPS] [--seed S] [--threads T] [--snapshot-every N] [--json-out FILE] \
                  [--check-against BASELINE] [--max-regress FRAC] [--expect-speedup-over FILE] \
                  [--min-par-speedup X]"
             );
@@ -220,6 +230,10 @@ fn main() -> ExitCode {
     // the replay addresses the engine through this translation.
     let mut tracker = IdTracker::identity(args.n);
     let mut batch_perf: Vec<BatchPerf> = Vec::with_capacity(args.batches);
+    let mut snap_save = Duration::ZERO;
+    let mut snap_restore = Duration::ZERO;
+    let mut snapshots = 0usize;
+    let mut snap_bytes = 0usize;
 
     for batch_no in 1..=args.batches {
         // Assemble the batch: arrivals with backward edges, extra edges,
@@ -305,6 +319,31 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
 
+        // Kill-and-resume cycle: serialize the engine, throw it away,
+        // restore from the bytes and continue the stream on the restored
+        // instance — so every later batch (and ε check) runs on a
+        // warm-restarted engine, proving the round trip mid-stream. The
+        // id tracker needs no adjustment: a snapshot preserves the id
+        // space (and epoch) exactly.
+        if args.snapshot_every > 0 && batch_no % args.snapshot_every == 0 {
+            let (bytes, save_time) = timed(|| {
+                let mut buf = Vec::new();
+                sp.save_snapshot(&mut buf).expect("snapshot save failed");
+                buf
+            });
+            let (restored, restore_time) =
+                timed(|| StreamingPartitioner::restore(&bytes[..]).expect("restore failed"));
+            if restored.store().as_slice() != sp.store().as_slice() {
+                eprintln!("FAIL: restored engine's assignment diverged from the saver");
+                return ExitCode::FAILURE;
+            }
+            snap_bytes = bytes.len();
+            snap_save += save_time;
+            snap_restore += restore_time;
+            snapshots += 1;
+            sp = restored; // the old engine is dead; long live the engine
+        }
+
         // Scratch path: full GD on the same post-batch live graph/weights
         // (snapshot construction is not charged to the solver).
         let (snapshot, weights, _) = sp.graph().live_snapshot();
@@ -374,6 +413,14 @@ fn main() -> ExitCode {
         stage_totals[4],
         stage_totals[5]
     );
+    if snapshots > 0 {
+        println!(
+            "snapshots: {snapshots} kill-and-resume cycles, save {:.1} ms, restore {:.1} ms \
+             ({snap_bytes} bytes last)",
+            snap_save.as_secs_f64() * 1e3,
+            snap_restore.as_secs_f64() * 1e3
+        );
+    }
 
     let record = PerfRecord {
         threads: args.threads,
@@ -393,6 +440,9 @@ fn main() -> ExitCode {
         placement_conflicts: Some(t.placement_conflicts),
         repair_passes: Some(t.repair_passes),
         rebalance_full_scans: Some(t.rebalance_full_scans),
+        snapshot_save_total_ms: snap_save.as_secs_f64() * 1e3,
+        snapshot_restore_total_ms: snap_restore.as_secs_f64() * 1e3,
+        snapshots: (snapshots > 0).then_some(snapshots),
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

@@ -84,6 +84,16 @@ pub struct PerfRecord {
     /// run whose count *increased* over the baseline — the committed
     /// number pins the composite-relief-key heap's candidate quality.
     pub rebalance_full_scans: Option<usize>,
+    /// v3: total wall-clock spent in `save_snapshot` across the run's
+    /// kill-and-resume cycles (0 on records predating snapshots or runs
+    /// without `--snapshot-every`).
+    pub snapshot_save_total_ms: f64,
+    /// v3: total wall-clock spent in `restore` across the run's
+    /// kill-and-resume cycles.
+    pub snapshot_restore_total_ms: f64,
+    /// v3: number of kill-and-resume cycles the run performed (`None` on
+    /// legacy records and snapshot-free runs).
+    pub snapshots: Option<usize>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -124,6 +134,19 @@ impl PerfRecord {
         }
         if let Some(f) = self.rebalance_full_scans {
             let _ = writeln!(s, "  \"rebalance_full_scans\": {f},");
+        }
+        if let Some(c) = self.snapshots {
+            let _ = writeln!(
+                s,
+                "  \"snapshot_save_total_ms\": {:.3},",
+                self.snapshot_save_total_ms
+            );
+            let _ = writeln!(
+                s,
+                "  \"snapshot_restore_total_ms\": {:.3},",
+                self.snapshot_restore_total_ms
+            );
+            let _ = writeln!(s, "  \"snapshots\": {c},");
         }
         s.push_str("  \"batches\": [\n");
         for (i, b) in self.batches.iter().enumerate() {
@@ -265,6 +288,9 @@ impl PerfRecord {
             placement_conflicts: opt_count("placement_conflicts")?,
             repair_passes: opt_count("repair_passes")?,
             rebalance_full_scans: opt_count("rebalance_full_scans")?,
+            snapshot_save_total_ms: num_or_zero("snapshot_save_total_ms")?,
+            snapshot_restore_total_ms: num_or_zero("snapshot_restore_total_ms")?,
+            snapshots: opt_count("snapshots")?,
             batches,
         })
     }
@@ -282,6 +308,14 @@ pub const PLACE_STAGE_REGRESSION: f64 = 0.75;
 /// baselines record 0.
 pub const MIN_STAGE_MS: f64 = 1.0;
 
+/// Allowed regression of the snapshot save+restore normalized wall-clock
+/// (the kill-and-resume CI leg's committed bound). Like the placement
+/// band, wider than the total-wall-clock budget: the snapshot totals are
+/// small and jittery, while the regressions the gate exists for — an
+/// accidentally quadratic serializer, a restore that re-solves instead of
+/// deserializing — cost multiples.
+pub const SNAPSHOT_REGRESSION: f64 = 1.0;
+
 /// Gate verdict: `Err` carries the human-readable failure reasons.
 ///
 /// * ε violated in the current run → fail (regardless of the baseline);
@@ -296,6 +330,10 @@ pub const MIN_STAGE_MS: f64 = 1.0;
 /// * `rebalance_full_scans` exceeded the baseline's count (both present;
 ///   the count is deterministic for a fixed workload) → fail — the
 ///   composite relief-key heaps must not regress toward full rescans;
+/// * the **snapshot** normalized wall-clock (`(save + restore) /
+///   scratch`) regressed more than [`SNAPSHOT_REGRESSION`] → fail, so the
+///   kill-and-resume leg's warm-restart cost stays bounded (engaged only
+///   when the baseline recorded a measurable snapshot total);
 /// * the **placement-stage** normalized wall-clock
 ///   (`(place + repair) / scratch`, machine-normalized like the total)
 ///   regressed more than [`PLACE_STAGE_REGRESSION`] → fail. The total
@@ -386,6 +424,29 @@ pub fn check_regression(
             ));
         }
     }
+    let base_snap = baseline.snapshot_save_total_ms + baseline.snapshot_restore_total_ms;
+    let cur_snap = current.snapshot_save_total_ms + current.snapshot_restore_total_ms;
+    if base_snap >= MIN_STAGE_MS && cur_snap > 0.0 {
+        // Machine-normalized like every other wall-clock gate: snapshot
+        // overhead per unit of same-machine scratch-GD time. Bounds the
+        // kill-and-resume cost so warm restart stays cheap relative to
+        // the cold solve it exists to avoid.
+        let cur_ratio = cur_snap / current.scratch_total_ms.max(MIN_SCRATCH_MS);
+        let base_ratio = base_snap / baseline.scratch_total_ms.max(MIN_SCRATCH_MS);
+        if cur_ratio > base_ratio * (1.0 + SNAPSHOT_REGRESSION) {
+            reasons.push(format!(
+                "snapshot overhead regressed {:.0}% (limit {:.0}%): save+restore {:.1} ms \
+                 ({:.4} normalized) vs baseline {:.1} ms ({:.4}) — warm restart is getting \
+                 expensive relative to the same-machine scratch solve",
+                (cur_ratio / base_ratio - 1.0) * 100.0,
+                SNAPSHOT_REGRESSION * 100.0,
+                cur_snap,
+                cur_ratio,
+                base_snap,
+                base_ratio,
+            ));
+        }
+    }
     if let (Some(cur), Some(base)) = (current.rebalance_full_scans, baseline.rebalance_full_scans) {
         // Deterministic for a fixed workload (seeded, thread-invariant),
         // so any increase is a real candidate-quality regression of the
@@ -455,6 +516,9 @@ mod tests {
             placement_conflicts: Some(17),
             repair_passes: Some(3),
             rebalance_full_scans: Some(2),
+            snapshot_save_total_ms: inc * 0.1,
+            snapshot_restore_total_ms: inc * 0.15,
+            snapshots: Some(2),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -583,6 +647,62 @@ mod tests {
         legacy.place_total_ms = 0.0;
         legacy.repair_total_ms = 0.0;
         assert!(check_regression(&slow_place, &legacy, 0.30).is_ok());
+    }
+
+    #[test]
+    fn snapshot_fields_round_trip_and_default_on_v2_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert!((parsed.snapshot_save_total_ms - 1.25).abs() < 1e-9);
+        assert!((parsed.snapshot_restore_total_ms - 1.875).abs() < 1e-9);
+        assert_eq!(parsed.snapshots, Some(2));
+        // A v2 baseline (no snapshot keys) still parses: totals default to
+        // 0, the cycle count to None — and the snapshot gate stays off.
+        let v2 = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("snapshot"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v2).unwrap();
+        assert_eq!(parsed.snapshot_save_total_ms, 0.0);
+        assert_eq!(parsed.snapshot_restore_total_ms, 0.0);
+        assert_eq!(parsed.snapshots, None);
+        assert!(check_regression(&r, &parsed, 0.30).is_ok());
+        // Present-but-malformed snapshot totals are an error, not 0.
+        let corrupted = r.to_json().replace(
+            "\"snapshot_save_total_ms\": 1.250",
+            "\"snapshot_save_total_ms\": \"x\"",
+        );
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("snapshot_save_total_ms"));
+    }
+
+    #[test]
+    fn gate_catches_snapshot_overhead_regression() {
+        let base = record(10.0, 600.0, true, 0.60); // save+restore = 2.5 ms
+        let mut bloated = record(10.0, 600.0, true, 0.60);
+        bloated.snapshot_save_total_ms = 4.0;
+        bloated.snapshot_restore_total_ms = 3.0; // 7.0 ms, 2.8x the baseline
+        let err = check_regression(&bloated, &base, 0.30).unwrap_err();
+        assert!(err.contains("snapshot overhead regressed"), "{err}");
+        // Inside the 2x band passes.
+        let mut ok = record(10.0, 600.0, true, 0.60);
+        ok.snapshot_save_total_ms = 2.0;
+        ok.snapshot_restore_total_ms = 2.0;
+        assert!(check_regression(&ok, &base, 0.30).is_ok());
+        // Machine speed cancels out: 3x slower machine scales everything.
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+        // A snapshot-free current run (totals 0) skips the gate, as does a
+        // baseline whose totals are under the measurement floor.
+        let mut snapless = record(10.0, 600.0, true, 0.60);
+        snapless.snapshot_save_total_ms = 0.0;
+        snapless.snapshot_restore_total_ms = 0.0;
+        snapless.snapshots = None;
+        assert!(check_regression(&snapless, &base, 0.30).is_ok());
+        assert!(check_regression(&bloated, &snapless, 0.30).is_ok());
     }
 
     #[test]

@@ -163,6 +163,33 @@ impl VertexWeights {
         Self::from_vectors(data)
     }
 
+    /// Rebuilds weights from per-dimension vectors **and** the totals that
+    /// were live alongside them — the warm-restart hook of `mdbgp-stream`'s
+    /// snapshot restore. [`Self::from_vectors`] re-sums the totals, but a
+    /// long-running stream maintains them *incrementally*
+    /// ([`Self::set_weight`] / [`Self::push_vertex`] add deltas), so the
+    /// live totals can differ from a fresh summation in the last float
+    /// bits; a restore that re-summed would diverge bitwise from the
+    /// process that saved. This constructor trusts the caller's totals
+    /// verbatim.
+    ///
+    /// # Panics
+    /// Panics if shapes disagree, any weight is not strictly positive
+    /// finite, or any total is not finite (callers deserializing untrusted
+    /// bytes must validate first).
+    pub fn from_raw_parts(data: Vec<Vec<f64>>, totals: Vec<f64>) -> Self {
+        let rebuilt = Self::from_vectors(data);
+        assert_eq!(
+            totals.len(),
+            rebuilt.dims(),
+            "one total per weight dimension required"
+        );
+        for (j, &t) in totals.iter().enumerate() {
+            assert!(t.is_finite(), "total of dimension {j} = {t} must be finite");
+        }
+        Self { totals, ..rebuilt }
+    }
+
     /// Appends one vertex with the given per-dimension weights (the
     /// streaming-ingestion hook of `mdbgp-stream`).
     ///

@@ -519,6 +519,173 @@ impl DynamicGraph {
         builder
     }
 
+    /// Serializes the full dynamic state — base CSR, delta adjacency, edge
+    /// tombstones, vertex tombstones, the free list **verbatim** (a
+    /// restored graph recycles the same ids in the same LIFO order as the
+    /// saver would have), and the weight rows with their live totals —
+    /// into a snapshot payload.
+    pub(crate) fn encode_snapshot(&self, w: &mut crate::snapshot::PayloadWriter) {
+        w.put_vec_usize(self.base.raw_offsets());
+        w.put_vec_u32(self.base.raw_targets());
+        w.put_usize(self.delta.len());
+        for adj in &self.delta {
+            w.put_vec_u32(adj);
+        }
+        w.put_usize(self.delta_edges);
+        w.put_usize(self.removed.len());
+        for gone in &self.removed {
+            w.put_vec_u32(gone);
+        }
+        w.put_usize(self.removed_base_edges);
+        w.put_vec_bool(&self.dead);
+        w.put_vec_u32(&self.free);
+        let dims = self.weights.dims();
+        w.put_usize(dims);
+        for j in 0..dims {
+            w.put_vec_f64(self.weights.dim(j));
+        }
+        w.put_vec_f64(&(0..dims).map(|j| self.weights.total(j)).collect::<Vec<_>>());
+    }
+
+    /// Rebuilds a graph from [`Self::encode_snapshot`] bytes. The payload
+    /// already passed the snapshot checksum, so every rejection here
+    /// ([`crate::SnapshotError::Corrupt`]) marks a writer/reader format
+    /// divergence rather than bit rot — but each invariant is still
+    /// checked, because the alternative is an index panic deep inside the
+    /// serving path.
+    pub(crate) fn decode_snapshot(
+        r: &mut crate::snapshot::PayloadReader,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let corrupt = |why: String| SnapshotError::Corrupt(why);
+
+        let offsets = r.get_vec_usize("graph.base.offsets")?;
+        let targets = r.get_vec_u32("graph.base.targets")?;
+        if offsets.is_empty() || offsets[0] != 0 || *offsets.last().unwrap() != targets.len() {
+            return Err(corrupt("base CSR offsets do not frame the targets".into()));
+        }
+        let base_n = offsets.len() - 1;
+        for v in 0..base_n {
+            if offsets[v] > offsets[v + 1] {
+                return Err(corrupt(format!("base CSR offsets not monotone at {v}")));
+            }
+            let adj = &targets[offsets[v]..offsets[v + 1]];
+            for (i, &t) in adj.iter().enumerate() {
+                if (t as usize) >= base_n || t as usize == v || (i > 0 && adj[i - 1] >= t) {
+                    return Err(corrupt(format!("base CSR adjacency of {v} is invalid")));
+                }
+            }
+        }
+        if targets.len() % 2 != 0 {
+            return Err(corrupt(
+                "base CSR stores an odd number of directed edges".into(),
+            ));
+        }
+        let base = Graph::from_csr(offsets, targets);
+
+        let n = r.get_usize("graph.delta.len")?;
+        if n < base_n {
+            return Err(corrupt(format!(
+                "id space {n} smaller than base CSR {base_n}"
+            )));
+        }
+        let mut delta = Vec::with_capacity(n);
+        for _ in 0..n {
+            delta.push(r.get_vec_u32("graph.delta.adj")?);
+        }
+        let delta_edges = r.get_usize("graph.delta_edges")?;
+        let removed_n = r.get_usize("graph.removed.len")?;
+        if removed_n != n {
+            return Err(corrupt(
+                "edge-tombstone table does not cover the id space".into(),
+            ));
+        }
+        let mut removed = Vec::with_capacity(n);
+        for _ in 0..n {
+            removed.push(r.get_vec_u32("graph.removed.adj")?);
+        }
+        let removed_base_edges = r.get_usize("graph.removed_base_edges")?;
+        let dead = r.get_vec_bool("graph.dead")?;
+        if dead.len() != n {
+            return Err(corrupt(
+                "vertex-tombstone table does not cover the id space".into(),
+            ));
+        }
+        let dead_count = dead.iter().filter(|&&d| d).count();
+        let free = r.get_vec_u32("graph.free")?;
+        // The free list must contain exactly the dead ids, each once — the
+        // recycling invariant `add_vertex` relies on.
+        if free.len() != dead_count {
+            return Err(corrupt(format!(
+                "free list has {} entries for {dead_count} tombstoned vertices",
+                free.len()
+            )));
+        }
+        let mut on_free = vec![false; n];
+        for &v in &free {
+            if (v as usize) >= n || !dead[v as usize] || on_free[v as usize] {
+                return Err(corrupt(format!(
+                    "free-list entry {v} is not a unique dead id"
+                )));
+            }
+            on_free[v as usize] = true;
+        }
+        for (v, adj) in delta.iter().enumerate() {
+            for &u in adj {
+                if (u as usize) >= n {
+                    return Err(corrupt(format!("delta edge ({v}, {u}) is out of range")));
+                }
+            }
+        }
+        for (v, gone) in removed.iter().enumerate() {
+            for &u in gone {
+                if (u as usize) >= n {
+                    return Err(corrupt(format!(
+                        "edge tombstone ({v}, {u}) is out of range"
+                    )));
+                }
+            }
+        }
+
+        let dims = r.get_usize("graph.weights.dims")?;
+        if dims == 0 {
+            return Err(corrupt("weights need at least one dimension".into()));
+        }
+        let mut data = Vec::with_capacity(dims);
+        for j in 0..dims {
+            let col = r.get_vec_f64("graph.weights.dim")?;
+            if col.len() != n {
+                return Err(corrupt(format!(
+                    "weight dimension {j} covers {} of {n} vertices",
+                    col.len()
+                )));
+            }
+            if let Some(&w) = col.iter().find(|w| !(w.is_finite() && **w > 0.0)) {
+                return Err(corrupt(format!(
+                    "weight dimension {j} holds non-positive value {w}"
+                )));
+            }
+            data.push(col);
+        }
+        let totals = r.get_vec_f64("graph.weights.totals")?;
+        if totals.len() != dims || totals.iter().any(|t| !t.is_finite()) {
+            return Err(corrupt("weight totals are malformed".into()));
+        }
+        let weights = VertexWeights::from_raw_parts(data, totals);
+
+        Ok(Self {
+            base,
+            delta,
+            delta_edges,
+            removed,
+            removed_base_edges,
+            dead,
+            dead_count,
+            free,
+            weights,
+        })
+    }
+
     /// Approximate heap footprint of the adjacency structures in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.base.memory_bytes()

@@ -235,6 +235,19 @@ impl PartialEq for BatchReport {
     }
 }
 
+impl std::fmt::Debug for StreamingPartitioner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StreamingPartitioner")
+            .field("k", &self.cfg.k)
+            .field("dims", &self.graph.weights().dims())
+            .field("num_vertices", &self.graph.num_vertices())
+            .field("num_edges", &self.graph.num_edges())
+            .field("id_epoch", &self.id_epoch)
+            .field("batches", &self.telemetry.batches)
+            .finish_non_exhaustive()
+    }
+}
+
 /// The online partitioning engine.
 pub struct StreamingPartitioner {
     cfg: StreamConfig,
@@ -251,6 +264,10 @@ pub struct StreamingPartitioner {
     telemetry: StreamTelemetry,
     batches_since_refine: usize,
     refine_seed: u64,
+    /// Number of purging compactions this engine's id space has gone
+    /// through — the version external id holders must match (see
+    /// [`Self::id_epoch`]).
+    id_epoch: u64,
 }
 
 impl StreamingPartitioner {
@@ -304,6 +321,7 @@ impl StreamingPartitioner {
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
+            id_epoch: 0,
         })
     }
 
@@ -324,6 +342,7 @@ impl StreamingPartitioner {
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
+            id_epoch: 0,
         })
     }
 
@@ -374,6 +393,190 @@ impl StreamingPartitioner {
         self.take_remap()
     }
 
+    /// The engine's **id epoch**: how many purging compactions have
+    /// renumbered its vertex ids. Ids are stable within an epoch; an
+    /// external id holder (a router, a replay harness) that has applied
+    /// `E` remaps is at epoch `E` and can only adopt a snapshot recorded
+    /// at the same epoch — pass the expectation to
+    /// [`Self::restore_expecting`].
+    pub fn id_epoch(&self) -> u64 {
+        self.id_epoch
+    }
+
+    /// The configuration the engine runs with.
+    pub fn config(&self) -> &StreamConfig {
+        &self.cfg
+    }
+
+    /// Re-sizes the worker pool (e.g. after restoring a snapshot recorded
+    /// on a machine with a different core count). Thread count never
+    /// affects results — every parallel section is deterministic by
+    /// construction — so this is safe mid-stream.
+    ///
+    /// # Panics
+    /// Panics if `threads` is zero.
+    pub fn set_threads(&mut self, threads: usize) {
+        assert!(threads > 0, "threads must be positive");
+        self.cfg.threads = threads;
+    }
+
+    /// Serializes the engine's full state into `w` in the versioned
+    /// snapshot format (see [`crate::snapshot`] for the layout): the
+    /// dynamic graph (base CSR, delta, tombstones, free list, weights),
+    /// the store's accounting (verbatim floats), the configuration, and
+    /// the refinement bookkeeping. The rebalance heaps are *not*
+    /// serialized — they are rebuilt on restore — and to keep the saver
+    /// bitwise in lockstep with any future restorer, this call
+    /// **canonicalizes** the live engine's heaps (re-keys every entry at
+    /// the current totals; `&mut self` for exactly this reason). A
+    /// snapshot may be taken at any batch boundary, including mid-churn
+    /// with tombstoned-but-unpurged vertices pending.
+    pub fn save_snapshot<W: std::io::Write>(
+        &mut self,
+        w: &mut W,
+    ) -> Result<crate::SnapshotInfo, crate::SnapshotError> {
+        use crate::snapshot::{self, PayloadWriter};
+        self.store.rebuild_heaps(self.graph.weights());
+        let mut pw = PayloadWriter::new();
+        // The id epoch is echoed as the payload's first bytes: the header
+        // copy (used for cheap pre-parse expectation checks) is outside
+        // the checksum, so restore cross-validates it against this
+        // checksummed copy — a corrupted header epoch cannot slip an
+        // engine into the wrong id space.
+        pw.put_u64(self.id_epoch);
+        pw.put_section(snapshot::SEC_CONFIG);
+        snapshot::encode_config(&mut pw, &self.cfg);
+        pw.put_section(snapshot::SEC_GRAPH);
+        self.graph.encode_snapshot(&mut pw);
+        pw.put_section(snapshot::SEC_STORE);
+        self.store.encode_snapshot(&mut pw);
+        pw.put_section(snapshot::SEC_ENGINE);
+        pw.put_vec_bool(&self.dirty);
+        pw.put_bool(self.pending_remap.is_some());
+        if let Some(map) = &self.pending_remap {
+            pw.put_vec_u32(map);
+        }
+        encode_telemetry(&mut pw, &self.telemetry);
+        pw.put_usize(self.batches_since_refine);
+        pw.put_u64(self.refine_seed);
+        pw.put_section(snapshot::SEC_END);
+        snapshot::write_snapshot(
+            w,
+            self.id_epoch,
+            self.cfg.k,
+            self.graph.weights().dims(),
+            &pw.buf,
+        )
+    }
+
+    /// Rebuilds an engine from a [`Self::save_snapshot`] stream with no
+    /// expectations beyond internal consistency. Equivalent to
+    /// [`Self::restore_expecting`] with a default
+    /// [`crate::SnapshotExpectation`].
+    pub fn restore<R: std::io::Read>(r: R) -> Result<Self, crate::SnapshotError> {
+        Self::restore_expecting(r, &crate::SnapshotExpectation::default())
+    }
+
+    /// Rebuilds an engine from a snapshot, first checking the header
+    /// against the caller's expectation (`k`, dimension count, id epoch —
+    /// each mismatch fails with its named [`crate::SnapshotError`]
+    /// variant), then validating checksum and payload. All-or-nothing: an
+    /// `Err` constructs no state. The restored engine continues ingesting
+    /// with byte-identical [`BatchReport`]s to the engine that saved.
+    pub fn restore_expecting<R: std::io::Read>(
+        r: R,
+        expect: &crate::SnapshotExpectation,
+    ) -> Result<Self, crate::SnapshotError> {
+        use crate::snapshot::{self, PayloadReader, SnapshotError};
+        let (info, payload) = snapshot::read_snapshot(r)?;
+        expect.check(&info)?;
+        let mut pr = PayloadReader::new(&payload);
+
+        // The header's epoch is unchecksummed; the payload's echo is the
+        // authority. A mismatch means the header byte rotted — and the
+        // expectation above may have passed against the corrupt value, so
+        // this must fail before any state is adopted.
+        let payload_epoch = pr.get_u64("payload id epoch")?;
+        if payload_epoch != info.id_epoch {
+            return Err(SnapshotError::Corrupt(format!(
+                "header id epoch {} does not match the checksummed payload epoch {payload_epoch}",
+                info.id_epoch
+            )));
+        }
+
+        pr.expect_section(snapshot::SEC_CONFIG)?;
+        let cfg = snapshot::decode_config(&mut pr)?;
+        cfg.validate()
+            .map_err(|e| SnapshotError::Corrupt(format!("configuration invalid: {e}")))?;
+        pr.expect_section(snapshot::SEC_GRAPH)?;
+        let graph = DynamicGraph::decode_snapshot(&mut pr)?;
+        pr.expect_section(snapshot::SEC_STORE)?;
+        let store = PartitionStore::decode_snapshot(&mut pr, graph.weights())?;
+        pr.expect_section(snapshot::SEC_ENGINE)?;
+        let dirty = pr.get_vec_bool("engine.dirty")?;
+        let pending_remap = if pr.get_bool("engine.pending_remap flag")? {
+            Some(pr.get_vec_u32("engine.pending_remap")?)
+        } else {
+            None
+        };
+        let telemetry = decode_telemetry(&mut pr)?;
+        let batches_since_refine = pr.get_usize("engine.batches_since_refine")?;
+        let refine_seed = pr.get_u64("engine.refine_seed")?;
+        pr.expect_section(snapshot::SEC_END)?;
+        if !pr.finished() {
+            return Err(SnapshotError::Corrupt(
+                "trailing bytes after the END section".into(),
+            ));
+        }
+
+        // Cross-section consistency: the header, config, graph and store
+        // must all agree on the shape before the engine is assembled.
+        let n = graph.num_vertices();
+        if cfg.k != info.k || store.num_parts() != info.k {
+            return Err(SnapshotError::Corrupt(format!(
+                "part counts disagree: header {}, config {}, store {}",
+                info.k,
+                cfg.k,
+                store.num_parts()
+            )));
+        }
+        if graph.weights().dims() != info.dims {
+            return Err(SnapshotError::Corrupt(format!(
+                "dimension counts disagree: header {}, weights {}",
+                info.dims,
+                graph.weights().dims()
+            )));
+        }
+        if store.num_vertices() != n || dirty.len() != n {
+            return Err(SnapshotError::Corrupt(format!(
+                "id spaces disagree: graph {n}, store {}, dirty {}",
+                store.num_vertices(),
+                dirty.len()
+            )));
+        }
+        // A tombstoned graph slot must be released in the store and vice
+        // versa — the alignment every ingest stage depends on.
+        for v in 0..n as VertexId {
+            if graph.is_live(v) != (store.shard_of(v) != TOMBSTONE) {
+                return Err(SnapshotError::Corrupt(format!(
+                    "graph and store disagree about the liveness of vertex {v}"
+                )));
+            }
+        }
+
+        Ok(Self {
+            cfg,
+            graph,
+            store,
+            dirty,
+            pending_remap,
+            telemetry,
+            batches_since_refine,
+            refine_seed,
+            id_epoch: info.id_epoch,
+        })
+    }
+
     /// Compacts the dynamic graph and, when the compaction purged
     /// tombstoned vertices, applies the id remap to every structure the
     /// engine owns (store, dirty set) and composes it into
@@ -402,6 +605,7 @@ impl StreamingPartitioner {
         self.dirty = dirty;
         self.store.apply_remap(&map, self.graph.weights());
         self.telemetry.remaps += 1;
+        self.id_epoch += 1;
         self.pending_remap = Some(match self.pending_remap.take() {
             None => map,
             // Two purges since the last drain: compose old→mid→new.
@@ -1264,6 +1468,50 @@ impl StreamingPartitioner {
         }
         gain
     }
+}
+
+fn encode_telemetry(w: &mut crate::snapshot::PayloadWriter, t: &StreamTelemetry) {
+    for count in [
+        t.batches,
+        t.vertices_placed,
+        t.vertices_removed,
+        t.edges_added,
+        t.edges_removed,
+        t.weight_updates,
+        t.compactions,
+        t.remaps,
+        t.refinements,
+        t.rebalance_moves,
+        t.rebalance_full_scans,
+        t.refine_moves,
+        t.placement_conflicts,
+        t.repair_passes,
+    ] {
+        w.put_usize(count);
+    }
+    w.put_f64(t.last_refine_secs);
+}
+
+fn decode_telemetry(
+    r: &mut crate::snapshot::PayloadReader,
+) -> Result<StreamTelemetry, crate::SnapshotError> {
+    Ok(StreamTelemetry {
+        batches: r.get_usize("telemetry.batches")?,
+        vertices_placed: r.get_usize("telemetry.vertices_placed")?,
+        vertices_removed: r.get_usize("telemetry.vertices_removed")?,
+        edges_added: r.get_usize("telemetry.edges_added")?,
+        edges_removed: r.get_usize("telemetry.edges_removed")?,
+        weight_updates: r.get_usize("telemetry.weight_updates")?,
+        compactions: r.get_usize("telemetry.compactions")?,
+        remaps: r.get_usize("telemetry.remaps")?,
+        refinements: r.get_usize("telemetry.refinements")?,
+        rebalance_moves: r.get_usize("telemetry.rebalance_moves")?,
+        rebalance_full_scans: r.get_usize("telemetry.rebalance_full_scans")?,
+        refine_moves: r.get_usize("telemetry.refine_moves")?,
+        placement_conflicts: r.get_usize("telemetry.placement_conflicts")?,
+        repair_passes: r.get_usize("telemetry.repair_passes")?,
+        last_refine_secs: r.get_f64("telemetry.last_refine_secs")?,
+    })
 }
 
 /// The `limit` highest-scoring vertices of `list` (O(p) selection, order

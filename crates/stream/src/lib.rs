@@ -100,6 +100,36 @@
 //! enforced by repair, and overflow falls back exactly like serial LDG,
 //! where the refinement stage restores feasibility).
 //!
+//! ## Warm restart
+//!
+//! A serving replica must not replay the whole stream after a restart.
+//! [`StreamingPartitioner::save_snapshot`] serializes the engine's full
+//! state to any `io::Write` in a versioned, self-describing, checksummed
+//! binary format, and [`StreamingPartitioner::restore`] rebuilds an
+//! engine that continues ingesting with **byte-identical**
+//! [`BatchReport`]s to the process that saved (property-tested across
+//! mixed churn batches and thread counts). The format and its guarantees
+//! live in [`snapshot`]; the short version:
+//!
+//! | piece | serialized verbatim | rebuilt on load |
+//! |---|---|---|
+//! | [`DynamicGraph`] | base CSR, delta, edge/vertex tombstones, **free list**, weight rows + live totals | — |
+//! | [`PartitionStore`] | assignments, per-(part, dim) loads, live totals, edge counters | rebalance heaps, stamps, part sizes |
+//! | engine | [`StreamConfig`], dirty set, telemetry, refinement seed/schedule | — |
+//!
+//! Floats are serialized bit-exactly (the live accounting is maintained
+//! incrementally; re-deriving it would diverge from the saver), and
+//! `save_snapshot` canonicalizes the live heaps so saver and restorer
+//! share one candidate-queue state. The header records an **id epoch** —
+//! the number of purging compactions the id space has gone through — so a
+//! restorer holding old ids can refuse a snapshot from a different epoch
+//! ([`StreamingPartitioner::restore_expecting`], [`SnapshotExpectation`]);
+//! truncated, corrupted, version-skewed or shape-mismatched snapshots each
+//! fail with a named [`SnapshotError`] variant and construct nothing.
+//! Snapshots may be taken mid-churn: tombstoned-but-unpurged vertices,
+//! their capacity releases and the pending free list are carried verbatim,
+//! so id recycling after restore matches the uninterrupted run exactly.
+//!
 //! ## Threading model
 //!
 //! [`StreamConfig::threads`] sizes one logical worker pool; `threads = 1`
@@ -177,6 +207,7 @@ pub mod dynamic;
 pub mod engine;
 pub mod pipeline;
 pub mod placement;
+pub mod snapshot;
 pub mod store;
 
 /// Sentinel id for a vertex that no longer exists: the shard reported by
@@ -190,4 +221,5 @@ pub use dynamic::DynamicGraph;
 pub use engine::{BatchReport, StreamConfig, StreamTelemetry, StreamingPartitioner};
 pub use pipeline::{StageTimings, SPECULATIVE_CHUNK};
 pub use placement::{LdgPlacer, LoadView, ReservationLedger, ReservedView};
+pub use snapshot::{SnapshotError, SnapshotExpectation, SnapshotInfo};
 pub use store::{LoadSnapshot, PartitionStore};

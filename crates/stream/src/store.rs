@@ -658,12 +658,9 @@ impl PartitionStore {
         self.loads.iter_mut().for_each(|l| *l = 0.0);
         self.totals.iter_mut().for_each(|t| *t = 0.0);
         self.part_sizes.iter_mut().for_each(|s| *s = 0);
-        self.stamps.iter_mut().for_each(|s| *s = 0);
-        self.stamps.resize(self.parts.len() * self.dims, 0);
-        self.heaps.iter_mut().for_each(BinaryHeap::clear);
-        // Two passes: the composite heap keys normalize by the live
-        // totals, so every total must be final before the first entry is
-        // pushed.
+        // The composite heap keys normalize by the live totals, so every
+        // total must be final before `rebuild_heaps` pushes the first
+        // entry.
         for (v, &p) in self.parts.iter().enumerate() {
             if p == TOMBSTONE {
                 continue;
@@ -675,6 +672,23 @@ impl PartitionStore {
                 self.totals[j] += w;
             }
         }
+        self.rebuild_heaps(weights);
+    }
+
+    /// Drops every heap entry and stamp and re-pushes one entry per
+    /// assigned `(vertex, dimension)`, keyed at the **current** totals.
+    /// This canonicalizes the candidate queues: a long-lived store holds
+    /// mixed-vintage push-time keys, and two stores that agree on
+    /// parts/loads/totals but diverge in entry vintage can pop different
+    /// candidate orders. [`crate::StreamingPartitioner::save_snapshot`]
+    /// calls this on the *live* store before serializing so that saver and
+    /// restorer (whose heaps are rebuilt the same way) continue from
+    /// identical state. O(n·d·log n).
+    pub(crate) fn rebuild_heaps(&mut self, weights: &VertexWeights) {
+        debug_assert_eq!(weights.num_vertices(), self.parts.len());
+        self.stamps.iter_mut().for_each(|s| *s = 0);
+        self.stamps.resize(self.parts.len() * self.dims, 0);
+        self.heaps.iter_mut().for_each(BinaryHeap::clear);
         let mut row = vec![0.0f64; self.dims];
         for (v, &p) in self.parts.iter().enumerate() {
             if p == TOMBSTONE {
@@ -692,6 +706,80 @@ impl PartitionStore {
                 });
             }
         }
+    }
+
+    /// Serializes the accounting state — assignments, loads, live totals
+    /// and edge counters, all **verbatim floats** (they are maintained
+    /// incrementally; re-deriving them from the weights would diverge
+    /// bitwise from the live store). Heaps, stamps and `part_sizes` are
+    /// derived state and are rebuilt by [`Self::decode_snapshot`].
+    pub(crate) fn encode_snapshot(&self, w: &mut crate::snapshot::PayloadWriter) {
+        w.put_usize(self.k);
+        w.put_usize(self.dims);
+        w.put_vec_u32(&self.parts);
+        w.put_vec_f64(&self.loads);
+        w.put_vec_f64(&self.totals);
+        w.put_usize(self.intra_edges);
+        w.put_usize(self.cut_edges);
+    }
+
+    /// Rebuilds a store from [`Self::encode_snapshot`] bytes: serialized
+    /// accounting verbatim, then `part_sizes` recounted from the
+    /// assignments and the rebalance heaps/stamps rebuilt from `weights`
+    /// at the restored totals (see [`Self::rebuild_heaps`]).
+    pub(crate) fn decode_snapshot(
+        r: &mut crate::snapshot::PayloadReader,
+        weights: &VertexWeights,
+    ) -> Result<Self, crate::snapshot::SnapshotError> {
+        use crate::snapshot::SnapshotError;
+        let corrupt = |why: String| SnapshotError::Corrupt(why);
+        let k = r.get_usize("store.k")?;
+        let dims = r.get_usize("store.dims")?;
+        if k == 0 || dims == 0 {
+            return Err(corrupt(format!("store shape k = {k}, dims = {dims}")));
+        }
+        let parts = r.get_vec_u32("store.parts")?;
+        if parts.len() != weights.num_vertices() || dims != weights.dims() {
+            return Err(corrupt(format!(
+                "store covers {} vertices x {dims} dims, weights {} x {}",
+                parts.len(),
+                weights.num_vertices(),
+                weights.dims()
+            )));
+        }
+        let mut part_sizes = vec![0usize; k];
+        for &p in &parts {
+            if p == TOMBSTONE {
+                continue;
+            }
+            if (p as usize) >= k {
+                return Err(corrupt(format!("assignment names part {p} of {k}")));
+            }
+            part_sizes[p as usize] += 1;
+        }
+        let loads = r.get_vec_f64("store.loads")?;
+        if loads.len() != k * dims || loads.iter().any(|l| !l.is_finite()) {
+            return Err(corrupt("per-part loads are malformed".into()));
+        }
+        let totals = r.get_vec_f64("store.totals")?;
+        if totals.len() != dims || totals.iter().any(|t| !t.is_finite()) {
+            return Err(corrupt("live totals are malformed".into()));
+        }
+        let n = parts.len();
+        let mut store = Self {
+            parts,
+            k,
+            dims,
+            loads,
+            totals,
+            part_sizes,
+            stamps: vec![0; n * dims],
+            heaps: vec![BinaryHeap::new(); k * dims],
+            intra_edges: r.get_usize("store.intra_edges")?,
+            cut_edges: r.get_usize("store.cut_edges")?,
+        };
+        store.rebuild_heaps(weights);
+        Ok(store)
     }
 }
 

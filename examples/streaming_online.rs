@@ -171,6 +171,28 @@ fn main() {
             }
         );
         assert!(report.max_imbalance <= EPS + 1e-9, "ε-guarantee violated");
+
+        // Kill-and-resume mid-stream: serialize the engine, "crash" (drop
+        // it), restore a fresh instance from the bytes and keep streaming
+        // on it. The snapshot preserves the id space — and its epoch — so
+        // the original→current table above needs no adjustment, and every
+        // later batch behaves exactly as if the process had survived.
+        if batch_no == 4 {
+            let t = Instant::now();
+            let mut bytes = Vec::new();
+            sp.save_snapshot(&mut bytes).expect("snapshot save");
+            let save_ms = t.elapsed().as_secs_f64() * 1e3;
+            drop(sp); // the serving process dies here...
+            let t = Instant::now();
+            sp = StreamingPartitioner::restore(&bytes[..]).expect("snapshot restore");
+            println!(
+                "  -- killed and warm-restarted from a {} byte snapshot \
+                 (save {save_ms:.1}ms, restore {:.1}ms, id epoch {})",
+                bytes.len(),
+                t.elapsed().as_secs_f64() * 1e3,
+                sp.id_epoch()
+            );
+        }
     }
 
     // 4. The serving path stays O(1) throughout; look a surviving original
