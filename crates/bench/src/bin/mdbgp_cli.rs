@@ -283,6 +283,23 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             "--bootstrap-fraction must be in (0, 1), got {bootstrap_fraction}"
         ));
     }
+    // `.prom`/`.txt` gets the Prometheus text exposition, anything else
+    // the JSON dump. `--metrics-every N` additionally flushes the file
+    // every N batches so a long run (or one killed mid-stream) leaves a
+    // scrapeable dump behind, not just the final snapshot.
+    let metrics_out: Option<String> = args.req("metrics-out").ok().map(String::from);
+    let metrics_every: usize = args.num("metrics-every", 0)?;
+    if metrics_every > 0 && metrics_out.is_none() {
+        return Err("--metrics-every needs --metrics-out FILE".into());
+    }
+    let write_metrics = |sp: &mut StreamingPartitioner, path: &str| -> Result<(), String> {
+        let dump = if path.ends_with(".prom") || path.ends_with(".txt") {
+            sp.metrics().render_text()
+        } else {
+            sp.metrics().render_json()
+        };
+        std::fs::write(path, dump).map_err(|e| format!("write metrics {path}: {e}"))
+    };
 
     let (mut sp, n0) = if let Ok(path) = args.req("load-snapshot") {
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
@@ -438,6 +455,12 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
                 String::new()
             }
         );
+        if metrics_every > 0 && batch_no.is_multiple_of(metrics_every) {
+            if let Some(path) = &metrics_out {
+                write_metrics(&mut sp, path)?;
+                println!("flushed metrics -> {path} (batch {batch_no})");
+            }
+        }
     }
 
     // Persist the engine *before* the output purge below: a purge bumps
@@ -455,6 +478,11 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             "wrote snapshot -> {path} ({} payload bytes, id epoch {}, k {}, {} dims)",
             info.payload_bytes, info.id_epoch, info.k, info.dims
         );
+    }
+
+    if let Some(path) = &metrics_out {
+        write_metrics(&mut sp, path)?;
+        println!("wrote metrics dump -> {path}");
     }
 
     // Under churn the final snapshot may still hold tombstoned ids; purge
@@ -517,6 +545,7 @@ const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--fl
   stream    --input FILE --k K [--eps E] [--batches B] [--threads T]
             [--churn F] [--bootstrap-fraction F] [--seed S]
             [--stop-after B] [--save-snapshot FILE] [--load-snapshot FILE]
+            [--metrics-out FILE] [--metrics-every N]
             [--output PARTS] [--format text|metis|binary]";
 
 fn main() -> ExitCode {

@@ -1,0 +1,73 @@
+//! CI schema validator for `stream_online --metrics-out` dumps.
+//!
+//! Usage: `metrics_check FILE [--min-journal-events N]`
+//!
+//! Validates the dump against the engine's metric-name allowlist
+//! ([`mdbgp_stream::METRIC_ALLOWLIST`]) via [`mdbgp_obs::validate_dump`]:
+//! every required section present, histogram quantiles monotone, span
+//! child-sums bounded by their parents, and no metric name outside the
+//! allowlist — a typo'd instrumentation site fails CI here instead of
+//! silently dashboarding an always-zero series. `--min-journal-events`
+//! additionally asserts the run journaled at least N engine events, so a
+//! refactor that silently drops the journal wiring cannot pass.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<&str> = None;
+    let mut min_events: usize = 0;
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--min-journal-events" => {
+                i += 1;
+                min_events = match argv.get(i).and_then(|v| v.parse().ok()) {
+                    Some(n) => n,
+                    None => {
+                        eprintln!("FAIL: --min-journal-events needs an integer");
+                        return ExitCode::FAILURE;
+                    }
+                };
+            }
+            arg if !arg.starts_with("--") && file.is_none() => file = Some(arg),
+            arg => {
+                eprintln!("usage: metrics_check FILE [--min-journal-events N] (got {arg:?})");
+                return ExitCode::FAILURE;
+            }
+        }
+        i += 1;
+    }
+    let Some(path) = file else {
+        eprintln!("usage: metrics_check FILE [--min-journal-events N]");
+        return ExitCode::FAILURE;
+    };
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("FAIL: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match mdbgp_obs::validate_dump(&text, mdbgp_stream::METRIC_ALLOWLIST) {
+        Ok(stats) => {
+            if stats.journal_events < min_events {
+                eprintln!(
+                    "FAIL: {path}: only {} journal events, need at least {min_events}",
+                    stats.journal_events
+                );
+                return ExitCode::FAILURE;
+            }
+            println!(
+                "{path}: OK — {} counters, {} gauges, {} histograms, {} spans, \
+                 {} journal events",
+                stats.counters, stats.gauges, stats.histograms, stats.spans, stats.journal_events
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("FAIL: {path}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -43,7 +43,9 @@
 //! runs on (`BENCH_stream_place.json`).
 
 use mdbgp_bench::churn::{predict_arrival_ids, queue_removals, verify_arrival_ids, IdTracker};
-use mdbgp_bench::perfgate::{check_parallel_speedup, check_regression, BatchPerf, PerfRecord};
+use mdbgp_bench::perfgate::{
+    check_parallel_speedup, check_regression, BatchPerf, PerfQuantiles, PerfRecord,
+};
 use mdbgp_bench::policies::timed;
 use mdbgp_bench::table::Table;
 use mdbgp_core::{GdConfig, GdPartitioner};
@@ -68,6 +70,8 @@ struct Args {
     threads: usize,
     snapshot_every: usize,
     json_out: Option<String>,
+    metrics_out: Option<String>,
+    metrics_det_out: Option<String>,
     check_against: Option<String>,
     max_regress: f64,
     expect_speedup_over: Option<String>,
@@ -140,6 +144,11 @@ fn parse_args() -> Result<Args, String> {
         // the perf record so the gate can bound warm-restart overhead.
         snapshot_every: num("snapshot-every", 0)?,
         json_out: map.get("json-out").cloned(),
+        // Full metrics dump (counters + histograms + spans + journal) and
+        // the deterministic subset (identical across thread counts; CI
+        // diffs the serial and parallel legs' files byte-for-byte).
+        metrics_out: map.get("metrics-out").cloned(),
+        metrics_det_out: map.get("metrics-det-out").cloned(),
         check_against: map.get("check-against").cloned(),
         max_regress: map.get("max-regress").map_or(Ok(0.30), |v| {
             v.parse()
@@ -165,6 +174,7 @@ fn main() -> ExitCode {
                 "error: {e}\nusage: stream_online [--n N] [--batches B] [--arrivals A] \
                  [--extra-edges E] [--drift D] [--churn F] [--arrivals-heavy true] [--k K] \
                  [--eps EPS] [--seed S] [--threads T] [--snapshot-every N] [--json-out FILE] \
+                 [--metrics-out FILE] [--metrics-det-out FILE] \
                  [--check-against BASELINE] [--max-regress FRAC] [--expect-speedup-over FILE] \
                  [--min-par-speedup X]"
             );
@@ -298,13 +308,14 @@ fn main() -> ExitCode {
         // Incremental path.
         let (report, inc_time) = timed(|| sp.ingest(&batch).expect("ingest failed"));
         inc_total += inc_time;
+        let timings = report.timings();
         stage_totals = [
-            stage_totals[0] + report.timings.validate_ms,
-            stage_totals[1] + report.timings.split_ms,
-            stage_totals[2] + report.timings.place_ms,
-            stage_totals[3] + report.timings.repair_ms,
-            stage_totals[4] + report.timings.commit_ms,
-            stage_totals[5] + report.timings.refine_ms,
+            stage_totals[0] + timings.validate_ms,
+            stage_totals[1] + timings.split_ms,
+            stage_totals[2] + timings.place_ms,
+            stage_totals[3] + timings.repair_ms,
+            stage_totals[4] + timings.commit_ms,
+            stage_totals[5] + timings.refine_ms,
         ];
         if report.max_imbalance > args.eps + 1e-9 {
             eps_ok = false;
@@ -443,6 +454,28 @@ fn main() -> ExitCode {
         snapshot_save_total_ms: snap_save.as_secs_f64() * 1e3,
         snapshot_restore_total_ms: snap_restore.as_secs_f64() * 1e3,
         snapshots: (snapshots > 0).then_some(snapshots),
+        quantiles: {
+            // v4: tail quantiles straight from the metrics registry — the
+            // per-stage span histograms record microseconds per batch, the
+            // iteration histogram counts GD iterations per refine_pair.
+            let m = sp.metrics();
+            let stage_p99_ms = |name: &str| {
+                m.summary(name)
+                    .map(|s| s.p99 as f64 / 1000.0)
+                    .unwrap_or(0.0)
+            };
+            let iters = m.summary("core.gd.refine_iterations");
+            Some(PerfQuantiles {
+                refine_iters_p50: iters.as_ref().map(|s| s.p50 as f64).unwrap_or(0.0),
+                refine_iters_p99: iters.as_ref().map(|s| s.p99 as f64).unwrap_or(0.0),
+                validate_p99_ms: stage_p99_ms("span.ingest.validate_us"),
+                split_p99_ms: stage_p99_ms("span.ingest.split_us"),
+                place_p99_ms: stage_p99_ms("span.ingest.place_us"),
+                repair_p99_ms: stage_p99_ms("span.ingest.repair_us"),
+                commit_p99_ms: stage_p99_ms("span.ingest.commit_us"),
+                refine_p99_ms: stage_p99_ms("span.ingest.refine_us"),
+            })
+        },
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {
@@ -451,6 +484,27 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
         println!("wrote perf record -> {path}");
+    }
+    if let Some(path) = &args.metrics_out {
+        // `.prom`/`.txt` gets the Prometheus text exposition; everything
+        // else the line-oriented JSON dump that `metrics_check` validates.
+        let dump = if path.ends_with(".prom") || path.ends_with(".txt") {
+            sp.metrics().render_text()
+        } else {
+            sp.metrics().render_json()
+        };
+        if let Err(e) = std::fs::write(path, dump) {
+            eprintln!("FAIL: cannot write --metrics-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote metrics dump -> {path}");
+    }
+    if let Some(path) = &args.metrics_det_out {
+        if let Err(e) = std::fs::write(path, sp.metrics().deterministic_json()) {
+            eprintln!("FAIL: cannot write --metrics-det-out {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("wrote deterministic metrics dump -> {path}");
     }
 
     if !eps_ok {

@@ -33,6 +33,28 @@ pub struct BatchPerf {
     pub locality: f64,
 }
 
+/// v4: latency/convergence quantiles sourced from the run's metrics
+/// registry. Totals catch "a stage got slower on average"; quantiles
+/// catch tail blowups (one pathological batch, a GD pair that stopped
+/// converging) that average away inside the totals. All fields are
+/// milliseconds except the refine-iteration pair, which counts GD
+/// iterations per `refine_pair` call.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct PerfQuantiles {
+    /// Median GD iterations per refine_pair call.
+    pub refine_iters_p50: f64,
+    /// p99 GD iterations per refine_pair call — the convergence-tail gate
+    /// input: a pair that stops converging shows up here long before it
+    /// moves the wall-clock totals.
+    pub refine_iters_p99: f64,
+    pub validate_p99_ms: f64,
+    pub split_p99_ms: f64,
+    pub place_p99_ms: f64,
+    pub repair_p99_ms: f64,
+    pub commit_p99_ms: f64,
+    pub refine_p99_ms: f64,
+}
+
 /// Floor (milliseconds) below which a scratch leg cannot anchor the
 /// normalized wall-clock: the record serializes at millisecond precision,
 /// so a sub-floor denominator is mostly rounding noise — and a runner fast
@@ -94,6 +116,10 @@ pub struct PerfRecord {
     /// v3: number of kill-and-resume cycles the run performed (`None` on
     /// legacy records and snapshot-free runs).
     pub snapshots: Option<usize>,
+    /// v4: per-stage latency and GD-convergence quantiles from the run's
+    /// metrics registry (`None` on v2/v3 baselines, which keep parsing —
+    /// the quantile gate simply stays off against them).
+    pub quantiles: Option<PerfQuantiles>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -147,6 +173,16 @@ impl PerfRecord {
                 self.snapshot_restore_total_ms
             );
             let _ = writeln!(s, "  \"snapshots\": {c},");
+        }
+        if let Some(q) = &self.quantiles {
+            let _ = writeln!(s, "  \"refine_iters_p50\": {:.3},", q.refine_iters_p50);
+            let _ = writeln!(s, "  \"refine_iters_p99\": {:.3},", q.refine_iters_p99);
+            let _ = writeln!(s, "  \"validate_p99_ms\": {:.3},", q.validate_p99_ms);
+            let _ = writeln!(s, "  \"split_p99_ms\": {:.3},", q.split_p99_ms);
+            let _ = writeln!(s, "  \"place_p99_ms\": {:.3},", q.place_p99_ms);
+            let _ = writeln!(s, "  \"repair_p99_ms\": {:.3},", q.repair_p99_ms);
+            let _ = writeln!(s, "  \"commit_p99_ms\": {:.3},", q.commit_p99_ms);
+            let _ = writeln!(s, "  \"refine_p99_ms\": {:.3},", q.refine_p99_ms);
         }
         s.push_str("  \"batches\": [\n");
         for (i, b) in self.batches.iter().enumerate() {
@@ -291,6 +327,22 @@ impl PerfRecord {
             snapshot_save_total_ms: num_or_zero("snapshot_save_total_ms")?,
             snapshot_restore_total_ms: num_or_zero("snapshot_restore_total_ms")?,
             snapshots: opt_count("snapshots")?,
+            // Presence keyed on the field the gate reads: a v4 record
+            // always writes the full block, so one key stands for all.
+            quantiles: if get("refine_iters_p99").is_ok() {
+                Some(PerfQuantiles {
+                    refine_iters_p50: num_or_zero("refine_iters_p50")?,
+                    refine_iters_p99: num_or_zero("refine_iters_p99")?,
+                    validate_p99_ms: num_or_zero("validate_p99_ms")?,
+                    split_p99_ms: num_or_zero("split_p99_ms")?,
+                    place_p99_ms: num_or_zero("place_p99_ms")?,
+                    repair_p99_ms: num_or_zero("repair_p99_ms")?,
+                    commit_p99_ms: num_or_zero("commit_p99_ms")?,
+                    refine_p99_ms: num_or_zero("refine_p99_ms")?,
+                })
+            } else {
+                None
+            },
             batches,
         })
     }
@@ -341,7 +393,12 @@ pub const SNAPSHOT_REGRESSION: f64 = 1.0;
 ///   placement slowdown hides inside the 30% total budget, which is
 ///   exactly how a serialized speculative stage would ship. Only engaged
 ///   when the baseline's placement stage is large enough to measure
-///   (≥ [`MIN_STAGE_MS`]; legacy baselines record 0 and skip).
+///   (≥ [`MIN_STAGE_MS`]; legacy baselines record 0 and skip);
+/// * the **refine-stage p99** (v4 quantile block, machine-normalized)
+///   regressed more than `max_regression` → fail. Stage totals let one
+///   pathological batch average away; the p99 catches the tail. Engaged
+///   only when both records carry quantiles (v2/v3 baselines skip) and
+///   the baseline tail is ≥ [`MIN_STAGE_MS`].
 pub fn check_regression(
     current: &PerfRecord,
     baseline: &PerfRecord,
@@ -447,6 +504,35 @@ pub fn check_regression(
             ));
         }
     }
+    if let (Some(cq), Some(bq)) = (&current.quantiles, &baseline.quantiles) {
+        // v4 tail gate: the refine-stage p99 per batch, machine-normalized
+        // against the same-machine scratch solve like every other
+        // wall-clock gate. The stage *totals* let one pathological batch
+        // average away across the run; the p99 is where a GD pair that
+        // stopped converging surfaces first. Same `max_regression` budget
+        // as the headline ratio. Engaged only when both sides carry
+        // quantiles and the baseline's tail is large enough to measure.
+        if bq.refine_p99_ms >= MIN_STAGE_MS && cq.refine_p99_ms > 0.0 {
+            let cur_ratio = cq.refine_p99_ms / current.scratch_total_ms.max(MIN_SCRATCH_MS);
+            let base_ratio = bq.refine_p99_ms / baseline.scratch_total_ms.max(MIN_SCRATCH_MS);
+            if cur_ratio > base_ratio * (1.0 + max_regression) {
+                reasons.push(format!(
+                    "refine-stage p99 regressed {:.0}% (limit {:.0}%): {:.1} ms \
+                     ({:.4} normalized) vs baseline {:.1} ms ({:.4}) — the refinement \
+                     tail got slower relative to the same-machine scratch solve \
+                     (refine_iters p99 {:.0} vs baseline {:.0})",
+                    (cur_ratio / base_ratio - 1.0) * 100.0,
+                    max_regression * 100.0,
+                    cq.refine_p99_ms,
+                    cur_ratio,
+                    bq.refine_p99_ms,
+                    base_ratio,
+                    cq.refine_iters_p99,
+                    bq.refine_iters_p99,
+                ));
+            }
+        }
+    }
     if let (Some(cur), Some(base)) = (current.rebalance_full_scans, baseline.rebalance_full_scans) {
         // Deterministic for a fixed workload (seeded, thread-invariant),
         // so any increase is a real candidate-quality regression of the
@@ -519,6 +605,19 @@ mod tests {
             snapshot_save_total_ms: inc * 0.1,
             snapshot_restore_total_ms: inc * 0.15,
             snapshots: Some(2),
+            // Time-valued quantiles derive from `inc` like the stage
+            // totals so machine-speed cancellation holds; iteration
+            // counts are machine-independent and stay fixed.
+            quantiles: Some(PerfQuantiles {
+                refine_iters_p50: 8.0,
+                refine_iters_p99: 24.0,
+                validate_p99_ms: inc * 0.02,
+                split_p99_ms: inc * 0.08,
+                place_p99_ms: inc * 0.15,
+                repair_p99_ms: inc * 0.02,
+                commit_p99_ms: inc * 0.04,
+                refine_p99_ms: inc * 0.3,
+            }),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -799,6 +898,70 @@ mod tests {
         // Equal thread counts are a misuse, not a pass.
         let same = record(1.0, 600.0, true, 0.60);
         assert!(check_parallel_speedup(&same, &serial, 1.2).is_err());
+    }
+
+    #[test]
+    fn quantiles_round_trip_and_default_on_v3_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        let q = parsed.quantiles.as_ref().unwrap();
+        assert!((q.refine_iters_p50 - 8.0).abs() < 1e-9);
+        assert!((q.refine_iters_p99 - 24.0).abs() < 1e-9);
+        assert!((q.refine_p99_ms - 3.75).abs() < 1e-9);
+        assert!((q.validate_p99_ms - 0.25).abs() < 1e-9);
+        // A v3 baseline (no quantile keys) still parses: quantiles None,
+        // and re-rendering it emits no quantile block.
+        let v3 = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("_p99") && !l.contains("_p50"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v3).unwrap();
+        assert_eq!(parsed.quantiles, None);
+        assert!(!parsed.to_json().contains("refine_iters_p99"));
+        // Same for a v2 baseline (no snapshot keys either).
+        let v2 = v3
+            .lines()
+            .filter(|l| !l.contains("snapshot"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        assert_eq!(PerfRecord::from_json(&v2).unwrap().quantiles, None);
+        // Present-but-malformed quantiles are an error, not a default.
+        let corrupted = r
+            .to_json()
+            .replace("\"refine_p99_ms\": 3.750", "\"refine_p99_ms\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("refine_p99_ms"));
+    }
+
+    #[test]
+    fn gate_catches_refine_tail_regression() {
+        let base = record(10.0, 600.0, true, 0.60); // refine_p99 = 3.0 ms
+                                                    // Totals unchanged — one pathological batch hides in the averages —
+                                                    // but the refine tail blew up 2x, past the 30% budget.
+        let mut tail = record(10.0, 600.0, true, 0.60);
+        tail.quantiles.as_mut().unwrap().refine_p99_ms = 6.0;
+        let err = check_regression(&tail, &base, 0.30).unwrap_err();
+        assert!(err.contains("refine-stage p99 regressed"), "{err}");
+        // Inside the budget passes.
+        let mut ok = record(10.0, 600.0, true, 0.60);
+        ok.quantiles.as_mut().unwrap().refine_p99_ms = 3.5;
+        assert!(check_regression(&ok, &base, 0.30).is_ok());
+        // Machine speed cancels: a 3x slower machine scales the tail and
+        // the scratch denominator together.
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+        // Either side legacy (no quantiles) → gate off.
+        let mut legacy = record(10.0, 600.0, true, 0.60);
+        legacy.quantiles = None;
+        assert!(check_regression(&tail, &legacy, 0.30).is_ok());
+        assert!(check_regression(&legacy, &base, 0.30).is_ok());
+        // A baseline tail under the measurement floor → gate off.
+        let mut tiny = record(10.0, 600.0, true, 0.60);
+        tiny.quantiles.as_mut().unwrap().refine_p99_ms = 0.4;
+        assert!(check_regression(&tail, &tiny, 0.30).is_ok());
     }
 
     #[test]

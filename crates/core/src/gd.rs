@@ -98,6 +98,32 @@ pub struct IterationRecord {
     pub fixed_vertices: usize,
 }
 
+/// Why a GD run stopped iterating.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum GdExit {
+    /// The configured iteration budget ran out.
+    #[default]
+    IterationBudget,
+    /// The warm start froze every vertex — there was nothing to optimize.
+    FullyFrozen,
+    /// Vertex fixing drove the whole iterate integral before the budget.
+    FullyIntegral,
+}
+
+/// Convergence trace of one GD run — always collected (cheap: one norm per
+/// iteration, already computed for the step schedule), so the observability
+/// layer can report iteration-count histograms and gradient-norm decay
+/// without `track_history`'s per-iteration locality scans.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct GdRunStats {
+    /// Gradient iterations actually executed.
+    pub iterations: usize,
+    /// `‖∇f‖₂` over the free variables, one entry per executed iteration.
+    pub grad_norms: Vec<f64>,
+    /// Why the run stopped.
+    pub exit: GdExit,
+}
+
 /// Output of one GD bipartition run.
 #[derive(Clone, Debug)]
 pub struct BipartitionResult {
@@ -109,6 +135,8 @@ pub struct BipartitionResult {
     pub history: Vec<IterationRecord>,
     /// Normalized balance violation of `signs` (0.0 = ε-balanced).
     pub violation: f64,
+    /// Convergence trace (iteration count, gradient norms, exit reason).
+    pub stats: GdRunStats,
 }
 
 /// State of the active-variable bookkeeping for vertex fixing.
@@ -251,6 +279,10 @@ fn bipartition_impl(
             x: Vec::new(),
             history: Vec::new(),
             violation: 0.0,
+            stats: GdRunStats {
+                exit: GdExit::FullyFrozen,
+                ..GdRunStats::default()
+            },
         });
     }
 
@@ -295,12 +327,14 @@ fn bipartition_impl(
     }
     let mut reduced = region.restrict(&active.free, &active.fixed_dot);
     let mut history = Vec::new();
+    let mut stats = GdRunStats::default();
 
     let target_len_full = config.step.target_length(n, config.iterations);
 
     for t in 0..config.iterations {
         if active.free.is_empty() {
-            break; // fully frozen warm start
+            stats.exit = GdExit::FullyFrozen; // fully frozen warm start
+            break;
         }
         // --- Step 1: noise (escapes the saddle at x = 0; a warm start is
         // already away from the origin, so it gets none). ---
@@ -328,6 +362,8 @@ fn bipartition_impl(
             .map(|&v| grad[v as usize] * grad[v as usize])
             .sum::<f64>()
             .sqrt();
+        stats.iterations = t + 1;
+        stats.grad_norms.push(grad_free_norm);
 
         // Free-subspace step-length target: can't move farther than the
         // diameter of the remaining cube.
@@ -425,7 +461,8 @@ fn bipartition_impl(
         }
 
         if active.free.is_empty() {
-            break; // fully integral
+            stats.exit = GdExit::FullyIntegral;
+            break;
         }
     }
 
@@ -452,6 +489,7 @@ fn bipartition_impl(
         x,
         history,
         violation,
+        stats,
     })
 }
 

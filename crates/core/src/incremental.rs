@@ -16,9 +16,23 @@
 //! does not worsen the pair's balance headroom — callers can therefore apply
 //! [`PairRefinement::moves`] unconditionally.
 
-use crate::gd::{bipartition_warm, SplitTarget, WarmStart};
+use crate::gd::{bipartition_warm, GdRunStats, SplitTarget, WarmStart};
 use crate::recursive::GdPartitioner;
 use mdbgp_graph::{Graph, InducedSubgraph, Partition, PartitionError, VertexId, VertexWeights};
+
+/// How one [`GdPartitioner::refine_pair`] call resolved.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum PairOutcome {
+    /// Fewer than two members in the pair — GD never ran.
+    #[default]
+    Degenerate,
+    /// GD's result was accepted; `moves` holds the changes.
+    Applied,
+    /// Rejected: the refined cut was worse than the incumbent.
+    RejectedCut,
+    /// Rejected: a balance dimension's headroom regressed.
+    RejectedBalance,
+}
 
 /// Outcome of one pairwise warm-started refinement pass.
 #[derive(Clone, Debug, Default)]
@@ -31,16 +45,11 @@ pub struct PairRefinement {
     /// Cut edges between the two parts after refinement (equals
     /// `cut_before` when the pass was rejected).
     pub cut_after: usize,
-}
-
-impl PairRefinement {
-    fn unchanged(cut: usize) -> Self {
-        Self {
-            moves: Vec::new(),
-            cut_before: cut,
-            cut_after: cut,
-        }
-    }
+    /// GD convergence trace of the run (default for a degenerate pair).
+    pub gd: GdRunStats,
+    /// How the pass resolved — lets the observability layer distinguish
+    /// applied refinements from the two rejection reasons.
+    pub outcome: PairOutcome,
 }
 
 impl GdPartitioner {
@@ -165,7 +174,18 @@ impl GdPartitioner {
         let balance_regressed =
             (0..d).any(|j| excess(&signs1, j) > excess(&signs0, j).max(0.0) + 1e-12);
         if cut_after > cut_before || balance_regressed {
-            return Ok(PairRefinement::unchanged(cut_before));
+            let outcome = if cut_after > cut_before {
+                PairOutcome::RejectedCut
+            } else {
+                PairOutcome::RejectedBalance
+            };
+            return Ok(PairRefinement {
+                moves: Vec::new(),
+                cut_before,
+                cut_after: cut_before,
+                gd: res.stats,
+                outcome,
+            });
         }
 
         let moves: Vec<(VertexId, u32)> = sub
@@ -181,6 +201,8 @@ impl GdPartitioner {
             moves,
             cut_before,
             cut_after,
+            gd: res.stats,
+            outcome: PairOutcome::Applied,
         })
     }
 

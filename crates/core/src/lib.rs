@@ -42,8 +42,9 @@ pub mod rounding;
 pub use config::{GdConfig, NoiseSchedule, ProjectionMethod, StepSchedule};
 pub use feasible::FeasibleRegion;
 pub use gd::{
-    bipartition, bipartition_warm, BipartitionResult, IterationRecord, SplitTarget, WarmStart,
+    bipartition, bipartition_warm, BipartitionResult, GdExit, GdRunStats, IterationRecord,
+    SplitTarget, WarmStart,
 };
-pub use incremental::PairRefinement;
+pub use incremental::{PairOutcome, PairRefinement};
 pub use kway::KWayGdPartitioner;
 pub use recursive::GdPartitioner;

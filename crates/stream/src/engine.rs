@@ -53,9 +53,49 @@ use crate::pipeline::{
 };
 use crate::store::PartitionStore;
 use crate::TOMBSTONE;
-use mdbgp_core::{parallel, GdConfig, GdPartitioner};
+use mdbgp_core::{parallel, GdConfig, GdPartitioner, PairOutcome};
 use mdbgp_graph::{Graph, Partition, PartitionError, Partitioner, VertexId, VertexWeights};
+use mdbgp_obs::{MetricsRegistry, SpanNode, SpanTree};
 use std::time::Instant;
+
+/// Every metric name the engine records — the registry allowlist that
+/// [`mdbgp_obs::validate_dump`] checks dumps against, so a typo'd name
+/// fails CI instead of silently forking a new time series. Span-derived
+/// `span.<path>_us` histograms are validated structurally (against the
+/// dump's own span section) and are not listed here. Keep sorted.
+pub const METRIC_ALLOWLIST: &[&str] = &[
+    "core.gd.grad_norm_decay_pct",
+    "core.gd.last_grad_norm_first",
+    "core.gd.last_grad_norm_last",
+    "core.gd.pairs_applied",
+    "core.gd.pairs_degenerate",
+    "core.gd.pairs_rejected_balance",
+    "core.gd.pairs_rejected_cut",
+    "core.gd.refine_iterations",
+    "stream.balance.edge_locality",
+    "stream.balance.max_imbalance",
+    "stream.compact.merges",
+    "stream.compact.purges",
+    "stream.ingest.arrivals",
+    "stream.ingest.batches",
+    "stream.ingest.edges_added",
+    "stream.ingest.edges_removed",
+    "stream.ingest.removals",
+    "stream.ingest.weight_updates",
+    "stream.place.conflicts",
+    "stream.place.repair_passes",
+    "stream.refine.drift_triggers",
+    "stream.refine.full_scans",
+    "stream.refine.gd_moves",
+    "stream.refine.passes",
+    "stream.refine.rebalance_moves",
+    "stream.refine.schedule_triggers",
+    "stream.snapshot.restores",
+    "stream.snapshot.saves",
+    "stream.store.heap_pops",
+    "stream.store.live_vertices",
+    "stream.store.lookups",
+];
 
 /// Configuration of the streaming subsystem.
 #[derive(Clone, Debug)]
@@ -174,9 +214,12 @@ pub struct StreamTelemetry {
 
 /// Per-batch outcome returned by [`StreamingPartitioner::ingest`].
 ///
-/// Equality ignores [`Self::timings`] (wall-clocks are never reproducible)
-/// so tests can assert that two engines — e.g. `threads = 1` vs
-/// `threads = 4` — produced semantically identical batches.
+/// Equality **intentionally ignores** [`Self::spans`] (and therefore the
+/// [`Self::timings`] view over it): wall-clocks are measurement, never
+/// reproducible, while everything else is outcome — so tests can assert
+/// that two engines — e.g. `threads = 1` vs `threads = 4` — produced
+/// semantically identical batches. A unit test
+/// (`batch_report_equality_ignores_spans`) pins this contract.
 #[derive(Clone, Debug)]
 pub struct BatchReport {
     pub vertices_added: usize,
@@ -211,13 +254,24 @@ pub struct BatchReport {
     /// slots, so callers must read the assigned ids from here instead of
     /// predicting `previous id-space size + offset`.
     pub arrival_ids: Vec<VertexId>,
-    /// Per-stage wall-clocks of this ingest (excluded from equality).
-    pub timings: StageTimings,
+    /// Span tree of this ingest (excluded from equality): the root
+    /// `"ingest"` node with one child per pipeline stage and the
+    /// refinement sub-spans nested under `"refine"`.
+    pub spans: SpanNode,
+}
+
+impl BatchReport {
+    /// Per-stage wall-clocks of this ingest — a view derived from
+    /// [`Self::spans`], so the flat timings and the span tree can never
+    /// drift apart.
+    pub fn timings(&self) -> StageTimings {
+        StageTimings::from_spans(&self.spans)
+    }
 }
 
 impl PartialEq for BatchReport {
     fn eq(&self, other: &Self) -> bool {
-        // Everything except `timings`, which is measurement, not outcome.
+        // Everything except `spans`, which is measurement, not outcome.
         self.vertices_added == other.vertices_added
             && self.vertices_removed == other.vertices_removed
             && self.edges_added == other.edges_added
@@ -268,6 +322,11 @@ pub struct StreamingPartitioner {
     /// through — the version external id holders must match (see
     /// [`Self::id_epoch`]).
     id_epoch: u64,
+    /// Metrics / span / journal sink. **Not** serialized into snapshots —
+    /// observability counters restart from zero on restore (a restored
+    /// engine immediately journals a `snapshot.restore` event, so dumps
+    /// are self-describing about the reset).
+    obs: MetricsRegistry,
 }
 
 impl StreamingPartitioner {
@@ -322,6 +381,7 @@ impl StreamingPartitioner {
             batches_since_refine: 0,
             refine_seed,
             id_epoch: 0,
+            obs: MetricsRegistry::new(),
         })
     }
 
@@ -343,6 +403,7 @@ impl StreamingPartitioner {
             batches_since_refine: 0,
             refine_seed,
             id_epoch: 0,
+            obs: MetricsRegistry::new(),
         })
     }
 
@@ -361,9 +422,54 @@ impl StreamingPartitioner {
         &self.telemetry
     }
 
+    /// The metrics registry, with the store-owned mirrors (lookup counts,
+    /// heap pops, live balance gauges) synced to the current moment.
+    /// `&mut self` precisely because of that sync; use
+    /// [`Self::metrics_mut`] to toggle or record from outside the engine.
+    pub fn metrics(&mut self) -> &MetricsRegistry {
+        self.sync_store_metrics();
+        &self.obs
+    }
+
+    /// Mutable access to the metrics registry (e.g.
+    /// [`MetricsRegistry::set_enabled`]), mirrors synced as in
+    /// [`Self::metrics`].
+    pub fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        self.sync_store_metrics();
+        &mut self.obs
+    }
+
+    /// Enables or disables metrics recording. Disabled recording calls are
+    /// early-return no-ops; already-recorded state is kept.
+    pub fn set_metrics_enabled(&mut self, on: bool) {
+        self.obs.set_enabled(on);
+    }
+
+    /// Pulls the externally-maintained monotone counters (store) and the
+    /// live balance gauges into the registry so dumps are current.
+    fn sync_store_metrics(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        self.obs
+            .counter_set("stream.store.lookups", self.store.lookup_count());
+        self.obs
+            .counter_set("stream.store.heap_pops", self.store.heap_pop_count());
+        self.obs.counter_set(
+            "stream.store.live_vertices",
+            self.store.num_assigned() as u64,
+        );
+        self.obs
+            .gauge_set("stream.balance.max_imbalance", self.store.max_imbalance());
+        self.obs
+            .gauge_set("stream.balance.edge_locality", self.store.edge_locality());
+    }
+
     /// O(1) shard lookup ([`crate::TOMBSTONE`] for a removed vertex).
+    /// Served through the store's counting wrapper so query volume shows
+    /// up in `stream.store.lookups`.
     pub fn shard_of(&self, v: VertexId) -> u32 {
-        self.store.shard_of(v)
+        self.store.shard_of_counted(v)
     }
 
     /// Current partition snapshot (O(n)). Panics while removed-but-unpurged
@@ -460,13 +566,22 @@ impl StreamingPartitioner {
         pw.put_usize(self.batches_since_refine);
         pw.put_u64(self.refine_seed);
         pw.put_section(snapshot::SEC_END);
-        snapshot::write_snapshot(
+        let info = snapshot::write_snapshot(
             w,
             self.id_epoch,
             self.cfg.k,
             self.graph.weights().dims(),
             &pw.buf,
-        )
+        )?;
+        self.obs.counter_add("stream.snapshot.saves", 1);
+        self.obs.journal_event(
+            "snapshot.save",
+            &[
+                ("epoch", self.id_epoch as f64),
+                ("payload_bytes", info.payload_bytes as f64),
+            ],
+        );
+        Ok(info)
     }
 
     /// Rebuilds an engine from a [`Self::save_snapshot`] stream with no
@@ -564,6 +679,12 @@ impl StreamingPartitioner {
             }
         }
 
+        let mut obs = MetricsRegistry::new();
+        obs.counter_add("stream.snapshot.restores", 1);
+        obs.journal_event(
+            "snapshot.restore",
+            &[("epoch", info.id_epoch as f64), ("n", n as f64)],
+        );
         Ok(Self {
             cfg,
             graph,
@@ -574,6 +695,7 @@ impl StreamingPartitioner {
             batches_since_refine,
             refine_seed,
             id_epoch: info.id_epoch,
+            obs,
         })
     }
 
@@ -591,6 +713,7 @@ impl StreamingPartitioner {
             || self.graph.csr().num_vertices() != self.graph.num_vertices();
         if will_merge {
             self.telemetry.compactions += 1;
+            self.obs.counter_add("stream.compact.merges", 1);
         }
         let Some(map) = self.graph.compact() else {
             return;
@@ -606,6 +729,11 @@ impl StreamingPartitioner {
         self.store.apply_remap(&map, self.graph.weights());
         self.telemetry.remaps += 1;
         self.id_epoch += 1;
+        self.obs.counter_add("stream.compact.purges", 1);
+        self.obs.journal_event(
+            "compact.purge",
+            &[("live", n_new as f64), ("epoch", self.id_epoch as f64)],
+        );
         self.pending_remap = Some(match self.pending_remap.take() {
             None => map,
             // Two purges since the last drain: compose old→mid→new.
@@ -735,44 +863,49 @@ impl StreamingPartitioner {
     /// drift check, refinement). All-or-nothing: the batch is validated up
     /// front, and an `Err` leaves the engine untouched.
     pub fn ingest(&mut self, batch: &UpdateBatch) -> Result<BatchReport, PartitionError> {
-        let mut timings = StageTimings::default();
-        let ms = |t: Instant| t.elapsed().as_secs_f64() * 1e3;
+        let spans = SpanTree::new();
+        let root = spans.span("ingest");
 
-        let t = Instant::now();
-        self.validate_batch(batch)?;
-        timings.validate_ms = ms(t);
+        {
+            let _s = spans.span("validate");
+            self.validate_batch(batch)?;
+        }
 
-        let t = Instant::now();
-        let split = self.stage_split(batch);
-        timings.split_ms = ms(t);
+        let split = {
+            let _s = spans.span("split");
+            self.stage_split(batch)
+        };
 
-        let t = Instant::now();
-        let (mut parts, reservations, snapshot, caps) = speculative_place(
-            &self.graph,
-            &self.store,
-            &split,
-            self.cfg.epsilon,
-            self.cfg.threads,
-        );
-        timings.place_ms = ms(t);
+        let (mut parts, reservations, snapshot, caps) = {
+            let _s = spans.span("place");
+            speculative_place(
+                &self.graph,
+                &self.store,
+                &split,
+                self.cfg.epsilon,
+                self.cfg.threads,
+            )
+        };
 
-        let t = Instant::now();
-        let (placement_conflicts, repair_passes) = conflict_repair(
-            &self.graph,
-            &self.store,
-            &split,
-            reservations,
-            &snapshot,
-            &caps,
-            &mut parts,
-            self.cfg.epsilon,
-            self.cfg.threads,
-        );
-        timings.repair_ms = ms(t);
+        let (placement_conflicts, repair_passes) = {
+            let _s = spans.span("repair");
+            conflict_repair(
+                &self.graph,
+                &self.store,
+                &split,
+                reservations,
+                &snapshot,
+                &caps,
+                &mut parts,
+                self.cfg.epsilon,
+                self.cfg.threads,
+            )
+        };
 
-        let t = Instant::now();
-        self.stage_commit(&split, &parts);
-        timings.commit_ms = ms(t);
+        {
+            let _s = spans.span("commit");
+            self.stage_commit(&split, &parts);
+        }
 
         self.telemetry.batches += 1;
         self.telemetry.edges_added += split.edges_added;
@@ -783,24 +916,66 @@ impl StreamingPartitioner {
         self.telemetry.repair_passes += repair_passes;
         self.batches_since_refine += 1;
 
-        let t = Instant::now();
-        if self.graph.needs_compaction(self.cfg.compact_slack) {
-            self.compact_graph(); // counts itself in telemetry.compactions
+        self.obs.counter_add("stream.ingest.batches", 1);
+        self.obs
+            .counter_add("stream.ingest.arrivals", split.vertices_added as u64);
+        self.obs
+            .counter_add("stream.ingest.removals", split.vertices_removed as u64);
+        self.obs
+            .counter_add("stream.ingest.edges_added", split.edges_added as u64);
+        self.obs
+            .counter_add("stream.ingest.edges_removed", split.edges_removed as u64);
+        self.obs
+            .counter_add("stream.ingest.weight_updates", split.weight_updates as u64);
+        self.obs
+            .counter_add("stream.place.conflicts", placement_conflicts as u64);
+        self.obs
+            .counter_add("stream.place.repair_passes", repair_passes as u64);
+        if placement_conflicts > 0 {
+            self.obs.journal_event(
+                "place.repair",
+                &[
+                    ("conflicts", placement_conflicts as f64),
+                    ("passes", repair_passes as f64),
+                ],
+            );
         }
 
-        // Drift telemetry: refine when ε is threatened, or on schedule.
-        // The live totals make this sensitive to removals in both
-        // directions (see the module docs).
-        let imbalance = self.max_imbalance();
-        let drift_trigger = imbalance > self.cfg.drift_headroom * self.cfg.epsilon;
-        let schedule_trigger =
-            self.cfg.refine_every > 0 && self.batches_since_refine >= self.cfg.refine_every;
-        let (rebalance_moves, refine_moves) = if drift_trigger || schedule_trigger {
-            self.refine_now()?
-        } else {
-            (0, 0)
+        // The drift check, any triggered compaction and the refinement all
+        // bill to the "refine" stage, matching the pre-span accounting.
+        let (drift_trigger, schedule_trigger, rebalance_moves, refine_moves) = {
+            let _s = spans.span("refine");
+            if self.graph.needs_compaction(self.cfg.compact_slack) {
+                self.compact_graph(); // counts itself in telemetry.compactions
+            }
+
+            // Drift telemetry: refine when ε is threatened, or on schedule.
+            // The live totals make this sensitive to removals in both
+            // directions (see the module docs).
+            let imbalance = self.max_imbalance();
+            let drift_trigger = imbalance > self.cfg.drift_headroom * self.cfg.epsilon;
+            let schedule_trigger =
+                self.cfg.refine_every > 0 && self.batches_since_refine >= self.cfg.refine_every;
+            if drift_trigger {
+                self.obs.counter_add("stream.refine.drift_triggers", 1);
+                self.obs
+                    .journal_event("refine.drift_trigger", &[("imbalance", imbalance)]);
+            }
+            if schedule_trigger {
+                self.obs.counter_add("stream.refine.schedule_triggers", 1);
+            }
+            let (rebalance_moves, refine_moves) = if drift_trigger || schedule_trigger {
+                self.refine_with_spans(&spans)?
+            } else {
+                (0, 0)
+            };
+            (
+                drift_trigger,
+                schedule_trigger,
+                rebalance_moves,
+                refine_moves,
+            )
         };
-        timings.refine_ms = ms(t);
 
         // Arrival ids, expressed in the final id space of this report: a
         // purge during this ingest (compaction or refinement) renumbered
@@ -814,6 +989,11 @@ impl StreamingPartitioner {
                 (None, false) => a.id,
             })
             .collect();
+
+        drop(root);
+        let spans_root = spans.snapshot().into_iter().next().unwrap_or_default();
+        self.obs.absorb_spans(&spans_root);
+        self.sync_store_metrics();
 
         Ok(BatchReport {
             vertices_added: split.vertices_added,
@@ -830,7 +1010,7 @@ impl StreamingPartitioner {
             edge_locality: self.store.edge_locality(),
             remap: self.pending_remap.take(),
             arrival_ids,
-            timings,
+            spans: spans_root,
         })
     }
 
@@ -1001,13 +1181,35 @@ impl StreamingPartitioner {
     /// ids — drain [`Self::take_remap`] afterwards when calling this
     /// directly (`ingest` surfaces the map in [`BatchReport::remap`]).
     pub fn refine_now(&mut self) -> Result<(usize, usize), PartitionError> {
+        let spans = SpanTree::new();
+        let result = {
+            let _root = spans.span("refine");
+            self.refine_with_spans(&spans)
+        };
+        for root in spans.snapshot() {
+            self.obs.absorb_spans(&root);
+        }
+        result
+    }
+
+    /// The refinement pass body, with its sub-stages (`compact`,
+    /// `rebalance`, `gd`, `recount`) recorded as children of whatever span
+    /// is currently open on `spans` — `"ingest.refine"` when called from
+    /// [`Self::ingest`], `"refine"` from [`Self::refine_now`].
+    fn refine_with_spans(&mut self, spans: &SpanTree) -> Result<(usize, usize), PartitionError> {
         let started = Instant::now();
         // Purge tombstones before anything downstream sees the graph: the
         // rebalance, the pair ranking and the GD all assume every id is a
         // live vertex with a live weight row.
-        self.compact_graph();
+        {
+            let _s = spans.span("compact");
+            self.compact_graph();
+        }
 
-        let mut rebalance_moves = self.greedy_rebalance(self.cfg.max_rebalance_moves);
+        let mut rebalance_moves = {
+            let _s = spans.span("rebalance");
+            self.greedy_rebalance(self.cfg.max_rebalance_moves)
+        };
 
         // Active set: dirty vertices (including any the rebalance just
         // moved) plus their 1-hop halo — the GD pass may move exactly
@@ -1033,6 +1235,7 @@ impl StreamingPartitioner {
         // moves are applied at the round barrier.
         let mut refine_moves = 0usize;
         if n > 0 {
+            let _s = spans.span("gd");
             let mut partition = self.partition();
             let frozen: Vec<bool> = active.iter().map(|&a| !a).collect();
             let mut gd_cfg = self.cfg.gd.clone();
@@ -1071,6 +1274,29 @@ impl StreamingPartitioner {
                 });
                 for outcome in outcomes {
                     let outcome = outcome?;
+                    // Recorded at the deterministic round barrier (par_map
+                    // preserves round order), so the GD histograms are
+                    // identical for threads = 1 and threads = N.
+                    self.obs
+                        .observe("core.gd.refine_iterations", outcome.gd.iterations as u64);
+                    let outcome_counter = match outcome.outcome {
+                        PairOutcome::Applied => "core.gd.pairs_applied",
+                        PairOutcome::RejectedCut => "core.gd.pairs_rejected_cut",
+                        PairOutcome::RejectedBalance => "core.gd.pairs_rejected_balance",
+                        PairOutcome::Degenerate => "core.gd.pairs_degenerate",
+                    };
+                    self.obs.counter_add(outcome_counter, 1);
+                    if let (Some(&first), Some(&last)) =
+                        (outcome.gd.grad_norms.first(), outcome.gd.grad_norms.last())
+                    {
+                        self.obs.gauge_set("core.gd.last_grad_norm_first", first);
+                        self.obs.gauge_set("core.gd.last_grad_norm_last", last);
+                        if first > 0.0 {
+                            let decay_pct = (last / first * 100.0).round().clamp(0.0, 1e9);
+                            self.obs
+                                .observe("core.gd.grad_norm_decay_pct", decay_pct as u64);
+                        }
+                    }
                     for &(v, part) in &outcome.moves {
                         let row: Vec<f64> = (0..self.graph.weights().dims())
                             .map(|j| self.graph.weights().weight(j, v))
@@ -1094,8 +1320,10 @@ impl StreamingPartitioner {
         // the GD pass behaved — the heaps make the occasional extra move
         // O(log n)). The touch-up spends whatever is left of the pass's
         // move budget, keeping `max_rebalance_moves` a true per-pass cap.
-        rebalance_moves +=
-            self.greedy_rebalance(self.cfg.max_rebalance_moves.saturating_sub(rebalance_moves));
+        rebalance_moves += {
+            let _s = spans.span("rebalance"); // merges with the first pass
+            self.greedy_rebalance(self.cfg.max_rebalance_moves.saturating_sub(rebalance_moves))
+        };
 
         // Locality counters are cheapest to rebuild wholesale after moves;
         // the recount folds over CSR row ranges of equal *edge* count
@@ -1103,6 +1331,7 @@ impl StreamingPartitioner {
         // O(m) sweep scales with the worker pool too and a hub row cannot
         // serialize it.
         let (intra, cut) = {
+            let _s = spans.span("recount");
             let csr = self.graph.csr();
             let offsets = csr.raw_offsets();
             let targets = csr.raw_targets();
@@ -1132,6 +1361,19 @@ impl StreamingPartitioner {
         self.telemetry.rebalance_moves += rebalance_moves;
         self.telemetry.refine_moves += refine_moves;
         self.telemetry.last_refine_secs = started.elapsed().as_secs_f64();
+        self.obs.counter_add("stream.refine.passes", 1);
+        self.obs
+            .counter_add("stream.refine.rebalance_moves", rebalance_moves as u64);
+        self.obs
+            .counter_add("stream.refine.gd_moves", refine_moves as u64);
+        self.obs.journal_event(
+            "refine.pass",
+            &[
+                ("rebalance_moves", rebalance_moves as f64),
+                ("gd_moves", refine_moves as f64),
+                ("wall_secs", self.telemetry.last_refine_secs),
+            ],
+        );
         Ok((rebalance_moves, refine_moves))
     }
 
@@ -1215,6 +1457,11 @@ impl StreamingPartitioner {
                 // any) is a light vertex the heap order deprioritizes.
                 // Rescan the full membership once — rare, and counted.
                 self.telemetry.rebalance_full_scans += 1;
+                self.obs.counter_add("stream.refine.full_scans", 1);
+                self.obs.journal_event(
+                    "rebalance.full_scan",
+                    &[("kind", 0.0), ("part", src as f64)],
+                );
                 let members: Vec<VertexId> = (0..self.store.num_vertices() as VertexId)
                     .filter(|&v| self.store.shard_of(v) == src)
                     .collect();
@@ -1242,6 +1489,11 @@ impl StreamingPartitioner {
                 // fallback (rare). When the pools already covered every
                 // member, a rescan provably finds nothing new.
                 self.telemetry.rebalance_full_scans += 1;
+                self.obs.counter_add("stream.refine.full_scans", 1);
+                self.obs.journal_event(
+                    "rebalance.full_scan",
+                    &[("kind", 1.0), ("part", src as f64)],
+                );
                 best_swap = self.best_swap_full_scan(src, dim, target, &avgs, &phis);
             }
             let Some((v, u, dst, _)) = best_swap else {
@@ -2079,5 +2331,131 @@ mod tests {
             StreamingPartitioner::from_partition(g, w, &p, cfg).is_err(),
             "k mismatch must be rejected"
         );
+    }
+
+    /// `BatchReport` equality intentionally ignores the span tree: spans
+    /// carry wall-clock, and wall-clock differs run-to-run on identical
+    /// work. Everything the determinism suites compare must stay inside
+    /// `PartialEq`; everything timing-valued must stay out.
+    #[test]
+    fn batch_report_equality_ignores_spans() {
+        let (g, w) = community(400, 11);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(4, 0.05)).unwrap();
+        let mut batch = UpdateBatch::new();
+        for _ in 0..10 {
+            batch.add_vertex(vec![1.0, 2.0], vec![0, 1]);
+        }
+        let a = sp.ingest(&batch).unwrap();
+
+        // Same report with a perturbed span tree: still equal.
+        let mut b = a.clone();
+        b.spans.total_ms += 123.456;
+        for child in &mut b.spans.children {
+            child.total_ms *= 3.0;
+        }
+        assert_eq!(a, b, "PartialEq must ignore span timings");
+        b.spans = SpanNode::default();
+        assert_eq!(a, b, "PartialEq must ignore a missing span tree too");
+
+        // But a semantic field difference still breaks equality.
+        b.vertices_added += 1;
+        assert_ne!(a, b);
+
+        // The timings() view is derived from the span children, so the
+        // legacy per-stage accessors keep working on top of the tree.
+        let timings = a.timings();
+        assert!((timings.validate_ms - a.spans.child_ms("validate")).abs() < 1e-12);
+        assert!((timings.place_ms - a.spans.child_ms("place")).abs() < 1e-12);
+        assert!((timings.refine_ms - a.spans.child_ms("refine")).abs() < 1e-12);
+        assert_eq!(a.spans.name, "ingest");
+        assert!(
+            a.spans.child_ms("commit") > 0.0,
+            "commit stage must be timed"
+        );
+    }
+
+    /// End-to-end instrumentation check on a churn+drift workload: the
+    /// registry's counters must agree with the engine's own telemetry,
+    /// the GD iteration histogram and journal must be populated, and the
+    /// full dump must pass the CI validator against [`METRIC_ALLOWLIST`]
+    /// — which doubles as the allowlist-coverage test (an instrumentation
+    /// site emitting an unlisted name fails here, not in dashboards).
+    #[test]
+    fn metrics_registry_tracks_engine_activity() {
+        let (g, w) = community(600, 12);
+        let mut cfg = fast_cfg(4, 0.05);
+        cfg.max_rebalance_moves = 1024;
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+
+        // Arrivals + removals, then a drift batch that forces refinement.
+        let mut rng = StdRng::seed_from_u64(21);
+        let mut batch = UpdateBatch::new();
+        for _ in 0..30 {
+            let nbrs: Vec<u32> = (0..4).map(|_| rng.gen_range(0..600u32)).collect();
+            batch.add_vertex(vec![1.0, nbrs.len() as f64], nbrs);
+        }
+        for v in 0..10u32 {
+            batch.remove_vertex(v);
+        }
+        sp.ingest(&batch).unwrap();
+        let victims: Vec<u32> = (10..600u32).filter(|&v| sp.shard_of(v) == 0).collect();
+        let mut drift = UpdateBatch::new();
+        for &v in &victims {
+            drift.set_weight(v, 0, 3.0);
+        }
+        let report = sp.ingest(&drift).unwrap();
+        assert!(report.refined, "drift workload must exercise refinement");
+        let _ = sp.shard_of(0); // exercise the counted lookup path
+
+        let t = sp.telemetry().clone();
+        let m = sp.metrics();
+        assert_eq!(m.counter("stream.ingest.batches"), t.batches as u64);
+        assert_eq!(
+            m.counter("stream.ingest.arrivals"),
+            t.vertices_placed as u64
+        );
+        assert_eq!(
+            m.counter("stream.ingest.removals"),
+            t.vertices_removed as u64
+        );
+        assert_eq!(m.counter("stream.refine.passes"), t.refinements as u64);
+        assert_eq!(m.counter("stream.refine.gd_moves"), t.refine_moves as u64);
+        assert!(m.counter("stream.store.lookups") >= 1);
+        assert!(m.counter("stream.store.heap_pops") >= 1);
+
+        // GD convergence trace: refinement ran, so the iteration
+        // histogram has observations and the grad-norm gauges are set.
+        let iters = m.summary("core.gd.refine_iterations").expect("histogram");
+        assert!(iters.count >= 1);
+        assert!(iters.p99 >= iters.p50);
+        assert!(m.gauge("core.gd.last_grad_norm_first").is_some());
+
+        // Journal carries the refine pass and the drift trigger.
+        let kinds: Vec<&str> = m.events().map(|e| e.event).collect();
+        assert!(kinds.contains(&"refine.pass"), "{kinds:?}");
+        assert!(kinds.contains(&"refine.drift_trigger"), "{kinds:?}");
+        let seqs: Vec<u64> = m.events().map(|e| e.seq).collect();
+        assert!(seqs.windows(2).all(|w| w[0] < w[1]), "seqs monotone");
+
+        // The rendered dump passes the exact validator CI runs.
+        let stats = mdbgp_obs::validate_dump(&m.render_json(), METRIC_ALLOWLIST)
+            .expect("dump must satisfy the allowlist + schema validator");
+        assert!(stats.histograms >= 1);
+        assert!(stats.spans >= 1);
+        assert!(stats.journal_events >= 2);
+
+        // Spans from both entry points nest under their own roots.
+        assert!(m.span_stat("ingest").is_some());
+        assert!(m.span_stat("ingest.place").is_some());
+
+        // A disabled registry stays empty under the same traffic.
+        let (g2, w2) = community(200, 13);
+        let mut quiet = StreamingPartitioner::bootstrap(g2, w2, fast_cfg(2, 0.1)).unwrap();
+        quiet.set_metrics_enabled(false);
+        let mut b2 = UpdateBatch::new();
+        b2.add_vertex(vec![1.0, 1.0], vec![0]);
+        quiet.ingest(&b2).unwrap();
+        assert_eq!(quiet.metrics().counter("stream.ingest.batches"), 0);
+        assert_eq!(quiet.metrics().journal_len(), 0);
     }
 }

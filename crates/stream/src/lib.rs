@@ -62,7 +62,9 @@
 //! ## Batch lifecycle
 //!
 //! [`StreamingPartitioner::ingest`] runs every batch through six named
-//! stages (per-stage wall-clocks in [`BatchReport::timings`]):
+//! stages, each timed by an RAII span (the tree lands in
+//! [`BatchReport::spans`]; [`BatchReport::timings`] is the flat per-stage
+//! view over it):
 //!
 //! 1. **validate** — the whole batch is checked up front, including a
 //!    simulation of the vertex ids the batch itself will create or recycle,
@@ -159,6 +161,51 @@
 //! The serving path ([`PartitionStore::shard_of`] etc.) is untouched by
 //! all of this: reads stay plain O(1) loads with no synchronization.
 //!
+//! ## Observability
+//!
+//! Every engine owns an [`mdbgp_obs::MetricsRegistry`]
+//! ([`StreamingPartitioner::metrics`]) that the whole stack records into:
+//!
+//! * **Naming scheme** — metric names are dotted
+//!   `subsystem.stage.metric` paths: `stream.ingest.batches`,
+//!   `stream.place.conflicts`, `core.gd.refine_iterations`,
+//!   `stream.store.lookups`. The complete set the engine can emit is the
+//!   [`engine::METRIC_ALLOWLIST`] — CI schema-validates metric dumps
+//!   against it, so a typo'd name fails the build instead of silently
+//!   forking a new time series. Latency histograms derived from spans are
+//!   auto-named `span.<dotted.path>_us` (e.g. `span.ingest.place_us`).
+//! * **Histograms** use fixed log2 buckets — bucket 0 holds the value 0,
+//!   bucket *i* the range `[2^(i-1), 2^i − 1]` — with p50/p90/p99
+//!   summaries clamped to the exact observed max, so quantiles are
+//!   monotone by construction (see the [`mdbgp_obs`] crate docs).
+//! * **Spans** — ingest opens a `"ingest"` root span with one child per
+//!   pipeline stage; the refinement pass nests `compact`, `rebalance`,
+//!   `gd` and `recount` under `"refine"`. Per-batch trees roll up into
+//!   cumulative per-path totals and latency histograms on absorption.
+//! * **Journal** — structured events (`compact.purge`, `refine.pass`,
+//!   `refine.drift_trigger`, `place.repair`, `rebalance.full_scan`,
+//!   `snapshot.save` / `snapshot.restore`) in a bounded ring of
+//!   [`mdbgp_obs::JOURNAL_CAPACITY`] entries with monotonic sequence
+//!   numbers; once full the oldest events drop and the dump reports how
+//!   many.
+//! * **Determinism** — metrics whose names do *not* end in
+//!   `_us`/`_ms`/`_secs` are data-valued and identical for `threads = 1`
+//!   vs `threads = N` on the same stream
+//!   ([`mdbgp_obs::MetricsRegistry::deterministic_json`] renders exactly
+//!   that subset; property-tested in `proptest_metrics`).
+//! * **Cost** — recording is a few map updates per batch (never per
+//!   vertex on a hot loop; the store's lookup counter rides the serving
+//!   wrapper only), and a disabled registry
+//!   ([`StreamingPartitioner::set_metrics_enabled`]) early-returns from
+//!   every call. The registry is **not** serialized into snapshots:
+//!   counters restart on restore and the restored engine journals a
+//!   `snapshot.restore` event, so dumps are self-describing about the
+//!   reset.
+//!
+//! The p99 span histograms double as the gating hooks the planned
+//! concurrent read path will use (`span.ingest.refine_us` p99 vs the
+//! serving SLO).
+//!
 //! ## Quickstart
 //!
 //! ```
@@ -218,7 +265,12 @@ pub const TOMBSTONE: u32 = u32::MAX;
 
 pub use delta::{StreamUpdate, UpdateBatch};
 pub use dynamic::DynamicGraph;
-pub use engine::{BatchReport, StreamConfig, StreamTelemetry, StreamingPartitioner};
+pub use engine::{
+    BatchReport, StreamConfig, StreamTelemetry, StreamingPartitioner, METRIC_ALLOWLIST,
+};
+pub use mdbgp_obs::{
+    validate_dump, DumpStats, HistogramSummary, JournalEvent, MetricsRegistry, SpanNode,
+};
 pub use pipeline::{StageTimings, SPECULATIVE_CHUNK};
 pub use placement::{LdgPlacer, LoadView, ReservationLedger, ReservedView};
 pub use snapshot::{SnapshotError, SnapshotExpectation, SnapshotInfo};

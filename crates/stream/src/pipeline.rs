@@ -53,11 +53,14 @@ use std::collections::HashMap;
 /// reservation ledger.
 pub const SPECULATIVE_CHUNK: usize = 128;
 
-/// Wall-clock milliseconds of each ingest stage, reported per batch in
+/// Wall-clock milliseconds of each ingest stage, derived per batch from
+/// the span tree in [`crate::BatchReport::spans`] via
 /// [`crate::BatchReport::timings`] so a perf regression localizes to a
-/// stage instead of disappearing into one ingest total. Excluded from
-/// `BatchReport` equality — two semantically identical batches never share
-/// wall-clocks.
+/// stage instead of disappearing into one ingest total. A *view* over the
+/// spans — not independently measured — so the flat numbers and the tree
+/// can never drift apart. Span trees (and therefore these timings) are
+/// excluded from `BatchReport` equality — two semantically identical
+/// batches never share wall-clocks.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct StageTimings {
     pub validate_ms: f64,
@@ -77,6 +80,20 @@ impl StageTimings {
             + self.repair_ms
             + self.commit_ms
             + self.refine_ms
+    }
+
+    /// Projects a per-batch ingest span tree (root `"ingest"`, one child
+    /// per stage) onto the flat stage totals. A stage with no span — e.g.
+    /// `refine` on a batch that didn't trigger — reads 0.
+    pub fn from_spans(root: &mdbgp_obs::SpanNode) -> Self {
+        Self {
+            validate_ms: root.child_ms("validate"),
+            split_ms: root.child_ms("split"),
+            place_ms: root.child_ms("place"),
+            repair_ms: root.child_ms("repair"),
+            commit_ms: root.child_ms("commit"),
+            refine_ms: root.child_ms("refine"),
+        }
     }
 }
 

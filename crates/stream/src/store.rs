@@ -58,6 +58,7 @@
 use crate::TOMBSTONE;
 use mdbgp_graph::{Partition, VertexId, VertexWeights};
 use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// One candidate in a per-`(part, dimension)` rebalance heap: vertex `v`
 /// had weight `key` in that dimension at stamp `stamp`. Stale entries
@@ -130,7 +131,7 @@ impl LoadSnapshot {
 }
 
 /// Vertex→shard map plus live load / locality accounting.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct PartitionStore {
     /// Part of each vertex; [`TOMBSTONE`] marks a released vertex.
     parts: Vec<u32>,
@@ -150,6 +151,35 @@ pub struct PartitionStore {
     heaps: Vec<BinaryHeap<HeapEntry>>,
     intra_edges: usize,
     cut_edges: usize,
+    /// Lookups served through [`Self::shard_of_counted`] (relaxed atomic so
+    /// the counting path stays `&self`; the engine-internal placement and
+    /// recount loops use the uncounted [`Self::shard_of`] to keep the hot
+    /// loops free of shared-cache-line traffic). Not part of snapshots.
+    lookups: AtomicU64,
+    /// Entries popped off the rebalance heaps by [`Self::top_movable`]
+    /// (stale pops included). Not part of snapshots.
+    heap_pops: u64,
+}
+
+// Manual impl: `AtomicU64` is not `Clone`; a clone carries the counter
+// values over so observability mirrors stay monotone across engine clones.
+impl Clone for PartitionStore {
+    fn clone(&self) -> Self {
+        Self {
+            parts: self.parts.clone(),
+            k: self.k,
+            dims: self.dims,
+            loads: self.loads.clone(),
+            totals: self.totals.clone(),
+            part_sizes: self.part_sizes.clone(),
+            stamps: self.stamps.clone(),
+            heaps: self.heaps.clone(),
+            intra_edges: self.intra_edges,
+            cut_edges: self.cut_edges,
+            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            heap_pops: self.heap_pops,
+        }
+    }
 }
 
 impl PartitionStore {
@@ -172,6 +202,8 @@ impl PartitionStore {
             heaps: vec![BinaryHeap::new(); k * dims],
             intra_edges: 0,
             cut_edges: 0,
+            lookups: AtomicU64::new(0),
+            heap_pops: 0,
         };
         let mut row = vec![0.0f64; dims];
         for v in 0..n {
@@ -242,6 +274,27 @@ impl PartitionStore {
     #[inline]
     pub fn shard_of(&self, v: VertexId) -> u32 {
         self.parts[v as usize]
+    }
+
+    /// [`Self::shard_of`] plus a lookup-count tick — the serving wrapper the
+    /// engine's public `shard_of` goes through, so the observability layer
+    /// sees query volume without taxing internal placement/recount loops.
+    #[inline]
+    pub fn shard_of_counted(&self, v: VertexId) -> u32 {
+        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.shard_of(v)
+    }
+
+    /// Lookups served through [`Self::shard_of_counted`].
+    #[inline]
+    pub fn lookup_count(&self) -> u64 {
+        self.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Heap entries popped by [`Self::top_movable`] since construction.
+    #[inline]
+    pub fn heap_pop_count(&self) -> u64 {
+        self.heap_pops
     }
 
     /// Raw assignment slice ([`TOMBSTONE`] entries are released vertices).
@@ -471,6 +524,7 @@ impl PartitionStore {
             let Some(entry) = self.heaps[slot].pop() else {
                 break;
             };
+            self.heap_pops += 1;
             if self.parts[entry.v as usize] == p
                 && self.stamps[entry.v as usize * self.dims + j] == entry.stamp
             {
@@ -777,6 +831,8 @@ impl PartitionStore {
             heaps: vec![BinaryHeap::new(); k * dims],
             intra_edges: r.get_usize("store.intra_edges")?,
             cut_edges: r.get_usize("store.cut_edges")?,
+            lookups: AtomicU64::new(0),
+            heap_pops: 0,
         };
         store.rebuild_heaps(weights);
         Ok(store)

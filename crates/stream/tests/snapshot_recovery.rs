@@ -372,3 +372,60 @@ fn snapshot_info_is_peekable_without_the_payload() {
         bytes.len()
     );
 }
+
+/// PR-6 observability satellite: the telemetry block must survive a
+/// save/restore cycle **bit-identically**, field by field — counters so a
+/// resumed run's dashboards continue instead of resetting, and the one
+/// float (`last_refine_secs`) compared via `to_bits` because "close" is
+/// not round-tripping. The metrics registry, by contrast, is
+/// intentionally NOT serialized: a restored engine starts a fresh
+/// registry whose journal opens with a `snapshot.restore` event.
+#[test]
+fn telemetry_round_trips_bit_identically() {
+    let mut sp = churned_engine(9);
+    // Force a refinement pass so last_refine_secs is a real measurement,
+    // not the 0.0 default (which would round-trip trivially).
+    sp.refine_now().expect("refine");
+    let saved = sp.telemetry().clone();
+    assert!(saved.refinements >= 1, "test needs a refinement on record");
+    assert!(
+        saved.last_refine_secs > 0.0,
+        "test needs a nonzero float field"
+    );
+
+    let bytes = snapshot_bytes(&mut sp);
+    let mut restored = StreamingPartitioner::restore(&bytes[..]).expect("restore");
+    let got = restored.telemetry().clone();
+
+    assert_eq!(got.batches, saved.batches);
+    assert_eq!(got.vertices_placed, saved.vertices_placed);
+    assert_eq!(got.vertices_removed, saved.vertices_removed);
+    assert_eq!(got.edges_added, saved.edges_added);
+    assert_eq!(got.edges_removed, saved.edges_removed);
+    assert_eq!(got.weight_updates, saved.weight_updates);
+    assert_eq!(got.compactions, saved.compactions);
+    assert_eq!(got.remaps, saved.remaps);
+    assert_eq!(got.refinements, saved.refinements);
+    assert_eq!(got.rebalance_moves, saved.rebalance_moves);
+    assert_eq!(got.rebalance_full_scans, saved.rebalance_full_scans);
+    assert_eq!(got.refine_moves, saved.refine_moves);
+    assert_eq!(got.placement_conflicts, saved.placement_conflicts);
+    assert_eq!(got.repair_passes, saved.repair_passes);
+    assert_eq!(
+        got.last_refine_secs.to_bits(),
+        saved.last_refine_secs.to_bits(),
+        "float field must round-trip bit-identically, not approximately"
+    );
+
+    // The registry starts fresh on the restored side and announces the
+    // restore in its journal.
+    let m = restored.metrics();
+    assert_eq!(m.counter("stream.snapshot.restores"), 1);
+    let events: Vec<&str> = m.events().map(|e| e.event).collect();
+    assert!(events.contains(&"snapshot.restore"), "{events:?}");
+    assert_eq!(
+        m.counter("stream.ingest.batches"),
+        0,
+        "per-run metrics must not leak through the snapshot"
+    );
+}

@@ -21,7 +21,11 @@
 //!   maintenance: a delta-buffered [`mdbgp_stream::DynamicGraph`],
 //!   multi-dimensional greedy placement of arriving vertices, drift
 //!   telemetry, and warm-started GD refinement that absorbs update batches
-//!   without a from-scratch solve ([`mdbgp_stream`]).
+//!   without a from-scratch solve ([`mdbgp_stream`]),
+//! * [`obs`] — the zero-dependency metrics/tracing subsystem behind the
+//!   streaming engine's instrumentation: counters, gauges, log2-bucket
+//!   latency histograms, RAII span timers and a bounded event journal,
+//!   with JSON and Prometheus-text exposition ([`mdbgp_obs`]).
 //!
 //! ## Quickstart
 //!
@@ -49,6 +53,7 @@ pub use mdbgp_baselines as baselines;
 pub use mdbgp_bsp as bsp;
 pub use mdbgp_core as core;
 pub use mdbgp_graph as graph;
+pub use mdbgp_obs as obs;
 pub use mdbgp_stream as stream;
 
 /// One-stop imports for examples and downstream users.
