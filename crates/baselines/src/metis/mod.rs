@@ -5,7 +5,7 @@
 //!
 //! 1. [`coarsen`] — heavy-edge matching collapses the graph level by level;
 //! 2. [`initial`] — greedy graph growing bisects the coarsest graph;
-//! 3. [`refine`] — multi-constraint FM improves the cut while respecting
+//! 3. [`mod@refine`] — multi-constraint FM improves the cut while respecting
 //!    per-dimension balance tolerances during uncoarsening.
 //!
 //! k-way partitions come from recursive bisection. With `d ≥ 3`

@@ -390,6 +390,8 @@ fn main() -> ExitCode {
     println!("{table}");
 
     let speedup = scratch_total.as_secs_f64() / inc_total.as_secs_f64().max(1e-9);
+    let gd_full = sp.metrics().counter("core.gd.grad_full_recomputes") as usize;
+    let gd_delta = sp.metrics().counter("core.gd.grad_delta_iters") as usize;
     let t = sp.telemetry();
     println!(
         "totals: incremental {:.2}s vs scratch {:.2}s -> {speedup:.1}x speedup",
@@ -424,6 +426,7 @@ fn main() -> ExitCode {
         stage_totals[4],
         stage_totals[5]
     );
+    println!("gd gradients: {gd_full} full recomputes, {gd_delta} delta iterations");
     if snapshots > 0 {
         println!(
             "snapshots: {snapshots} kill-and-resume cycles, save {:.1} ms, restore {:.1} ms \
@@ -476,6 +479,11 @@ fn main() -> ExitCode {
                 refine_p99_ms: stage_p99_ms("span.ingest.refine_us"),
             })
         },
+        // v5: delta-gradient engagement counters — deterministic for a
+        // fixed workload, so baseline diffs show how much of the refine
+        // work the sparse diff path absorbed.
+        gd_full_recomputes: Some(gd_full),
+        gd_delta_iters: Some(gd_delta),
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

@@ -120,6 +120,16 @@ pub struct PerfRecord {
     /// metrics registry (`None` on v2/v3 baselines, which keep parsing —
     /// the quantile gate simply stays off against them).
     pub quantiles: Option<PerfQuantiles>,
+    /// v5: full `A·z` mat-vec evaluations across every warm-started
+    /// refine_pair run (`core.gd.grad_full_recomputes`; `None` on pre-v5
+    /// baselines). Informational: deterministic for a fixed workload, so a
+    /// reviewer can read the delta-path engagement straight off a
+    /// baseline diff — `full / (full + delta)` is the fraction of gradient
+    /// evaluations that still paid the full O(m) sweep.
+    pub gd_full_recomputes: Option<usize>,
+    /// v5: gradient evaluations served by the sparse diff sweep
+    /// (`core.gd.grad_delta_iters`; `None` on pre-v5 baselines).
+    pub gd_delta_iters: Option<usize>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -173,6 +183,12 @@ impl PerfRecord {
                 self.snapshot_restore_total_ms
             );
             let _ = writeln!(s, "  \"snapshots\": {c},");
+        }
+        if let Some(f) = self.gd_full_recomputes {
+            let _ = writeln!(s, "  \"gd_full_recomputes\": {f},");
+        }
+        if let Some(d) = self.gd_delta_iters {
+            let _ = writeln!(s, "  \"gd_delta_iters\": {d},");
         }
         if let Some(q) = &self.quantiles {
             let _ = writeln!(s, "  \"refine_iters_p50\": {:.3},", q.refine_iters_p50);
@@ -343,6 +359,8 @@ impl PerfRecord {
             } else {
                 None
             },
+            gd_full_recomputes: opt_count("gd_full_recomputes")?,
+            gd_delta_iters: opt_count("gd_delta_iters")?,
             batches,
         })
     }
@@ -618,6 +636,8 @@ mod tests {
                 commit_p99_ms: inc * 0.04,
                 refine_p99_ms: inc * 0.3,
             }),
+            gd_full_recomputes: Some(40),
+            gd_delta_iters: Some(360),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -934,6 +954,34 @@ mod tests {
         assert!(PerfRecord::from_json(&corrupted)
             .unwrap_err()
             .contains("refine_p99_ms"));
+    }
+
+    #[test]
+    fn gd_counters_round_trip_and_default_on_v4_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.gd_full_recomputes, Some(40));
+        assert_eq!(parsed.gd_delta_iters, Some(360));
+        // A v4 baseline (no delta-gradient counters) still parses: both
+        // None, and re-rendering it emits neither key. The counters are
+        // informational, so the gate never reads them — no gate test.
+        let v4 = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("gd_full_recomputes") && !l.contains("gd_delta_iters"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v4).unwrap();
+        assert_eq!(parsed.gd_full_recomputes, None);
+        assert_eq!(parsed.gd_delta_iters, None);
+        assert!(!parsed.to_json().contains("gd_delta_iters"));
+        // Present-but-malformed counters are an error, not a default.
+        let corrupted = r
+            .to_json()
+            .replace("\"gd_delta_iters\": 360", "\"gd_delta_iters\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("gd_delta_iters"));
     }
 
     #[test]

@@ -109,6 +109,20 @@ pub struct GdConfig {
     /// Record per-iteration locality/imbalance (Figures 8–10); costs one
     /// extra O(m) scan per iteration.
     pub track_history: bool,
+    /// Full mat-vec recompute cadence of the delta-maintained gradient
+    /// (see [`crate::gd::bipartition_warm`]): between full recomputes the
+    /// gradient is updated by propagating sparse `z[u] − z_prev[u]` diffs
+    /// to neighbors, and every `grad_recompute_period` iterations (plus
+    /// after any step-size retry) a full `A·z` bounds the floating-point
+    /// drift. `1` disables the delta path entirely (a full mat-vec every
+    /// iteration — the pre-incremental behaviour).
+    pub grad_recompute_period: usize,
+    /// Diagnostic: after every gradient update, recompute the full mat-vec
+    /// into scratch and record the worst absolute deviation of the
+    /// delta-maintained gradient in
+    /// [`GdRunStats::grad_drift_max`](crate::gd::GdRunStats::grad_drift_max).
+    /// Costs one extra O(m) pass per iteration — test harnesses only.
+    pub grad_check: bool,
 }
 
 impl GdConfig {
@@ -140,6 +154,9 @@ impl GdConfig {
         if self.threads == 0 {
             return Err("threads must be positive".into());
         }
+        if self.grad_recompute_period == 0 {
+            return Err("grad_recompute_period must be positive".into());
+        }
         if let StepSchedule::Constant { gamma } = self.step {
             if gamma <= 0.0 {
                 return Err(format!("constant step gamma must be positive, got {gamma}"));
@@ -162,6 +179,8 @@ impl Default for GdConfig {
             final_projection_passes: 500,
             threads: 1,
             track_history: false,
+            grad_recompute_period: 20,
+            grad_check: false,
         }
     }
 }
@@ -212,5 +231,18 @@ mod tests {
         c = GdConfig::default();
         c.threads = 0;
         assert!(c.validate().is_err());
+        c = GdConfig::default();
+        c.grad_recompute_period = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn delta_gradient_defaults() {
+        let c = GdConfig::default();
+        assert_eq!(
+            c.grad_recompute_period, 20,
+            "the exemplar recomputes fully every 20 iterations"
+        );
+        assert!(!c.grad_check);
     }
 }

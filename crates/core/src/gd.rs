@@ -11,12 +11,29 @@
 //!   removed from the active variable set and folded into the balance
 //!   targets of the reduced region, keeping the gradient from being
 //!   dominated by already-decided vertices;
+//! * **delta-maintained gradients** — instead of recomputing `∇f = A z`
+//!   with a full mat-vec every iteration, the gradient is kept current by
+//!   propagating sparse `z[u] − z_prev[u]` diffs to neighbors
+//!   ([`crate::matvec::matvec_delta`]), with a full recompute every
+//!   [`GdConfig::grad_recompute_period`] iterations (and after any
+//!   step-size retry) to bound floating-point drift. Warm-started iterates
+//!   move little by design, so the diff sweep is far below `O(m)`;
+//! * an **active frontier** — a free vertex that neither moved more than
+//!   [`FRONTIER_TOL`] last iteration nor has a neighbor that did is
+//!   *dormant*: it sits out the diff sweep, the gradient step and the
+//!   projection (its weight mass is folded into the slab shift like a
+//!   temporarily fixed vertex), and re-enters when a neighbor moves or at
+//!   the next full recompute. An empty frontier ends the run early with
+//!   [`GdExit::FrontierConverged`];
 //! * a final run of alternating projections to convergence, followed by
 //!   balanced randomized rounding.
+//!
+//! See `docs/ARCHITECTURE.md` for how the streaming engine drives this
+//! loop through [`crate::recursive::GdPartitioner::refine_pair`].
 
 use crate::config::{GdConfig, StepSchedule};
 use crate::feasible::FeasibleRegion;
-use crate::matvec::{expected_locality, matvec_parallel};
+use crate::matvec::{delta_degree, expected_locality, matvec_delta, matvec_parallel};
 use crate::noise::add_gaussian_noise;
 use crate::projection::{alternating, project};
 use crate::rounding::round_balanced;
@@ -99,6 +116,27 @@ pub struct IterationRecord {
 }
 
 /// Why a GD run stopped iterating.
+///
+/// # Example
+///
+/// A warm start that freezes every vertex leaves nothing to optimize —
+/// the run exits immediately and returns the input assignment:
+///
+/// ```
+/// use mdbgp_core::{bipartition_warm, GdConfig, GdExit, SplitTarget, WarmStart};
+/// use mdbgp_graph::{gen, VertexWeights};
+///
+/// let g = gen::two_cliques(10, 1);
+/// let w = VertexWeights::vertex_edge(&g);
+/// let signs: Vec<i8> = (0..20).map(|v| if v < 10 { 1 } else { -1 }).collect();
+/// let warm = WarmStart::from_signs(&signs, vec![true; 20]); // all frozen
+///
+/// let res = bipartition_warm(
+///     &g, &w, &GdConfig::with_epsilon(0.05), &SplitTarget::half(0.05), &warm, 1,
+/// ).unwrap();
+/// assert_eq!(res.stats.exit, GdExit::FullyFrozen);
+/// assert_eq!(res.signs, signs);
+/// ```
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum GdExit {
     /// The configured iteration budget ran out.
@@ -108,23 +146,228 @@ pub enum GdExit {
     FullyFrozen,
     /// Vertex fixing drove the whole iterate integral before the budget.
     FullyIntegral,
+    /// The active frontier drained: no free vertex moved more than
+    /// [`FRONTIER_TOL`] last iteration (and none saw a neighbor move), so
+    /// further iterations would be no-ops. The common exit for a
+    /// warm-started refinement of an already-settled region.
+    FrontierConverged,
 }
+
+/// Movement threshold for frontier membership: a free vertex whose
+/// realized step stays at or below this (and whose neighbors all do too)
+/// is dormant next iteration. Sub-tolerance moves are still propagated
+/// into the maintained gradient bit-exactly — the tolerance governs only
+/// who gets *stepped*, never gradient correctness.
+pub const FRONTIER_TOL: f64 = 1e-6;
+
+/// Length cap of the [`GdRunStats::grad_norms`] trace.
+pub const GRAD_TRACE_CAP: usize = 64;
 
 /// Convergence trace of one GD run — always collected (cheap: one norm per
 /// iteration, already computed for the step schedule), so the observability
 /// layer can report iteration-count histograms and gradient-norm decay
 /// without `track_history`'s per-iteration locality scans.
+///
+/// # Example
+///
+/// Every executed gradient evaluation is either a full mat-vec or a
+/// sparse diff sweep, iteration 0 is always full, and the gradient-norm
+/// trace never outgrows its cap:
+///
+/// ```
+/// use mdbgp_core::{bipartition_warm, GdConfig, SplitTarget, WarmStart, GRAD_TRACE_CAP};
+/// use mdbgp_graph::{gen, VertexWeights};
+///
+/// let g = gen::two_cliques(20, 2);
+/// let w = VertexWeights::vertex_edge(&g);
+/// let mut signs: Vec<i8> = (0..40).map(|v| if v < 20 { 1 } else { -1 }).collect();
+/// (signs[3], signs[23]) = (-1, 1); // two strays to heal
+/// let warm = WarmStart::from_signs(&signs, vec![false; 40]);
+///
+/// let res = bipartition_warm(
+///     &g, &w, &GdConfig::with_epsilon(0.05), &SplitTarget::half(0.05), &warm, 2,
+/// ).unwrap();
+/// let s = &res.stats;
+/// assert!(s.full_recomputes >= 1, "iteration 0 always pays a full mat-vec");
+/// assert!(s.full_recomputes + s.delta_iterations >= s.iterations);
+/// assert!(s.grad_norms.len() <= GRAD_TRACE_CAP);
+/// assert!(s.frontier_peak * s.iterations >= s.frontier_sum);
+/// ```
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct GdRunStats {
     /// Gradient iterations actually executed.
     pub iterations: usize,
-    /// `‖∇f‖₂` over the free variables, one entry per executed iteration.
+    /// Decimated `‖∇f‖₂` trace over the active frontier.
+    ///
+    /// **Contract:** at most [`GRAD_TRACE_CAP`] entries, in iteration
+    /// order. The first entry is always iteration 0's norm and the last
+    /// entry is always the final executed iteration's norm; the middle is
+    /// thinned to every `2^k`-th iteration once a run outgrows the cap
+    /// (long refines used to grow this vector unboundedly). Consumers may
+    /// rely on `first()`/`last()` but not on a 1:1 iteration mapping.
     pub grad_norms: Vec<f64>,
     /// Why the run stopped.
     pub exit: GdExit,
+    /// Full `A·z` mat-vec evaluations (iteration 0, every
+    /// [`GdConfig::grad_recompute_period`]-th iteration, after a step
+    /// retry, and whenever the pending diffs are too dense for the delta
+    /// path to win).
+    pub full_recomputes: usize,
+    /// Iterations served by the sparse diff sweep instead of a full
+    /// mat-vec. `full_recomputes + delta_iterations` counts every executed
+    /// gradient evaluation.
+    pub delta_iterations: usize,
+    /// Sum of per-iteration frontier sizes (`frontier_sum / iterations` is
+    /// the mean active-vertex count — the observability layer's
+    /// frontier-size histogram feed).
+    pub frontier_sum: usize,
+    /// Largest per-iteration frontier.
+    pub frontier_peak: usize,
+    /// Worst absolute deviation between the delta-maintained gradient and
+    /// a full recompute, measured only when [`GdConfig::grad_check`] is on
+    /// (0.0 otherwise). The equivalence harness pins this below `1e-9`.
+    pub grad_drift_max: f64,
+}
+
+/// Streaming decimator behind the [`GdRunStats::grad_norms`] contract:
+/// samples every `2^k`-th iteration, doubling `k` whenever the buffer
+/// would outgrow [`GRAD_TRACE_CAP`] (halving it by dropping odd-index
+/// samples — index 0 survives every halving), and splices the final norm
+/// back in at `finish` so `last()` is always the last executed iteration.
+struct GradTrace {
+    samples: Vec<f64>,
+    stride: usize,
+    count: usize,
+    last: f64,
+}
+
+impl GradTrace {
+    fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            stride: 1,
+            count: 0,
+            last: 0.0,
+        }
+    }
+
+    fn push(&mut self, norm: f64) {
+        self.last = norm;
+        if self.count.is_multiple_of(self.stride) {
+            if self.samples.len() == GRAD_TRACE_CAP {
+                let mut i = 0usize;
+                self.samples.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+            if self.count.is_multiple_of(self.stride) {
+                self.samples.push(norm);
+            }
+        }
+        self.count += 1;
+    }
+
+    fn finish(mut self) -> Vec<f64> {
+        if self.count > 0 && self.samples.last().copied() != Some(self.last) {
+            if self.samples.len() >= GRAD_TRACE_CAP {
+                self.samples.pop();
+            }
+            self.samples.push(self.last);
+        }
+        self.samples
+    }
+}
+
+/// Reusable iterate storage for the GD loop — a flat SoA layout (one
+/// `Vec` per quantity, indexed by vertex) that callers running many
+/// warm-started solves can allocate once and pass to
+/// [`bipartition_warm_with`] /
+/// [`GdPartitioner::refine_pair_with`](crate::recursive::GdPartitioner::refine_pair_with),
+/// instead of paying a fresh set of `O(n)` allocations per pair per
+/// round. The streaming engine keeps one workspace per worker thread and
+/// reuses them across disjoint refine rounds and batches.
+///
+/// A workspace carries no results between calls — every buffer is
+/// (re)initialized at the start of a run, so reusing one is behaviorally
+/// identical to passing a fresh `GdWorkspace::default()`.
+#[derive(Debug, Default)]
+pub struct GdWorkspace {
+    /// Current iterate `x`.
+    x: Vec<f64>,
+    /// Step input `z = x (+ noise)`.
+    z: Vec<f64>,
+    /// The point the maintained gradient was last evaluated at.
+    z_prev: Vec<f64>,
+    /// Maintained gradient `A·z_prev`.
+    grad: Vec<f64>,
+    /// Scratch for [`GdConfig::grad_check`] full recomputes.
+    check_grad: Vec<f64>,
+    /// Per-free-vertex Gaussian noise scratch.
+    noise: Vec<f64>,
+    /// Active frontier of this iteration (subset of the free list).
+    frontier: Vec<u32>,
+    /// Vertices fixed since the last gradient evaluation — their snap to
+    /// ±1 still needs diff propagation even though they left the free
+    /// list.
+    recently_fixed: Vec<u32>,
+    /// Per-vertex iteration stamp: `touched[v] == stamp` marks frontier
+    /// membership without clearing an array per iteration.
+    touched: Vec<u32>,
+    /// `Σ_{v free} w_j(v)·x[v]` per dimension, maintained incrementally
+    /// (recomputed exactly at every full gradient recompute).
+    free_dot: Vec<f64>,
+    /// Slab-shift scratch for frontier-restricted projection.
+    shift: Vec<f64>,
+}
+
+impl GdWorkspace {
+    /// An empty workspace; buffers grow to the problem size on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn reset(&mut self, n: usize, dims: usize) {
+        self.x.clear();
+        self.x.resize(n, 0.0);
+        self.z.clear();
+        self.z.resize(n, 0.0);
+        self.z_prev.clear();
+        self.z_prev.resize(n, 0.0);
+        self.grad.clear();
+        self.grad.resize(n, 0.0);
+        self.frontier.clear();
+        self.recently_fixed.clear();
+        self.touched.clear();
+        self.touched.resize(n, 0);
+        self.free_dot.clear();
+        self.free_dot.resize(dims, 0.0);
+        self.shift.clear();
+        self.shift.resize(dims, 0.0);
+    }
 }
 
 /// Output of one GD bipartition run.
+///
+/// # Example
+///
+/// ```
+/// use mdbgp_core::{bipartition, GdConfig, SplitTarget};
+/// use mdbgp_graph::{gen, VertexWeights};
+///
+/// let g = gen::two_cliques(15, 1);
+/// let w = VertexWeights::vertex_edge(&g);
+/// let res = bipartition(
+///     &g, &w, &GdConfig::with_epsilon(0.05), &SplitTarget::half(0.05), 42,
+/// ).unwrap();
+///
+/// assert!(res.signs.iter().all(|&s| s == 1 || s == -1));
+/// assert_eq!(res.x.len(), res.signs.len()); // fractional iterate, pre-rounding
+/// assert!(res.violation < 1e-9, "ε-balanced");
+/// assert!(res.history.is_empty(), "per-iteration records need track_history");
+/// ```
 #[derive(Clone, Debug)]
 pub struct BipartitionResult {
     /// ±1 assignment (`+1 → V_1`).
@@ -201,6 +444,29 @@ impl ActiveSet {
 
 /// Warm-start specification for incremental refinement (see
 /// [`bipartition_warm`] and `mdbgp-stream`).
+///
+/// # Example
+///
+/// Heal a planted bipartition that a stream of updates has perturbed:
+/// start from the current ±1 assignment with nothing frozen, and GD
+/// pulls the strays back in a handful of cheap delta iterations:
+///
+/// ```
+/// use mdbgp_core::{bipartition_warm, GdConfig, SplitTarget, WarmStart};
+/// use mdbgp_graph::{gen, VertexWeights};
+///
+/// let g = gen::two_cliques(20, 2);
+/// let w = VertexWeights::vertex_edge(&g);
+/// let planted: Vec<i8> = (0..40).map(|v| if v < 20 { 1 } else { -1 }).collect();
+/// let mut drifted = planted.clone();
+/// (drifted[3], drifted[23]) = (-1, 1); // one stray on each side
+/// let warm = WarmStart::from_signs(&drifted, vec![false; 40]);
+///
+/// let res = bipartition_warm(
+///     &g, &w, &GdConfig::with_epsilon(0.05), &SplitTarget::half(0.05), &warm, 3,
+/// ).unwrap();
+/// assert_eq!(res.signs, planted, "both strays pulled home");
+/// ```
 #[derive(Clone, Debug, Default)]
 pub struct WarmStart {
     /// Initial fractional iterate, length `n`, entries clamped to `[-1, 1]`.
@@ -236,7 +502,15 @@ pub fn bipartition(
     target: &SplitTarget,
     seed: u64,
 ) -> Result<BipartitionResult, PartitionError> {
-    bipartition_impl(graph, weights, config, target, seed, None)
+    bipartition_impl(
+        graph,
+        weights,
+        config,
+        target,
+        seed,
+        None,
+        &mut GdWorkspace::default(),
+    )
 }
 
 /// [`bipartition`] warm-started from an existing (partial) solution: the
@@ -254,7 +528,32 @@ pub fn bipartition_warm(
     warm: &WarmStart,
     seed: u64,
 ) -> Result<BipartitionResult, PartitionError> {
-    bipartition_impl(graph, weights, config, target, seed, Some(warm))
+    bipartition_impl(
+        graph,
+        weights,
+        config,
+        target,
+        seed,
+        Some(warm),
+        &mut GdWorkspace::default(),
+    )
+}
+
+/// [`bipartition_warm`] with caller-provided iterate storage: identical
+/// output, but the `O(n)` working vectors live in `ws` and are reused
+/// across calls instead of being reallocated. The streaming engine's
+/// refine stage calls this once per pair per round with a per-worker
+/// workspace.
+pub fn bipartition_warm_with(
+    ws: &mut GdWorkspace,
+    graph: &Graph,
+    weights: &VertexWeights,
+    config: &GdConfig,
+    target: &SplitTarget,
+    warm: &WarmStart,
+    seed: u64,
+) -> Result<BipartitionResult, PartitionError> {
+    bipartition_impl(graph, weights, config, target, seed, Some(warm), ws)
 }
 
 fn bipartition_impl(
@@ -264,6 +563,7 @@ fn bipartition_impl(
     target: &SplitTarget,
     seed: u64,
     warm: Option<&WarmStart>,
+    ws: &mut GdWorkspace,
 ) -> Result<BipartitionResult, PartitionError> {
     config.validate().map_err(PartitionError::Config)?;
     let n = graph.num_vertices();
@@ -292,9 +592,9 @@ fn bipartition_impl(
             "balance slab unreachable for some weight dimension".into(),
         ));
     }
+    let dims = region.dims();
+    ws.reset(n, dims);
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut x = vec![0.0f64; n];
-    let mut grad = vec![0.0f64; n];
     let mut active = ActiveSet::new(n, &region);
     let mut warm_started = false;
     if let Some(w) = warm {
@@ -304,23 +604,23 @@ fn bipartition_impl(
                 graph_n: n,
             });
         }
-        for (xi, &x0i) in x.iter_mut().zip(&w.x0) {
+        for (xi, &x0i) in ws.x.iter_mut().zip(&w.x0) {
             *xi = x0i.clamp(-1.0, 1.0);
         }
-        warm_started = x.iter().any(|&v| v != 0.0);
+        warm_started = ws.x.iter().any(|&v| v != 0.0);
         // Freeze the most decided vertices first so marginal ones are the
         // ones left free when fixing everything would be infeasible.
         let mut to_freeze: Vec<u32> = (0..n as u32).filter(|&v| w.frozen[v as usize]).collect();
         to_freeze.sort_by(|&a, &b| {
-            x[b as usize]
+            ws.x[b as usize]
                 .abs()
-                .partial_cmp(&x[a as usize].abs())
+                .partial_cmp(&ws.x[a as usize].abs())
                 .unwrap()
         });
         for v in to_freeze {
-            let sign = if x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
+            let sign = if ws.x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
             if active.try_fix(v, sign, &region) {
-                x[v as usize] = sign;
+                ws.x[v as usize] = sign;
             }
         }
         active.rebuild_free();
@@ -328,8 +628,17 @@ fn bipartition_impl(
     let mut reduced = region.restrict(&active.free, &active.fixed_dot);
     let mut history = Vec::new();
     let mut stats = GdRunStats::default();
+    let mut trace = GradTrace::new();
 
     let target_len_full = config.step.target_length(n, config.iterations);
+    let entries = graph.raw_offsets()[n];
+    // Delta-gradient state: `ws.grad` mirrors `A·ws.z_prev` once
+    // `grad_ready`; `force_full` re-syncs after a step retry perturbed the
+    // iterate harder than the schedule expected.
+    let mut grad_ready = false;
+    let mut force_full = false;
+    let mut since_full = 0usize;
+    let mut stamp: u32 = 0;
 
     for t in 0..config.iterations {
         if active.free.is_empty() {
@@ -343,39 +652,149 @@ fn bipartition_impl(
         } else {
             config.noise.std_at(t)
         };
-        let mut z = x.clone();
+        ws.z.copy_from_slice(&ws.x);
         if std > 0.0 {
             // Perturb only free coordinates so fixed vertices stay integral.
-            let mut noise_buf = vec![0.0f64; active.free.len()];
-            add_gaussian_noise(&mut noise_buf, std, &mut rng);
-            for (slot, &v) in noise_buf.iter().zip(&active.free) {
-                z[v as usize] += slot;
+            ws.noise.clear();
+            ws.noise.resize(active.free.len(), 0.0);
+            add_gaussian_noise(&mut ws.noise, std, &mut rng);
+            for (slot, &v) in ws.noise.iter().zip(&active.free) {
+                ws.z[v as usize] += slot;
             }
         }
 
-        // --- Step 2: gradient ∇f(z) = A z. ---
-        matvec_parallel(graph, &z, &mut grad, config.threads);
+        // --- Step 2: gradient ∇f(z) = A z, delta-maintained. A full
+        // mat-vec runs on the first iteration, on the recompute cadence,
+        // after a step retry, and whenever the pending diffs touch enough
+        // edges that the sparse sweep would not beat the dense kernel
+        // (scatter writes cost more per edge than row-major reads).
+        // Otherwise the gradient advances by propagating `z − z_prev`
+        // diffs from free movers and from vertices fixed since the last
+        // evaluation (their snap to ±1 moved `z` too). ---
+        stamp = stamp.wrapping_add(1);
+        let full = !grad_ready || force_full || since_full + 1 >= config.grad_recompute_period || {
+            let pending = delta_degree(graph, &ws.z, &ws.z_prev, &active.free)
+                + delta_degree(graph, &ws.z, &ws.z_prev, &ws.recently_fixed);
+            2 * pending >= entries
+        };
+        if full {
+            matvec_parallel(graph, &ws.z, &mut ws.grad, config.threads);
+            ws.z_prev.copy_from_slice(&ws.z);
+            // Re-anchor the incrementally maintained free-mass dots so
+            // their floating-point drift resets along with the gradient's.
+            for j in 0..dims {
+                let w = region.weight(j);
+                ws.free_dot[j] = active
+                    .free
+                    .iter()
+                    .map(|&v| w[v as usize] * ws.x[v as usize])
+                    .sum();
+            }
+            grad_ready = true;
+            since_full = 0;
+            stats.full_recomputes += 1;
+        } else {
+            matvec_delta(
+                graph,
+                &ws.z,
+                &mut ws.z_prev,
+                &active.free,
+                &mut ws.grad,
+                FRONTIER_TOL,
+                stamp,
+                &mut ws.touched,
+            );
+            matvec_delta(
+                graph,
+                &ws.z,
+                &mut ws.z_prev,
+                &ws.recently_fixed,
+                &mut ws.grad,
+                FRONTIER_TOL,
+                stamp,
+                &mut ws.touched,
+            );
+            since_full += 1;
+            stats.delta_iterations += 1;
+        }
+        ws.recently_fixed.clear();
+        if config.grad_check {
+            ws.check_grad.clear();
+            ws.check_grad.resize(n, 0.0);
+            matvec_parallel(graph, &ws.z, &mut ws.check_grad, config.threads);
+            let drift = ws
+                .grad
+                .iter()
+                .zip(&ws.check_grad)
+                .map(|(a, b)| (a - b).abs())
+                .fold(0.0, f64::max);
+            stats.grad_drift_max = stats.grad_drift_max.max(drift);
+        }
 
-        let grad_free_norm: f64 = active
-            .free
+        // --- Active frontier: a full recompute wakes every free vertex;
+        // a delta iteration steps only last step's movers and their
+        // neighbors (everyone else's gradient coordinate and iterate are
+        // both unchanged, so stepping them would be a no-op). ---
+        ws.frontier.clear();
+        if full {
+            ws.frontier.extend_from_slice(&active.free);
+        } else {
+            let (frontier, touched) = (&mut ws.frontier, &ws.touched);
+            frontier.extend(
+                active
+                    .free
+                    .iter()
+                    .copied()
+                    .filter(|&v| touched[v as usize] == stamp),
+            );
+        }
+        if ws.frontier.is_empty() {
+            stats.exit = GdExit::FrontierConverged;
+            break;
+        }
+        stats.frontier_sum += ws.frontier.len();
+        stats.frontier_peak = stats.frontier_peak.max(ws.frontier.len());
+
+        let grad_front_norm: f64 = ws
+            .frontier
             .iter()
-            .map(|&v| grad[v as usize] * grad[v as usize])
+            .map(|&v| ws.grad[v as usize] * ws.grad[v as usize])
             .sum::<f64>()
             .sqrt();
         stats.iterations = t + 1;
-        stats.grad_norms.push(grad_free_norm);
+        trace.push(grad_front_norm);
 
-        // Free-subspace step-length target: can't move farther than the
+        // Frontier-restricted region: dormant free vertices hold their
+        // position, so their weight mass folds into the slab shift exactly
+        // like fixed vertices — global balance stays exact.
+        let front_restricted;
+        let front_region = if ws.frontier.len() == active.free.len() {
+            &reduced
+        } else {
+            for j in 0..dims {
+                let w = region.weight(j);
+                let front_dot: f64 = ws
+                    .frontier
+                    .iter()
+                    .map(|&v| w[v as usize] * ws.x[v as usize])
+                    .sum();
+                ws.shift[j] = active.fixed_dot[j] + (ws.free_dot[j] - front_dot);
+            }
+            front_restricted = region.restrict(&ws.frontier, &ws.shift);
+            &front_restricted
+        };
+
+        // Active-subspace step-length target: can't move farther than the
         // diameter of the remaining cube.
-        let cap = 2.0 * (active.free.len() as f64).sqrt();
+        let cap = 2.0 * (ws.frontier.len() as f64).sqrt();
         let step_target = target_len_full.map(|l| l.min(cap));
 
         let mut gamma = match config.step {
             StepSchedule::Constant { gamma } => gamma,
             StepSchedule::FixedLength { .. } => {
                 let t_len = step_target.unwrap();
-                if grad_free_norm > 1e-30 {
-                    t_len / grad_free_norm
+                if grad_front_norm > 1e-30 {
+                    t_len / grad_front_norm
                 } else {
                     1.0
                 }
@@ -384,59 +803,79 @@ fn bipartition_impl(
 
         // --- Step 3: projection, with adaptive retries (§3.2): if the
         // projection swallowed the step, enlarge γ and retry. ---
-        let mut x_new_free: Vec<f64>;
+        let mut x_new_front: Vec<f64>;
         let mut step_len: f64;
         let mut retries = 0;
         loop {
-            let y_free: Vec<f64> = active
-                .free
+            let y_front: Vec<f64> = ws
+                .frontier
                 .iter()
-                .map(|&v| z[v as usize] + gamma * grad[v as usize])
+                .map(|&v| ws.z[v as usize] + gamma * ws.grad[v as usize])
                 .collect();
-            x_new_free = project(config.projection, &y_free, &reduced);
-            step_len = active
-                .free
+            x_new_front = project(config.projection, &y_front, front_region);
+            step_len = ws
+                .frontier
                 .iter()
-                .zip(&x_new_free)
+                .zip(&x_new_front)
                 .map(|(&v, &nv)| {
-                    let dv = nv - x[v as usize];
+                    let dv = nv - ws.x[v as usize];
                     dv * dv
                 })
                 .sum::<f64>()
                 .sqrt();
             match step_target {
-                Some(t_len) if step_len < 0.5 * t_len && retries < 3 && grad_free_norm > 1e-30 => {
+                Some(t_len) if step_len < 0.5 * t_len && retries < 3 && grad_front_norm > 1e-30 => {
                     gamma *= (t_len / step_len.max(t_len / 16.0)).min(8.0);
                     retries += 1;
                 }
                 _ => break,
             }
         }
-        for (&v, &nv) in active.free.iter().zip(&x_new_free) {
-            x[v as usize] = nv;
+        // A retry means the realized step disagreed with the schedule —
+        // re-sync the gradient next iteration rather than trusting drift.
+        // A literally zero step needs no re-sync (z is unchanged), and
+        // skipping it lets a settled iterate drain its frontier instead of
+        // being re-woken by its own no-op retries.
+        force_full = retries > 0 && step_len > 0.0;
+        for (&v, &nv) in ws.frontier.iter().zip(&x_new_front) {
+            let old = ws.x[v as usize];
+            if nv != old {
+                for j in 0..dims {
+                    ws.free_dot[j] += region.weight(j)[v as usize] * (nv - old);
+                }
+                ws.x[v as usize] = nv;
+            }
         }
 
-        // --- Vertex fixing (§3.2). ---
+        // --- Vertex fixing (§3.2). Only frontier vertices can have moved
+        // across the threshold this iteration. ---
         let mut fixed_any = false;
         if let Some(threshold) = config.fixing_threshold {
             // Walk candidates in decreasing |x| so the most decided
             // vertices are locked first.
-            let mut candidates: Vec<u32> = active
-                .free
+            let mut candidates: Vec<u32> = ws
+                .frontier
                 .iter()
                 .copied()
-                .filter(|&v| x[v as usize].abs() >= threshold)
+                .filter(|&v| ws.x[v as usize].abs() >= threshold)
                 .collect();
             candidates.sort_by(|&a, &b| {
-                x[b as usize]
+                ws.x[b as usize]
                     .abs()
-                    .partial_cmp(&x[a as usize].abs())
+                    .partial_cmp(&ws.x[a as usize].abs())
                     .unwrap()
             });
             for v in candidates {
-                let sign = if x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
+                let sign = if ws.x[v as usize] >= 0.0 { 1.0 } else { -1.0 };
                 if active.try_fix(v, sign, &region) {
-                    x[v as usize] = sign;
+                    for j in 0..dims {
+                        ws.free_dot[j] -= region.weight(j)[v as usize] * ws.x[v as usize];
+                    }
+                    ws.x[v as usize] = sign;
+                    // The snap from x to ±1 changes z next iteration; keep
+                    // the vertex in the diff sweep once more even though it
+                    // left the free list.
+                    ws.recently_fixed.push(v);
                     fixed_any = true;
                 }
             }
@@ -448,11 +887,11 @@ fn bipartition_impl(
 
         if config.track_history {
             let frac_imb = (0..region.dims())
-                .map(|j| (region.dot(j, &x) - region.center(j)).abs() / region.total(j))
+                .map(|j| (region.dot(j, &ws.x) - region.center(j)).abs() / region.total(j))
                 .fold(0.0, f64::max);
             history.push(IterationRecord {
                 iteration: t,
-                expected_locality: expected_locality(graph, &x),
+                expected_locality: expected_locality(graph, &ws.x),
                 fractional_imbalance: frac_imb,
                 step_length: step_len,
                 gamma,
@@ -465,12 +904,13 @@ fn bipartition_impl(
             break;
         }
     }
+    stats.grad_norms = trace.finish();
 
     // Final feasibility clean-up on the free variables (paper §3.1: "in the
     // last iterations we run the alternating projections method until
     // convergence").
     if !active.free.is_empty() {
-        let x_free: Vec<f64> = active.free.iter().map(|&v| x[v as usize]).collect();
+        let x_free: Vec<f64> = active.free.iter().map(|&v| ws.x[v as usize]).collect();
         let cleaned = alternating::project_converged(
             &x_free,
             &reduced,
@@ -478,15 +918,15 @@ fn bipartition_impl(
             crate::projection::FEASIBILITY_TOL,
         );
         for (&v, &nv) in active.free.iter().zip(&cleaned) {
-            x[v as usize] = nv;
+            ws.x[v as usize] = nv;
         }
     }
 
     // Randomized rounding + balance repair.
-    let (signs, violation) = round_balanced(&x, &region, config.rounding_attempts, &mut rng);
+    let (signs, violation) = round_balanced(&ws.x, &region, config.rounding_attempts, &mut rng);
     Ok(BipartitionResult {
         signs,
-        x,
+        x: ws.x.clone(),
         history,
         violation,
         stats,
@@ -744,6 +1184,141 @@ mod tests {
             (4..=6).contains(&plus),
             "balance restored, got {plus} on +1 side"
         );
+    }
+
+    #[test]
+    fn recompute_cadence_is_pinned() {
+        // A warm-started healing run engages the delta path; every delta
+        // stretch must sit between full recomputes no more than
+        // `grad_recompute_period − 1` long.
+        let g = gen::two_cliques(40, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let mut signs: Vec<i8> = (0..80).map(|v| if v < 40 { 1 } else { -1 }).collect();
+        for v in [3usize, 17, 44, 61] {
+            signs[v] = -signs[v];
+        }
+        let warm = WarmStart::from_signs(&signs, vec![false; 80]);
+        let period = 5;
+        let cfg = GdConfig {
+            iterations: 12,
+            grad_recompute_period: period,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, 2).unwrap();
+        let s = &res.stats;
+        assert!(s.full_recomputes >= 1, "iteration 0 is always full");
+        assert!(
+            s.delta_iterations <= s.full_recomputes * (period - 1),
+            "cadence violated: {} delta evals for {} full recomputes",
+            s.delta_iterations,
+            s.full_recomputes
+        );
+
+        // period = 1 disables the delta path outright.
+        let cfg_full = GdConfig {
+            grad_recompute_period: 1,
+            ..cfg.clone()
+        };
+        let res = bipartition_warm(&g, &w, &cfg_full, &SplitTarget::half(0.05), &warm, 2).unwrap();
+        assert_eq!(res.stats.delta_iterations, 0);
+        assert!(res.stats.full_recomputes >= res.stats.iterations);
+    }
+
+    #[test]
+    fn grad_trace_is_capped_and_keeps_endpoints() {
+        let mut trace = GradTrace::new();
+        for i in 0..500 {
+            trace.push(i as f64);
+        }
+        let samples = trace.finish();
+        assert!(samples.len() <= GRAD_TRACE_CAP, "len {}", samples.len());
+        assert_eq!(samples[0], 0.0, "first iteration always survives");
+        assert_eq!(*samples.last().unwrap(), 499.0, "last iteration restored");
+        // Short runs are recorded 1:1.
+        let mut short = GradTrace::new();
+        for i in 0..10 {
+            short.push(i as f64);
+        }
+        assert_eq!(
+            short.finish(),
+            (0..10).map(|i| i as f64).collect::<Vec<_>>()
+        );
+        assert!(GradTrace::new().finish().is_empty());
+    }
+
+    #[test]
+    fn settled_warm_start_drains_the_frontier() {
+        // Planted optimum, nothing frozen, fixing disabled: every step is
+        // clamped to a no-op, so the frontier must drain after the first
+        // full evaluation instead of burning the whole budget on O(m)
+        // mat-vecs (the pre-delta behaviour).
+        let g = gen::two_cliques(40, 2);
+        let w = VertexWeights::vertex_edge(&g);
+        let signs: Vec<i8> = (0..80).map(|v| if v < 40 { 1 } else { -1 }).collect();
+        let warm = WarmStart::from_signs(&signs, vec![false; 80]);
+        let cfg = GdConfig {
+            iterations: 50,
+            fixing_threshold: None,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, 4).unwrap();
+        assert_eq!(res.stats.exit, GdExit::FrontierConverged);
+        assert!(
+            res.stats.iterations <= 2,
+            "settled pair should exit almost immediately, ran {}",
+            res.stats.iterations
+        );
+        assert_eq!(res.signs, signs, "the optimum must be preserved");
+    }
+
+    #[test]
+    fn delta_gradient_drift_is_negligible() {
+        let g = gen::two_cliques(50, 3);
+        let w = VertexWeights::vertex_edge(&g);
+        let mut signs: Vec<i8> = (0..100).map(|v| if v < 50 { 1 } else { -1 }).collect();
+        for v in [1usize, 8, 23, 57, 72, 99] {
+            signs[v] = -signs[v];
+        }
+        let warm = WarmStart::from_signs(&signs, vec![false; 100]);
+        let cfg = GdConfig {
+            iterations: 30,
+            grad_check: true,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let res = bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, 6).unwrap();
+        assert!(
+            res.stats.grad_drift_max < 1e-9,
+            "delta-maintained gradient drifted by {}",
+            res.stats.grad_drift_max
+        );
+    }
+
+    #[test]
+    fn workspace_reuse_is_behaviorally_invisible() {
+        // One workspace across three different problems must reproduce
+        // what fresh workspaces produce, bit for bit.
+        let mut ws = GdWorkspace::new();
+        let cfg = GdConfig {
+            iterations: 20,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        for (size, seed) in [(30usize, 1u64), (45, 2), (25, 3)] {
+            let g = gen::two_cliques(size, 2);
+            let n = 2 * size;
+            let w = VertexWeights::vertex_edge(&g);
+            let mut signs: Vec<i8> = (0..n).map(|v| if v < size { 1 } else { -1 }).collect();
+            signs[0] = -signs[0];
+            signs[n - 1] = -signs[n - 1];
+            let warm = WarmStart::from_signs(&signs, vec![false; n]);
+            let reused =
+                bipartition_warm_with(&mut ws, &g, &w, &cfg, &SplitTarget::half(0.05), &warm, seed)
+                    .unwrap();
+            let fresh =
+                bipartition_warm(&g, &w, &cfg, &SplitTarget::half(0.05), &warm, seed).unwrap();
+            assert_eq!(reused.signs, fresh.signs);
+            assert_eq!(reused.x, fresh.x);
+            assert_eq!(reused.stats, fresh.stats);
+        }
     }
 
     #[test]

@@ -4,7 +4,8 @@
 //! The paper's GD is an offline algorithm; `mdbgp-stream` keeps a partition
 //! alive under a stream of updates by re-running GD *warm-started* on small
 //! slices of the problem. The unit of work is a **part pair** `(p, q)`: the
-//! induced subgraph of `V_p ∪ V_q` is re-bisected by [`bipartition_warm`]
+//! induced subgraph of `V_p ∪ V_q` is re-bisected by
+//! [`bipartition_warm`](crate::gd::bipartition_warm)
 //! starting from the current assignment, with unaffected vertices frozen, so
 //! only the vertices near the update churn actually move. The balance target
 //! of the pair is derived from the *global* ε so that any accepted
@@ -16,7 +17,7 @@
 //! does not worsen the pair's balance headroom — callers can therefore apply
 //! [`PairRefinement::moves`] unconditionally.
 
-use crate::gd::{bipartition_warm, GdRunStats, SplitTarget, WarmStart};
+use crate::gd::{bipartition_warm_with, GdRunStats, GdWorkspace, SplitTarget, WarmStart};
 use crate::recursive::GdPartitioner;
 use mdbgp_graph::{Graph, InducedSubgraph, Partition, PartitionError, VertexId, VertexWeights};
 
@@ -68,8 +69,60 @@ impl GdPartitioner {
     /// moves never push either part past `(1 + ε)` of its share. Returns
     /// the (possibly empty) list of vertex moves; the partition itself is
     /// not mutated.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use mdbgp_core::{GdConfig, GdPartitioner, PairOutcome};
+    /// use mdbgp_graph::{gen, Partition, VertexWeights};
+    ///
+    /// // A planted two-clique graph whose current partition has one
+    /// // vertex of each clique assigned to the wrong part.
+    /// let g = gen::two_cliques(20, 2);
+    /// let w = VertexWeights::vertex_edge(&g);
+    /// let mut parts: Vec<u32> = (0..40).map(|v| u32::from(v >= 20)).collect();
+    /// parts.swap(3, 23); // cross-assign a stray pair
+    /// let partition = Partition::new(parts, 2);
+    ///
+    /// let gd = GdPartitioner::new(GdConfig::with_epsilon(0.05));
+    /// let r = gd
+    ///     .refine_pair(&g, &w, &partition, (0, 1), &[false; 40], 7)
+    ///     .unwrap();
+    /// assert_eq!(r.outcome, PairOutcome::Applied);
+    /// assert!(r.cut_after < r.cut_before, "healing the strays uncuts clique edges");
+    /// assert!(r.moves.contains(&(3, 0)) && r.moves.contains(&(23, 1)));
+    /// assert_eq!(partition.part_of(3), 1, "the input partition is untouched");
+    /// ```
     pub fn refine_pair(
         &self,
+        graph: &Graph,
+        weights: &VertexWeights,
+        partition: &Partition,
+        pair: (u32, u32),
+        frozen: &[bool],
+        seed: u64,
+    ) -> Result<PairRefinement, PartitionError> {
+        self.refine_pair_with(
+            &mut GdWorkspace::default(),
+            graph,
+            weights,
+            partition,
+            pair,
+            frozen,
+            seed,
+        )
+    }
+
+    /// [`Self::refine_pair`] with caller-provided GD iterate storage:
+    /// identical output, but the inner solve reuses `ws` instead of
+    /// allocating fresh working vectors. The streaming engine keeps one
+    /// workspace per worker thread and threads it through every pair of
+    /// every disjoint round — a workspace carries no state between calls,
+    /// so reuse never changes results (see [`GdWorkspace`]).
+    #[allow(clippy::too_many_arguments)]
+    pub fn refine_pair_with(
+        &self,
+        ws: &mut GdWorkspace,
         graph: &Graph,
         weights: &VertexWeights,
         partition: &Partition,
@@ -137,7 +190,8 @@ impl GdPartitioner {
         cfg.epsilon = eps_pair;
         cfg.track_history = false;
         let warm = WarmStart::from_signs(&signs0, frozen_sub.clone());
-        let res = bipartition_warm(
+        let res = bipartition_warm_with(
+            ws,
             &sub.graph,
             &w_sub,
             &cfg,

@@ -42,8 +42,8 @@ pub mod rounding;
 pub use config::{GdConfig, NoiseSchedule, ProjectionMethod, StepSchedule};
 pub use feasible::FeasibleRegion;
 pub use gd::{
-    bipartition, bipartition_warm, BipartitionResult, GdExit, GdRunStats, IterationRecord,
-    SplitTarget, WarmStart,
+    bipartition, bipartition_warm, bipartition_warm_with, BipartitionResult, GdExit, GdRunStats,
+    GdWorkspace, IterationRecord, SplitTarget, WarmStart, FRONTIER_TOL, GRAD_TRACE_CAP,
 };
 pub use incremental::{PairOutcome, PairRefinement};
 pub use kway::KWayGdPartitioner;

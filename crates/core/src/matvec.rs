@@ -25,16 +25,25 @@ pub fn matvec(graph: &Graph, x: &[f64], out: &mut [f64]) {
     }
 }
 
+/// Below this many CSR entries a mat-vec runs sequentially no matter how
+/// many threads were requested: the serial sweep finishes in well under the
+/// cost of spawning and joining a worker scope, so "parallelising" it only
+/// adds latency. The pairwise refinement subgraphs of `mdbgp-stream` sit
+/// far below this bound — their parallelism comes from solving disjoint
+/// pairs concurrently, not from splitting one small mat-vec.
+pub const MIN_PARALLEL_ENTRIES: usize = 1 << 18;
+
 /// Multi-threaded `out = A x` with `threads` workers over contiguous row
 /// blocks of roughly equal *edge* count (so a few hubs don't serialize the
 /// pass — see [`crate::parallel::prefix_boundaries`]). Falls back to the
-/// sequential kernel for `threads <= 1` or tiny graphs where spawn
-/// overhead dominates.
+/// sequential kernel for `threads <= 1` or small inputs (fewer than 4096
+/// rows or [`MIN_PARALLEL_ENTRIES`] CSR entries) where spawn overhead
+/// dominates the sweep itself.
 pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize) {
     let n = graph.num_vertices();
     assert_eq!(x.len(), n);
     assert_eq!(out.len(), n);
-    if threads <= 1 || n < 4096 {
+    if threads <= 1 || n < 4096 || graph.raw_offsets()[n] < MIN_PARALLEL_ENTRIES {
         return matvec(graph, x, out);
     }
     let offsets = graph.raw_offsets();
@@ -49,6 +58,76 @@ pub fn matvec_parallel(graph: &Graph, x: &[f64], out: &mut [f64], threads: usize
             *slot = acc;
         }
     });
+}
+
+/// Summed degree of the vertices in `scan` whose current coordinate
+/// differs (bitwise) from the one the maintained gradient was last
+/// evaluated at — the exact cost, in CSR entries, of propagating the
+/// pending diffs with [`matvec_delta`]. The delta path's density guard
+/// compares this against the full edge count: once most of the graph
+/// moved, a full [`matvec`] pass is cheaper (sequential row-major reads
+/// beat scattered writes).
+pub fn delta_degree(graph: &Graph, z: &[f64], z_prev: &[f64], scan: &[u32]) -> usize {
+    let offsets = graph.raw_offsets();
+    scan.iter()
+        .filter(|&&u| z[u as usize] != z_prev[u as usize])
+        .map(|&u| offsets[u as usize + 1] - offsets[u as usize])
+        .sum()
+}
+
+/// Incremental gradient update (the exemplar delta-gradient scheme):
+/// brings a maintained `grad = A·z_prev` up to `A·z` by pushing each
+/// pending diff `z[u] − z_prev[u]` to `u`'s neighbors, instead of
+/// recomputing the whole mat-vec. Only vertices listed in `scan` are
+/// examined — the caller guarantees every coordinate that changed since
+/// `z_prev` was written is in `scan` — and `z_prev` is updated in place,
+/// so repeated calls are cumulative.
+///
+/// As a by-product the sweep maintains the **active frontier**: every
+/// vertex whose move exceeded `move_tol`, and all of its neighbors (their
+/// gradient just changed), is marked `touched[v] = stamp`. Vertices left
+/// unmarked neither moved nor saw a neighbor move — they can sit out the
+/// next gradient step and projection entirely.
+///
+/// Deliberately sequential: `grad[v] += diff` scatters to arbitrary rows,
+/// and a deterministic result (threads 1 ≡ N, bit for bit) matters more
+/// than parallelising a sweep that is already sub-linear in `m`.
+/// Parallelism comes from running part-disjoint refinements concurrently
+/// (see `mdbgp-stream`). Returns the number of changed vertices.
+#[allow(clippy::too_many_arguments)]
+pub fn matvec_delta(
+    graph: &Graph,
+    z: &[f64],
+    z_prev: &mut [f64],
+    scan: &[u32],
+    grad: &mut [f64],
+    move_tol: f64,
+    stamp: u32,
+    touched: &mut [u32],
+) -> usize {
+    let offsets = graph.raw_offsets();
+    let targets = graph.raw_targets();
+    let mut changed = 0usize;
+    for &u in scan {
+        let u = u as usize;
+        let diff = z[u] - z_prev[u];
+        if diff == 0.0 {
+            continue;
+        }
+        changed += 1;
+        z_prev[u] = z[u];
+        let frontier = diff.abs() > move_tol;
+        if frontier {
+            touched[u] = stamp;
+        }
+        for &v in &targets[offsets[u]..offsets[u + 1]] {
+            grad[v as usize] += diff;
+            if frontier {
+                touched[v as usize] = stamp;
+            }
+        }
+    }
+    changed
 }
 
 /// `Σ_{(u,v) ∈ E} x_u · x_v = ½ xᵀAx` — the relaxed objective `f(x)`
@@ -119,6 +198,74 @@ mod tests {
         let mut out = [0.0; 3];
         matvec_parallel(&g, &[1.0, 2.0, 0.0], &mut out, 4);
         assert_eq!(out, [2.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn delta_update_tracks_full_matvec() {
+        // Random walk of sparse updates: after every matvec_delta the
+        // maintained gradient must match a fresh full mat-vec to fp noise.
+        let mut rng = StdRng::seed_from_u64(9);
+        let g = gen::erdos_renyi(300, 1200, &mut rng);
+        let mut z: Vec<f64> = (0..300).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let mut z_prev = z.clone();
+        let mut grad = vec![0.0; 300];
+        matvec(&g, &z, &mut grad);
+        let scan: Vec<u32> = (0..300).collect();
+        let mut touched = vec![0u32; 300];
+        for step in 1..=25u32 {
+            // Move a handful of coordinates.
+            for _ in 0..8 {
+                let v = rng.gen_range(0..300usize);
+                z[v] = rng.gen_range(-1.0..1.0);
+            }
+            let deg = delta_degree(&g, &z, &z_prev, &scan);
+            let changed = matvec_delta(
+                &g,
+                &z,
+                &mut z_prev,
+                &scan,
+                &mut grad,
+                1e-6,
+                step,
+                &mut touched,
+            );
+            assert!(changed <= 8);
+            assert!(deg <= g.raw_offsets()[300]);
+            let mut fresh = vec![0.0; 300];
+            matvec(&g, &z, &mut fresh);
+            for (a, b) in grad.iter().zip(&fresh) {
+                assert!((a - b).abs() < 1e-9, "drift {} vs {}", a, b);
+            }
+        }
+        assert_eq!(z, z_prev);
+    }
+
+    #[test]
+    fn delta_update_stamps_movers_and_their_neighbors() {
+        // Path 0-1-2-3-4: move only vertex 2; 1, 2, 3 are the frontier.
+        let g = gen::path(5);
+        let z_old = vec![0.5; 5];
+        let mut z = z_old.clone();
+        z[2] = -0.5;
+        let mut z_prev = z_old;
+        let mut grad = vec![0.0; 5];
+        matvec(&g, &z_prev, &mut grad);
+        let scan: Vec<u32> = (0..5).collect();
+        let mut touched = vec![0u32; 5];
+        let changed = matvec_delta(&g, &z, &mut z_prev, &scan, &mut grad, 1e-6, 7, &mut touched);
+        assert_eq!(changed, 1);
+        assert_eq!(touched, vec![0, 7, 7, 7, 0]);
+        // A sub-tolerance wiggle still propagates (exactness) but does not
+        // enter the frontier.
+        z[4] += 1e-9;
+        let changed = matvec_delta(&g, &z, &mut z_prev, &scan, &mut grad, 1e-6, 8, &mut touched);
+        assert_eq!(changed, 1);
+        assert!(touched.iter().all(|&s| s != 8));
+        let mut fresh = vec![0.0; 5];
+        matvec(&g, &z, &mut fresh);
+        for (a, b) in grad.iter().zip(&fresh) {
+            assert!((a - b).abs() < 1e-12);
+        }
     }
 
     #[test]

@@ -224,6 +224,61 @@ where
     tagged.into_iter().map(|(_, r)| r).collect()
 }
 
+/// [`par_map`] with per-worker mutable state: `states` supplies one `&mut S`
+/// per worker (e.g. a reusable [`crate::gd::GdWorkspace`]), and `f` receives
+/// the claiming worker's state alongside the item. Results come back in
+/// input order regardless of which worker produced them, and `f` must not
+/// let the state influence its output (scratch only) — which worker claims
+/// which item is scheduling-dependent. Sequential with `states[0]` when only
+/// one state is supplied or there are fewer than two items; at most
+/// `states.len()` workers run.
+///
+/// # Panics
+/// Panics if `states` is empty.
+pub fn par_map_with<T, R, S, F>(items: &[T], states: &mut [S], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    S: Send,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    assert!(!states.is_empty(), "par_map_with needs at least one state");
+    if states.len() == 1 || items.len() < 2 {
+        let state = &mut states[0];
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| f(state, i, x))
+            .collect();
+    }
+    let next = AtomicUsize::new(0);
+    let workers = states.len().min(items.len());
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = states[..workers]
+            .iter_mut()
+            .map(|state| {
+                let (next, f) = (&next, &f);
+                scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            return local;
+                        }
+                        local.push((i, f(state, i, &items[i])));
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    });
+    tagged.sort_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -342,5 +397,41 @@ mod tests {
         assert_eq!(par_map(&items, 1, |_, &x| x), items);
         let one = [41usize];
         assert_eq!(par_map(&one, 8, |_, &x| x + 1), vec![42]);
+    }
+
+    #[test]
+    fn par_map_with_threads_state_and_preserves_order() {
+        let items: Vec<usize> = (0..64).collect();
+        // Each worker counts its claims into its own state; results must
+        // still come back in input order and every item is claimed once.
+        let mut states = vec![0usize; 4];
+        let out = par_map_with(&items, &mut states, |claims, i, &x| {
+            *claims += 1;
+            if x % 5 == 0 {
+                std::thread::sleep(std::time::Duration::from_micros(100));
+            }
+            (i, x * 3)
+        });
+        for (i, &(j, tripled)) in out.iter().enumerate() {
+            assert_eq!(i, j);
+            assert_eq!(tripled, i * 3);
+        }
+        assert_eq!(states.iter().sum::<usize>(), items.len());
+
+        // Single state: sequential, all claims land on states[0].
+        let mut solo = vec![0usize];
+        let out = par_map_with(&items, &mut solo, |claims, _, &x| {
+            *claims += 1;
+            x
+        });
+        assert_eq!(out, items);
+        assert_eq!(solo[0], items.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn par_map_with_rejects_empty_states() {
+        let mut states: Vec<usize> = Vec::new();
+        par_map_with(&[1, 2, 3], &mut states, |_, _, &x: &i32| x);
     }
 }

@@ -1,4 +1,4 @@
-//! Dykstra's projection algorithm (paper §3.1, reference [15]).
+//! Dykstra's projection algorithm (paper §3.1, reference \[15\]).
 //!
 //! Unlike plain alternating projections, Dykstra's method converges to the
 //! *exact* projection onto the intersection by carrying a correction vector

@@ -1,0 +1,117 @@
+//! Equivalence harness for the delta-maintained gradient.
+//!
+//! The GD hot path keeps `∇f = A·z` current by propagating sparse
+//! `z − z_prev` diffs instead of recomputing the full mat-vec every
+//! iteration (see `docs/ARCHITECTURE.md`). [`GdConfig::grad_check`] runs
+//! the full mat-vec *alongside* every evaluation and records the worst
+//! absolute deviation in [`GdRunStats::grad_drift_max`] — these
+//! properties pin that deviation below `1e-9` across warm-started
+//! `refine_pair` runs on randomized mixed-churn states (drifted weights,
+//! cross-assigned vertices, random frozen masks), and pin workspace reuse
+//! as behaviorally invisible. The recompute cadence itself is unit-tested
+//! next to the loop (`gd::tests::recompute_cadence_is_pinned`).
+
+use mdbgp_core::{GdConfig, GdPartitioner, GdWorkspace};
+use mdbgp_graph::{gen, Partition, VertexWeights};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A randomized "post-batch" refinement state: a planted two-community
+/// graph whose assignment has been churned (`flips` vertices on the wrong
+/// side), with jittered weights standing in for weight drift and a random
+/// subset of vertices frozen (as the streaming engine freezes everything
+/// far from the update).
+struct ChurnedPair {
+    graph: mdbgp_graph::Graph,
+    weights: VertexWeights,
+    partition: Partition,
+    frozen: Vec<bool>,
+}
+
+fn churned_pair(seed: u64, half: usize, flips: usize, frozen_frac: f64) -> ChurnedPair {
+    let graph = gen::two_cliques(half, 3);
+    let n = 2 * half;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let weights = VertexWeights::from_vectors(vec![
+        vec![1.0; n],
+        (0..n).map(|_| rng.gen_range(0.5..1.5)).collect(),
+    ]);
+    let mut parts: Vec<u32> = (0..n).map(|v| u32::from(v >= half)).collect();
+    for _ in 0..flips {
+        let v = rng.gen_range(0..n);
+        parts[v] ^= 1;
+    }
+    let frozen = (0..n).map(|_| rng.gen_bool(frozen_frac)).collect();
+    ChurnedPair {
+        graph,
+        weights,
+        partition: Partition::new(parts, 2),
+        frozen,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The maintained gradient never drifts measurably from a full
+    /// recompute, whatever mix of churn, drift and freezing the stream
+    /// throws at a pair.
+    #[test]
+    fn delta_gradient_matches_full_matvec(
+        seed in 0u64..10_000,
+        half in 30usize..70,
+        flips in 1usize..10,
+        frozen_frac in 0.0f64..0.8,
+    ) {
+        let s = churned_pair(seed, half, flips, frozen_frac);
+        let cfg = GdConfig {
+            iterations: 30,
+            grad_check: true,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let gd = GdPartitioner::new(cfg);
+        let r = gd
+            .refine_pair(&s.graph, &s.weights, &s.partition, (0, 1), &s.frozen, seed)
+            .unwrap();
+        prop_assert!(
+            r.gd.grad_drift_max <= 1e-9,
+            "delta gradient drifted {} from the full mat-vec",
+            r.gd.grad_drift_max
+        );
+        if r.gd.iterations > 0 {
+            prop_assert!(r.gd.full_recomputes >= 1, "iteration 0 must be full");
+        }
+        prop_assert!(r.cut_after <= r.cut_before, "refine_pair never regresses the cut");
+    }
+
+    /// Reusing a dirty [`GdWorkspace`] across solves is invisible: the
+    /// second run over the same state reproduces the first bit-for-bit.
+    #[test]
+    fn workspace_reuse_is_invisible(
+        seed in 0u64..10_000,
+        half in 30usize..60,
+        flips in 1usize..8,
+    ) {
+        let s = churned_pair(seed, half, flips, 0.3);
+        let cfg = GdConfig {
+            iterations: 25,
+            grad_check: true,
+            ..GdConfig::with_epsilon(0.05)
+        };
+        let gd = GdPartitioner::new(cfg);
+        let mut ws = GdWorkspace::new();
+        let first = gd
+            .refine_pair_with(&mut ws, &s.graph, &s.weights, &s.partition, (0, 1), &s.frozen, seed)
+            .unwrap();
+        // Same inputs through the now-dirty workspace.
+        let second = gd
+            .refine_pair_with(&mut ws, &s.graph, &s.weights, &s.partition, (0, 1), &s.frozen, seed)
+            .unwrap();
+        prop_assert_eq!(&first.moves, &second.moves);
+        prop_assert_eq!(first.cut_after, second.cut_after);
+        prop_assert_eq!(first.outcome, second.outcome);
+        prop_assert_eq!(first.gd, second.gd);
+        prop_assert!(second.gd.grad_drift_max <= 1e-9);
+    }
+}

@@ -52,6 +52,22 @@ impl Graph {
         Self { offsets, targets }
     }
 
+    /// [`Self::from_csr`] without the O(n + m) invariant sweep, for
+    /// crate-internal constructors that produce the arrays by a
+    /// structure-preserving transformation of an already-valid graph
+    /// (e.g. induced-subgraph extraction, which sits on the streaming
+    /// refine hot path). Invariants are still checked in debug builds.
+    pub(crate) fn from_csr_unchecked(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+        #[cfg(debug_assertions)]
+        {
+            Self::from_csr(offsets, targets)
+        }
+        #[cfg(not(debug_assertions))]
+        {
+            Self { offsets, targets }
+        }
+    }
+
     /// Builds a graph with `n` vertices and no edges.
     pub fn empty(n: usize) -> Self {
         Self {

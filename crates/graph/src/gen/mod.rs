@@ -14,7 +14,7 @@
 //!    edge locality far above the `1/k` of hash partitioning (Figures 5, 6).
 //!
 //! [`community::CommunityGraphConfig`] (an LFR-lite model) controls both and
-//! is the default proxy family; [`rmat`] provides the classic scale-free
+//! is the default proxy family; [`mod@rmat`] provides the classic scale-free
 //! benchmark family used for the scalability sweep.
 
 pub mod barabasi_albert;

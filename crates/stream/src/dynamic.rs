@@ -21,16 +21,17 @@
 //!    tombstone list (the base CSR is immutable), and a removed vertex —
 //!    after shedding its incident edges the same way — is marked dead.
 //!    Vertex ids are **stable** through this phase: every accessor
-//!    ([`Self::degree`], [`Self::neighbors`], [`Self::has_edge`],
-//!    [`Self::snapshot`]) filters through the tombstones, a dead vertex
-//!    reads as isolated, and [`Self::add_edge`] of a tombstoned base edge
+//!    ([`DynamicGraph::degree`], [`DynamicGraph::neighbors`],
+//!    [`DynamicGraph::has_edge`], [`DynamicGraph::snapshot`]) filters
+//!    through the tombstones, a dead vertex
+//!    reads as isolated, and [`DynamicGraph::add_edge`] of a tombstoned base edge
 //!    clears the tombstone instead of duplicating the edge in the delta.
-//!    Between the two phases, [`Self::add_vertex`] **recycles** tombstoned
+//!    Between the two phases, [`DynamicGraph::add_vertex`] **recycles** tombstoned
 //!    ids (most recently freed first) before growing the id space, so a
 //!    high-churn stream does not inflate the arrival-id space unboundedly
 //!    between purges. A recycled id names the *new* vertex from that point
 //!    on — callers must drop references to an id once they removed it.
-//! 2. **Purging** ([`Self::compact`]): the merge drops tombstoned edges
+//! 2. **Purging** ([`DynamicGraph::compact`]): the merge drops tombstoned edges
 //!    and dead vertices and renumbers the survivors `0..live` in ascending
 //!    old-id order. When any vertex was dropped, `compact` returns the
 //!    **old→new map** (`map[old] = new`, [`crate::TOMBSTONE`] for dropped
@@ -47,7 +48,7 @@
 //! vertex's weight at tombstoning time.
 
 use crate::TOMBSTONE;
-use mdbgp_graph::{Graph, GraphBuilder, VertexId, VertexWeights};
+use mdbgp_graph::{Graph, VertexId, VertexWeights};
 
 /// A growing-and-shrinking graph: base CSR + delta adjacency + tombstones
 /// + multi-dimensional weights.
@@ -395,7 +396,7 @@ impl DynamicGraph {
             {
                 return None;
             }
-            self.base = self.merged_builder().build();
+            self.base = self.merged_csr();
             for adj in &mut self.delta {
                 adj.clear();
             }
@@ -409,7 +410,7 @@ impl DynamicGraph {
 
         // Purge: renumber live vertices 0..live in ascending old-id order.
         let (map, live_ids) = self.purge_map();
-        self.base = self.live_builder(&map, &live_ids).build();
+        self.base = self.live_csr(&map, &live_ids);
         self.weights = self.weights.restrict(&live_ids);
         let live = live_ids.len();
         self.delta = vec![Vec::new(); live];
@@ -453,7 +454,7 @@ impl DynamicGraph {
     /// [`Self::compact`] + [`Self::csr`] in production paths, and
     /// [`Self::live_snapshot`] when dead ids must not appear at all).
     pub fn snapshot(&self) -> Graph {
-        self.merged_builder().build()
+        self.merged_csr()
     }
 
     /// Builds a CSR + weights over the **live** vertices only, renumbered
@@ -463,7 +464,7 @@ impl DynamicGraph {
     /// graph (e.g. the scratch GD leg of `stream_online`).
     pub fn live_snapshot(&self) -> (Graph, VertexWeights, Vec<VertexId>) {
         let (map, live_ids) = self.purge_map();
-        let graph = self.live_builder(&map, &live_ids).build();
+        let graph = self.live_csr(&map, &live_ids);
         (graph, self.weights.restrict(&live_ids), live_ids)
     }
 
@@ -482,41 +483,91 @@ impl DynamicGraph {
     }
 
     /// Every live edge, renumbered through a [`Self::purge_map`] — the one
-    /// build loop behind both the purging [`Self::compact`] and the
+    /// assembly loop behind both the purging [`Self::compact`] and the
     /// non-mutating [`Self::live_snapshot`], so the two can never diverge.
-    fn live_builder(&self, map: &[VertexId], live_ids: &[VertexId]) -> GraphBuilder {
-        let mut builder = GraphBuilder::with_edge_capacity(live_ids.len(), self.num_edges());
-        for &old_u in live_ids {
-            for old_v in self.neighbors(old_u) {
-                if old_u < old_v {
-                    debug_assert!(!self.dead[old_v as usize], "live edge to a dead vertex");
-                    builder.add_edge(map[old_u as usize], map[old_v as usize]);
-                }
-            }
-        }
-        builder
+    fn live_csr(&self, map: &[VertexId], live_ids: &[VertexId]) -> Graph {
+        self.assemble_csr(live_ids, |old_v| {
+            debug_assert!(!self.dead[old_v as usize], "live edge to a dead vertex");
+            map[old_v as usize]
+        })
     }
 
-    /// Base edges (minus tombstones) + delta edges in one builder, sized
-    /// for the full id space — dead vertices come out isolated.
-    fn merged_builder(&self) -> GraphBuilder {
-        let mut builder = GraphBuilder::with_edge_capacity(self.num_vertices(), self.num_edges());
-        for u in 0..self.base.num_vertices() {
-            let gone = &self.removed[u];
-            for &v in self.base.neighbors(u as VertexId) {
-                if (u as VertexId) < v && gone.binary_search(&v).is_err() {
-                    builder.add_edge(u as VertexId, v);
+    /// Base edges (minus tombstones) + delta edges over the full id space —
+    /// dead vertices come out isolated.
+    fn merged_csr(&self) -> Graph {
+        let all: Vec<VertexId> = (0..self.num_vertices() as VertexId).collect();
+        self.assemble_csr(&all, |v| v)
+    }
+
+    /// Assembles the live CSR over `order` (old ids, in output order,
+    /// neighbour ids translated through `map`) **without an edge sort**:
+    /// each vertex's surviving-base and delta lists are individually sorted
+    /// and mutually disjoint, so a per-vertex two-pointer merge emits the
+    /// adjacency already sorted — O(n + m) total where the former
+    /// edge-list builder paid O(m log m). Compactions run inside the
+    /// refine stage of the ingest hot path, so the sort was a measurable
+    /// slice of `refine_total_ms`. `map` must be monotone on the live
+    /// vertices (purge renumbering is), or the output adjacency would come
+    /// out unsorted — [`Graph::from_csr`] re-validates every invariant.
+    fn assemble_csr(&self, order: &[VertexId], map: impl Fn(VertexId) -> VertexId) -> Graph {
+        let mut offsets = Vec::with_capacity(order.len() + 1);
+        offsets.push(0usize);
+        let mut total = 0usize;
+        for &u in order {
+            total += self.degree(u);
+            offsets.push(total);
+        }
+        let mut targets = Vec::with_capacity(total);
+        for &u in order {
+            let base: &[VertexId] = if (u as usize) < self.base.num_vertices() {
+                self.base.neighbors(u)
+            } else {
+                &[]
+            };
+            let gone = &self.removed[u as usize];
+            let delta = &self.delta[u as usize];
+            let (mut bi, mut ri, mut di) = (0, 0, 0);
+            loop {
+                // Next surviving base neighbour; the tombstone cursor only
+                // ever advances because both lists are sorted.
+                let bnext = loop {
+                    if bi >= base.len() {
+                        break None;
+                    }
+                    let v = base[bi];
+                    while ri < gone.len() && gone[ri] < v {
+                        ri += 1;
+                    }
+                    if ri < gone.len() && gone[ri] == v {
+                        bi += 1;
+                        ri += 1;
+                    } else {
+                        break Some(v);
+                    }
+                };
+                match (bnext, delta.get(di).copied()) {
+                    (None, None) => break,
+                    (Some(b), None) => {
+                        targets.push(map(b));
+                        bi += 1;
+                    }
+                    (None, Some(d)) => {
+                        targets.push(map(d));
+                        di += 1;
+                    }
+                    (Some(b), Some(d)) => {
+                        if b < d {
+                            targets.push(map(b));
+                            bi += 1;
+                        } else {
+                            targets.push(map(d));
+                            di += 1;
+                        }
+                    }
                 }
             }
         }
-        for (u, adj) in self.delta.iter().enumerate() {
-            for &v in adj {
-                if (u as VertexId) < v {
-                    builder.add_edge(u as VertexId, v);
-                }
-            }
-        }
-        builder
+        Graph::from_csr(offsets, targets)
     }
 
     /// Serializes the full dynamic state — base CSR, delta adjacency, edge

@@ -11,15 +11,15 @@
 //! 2. **splits** the batch: updates apply to the graph in order —
 //!    tombstoning removed edges/vertices, releasing their capacity — but
 //!    arrivals are only collected, not placed
-//!    ([`crate::pipeline::SplitOutcome`]);
+//!    (`pipeline::SplitOutcome`);
 //! 3. **places speculatively**: fixed-size chunks of arrivals are scored
 //!    concurrently on the worker pool against a frozen load snapshot, each
 //!    chunk holding its own capacity reservations
-//!    ([`crate::pipeline::speculative_place`]);
+//!    (`pipeline::speculative_place`);
 //! 4. **repairs conflicts**: oversubscribed `(part, dimension)` slots are
 //!    detected after merging the chunk reservations, and the losers are
 //!    re-placed in stable arrival order
-//!    ([`crate::pipeline::conflict_repair`]) — so `threads = 1` and
+//!    (`pipeline::conflict_repair`) — so `threads = 1` and
 //!    `threads = N` produce byte-identical partitions by construction;
 //! 5. **commits** the assignments into the store and settles the deferred
 //!    edge accounting;
@@ -53,7 +53,7 @@ use crate::pipeline::{
 };
 use crate::store::PartitionStore;
 use crate::TOMBSTONE;
-use mdbgp_core::{parallel, GdConfig, GdPartitioner, PairOutcome};
+use mdbgp_core::{parallel, GdConfig, GdPartitioner, GdWorkspace, PairOutcome};
 use mdbgp_graph::{Graph, Partition, PartitionError, Partitioner, VertexId, VertexWeights};
 use mdbgp_obs::{MetricsRegistry, SpanNode, SpanTree};
 use std::time::Instant;
@@ -64,6 +64,9 @@ use std::time::Instant;
 /// `span.<path>_us` histograms are validated structurally (against the
 /// dump's own span section) and are not listed here. Keep sorted.
 pub const METRIC_ALLOWLIST: &[&str] = &[
+    "core.gd.frontier_mean",
+    "core.gd.grad_delta_iters",
+    "core.gd.grad_full_recomputes",
     "core.gd.grad_norm_decay_pct",
     "core.gd.last_grad_norm_first",
     "core.gd.last_grad_norm_last",
@@ -327,6 +330,13 @@ pub struct StreamingPartitioner {
     /// engine immediately journals a `snapshot.restore` event, so dumps
     /// are self-describing about the reset).
     obs: MetricsRegistry,
+    /// Per-worker GD iterate storage, reused across every pair of every
+    /// disjoint refine round and across batches (grown on demand to the
+    /// round's worker count). Pure scratch — **not** serialized into
+    /// snapshots; a restored engine re-grows an empty pool and produces
+    /// byte-identical results because a [`GdWorkspace`] carries no state
+    /// between solves.
+    workspaces: Vec<GdWorkspace>,
 }
 
 impl StreamingPartitioner {
@@ -382,6 +392,7 @@ impl StreamingPartitioner {
             refine_seed,
             id_epoch: 0,
             obs: MetricsRegistry::new(),
+            workspaces: Vec::new(),
         })
     }
 
@@ -404,6 +415,7 @@ impl StreamingPartitioner {
             refine_seed,
             id_epoch: 0,
             obs: MetricsRegistry::new(),
+            workspaces: Vec::new(),
         })
     }
 
@@ -696,6 +708,7 @@ impl StreamingPartitioner {
             refine_seed,
             id_epoch: info.id_epoch,
             obs,
+            workspaces: Vec::new(),
         })
     }
 
@@ -1269,9 +1282,23 @@ impl StreamingPartitioner {
                     .collect();
                 let graph = self.graph.csr();
                 let weights = self.graph.weights();
-                let outcomes = parallel::par_map(&round, self.cfg.threads, |i, &pair| {
-                    gd.refine_pair(graph, weights, &partition, pair, &frozen, seeds[i])
-                });
+                // One reusable GD workspace per worker: pairs of a round
+                // are claimed work-stealing style, each solve running in
+                // the claiming worker's workspace. Which worker serves
+                // which pair is scheduling-dependent, but a workspace
+                // carries no state between solves, so results (and hence
+                // BatchReports) stay thread-count independent.
+                let workers = self.cfg.threads.min(round.len()).max(1);
+                if self.workspaces.len() < workers {
+                    self.workspaces.resize_with(workers, GdWorkspace::default);
+                }
+                let outcomes = parallel::par_map_with(
+                    &round,
+                    &mut self.workspaces[..workers],
+                    |ws, i, &pair| {
+                        gd.refine_pair_with(ws, graph, weights, &partition, pair, &frozen, seeds[i])
+                    },
+                );
                 for outcome in outcomes {
                     let outcome = outcome?;
                     // Recorded at the deterministic round barrier (par_map
@@ -1279,6 +1306,20 @@ impl StreamingPartitioner {
                     // identical for threads = 1 and threads = N.
                     self.obs
                         .observe("core.gd.refine_iterations", outcome.gd.iterations as u64);
+                    self.obs.counter_add(
+                        "core.gd.grad_full_recomputes",
+                        outcome.gd.full_recomputes as u64,
+                    );
+                    self.obs.counter_add(
+                        "core.gd.grad_delta_iters",
+                        outcome.gd.delta_iterations as u64,
+                    );
+                    // Mean frontier size of the run — the histogram of
+                    // these means shows how much of each pair the
+                    // delta path actually had to touch.
+                    if let Some(mean) = outcome.gd.frontier_sum.checked_div(outcome.gd.iterations) {
+                        self.obs.observe("core.gd.frontier_mean", mean as u64);
+                    }
                     let outcome_counter = match outcome.outcome {
                         PairOutcome::Applied => "core.gd.pairs_applied",
                         PairOutcome::RejectedCut => "core.gd.pairs_rejected_cut",

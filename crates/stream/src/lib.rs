@@ -206,6 +206,15 @@
 //! concurrent read path will use (`span.ingest.refine_us` p99 vs the
 //! serving SLO).
 //!
+//! ## Further reading
+//!
+//! `docs/ARCHITECTURE.md` at the workspace root walks the whole stack —
+//! the crate map, this engine's six-stage batch lifecycle, the
+//! warm-start + delta-gradient GD design behind the refine stage, and
+//! the snapshot/id-epoch rules — and `docs/BENCHMARKS.md` specifies the
+//! perf-record format and the CI gates that hold the refine hot path to
+//! its committed baselines.
+//!
 //! ## Quickstart
 //!
 //! ```

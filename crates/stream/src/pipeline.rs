@@ -9,16 +9,16 @@
 //!    ingestion is all-or-nothing;
 //! 2. **split** — updates are applied to the [`crate::DynamicGraph`] in
 //!    order, but arrivals are *not* placed: they are collected as
-//!    [`PendingArrival`]s, and every store-side effect that touches a
-//!    pending arrival is parked in a [`DeferredEffect`] ledger (effects
+//!    `PendingArrival`s, and every store-side effect that touches a
+//!    pending arrival is parked in a `DeferredEffect` ledger (effects
 //!    between already-assigned vertices apply immediately, as before);
-//! 3. **speculative placement** ([`speculative_place`]) — arrivals are
+//! 3. **speculative placement** (`speculative_place`) — arrivals are
 //!    scored in fixed-size chunks against a frozen [`LoadSnapshot`], each
 //!    chunk holding its own capacity [`ReservationLedger`]; chunks run
 //!    concurrently on the worker pool, and because the chunk boundaries
 //!    depend only on the batch (never the thread count), the speculative
 //!    decisions are identical at any thread count;
-//! 4. **conflict repair** ([`conflict_repair`]) — chunk-local reservations
+//! 4. **conflict repair** (`conflict_repair`) — chunk-local reservations
 //!    are merged, oversubscribed `(part, dimension)` slots are detected,
 //!    and the losers (stable order: later arrival index evicts first,
 //!    earlier arrivals keep their slot) are re-placed sequentially with

@@ -22,7 +22,7 @@
 //! | offset | size | field                                                |
 //! |--------|------|------------------------------------------------------|
 //! | 0      | 8    | magic `b"MDBGPSNP"`                                  |
-//! | 8      | 4    | format version (`u32`, currently 1)                  |
+//! | 8      | 4    | format version (`u32`, currently 2)                  |
 //! | 12     | 8    | id epoch (`u64`, see below)                          |
 //! | 20     | 4    | part count `k` (`u32`)                               |
 //! | 24     | 4    | weight dimensions `d` (`u32`)                        |
@@ -88,8 +88,11 @@ use crate::engine::StreamConfig;
 /// First 8 bytes of every snapshot.
 pub const SNAPSHOT_MAGIC: [u8; 8] = *b"MDBGPSNP";
 
-/// Current (and only) snapshot format version.
-pub const SNAPSHOT_VERSION: u32 = 1;
+/// Current snapshot format version. Version 2 extended the serialized
+/// [`GdConfig`] with the delta-gradient fields (`grad_recompute_period`,
+/// `grad_check`); version-1 snapshots are rejected with
+/// [`SnapshotError::UnsupportedVersion`] — re-save from a live engine.
+pub const SNAPSHOT_VERSION: u32 = 2;
 
 /// Fixed header size in bytes (magic + version + epoch + k + dims +
 /// payload length + checksum).
@@ -674,6 +677,8 @@ fn encode_gd_config(w: &mut PayloadWriter, gd: &GdConfig) {
     w.put_usize(gd.final_projection_passes);
     w.put_usize(gd.threads);
     w.put_bool(gd.track_history);
+    w.put_usize(gd.grad_recompute_period);
+    w.put_bool(gd.grad_check);
 }
 
 fn decode_gd_config(r: &mut PayloadReader) -> Result<GdConfig, SnapshotError> {
@@ -720,6 +725,8 @@ fn decode_gd_config(r: &mut PayloadReader) -> Result<GdConfig, SnapshotError> {
         final_projection_passes: r.get_usize("gd.final_projection_passes")?,
         threads: r.get_usize("gd.threads")?,
         track_history: r.get_bool("gd.track_history")?,
+        grad_recompute_period: r.get_usize("gd.grad_recompute_period")?,
+        grad_check: r.get_bool("gd.grad_check")?,
     })
 }
 

@@ -27,6 +27,18 @@
 //!   latency histograms, RAII span timers and a bounded event journal,
 //!   with JSON and Prometheus-text exposition ([`mdbgp_obs`]).
 //!
+//! ## Documentation
+//!
+//! Two workspace-level documents complement the per-crate rustdoc:
+//!
+//! * `docs/ARCHITECTURE.md` — the crate map, the streaming engine's
+//!   six-stage batch lifecycle, the warm-start + delta-gradient GD
+//!   design, snapshot/id-epoch rules, and a paper-section → module
+//!   pointer table;
+//! * `docs/BENCHMARKS.md` — the perf-record format (v1–v5), what each CI
+//!   gate checks, machine-normalization rules, and the baseline refresh
+//!   procedure.
+//!
 //! ## Quickstart
 //!
 //! ```
