@@ -484,6 +484,10 @@ fn main() -> ExitCode {
         // work the sparse diff path absorbed.
         gd_full_recomputes: Some(gd_full),
         gd_delta_iters: Some(gd_delta),
+        // v6: serving-side fields belong to stream_serve records only;
+        // an ingest-only run has no reader threads to measure.
+        lookups_per_sec: None,
+        lookup_p99_us: None,
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

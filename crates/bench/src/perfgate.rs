@@ -130,6 +130,19 @@ pub struct PerfRecord {
     /// v5: gradient evaluations served by the sparse diff sweep
     /// (`core.gd.grad_delta_iters`; `None` on pre-v5 baselines).
     pub gd_delta_iters: Option<usize>,
+    /// v6: aggregate lookup throughput of the `stream_serve` reader
+    /// threads, lookups per second across the whole run (`None` on
+    /// pre-v6 baselines and on legs without a serving side, i.e. every
+    /// `stream_online` record). Informational — throughput divides by
+    /// reader count and machine speed, so the gate reads the normalized
+    /// p99 instead.
+    pub lookups_per_sec: Option<f64>,
+    /// v6: p99 lookup latency on the published-view read path,
+    /// microseconds (`None` on pre-v6 baselines). Gated
+    /// machine-normalized against the same-machine scratch solve, and
+    /// only when **both** records carry the field — a `stream_online`
+    /// baseline never engages the lookup gate.
+    pub lookup_p99_us: Option<f64>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -189,6 +202,12 @@ impl PerfRecord {
         }
         if let Some(d) = self.gd_delta_iters {
             let _ = writeln!(s, "  \"gd_delta_iters\": {d},");
+        }
+        if let Some(l) = self.lookups_per_sec {
+            let _ = writeln!(s, "  \"lookups_per_sec\": {l:.0},");
+        }
+        if let Some(l) = self.lookup_p99_us {
+            let _ = writeln!(s, "  \"lookup_p99_us\": {l:.3},");
         }
         if let Some(q) = &self.quantiles {
             let _ = writeln!(s, "  \"refine_iters_p50\": {:.3},", q.refine_iters_p50);
@@ -322,6 +341,13 @@ impl PerfRecord {
                 Ok(None)
             }
         };
+        let opt_num = |key: &str| -> Result<Option<f64>, String> {
+            if get(key).is_ok() {
+                num(key).map(Some)
+            } else {
+                Ok(None)
+            }
+        };
         Ok(Self {
             threads: num("threads")? as usize,
             churn: num_or_zero("churn")?,
@@ -361,6 +387,8 @@ impl PerfRecord {
             },
             gd_full_recomputes: opt_count("gd_full_recomputes")?,
             gd_delta_iters: opt_count("gd_delta_iters")?,
+            lookups_per_sec: opt_num("lookups_per_sec")?,
+            lookup_p99_us: opt_num("lookup_p99_us")?,
             batches,
         })
     }
@@ -385,6 +413,23 @@ pub const MIN_STAGE_MS: f64 = 1.0;
 /// accidentally quadratic serializer, a restore that re-solves instead of
 /// deserializing — cost multiples.
 pub const SNAPSHOT_REGRESSION: f64 = 1.0;
+
+/// Allowed regression of the machine-normalized p99 lookup latency
+/// (the `stream_serve` CI leg's committed bound). Wide like the other
+/// small-quantity bands: a single lookup is microseconds, so scheduler
+/// jitter moves the p99 proportionally more than it moves the totals —
+/// while the regressions this gate exists for (a lock on the lookup
+/// path, a re-pin per call, a view rebuilt per lookup) cost well over
+/// 2×.
+pub const LOOKUP_REGRESSION: f64 = 1.0;
+
+/// Floor (µs) a baseline p99 lookup latency is clamped to before the
+/// lookup gate compares. The serving histogram quantizes at microsecond
+/// resolution and a healthy lookup is tens of nanoseconds, so committed
+/// baselines routinely record a p99 of 0 — clamping (rather than
+/// disabling, as the stage gates do) keeps the gate armed against the
+/// regressions it exists for, which cost tens of microseconds.
+pub const MIN_LOOKUP_P99_US: f64 = 1.0;
 
 /// Gate verdict: `Err` carries the human-readable failure reasons.
 ///
@@ -416,7 +461,13 @@ pub const SNAPSHOT_REGRESSION: f64 = 1.0;
 ///   regressed more than `max_regression` → fail. Stage totals let one
 ///   pathological batch average away; the p99 catches the tail. Engaged
 ///   only when both records carry quantiles (v2/v3 baselines skip) and
-///   the baseline tail is ≥ [`MIN_STAGE_MS`].
+///   the baseline tail is ≥ [`MIN_STAGE_MS`];
+/// * the **p99 lookup latency** (v6, `stream_serve` only,
+///   machine-normalized like every other wall-clock gate) regressed
+///   more than [`LOOKUP_REGRESSION`] → fail. Engaged only when **both**
+///   records carry `lookup_p99_us` (pre-v6 and `stream_online`
+///   baselines skip); a sub-floor baseline tail is clamped to
+///   [`MIN_LOOKUP_P99_US`] rather than silencing the gate.
 pub fn check_regression(
     current: &PerfRecord,
     baseline: &PerfRecord,
@@ -551,6 +602,31 @@ pub fn check_regression(
             }
         }
     }
+    if let (Some(cur_p99), Some(base_p99)) = (current.lookup_p99_us, baseline.lookup_p99_us) {
+        // v6 serving gate: p99 lookup latency per unit of same-machine
+        // scratch-GD time. Both sides must carry the field — the gate
+        // never engages against a stream_online (or pre-v6) baseline.
+        // Unlike the stage gates, a sub-floor baseline *clamps* instead
+        // of disarming: a healthy read path measures 0 µs at histogram
+        // resolution, and a lock or per-call rebuild must still fire
+        // against that baseline.
+        let base_p99 = base_p99.max(MIN_LOOKUP_P99_US);
+        let cur_ratio = cur_p99 / current.scratch_total_ms.max(MIN_SCRATCH_MS);
+        let base_ratio = base_p99 / baseline.scratch_total_ms.max(MIN_SCRATCH_MS);
+        if cur_ratio > base_ratio * (1.0 + LOOKUP_REGRESSION) {
+            reasons.push(format!(
+                "lookup p99 regressed {:.0}% (limit {:.0}%): {:.1} µs ({:.6} normalized) \
+                 vs baseline {:.1} µs ({:.6}) — the published-view read path got slower \
+                 relative to the same-machine scratch solve",
+                (cur_ratio / base_ratio - 1.0) * 100.0,
+                LOOKUP_REGRESSION * 100.0,
+                cur_p99,
+                cur_ratio,
+                base_p99,
+                base_ratio,
+            ));
+        }
+    }
     if let (Some(cur), Some(base)) = (current.rebalance_full_scans, baseline.rebalance_full_scans) {
         // Deterministic for a fixed workload (seeded, thread-invariant),
         // so any increase is a real candidate-quality regression of the
@@ -638,6 +714,10 @@ mod tests {
             }),
             gd_full_recomputes: Some(40),
             gd_delta_iters: Some(360),
+            lookups_per_sec: Some(4.0e6),
+            // Time-valued like the stage totals: derives from `inc` so
+            // machine-speed cancellation holds for the lookup gate too.
+            lookup_p99_us: Some(inc * 0.4),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -982,6 +1062,71 @@ mod tests {
         assert!(PerfRecord::from_json(&corrupted)
             .unwrap_err()
             .contains("gd_delta_iters"));
+    }
+
+    #[test]
+    fn lookup_fields_round_trip_and_default_on_v5_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.lookups_per_sec, Some(4.0e6));
+        assert!((parsed.lookup_p99_us.unwrap() - 5.0).abs() < 1e-9);
+        // A v5 baseline (no serving keys) still parses: both None, the
+        // lookup gate stays off, and re-rendering emits neither key.
+        let v5 = r
+            .to_json()
+            .lines()
+            .filter(|l| !l.contains("lookup"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v5).unwrap();
+        assert_eq!(parsed.lookups_per_sec, None);
+        assert_eq!(parsed.lookup_p99_us, None);
+        assert!(!parsed.to_json().contains("lookup"));
+        assert!(check_regression(&r, &parsed, 0.30).is_ok());
+        // Present-but-malformed serving fields are an error, not None.
+        let corrupted = r
+            .to_json()
+            .replace("\"lookup_p99_us\": 5.000", "\"lookup_p99_us\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("lookup_p99_us"));
+    }
+
+    #[test]
+    fn gate_catches_lookup_p99_regression() {
+        let base = record(10.0, 600.0, true, 0.60); // lookup_p99 = 4.0 µs
+        let mut slow = record(10.0, 600.0, true, 0.60);
+        slow.lookup_p99_us = Some(12.0); // 3x the baseline, past the 2x band
+        let err = check_regression(&slow, &base, 0.30).unwrap_err();
+        assert!(err.contains("lookup p99 regressed"), "{err}");
+        // Inside the 2x band passes.
+        let mut ok = record(10.0, 600.0, true, 0.60);
+        ok.lookup_p99_us = Some(7.0);
+        assert!(check_regression(&ok, &base, 0.30).is_ok());
+        // Machine speed cancels: a 3x slower machine scales the lookup
+        // tail and the scratch denominator together.
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+        // Either side without the field (stream_online or pre-v6 record)
+        // → gate off, even when the other side regressed.
+        let mut legacy = record(10.0, 600.0, true, 0.60);
+        legacy.lookup_p99_us = None;
+        legacy.lookups_per_sec = None;
+        assert!(check_regression(&slow, &legacy, 0.30).is_ok());
+        assert!(check_regression(&legacy, &base, 0.30).is_ok());
+        // A sub-floor baseline (a healthy run measures p99 = 0 µs at
+        // histogram resolution) clamps to the floor instead of disarming:
+        // 12 µs against a clamped 1 µs baseline still fires…
+        let mut tiny = record(10.0, 600.0, true, 0.60);
+        tiny.lookup_p99_us = Some(0.0);
+        let err = check_regression(&slow, &tiny, 0.30).unwrap_err();
+        assert!(err.contains("lookup p99 regressed"), "{err}");
+        // …while staying inside the clamped band passes (0 µs vs 0 µs is
+        // the steady state of every healthy baseline comparison).
+        let mut still_fast = record(10.0, 600.0, true, 0.60);
+        still_fast.lookup_p99_us = Some(1.8);
+        assert!(check_regression(&still_fast, &tiny, 0.30).is_ok());
+        assert!(check_regression(&tiny, &tiny, 0.30).is_ok());
     }
 
     #[test]

@@ -159,6 +159,87 @@ impl Histogram {
 }
 
 // ---------------------------------------------------------------------------
+// Shared (thread-safe) histogram
+// ---------------------------------------------------------------------------
+
+/// Lock-free, multi-writer companion to [`Histogram`] for recording from
+/// concurrent readers (e.g. serving-path lookup latency): every recording
+/// call is a handful of relaxed atomic adds on a `&self` receiver, so it
+/// can sit behind an `Arc` shared across threads while the single-threaded
+/// [`MetricsRegistry`] stays lock-free on its owner's side.
+///
+/// [`Self::snapshot`] materializes a plain [`Histogram`] for
+/// [`MetricsRegistry::histogram_set`]. The snapshot is not a linearizable
+/// cut under concurrent writes — bucket counts, sum and max are read
+/// independently — but each is monotone, and `count` is derived from the
+/// bucket sum so the quantile walk is always internally consistent (the
+/// summary's `p50 ≤ p99 ≤ max` invariant cannot tear).
+#[derive(Debug)]
+pub struct SharedHistogram {
+    buckets: [std::sync::atomic::AtomicU64; HISTOGRAM_BUCKETS],
+    sum: std::sync::atomic::AtomicU64,
+    max: std::sync::atomic::AtomicU64,
+}
+
+impl Default for SharedHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SharedHistogram {
+    pub fn new() -> Self {
+        use std::sync::atomic::AtomicU64;
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation. Safe to call from any number of threads.
+    pub fn observe(&self, v: u64) {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.buckets[Histogram::bucket_of(v)].fetch_add(1, Relaxed);
+        // Saturate like `Histogram::observe` (fetch_add would wrap): CAS
+        // loop, effectively uncontended at serving-path rates.
+        let mut cur = self.sum.load(Relaxed);
+        loop {
+            let next = cur.saturating_add(v);
+            match self.sum.compare_exchange_weak(cur, next, Relaxed, Relaxed) {
+                Ok(_) => break,
+                Err(seen) => cur = seen,
+            }
+        }
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Observations recorded so far (sum of bucket counts).
+    pub fn count(&self) -> u64 {
+        use std::sync::atomic::Ordering::Relaxed;
+        self.buckets.iter().map(|b| b.load(Relaxed)).sum()
+    }
+
+    /// Materializes the current state as a plain [`Histogram`], suitable
+    /// for [`MetricsRegistry::histogram_set`].
+    pub fn snapshot(&self) -> Histogram {
+        use std::sync::atomic::Ordering::Relaxed;
+        // Max before buckets: if a racing observe lands between the two
+        // reads, the stale (smaller) max clamps the quantiles — still
+        // monotone — instead of a too-new max exceeding the bucket walk.
+        let max = self.max.load(Relaxed);
+        let mut h = Histogram::default();
+        for (slot, bucket) in h.buckets.iter_mut().zip(&self.buckets) {
+            *slot = bucket.load(Relaxed);
+        }
+        h.count = h.buckets.iter().sum();
+        h.sum = self.sum.load(Relaxed);
+        h.max = max;
+        h
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Span tree
 // ---------------------------------------------------------------------------
 
@@ -432,6 +513,21 @@ impl MetricsRegistry {
         }
         match self.entry(name, || MetricValue::Histogram(Box::default())) {
             MetricValue::Histogram(h) => h.observe(value),
+            _ => panic!("metric {name:?} is not a histogram"),
+        }
+    }
+
+    /// Overwrites histogram `name` with an externally maintained state —
+    /// the histogram analogue of [`Self::counter_set`], used to mirror a
+    /// [`SharedHistogram`] recorded outside the registry (e.g. by serving
+    /// threads) into the single-threaded dump. The source is authoritative:
+    /// call with `shared.snapshot()` at sync points.
+    pub fn histogram_set(&mut self, name: &str, value: &Histogram) {
+        if !self.enabled {
+            return;
+        }
+        match self.entry(name, || MetricValue::Histogram(Box::default())) {
+            MetricValue::Histogram(h) => **h = value.clone(),
             _ => panic!("metric {name:?} is not a histogram"),
         }
     }
@@ -1129,5 +1225,55 @@ mod tests {
         assert_eq!(json_f64(2.0), "2.0");
         assert_eq!(json_f64(f64::NAN), "null");
         assert_eq!(json_f64(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn shared_histogram_matches_plain_histogram() {
+        let shared = SharedHistogram::new();
+        let mut plain = Histogram::default();
+        for v in [0u64, 1, 3, 7, 120, 120, 4096, u64::MAX] {
+            shared.observe(v);
+            plain.observe(v);
+        }
+        assert_eq!(shared.count(), plain.count());
+        let snap = shared.snapshot();
+        assert_eq!(snap.summary(), plain.summary());
+    }
+
+    #[test]
+    fn shared_histogram_records_from_many_threads() {
+        let shared = SharedHistogram::new();
+        std::thread::scope(|scope| {
+            for t in 0..4u64 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    for i in 0..1000u64 {
+                        shared.observe(t * 1000 + i);
+                    }
+                });
+            }
+        });
+        let snap = shared.snapshot();
+        assert_eq!(snap.count(), 4000);
+        assert_eq!(snap.max(), 3999);
+        assert_eq!(snap.sum(), (0..4000u64).sum::<u64>());
+    }
+
+    #[test]
+    fn histogram_set_mirrors_external_state() {
+        let shared = SharedHistogram::new();
+        shared.observe(10);
+        shared.observe(500);
+        let mut r = MetricsRegistry::new();
+        r.histogram_set("stream.store.lookup_us", &shared.snapshot());
+        let s = r.summary("stream.store.lookup_us").unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.max, 500);
+        // Set semantics: a later sync overwrites, never accumulates.
+        shared.observe(9000);
+        r.histogram_set("stream.store.lookup_us", &shared.snapshot());
+        let s = r.summary("stream.store.lookup_us").unwrap();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.max, 9000);
     }
 }

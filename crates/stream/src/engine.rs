@@ -97,7 +97,10 @@ pub const METRIC_ALLOWLIST: &[&str] = &[
     "stream.snapshot.saves",
     "stream.store.heap_pops",
     "stream.store.live_vertices",
+    "stream.store.lookup_us",
     "stream.store.lookups",
+    "stream.store.stale_epoch_reads",
+    "stream.store.view_swaps",
 ];
 
 /// Configuration of the streaming subsystem.
@@ -318,6 +321,12 @@ pub struct StreamingPartitioner {
     /// [`Self::take_remap`] (drained into [`BatchReport::remap`] by
     /// `ingest`).
     pending_remap: Option<Vec<VertexId>>,
+    /// Like `pending_remap`, but drained at every **view publication**
+    /// instead of every report: the old→new map composed since the
+    /// previous published view, carried by the next one so readers can
+    /// translate pinned ids across the purge. The two drains happen at
+    /// different times, hence two composition chains over the same maps.
+    view_remap: Option<Vec<VertexId>>,
     telemetry: StreamTelemetry,
     batches_since_refine: usize,
     refine_seed: u64,
@@ -387,6 +396,7 @@ impl StreamingPartitioner {
             store,
             dirty: vec![false; n],
             pending_remap: None,
+            view_remap: None,
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
@@ -410,6 +420,7 @@ impl StreamingPartitioner {
             ),
             dirty: Vec::new(),
             pending_remap: None,
+            view_remap: None,
             telemetry: StreamTelemetry::default(),
             batches_since_refine: 0,
             refine_seed,
@@ -466,6 +477,16 @@ impl StreamingPartitioner {
         self.obs
             .counter_set("stream.store.lookups", self.store.lookup_count());
         self.obs
+            .counter_set("stream.store.view_swaps", self.store.view_swap_count());
+        self.obs.counter_set(
+            "stream.store.stale_epoch_reads",
+            self.store.stale_epoch_read_count(),
+        );
+        let lookup_us = self.store.lookup_latency();
+        if lookup_us.count() > 0 {
+            self.obs.histogram_set("stream.store.lookup_us", &lookup_us);
+        }
+        self.obs
             .counter_set("stream.store.heap_pops", self.store.heap_pop_count());
         self.obs.counter_set(
             "stream.store.live_vertices",
@@ -482,6 +503,19 @@ impl StreamingPartitioner {
     /// up in `stream.store.lookups`.
     pub fn shard_of(&self, v: VertexId) -> u32 {
         self.store.shard_of_counted(v)
+    }
+
+    /// A [`crate::ReadHandle`] pinned to the latest published view — the
+    /// entry point for serving threads: handles answer lock-free lookups
+    /// concurrently with `ingest` and stay valid (on their pinned view)
+    /// even if the engine drops.
+    pub fn reader(&self) -> crate::ReadHandle {
+        self.store.reader()
+    }
+
+    /// The latest published [`crate::ReadView`] (one `Arc` clone).
+    pub fn read_view(&self) -> std::sync::Arc<crate::ReadView> {
+        self.store.read_view()
     }
 
     /// Current partition snapshot (O(n)). Panics while removed-but-unpurged
@@ -508,6 +542,10 @@ impl StreamingPartitioner {
     /// safe to call again.
     pub fn purge(&mut self) -> Option<Vec<VertexId>> {
         self.compact_graph();
+        // The purge renumbered the id space out-of-band of any batch:
+        // publish immediately so readers never pin a pre-purge assignment
+        // longer than necessary (the view carries the composed remap).
+        self.publish_view();
         self.take_remap()
     }
 
@@ -697,19 +735,43 @@ impl StreamingPartitioner {
             "snapshot.restore",
             &[("epoch", info.id_epoch as f64), ("n", n as f64)],
         );
-        Ok(Self {
+        let mut engine = Self {
             cfg,
             graph,
             store,
             dirty,
             pending_remap,
+            // A restored engine publishes a fresh view #0 below; whatever
+            // remap the *saving* engine had pending belongs to report
+            // consumers (`pending_remap`), not to view readers — their
+            // handles died with the saving process.
+            view_remap: None,
             telemetry,
             batches_since_refine,
             refine_seed,
             id_epoch: info.id_epoch,
             obs,
             workspaces: Vec::new(),
-        })
+        };
+        // Restore publishes view #0 of this process: readers attaching to
+        // the restored engine immediately see the restored assignment at
+        // the restored `(id_epoch, batch_seq)` stamp.
+        engine.publish_view();
+        Ok(engine)
+    }
+
+    /// Publishes the current store state as an immutable [`crate::ReadView`]
+    /// stamped with the engine's id epoch and batch count, carrying the
+    /// purge remap composed since the previous published view. Called at
+    /// every batch boundary (end of `ingest`, after `refine_now`, after
+    /// `purge`) and once on restore.
+    fn publish_view(&mut self) {
+        let epoch = crate::ViewEpoch {
+            id_epoch: self.id_epoch,
+            batch_seq: self.telemetry.batches as u64,
+        };
+        let remap = self.view_remap.take();
+        self.store.publish_view(epoch, remap);
     }
 
     /// Compacts the dynamic graph and, when the compaction purged
@@ -747,20 +809,26 @@ impl StreamingPartitioner {
             "compact.purge",
             &[("live", n_new as f64), ("epoch", self.id_epoch as f64)],
         );
-        self.pending_remap = Some(match self.pending_remap.take() {
-            None => map,
-            // Two purges since the last drain: compose old→mid→new.
-            Some(prev) => prev
-                .iter()
-                .map(|&mid| {
-                    if mid == TOMBSTONE {
-                        TOMBSTONE
-                    } else {
-                        map[mid as usize]
-                    }
-                })
-                .collect(),
-        });
+        // Compose old→mid→new when several purges happened since a drain.
+        let compose = |prev: Option<Vec<VertexId>>| -> Vec<VertexId> {
+            match prev {
+                None => map.clone(),
+                Some(prev) => prev
+                    .iter()
+                    .map(|&mid| {
+                        if mid == TOMBSTONE {
+                            TOMBSTONE
+                        } else {
+                            map[mid as usize]
+                        }
+                    })
+                    .collect(),
+            }
+        };
+        // Two independent chains over the same maps: reports drain at
+        // `take_remap`, views at `publish_view` — different boundaries.
+        self.pending_remap = Some(compose(self.pending_remap.take()));
+        self.view_remap = Some(compose(self.view_remap.take()));
     }
 
     /// Stage 1 — validates a whole batch against the current state without
@@ -891,10 +959,15 @@ impl StreamingPartitioner {
 
         let (mut parts, reservations, snapshot, caps) = {
             let _s = spans.span("place");
+            // Fetched through the store's cache: on a pure-topology batch
+            // this is the allocation the last published view already
+            // shares, not a rebuild.
+            let snapshot = self.store.load_snapshot();
             speculative_place(
                 &self.graph,
                 &self.store,
                 &split,
+                snapshot,
                 self.cfg.epsilon,
                 self.cfg.threads,
             )
@@ -989,6 +1062,12 @@ impl StreamingPartitioner {
                 refine_moves,
             )
         };
+
+        // Commit + refine are done: publish this batch's view. Readers
+        // re-pinning from here on see the post-batch assignment (stamped
+        // with this batch's sequence number) atomically — never the
+        // intermediate states the stages above moved through.
+        self.publish_view();
 
         // Arrival ids, expressed in the final id space of this report: a
         // purge during this ingest (compaction or refinement) renumbered
@@ -1202,6 +1281,9 @@ impl StreamingPartitioner {
         for root in spans.snapshot() {
             self.obs.absorb_spans(&root);
         }
+        // A direct refinement is a batch boundary of its own: readers get
+        // the refined assignment (and any purge remap) atomically.
+        self.publish_view();
         result
     }
 
@@ -2447,6 +2529,7 @@ mod tests {
         let report = sp.ingest(&drift).unwrap();
         assert!(report.refined, "drift workload must exercise refinement");
         let _ = sp.shard_of(0); // exercise the counted lookup path
+        let _ = sp.reader().lookup(0); // and the published-view path
 
         let t = sp.telemetry().clone();
         let m = sp.metrics();
@@ -2461,8 +2544,12 @@ mod tests {
         );
         assert_eq!(m.counter("stream.refine.passes"), t.refinements as u64);
         assert_eq!(m.counter("stream.refine.gd_moves"), t.refine_moves as u64);
-        assert!(m.counter("stream.store.lookups") >= 1);
+        assert!(m.counter("stream.store.lookups") >= 2);
         assert!(m.counter("stream.store.heap_pops") >= 1);
+        assert_eq!(m.counter("stream.store.view_swaps"), t.batches as u64);
+        assert_eq!(m.counter("stream.store.stale_epoch_reads"), 0);
+        let lookup_us = m.summary("stream.store.lookup_us").expect("histogram");
+        assert!(lookup_us.count >= 1);
 
         // GD convergence trace: refinement ran, so the iteration
         // histogram has observations and the grad-norm gauges are set.
@@ -2498,5 +2585,96 @@ mod tests {
         quiet.ingest(&b2).unwrap();
         assert_eq!(quiet.metrics().counter("stream.ingest.batches"), 0);
         assert_eq!(quiet.metrics().journal_len(), 0);
+    }
+
+    #[test]
+    fn views_publish_per_batch_and_edge_batches_reuse_the_snapshot() {
+        let (g, w) = community(400, 30);
+        let mut sp = StreamingPartitioner::bootstrap(g, w, fast_cfg(2, 0.05)).unwrap();
+        // Bootstrap seeds an uncounted view at (0, 0).
+        let seed = sp.read_view();
+        assert_eq!(seed.epoch(), crate::ViewEpoch::default());
+        assert_eq!(sp.store().view_swap_count(), 0);
+        let mut h = sp.reader();
+
+        let mut batch = UpdateBatch::new();
+        batch.add_vertex(vec![1.0, 2.0], vec![0, 1]);
+        let report = sp.ingest(&batch).unwrap();
+        assert_eq!(sp.store().view_swap_count(), 1);
+        assert!(h.refresh(), "ingest published a new view");
+        let v1 = h.view().clone();
+        assert_eq!(
+            v1.epoch(),
+            crate::ViewEpoch {
+                id_epoch: 0,
+                batch_seq: 1
+            }
+        );
+        // The published view is exactly the post-batch assignment.
+        assert_eq!(v1.as_slice(), sp.store().as_slice());
+        let arrival = report.arrival_ids[0];
+        assert_eq!(h.lookup(arrival), Some(sp.shard_of(arrival)));
+        assert!(v1.verify_checksum());
+
+        // Regression (the per-batch reallocation bug): a batch that only
+        // touches topology — loads unchanged — must publish without
+        // rebuilding the LoadSnapshot allocation.
+        let rebuilds = sp.store().snapshot_rebuild_count();
+        let mut edges = UpdateBatch::new();
+        edges.add_edge(2, 3).add_edge(5, 9);
+        sp.ingest(&edges).unwrap();
+        assert_eq!(
+            sp.store().snapshot_rebuild_count(),
+            rebuilds,
+            "edge-only batch rebuilt the load snapshot"
+        );
+        h.refresh();
+        assert!(
+            h.view().load_snapshot().shares_storage(v1.load_snapshot()),
+            "consecutive views over unchanged loads must share one allocation"
+        );
+        assert_eq!(h.view().epoch().batch_seq, 2);
+    }
+
+    #[test]
+    fn purge_publishes_a_view_carrying_the_composed_remap() {
+        let (g, w) = community(300, 31);
+        let mut cfg = fast_cfg(2, 0.1);
+        cfg.compact_slack = 10.0; // no automatic compaction
+        let mut sp = StreamingPartitioner::bootstrap(g, w, cfg).unwrap();
+        let mut h = sp.reader();
+        let mut batch = UpdateBatch::new();
+        for v in 0..20u32 {
+            batch.remove_vertex(v);
+        }
+        sp.ingest(&batch).unwrap();
+        h.refresh();
+        assert!(!h.needs_adoption(), "no purge yet: same id epoch");
+        assert_eq!(h.lookup(5), None, "tombstoned id answers None");
+
+        let remap = sp.purge().expect("tombstones pending, purge must remap");
+        h.refresh();
+        assert!(h.needs_adoption(), "purge crossed an id epoch");
+        assert_eq!(h.view().epoch().id_epoch, 1);
+        assert_eq!(
+            h.view().remap().expect("purge view carries its remap"),
+            remap.as_slice(),
+            "view remap and report remap are the same map"
+        );
+        h.adopt();
+        // Translated ids answer the engine's own assignment.
+        let old = 25u32;
+        let new = remap[old as usize];
+        assert_ne!(new, TOMBSTONE);
+        assert_eq!(h.lookup(new), Some(sp.shard_of(new)));
+        assert_eq!(sp.store().stale_epoch_read_count(), 0);
+
+        // The next plain batch publishes without a remap again.
+        let mut b2 = UpdateBatch::new();
+        b2.add_edge(1, 2);
+        sp.ingest(&b2).unwrap();
+        h.refresh();
+        assert!(h.view().remap().is_none());
+        assert!(!h.needs_adoption());
     }
 }

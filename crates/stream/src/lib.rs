@@ -23,10 +23,15 @@
 //!   `GdPartitioner::refine_pair`) with unchanged vertices frozen, so a
 //!   batch of updates is absorbed by a few cheap iterations ([`engine`],
 //!   [`pipeline`]);
-//! * [`PartitionStore`] — the serving layer: O(1) vertex→shard lookups,
-//!   per-part multi-dimensional loads, live imbalance / locality telemetry
-//!   — plus the per-`(part, dimension)` **rebalance heaps** that give the
-//!   greedy rebalance its O(log n)-per-move candidate queue ([`store`]).
+//! * [`PartitionStore`] — the engine's write side: per-part
+//!   multi-dimensional loads, live imbalance / locality telemetry, and the
+//!   per-`(part, dimension)` **rebalance heaps** that give the greedy
+//!   rebalance its O(log n)-per-move candidate queue ([`store`]);
+//! * [`ReadView`] / [`ReadHandle`] — the serving layer: an immutable,
+//!   epoch-stamped view of the assignment published atomically at every
+//!   batch boundary, pinned by reader threads with one atomic probe and
+//!   served lock-free, concurrently with ingest ([`store`] and the *Read
+//!   path* notes below).
 //!
 //! ## Deletions
 //!
@@ -158,8 +163,12 @@
 //!    part ranges instead (only engaged for large `k`, where it amortizes
 //!    the spawn).
 //!
-//! The serving path ([`PartitionStore::shard_of`] etc.) is untouched by
-//! all of this: reads stay plain O(1) loads with no synchronization.
+//! The serving path is structurally outside the pool: reader threads hold
+//! [`ReadHandle`]s onto immutable published [`ReadView`]s and answer
+//! lookups lock-free **while** any of the sections above run — the only
+//! synchronization is one atomic sequence probe per lookup loop (and a
+//! short re-pin lock once per publish). See *Read path & epoch
+//! publication* in `docs/ARCHITECTURE.md`.
 //!
 //! ## Observability
 //!
@@ -202,9 +211,13 @@
 //!   `snapshot.restore` event, so dumps are self-describing about the
 //!   reset.
 //!
-//! The p99 span histograms double as the gating hooks the planned
-//! concurrent read path will use (`span.ingest.refine_us` p99 vs the
-//! serving SLO).
+//! The serving read path reports through the same registry: reader
+//! handles tick shared atomic counters (`stream.store.lookups`,
+//! `stream.store.stale_epoch_reads`) and a lock-free latency histogram
+//! (`stream.store.lookup_us`) that the engine mirrors into the registry
+//! at sync points; `stream.store.view_swaps` counts view publications.
+//! The `stream_serve` bench gates `lookup_p99_us` against a committed
+//! baseline in CI (see `docs/BENCHMARKS.md`).
 //!
 //! ## Further reading
 //!
@@ -283,4 +296,4 @@ pub use mdbgp_obs::{
 pub use pipeline::{StageTimings, SPECULATIVE_CHUNK};
 pub use placement::{LdgPlacer, LoadView, ReservationLedger, ReservedView};
 pub use snapshot::{SnapshotError, SnapshotExpectation, SnapshotInfo};
-pub use store::{LoadSnapshot, PartitionStore};
+pub use store::{LoadSnapshot, PartitionStore, ReadHandle, ReadView, ViewEpoch};

@@ -168,24 +168,25 @@ fn count_neighbors(
 }
 
 /// Stage 3 — speculative parallel placement. Chunks of arrivals are placed
-/// concurrently against the frozen `snapshot`; each chunk reserves
-/// capacity locally and sees the speculative parts of its *own* earlier
-/// arrivals (chunk-local affinity), never another chunk's. Returns the
-/// chosen part per arrival ([`TOMBSTONE`] for one removed in its own
-/// batch), the merged reservations of every chunk (the repair stage's
-/// starting global view), the snapshot, and the batch-wide per-dimension
-/// capacities `(1 + ε) · (frozen total + arriving weight) / k` that
-/// stages 3–4 share.
+/// concurrently against the frozen `snapshot` (pre-fetched by the engine —
+/// under the snapshot cache it is typically the exact allocation the last
+/// published [`crate::ReadView`] carries); each chunk reserves capacity
+/// locally and sees the speculative parts of its *own* earlier arrivals
+/// (chunk-local affinity), never another chunk's. Returns the chosen part
+/// per arrival ([`TOMBSTONE`] for one removed in its own batch), the
+/// merged reservations of every chunk (the repair stage's starting global
+/// view), the snapshot, and the batch-wide per-dimension capacities
+/// `(1 + ε) · (frozen total + arriving weight) / k` that stages 3–4 share.
 pub(crate) fn speculative_place(
     graph: &DynamicGraph,
     store: &PartitionStore,
     split: &SplitOutcome,
+    snapshot: LoadSnapshot,
     epsilon: f64,
     threads: usize,
 ) -> (Vec<u32>, ReservationLedger, LoadSnapshot, Vec<f64>) {
     let k = store.num_parts();
     let dims = graph.weights().dims();
-    let snapshot = store.load_snapshot();
     let mut caps: Vec<f64> = (0..dims).map(|j| snapshot.total(j)).collect();
     for a in split.arrivals.iter().filter(|a| !a.dead) {
         for (j, &w) in a.row.iter().enumerate() {

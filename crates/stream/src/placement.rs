@@ -340,7 +340,7 @@ mod tests {
     fn reservations_count_against_capacity() {
         // Speculative scoring: a chunk's own reservations must eat into
         // the frozen snapshot's headroom exactly like committed load.
-        let store = unit_store();
+        let mut store = unit_store();
         let snapshot = store.load_snapshot();
         let mut ledger = ReservationLedger::new(2, 1);
         let placer = LdgPlacer::new(0.05);

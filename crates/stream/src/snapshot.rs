@@ -71,6 +71,17 @@
 //! with [`SnapshotError::StaleEpoch`] instead of silently serving wrong
 //! shards.
 //!
+//! ## Serving views after restore
+//!
+//! The snapshot payload itself is unchanged by the epoch-published read
+//! path: no [`crate::ReadView`] state is serialized. Instead, a restoring
+//! engine *publishes* view #0 as its final construction step, stamped
+//! with the restored `(id_epoch, batches)` — exactly the stamp of the
+//! saver's last published view — so serving threads attaching to a
+//! warm-restarted replica pin the same epoch-stamped assignment the
+//! saver's readers were pinned to (asserted by `proptest_snapshot`
+//! alongside the byte-identical-report guarantee).
+//!
 //! ## Failure model
 //!
 //! `restore` is all-or-nothing: every rejection — bad magic, unsupported

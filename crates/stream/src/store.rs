@@ -54,11 +54,30 @@
 //! drained part sees no further pushes, so the ratio trigger alone would
 //! leak its stale entries until process end), so maintenance stays
 //! amortized O(d·log n) per mutation.
+//!
+//! ## Read path: epoch-stamped published views
+//!
+//! Everything above is the **write side** — engine-private mutable state.
+//! Concurrent serving never touches it. At every batch boundary the engine
+//! publishes an immutable [`ReadView`] — the frozen assignment vector, the
+//! [`LoadSnapshot`] and the purge remap composed since the previous view —
+//! stamped with a [`ViewEpoch`] `(id_epoch, batch_seq)`. [`ReadHandle`]s
+//! (from [`PartitionStore::reader`]) pin the latest view with one relaxed
+//! atomic probe and serve lock-free lookups from the pinned allocation, so
+//! a reader fleet runs at full speed while the engine commits and refines.
+//! Purge remaps are only ever observed at a pin switch (*swap-on-remap*):
+//! a pinned view is internally consistent by construction, and the remap
+//! it carries tells the reader how to translate ids it held against the
+//! previous epoch. See the "Read path & epoch publication" section of
+//! `docs/ARCHITECTURE.md` for the full lifecycle.
 
 use crate::TOMBSTONE;
 use mdbgp_graph::{Partition, VertexId, VertexWeights};
+use mdbgp_obs::{Histogram, SharedHistogram};
 use std::collections::BinaryHeap;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
 
 /// One candidate in a per-`(part, dimension)` rebalance heap: vertex `v`
 /// had weight `key` in that dimension at stamp `stamp`. Stale entries
@@ -94,10 +113,22 @@ impl Ord for HeapEntry {
 
 /// A frozen copy of the per-`(part, dimension)` loads and the live
 /// per-dimension totals — what the speculative placement stage scores
-/// against while the real store stays untouched until commit. Plain owned
-/// data: cloning the store's accounting without its heaps/stamps.
+/// against while the real store stays untouched until commit, and the
+/// accounting half of every published [`ReadView`].
+///
+/// `Arc`-backed: cloning shares one immutable allocation, so handing the
+/// snapshot to placement workers (or embedding it in a view) is O(1). The
+/// store caches the allocation and only rebuilds it after a load/total
+/// mutation — consecutive pure-topology batches reuse the exact snapshot
+/// the last view published ([`PartitionStore::snapshot_rebuild_count`]
+/// regression-tests this).
 #[derive(Clone, Debug, PartialEq)]
 pub struct LoadSnapshot {
+    inner: Arc<SnapshotInner>,
+}
+
+#[derive(Debug, PartialEq)]
+struct SnapshotInner {
     k: usize,
     dims: usize,
     loads: Vec<f64>,
@@ -108,25 +139,295 @@ impl LoadSnapshot {
     /// Number of parts.
     #[inline]
     pub fn num_parts(&self) -> usize {
-        self.k
+        self.inner.k
     }
 
     /// Number of weight dimensions.
     #[inline]
     pub fn dims(&self) -> usize {
-        self.dims
+        self.inner.dims
     }
 
     /// Frozen load of part `p` in dimension `j`.
     #[inline]
     pub fn load(&self, p: u32, j: usize) -> f64 {
-        self.loads[p as usize * self.dims + j]
+        self.inner.loads[p as usize * self.inner.dims + j]
     }
 
     /// Frozen live total of dimension `j`.
     #[inline]
     pub fn total(&self, j: usize) -> f64 {
-        self.totals[j]
+        self.inner.totals[j]
+    }
+
+    /// True when both snapshots share one underlying allocation — i.e. no
+    /// rebuild happened between taking them (the hook the reuse-on-publish
+    /// regression test asserts on).
+    #[inline]
+    pub fn shares_storage(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.inner, &other.inner)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Published read views
+// ---------------------------------------------------------------------------
+
+/// Version stamp of a published [`ReadView`]: which purge generation its
+/// vertex ids belong to, and how many batches the engine had ingested when
+/// it was published. Ordered lexicographically — `(id_epoch, batch_seq)`
+/// both only ever grow.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ViewEpoch {
+    /// Purge generation of the id space the view's slots are indexed in
+    /// (mirrors [`crate::StreamingPartitioner::id_epoch`]).
+    pub id_epoch: u64,
+    /// Batches the engine had ingested when the view was published.
+    pub batch_seq: u64,
+}
+
+/// One immutable published state of the partition: the vertex→part
+/// assignment, the frozen [`LoadSnapshot`], and — when a purge happened
+/// since the previous view — the composed old→new id remap. Readers get
+/// views through a [`ReadHandle`]; the engine publishes one per batch at
+/// the end of commit/refine.
+///
+/// A view is never mutated after publication (all fields are private and
+/// behind an `Arc`), so any number of threads can read it without
+/// synchronization; `verify_checksum` lets a paranoid reader prove that
+/// empirically.
+#[derive(Debug)]
+pub struct ReadView {
+    epoch: ViewEpoch,
+    /// Assignment at publication; [`TOMBSTONE`] marks a released slot.
+    parts: Vec<u32>,
+    snapshot: LoadSnapshot,
+    /// Old→new id map from the *previous published view's* id space into
+    /// this one — present iff a purge happened between the two views, and
+    /// composed across purges if several did. [`TOMBSTONE`] = dropped.
+    remap: Option<Arc<Vec<u32>>>,
+    /// FNV-1a over the epoch and the assignment vector, fixed at publish.
+    checksum: u64,
+}
+
+impl ReadView {
+    /// The `(id_epoch, batch_seq)` stamp of this view.
+    #[inline]
+    pub fn epoch(&self) -> ViewEpoch {
+        self.epoch
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.snapshot.num_parts()
+    }
+
+    /// Size of the view's vertex-id space (tombstoned slots included).
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.parts.len()
+    }
+
+    /// Shard of `v` in this view, or `None` when `v` is outside the
+    /// view's id space or tombstoned — the forgiving accessor for readers
+    /// holding ids that may predate the view.
+    #[inline]
+    pub fn get(&self, v: VertexId) -> Option<u32> {
+        match self.parts.get(v as usize) {
+            Some(&p) if p != TOMBSTONE => Some(p),
+            _ => None,
+        }
+    }
+
+    /// O(1) shard lookup, [`TOMBSTONE`] for a released slot. Panics when
+    /// `v` is outside the view's id space (use [`Self::get`] across
+    /// epochs).
+    #[inline]
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        self.parts[v as usize]
+    }
+
+    /// Raw assignment slice of the view.
+    #[inline]
+    pub fn as_slice(&self) -> &[u32] {
+        &self.parts
+    }
+
+    /// The frozen load/total accounting published with the view.
+    #[inline]
+    pub fn load_snapshot(&self) -> &LoadSnapshot {
+        &self.snapshot
+    }
+
+    /// Old→new remap from the previous published view's id space, present
+    /// iff that view's `id_epoch` differs from this one.
+    #[inline]
+    pub fn remap(&self) -> Option<&[u32]> {
+        self.remap.as_deref().map(Vec::as_slice)
+    }
+
+    /// Recomputes the publish-time checksum; `false` would mean the
+    /// immutable view was somehow observed torn or corrupted. The stress
+    /// tests call this on every pin and assert it never fails.
+    pub fn verify_checksum(&self) -> bool {
+        view_checksum(self.epoch, &self.parts) == self.checksum
+    }
+}
+
+/// FNV-1a over the epoch stamp and the assignment vector.
+fn view_checksum(epoch: ViewEpoch, parts: &[u32]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |word: u64| {
+        for b in word.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    mix(epoch.id_epoch);
+    mix(epoch.batch_seq);
+    mix(parts.len() as u64);
+    for &p in parts {
+        mix(p as u64);
+    }
+    h
+}
+
+/// The publication slot shared between the write side and every
+/// [`ReadHandle`], plus the serving-path counters (atomics, so reader
+/// threads record without the engine's involvement; the engine mirrors
+/// them into its metrics registry at sync points).
+///
+/// The std-only stand-in for an `Arc`-swap: the current view lives behind
+/// a mutex, but the mutex is only taken to *re-pin* after the atomic
+/// `seq` probe says a new view was published — once per publish per
+/// reader, never per lookup. Lookups themselves are lock-free reads of
+/// the pinned immutable view.
+#[derive(Debug)]
+struct ViewShared {
+    /// Publish sequence. Bumped under the `current` lock, read with a
+    /// relaxed probe by readers deciding whether to re-pin.
+    seq: AtomicU64,
+    current: Mutex<Arc<ReadView>>,
+    /// Views published after construction (`stream.store.view_swaps`).
+    swaps: AtomicU64,
+    /// Lookups served — handle lookups and the engine's counted serving
+    /// path combined (`stream.store.lookups`).
+    lookups: AtomicU64,
+    /// Handle lookups served from a view whose `id_epoch` the reader had
+    /// not adopted yet (`stream.store.stale_epoch_reads`): the caller was
+    /// using ids from a pre-purge epoch. Zero in a correct reader loop.
+    stale_epoch_reads: AtomicU64,
+    /// Per-lookup latency in microseconds (`stream.store.lookup_us`).
+    lookup_us: SharedHistogram,
+}
+
+impl ViewShared {
+    fn new(initial: Arc<ReadView>) -> Arc<Self> {
+        Arc::new(Self {
+            seq: AtomicU64::new(0),
+            current: Mutex::new(initial),
+            swaps: AtomicU64::new(0),
+            lookups: AtomicU64::new(0),
+            stale_epoch_reads: AtomicU64::new(0),
+            lookup_us: SharedHistogram::new(),
+        })
+    }
+
+    fn current(&self) -> Arc<ReadView> {
+        Arc::clone(&self.current.lock().expect("view slot poisoned"))
+    }
+}
+
+/// A reader's pin on the published view sequence. Obtained from
+/// [`PartitionStore::reader`]; independent of the store's lifetime (the
+/// handle owns `Arc`s), so serving threads keep answering while the engine
+/// mutates — or even after it dropped.
+///
+/// The intended reader loop:
+///
+/// 1. [`Self::refresh`] — one relaxed atomic probe; re-pins only when a
+///    new view was published since the last refresh.
+/// 2. If [`Self::needs_adoption`], the pinned view crossed a purge: the
+///    ids the reader holds belong to a previous epoch. Translate them
+///    (via [`ReadView::remap`], or by re-resolving from the new view) and
+///    call [`Self::adopt`].
+/// 3. [`Self::lookup`] — lock-free lookups against the pinned view.
+///
+/// Lookups against a non-adopted epoch still answer (from the pinned
+/// view) but tick the `stale_epoch_reads` counter — the observable signal
+/// that a reader skipped step 2.
+#[derive(Debug)]
+pub struct ReadHandle {
+    shared: Arc<ViewShared>,
+    pinned: Arc<ReadView>,
+    pinned_seq: u64,
+    adopted_epoch: u64,
+}
+
+impl ReadHandle {
+    /// Re-pins to the latest published view if one was published since
+    /// the last refresh. Returns `true` when the pin moved. O(1); takes
+    /// the publication lock only when the atomic probe saw a new seq.
+    pub fn refresh(&mut self) -> bool {
+        if self.shared.seq.load(Ordering::Acquire) == self.pinned_seq {
+            return false;
+        }
+        let slot = self.shared.current.lock().expect("view slot poisoned");
+        self.pinned = Arc::clone(&slot);
+        // Re-read under the lock: seq and slot move together there.
+        self.pinned_seq = self.shared.seq.load(Ordering::Acquire);
+        true
+    }
+
+    /// The currently pinned view (no refresh — stable until the next
+    /// [`Self::refresh`], however many publishes happen meanwhile).
+    #[inline]
+    pub fn view(&self) -> &Arc<ReadView> {
+        &self.pinned
+    }
+
+    /// Refresh, then return the pinned view.
+    pub fn pin(&mut self) -> &Arc<ReadView> {
+        self.refresh();
+        &self.pinned
+    }
+
+    /// True when the pinned view's id epoch differs from the one the
+    /// reader last [`Self::adopt`]ed — i.e. a purge remap lies between
+    /// the reader's ids and the view.
+    #[inline]
+    pub fn needs_adoption(&self) -> bool {
+        self.pinned.epoch.id_epoch != self.adopted_epoch
+    }
+
+    /// Declares that the reader translated its held ids into the pinned
+    /// view's epoch (after applying [`ReadView::remap`] or re-resolving).
+    #[inline]
+    pub fn adopt(&mut self) {
+        self.adopted_epoch = self.pinned.epoch.id_epoch;
+    }
+
+    /// Serves `vertex → part` from the pinned view: lock-free, counted,
+    /// and latency-sampled into the `stream.store.lookup_us` histogram.
+    /// `None` for tombstoned or out-of-range ids. Ticks
+    /// `stale_epoch_reads` when the reader hasn't adopted the pinned
+    /// epoch (its ids may be pre-purge).
+    pub fn lookup(&self, v: VertexId) -> Option<u32> {
+        let start = Instant::now();
+        let out = self.pinned.get(v);
+        if self.needs_adoption() {
+            self.shared
+                .stale_epoch_reads
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        self.shared.lookups.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .lookup_us
+            .observe(start.elapsed().as_micros() as u64);
+        out
     }
 }
 
@@ -151,20 +452,38 @@ pub struct PartitionStore {
     heaps: Vec<BinaryHeap<HeapEntry>>,
     intra_edges: usize,
     cut_edges: usize,
-    /// Lookups served through [`Self::shard_of_counted`] (relaxed atomic so
-    /// the counting path stays `&self`; the engine-internal placement and
-    /// recount loops use the uncounted [`Self::shard_of`] to keep the hot
-    /// loops free of shared-cache-line traffic). Not part of snapshots.
-    lookups: AtomicU64,
+    /// Publication slot + serving counters, shared with every
+    /// [`ReadHandle`] this store handed out. Not part of snapshots.
+    views: Arc<ViewShared>,
+    /// Cached [`LoadSnapshot`] allocation; `None` after any load/total
+    /// mutation, refilled (and counted) by [`Self::load_snapshot`].
+    snapshot_cache: Option<LoadSnapshot>,
+    /// Times [`Self::load_snapshot`] had to rebuild the allocation (the
+    /// reuse-on-publish regression hook). Not part of snapshots.
+    snapshot_rebuilds: u64,
     /// Entries popped off the rebalance heaps by [`Self::top_movable`]
     /// (stale pops included). Not part of snapshots.
     heap_pops: u64,
 }
 
-// Manual impl: `AtomicU64` is not `Clone`; a clone carries the counter
-// values over so observability mirrors stay monotone across engine clones.
+// Manual impl: the view cell is not `Clone` — and must not be shared: one
+// writer per publication slot, so a cloned store gets a *fresh* cell
+// seeded with the original's current view and counter values (the latter
+// so observability mirrors stay monotone across engine clones).
 impl Clone for PartitionStore {
     fn clone(&self) -> Self {
+        let views = ViewShared::new(self.views.current());
+        views
+            .swaps
+            .store(self.views.swaps.load(Ordering::Relaxed), Ordering::Relaxed);
+        views.lookups.store(
+            self.views.lookups.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
+        views.stale_epoch_reads.store(
+            self.views.stale_epoch_reads.load(Ordering::Relaxed),
+            Ordering::Relaxed,
+        );
         Self {
             parts: self.parts.clone(),
             k: self.k,
@@ -176,7 +495,9 @@ impl Clone for PartitionStore {
             heaps: self.heaps.clone(),
             intra_edges: self.intra_edges,
             cut_edges: self.cut_edges,
-            lookups: AtomicU64::new(self.lookups.load(Ordering::Relaxed)),
+            views,
+            snapshot_cache: self.snapshot_cache.clone(),
+            snapshot_rebuilds: self.snapshot_rebuilds,
             heap_pops: self.heap_pops,
         }
     }
@@ -202,7 +523,22 @@ impl PartitionStore {
             heaps: vec![BinaryHeap::new(); k * dims],
             intra_edges: 0,
             cut_edges: 0,
-            lookups: AtomicU64::new(0),
+            views: ViewShared::new(Arc::new(ReadView {
+                epoch: ViewEpoch::default(),
+                parts: Vec::new(),
+                snapshot: LoadSnapshot {
+                    inner: Arc::new(SnapshotInner {
+                        k,
+                        dims,
+                        loads: Vec::new(),
+                        totals: Vec::new(),
+                    }),
+                },
+                remap: None,
+                checksum: view_checksum(ViewEpoch::default(), &[]),
+            })),
+            snapshot_cache: None,
+            snapshot_rebuilds: 0,
             heap_pops: 0,
         };
         let mut row = vec![0.0f64; dims];
@@ -222,6 +558,10 @@ impl PartitionStore {
                 });
             }
         }
+        // Seed the publication slot with the bootstrap state so handles
+        // taken before any ingest already see a real view. Construction is
+        // not a swap: `view_swaps` counts publishes after this.
+        store.install_view(ViewEpoch::default(), None, false);
         store
     }
 
@@ -279,16 +619,38 @@ impl PartitionStore {
     /// [`Self::shard_of`] plus a lookup-count tick — the serving wrapper the
     /// engine's public `shard_of` goes through, so the observability layer
     /// sees query volume without taxing internal placement/recount loops.
+    /// Shares the counter with [`ReadHandle::lookup`]: `stream.store.
+    /// lookups` is total serving volume regardless of the path.
     #[inline]
     pub fn shard_of_counted(&self, v: VertexId) -> u32 {
-        self.lookups.fetch_add(1, Ordering::Relaxed);
+        self.views.lookups.fetch_add(1, Ordering::Relaxed);
         self.shard_of(v)
     }
 
-    /// Lookups served through [`Self::shard_of_counted`].
+    /// Lookups served through [`Self::shard_of_counted`] and
+    /// [`ReadHandle::lookup`] combined.
     #[inline]
     pub fn lookup_count(&self) -> u64 {
-        self.lookups.load(Ordering::Relaxed)
+        self.views.lookups.load(Ordering::Relaxed)
+    }
+
+    /// Views published (excluding the construction-time seed view).
+    #[inline]
+    pub fn view_swap_count(&self) -> u64 {
+        self.views.swaps.load(Ordering::Relaxed)
+    }
+
+    /// Handle lookups served against a not-yet-adopted id epoch (see
+    /// [`ReadHandle::adopt`]). Zero in a correct reader loop.
+    #[inline]
+    pub fn stale_epoch_read_count(&self) -> u64 {
+        self.views.stale_epoch_reads.load(Ordering::Relaxed)
+    }
+
+    /// Point-in-time snapshot of the serving-path lookup latency
+    /// histogram (microseconds), for mirroring into a metrics registry.
+    pub fn lookup_latency(&self) -> Histogram {
+        self.views.lookup_us.snapshot()
     }
 
     /// Heap entries popped by [`Self::top_movable`] since construction.
@@ -324,16 +686,107 @@ impl PartitionStore {
         self.part_sizes[p as usize]
     }
 
-    /// A frozen copy of the loads and live totals for the speculative
-    /// placement stage (and, eventually, for serialization): decisions are
-    /// scored against `snapshot + reservations` while the store itself
-    /// stays unmutated until the commit stage.
-    pub fn load_snapshot(&self) -> LoadSnapshot {
-        LoadSnapshot {
-            k: self.k,
-            dims: self.dims,
-            loads: self.loads.clone(),
-            totals: self.totals.clone(),
+    /// A frozen view of the loads and live totals for the speculative
+    /// placement stage: decisions are scored against `snapshot +
+    /// reservations` while the store itself stays unmutated until the
+    /// commit stage.
+    ///
+    /// O(1) when the accounting hasn't changed since the last call — the
+    /// `Arc`-backed allocation is cached and shared (typically with the
+    /// last published [`ReadView`], making this a cheap clone-on-publish);
+    /// any load/total mutation invalidates the cache and the next call
+    /// rebuilds ([`Self::snapshot_rebuild_count`]).
+    pub fn load_snapshot(&mut self) -> LoadSnapshot {
+        if let Some(snap) = &self.snapshot_cache {
+            return snap.clone();
+        }
+        self.snapshot_rebuilds += 1;
+        let snap = LoadSnapshot {
+            inner: Arc::new(SnapshotInner {
+                k: self.k,
+                dims: self.dims,
+                loads: self.loads.clone(),
+                totals: self.totals.clone(),
+            }),
+        };
+        self.snapshot_cache = Some(snap.clone());
+        snap
+    }
+
+    /// Times [`Self::load_snapshot`] rebuilt its allocation instead of
+    /// reusing the cached one.
+    #[inline]
+    pub fn snapshot_rebuild_count(&self) -> u64 {
+        self.snapshot_rebuilds
+    }
+
+    /// Drops the cached [`LoadSnapshot`]; called by every load/total
+    /// mutation so a stale allocation can never be served.
+    #[inline]
+    fn invalidate_snapshot(&mut self) {
+        self.snapshot_cache = None;
+    }
+
+    /// Publishes the current assignment + accounting as an immutable
+    /// [`ReadView`] stamped `(id_epoch, batch_seq)`, swapping it into the
+    /// slot every [`ReadHandle`] probes. `remap` is the old→new id map
+    /// composed since the previous publish (present iff a purge happened);
+    /// readers only ever observe remaps through this swap. Returns the
+    /// published view.
+    pub(crate) fn publish_view(
+        &mut self,
+        epoch: ViewEpoch,
+        remap: Option<Vec<u32>>,
+    ) -> Arc<ReadView> {
+        self.install_view(epoch, remap, true)
+    }
+
+    fn install_view(
+        &mut self,
+        epoch: ViewEpoch,
+        remap: Option<Vec<u32>>,
+        count_swap: bool,
+    ) -> Arc<ReadView> {
+        let snapshot = self.load_snapshot();
+        let parts = self.parts.clone();
+        let checksum = view_checksum(epoch, &parts);
+        let view = Arc::new(ReadView {
+            epoch,
+            parts,
+            snapshot,
+            remap: remap.map(Arc::new),
+            checksum,
+        });
+        {
+            // Swap + seq bump under the lock so a re-pinning reader can
+            // never pair the new seq with the old view (or vice versa).
+            let mut slot = self.views.current.lock().expect("view slot poisoned");
+            *slot = Arc::clone(&view);
+            self.views.seq.fetch_add(1, Ordering::Release);
+        }
+        if count_swap {
+            self.views.swaps.fetch_add(1, Ordering::Relaxed);
+        }
+        view
+    }
+
+    /// The latest published [`ReadView`].
+    pub fn read_view(&self) -> Arc<ReadView> {
+        self.views.current()
+    }
+
+    /// A new [`ReadHandle`] pinned to the latest published view, with
+    /// that view's id epoch already adopted. Handles are independent of
+    /// the store's lifetime and cheap to create (two `Arc` clones).
+    pub fn reader(&self) -> ReadHandle {
+        let pinned = self.views.current();
+        let pinned_seq = self.views.seq.load(Ordering::Acquire);
+        let adopted_epoch = pinned.epoch.id_epoch;
+        ReadHandle {
+            shared: Arc::clone(&self.views),
+            pinned,
+            pinned_seq,
+            adopted_epoch,
         }
     }
 
@@ -341,6 +794,7 @@ impl PartitionStore {
     pub fn push_assignment(&mut self, part: u32, weight_row: &[f64]) {
         debug_assert!((part as usize) < self.k);
         debug_assert_eq!(weight_row.len(), self.dims);
+        self.invalidate_snapshot();
         let v = self.parts.len() as VertexId;
         self.parts.push(part);
         self.part_sizes[part as usize] += 1;
@@ -382,6 +836,7 @@ impl PartitionStore {
             self.parts[v as usize], TOMBSTONE,
             "assign_slot target {v} is still assigned"
         );
+        self.invalidate_snapshot();
         self.parts[v as usize] = part;
         self.part_sizes[part as usize] += 1;
         for (j, &w) in weight_row.iter().enumerate() {
@@ -409,6 +864,7 @@ impl PartitionStore {
         debug_assert_eq!(weight_row.len(), self.dims);
         let p = self.parts[v as usize] as usize;
         debug_assert!(p != TOMBSTONE as usize, "vertex {v} already released");
+        self.invalidate_snapshot();
         self.part_sizes[p] -= 1;
         for (j, &w) in weight_row.iter().enumerate() {
             self.loads[p * self.dims + j] -= w;
@@ -427,6 +883,7 @@ impl PartitionStore {
         if old == part as usize {
             return;
         }
+        self.invalidate_snapshot();
         self.part_sizes[old] -= 1;
         self.part_sizes[part as usize] += 1;
         for (j, &w) in weight_row.iter().enumerate() {
@@ -454,6 +911,7 @@ impl PartitionStore {
     pub fn apply_weight_change(&mut self, v: VertexId, j: usize, old: f64, new_row: &[f64]) {
         debug_assert_eq!(new_row.len(), self.dims);
         let p = self.parts[v as usize];
+        self.invalidate_snapshot();
         self.loads[p as usize * self.dims + j] += new_row[j] - old;
         self.totals[j] += new_row[j] - old;
         for i in 0..self.dims {
@@ -709,6 +1167,7 @@ impl PartitionStore {
     /// nothing.
     pub fn rebuild_loads(&mut self, weights: &VertexWeights) {
         assert_eq!(weights.num_vertices(), self.parts.len());
+        self.invalidate_snapshot();
         self.loads.iter_mut().for_each(|l| *l = 0.0);
         self.totals.iter_mut().for_each(|t| *t = 0.0);
         self.part_sizes.iter_mut().for_each(|s| *s = 0);
@@ -831,10 +1290,29 @@ impl PartitionStore {
             heaps: vec![BinaryHeap::new(); k * dims],
             intra_edges: r.get_usize("store.intra_edges")?,
             cut_edges: r.get_usize("store.cut_edges")?,
-            lookups: AtomicU64::new(0),
+            views: ViewShared::new(Arc::new(ReadView {
+                epoch: ViewEpoch::default(),
+                parts: Vec::new(),
+                snapshot: LoadSnapshot {
+                    inner: Arc::new(SnapshotInner {
+                        k,
+                        dims,
+                        loads: Vec::new(),
+                        totals: Vec::new(),
+                    }),
+                },
+                remap: None,
+                checksum: view_checksum(ViewEpoch::default(), &[]),
+            })),
+            snapshot_cache: None,
+            snapshot_rebuilds: 0,
             heap_pops: 0,
         };
         store.rebuild_heaps(weights);
+        // The restoring engine publishes view #0 (at the restored id
+        // epoch) once telemetry is rebuilt; until then handles see this
+        // seed. Not counted as a swap — mirrors `Self::new`.
+        store.install_view(ViewEpoch::default(), None, false);
         Ok(store)
     }
 }
@@ -1246,5 +1724,155 @@ mod tests {
             let expect: Vec<u32> = expected_top(&s, &keys, p, 0).into_iter().take(5).collect();
             assert_eq!(s.top_movable(p, 0, 5), expect, "post-rebuild part {p}");
         }
+    }
+
+    #[test]
+    fn snapshot_cache_reuses_until_a_load_mutation() {
+        let (mut s, _) = store();
+        let first = s.load_snapshot();
+        let again = s.load_snapshot();
+        assert!(
+            first.shares_storage(&again),
+            "no mutation between calls: same allocation expected"
+        );
+        let baseline = s.snapshot_rebuild_count();
+        // Pure-topology mutations (edge counters) leave loads untouched —
+        // the cache must survive them.
+        s.on_edge_added(0, 2);
+        s.on_edge_removed(0, 2);
+        assert!(s.load_snapshot().shares_storage(&first));
+        assert_eq!(s.snapshot_rebuild_count(), baseline);
+        // A load mutation invalidates; the next call rebuilds once.
+        s.push_assignment(0, &[1.0, 1.0]);
+        let fresh = s.load_snapshot();
+        assert!(!fresh.shares_storage(&first), "stale snapshot served");
+        assert_eq!(fresh.total(0), 5.0);
+        assert_eq!(s.snapshot_rebuild_count(), baseline + 1);
+    }
+
+    #[test]
+    fn published_view_serves_the_frozen_assignment() {
+        let (mut s, _) = store();
+        // The constructor seeds an uncounted bootstrap view.
+        assert_eq!(s.view_swap_count(), 0);
+        let seed = s.read_view();
+        assert_eq!(seed.epoch(), ViewEpoch::default());
+        assert_eq!(seed.as_slice(), &[0, 0, 1, 1]);
+        assert!(seed.verify_checksum());
+
+        let epoch = ViewEpoch {
+            id_epoch: 0,
+            batch_seq: 1,
+        };
+        let view = s.publish_view(epoch, None);
+        assert_eq!(s.view_swap_count(), 1);
+        assert_eq!(view.epoch(), epoch);
+        assert!(view.remap().is_none());
+        // The view shares the snapshot allocation with the store's cache
+        // (clone-on-publish, not rebuild).
+        assert!(view.load_snapshot().shares_storage(&s.load_snapshot()));
+        // Mutating the store does not leak into the published view.
+        s.move_vertex(0, 1, &[1.0, 1.0]);
+        assert_eq!(view.shard_of(0), 0);
+        assert_eq!(view.get(0), Some(0));
+        assert_eq!(s.shard_of(0), 1);
+        assert!(view.verify_checksum());
+        // get() is forgiving about dead / out-of-range ids.
+        assert_eq!(view.get(17), None);
+    }
+
+    #[test]
+    fn read_handle_repins_only_on_publish_and_flags_unadopted_epochs() {
+        let (mut s, w) = store();
+        let mut h = s.reader();
+        assert!(!h.refresh(), "nothing published since the pin");
+        assert_eq!(h.lookup(0), Some(0));
+
+        // Publish within the same id epoch: re-pin, no adoption needed.
+        s.move_vertex(0, 1, &[1.0, 1.0]);
+        s.publish_view(
+            ViewEpoch {
+                id_epoch: 0,
+                batch_seq: 1,
+            },
+            None,
+        );
+        assert_eq!(h.lookup(0), Some(0), "pinned view is stable");
+        assert!(h.refresh());
+        assert!(!h.refresh(), "second probe sees the same seq");
+        assert_eq!(h.lookup(0), Some(1));
+        assert!(!h.needs_adoption());
+        assert_eq!(s.stale_epoch_read_count(), 0);
+
+        // A purge crosses an id epoch: old id 1 dies, [0,2,3] -> [0,1,2].
+        let row: Vec<f64> = (0..w.dims()).map(|j| w.weight(j, 1)).collect();
+        s.release_vertex(1, &row);
+        let remap = vec![0, TOMBSTONE, 1, 2];
+        s.apply_remap(&remap, &w.restrict(&[0, 2, 3]));
+        s.publish_view(
+            ViewEpoch {
+                id_epoch: 1,
+                batch_seq: 2,
+            },
+            Some(remap),
+        );
+        h.refresh();
+        assert!(h.needs_adoption(), "pinned view crossed a purge");
+        // Serving before adopting answers but ticks the stale counter.
+        assert_eq!(h.lookup(0), Some(1));
+        assert_eq!(s.stale_epoch_read_count(), 1);
+        // The view carries the remap the reader translates with.
+        let carried = h.view().remap().expect("purge view carries its remap");
+        assert_eq!(carried, &[0, TOMBSTONE, 1, 2]);
+        h.adopt();
+        assert!(!h.needs_adoption());
+        assert_eq!(h.lookup(2), Some(1)); // old id 3, translated
+        assert_eq!(s.stale_epoch_read_count(), 1, "adopted reads are clean");
+        assert!(s.lookup_count() >= 5);
+        assert!(s.lookup_latency().count() >= 5);
+    }
+
+    #[test]
+    fn read_handles_outlive_the_store() {
+        let (mut s, _) = store();
+        s.publish_view(
+            ViewEpoch {
+                id_epoch: 0,
+                batch_seq: 1,
+            },
+            None,
+        );
+        let h = s.reader();
+        drop(s);
+        assert_eq!(h.lookup(3), Some(1), "pinned view survives the engine");
+        assert!(h.view().verify_checksum());
+    }
+
+    #[test]
+    fn cloned_store_gets_an_independent_view_cell() {
+        let (mut s, _) = store();
+        s.publish_view(
+            ViewEpoch {
+                id_epoch: 0,
+                batch_seq: 1,
+            },
+            None,
+        );
+        let mut c = s.clone();
+        assert_eq!(c.view_swap_count(), 1, "counters carry over");
+        assert_eq!(c.read_view().epoch(), s.read_view().epoch());
+        // Publishing on the clone must not disturb the original's readers.
+        let mut h = s.reader();
+        c.move_vertex(0, 1, &[1.0, 1.0]);
+        c.publish_view(
+            ViewEpoch {
+                id_epoch: 0,
+                batch_seq: 2,
+            },
+            None,
+        );
+        assert!(!h.refresh(), "original's slot saw no publish");
+        assert_eq!(s.read_view().epoch().batch_seq, 1);
+        assert_eq!(c.read_view().epoch().batch_seq, 2);
     }
 }

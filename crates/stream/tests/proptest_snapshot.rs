@@ -149,6 +149,18 @@ proptest! {
                         interrupted.store().as_slice(),
                         "restored assignment diverged"
                     );
+                    // Restore publishes view #0: readers attaching to the
+                    // replacement see the same epoch-stamped state the
+                    // survivor's readers are pinned to.
+                    let sv = survivor.read_view();
+                    let rv = interrupted.read_view();
+                    prop_assert_eq!(sv.epoch(), rv.epoch(), "restored view epoch");
+                    prop_assert_eq!(
+                        sv.as_slice(),
+                        rv.as_slice(),
+                        "restored view assignment diverged"
+                    );
+                    prop_assert!(rv.verify_checksum());
                     if pre_purge {
                         prop_assert_eq!(
                             survivor.graph().free_ids(),
@@ -177,6 +189,17 @@ proptest! {
                 survivor.store().as_slice(),
                 interrupted.store().as_slice(),
                 "final assignments diverged"
+            );
+            // Views stay in lockstep through the post-restore batches too.
+            prop_assert_eq!(
+                survivor.read_view().epoch(),
+                interrupted.read_view().epoch(),
+                "final view epochs diverged"
+            );
+            prop_assert_eq!(
+                survivor.read_view().as_slice(),
+                interrupted.read_view().as_slice(),
+                "final views diverged"
             );
             // Lifetime telemetry matches counter for counter (the last
             // refinement's wall-clock is measurement, not outcome).
