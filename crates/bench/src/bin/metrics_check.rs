@@ -1,6 +1,6 @@
 //! CI schema validator for `stream_online --metrics-out` dumps.
 //!
-//! Usage: `metrics_check FILE [--min-journal-events N]`
+//! Usage: `metrics_check FILE [--min-journal-events N] [--require NAME]...`
 //!
 //! Validates the dump against the engine's metric-name allowlist
 //! ([`mdbgp_stream::METRIC_ALLOWLIST`]) via [`mdbgp_obs::validate_dump`]:
@@ -9,7 +9,11 @@
 //! allowlist — a typo'd instrumentation site fails CI here instead of
 //! silently dashboarding an always-zero series. `--min-journal-events`
 //! additionally asserts the run journaled at least N engine events, so a
-//! refactor that silently drops the journal wiring cannot pass.
+//! refactor that silently drops the journal wiring cannot pass. Each
+//! `--require NAME` (repeatable) asserts the named metric was actually
+//! *recorded* in the dump — the allowlist only bounds what names may
+//! appear; this bounds what must — so unwiring an instrumentation site
+//! fails CI the same way mis-wiring one does.
 
 use std::process::ExitCode;
 
@@ -17,6 +21,7 @@ fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut file: Option<&str> = None;
     let mut min_events: usize = 0;
+    let mut required: Vec<String> = Vec::new();
     let mut i = 0;
     while i < argv.len() {
         match argv[i].as_str() {
@@ -30,16 +35,29 @@ fn main() -> ExitCode {
                     }
                 };
             }
+            "--require" => {
+                i += 1;
+                match argv.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => {
+                        eprintln!("FAIL: --require needs a metric name");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
             arg if !arg.starts_with("--") && file.is_none() => file = Some(arg),
             arg => {
-                eprintln!("usage: metrics_check FILE [--min-journal-events N] (got {arg:?})");
+                eprintln!(
+                    "usage: metrics_check FILE [--min-journal-events N] [--require NAME]... \
+                     (got {arg:?})"
+                );
                 return ExitCode::FAILURE;
             }
         }
         i += 1;
     }
     let Some(path) = file else {
-        eprintln!("usage: metrics_check FILE [--min-journal-events N]");
+        eprintln!("usage: metrics_check FILE [--min-journal-events N] [--require NAME]...");
         return ExitCode::FAILURE;
     };
     let text = match std::fs::read_to_string(path) {
@@ -57,6 +75,17 @@ fn main() -> ExitCode {
                     stats.journal_events
                 );
                 return ExitCode::FAILURE;
+            }
+            // Metric entries render as `"name": value` lines inside the
+            // counters/gauges/histograms sections; journal events render
+            // as array elements, so a quoted-key prefix match cannot
+            // false-positive off an event payload.
+            for name in &required {
+                let key = format!("\"{name}\":");
+                if !text.lines().any(|l| l.trim_start().starts_with(&key)) {
+                    eprintln!("FAIL: {path}: required metric {name} was not recorded");
+                    return ExitCode::FAILURE;
+                }
             }
             println!(
                 "{path}: OK — {} counters, {} gauges, {} histograms, {} spans, \

@@ -488,6 +488,12 @@ fn main() -> ExitCode {
         // an ingest-only run has no reader threads to measure.
         lookups_per_sec: None,
         lookup_p99_us: None,
+        // v7: stage-parallelism telemetry — the counts are deterministic
+        // for a fixed workload, the compaction wall-clock is not (and is
+        // therefore never gated).
+        split_parallel_ranges: Some(sp.metrics().counter("stream.split.parallel_ranges") as usize),
+        repair_spec_rounds: Some(sp.metrics().counter("stream.repair.spec_rounds") as usize),
+        compact_parallel_ms: sp.metrics().gauge("stream.compact.parallel_ms"),
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

@@ -410,6 +410,9 @@ fn main() -> ExitCode {
         gd_delta_iters: Some(sp.metrics().counter("core.gd.grad_delta_iters") as usize),
         lookups_per_sec: Some(lookups_per_sec),
         lookup_p99_us: Some(lookup_p99_us),
+        split_parallel_ranges: Some(sp.metrics().counter("stream.split.parallel_ranges") as usize),
+        repair_spec_rounds: Some(sp.metrics().counter("stream.repair.spec_rounds") as usize),
+        compact_parallel_ms: sp.metrics().gauge("stream.compact.parallel_ms"),
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

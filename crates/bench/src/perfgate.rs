@@ -143,6 +143,21 @@ pub struct PerfRecord {
     /// only when **both** records carry the field — a `stream_online`
     /// baseline never engages the lookup gate.
     pub lookup_p99_us: Option<f64>,
+    /// v7: deferred-flush ranges the split stage fanned out across the run
+    /// (`stream.split.parallel_ranges`; `None` on pre-v7 baselines).
+    /// Informational and deterministic for a fixed workload — the count
+    /// depends on touched-vertex sets, never the thread count.
+    pub split_parallel_ranges: Option<usize>,
+    /// v7: speculative conflict-repair rounds across the run
+    /// (`stream.repair.spec_rounds`; `None` on pre-v7 baselines).
+    /// Informational: reads how much of the loser re-placement ran in
+    /// concurrent chunks instead of the serial fallback.
+    pub repair_spec_rounds: Option<usize>,
+    /// v7: wall-clock of the parallel delta-merge compaction (and purge
+    /// remap application) across the run, milliseconds
+    /// (`stream.compact.parallel_ms`; `None` on pre-v7 baselines).
+    /// Informational — machine-dependent, so never gated.
+    pub compact_parallel_ms: Option<f64>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -208,6 +223,15 @@ impl PerfRecord {
         }
         if let Some(l) = self.lookup_p99_us {
             let _ = writeln!(s, "  \"lookup_p99_us\": {l:.3},");
+        }
+        if let Some(r) = self.split_parallel_ranges {
+            let _ = writeln!(s, "  \"split_parallel_ranges\": {r},");
+        }
+        if let Some(r) = self.repair_spec_rounds {
+            let _ = writeln!(s, "  \"repair_spec_rounds\": {r},");
+        }
+        if let Some(m) = self.compact_parallel_ms {
+            let _ = writeln!(s, "  \"compact_parallel_ms\": {m:.3},");
         }
         if let Some(q) = &self.quantiles {
             let _ = writeln!(s, "  \"refine_iters_p50\": {:.3},", q.refine_iters_p50);
@@ -389,6 +413,9 @@ impl PerfRecord {
             gd_delta_iters: opt_count("gd_delta_iters")?,
             lookups_per_sec: opt_num("lookups_per_sec")?,
             lookup_p99_us: opt_num("lookup_p99_us")?,
+            split_parallel_ranges: opt_count("split_parallel_ranges")?,
+            repair_spec_rounds: opt_count("repair_spec_rounds")?,
+            compact_parallel_ms: opt_num("compact_parallel_ms")?,
             batches,
         })
     }
@@ -718,6 +745,9 @@ mod tests {
             // Time-valued like the stage totals: derives from `inc` so
             // machine-speed cancellation holds for the lookup gate too.
             lookup_p99_us: Some(inc * 0.4),
+            split_parallel_ranges: Some(12),
+            repair_spec_rounds: Some(2),
+            compact_parallel_ms: Some(inc * 0.06),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -1090,6 +1120,40 @@ mod tests {
         assert!(PerfRecord::from_json(&corrupted)
             .unwrap_err()
             .contains("lookup_p99_us"));
+    }
+
+    #[test]
+    fn stage_parallelism_fields_round_trip_and_default_on_v6_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert_eq!(parsed.split_parallel_ranges, Some(12));
+        assert_eq!(parsed.repair_spec_rounds, Some(2));
+        assert!((parsed.compact_parallel_ms.unwrap() - 0.75).abs() < 1e-9);
+        // A v6 baseline (no stage-parallelism keys) still parses: all
+        // None, and re-rendering it emits none of the keys. The fields
+        // are informational, so the gate never reads them — no gate test.
+        let v6 = r
+            .to_json()
+            .lines()
+            .filter(|l| {
+                !l.contains("split_parallel_ranges")
+                    && !l.contains("repair_spec_rounds")
+                    && !l.contains("compact_parallel_ms")
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v6).unwrap();
+        assert_eq!(parsed.split_parallel_ranges, None);
+        assert_eq!(parsed.repair_spec_rounds, None);
+        assert_eq!(parsed.compact_parallel_ms, None);
+        assert!(!parsed.to_json().contains("repair_spec_rounds"));
+        // Present-but-malformed fields are an error, not a default.
+        let corrupted = r
+            .to_json()
+            .replace("\"repair_spec_rounds\": 2", "\"repair_spec_rounds\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("repair_spec_rounds"));
     }
 
     #[test]

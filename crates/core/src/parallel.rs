@@ -52,8 +52,15 @@ pub fn even_boundaries(n: usize, threads: usize) -> Vec<usize> {
 /// placement, where each chunk holds its own capacity reservations) makes
 /// bitwise-identical decisions whether one worker processes every chunk or
 /// sixteen workers steal them. `n = 0` yields `[0]` — no chunks.
+///
+/// # Panics
+/// Panics if `chunk` is zero. A zero chunk size is always a caller bug (a
+/// miscomputed constant or an uninitialized config), and silently clamping
+/// it to 1 would turn a batch-sized stage into n single-item chunks — the
+/// determinism contract would hold, but the fan-out would quietly become
+/// pathological.
 pub fn fixed_boundaries(n: usize, chunk: usize) -> Vec<usize> {
-    let chunk = chunk.max(1);
+    assert!(chunk > 0, "fixed_boundaries: chunk size must be positive");
     let mut b: Vec<usize> = (0..n).step_by(chunk).collect();
     b.push(n);
     b
@@ -304,11 +311,12 @@ mod tests {
         assert_eq!(fixed_boundaries(8, 4), vec![0, 4, 8]);
         assert_eq!(fixed_boundaries(3, 4), vec![0, 3]);
         assert_eq!(fixed_boundaries(0, 4), vec![0]);
-        assert_eq!(
-            fixed_boundaries(5, 0),
-            vec![0, 1, 2, 3, 4, 5],
-            "chunk clamps to 1"
-        );
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn fixed_boundaries_rejects_zero_chunk() {
+        fixed_boundaries(5, 0);
     }
 
     #[test]

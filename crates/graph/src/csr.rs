@@ -53,11 +53,13 @@ impl Graph {
     }
 
     /// [`Self::from_csr`] without the O(n + m) invariant sweep, for
-    /// crate-internal constructors that produce the arrays by a
-    /// structure-preserving transformation of an already-valid graph
-    /// (e.g. induced-subgraph extraction, which sits on the streaming
-    /// refine hot path). Invariants are still checked in debug builds.
-    pub(crate) fn from_csr_unchecked(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
+    /// constructors that produce the arrays by a structure-preserving
+    /// transformation of an already-valid graph — induced-subgraph
+    /// extraction, or the streaming layer's parallel delta-merge compaction,
+    /// both of which sit on hot paths where the sweep would dominate.
+    /// Invariants are still checked in debug builds; callers outside this
+    /// crate must uphold every [`Self::from_csr`] invariant themselves.
+    pub fn from_csr_unchecked(offsets: Vec<usize>, targets: Vec<VertexId>) -> Self {
         #[cfg(debug_assertions)]
         {
             Self::from_csr(offsets, targets)

@@ -11,18 +11,25 @@
 //! 2. **splits** the batch: updates apply to the graph in order —
 //!    tombstoning removed edges/vertices, releasing their capacity — but
 //!    arrivals are only collected, not placed
-//!    (`pipeline::SplitOutcome`);
+//!    (`pipeline::SplitOutcome`); every decision is made serially against
+//!    a mutation overlay while the O(deg) adjacency splices buffer into
+//!    per-vertex net lists, flushed concurrently by vertex range at the
+//!    end of the stage;
 //! 3. **places speculatively**: fixed-size chunks of arrivals are scored
 //!    concurrently on the worker pool against a frozen load snapshot, each
 //!    chunk holding its own capacity reservations
 //!    (`pipeline::speculative_place`);
 //! 4. **repairs conflicts**: oversubscribed `(part, dimension)` slots are
 //!    detected after merging the chunk reservations, and the losers are
-//!    re-placed in stable arrival order
-//!    (`pipeline::conflict_repair`) — so `threads = 1` and
-//!    `threads = N` produce byte-identical partitions by construction;
-//! 5. **commits** the assignments into the store and settles the deferred
-//!    edge accounting;
+//!    re-placed in stable arrival order (`pipeline::conflict_repair`) —
+//!    large loser sets through bounded speculative repair rounds of
+//!    concurrent arrival-order chunks, small remainders serially — so
+//!    `threads = 1` and `threads = N` produce byte-identical partitions
+//!    by construction;
+//! 5. **commits** the assignments into the store — the serial walk does
+//!    the scalar accounting while the rebalance-heap pushes are staged
+//!    and replayed concurrently per heap in serial order — and settles
+//!    the deferred edge accounting;
 //! 6. compacts once the churn outgrows the base CSR (a purge remaps ids;
 //!    the map is surfaced in [`BatchReport::remap`]), checks the drift
 //!    telemetry, and — when ε is threatened or a scheduled interval
@@ -78,6 +85,7 @@ pub const METRIC_ALLOWLIST: &[&str] = &[
     "stream.balance.edge_locality",
     "stream.balance.max_imbalance",
     "stream.compact.merges",
+    "stream.compact.parallel_ms",
     "stream.compact.purges",
     "stream.ingest.arrivals",
     "stream.ingest.batches",
@@ -93,8 +101,10 @@ pub const METRIC_ALLOWLIST: &[&str] = &[
     "stream.refine.passes",
     "stream.refine.rebalance_moves",
     "stream.refine.schedule_triggers",
+    "stream.repair.spec_rounds",
     "stream.snapshot.restores",
     "stream.snapshot.saves",
+    "stream.split.parallel_ranges",
     "stream.store.heap_pops",
     "stream.store.live_vertices",
     "stream.store.lookup_us",
@@ -243,6 +253,12 @@ pub struct BatchReport {
     /// Repair passes this batch (0 = the speculative placement was
     /// conflict-free).
     pub repair_passes: usize,
+    /// How many of those passes re-placed their losers speculatively
+    /// (concurrent arrival-order chunks) instead of serially. Determined
+    /// entirely by the batch (loser-set sizes against
+    /// [`crate::pipeline::REPAIR_SERIAL_THRESHOLD`]), never by the thread
+    /// count.
+    pub repair_spec_rounds: usize,
     /// Post-batch (post-refinement) imbalance.
     pub max_imbalance: f64,
     /// Post-batch (post-refinement) edge locality.
@@ -288,6 +304,7 @@ impl PartialEq for BatchReport {
             && self.refine_moves == other.refine_moves
             && self.placement_conflicts == other.placement_conflicts
             && self.repair_passes == other.repair_passes
+            && self.repair_spec_rounds == other.repair_spec_rounds
             && self.max_imbalance == other.max_imbalance
             && self.edge_locality == other.edge_locality
             && self.remap == other.remap
@@ -389,10 +406,13 @@ impl StreamingPartitioner {
         }
         let mut store = PartitionStore::new(partition, &weights);
         store.rebuild_edge_stats(graph.edges());
+        store.set_threads(cfg.threads);
+        let mut graph = DynamicGraph::new(graph, weights);
+        graph.set_threads(cfg.threads);
         let refine_seed = cfg.seed;
         Ok(Self {
             cfg,
-            graph: DynamicGraph::new(graph, weights),
+            graph,
             store,
             dirty: vec![false; n],
             pending_remap: None,
@@ -411,13 +431,17 @@ impl StreamingPartitioner {
         cfg.validate()?;
         let refine_seed = cfg.seed;
         let k = cfg.k;
+        let mut graph = DynamicGraph::empty(dims);
+        graph.set_threads(cfg.threads);
+        let mut store = PartitionStore::new(
+            &Partition::new(Vec::new(), k),
+            &VertexWeights::from_vectors(vec![Vec::new(); dims]),
+        );
+        store.set_threads(cfg.threads);
         Ok(Self {
             cfg,
-            graph: DynamicGraph::empty(dims),
-            store: PartitionStore::new(
-                &Partition::new(Vec::new(), k),
-                &VertexWeights::from_vectors(vec![Vec::new(); dims]),
-            ),
+            graph,
+            store,
             dirty: Vec::new(),
             pending_remap: None,
             view_remap: None,
@@ -574,6 +598,8 @@ impl StreamingPartitioner {
     pub fn set_threads(&mut self, threads: usize) {
         assert!(threads > 0, "threads must be positive");
         self.cfg.threads = threads;
+        self.graph.set_threads(threads);
+        self.store.set_threads(threads);
     }
 
     /// Serializes the engine's full state into `w` in the versioned
@@ -674,9 +700,11 @@ impl StreamingPartitioner {
         cfg.validate()
             .map_err(|e| SnapshotError::Corrupt(format!("configuration invalid: {e}")))?;
         pr.expect_section(snapshot::SEC_GRAPH)?;
-        let graph = DynamicGraph::decode_snapshot(&mut pr)?;
+        let mut graph = DynamicGraph::decode_snapshot(&mut pr)?;
+        graph.set_threads(cfg.threads);
         pr.expect_section(snapshot::SEC_STORE)?;
-        let store = PartitionStore::decode_snapshot(&mut pr, graph.weights())?;
+        let mut store = PartitionStore::decode_snapshot(&mut pr, graph.weights())?;
+        store.set_threads(cfg.threads);
         pr.expect_section(snapshot::SEC_ENGINE)?;
         let dirty = pr.get_vec_bool("engine.dirty")?;
         let pending_remap = if pr.get_bool("engine.pending_remap flag")? {
@@ -790,7 +818,21 @@ impl StreamingPartitioner {
             self.telemetry.compactions += 1;
             self.obs.counter_add("stream.compact.merges", 1);
         }
+        // Lifetime wall-clock of the parallel delta-merge (and, on purges,
+        // the remap application) — a `_ms` gauge, so it stays out of the
+        // deterministic dump subset the CI thread-count diff compares.
+        let compact_start = Instant::now();
+        let record_compact_ms = |obs: &mut MetricsRegistry, start: Instant| {
+            let cur = obs.gauge("stream.compact.parallel_ms").unwrap_or(0.0);
+            obs.gauge_set(
+                "stream.compact.parallel_ms",
+                cur + start.elapsed().as_secs_f64() * 1e3,
+            );
+        };
         let Some(map) = self.graph.compact() else {
+            if will_merge {
+                record_compact_ms(&mut self.obs, compact_start);
+            }
             return;
         };
         let n_new = self.graph.num_vertices();
@@ -802,6 +844,7 @@ impl StreamingPartitioner {
         }
         self.dirty = dirty;
         self.store.apply_remap(&map, self.graph.weights());
+        record_compact_ms(&mut self.obs, compact_start);
         self.telemetry.remaps += 1;
         self.id_epoch += 1;
         self.obs.counter_add("stream.compact.purges", 1);
@@ -973,7 +1016,7 @@ impl StreamingPartitioner {
             )
         };
 
-        let (placement_conflicts, repair_passes) = {
+        let (placement_conflicts, repair_passes, repair_spec_rounds) = {
             let _s = spans.span("repair");
             conflict_repair(
                 &self.graph,
@@ -1017,12 +1060,15 @@ impl StreamingPartitioner {
             .counter_add("stream.place.conflicts", placement_conflicts as u64);
         self.obs
             .counter_add("stream.place.repair_passes", repair_passes as u64);
+        self.obs
+            .counter_add("stream.repair.spec_rounds", repair_spec_rounds as u64);
         if placement_conflicts > 0 {
             self.obs.journal_event(
                 "place.repair",
                 &[
                     ("conflicts", placement_conflicts as f64),
                     ("passes", repair_passes as f64),
+                    ("spec_rounds", repair_spec_rounds as f64),
                 ],
             );
         }
@@ -1098,6 +1144,7 @@ impl StreamingPartitioner {
             refine_moves,
             placement_conflicts,
             repair_passes,
+            repair_spec_rounds,
             max_imbalance: self.max_imbalance(),
             edge_locality: self.store.edge_locality(),
             remap: self.pending_remap.take(),
@@ -1116,6 +1163,12 @@ impl StreamingPartitioner {
     fn stage_split(&mut self, batch: &UpdateBatch) -> SplitOutcome {
         let dims = self.graph.weights().dims();
         let mut out = SplitOutcome::default();
+        // Adjacency splices are deferred into per-vertex net lists while
+        // the loop makes every decision serially against the overlay; the
+        // flush at the end applies them in parallel by vertex range. The
+        // range count depends only on the batch (touched vertices / fixed
+        // chunk), so the counter is safe for the deterministic dump diff.
+        self.graph.begin_deferred();
         for update in &batch.updates {
             match update {
                 StreamUpdate::AddVertex { weights, neighbors } => {
@@ -1226,15 +1279,24 @@ impl StreamingPartitioner {
                 }
             }
         }
+        let ranges = self.graph.flush_deferred();
+        self.obs
+            .counter_add("stream.split.parallel_ranges", ranges as u64);
         out
     }
 
     /// Stage 5 — commits the repaired placements into the store (in
     /// arrival order, which is id-assignment order, so fresh ids append in
     /// sequence) and settles the deferred edge accounting against the
-    /// now-final parts.
+    /// now-final parts. The serial walk does every scalar accounting step
+    /// (loads, stamps, slot growth) but stages the rebalance-heap entries
+    /// in a [`crate::store::HeapSink`]; `apply_heap_entries` then replays
+    /// them onto the per-`(part, dim)` heaps concurrently — each heap's
+    /// pushes land in the exact serial order, so the heap layout is
+    /// byte-identical at any thread count.
     fn stage_commit(&mut self, split: &SplitOutcome, parts: &[u32]) {
         let dims = self.graph.weights().dims();
+        let mut sink = self.store.heap_sink();
         for (arrival, &part) in split.arrivals.iter().zip(parts) {
             if arrival.dead {
                 if (arrival.id as usize) >= self.store.num_vertices() {
@@ -1251,13 +1313,15 @@ impl StreamingPartitioner {
                 .map(|j| self.graph.weights().weight(j, arrival.id))
                 .collect();
             if (arrival.id as usize) < self.store.num_vertices() {
-                self.store.assign_slot(arrival.id, part, &row);
+                self.store
+                    .assign_slot_collect(arrival.id, part, &row, &mut sink);
             } else {
-                self.store.push_assignment(part, &row);
+                self.store.push_assignment_collect(part, &row, &mut sink);
                 debug_assert_eq!(self.store.num_vertices(), arrival.id as usize + 1);
             }
             self.telemetry.vertices_placed += 1;
         }
+        self.store.apply_heap_entries(sink);
         for effect in &split.ledger {
             match *effect {
                 DeferredEffect::EdgeAdded(u, v) => self.store.on_edge_added(u, v),
@@ -2381,6 +2445,53 @@ mod tests {
         let mut threaded = build(4);
         let report4 = threaded.ingest(&batch).unwrap();
         assert_eq!(report, report4);
+        assert_eq!(serial.store().as_slice(), threaded.store().as_slice());
+    }
+
+    #[test]
+    fn speculative_repair_cascades_across_rounds_deterministically() {
+        // Affinity ladder: every arrival has two neighbours in part 0 and
+        // one in part 1. Stage 3 sends the whole batch to part 0; repair
+        // evicts the overflow, whose re-score prefers part 1 — every
+        // speculative chunk fills it concurrently, oversubscribing it in
+        // turn — so a second speculative round must fire before the
+        // remainder settles in part 2.
+        const EPS: f64 = 0.05;
+        let g = Graph::empty(3);
+        let w = VertexWeights::unit(3);
+        let part = Partition::new(vec![0, 0, 1], 3);
+        let build = |threads: usize| {
+            let mut cfg = fast_cfg(3, EPS).with_threads(threads);
+            cfg.drift_headroom = 50.0; // repair alone must absorb the batch
+            StreamingPartitioner::from_partition(g.clone(), w.clone(), &part, cfg).unwrap()
+        };
+        let mut batch = UpdateBatch::new();
+        for _ in 0..900 {
+            batch.add_vertex(vec![1.0], vec![0, 1, 2]);
+        }
+        let mut serial = build(1);
+        let report = serial.ingest(&batch).unwrap();
+        assert!(!report.refined);
+        assert!(
+            report.repair_spec_rounds >= 2,
+            "the cascade must take at least two speculative rounds, got {}",
+            report.repair_spec_rounds
+        );
+        assert!(report.repair_passes >= report.repair_spec_rounds);
+        assert!(
+            report.placement_conflicts > 2 * crate::pipeline::REPAIR_SERIAL_THRESHOLD,
+            "both rounds must be above the serial threshold"
+        );
+        assert!(
+            report.max_imbalance <= EPS + 1e-9,
+            "repair must restore ε, got {}",
+            report.max_imbalance
+        );
+        assert_eq!(serial.telemetry().repair_passes, report.repair_passes);
+        // Thread count is invisible: identical report (speculative round
+        // count included), identical partition.
+        let mut threaded = build(4);
+        assert_eq!(report, threaded.ingest(&batch).unwrap());
         assert_eq!(serial.store().as_slice(), threaded.store().as_slice());
     }
 

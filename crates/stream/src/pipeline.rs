@@ -21,8 +21,14 @@
 //! 4. **conflict repair** (`conflict_repair`) — chunk-local reservations
 //!    are merged, oversubscribed `(part, dimension)` slots are detected,
 //!    and the losers (stable order: later arrival index evicts first,
-//!    earlier arrivals keep their slot) are re-placed sequentially with
-//!    full knowledge of every kept placement;
+//!    earlier arrivals keep their slot) are re-placed. Large loser sets go
+//!    through *speculative repair rounds*: the evicted arrivals are
+//!    re-scored concurrently in arrival-order chunks against the merged
+//!    post-eviction ledger, their placements re-merged in chunk order and
+//!    re-checked, iterating towards a fixpoint under a bounded round
+//!    count; a small loser set — or one that survives every speculative
+//!    round — falls back to the original serial re-placement loop, whose
+//!    never-evict-twice rule guarantees termination;
 //! 5. **commit** — assignments land in the [`PartitionStore`]
 //!    (`push_assignment` / `assign_slot` / `push_tombstone`) and the
 //!    deferred ledger settles against the now-final parts;
@@ -52,6 +58,19 @@ use std::collections::HashMap;
 /// moderate batch still fans out, large enough that a chunk amortizes its
 /// reservation ledger.
 pub const SPECULATIVE_CHUNK: usize = 128;
+
+/// Loser sets at or below this size are re-placed serially: a handful of
+/// evictions costs less to walk in order than to fan out, and the serial
+/// loop's never-evict-twice rule is also what guarantees the repair
+/// fixpoint terminates.
+pub const REPAIR_SERIAL_THRESHOLD: usize = 32;
+
+/// Upper bound on speculative repair rounds per batch. Speculative rounds
+/// never mark an arrival as finally repaired (a speculative re-placement
+/// can itself oversubscribe a slot and be evicted again), so the round
+/// count — not a per-arrival rule — bounds the concurrent phase; once
+/// exhausted, the serial fallback finishes the job.
+pub const MAX_SPEC_ROUNDS: usize = 8;
 
 /// Wall-clock milliseconds of each ingest stage, derived per batch from
 /// the span tree in [`crate::BatchReport::spans`] via
@@ -243,12 +262,27 @@ pub(crate) fn speculative_place(
 /// oversubscribed, and re-places the losers: per oversubscribed part the
 /// arrivals are walked in arrival order and the earliest prefix that fits
 /// under the capacity keeps its slot — so which arrivals lose never
-/// depends on chunk scheduling, only on the batch. Losers are re-placed
-/// sequentially (in arrival order, seeing every kept and previously
-/// re-placed decision); a loser that fits nowhere falls back to the
-/// least-loaded part exactly like serial LDG overflow, and is never
-/// evicted again, which bounds the loop. Returns
-/// `(evictions, repair passes)`.
+/// depends on chunk scheduling, only on the batch.
+///
+/// Loser sets larger than [`REPAIR_SERIAL_THRESHOLD`] are re-placed in
+/// *speculative rounds* (at most [`MAX_SPEC_ROUNDS`] per batch): the
+/// evicted arrivals — already back in arrival order — are chunked with the
+/// same batch-derived [`SPECULATIVE_CHUNK`] boundaries as stage 3 and
+/// re-scored concurrently, each chunk against a clone of the post-eviction
+/// global ledger, seeing every kept placement plus its *own* chunk's
+/// earlier re-placements; the chunk placements are then replayed onto the
+/// global ledger in arrival order and the loop re-detects. Every input to
+/// a speculative decision is a pure function of the batch, so the rounds
+/// are identical at any thread count. Speculative re-placements stay
+/// evictable (two chunks can re-oversubscribe a slot they could not see
+/// each other filling), which is why the round count is bounded.
+///
+/// Small loser sets — and whatever survives the bounded rounds — go
+/// through the serial fallback: losers are re-placed one at a time in
+/// arrival order with full knowledge of every prior decision; a loser
+/// that fits nowhere falls back to the least-loaded part exactly like
+/// serial LDG overflow, and is never evicted again, which bounds the
+/// loop. Returns `(evictions, repair passes, speculative rounds)`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn conflict_repair(
     graph: &DynamicGraph,
@@ -260,7 +294,7 @@ pub(crate) fn conflict_repair(
     parts: &mut [u32],
     epsilon: f64,
     threads: usize,
-) -> (usize, usize) {
+) -> (usize, usize, usize) {
     let k = store.num_parts();
     let dims = snapshot.dims();
     // Tolerance: strictly looser than the placement feasibility check
@@ -271,6 +305,7 @@ pub(crate) fn conflict_repair(
     let mut repaired = vec![false; split.arrivals.len()];
     let mut conflicts = 0usize;
     let mut passes = 0usize;
+    let mut spec_rounds = 0usize;
     loop {
         // Detect, then evict the stable losers of each oversubscribed part.
         let mut by_part: Vec<Vec<usize>> = vec![Vec::new(); k];
@@ -317,6 +352,59 @@ pub(crate) fn conflict_repair(
             ledger.release(parts[i], &split.arrivals[i].row);
             parts[i] = TOMBSTONE;
         }
+        if evicted.len() > REPAIR_SERIAL_THRESHOLD && spec_rounds < MAX_SPEC_ROUNDS {
+            // Speculative round: re-score the losers concurrently in
+            // arrival-order chunks, then replay in arrival order.
+            spec_rounds += 1;
+            let bounds = parallel::fixed_boundaries(evicted.len(), SPECULATIVE_CHUNK);
+            let ranges: Vec<std::ops::Range<usize>> =
+                bounds.windows(2).map(|w| w[0]..w[1]).collect();
+            let chunk_placer =
+                LdgPlacer::new(epsilon).with_threads(if ranges.len() <= 1 { threads } else { 1 });
+            let evicted_ref = &evicted;
+            let parts_view: &[u32] = parts;
+            let base_ledger = &ledger;
+            let chunk_results = parallel::par_map(&ranges, threads, |_, range| {
+                let mut chunk_ledger = base_ledger.clone();
+                let mut local = vec![TOMBSTONE; range.len()];
+                let mut counts = vec![0usize; k];
+                for (off, e) in range.clone().enumerate() {
+                    let i = evicted_ref[e];
+                    let arrival = &split.arrivals[i];
+                    count_neighbors(&mut counts, graph, store, split, arrival.id, |ai| {
+                        // Kept placements plus this chunk's own earlier
+                        // re-placements; other chunks' speculative choices
+                        // are invisible, so the round never depends on
+                        // chunk scheduling. `evicted` is sorted, so the
+                        // chunk's earlier losers are searchable.
+                        if let Ok(prior) = evicted_ref[range.start..e].binary_search(&ai) {
+                            Some(local[prior]).filter(|&p| p != TOMBSTONE)
+                        } else {
+                            Some(parts_view[ai]).filter(|&p| p != TOMBSTONE)
+                        }
+                    });
+                    let view = ReservedView {
+                        snapshot,
+                        ledger: &chunk_ledger,
+                    };
+                    let part = chunk_placer.place_with(k, &view, caps, &counts, &arrival.row);
+                    chunk_ledger.reserve(part, &arrival.row);
+                    local[off] = part;
+                }
+                local
+            });
+            for (local, range) in chunk_results.into_iter().zip(ranges) {
+                for (off, e) in range.enumerate() {
+                    let i = evicted[e];
+                    let part = local[off];
+                    ledger.reserve(part, &split.arrivals[i].row);
+                    parts[i] = part;
+                    // Not `repaired`: a speculative re-placement may lose
+                    // again next round.
+                }
+            }
+            continue;
+        }
         let mut counts = vec![0usize; k];
         for &i in &evicted {
             let arrival = &split.arrivals[i];
@@ -334,5 +422,5 @@ pub(crate) fn conflict_repair(
             repaired[i] = true;
         }
     }
-    (conflicts, passes)
+    (conflicts, passes, spec_rounds)
 }

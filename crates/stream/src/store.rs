@@ -72,6 +72,7 @@
 //! `docs/ARCHITECTURE.md` for the full lifecycle.
 
 use crate::TOMBSTONE;
+use mdbgp_core::parallel::{even_boundaries, for_each_chunk_mut, prefix_boundaries};
 use mdbgp_graph::{Partition, VertexId, VertexWeights};
 use mdbgp_obs::{Histogram, SharedHistogram};
 use std::collections::BinaryHeap;
@@ -109,6 +110,18 @@ impl Ord for HeapEntry {
             .total_cmp(&other.key)
             .then_with(|| self.v.cmp(&other.v))
     }
+}
+
+/// Staging buffer for a parallel commit: the accounting half of
+/// [`PartitionStore::push_assignment_collect`] /
+/// [`PartitionStore::assign_slot_collect`] runs serially (float loads and
+/// totals are order-sensitive), while the O(log n) rebalance-heap pushes
+/// land here — bucketed per `(part, dimension)` slot in call order — and
+/// are applied concurrently over disjoint slot ranges by
+/// [`PartitionStore::apply_heap_entries`]. Obtain one from
+/// [`PartitionStore::heap_sink`].
+pub struct HeapSink {
+    buckets: Vec<Vec<HeapEntry>>,
 }
 
 /// A frozen copy of the per-`(part, dimension)` loads and the live
@@ -464,6 +477,11 @@ pub struct PartitionStore {
     /// Entries popped off the rebalance heaps by [`Self::top_movable`]
     /// (stale pops included). Not part of snapshots.
     heap_pops: u64,
+    /// Worker count for the parallel remap scatter, heap rebuild and
+    /// commit-sink apply. Not part of snapshots; never influences results
+    /// — parallel passes here are pure data movement (or per-slot heap
+    /// pushes replayed in the serial order) into disjoint ranges.
+    threads: usize,
 }
 
 // Manual impl: the view cell is not `Clone` — and must not be shared: one
@@ -499,6 +517,7 @@ impl Clone for PartitionStore {
             snapshot_cache: self.snapshot_cache.clone(),
             snapshot_rebuilds: self.snapshot_rebuilds,
             heap_pops: self.heap_pops,
+            threads: self.threads,
         }
     }
 }
@@ -540,6 +559,7 @@ impl PartitionStore {
             snapshot_cache: None,
             snapshot_rebuilds: 0,
             heap_pops: 0,
+            threads: 1,
         };
         let mut row = vec![0.0f64; dims];
         for v in 0..n {
@@ -588,6 +608,13 @@ impl PartitionStore {
         };
         let off: f64 = (0..self.dims).filter(|&i| i != j).map(norm).sum();
         norm(j) - off / (self.dims - 1) as f64
+    }
+
+    /// Sets the worker count for the parallel remap scatter, heap rebuild
+    /// and commit-sink apply. Results are identical for every count —
+    /// only wall-clock changes.
+    pub fn set_threads(&mut self, threads: usize) {
+        self.threads = threads.max(1);
     }
 
     /// Number of parts `k`.
@@ -852,6 +879,121 @@ impl PartitionStore {
             };
             self.push_entry(part, j, entry);
         }
+    }
+
+    /// An empty [`HeapSink`] shaped for this store's `(part, dimension)`
+    /// slots.
+    pub fn heap_sink(&self) -> HeapSink {
+        HeapSink {
+            buckets: vec![Vec::new(); self.k * self.dims],
+        }
+    }
+
+    /// [`Self::push_assignment`] with the heap pushes staged into `sink`
+    /// instead of applied inline — the serial accounting half of a
+    /// parallel commit (see [`Self::apply_heap_entries`]).
+    pub fn push_assignment_collect(&mut self, part: u32, weight_row: &[f64], sink: &mut HeapSink) {
+        debug_assert!((part as usize) < self.k);
+        debug_assert_eq!(weight_row.len(), self.dims);
+        self.invalidate_snapshot();
+        let v = self.parts.len() as VertexId;
+        self.parts.push(part);
+        self.part_sizes[part as usize] += 1;
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[part as usize * self.dims + j] += w;
+            self.totals[j] += w;
+            self.stamps.push(0);
+        }
+        for j in 0..self.dims {
+            let key = self.relief_key(j, weight_row);
+            sink.buckets[part as usize * self.dims + j].push(HeapEntry { key, stamp: 0, v });
+        }
+    }
+
+    /// [`Self::assign_slot`] with the heap pushes staged into `sink`
+    /// instead of applied inline — the serial accounting half of a
+    /// parallel commit (see [`Self::apply_heap_entries`]).
+    ///
+    /// # Panics
+    /// Panics (in debug builds) if the slot is not currently released.
+    pub fn assign_slot_collect(
+        &mut self,
+        v: VertexId,
+        part: u32,
+        weight_row: &[f64],
+        sink: &mut HeapSink,
+    ) {
+        debug_assert!((part as usize) < self.k);
+        debug_assert_eq!(weight_row.len(), self.dims);
+        debug_assert_eq!(
+            self.parts[v as usize], TOMBSTONE,
+            "assign_slot target {v} is still assigned"
+        );
+        self.invalidate_snapshot();
+        self.parts[v as usize] = part;
+        self.part_sizes[part as usize] += 1;
+        for (j, &w) in weight_row.iter().enumerate() {
+            self.loads[part as usize * self.dims + j] += w;
+            self.totals[j] += w;
+        }
+        for j in 0..self.dims {
+            let stamp = self.bump_stamp(v, j);
+            let entry = HeapEntry {
+                key: self.relief_key(j, weight_row),
+                stamp,
+                v,
+            };
+            sink.buckets[part as usize * self.dims + j].push(entry);
+        }
+    }
+
+    /// Applies every staged heap entry, in parallel over disjoint slot
+    /// ranges balanced by entry count. Each slot replays its bucket in
+    /// the order the collect calls staged it — the order the serial
+    /// `push_assignment` / `assign_slot` path would have pushed — and the
+    /// stale-backlog compaction trigger runs per push exactly as the
+    /// serial `push_entry` path would, so the resulting heap layout is
+    /// bitwise identical for every thread count.
+    pub fn apply_heap_entries(&mut self, sink: HeapSink) {
+        assert_eq!(sink.buckets.len(), self.heaps.len(), "sink shape mismatch");
+        let dims = self.dims;
+        let Self {
+            heaps,
+            parts,
+            stamps,
+            part_sizes,
+            ..
+        } = self;
+        let (parts, stamps, part_sizes) = (&*parts, &*stamps, &*part_sizes);
+        let mut prefix = Vec::with_capacity(sink.buckets.len() + 1);
+        prefix.push(0usize);
+        for b in &sink.buckets {
+            prefix.push(prefix.last().unwrap() + b.len() + 1);
+        }
+        let bounds = prefix_boundaries(&prefix, self.threads);
+        for_each_chunk_mut(heaps, &bounds, |range, chunk| {
+            for (off, heap) in chunk.iter_mut().enumerate() {
+                let slot = range.start + off;
+                let bucket = &sink.buckets[slot];
+                if bucket.is_empty() {
+                    continue;
+                }
+                let (p, j) = (slot / dims, slot % dims);
+                for &entry in bucket {
+                    if heap.len() >= 4 * part_sizes[p] + 64 {
+                        let old = std::mem::take(heap);
+                        *heap = old
+                            .into_iter()
+                            .filter(|e| {
+                                parts[e.v as usize] == p as u32
+                                    && stamps[e.v as usize * dims + j] == e.stamp
+                            })
+                            .collect();
+                    }
+                    heap.push(entry);
+                }
+            }
+        });
     }
 
     /// Releases a removed vertex: its weight leaves the part loads and the
@@ -1145,7 +1287,11 @@ impl PartitionStore {
             live,
             "post-purge weights must cover exactly the live vertices"
         );
-        let mut parts = vec![TOMBSTONE; live];
+        // Serial validation pass doubles as the inverse-map build
+        // (`live_olds[new] = old`); the purge renumbering is monotone, so
+        // the inverse turns the scatter into a gather over disjoint
+        // output ranges that parallelizes freely.
+        let mut live_olds: Vec<u32> = Vec::with_capacity(live);
         for (old, &new) in old_to_new.iter().enumerate() {
             let assigned = self.parts[old] != TOMBSTONE;
             assert_eq!(
@@ -1154,9 +1300,18 @@ impl PartitionStore {
                 "remap disagrees with release state at old id {old}"
             );
             if new != TOMBSTONE {
-                parts[new as usize] = self.parts[old];
+                debug_assert_eq!(new as usize, live_olds.len(), "purge remap not monotone");
+                live_olds.push(old as u32);
             }
         }
+        let mut parts = vec![TOMBSTONE; live];
+        let bounds = even_boundaries(live, self.threads);
+        let old_parts = &self.parts;
+        for_each_chunk_mut(&mut parts, &bounds, |range, chunk| {
+            for (slot, &old) in chunk.iter_mut().zip(&live_olds[range]) {
+                *slot = old_parts[old as usize];
+            }
+        });
         self.parts = parts;
         self.rebuild_loads(weights);
     }
@@ -1201,7 +1356,11 @@ impl PartitionStore {
         debug_assert_eq!(weights.num_vertices(), self.parts.len());
         self.stamps.iter_mut().for_each(|s| *s = 0);
         self.stamps.resize(self.parts.len() * self.dims, 0);
-        self.heaps.iter_mut().for_each(BinaryHeap::clear);
+        // Serial bucket pass: one entry list per (part, dimension) slot in
+        // ascending vertex order, keyed against the final totals (the
+        // composite keys read `self.totals`, so key computation cannot
+        // move off this thread anyway).
+        let mut buckets: Vec<Vec<HeapEntry>> = vec![Vec::new(); self.k * self.dims];
         let mut row = vec![0.0f64; self.dims];
         for (v, &p) in self.parts.iter().enumerate() {
             if p == TOMBSTONE {
@@ -1212,13 +1371,31 @@ impl PartitionStore {
             }
             for j in 0..self.dims {
                 let key = self.relief_key(j, &row);
-                self.heaps[p as usize * self.dims + j].push(HeapEntry {
+                buckets[p as usize * self.dims + j].push(HeapEntry {
                     key,
                     stamp: 0,
                     v: v as VertexId,
                 });
             }
         }
+        // Parallel per-slot heap builds over disjoint slot ranges,
+        // balanced by entry count. Each slot replays its bucket in the
+        // exact order the serial loop would have pushed, so the heap
+        // layout is bitwise identical for every thread count.
+        let mut prefix = Vec::with_capacity(buckets.len() + 1);
+        prefix.push(0usize);
+        for b in &buckets {
+            prefix.push(prefix.last().unwrap() + b.len() + 1);
+        }
+        let bounds = prefix_boundaries(&prefix, self.threads);
+        for_each_chunk_mut(&mut self.heaps, &bounds, |range, chunk| {
+            for (heap, bucket) in chunk.iter_mut().zip(&buckets[range]) {
+                heap.clear();
+                for &e in bucket {
+                    heap.push(e);
+                }
+            }
+        });
     }
 
     /// Serializes the accounting state — assignments, loads, live totals
@@ -1307,6 +1484,7 @@ impl PartitionStore {
             snapshot_cache: None,
             snapshot_rebuilds: 0,
             heap_pops: 0,
+            threads: 1,
         };
         store.rebuild_heaps(weights);
         // The restoring engine publishes view #0 (at the restored id
