@@ -301,52 +301,89 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         std::fs::write(path, dump).map_err(|e| format!("write metrics {path}: {e}"))
     };
 
-    let (mut sp, n0) = if let Ok(path) = args.req("load-snapshot") {
+    let (mut sp, n0, resumed_batches, resumed_tracker) = if let Ok(path) = args.req("load-snapshot")
+    {
         let file = std::fs::File::open(path).map_err(|e| format!("open {path}: {e}"))?;
-        // The replay scripts in original input ids, so the snapshot's id
-        // space must still *be* the original one: epoch 0, matching k and
-        // the replay's two weight dimensions (unit + degree).
+        let mut reader = std::io::BufReader::new(file);
+        // The replay scripts in original input ids, but the engine's id
+        // space may have moved on (recycled slots, post-purge renumbering
+        // at any id epoch): the resume trailer after the engine snapshot
+        // carries the original→current map, so no epoch expectation here
+        // — only shape (matching k, and the replay's two weight
+        // dimensions: unit + degree).
         let expect = mdbgp_stream::SnapshotExpectation::default()
             .with_k(k)
-            .with_dims(2)
-            .with_id_epoch(0);
+            .with_dims(2);
         let start = std::time::Instant::now();
-        let mut sp =
-            StreamingPartitioner::restore_expecting(std::io::BufReader::new(file), &expect)
-                .map_err(|e| format!("load snapshot {path}: {e}"))?;
+        let mut sp = StreamingPartitioner::restore_expecting(&mut reader, &expect)
+            .map_err(|e| format!("load snapshot {path}: {e}"))?;
         sp.set_threads(threads);
-        // Epoch 0 alone is not enough: a churned-but-never-purged run
-        // recycles tombstoned ids, so engine ids diverge from input ids
-        // (and `num_vertices()` under-counts the ingested prefix) with
-        // the epoch still 0. The replay's original→current map died with
-        // the saving process; without it, resuming would re-stream
-        // already-ingested vertices and attach edges to recycled slots'
-        // new occupants.
-        if sp.telemetry().vertices_removed > 0 {
-            return Err(format!(
-                "cannot resume the replay from {path}: the saved run removed {} vertices, so \
-                 engine ids no longer match the input file's original ids (the snapshot does \
-                 not carry the replay's id map) — resume supports churn-free runs only; churn \
-                 after the resume point is fine",
-                sp.telemetry().vertices_removed
-            ));
-        }
-        let n0 = sp.graph().num_vertices();
-        if n0 > n {
-            return Err(format!(
-                "snapshot covers {n0} vertices but the input graph has only {n} — wrong input \
-                 file for this snapshot?"
-            ));
-        }
+        // `read_snapshot` consumed exactly the engine snapshot; what
+        // follows (if anything) is the replay's own trailer.
+        let trailer = mdbgp_bench::resume::read_trailer(&mut reader)
+            .map_err(|e| format!("load snapshot {path}: {e}"))?;
+        let (n0, batch_no, tracker) = match trailer {
+            Some(state) => {
+                let n0 = state.arrived as usize;
+                if n0 > n {
+                    return Err(format!(
+                        "snapshot covers {n0} streamed vertices but the input graph has only \
+                         {n} — wrong input file for this snapshot?"
+                    ));
+                }
+                let tracker = mdbgp_bench::churn::IdTracker::from_map(state.map);
+                // Light cross-validation: every live translation must
+                // land inside the restored engine's id space.
+                let engine_n = sp.graph().num_vertices() as u32;
+                for orig in 0..tracker.len() as u32 {
+                    if let Some(cur) = tracker.current(orig) {
+                        if cur >= engine_n {
+                            return Err(format!(
+                                "resume trailer maps original vertex {orig} to engine id {cur}, \
+                                 outside the restored engine's {engine_n}-vertex id space — \
+                                 trailer and snapshot disagree"
+                            ));
+                        }
+                    }
+                }
+                (n0, state.batch_no as usize, tracker)
+            }
+            None => {
+                // Legacy snapshot with no trailer: the old restrictions
+                // apply, because without the id map the replay can only
+                // continue if engine ids still *are* the original input
+                // ids — no purge (epoch 0) and no removals ever.
+                if sp.id_epoch() != 0 || sp.telemetry().vertices_removed > 0 {
+                    return Err(format!(
+                        "cannot resume the replay from {path}: the snapshot carries no resume \
+                         trailer (saved by an older build?) and its run removed {} vertices at \
+                         id epoch {}, so engine ids no longer match the input file's original \
+                         ids — trailer-less resume supports churn-free runs only; churn after \
+                         the resume point is fine",
+                        sp.telemetry().vertices_removed,
+                        sp.id_epoch()
+                    ));
+                }
+                let n0 = sp.graph().num_vertices();
+                if n0 > n {
+                    return Err(format!(
+                        "snapshot covers {n0} vertices but the input graph has only {n} — \
+                         wrong input file for this snapshot?"
+                    ));
+                }
+                (n0, 0, mdbgp_bench::churn::IdTracker::identity(n0))
+            }
+        };
         println!(
             "resumed from {path} in {:.2}s: {n0}/{n} vertices already ingested \
-             ({} batches so far), locality {:.1}%, imbalance {:.2}%",
+             ({} batches so far, id epoch {}), locality {:.1}%, imbalance {:.2}%",
             start.elapsed().as_secs_f64(),
             sp.telemetry().batches,
+            sp.id_epoch(),
             sp.store().edge_locality() * 100.0,
             sp.max_imbalance() * 100.0
         );
-        (sp, n0)
+        (sp, n0, batch_no, tracker)
     } else {
         let n0 = ((n as f64 * bootstrap_fraction) as usize)
             .max(k)
@@ -370,17 +407,21 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             sp.store().edge_locality() * 100.0,
             sp.max_imbalance() * 100.0
         );
-        (sp, n0)
+        (sp, n0, 0, mdbgp_bench::churn::IdTracker::identity(n0))
     };
 
     let per_batch = (n - n0).div_ceil(batches.max(1));
     let mut arrived = n0 as u32;
-    let mut batch_no = 0usize;
-    // The identity tracker is valid for both paths: a fresh bootstrap
-    // trivially, and a resume because `--load-snapshot` rejects any
-    // snapshot whose run removed vertices — so engine ids are still the
-    // original input ids.
-    let mut tracker = mdbgp_bench::churn::IdTracker::identity(n0);
+    let mut batch_no = resumed_batches;
+    // Fresh bootstrap: the identity tracker, trivially. Resume: the
+    // trailer's map (or, for a trailer-less legacy snapshot, identity —
+    // valid because that path rejects any run that removed vertices).
+    let mut tracker = resumed_tracker;
+    // The churn RNG is reseeded fresh on resume: removal *victims* after
+    // the resume point differ from the uninterrupted run's, which is
+    // fine — victims are sampled from the live graph through the
+    // tracker, so any sequence is a valid churn script. Resume restores
+    // *state*, not the original run's future randomness.
     let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
     while (arrived as usize) < n {
         if stop_after > 0 && batch_no >= stop_after {
@@ -463,19 +504,41 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         }
     }
 
-    // Persist the engine *before* the output purge below: a purge bumps
-    // the id epoch, and a snapshot saved at epoch 0 is what a later
-    // `--load-snapshot` invocation (which scripts in original ids) can
-    // resume from.
+    // Persist the engine *before* the final output purge below (which
+    // exists only to make the `--output` assignment cover exactly the
+    // live vertices). The snapshot itself may be taken at any id epoch:
+    // the resume trailer appended after it carries the replay's
+    // original→current id map, so a later `--load-snapshot` continues
+    // scripting in original ids regardless of purges. `--purge-before-save
+    // true` forces a purging compaction first — a deterministic way to
+    // exercise (and regression-test) the post-purge resume path.
     if let Ok(path) = args.req("save-snapshot") {
+        if args.num::<bool>("purge-before-save", false)? {
+            if let Some(remap) = sp.purge() {
+                tracker.apply_remap(&remap);
+            }
+            println!(
+                "purged before save: id epoch {}, {} live vertices",
+                sp.id_epoch(),
+                sp.graph().num_vertices()
+            );
+        }
         let mut file = std::io::BufWriter::new(
             std::fs::File::create(path).map_err(|e| format!("create {path}: {e}"))?,
         );
         let info = sp
             .save_snapshot(&mut file)
             .map_err(|e| format!("save snapshot {path}: {e}"))?;
+        let state = mdbgp_bench::resume::ResumeState {
+            arrived,
+            batch_no: batch_no as u64,
+            map: tracker.as_slice().to_vec(),
+        };
+        mdbgp_bench::resume::write_trailer(&mut file, &state)
+            .map_err(|e| format!("save snapshot {path}: {e}"))?;
         println!(
-            "wrote snapshot -> {path} ({} payload bytes, id epoch {}, k {}, {} dims)",
+            "wrote snapshot -> {path} ({} payload bytes + resume trailer, id epoch {}, k {}, \
+             {} dims, {arrived} streamed)",
             info.payload_bytes, info.id_epoch, info.k, info.dims
         );
     }
@@ -545,7 +608,7 @@ const USAGE: &str = "usage: mdbgp_cli <generate|partition|evaluate|stream> [--fl
   stream    --input FILE --k K [--eps E] [--batches B] [--threads T]
             [--churn F] [--bootstrap-fraction F] [--seed S]
             [--stop-after B] [--save-snapshot FILE] [--load-snapshot FILE]
-            [--metrics-out FILE] [--metrics-every N]
+            [--purge-before-save true] [--metrics-out FILE] [--metrics-every N]
             [--output PARTS] [--format text|metis|binary]";
 
 fn main() -> ExitCode {

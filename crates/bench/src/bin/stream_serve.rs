@@ -413,6 +413,11 @@ fn main() -> ExitCode {
         split_parallel_ranges: Some(sp.metrics().counter("stream.split.parallel_ranges") as usize),
         repair_spec_rounds: Some(sp.metrics().counter("stream.repair.spec_rounds") as usize),
         compact_parallel_ms: sp.metrics().gauge("stream.compact.parallel_ms"),
+        replay_total_ms: 0.0,
+        replay_batches: None,
+        log_bytes: None,
+        log_rotations: None,
+        followers: None,
         batches: batch_perf,
     };
     if let Some(path) = &args.json_out {

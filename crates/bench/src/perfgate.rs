@@ -158,6 +158,30 @@ pub struct PerfRecord {
     /// (`stream.compact.parallel_ms`; `None` on pre-v7 baselines).
     /// Informational — machine-dependent, so never gated.
     pub compact_parallel_ms: Option<f64>,
+    /// v8: total wall-clock the `stream_replicate` followers spent
+    /// replaying the leader's batch log, milliseconds (0 on records
+    /// predating replication and on legs without followers). Gated
+    /// machine-normalized against the same-machine scratch solve —
+    /// replay lag is the failover budget: a follower that replays slower
+    /// than the leader ingests can never catch up.
+    pub replay_total_ms: f64,
+    /// v8: log records replayed across every follower (`None` on pre-v8
+    /// baselines). Deterministic for a fixed workload — informational.
+    pub replay_batches: Option<usize>,
+    /// v8: bytes the leader's batch log occupied across the run,
+    /// rotations included (`stream.log.bytes`; `None` on pre-v8
+    /// baselines). Deterministic for a fixed workload — a baseline diff
+    /// reads wire-format growth straight off this field.
+    pub log_bytes: Option<usize>,
+    /// v8: log rotations (full-snapshot cutovers) the leader performed
+    /// (`stream.log.rotations`; `None` on pre-v8 baselines).
+    pub log_rotations: Option<usize>,
+    /// v8: follower count of the run (`None` on pre-v8 baselines and on
+    /// follower-less legs). Presence keys the v8 block: the replay-lag
+    /// gate engages only when **both** records carry it, and mismatched
+    /// counts fail like a thread-count mismatch — more followers replay
+    /// more batches, so a cross-count comparison gates nothing.
+    pub followers: Option<usize>,
     pub batches: Vec<BatchPerf>,
 }
 
@@ -232,6 +256,19 @@ impl PerfRecord {
         }
         if let Some(m) = self.compact_parallel_ms {
             let _ = writeln!(s, "  \"compact_parallel_ms\": {m:.3},");
+        }
+        if let Some(f) = self.followers {
+            let _ = writeln!(s, "  \"replay_total_ms\": {:.3},", self.replay_total_ms);
+            if let Some(b) = self.replay_batches {
+                let _ = writeln!(s, "  \"replay_batches\": {b},");
+            }
+            if let Some(b) = self.log_bytes {
+                let _ = writeln!(s, "  \"log_bytes\": {b},");
+            }
+            if let Some(r) = self.log_rotations {
+                let _ = writeln!(s, "  \"log_rotations\": {r},");
+            }
+            let _ = writeln!(s, "  \"followers\": {f},");
         }
         if let Some(q) = &self.quantiles {
             let _ = writeln!(s, "  \"refine_iters_p50\": {:.3},", q.refine_iters_p50);
@@ -416,6 +453,11 @@ impl PerfRecord {
             split_parallel_ranges: opt_count("split_parallel_ranges")?,
             repair_spec_rounds: opt_count("repair_spec_rounds")?,
             compact_parallel_ms: opt_num("compact_parallel_ms")?,
+            replay_total_ms: num_or_zero("replay_total_ms")?,
+            replay_batches: opt_count("replay_batches")?,
+            log_bytes: opt_count("log_bytes")?,
+            log_rotations: opt_count("log_rotations")?,
+            followers: opt_count("followers")?,
             batches,
         })
     }
@@ -449,6 +491,14 @@ pub const SNAPSHOT_REGRESSION: f64 = 1.0;
 /// path, a re-pin per call, a view rebuilt per lookup) cost well over
 /// 2×.
 pub const LOOKUP_REGRESSION: f64 = 1.0;
+
+/// Allowed regression of the machine-normalized follower replay lag
+/// (the `stream_replicate` CI leg's committed bound). Replay is ingest
+/// re-run, so its wall-clock inherits all of ingest's jitter on a small
+/// leg — hence the wide band, like the other small-quantity gates. The
+/// regressions it exists for (a follower that re-verifies the whole log
+/// per record, a wire decode gone quadratic) cost well over 2×.
+pub const REPLAY_REGRESSION: f64 = 1.0;
 
 /// Floor (µs) a baseline p99 lookup latency is clamped to before the
 /// lookup gate compares. The serving histogram quantizes at microsecond
@@ -494,7 +544,13 @@ pub const MIN_LOOKUP_P99_US: f64 = 1.0;
 ///   more than [`LOOKUP_REGRESSION`] → fail. Engaged only when **both**
 ///   records carry `lookup_p99_us` (pre-v6 and `stream_online`
 ///   baselines skip); a sub-floor baseline tail is clamped to
-///   [`MIN_LOOKUP_P99_US`] rather than silencing the gate.
+///   [`MIN_LOOKUP_P99_US`] rather than silencing the gate;
+/// * the **follower replay lag** (v8, `stream_replicate` only,
+///   machine-normalized) regressed more than [`REPLAY_REGRESSION`] →
+///   fail, and a follower-count mismatch between the records fails
+///   outright like a thread-count mismatch. Engaged only when both
+///   records carry `followers` and the baseline's replay total is
+///   ≥ [`MIN_STAGE_MS`].
 pub fn check_regression(
     current: &PerfRecord,
     baseline: &PerfRecord,
@@ -654,6 +710,35 @@ pub fn check_regression(
             ));
         }
     }
+    if let (Some(cur_f), Some(base_f)) = (current.followers, baseline.followers) {
+        // v8 replication gate: follower replay lag per unit of
+        // same-machine scratch-GD time. Both sides must carry the
+        // follower count (pre-v8 and follower-less baselines skip), and
+        // the counts must match — replay work scales with followers.
+        if cur_f != base_f {
+            reasons.push(format!(
+                "follower-count mismatch: run used {cur_f} followers, baseline {base_f} — \
+                 gate each follower count against a baseline recorded at that count"
+            ));
+        } else if baseline.replay_total_ms >= MIN_STAGE_MS && current.replay_total_ms > 0.0 {
+            let cur_ratio = current.replay_total_ms / current.scratch_total_ms.max(MIN_SCRATCH_MS);
+            let base_ratio =
+                baseline.replay_total_ms / baseline.scratch_total_ms.max(MIN_SCRATCH_MS);
+            if cur_ratio > base_ratio * (1.0 + REPLAY_REGRESSION) {
+                reasons.push(format!(
+                    "follower replay lag regressed {:.0}% (limit {:.0}%): {:.1} ms \
+                     ({:.4} normalized) vs baseline {:.1} ms ({:.4}) — followers are \
+                     falling behind the leader relative to the same-machine scratch solve",
+                    (cur_ratio / base_ratio - 1.0) * 100.0,
+                    REPLAY_REGRESSION * 100.0,
+                    current.replay_total_ms,
+                    cur_ratio,
+                    baseline.replay_total_ms,
+                    base_ratio,
+                ));
+            }
+        }
+    }
     if let (Some(cur), Some(base)) = (current.rebalance_full_scans, baseline.rebalance_full_scans) {
         // Deterministic for a fixed workload (seeded, thread-invariant),
         // so any increase is a real candidate-quality regression of the
@@ -748,6 +833,13 @@ mod tests {
             split_parallel_ranges: Some(12),
             repair_spec_rounds: Some(2),
             compact_parallel_ms: Some(inc * 0.06),
+            // Time-valued like the stage totals: derives from `inc` so
+            // machine-speed cancellation holds for the replay gate too.
+            replay_total_ms: inc * 0.5,
+            replay_batches: Some(16),
+            log_bytes: Some(8192),
+            log_rotations: Some(2),
+            followers: Some(2),
             batches: vec![BatchPerf {
                 batch: 1,
                 inc_ms: inc,
@@ -1154,6 +1246,81 @@ mod tests {
         assert!(PerfRecord::from_json(&corrupted)
             .unwrap_err()
             .contains("repair_spec_rounds"));
+    }
+
+    #[test]
+    fn replication_fields_round_trip_and_default_on_v7_baselines() {
+        let r = record(12.5, 750.0, true, 0.61);
+        let parsed = PerfRecord::from_json(&r.to_json()).unwrap();
+        assert!((parsed.replay_total_ms - 6.25).abs() < 1e-9);
+        assert_eq!(parsed.replay_batches, Some(16));
+        assert_eq!(parsed.log_bytes, Some(8192));
+        assert_eq!(parsed.log_rotations, Some(2));
+        assert_eq!(parsed.followers, Some(2));
+        // A v7 baseline (no replication keys) still parses: the total
+        // defaults to 0, the counters to None, the replay gate stays off
+        // — and re-rendering it emits none of the keys.
+        let v7_keys = [
+            "replay_total_ms",
+            "replay_batches",
+            "log_bytes",
+            "log_rotations",
+            "followers",
+        ];
+        let v7 = r
+            .to_json()
+            .lines()
+            .filter(|l| v7_keys.iter().all(|k| !l.contains(k)))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = PerfRecord::from_json(&v7).unwrap();
+        assert_eq!(parsed.replay_total_ms, 0.0);
+        assert_eq!(parsed.replay_batches, None);
+        assert_eq!(parsed.followers, None);
+        assert!(!parsed.to_json().contains("replay_total_ms"));
+        assert!(check_regression(&r, &parsed, 0.30).is_ok());
+        // Present-but-malformed replication fields are an error, not a
+        // default.
+        let corrupted = r
+            .to_json()
+            .replace("\"replay_total_ms\": 6.250", "\"replay_total_ms\": \"x\"");
+        assert!(PerfRecord::from_json(&corrupted)
+            .unwrap_err()
+            .contains("replay_total_ms"));
+    }
+
+    #[test]
+    fn gate_catches_replay_lag_regression() {
+        let base = record(10.0, 600.0, true, 0.60); // replay_total = 5.0 ms
+        let mut lagging = record(10.0, 600.0, true, 0.60);
+        lagging.replay_total_ms = 15.0; // 3x the baseline, past the 2x band
+        let err = check_regression(&lagging, &base, 0.30).unwrap_err();
+        assert!(err.contains("follower replay lag regressed"), "{err}");
+        // Inside the 2x band passes.
+        let mut ok = record(10.0, 600.0, true, 0.60);
+        ok.replay_total_ms = 9.0;
+        assert!(check_regression(&ok, &base, 0.30).is_ok());
+        // Machine speed cancels: a 3x slower machine scales replay and
+        // the scratch denominator together.
+        let slow_machine = record(30.0, 1800.0, true, 0.60);
+        assert!(check_regression(&slow_machine, &base, 0.30).is_ok());
+        // Either side without a follower count (stream_online or pre-v8
+        // record) → gate off, even against a regressed run.
+        let mut legacy = record(10.0, 600.0, true, 0.60);
+        legacy.followers = None;
+        legacy.replay_total_ms = 0.0;
+        assert!(check_regression(&lagging, &legacy, 0.30).is_ok());
+        assert!(check_regression(&legacy, &base, 0.30).is_ok());
+        // A follower-count mismatch is its own failure, not a comparison.
+        let mut three = record(10.0, 600.0, true, 0.60);
+        three.followers = Some(3);
+        let err = check_regression(&three, &base, 0.30).unwrap_err();
+        assert!(err.contains("follower-count mismatch"), "{err}");
+        // A sub-floor baseline replay total disarms the lag band (but
+        // the count check above still ran).
+        let mut tiny = record(10.0, 600.0, true, 0.60);
+        tiny.replay_total_ms = 0.4;
+        assert!(check_regression(&lagging, &tiny, 0.30).is_ok());
     }
 
     #[test]

@@ -404,6 +404,10 @@ impl DynamicGraph {
                 self.pend_untomb(u, v);
                 self.pend_untomb(v, u);
             } else {
+                // Invariant, not input: `edge_tombstoned(u, v)` above just
+                // found the committed entry (deferred mode was handled in
+                // the other branch), and tombstones are only ever inserted
+                // symmetrically — so both searches must hit.
                 let pos = self.removed[u as usize]
                     .binary_search(&v)
                     .expect("effective tombstone without a committed entry");
@@ -504,6 +508,9 @@ impl DynamicGraph {
                 self.pend_del(u, v);
                 self.pend_del(v, u);
             } else {
+                // Invariant, not input: the caller just observed the edge
+                // live in the delta layer, and delta adjacency is only
+                // ever inserted symmetrically — both searches must hit.
                 let pos = self.delta[u as usize]
                     .binary_search(&v)
                     .expect("effective delta edge without a committed entry");
@@ -978,6 +985,7 @@ impl DynamicGraph {
 
         let offsets = r.get_vec_usize("graph.base.offsets")?;
         let targets = r.get_vec_u32("graph.base.targets")?;
+        // `||` short-circuits: `last()` only runs after `is_empty()` held.
         if offsets.is_empty() || offsets[0] != 0 || *offsets.last().unwrap() != targets.len() {
             return Err(corrupt("base CSR offsets do not frame the targets".into()));
         }

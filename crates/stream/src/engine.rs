@@ -93,6 +93,9 @@ pub const METRIC_ALLOWLIST: &[&str] = &[
     "stream.ingest.edges_removed",
     "stream.ingest.removals",
     "stream.ingest.weight_updates",
+    "stream.log.bytes",
+    "stream.log.records",
+    "stream.log.rotations",
     "stream.place.conflicts",
     "stream.place.repair_passes",
     "stream.refine.drift_triggers",
@@ -102,6 +105,8 @@ pub const METRIC_ALLOWLIST: &[&str] = &[
     "stream.refine.rebalance_moves",
     "stream.refine.schedule_triggers",
     "stream.repair.spec_rounds",
+    "stream.replica.batches_replayed",
+    "stream.replica.divergence_checks",
     "stream.snapshot.restores",
     "stream.snapshot.saves",
     "stream.split.parallel_ranges",
@@ -658,6 +663,19 @@ impl StreamingPartitioner {
             ],
         );
         Ok(info)
+    }
+
+    /// Re-keys the rebalance heaps at the current totals — the same
+    /// canonicalization [`Self::save_snapshot`] applies to the saver.
+    /// Canonicalizing is semantically neutral (the heaps are a candidate
+    /// queue over the same state) but changes *which equivalent* queue
+    /// the engine holds, and rebalance pops in queue order; a replication
+    /// follower therefore calls this when it adopts a new log segment, so
+    /// its queue matches the leader's post-rotation one and heap-driven
+    /// refinement stays bitwise in lockstep ([`crate::replica`]).
+    /// Idempotent.
+    pub fn canonicalize_heaps(&mut self) {
+        self.store.rebuild_heaps(self.graph.weights());
     }
 
     /// Rebuilds an engine from a [`Self::save_snapshot`] stream with no
@@ -1626,6 +1644,9 @@ impl StreamingPartitioner {
             }
             // Work on the worst offender; its most violated dimension
             // names the candidate heap (and steers swap pooling below).
+            // Unwraps are invariants: Φ sums validated-finite weights so
+            // `partial_cmp` never sees NaN, and `k >= 1` keeps the range
+            // non-empty.
             let src = (0..k as u32)
                 .max_by(|&a, &b| phis[a as usize].partial_cmp(&phis[b as usize]).unwrap())
                 .unwrap();
@@ -1705,6 +1726,10 @@ impl StreamingPartitioner {
 
     /// The dimension in which part `p` is most loaded relative to average.
     fn binding_dimension(&self, p: u32, avgs: &[f64]) -> usize {
+        // Unwraps are invariants: loads sum validated-finite weights and
+        // the rebalance loop only calls this with positive per-dimension
+        // averages, so the ratios are never NaN; `dims >= 1` keeps the
+        // range non-empty.
         (0..avgs.len())
             .max_by(|&a, &b| {
                 let ra = self.store.load(p, a) / avgs[a];
@@ -1958,6 +1983,8 @@ fn decode_telemetry(
 fn top_by(list: &[VertexId], limit: usize, score: impl Fn(VertexId) -> f64) -> Vec<VertexId> {
     let mut v = list.to_vec();
     if v.len() > limit {
+        // Invariant: every score is a sum/ratio of validated-finite
+        // weights, so `partial_cmp` never sees NaN.
         v.select_nth_unstable_by(limit - 1, |&a, &b| score(b).partial_cmp(&score(a)).unwrap());
         v.truncate(limit);
     }

@@ -137,6 +137,20 @@
 //! their capacity releases and the pending free list are carried verbatim,
 //! so id recycling after restore matches the uninterrupted run exactly.
 //!
+//! ## Replication
+//!
+//! Warm restart plus deterministic ingestion compose into a replicated
+//! serving tier: a [`Leader`] ships a snapshot and appends one framed,
+//! checksummed record per batch to a rotating log ([`wire`]), and any
+//! number of [`Follower`]s bootstrap from the snapshot and replay the
+//! tail through their *own* ingest pipelines, publishing one
+//! [`ReadView`] per applied batch. Each record carries the leader's
+//! post-batch `(id_epoch, batch_seq)` stamp and view checksum, and the
+//! follower compares its own published view against both after every
+//! record — a replica cannot drift silently for even one batch
+//! ([`replica`] walks the protocol; the `stream_replicate` bench and CI
+//! leg hold a leader + 2 followers bitwise identical across purges).
+//!
 //! ## Threading model
 //!
 //! [`StreamConfig::threads`] sizes one logical worker pool; `threads = 1`
@@ -276,8 +290,10 @@ pub mod dynamic;
 pub mod engine;
 pub mod pipeline;
 pub mod placement;
+pub mod replica;
 pub mod snapshot;
 pub mod store;
+pub mod wire;
 
 /// Sentinel id for a vertex that no longer exists: the shard reported by
 /// [`PartitionStore::shard_of`] for a released vertex, and the slot value
@@ -295,5 +311,7 @@ pub use mdbgp_obs::{
 };
 pub use pipeline::{StageTimings, SPECULATIVE_CHUNK};
 pub use placement::{LdgPlacer, LoadView, ReservationLedger, ReservedView};
+pub use replica::{Follower, Leader, ReplicaError};
 pub use snapshot::{SnapshotError, SnapshotExpectation, SnapshotInfo};
 pub use store::{LoadSnapshot, PartitionStore, ReadHandle, ReadView, ViewEpoch};
+pub use wire::{LogHeader, LogRecord, WireError};

@@ -113,8 +113,16 @@ pub const SNAPSHOT_HEADER_BYTES: usize = 8 + 4 + 8 + 4 + 4 + 8 + 8;
 /// failures are all-or-nothing: no partially built engine ever escapes.
 #[derive(Debug)]
 pub enum SnapshotError {
-    /// The underlying reader/writer failed.
-    Io(std::io::Error),
+    /// The underlying reader/writer failed. Carries the same section
+    /// context string as [`Self::Truncated`], so a failed restore (or a
+    /// follower bootstrap over a flaky transport) names which part of the
+    /// snapshot was in flight when the I/O layer gave up.
+    Io {
+        /// What was being read or written when the I/O call failed.
+        context: &'static str,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
     /// The stream does not start with [`SNAPSHOT_MAGIC`] — not a snapshot.
     BadMagic { found: [u8; 8] },
     /// The snapshot was written by an unknown (newer or retired) format
@@ -150,7 +158,12 @@ pub enum SnapshotError {
 impl std::fmt::Display for SnapshotError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SnapshotError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            SnapshotError::Io { context, source } => {
+                write!(
+                    f,
+                    "snapshot I/O failed while processing {context}: {source}"
+                )
+            }
             SnapshotError::BadMagic { found } => {
                 write!(
                     f,
@@ -197,15 +210,18 @@ impl std::fmt::Display for SnapshotError {
 impl std::error::Error for SnapshotError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            SnapshotError::Io(e) => Some(e),
+            SnapshotError::Io { source, .. } => Some(source),
             _ => None,
         }
     }
 }
 
-impl From<std::io::Error> for SnapshotError {
-    fn from(e: std::io::Error) -> Self {
-        SnapshotError::Io(e)
+impl SnapshotError {
+    /// Wraps an I/O error with the section being processed. There is
+    /// deliberately no `From<std::io::Error>`: every I/O failure must name
+    /// its context, like every truncation does.
+    pub(crate) fn io(context: &'static str, source: std::io::Error) -> Self {
+        SnapshotError::Io { context, source }
     }
 }
 
@@ -311,6 +327,9 @@ pub fn read_info<R: Read>(mut r: R) -> Result<SnapshotInfo, SnapshotError> {
 }
 
 fn parse_header(header: &[u8; SNAPSHOT_HEADER_BYTES]) -> Result<SnapshotInfo, SnapshotError> {
+    // The `try_into().unwrap()`s below are invariants, not I/O: each
+    // subslice has a compile-time-constant length taken from an array of
+    // fixed size, so the conversions cannot fail whatever bytes arrived.
     let magic: [u8; 8] = header[0..8].try_into().unwrap();
     if magic != SNAPSHOT_MAGIC {
         return Err(SnapshotError::BadMagic { found: magic });
@@ -332,6 +351,7 @@ fn parse_header(header: &[u8; SNAPSHOT_HEADER_BYTES]) -> Result<SnapshotInfo, Sn
 }
 
 fn header_checksum(header: &[u8; SNAPSHOT_HEADER_BYTES]) -> u64 {
+    // Invariant: an 8-byte subslice of a fixed-size array — cannot fail.
     u64::from_le_bytes(header[36..44].try_into().unwrap())
 }
 
@@ -352,7 +372,7 @@ fn read_exact_or_truncated<R: Read>(
             }
             Ok(n) => filled += n,
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(e) => return Err(SnapshotError::Io(e)),
+            Err(e) => return Err(SnapshotError::io(context, e)),
         }
     }
     Ok(())
@@ -374,15 +394,18 @@ pub(crate) fn write_snapshot<W: Write>(
         dims,
         payload_bytes: payload.len(),
     };
-    w.write_all(&SNAPSHOT_MAGIC)?;
-    w.write_all(&SNAPSHOT_VERSION.to_le_bytes())?;
-    w.write_all(&id_epoch.to_le_bytes())?;
-    w.write_all(&(k as u32).to_le_bytes())?;
-    w.write_all(&(dims as u32).to_le_bytes())?;
-    w.write_all(&(payload.len() as u64).to_le_bytes())?;
-    w.write_all(&fnv1a(payload).to_le_bytes())?;
-    w.write_all(payload)?;
-    w.flush()?;
+    let hdr = |e| SnapshotError::io("header", e);
+    w.write_all(&SNAPSHOT_MAGIC).map_err(hdr)?;
+    w.write_all(&SNAPSHOT_VERSION.to_le_bytes()).map_err(hdr)?;
+    w.write_all(&id_epoch.to_le_bytes()).map_err(hdr)?;
+    w.write_all(&(k as u32).to_le_bytes()).map_err(hdr)?;
+    w.write_all(&(dims as u32).to_le_bytes()).map_err(hdr)?;
+    w.write_all(&(payload.len() as u64).to_le_bytes())
+        .map_err(hdr)?;
+    w.write_all(&fnv1a(payload).to_le_bytes()).map_err(hdr)?;
+    w.write_all(payload)
+        .map_err(|e| SnapshotError::io("payload", e))?;
+    w.flush().map_err(|e| SnapshotError::io("payload", e))?;
     Ok(info)
 }
 
@@ -406,7 +429,7 @@ pub(crate) fn read_snapshot<R: Read>(mut r: R) -> Result<(SnapshotInfo, Vec<u8>)
     (&mut r)
         .take(info.payload_bytes as u64)
         .read_to_end(&mut payload)
-        .map_err(SnapshotError::Io)?;
+        .map_err(|e| SnapshotError::io("payload", e))?;
     if payload.len() < info.payload_bytes {
         return Err(SnapshotError::Truncated {
             context: "payload",
@@ -539,6 +562,8 @@ impl<'a> PayloadReader<'a> {
     }
 
     pub(crate) fn get_u32(&mut self, context: &'static str) -> Result<u32, SnapshotError> {
+        // Invariant: `take(4, ..)` either errors or yields exactly 4
+        // bytes, so the array conversion cannot fail (same for u64).
         Ok(u32::from_le_bytes(
             self.take(4, context)?.try_into().unwrap(),
         ))
@@ -852,6 +877,23 @@ mod tests {
             read_snapshot(&broken[..]).unwrap_err(),
             SnapshotError::ChecksumMismatch { .. }
         ));
+    }
+
+    #[test]
+    fn io_errors_name_their_context() {
+        struct FailingReader;
+        impl Read for FailingReader {
+            fn read(&mut self, _: &mut [u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk unplugged"))
+            }
+        }
+        let err = read_info(FailingReader).unwrap_err();
+        match &err {
+            SnapshotError::Io { context, .. } => assert_eq!(*context, "header"),
+            other => panic!("expected Io, got {other}"),
+        }
+        assert!(err.to_string().contains("header"), "{err}");
+        assert!(err.to_string().contains("disk unplugged"), "{err}");
     }
 
     #[test]

@@ -286,6 +286,16 @@ impl ReadView {
     pub fn verify_checksum(&self) -> bool {
         view_checksum(self.epoch, &self.parts) == self.checksum
     }
+
+    /// The publish-time FNV-1a checksum over the epoch stamp and the
+    /// assignment vector. Two engines that published bitwise-identical
+    /// assignments at the same [`ViewEpoch`] report the same value — the
+    /// comparison a replication follower makes against the leader's
+    /// per-batch stamp stream to detect divergence.
+    #[inline]
+    pub fn checksum(&self) -> u64 {
+        self.checksum
+    }
 }
 
 /// FNV-1a over the epoch stamp and the assignment vector.
@@ -350,6 +360,9 @@ impl ViewShared {
     }
 
     fn current(&self) -> Arc<ReadView> {
+        // Invariant: the publication lock only ever guards an Arc clone /
+        // swap and a seq bump — none of which can panic — so the mutex
+        // cannot be poisoned; the expect documents that, not an I/O path.
         Arc::clone(&self.current.lock().expect("view slot poisoned"))
     }
 }
@@ -388,6 +401,7 @@ impl ReadHandle {
         if self.shared.seq.load(Ordering::Acquire) == self.pinned_seq {
             return false;
         }
+        // Poisoning unreachable: see `ViewShared::current` for the proof.
         let slot = self.shared.current.lock().expect("view slot poisoned");
         self.pinned = Arc::clone(&slot);
         // Re-read under the lock: seq and slot move together there.
@@ -787,6 +801,7 @@ impl PartitionStore {
         {
             // Swap + seq bump under the lock so a re-pinning reader can
             // never pair the new seq with the old view (or vice versa).
+            // Poisoning unreachable: see `ViewShared::current` for the proof.
             let mut slot = self.views.current.lock().expect("view slot poisoned");
             *slot = Arc::clone(&view);
             self.views.seq.fetch_add(1, Ordering::Release);
@@ -968,6 +983,7 @@ impl PartitionStore {
         let mut prefix = Vec::with_capacity(sink.buckets.len() + 1);
         prefix.push(0usize);
         for b in &sink.buckets {
+            // Invariant: `prefix` was seeded with one element above.
             prefix.push(prefix.last().unwrap() + b.len() + 1);
         }
         let bounds = prefix_boundaries(&prefix, self.threads);
